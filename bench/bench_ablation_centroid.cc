@@ -1,0 +1,115 @@
+// Ablations over Centroid Learning's design choices (§4.3), on the
+// synthetic function at high noise: observation-window size N, overshoot
+// alpha, FIND_BEST version, gradient method, the elite-memory extension,
+// and the step-decay schedule. Reports the final-centroid median and p95
+// (relative to optimal) per variant.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/centroid_learning.h"
+#include "sparksim/synthetic.h"
+
+using namespace rockhopper;           // NOLINT(build/namespaces)
+using namespace rockhopper::core;     // NOLINT(build/namespaces)
+using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
+
+namespace {
+
+struct Variant {
+  std::string name;
+  CentroidLearningOptions options;
+};
+
+}  // namespace
+
+int main() {
+  const int runs = bench::EnvInt("ROCKHOPPER_RUNS", 15);
+  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 220);
+  bench::Banner("Centroid Learning ablations",
+                "Expected shape: N=20 beats tiny windows (the de-noising "
+                "claim); FIND_BEST v3 beats v1; elites and decay tighten the "
+                "band; extreme alpha hurts.");
+  const SyntheticFunction f = SyntheticFunction::Default();
+  const ConfigSpace& space = f.space();
+  const ConfigVector start = space.Denormalize({0.9, 0.9, 0.9});
+
+  std::vector<Variant> variants;
+  {
+    Variant base{"default (N=20, a=0.25, v3, model-sign)", {}};
+    base.options.window_size = 20;
+    variants.push_back(base);
+
+    Variant n5 = base;
+    n5.name = "window N=5 (hill-climbing-like memory)";
+    n5.options.window_size = 5;
+    variants.push_back(n5);
+
+    Variant n10 = base;
+    n10.name = "window N=10";
+    n10.options.window_size = 10;
+    variants.push_back(n10);
+
+    Variant a_small = base;
+    a_small.name = "alpha=0.08 (timid overshoot)";
+    a_small.options.alpha = 0.08;
+    variants.push_back(a_small);
+
+    Variant a_big = base;
+    a_big.name = "alpha=0.6 (wild overshoot)";
+    a_big.options.alpha = 0.6;
+    variants.push_back(a_big);
+
+    Variant v1 = base;
+    v1.name = "FIND_BEST v1 (raw min runtime)";
+    v1.options.find_best_version = FindBestVersion::kMinRuntime;
+    variants.push_back(v1);
+
+    Variant v2 = base;
+    v2.name = "FIND_BEST v2 (size-normalized)";
+    v2.options.find_best_version = FindBestVersion::kNormalized;
+    variants.push_back(v2);
+
+    Variant linear = base;
+    linear.name = "linear-sign gradient (Fig. 6 variant)";
+    linear.options.gradient_method = GradientMethod::kLinearSign;
+    variants.push_back(linear);
+
+    Variant no_elite = base;
+    no_elite.name = "no elite memory (literal latest-N window)";
+    no_elite.options.elite_size = 0;
+    variants.push_back(no_elite);
+
+    Variant no_decay = base;
+    no_decay.name = "no step decay (constant alpha/beta)";
+    no_decay.options.step_decay = 1.0;
+    variants.push_back(no_decay);
+  }
+
+  common::TextTable table;
+  table.SetHeader({"variant", "final_median/opt", "final_p95/opt"});
+  for (const Variant& variant : variants) {
+    std::vector<double> finals;
+    for (int s = 0; s < runs; ++s) {
+      CentroidLearner learner(
+          space, start, std::make_unique<PseudoSurrogateScorer>(&f, 5),
+          variant.options, 1000 + static_cast<uint64_t>(s));
+      common::Rng noise_rng(5000 + s);
+      for (int t = 0; t < iters; ++t) {
+        const ConfigVector c = learner.Propose(1.0);
+        learner.Observe(c, 1.0,
+                        f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
+      }
+      finals.push_back(f.TruePerformance(learner.centroid(), 1.0));
+    }
+    const common::Summary s = common::Summarize(finals);
+    const double opt = f.OptimalPerformance(1.0);
+    table.AddRow({variant.name,
+                  common::TextTable::FormatDouble(s.median / opt, 3),
+                  common::TextTable::FormatDouble(s.p95 / opt, 3)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Guardrail ablation (§4.3): the production guardrail's value shows on
+// populations that contain untunable queries — noise-dominated ones and
+// ones with config-unrelated regressions. This harness runs the same
+// synthetic customer population with the guardrail enabled and disabled and
+// compares the outcome distribution, especially the regression tail the
+// guardrail exists to cut off.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/tuning_service.h"
+#include "sparksim/simulator.h"
+#include "sparksim/synthetic.h"
+#include "sparksim/workloads.h"
+
+using namespace rockhopper;           // NOLINT(build/namespaces)
+using namespace rockhopper::core;     // NOLINT(build/namespaces)
+using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
+
+namespace {
+
+struct Outcome {
+  std::vector<double> gains_pct;
+  size_t disabled = 0;
+};
+
+Outcome RunPopulation(bool guardrail_enabled, int signatures, int iters) {
+  const ConfigSpace space = QueryLevelSpace();
+  SparkSimulator::Options sim_options;
+  SparkSimulator sim(sim_options);
+  TuningServiceOptions options;
+  options.enable_guardrail = guardrail_enabled;
+  options.guardrail.min_iterations = 30;
+  options.guardrail.regression_threshold = 0.05;
+  options.guardrail.max_strikes = 1;
+  options.centroid.window_size = 20;
+  TuningService service(space, nullptr, options, 555);
+
+  common::Rng population_rng(99);
+  Outcome outcome;
+  for (int n = 0; n < signatures; ++n) {
+    common::Rng plan_rng = population_rng.Fork();
+    const QueryPlan plan = CustomerPlan(&plan_rng);
+    const double segment = population_rng.Uniform();
+    // Same segmentation as the Fig. 16 harness: 70% tunable, 20% noise-
+    // dominated, 10% externally regressing.
+    const double fl = segment < 0.7 ? 0.2 : (segment < 0.9 ? 1.0 : 0.2);
+    const double drift = segment >= 0.9 ? 0.03 : 0.0;
+    sim.set_noise(NoiseParams{fl, fl + 0.1});
+    double late_tuned = 0.0, late_default = 0.0;
+    for (int t = 0; t < iters; ++t) {
+      const double drift_mult = 1.0 + drift * t;
+      const ConfigVector c = service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
+      ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+      r.runtime_seconds *= drift_mult;
+      service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+      if (t >= iters - 8) {
+        const double def = sim.cost_model().ExecutionSeconds(
+            plan, EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);
+        late_tuned += r.noise_free_seconds * drift_mult;
+        late_default += def * drift_mult;
+      }
+    }
+    outcome.gains_pct.push_back(100.0 * (1.0 - late_tuned / late_default));
+  }
+  outcome.disabled = service.NumDisabled();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  const int signatures = bench::EnvInt("ROCKHOPPER_SIGNATURES", 120);
+  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 45);
+  bench::Banner("Guardrail ablation on a mixed customer population",
+                "Expected shape: with the guardrail, the regression tail "
+                "(worst gains) is cut and mean outcome improves; the paper's "
+                "conservative policy trades a little upside for safety.");
+  const Outcome with = RunPopulation(true, signatures, iters);
+  const Outcome without = RunPopulation(false, signatures, iters);
+
+  common::TextTable table;
+  table.SetHeader({"metric", "guardrail_on", "guardrail_off"});
+  auto add = [&table](const std::string& name, double a, double b) {
+    table.AddRow({name, common::TextTable::FormatDouble(a, 2),
+                  common::TextTable::FormatDouble(b, 2)});
+  };
+  add("mean gain %", common::Mean(with.gains_pct),
+      common::Mean(without.gains_pct));
+  add("median gain %", common::Median(with.gains_pct),
+      common::Median(without.gains_pct));
+  add("p05 gain % (regression tail)", common::Quantile(with.gains_pct, 0.05),
+      common::Quantile(without.gains_pct, 0.05));
+  add("worst gain %", common::Min(with.gains_pct),
+      common::Min(without.gains_pct));
+  add("signatures disabled", static_cast<double>(with.disabled),
+      static_cast<double>(without.disabled));
+  table.Print();
+  return 0;
+}

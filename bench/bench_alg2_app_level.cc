@@ -1,0 +1,147 @@
+// Algorithm 2 / §4.4: joint app- and query-level optimization plus the
+// pre-computed app_cache. For several recurrent applications the harness
+// (1) collects joint-config observations, (2) fits per-query window models,
+// (3) runs Algorithm 2 to pick the app-level config and per-query configs,
+// and (4) compares the resulting application runtime against defaults. It
+// also measures the submission-time benefit of the app cache: a cache hit
+// versus recomputing the joint optimization.
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/app_optimizer.h"
+#include "core/window_model.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+using namespace rockhopper;           // NOLINT(build/namespaces)
+using namespace rockhopper::core;     // NOLINT(build/namespaces)
+using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
+
+namespace {
+
+double AppSeconds(SparkSimulator* sim, const SparkApplication& app,
+                  const ConfigVector& app_config,
+                  const std::vector<ConfigVector>& query_configs) {
+  double total = 0.0;
+  for (const ExecutionResult& r :
+       sim->ExecuteApplication(app, app_config, query_configs, 1.0)) {
+    total += r.noise_free_seconds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const int probe_runs = bench::EnvInt("ROCKHOPPER_PROBES", 30);
+  bench::Banner("Algorithm 2: app-level joint optimization + app_cache",
+                "Expected shape: jointly tuned app+query configs beat the "
+                "defaults on every application; cache hits are orders of "
+                "magnitude cheaper than recomputation.");
+  const ConfigSpace app_space = AppLevelSpace();
+  const ConfigSpace query_space = QueryLevelSpace();
+  SparkSimulator::Options sim_options;
+  sim_options.noise = NoiseParams::Low();
+  SparkSimulator sim(sim_options);
+
+  std::vector<SparkApplication> apps(3);
+  apps[0].artifact_id = "etl-nightly";
+  apps[0].queries = {TpchPlan(1), TpchPlan(6), TpchPlan(14)};
+  apps[1].artifact_id = "reporting-hourly";
+  apps[1].queries = {TpcdsPlan(12), TpcdsPlan(20), TpcdsPlan(55),
+                     TpcdsPlan(70)};
+  apps[2].artifact_id = "micro-batch";
+  apps[2].queries = {TpchPlan(19)};
+
+  AppCache cache;
+  common::TextTable table;
+  table.SetHeader({"application", "queries", "default_sec", "tuned_sec",
+                   "gain_pct"});
+  common::Rng rng(31);
+  for (const SparkApplication& app : apps) {
+    // Phase 1: probe joint configurations on past runs of this artifact and
+    // fit one window model per query over (joint config, size) -> runtime.
+    const ConfigSpace joint = JointSpace();
+    std::vector<ObservationWindow> windows(app.queries.size());
+    for (int probe = 0; probe < probe_runs; ++probe) {
+      const ConfigVector joint_config =
+          probe == 0 ? joint.Defaults() : joint.Sample(&rng);
+      const ConfigVector app_config = {joint_config[0], joint_config[1]};
+      const std::vector<ConfigVector> query_configs(
+          app.queries.size(),
+          {joint_config[2], joint_config[3], joint_config[4]});
+      const std::vector<ExecutionResult> results =
+          sim.ExecuteApplication(app, app_config, query_configs, 1.0);
+      for (size_t q = 0; q < app.queries.size(); ++q) {
+        Observation obs;
+        obs.config = joint_config;
+        obs.data_size = results[q].input_bytes;
+        obs.runtime = results[q].runtime_seconds;
+        windows[q].push_back(obs);
+      }
+    }
+    std::vector<std::shared_ptr<WindowModel>> models;
+    std::vector<AppQueryContext> contexts;
+    for (size_t q = 0; q < app.queries.size(); ++q) {
+      auto model = std::make_shared<WindowModel>(&joint);
+      if (!model->Fit(windows[q]).ok()) {
+        std::fprintf(stderr, "window model fit failed\n");
+        return 1;
+      }
+      models.push_back(model);
+      AppQueryContext ctx;
+      ctx.centroid = query_space.Defaults();
+      const double size = app.queries[q].LeafInputBytes(1.0);
+      ctx.score = [model, size](const ConfigVector& a, const ConfigVector& qc) {
+        ConfigVector joint_config = a;
+        joint_config.insert(joint_config.end(), qc.begin(), qc.end());
+        return -model->Predict(joint_config, size);
+      };
+      contexts.push_back(std::move(ctx));
+    }
+
+    // Phase 2: Algorithm 2, timed; store in the app cache.
+    AppLevelOptimizerOptions opt_options;
+    opt_options.num_app_candidates = 20;
+    opt_options.app_step = 0.5;
+    AppLevelOptimizer optimizer(app_space, query_space, opt_options, 61);
+    const auto t0 = std::chrono::steady_clock::now();
+    const AppLevelOptimizer::JointResult result =
+        optimizer.Optimize(app_space.Defaults(), contexts);
+    const auto t1 = std::chrono::steady_clock::now();
+    AppCache::Entry entry;
+    entry.app_config = result.app_config;
+    entry.query_configs = result.query_configs;
+    cache.Put(app.artifact_id, entry);
+    const auto t2 = std::chrono::steady_clock::now();
+    (void)cache.Get(app.artifact_id);
+    const auto t3 = std::chrono::steady_clock::now();
+
+    // Phase 3: evaluate.
+    const double default_sec =
+        AppSeconds(&sim, app, app_space.Defaults(),
+                   std::vector<ConfigVector>(app.queries.size(),
+                                             query_space.Defaults()));
+    const double tuned_sec =
+        AppSeconds(&sim, app, result.app_config, result.query_configs);
+    table.AddRow({app.artifact_id, std::to_string(app.queries.size()),
+                  common::TextTable::FormatDouble(default_sec, 2),
+                  common::TextTable::FormatDouble(tuned_sec, 2),
+                  common::TextTable::FormatDouble(
+                      100.0 * (default_sec - tuned_sec) / default_sec, 1)});
+    const double opt_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    const double hit_us =
+        std::chrono::duration<double, std::micro>(t3 - t2).count();
+    std::printf("%s: Algorithm 2 took %.0f us; app_cache hit %.2f us "
+                "(%.0fx cheaper)\n",
+                app.artifact_id.c_str(), opt_us, hit_us,
+                opt_us / std::max(0.01, hit_us));
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

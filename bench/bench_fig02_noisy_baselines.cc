@@ -1,0 +1,89 @@
+// Figure 2: convergence of vanilla Bayesian Optimization and FLOW2 on the
+// synthetic convex function under production noise (FL = SL = 1). The paper
+// reports poor convergence for both: high medians and very wide 5th-95th
+// percentile bands. Series below give the true performance of the executed
+// configuration per iteration across seeded runs.
+//
+// Paper scale: 200 runs x ~500 iterations. Defaults here are laptop-sized;
+// override with ROCKHOPPER_RUNS / ROCKHOPPER_ITERS.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/bo_tuner.h"
+#include "core/flow2_tuner.h"
+#include "sparksim/synthetic.h"
+
+using namespace rockhopper;           // NOLINT(build/namespaces)
+using namespace rockhopper::core;     // NOLINT(build/namespaces)
+using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
+
+namespace {
+
+// Runs `make_tuner` for all seeds; returns per-iteration true performance,
+// indexed [iteration][run].
+template <typename MakeTuner>
+std::vector<std::vector<double>> RunSeries(const SyntheticFunction& f,
+                                           int runs, int iters,
+                                           MakeTuner make_tuner) {
+  std::vector<std::vector<double>> series(
+      static_cast<size_t>(iters));
+  for (int s = 0; s < runs; ++s) {
+    auto tuner = make_tuner(s);
+    common::Rng noise_rng(7000 + s);
+    for (int t = 0; t < iters; ++t) {
+      const ConfigVector c = tuner->Propose(1.0);
+      tuner->Observe(c, 1.0,
+                     f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
+      series[static_cast<size_t>(t)].push_back(f.TruePerformance(c, 1.0));
+    }
+  }
+  return series;
+}
+
+void PrintSeries(const char* name,
+                 const std::vector<std::vector<double>>& series,
+                 double optimal) {
+  std::printf("-- %s --\n", name);
+  common::TextTable table;
+  table.SetHeader({"iteration", "median", "p05", "p95"});
+  const int iters = static_cast<int>(series.size());
+  for (int t = 0; t < iters; t += std::max(1, iters / 12)) {
+    bench::AddSeriesRow(&table, t, series[static_cast<size_t>(t)]);
+  }
+  bench::AddSeriesRow(&table, iters - 1, series.back());
+  table.Print();
+  const common::Summary last = common::Summarize(series.back());
+  std::printf("final median/optimal = %.2f, band width (p95-p05)/optimal = "
+              "%.2f\n\n",
+              last.median / optimal, (last.p95 - last.p05) / optimal);
+}
+
+}  // namespace
+
+int main() {
+  const int runs = bench::EnvInt("ROCKHOPPER_RUNS", 30);
+  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 200);
+  bench::Banner("Figure 2: BO and FLOW2 under production noise",
+                "Expected shape: both baselines converge poorly — elevated "
+                "medians and wide 5-95% bands that do not narrow.");
+  const SyntheticFunction f = SyntheticFunction::Default();
+  const ConfigSpace& space = f.space();
+  const ConfigVector start = space.Defaults();
+  std::printf("runs=%d iterations=%d optimal=%.0f start=%.0f\n\n", runs, iters,
+              f.OptimalPerformance(1.0),
+              f.TruePerformance(start, 1.0));
+
+  const auto bo_series = RunSeries(f, runs, iters, [&](int s) {
+    return std::make_unique<BoTuner>(space, start, BoTunerOptions{}, 100 + s);
+  });
+  PrintSeries("(a) Bayesian Optimization", bo_series,
+              f.OptimalPerformance(1.0));
+
+  const auto flow2_series = RunSeries(f, runs, iters, [&](int s) {
+    return std::make_unique<Flow2Tuner>(space, start, Flow2Options{}, 200 + s);
+  });
+  PrintSeries("(b) FLOW2", flow2_series, f.OptimalPerformance(1.0));
+  return 0;
+}

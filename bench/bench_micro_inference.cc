@@ -1,0 +1,140 @@
+// Micro-benchmarks for the paper's "reducing inference latency" design goal
+// (§3.1): candidate generation, surrogate prediction, acquisition scoring,
+// embedding computation, cost-model evaluation, and the full Centroid
+// Learning propose step — the work on a query's critical submission path.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "core/centroid_learning.h"
+#include "core/embedding.h"
+#include "core/window_model.h"
+#include "ml/gaussian_process.h"
+#include "sparksim/cost_model.h"
+#include "sparksim/synthetic.h"
+#include "sparksim/workloads.h"
+
+using namespace rockhopper;           // NOLINT(build/namespaces)
+using namespace rockhopper::core;     // NOLINT(build/namespaces)
+using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
+
+namespace {
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  const ConfigSpace space = QueryLevelSpace();
+  const ConfigVector center = space.Defaults();
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.SampleNeighbor(center, 0.25, &rng));
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_EmbeddingCompute(benchmark::State& state) {
+  const QueryPlan plan = TpcdsPlan(42);
+  const EmbeddingOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEmbedding(plan, options));
+  }
+}
+BENCHMARK(BM_EmbeddingCompute);
+
+void BM_CostModelExecution(benchmark::State& state) {
+  const QueryPlan plan = TpcdsPlan(42);
+  const CostModel model;
+  const EffectiveConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ExecutionSeconds(plan, config, 1.0));
+  }
+}
+BENCHMARK(BM_CostModelExecution);
+
+void BM_GpPredict(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(2);
+  ml::Dataset data;
+  for (int i = 0; i < n; ++i) {
+    data.Add({rng.Uniform(), rng.Uniform(), rng.Uniform()}, rng.Uniform());
+  }
+  ml::GaussianProcessRegressor gp;
+  if (!gp.Fit(data).ok()) state.SkipWithError("fit failed");
+  const std::vector<double> query = {0.4, 0.5, 0.6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.PredictWithUncertainty(query));
+  }
+}
+BENCHMARK(BM_GpPredict)->Arg(20)->Arg(60);
+
+void BM_GpFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(3);
+  ml::Dataset data;
+  for (int i = 0; i < n; ++i) {
+    data.Add({rng.Uniform(), rng.Uniform(), rng.Uniform()}, rng.Uniform());
+  }
+  for (auto _ : state) {
+    ml::GaussianProcessRegressor gp;
+    benchmark::DoNotOptimize(gp.Fit(data).ok());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(20)->Arg(60);
+
+void BM_WindowModelFit(benchmark::State& state) {
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(4);
+  ObservationWindow window;
+  for (int i = 0; i < 20; ++i) {
+    Observation obs;
+    obs.config = space.Sample(&rng);
+    obs.data_size = rng.Uniform(0.5, 2.0);
+    obs.runtime = rng.Uniform(10.0, 100.0);
+    window.push_back(obs);
+  }
+  for (auto _ : state) {
+    WindowModel model(&space);
+    benchmark::DoNotOptimize(model.Fit(window).ok());
+  }
+}
+BENCHMARK(BM_WindowModelFit);
+
+void BM_CentroidLearnerPropose(benchmark::State& state) {
+  const SyntheticFunction f = SyntheticFunction::Default();
+  const ConfigSpace& space = f.space();
+  CentroidLearningOptions options;
+  CentroidLearner learner(space, space.Defaults(),
+                          std::make_unique<PseudoSurrogateScorer>(&f, 3),
+                          options, 5);
+  common::Rng rng(6);
+  for (int t = 0; t < 25; ++t) {
+    const ConfigVector c = learner.Propose(1.0);
+    learner.Observe(c, 1.0, f.Observe(c, 1.0, NoiseParams::Low(), &rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner.Propose(1.0));
+  }
+}
+BENCHMARK(BM_CentroidLearnerPropose);
+
+void BM_CentroidLearnerObserve(benchmark::State& state) {
+  const SyntheticFunction f = SyntheticFunction::Default();
+  const ConfigSpace& space = f.space();
+  CentroidLearningOptions options;
+  CentroidLearner learner(space, space.Defaults(),
+                          std::make_unique<PseudoSurrogateScorer>(&f, 3),
+                          options, 7);
+  common::Rng rng(8);
+  for (int t = 0; t < 25; ++t) {
+    const ConfigVector c = learner.Propose(1.0);
+    learner.Observe(c, 1.0, f.Observe(c, 1.0, NoiseParams::Low(), &rng));
+  }
+  for (auto _ : state) {
+    const ConfigVector c = learner.Propose(1.0);
+    learner.Observe(c, 1.0, f.Observe(c, 1.0, NoiseParams::Low(), &rng));
+  }
+}
+BENCHMARK(BM_CentroidLearnerObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

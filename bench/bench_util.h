@@ -1,0 +1,41 @@
+#ifndef ROCKHOPPER_BENCH_BENCH_UTIL_H_
+#define ROCKHOPPER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/table.h"
+
+namespace rockhopper::bench {
+
+/// Reads an integer environment override (e.g. ROCKHOPPER_RUNS) or returns
+/// `fallback`. The figure harnesses default to sizes that finish in seconds
+/// on one core; set the env vars to paper-scale for full fidelity, e.g.
+///   ROCKHOPPER_RUNS=200 ROCKHOPPER_ITERS=500 ./bench_fig02_noisy_baselines
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+/// Prints the standard harness banner.
+inline void Banner(const std::string& figure, const std::string& claim) {
+  std::printf("=== %s ===\n%s\n\n", figure.c_str(), claim.c_str());
+}
+
+/// Formats a convergence series row: iteration, median, p05, p95.
+inline void AddSeriesRow(common::TextTable* table, int iteration,
+                         const std::vector<double>& samples) {
+  const common::Summary s = common::Summarize(samples);
+  table->AddRow({std::to_string(iteration),
+                 common::TextTable::FormatDouble(s.median, 1),
+                 common::TextTable::FormatDouble(s.p05, 1),
+                 common::TextTable::FormatDouble(s.p95, 1)});
+}
+
+}  // namespace rockhopper::bench
+
+#endif  // ROCKHOPPER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// The guardrail in action (paper §4.3): some queries should not be
+// autotuned — their runtimes are dominated by external factors the
+// configuration cannot influence, so continued exploration only risks
+// regression. Rockhopper gives every query a minimum exploration budget
+// (30 iterations), then fits a runtime trend on (iteration, input size) and
+// permanently disables tuning when the trend keeps pointing up.
+//
+// This example runs two queries side by side:
+//   * a tunable query that steadily improves and keeps autotuning;
+//   * a "hostile" query whose runtime regresses for reasons unrelated to
+//     configuration (simulated external slowdown) — the guardrail disables
+//     it shortly after the minimum budget and the service reverts to the
+//     default configuration.
+//
+// Build & run:  ./build/examples/production_guardrail
+
+#include <cstdio>
+
+#include "core/tuning_service.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+using namespace rockhopper::core;      // NOLINT(build/namespaces)
+namespace sparksim = rockhopper::sparksim;
+
+int main() {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams{0.2, 0.2};
+  sparksim::SparkSimulator cluster(sim_options);
+
+  TuningServiceOptions options;
+  options.guardrail.min_iterations = 30;   // the paper's exploration budget
+  options.guardrail.regression_threshold = 0.05;
+  options.guardrail.max_strikes = 2;
+  TuningService service(space, nullptr, options, 13);
+
+  const sparksim::QueryPlan tunable = sparksim::TpchPlan(5);
+  const sparksim::QueryPlan hostile = sparksim::TpchPlan(4);
+
+  std::printf("run  tunable(s)  hostile(s)  hostile-tuning\n");
+  for (int run = 0; run < 60; ++run) {
+    // Tunable query: normal lifecycle.
+    const sparksim::ConfigVector c1 =
+        service.OnQueryStart(tunable, tunable.LeafInputBytes(1.0));
+    const sparksim::ExecutionResult r1 = cluster.ExecuteQuery(tunable, c1, 1.0);
+    service.OnQueryEnd(tunable, c1, r1.input_bytes, r1.runtime_seconds);
+
+    // Hostile query: an external slowdown grows 3% per run, regardless of
+    // what the tuner does (e.g. a failing upstream dependency).
+    const sparksim::ConfigVector c2 =
+        service.OnQueryStart(hostile, hostile.LeafInputBytes(1.0));
+    sparksim::ExecutionResult r2 = cluster.ExecuteQuery(hostile, c2, 1.0);
+    r2.runtime_seconds *= 1.0 + 0.03 * run;
+    service.OnQueryEnd(hostile, c2, r2.input_bytes, r2.runtime_seconds);
+
+    if (run % 6 == 0 || run == 59) {
+      std::printf("%3d  %9.1f  %9.1f   %s\n", run, r1.noise_free_seconds,
+                  r2.runtime_seconds,
+                  service.IsTuningEnabled(hostile.Signature())
+                      ? "enabled"
+                      : "DISABLED (defaults reinstated)");
+    }
+  }
+  std::printf("\nsummary: %zu signatures tracked, %zu disabled by the "
+              "guardrail\n",
+              service.NumSignatures(), service.NumDisabled());
+  std::printf("tunable query still autotuning: %s\n",
+              service.IsTuningEnabled(tunable.Signature()) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: tune one recurrent Spark query with Rockhopper in ~40 lines.
+//
+// The library has three moving parts you touch here:
+//   1. a workload — a physical plan with optimizer cardinality estimates
+//      (here a TPC-H-like plan from the bundled generator; in production
+//      this comes from the query optimizer);
+//   2. an execution environment — the bundled Spark simulator stands in for
+//      a live cluster: it maps (plan, config, data size) to a runtime and
+//      injects production-style noise;
+//   3. the TuningService — Rockhopper's online loop: ask it for a
+//      configuration before each run, report the observed runtime after.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/tuning_service.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+using rockhopper::core::TuningService;
+using rockhopper::core::TuningServiceOptions;
+namespace sparksim = rockhopper::sparksim;
+
+int main() {
+  // The three query-level Spark configs tuned in production:
+  // maxPartitionBytes, autoBroadcastJoinThreshold, shuffle.partitions.
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+
+  // A recurrent query and a (noisy) environment to run it in.
+  const sparksim::QueryPlan query = sparksim::TpchPlan(5);
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams{0.2, 0.3};
+  sparksim::SparkSimulator cluster(sim_options);
+
+  // The autotuner. Passing nullptr skips the offline baseline model; see
+  // tpch_suite_tuning.cc for the warm-started version.
+  TuningService rockhopper(space, /*baseline=*/nullptr,
+                           TuningServiceOptions{}, /*seed=*/42);
+
+  const double default_seconds =
+      cluster.ExecuteQuery(query, space.Defaults(), 1.0).noise_free_seconds;
+  std::printf("default configuration: %.1f s\n\n", default_seconds);
+
+  for (int run = 0; run < 40; ++run) {
+    // 1. Ask Rockhopper for the configuration of this run.
+    const sparksim::ConfigVector config =
+        rockhopper.OnQueryStart(query, query.LeafInputBytes(1.0));
+    // 2. Execute the query with it.
+    const sparksim::ExecutionResult result =
+        cluster.ExecuteQuery(query, config, 1.0);
+    // 3. Report the outcome.
+    rockhopper.OnQueryEnd(query, config, result.input_bytes,
+                          result.runtime_seconds);
+    if (run % 5 == 0 || run == 39) {
+      std::printf("run %2d: %.1f s observed (%.1f s noise-free, %+.0f%% vs "
+                  "default)\n",
+                  run, result.runtime_seconds, result.noise_free_seconds,
+                  100.0 * (default_seconds - result.noise_free_seconds) /
+                      default_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Tune a full TPC-H-like suite with the complete production pipeline:
+//
+//   offline phase: the flighting pipeline executes TPC-DS-like benchmark
+//     queries under random configurations on an experiment cluster, persists
+//     the trace to CSV (the ETL handoff), and trains the warm-start baseline
+//     model (paper §4.2);
+//   online phase: a TuningService warm-started by that baseline tunes each
+//     of the 22 TPC-H-like queries across recurring executions, the
+//     cross-benchmark transfer setting of the paper's §6.3 deployment.
+//
+// Build & run:  ./build/examples/tpch_suite_tuning
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/flighting.h"
+#include "core/tuning_service.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+using namespace rockhopper::core;      // NOLINT(build/namespaces)
+namespace sparksim = rockhopper::sparksim;
+namespace common = rockhopper::common;
+
+int main() {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+
+  // ---- Offline phase -------------------------------------------------
+  sparksim::SparkSimulator::Options offline_options;
+  offline_options.noise = sparksim::NoiseParams::Low();
+  sparksim::SparkSimulator experiment_cluster(offline_options);
+  FlightingPipeline pipeline(&experiment_cluster, space);
+
+  FlightingConfig flighting;
+  flighting.suite = FlightingConfig::Suite::kTpcds;
+  flighting.scale_factors = {0.5, 1.0};
+  flighting.configs_per_query = 4;
+  BaselineModel baseline(space);
+  auto trace = pipeline.TrainBaseline(flighting, &baseline,
+                                      /*max_samples=*/500);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "offline phase failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "rockhopper_trace.csv")
+          .string();
+  if (auto st = pipeline.ExportCsv(trace_path, *trace); !st.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("offline phase: %zu flighting records -> %s, baseline model "
+              "trained\n\n",
+              trace->size(), trace_path.c_str());
+
+  // ---- Online phase --------------------------------------------------
+  sparksim::SparkSimulator::Options online_options;
+  online_options.noise = sparksim::NoiseParams{0.3, 0.3};
+  sparksim::SparkSimulator production(online_options);
+  TuningServiceOptions service_options;
+  TuningService service(space, &baseline, service_options, 7);
+
+  const int runs_per_query = 45;
+  double default_total = 0.0, tuned_tail_total = 0.0;
+  std::printf("online phase: tuning %d queries x %d recurrences\n",
+              sparksim::kNumTpchQueries, runs_per_query);
+  for (int q = 1; q <= sparksim::kNumTpchQueries; ++q) {
+    const sparksim::QueryPlan plan = sparksim::TpchPlan(q);
+    const double default_sec =
+        production.ExecuteQuery(plan, space.Defaults(), 1.0)
+            .noise_free_seconds;
+    double tail = 0.0;
+    for (int run = 0; run < runs_per_query; ++run) {
+      const sparksim::ConfigVector config =
+          service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
+      const sparksim::ExecutionResult result =
+          production.ExecuteQuery(plan, config, 1.0);
+      service.OnQueryEnd(plan, config, result.input_bytes,
+                         result.runtime_seconds);
+      if (run >= runs_per_query - 5) tail += result.noise_free_seconds;
+    }
+    tail /= 5.0;
+    default_total += default_sec;
+    tuned_tail_total += tail;
+    std::printf("  q%-3d default %7.1f s -> tuned %7.1f s (%+5.1f%%)%s\n", q,
+                default_sec, tail,
+                100.0 * (default_sec - tail) / default_sec,
+                service.IsTuningEnabled(plan.Signature())
+                    ? ""
+                    : "  [guardrail: reverted to defaults]");
+  }
+  std::printf("\nsuite total: %.1f s -> %.1f s (%.1f%% improvement)\n",
+              default_total, tuned_tail_total,
+              100.0 * (default_total - tuned_tail_total) / default_total);
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "common/archive.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace rockhopper::common {
+
+namespace {
+
+constexpr char kHeader[] = "rockhopper-archive v1";
+
+// Hexfloat formatting round-trips doubles exactly.
+std::string DoubleToString(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+Result<double> StringToDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad double in archive: '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status ArchiveWriter::PutRaw(const std::string& key, std::string value) {
+  if (key.empty() || key.find_first_of("=\n") != std::string::npos) {
+    return Status::InvalidArgument("bad archive key: '" + key + "'");
+  }
+  if (value.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("archive values must be single-line");
+  }
+  if (!fields_.emplace(key, std::move(value)).second) {
+    return Status::AlreadyExists("duplicate archive key: " + key);
+  }
+  return Status::OK();
+}
+
+Status ArchiveWriter::PutString(const std::string& key,
+                                const std::string& value) {
+  return PutRaw(key, value);
+}
+
+Status ArchiveWriter::PutDouble(const std::string& key, double value) {
+  return PutRaw(key, DoubleToString(value));
+}
+
+Status ArchiveWriter::PutInt(const std::string& key, int64_t value) {
+  return PutRaw(key, std::to_string(value));
+}
+
+Status ArchiveWriter::PutBool(const std::string& key, bool value) {
+  return PutRaw(key, value ? "true" : "false");
+}
+
+Status ArchiveWriter::PutDoubles(const std::string& key,
+                                 const std::vector<double>& values) {
+  std::string joined;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += ',';
+    joined += DoubleToString(values[i]);
+  }
+  return PutRaw(key, std::move(joined));
+}
+
+Status ArchiveWriter::PutDoubleRows(
+    const std::string& key, const std::vector<std::vector<double>>& rows) {
+  ROCKHOPPER_RETURN_IF_ERROR(
+      PutInt(key + ".rows", static_cast<int64_t>(rows.size())));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ROCKHOPPER_RETURN_IF_ERROR(
+        PutDoubles(key + "." + std::to_string(i), rows[i]));
+  }
+  return Status::OK();
+}
+
+std::string ArchiveWriter::Finish() const {
+  std::string out(kHeader);
+  out += '\n';
+  for (const auto& [key, value] : fields_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<ArchiveReader> ArchiveReader::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing or unknown archive header");
+  }
+  ArchiveReader reader;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t sep = line.find(" = ");
+    if (sep == std::string::npos) {
+      return Status::InvalidArgument("malformed archive line " +
+                                     std::to_string(line_no));
+    }
+    const std::string key = line.substr(0, sep);
+    std::string value = line.substr(sep + 3);
+    if (!reader.fields_.emplace(key, std::move(value)).second) {
+      return Status::InvalidArgument("duplicate archive key: " + key);
+    }
+  }
+  return reader;
+}
+
+Result<std::string> ArchiveReader::GetString(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return Status::NotFound("archive key: " + key);
+  return it->second;
+}
+
+Result<double> ArchiveReader::GetDouble(const std::string& key) const {
+  ROCKHOPPER_ASSIGN_OR_RETURN(raw, GetString(key));
+  return StringToDouble(raw);
+}
+
+Result<int64_t> ArchiveReader::GetInt(const std::string& key) const {
+  ROCKHOPPER_ASSIGN_OR_RETURN(raw, GetString(key));
+  char* end = nullptr;
+  const int64_t v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer in archive: '" + raw + "'");
+  }
+  return v;
+}
+
+Result<bool> ArchiveReader::GetBool(const std::string& key) const {
+  ROCKHOPPER_ASSIGN_OR_RETURN(raw, GetString(key));
+  if (raw == "true") return true;
+  if (raw == "false") return false;
+  return Status::InvalidArgument("bad bool in archive: '" + raw + "'");
+}
+
+Result<std::vector<double>> ArchiveReader::GetDoubles(
+    const std::string& key) const {
+  ROCKHOPPER_ASSIGN_OR_RETURN(raw, GetString(key));
+  std::vector<double> out;
+  if (raw.empty()) return out;
+  size_t start = 0;
+  while (start <= raw.size()) {
+    const size_t comma = raw.find(',', start);
+    const std::string cell =
+        raw.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    ROCKHOPPER_ASSIGN_OR_RETURN(v, StringToDouble(cell));
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> ArchiveReader::GetDoubleRows(
+    const std::string& key) const {
+  ROCKHOPPER_ASSIGN_OR_RETURN(rows, GetInt(key + ".rows"));
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(row, GetDoubles(key + "." + std::to_string(i)));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace rockhopper::common

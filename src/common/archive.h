@@ -1,0 +1,68 @@
+#ifndef ROCKHOPPER_COMMON_ARCHIVE_H_
+#define ROCKHOPPER_COMMON_ARCHIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rockhopper::common {
+
+/// A minimal line-oriented key/value archive used to persist trained models
+/// (the stand-in for the paper's ONNX model files, §3.1/§5). The format is
+/// deliberately simple and human-inspectable:
+///
+///   rockhopper-archive v1
+///   <key> = <value>
+///   <key> = v1,v2,v3,...
+///
+/// Doubles round-trip exactly via hexfloat formatting. Keys are unique;
+/// writers fail on duplicates, readers on missing keys — version/schema
+/// drift surfaces as explicit errors instead of silent garbage.
+class ArchiveWriter {
+ public:
+  Status PutString(const std::string& key, const std::string& value);
+  Status PutDouble(const std::string& key, double value);
+  Status PutInt(const std::string& key, int64_t value);
+  Status PutBool(const std::string& key, bool value);
+  Status PutDoubles(const std::string& key, const std::vector<double>& values);
+  /// Rows are stored as one vector per row under "<key>.<row index>" plus a
+  /// "<key>.rows" count.
+  Status PutDoubleRows(const std::string& key,
+                       const std::vector<std::vector<double>>& rows);
+
+  /// Serializes all fields (stable order).
+  std::string Finish() const;
+
+ private:
+  Status PutRaw(const std::string& key, std::string value);
+
+  std::map<std::string, std::string> fields_;
+};
+
+class ArchiveReader {
+ public:
+  /// Parses archive text; fails on a bad header or malformed lines.
+  static Result<ArchiveReader> Parse(const std::string& text);
+
+  Result<std::string> GetString(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+  Result<std::vector<double>> GetDoubles(const std::string& key) const;
+  Result<std::vector<std::vector<double>>> GetDoubleRows(
+      const std::string& key) const;
+
+  bool Has(const std::string& key) const {
+    return fields_.find(key) != fields_.end();
+  }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_ARCHIVE_H_

@@ -1,0 +1,159 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rockhopper::common {
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("column not found: " + name);
+}
+
+Result<std::vector<double>> CsvTable::NumericColumn(
+    const std::string& name) const {
+  ROCKHOPPER_ASSIGN_OR_RETURN(idx, ColumnIndex(name));
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    const std::string& cell = row[idx];
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() || *end != '\0') {
+      return Status::InvalidArgument("non-numeric cell in column " + name +
+                                     ": '" + cell + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendCell(std::string* out, const std::string& cell) {
+  if (!NeedsQuoting(cell)) {
+    *out += cell;
+    return;
+  }
+  *out += '"';
+  for (char c : cell) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+void AppendRecord(std::string* out, const std::vector<std::string>& record) {
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendCell(out, record[i]);
+  }
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string WriteCsvString(const CsvTable& table) {
+  std::string out;
+  AppendRecord(&out, table.header);
+  for (const auto& row : table.rows) AppendRecord(&out, row);
+  return out;
+}
+
+Result<CsvTable> ParseCsvString(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&]() {
+    record.push_back(cell);
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_record = [&]() {
+    if (cell_started || !record.empty() || !cell.empty()) {
+      end_cell();
+      records.push_back(record);
+      record.clear();
+    }
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // A comma implies a (possibly empty) next cell.
+        break;
+      case '\r':
+        break;  // Tolerate CRLF.
+      case '\n':
+        end_record();
+        break;
+      default:
+        cell += c;
+        cell_started = true;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted cell");
+  end_record();
+
+  if (records.empty()) return Status::InvalidArgument("empty CSV input");
+  CsvTable table;
+  table.header = records.front();
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.header.size()) {
+      std::ostringstream msg;
+      msg << "row " << r << " has " << records[r].size()
+          << " cells, header has " << table.header.size();
+      return Status::InvalidArgument(msg.str());
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  const std::string text = WriteCsvString(table);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsvString(buf.str());
+}
+
+}  // namespace rockhopper::common

@@ -1,0 +1,41 @@
+#ifndef ROCKHOPPER_COMMON_CSV_H_
+#define ROCKHOPPER_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rockhopper::common {
+
+/// A parsed CSV file: one header row plus data rows of equal width.
+/// Used by the offline flighting pipeline to persist and reload execution
+/// traces (the paper's ETL handoff between the experiment platform and the
+/// model-training pipeline).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column, or error when absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// The named column parsed as doubles; fails on non-numeric cells.
+  Result<std::vector<double>> NumericColumn(const std::string& name) const;
+};
+
+/// Serializes a table; cells containing commas, quotes, or newlines are
+/// quoted per RFC 4180.
+std::string WriteCsvString(const CsvTable& table);
+
+/// Parses RFC 4180-style CSV text (quoted fields, escaped quotes). The first
+/// record is the header. Fails when a data row's width differs from the
+/// header's.
+Result<CsvTable> ParseCsvString(const std::string& text);
+
+/// File-based wrappers around the string forms.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_CSV_H_

@@ -1,0 +1,49 @@
+#ifndef ROCKHOPPER_COMMON_LOGGING_H_
+#define ROCKHOPPER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rockhopper::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level emitted to stderr; defaults to kWarning so library users
+/// (and the test suite) see a quiet console unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr when `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector backing the ROCKHOPPER_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rockhopper::common
+
+/// Usage: ROCKHOPPER_LOG(kInfo) << "trained model in " << ms << "ms";
+#define ROCKHOPPER_LOG(severity)                 \
+  ::rockhopper::common::internal::LogLine(      \
+      ::rockhopper::common::LogLevel::severity)
+
+#endif  // ROCKHOPPER_COMMON_LOGGING_H_

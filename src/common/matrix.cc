@@ -1,0 +1,235 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rockhopper::common {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  assert(c < cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Multiply(const std::vector<double>& v) const {
+  assert(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+void Matrix::AddDiagonal(double value) {
+  const size_t n = std::min(rows_, cols_);
+  for (size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+}
+
+namespace {
+
+// One Cholesky attempt; returns Internal when a pivot is non-positive.
+Result<Matrix> CholeskyAttempt(const Matrix& a) {
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::Internal("matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+}  // namespace
+
+Result<Matrix> CholeskyFactor(const Matrix& a, double jitter) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  Result<Matrix> r = CholeskyAttempt(a);
+  if (r.ok() || jitter <= 0.0) return r;
+  Matrix jittered = a;
+  double eps = jitter;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    jittered = a;
+    jittered.AddDiagonal(eps);
+    r = CholeskyAttempt(jittered);
+    if (r.ok()) return r;
+    eps *= 2.0;
+  }
+  return r;
+}
+
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b) {
+  const size_t n = l.rows();
+  assert(l.cols() == n && b.size() == n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> BackSubstituteTranspose(const Matrix& l,
+                                            const std::vector<double>& y) {
+  const size_t n = l.rows();
+  assert(l.cols() == n && y.size() == n);
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b,
+                                          double jitter) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch in CholeskySolve");
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(l, CholeskyFactor(a, jitter));
+  return BackSubstituteTranspose(l, ForwardSubstitute(l, b));
+}
+
+Result<std::vector<double>> GaussianSolve(Matrix a, std::vector<double> b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("GaussianSolve requires square A, |b|=n");
+  }
+  const size_t n = a.rows();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-14) {
+      return Status::Internal("singular system in GaussianSolve");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = b[i];
+    for (size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double l2) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("LeastSquares: rows(X) != |y|");
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("LeastSquares: empty design matrix");
+  }
+  const Matrix xt = x.Transpose();
+  Matrix gram = xt.Multiply(x);
+  gram.AddDiagonal(l2);
+  const std::vector<double> xty = xt.Multiply(y);
+  // The implicit jitter keeps rank-deficient designs solvable; it is far
+  // below the scale of any meaningful regularization.
+  return CholeskySolve(gram, xty, /*jitter=*/1e-10);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace rockhopper::common

@@ -1,0 +1,117 @@
+#ifndef ROCKHOPPER_COMMON_MATRIX_H_
+#define ROCKHOPPER_COMMON_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rockhopper::common {
+
+/// Dense row-major matrix of doubles. Sized for the small/medium linear
+/// systems used by the surrogate models (tens to low thousands of rows);
+/// no attempt is made at cache blocking or SIMD.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer data; all rows must be equal
+  /// length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Copies row `r` out as a vector.
+  std::vector<double> Row(size_t r) const;
+
+  /// Copies column `c` out as a vector.
+  std::vector<double> Col(size_t c) const;
+
+  Matrix Transpose() const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  std::vector<double> Multiply(const std::vector<double>& v) const;
+
+  /// Elementwise addition; requires identical shapes.
+  Matrix Add(const Matrix& other) const;
+
+  /// Adds `value` to every diagonal entry in place (ridge / jitter).
+  void AddDiagonal(double value);
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Fails with InvalidArgument for non-square input and Internal when the
+/// matrix is not positive definite (after exhausting jitter retries when
+/// `jitter` > 0: the jitter is added to the diagonal and doubled up to 8
+/// times, the standard Gaussian-process trick for near-singular kernels).
+Result<Matrix> CholeskyFactor(const Matrix& a, double jitter = 0.0);
+
+/// Solves L * y = b for y where L is lower triangular (forward substitution).
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b);
+
+/// Solves L^T * x = y where L is lower triangular (back substitution on the
+/// implicit transpose).
+std::vector<double> BackSubstituteTranspose(const Matrix& l,
+                                            const std::vector<double>& y);
+
+/// Solves A * x = b via the Cholesky factorization; A must be symmetric
+/// positive definite (jitter retries as in CholeskyFactor).
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b,
+                                          double jitter = 0.0);
+
+/// Solves a general square system A * x = b with partially pivoted Gaussian
+/// elimination. Fails with Internal on (numerically) singular systems.
+Result<std::vector<double>> GaussianSolve(Matrix a, std::vector<double> b);
+
+/// Least-squares solution of min ||X w - y||^2 + l2 * ||w||^2 via the normal
+/// equations (X^T X + l2 I) w = X^T y. `l2` >= 0; a tiny implicit jitter
+/// guards rank-deficient designs.
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double l2 = 0.0);
+
+/// Dot product; requires equal lengths.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm(const std::vector<double>& v);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_MATRIX_H_

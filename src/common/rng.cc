@@ -1,0 +1,13 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rockhopper::common {
+
+double Rng::LogUniform(double lo, double hi) {
+  assert(lo > 0.0 && hi > lo);
+  return std::exp(Uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace rockhopper::common

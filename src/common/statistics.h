@@ -1,0 +1,68 @@
+#ifndef ROCKHOPPER_COMMON_STATISTICS_H_
+#define ROCKHOPPER_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rockhopper::common {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); returns 0 for n < 2.
+double Variance(const std::vector<double>& xs);
+
+/// Square root of Variance().
+double StdDev(const std::vector<double>& xs);
+
+/// Quantile with linear interpolation between order statistics,
+/// q in [0, 1]. Returns 0 for an empty input. Does not modify `xs`.
+double Quantile(std::vector<double> xs, double q);
+
+/// Median, i.e. Quantile(xs, 0.5).
+double Median(const std::vector<double>& xs);
+
+/// Minimum / maximum; return 0 for an empty input.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Five-point summary of a sample, used by the figure harnesses to print
+/// "median with 5th-95th percentile band" series like the paper's plots.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p05 = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes all Summary fields in one pass over a copy of `xs`.
+Summary Summarize(const std::vector<double>& xs);
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for count < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Pearson correlation coefficient; returns 0 when either side is constant
+/// or the lengths differ.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_STATISTICS_H_

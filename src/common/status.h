@@ -1,0 +1,140 @@
+#ifndef ROCKHOPPER_COMMON_STATUS_H_
+#define ROCKHOPPER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rockhopper {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of status-based error propagation: no exceptions cross public
+/// API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kInternal,
+  kNotSupported,
+  kAborted,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path
+/// (no allocation); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status union, analogous to absl::StatusOr<T>. Accessing the
+/// value of an errored Result aborts in debug builds; call ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` from Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define ROCKHOPPER_RETURN_IF_ERROR(expr)            \
+  do {                                              \
+    ::rockhopper::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define ROCKHOPPER_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto lhs##_result = (expr);                       \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto& lhs = *lhs##_result
+
+}  // namespace rockhopper
+
+#endif  // ROCKHOPPER_COMMON_STATUS_H_

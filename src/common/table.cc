@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace rockhopper::common {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  const double mag = std::fabs(v);
+  if (v != 0.0 && (mag >= 1e7 || mag < 1e-4)) {
+    os.setf(std::ios::scientific);
+  } else {
+    os.setf(std::ios::fixed);
+  }
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TextTable::ToString() const {
+  size_t ncols = header_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto measure = [&widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream os;
+  auto emit = [&os, &widths, ncols](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell;
+      if (i + 1 < ncols) {
+        os << std::string(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < ncols; ++i) total += widths[i] + (i + 1 < ncols ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace rockhopper::common

@@ -1,0 +1,42 @@
+#ifndef ROCKHOPPER_COMMON_TABLE_H_
+#define ROCKHOPPER_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rockhopper::common {
+
+/// Builds aligned plain-text tables for the benchmark harnesses, which print
+/// each paper figure/table as rows on stdout.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; shorter rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddNumericRow(const std::vector<double>& row, int precision = 4);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment, a header separator, and a trailing
+  /// newline.
+  std::string ToString() const;
+
+  /// Renders ToString() to stdout.
+  void Print() const;
+
+  /// Formats a double: fixed-point with `precision` digits, trimming to
+  /// scientific notation for very large/small magnitudes.
+  static std::string FormatDouble(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_TABLE_H_

@@ -1,0 +1,85 @@
+#include "core/app_optimizer.h"
+
+#include <cassert>
+#include <limits>
+
+namespace rockhopper::core {
+
+AppLevelOptimizer::AppLevelOptimizer(const sparksim::ConfigSpace& app_space,
+                                     const sparksim::ConfigSpace& query_space,
+                                     AppLevelOptimizerOptions options,
+                                     uint64_t seed)
+    : app_space_(app_space),
+      query_space_(query_space),
+      options_(options),
+      rng_(seed) {}
+
+AppLevelOptimizer::JointResult AppLevelOptimizer::Optimize(
+    const sparksim::ConfigVector& current_app_config,
+    const std::vector<AppQueryContext>& queries) {
+  assert(!queries.empty());
+  // V: app-level candidates around the current setting (the current setting
+  // itself is candidate 0, so "keep what we have" is always scored).
+  std::vector<sparksim::ConfigVector> app_candidates;
+  app_candidates.push_back(app_space_.Clamp(current_app_config));
+  for (int i = 1; i < options_.num_app_candidates; ++i) {
+    app_candidates.push_back(app_space_.SampleNeighbor(
+        current_app_config, options_.app_step, &rng_));
+  }
+  // W_q: per-query candidates around each query's centroid. Generated once
+  // and shared across app candidates, matching Algorithm 2.
+  std::vector<std::vector<sparksim::ConfigVector>> query_candidates(
+      queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    query_candidates[q].push_back(query_space_.Clamp(queries[q].centroid));
+    for (int i = 1; i < options_.num_query_candidates; ++i) {
+      query_candidates[q].push_back(query_space_.SampleNeighbor(
+          queries[q].centroid, options_.query_step, &rng_));
+    }
+  }
+
+  JointResult best;
+  best.total_score = -std::numeric_limits<double>::infinity();
+  for (const sparksim::ConfigVector& v : app_candidates) {
+    double total = 0.0;
+    std::vector<sparksim::ConfigVector> picks(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      double best_q = -std::numeric_limits<double>::infinity();
+      size_t best_idx = 0;
+      for (size_t w = 0; w < query_candidates[q].size(); ++w) {
+        const double score = queries[q].score(v, query_candidates[q][w]);
+        if (score > best_q) {
+          best_q = score;
+          best_idx = w;
+        }
+      }
+      total += best_q;
+      picks[q] = query_candidates[q][best_idx];
+    }
+    if (total > best.total_score) {
+      best.total_score = total;
+      best.app_config = v;
+      best.query_configs = std::move(picks);
+    }
+  }
+  return best;
+}
+
+void AppCache::Put(const std::string& artifact_id, Entry entry) {
+  auto it = cache_.find(artifact_id);
+  if (it != cache_.end()) {
+    entry.generation = it->second.generation + 1;
+    it->second = std::move(entry);
+    return;
+  }
+  cache_.emplace(artifact_id, std::move(entry));
+}
+
+std::optional<AppCache::Entry> AppCache::Get(
+    const std::string& artifact_id) const {
+  auto it = cache_.find(artifact_id);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rockhopper::core

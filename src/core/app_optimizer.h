@@ -1,0 +1,85 @@
+#ifndef ROCKHOPPER_CORE_APP_OPTIMIZER_H_
+#define ROCKHOPPER_CORE_APP_OPTIMIZER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparksim/config_space.h"
+
+namespace rockhopper::core {
+
+/// Per-query input to the joint optimization of Algorithm 2.
+struct AppQueryContext {
+  /// The query's current centroid in the query-level space (the anchor for
+  /// its candidate generation W_q).
+  sparksim::ConfigVector centroid;
+  /// Acquisition f_q(v, w): scores one (app-level, query-level) candidate
+  /// pair; higher is better. Typically backed by the query's window model
+  /// or the baseline surrogate.
+  std::function<double(const sparksim::ConfigVector& app_config,
+                       const sparksim::ConfigVector& query_config)>
+      score;
+};
+
+struct AppLevelOptimizerOptions {
+  int num_app_candidates = 12;    ///< M in Algorithm 2
+  int num_query_candidates = 12;  ///< N in Algorithm 2
+  double app_step = 0.3;          ///< app-candidate neighborhood half-width
+  double query_step = 0.2;        ///< query-candidate neighborhood half-width
+};
+
+/// The joint app/query-level configuration optimizer of Algorithm 2 (§4.4):
+/// enumerates M app-level candidates around the current setting, pairs each
+/// with the best of N query-level candidates per query (Cartesian product,
+/// scored by f_q), and returns the app candidate maximizing the summed
+/// per-query scores along with each query's best pairing.
+class AppLevelOptimizer {
+ public:
+  struct JointResult {
+    sparksim::ConfigVector app_config;
+    std::vector<sparksim::ConfigVector> query_configs;
+    double total_score = 0.0;
+  };
+
+  AppLevelOptimizer(const sparksim::ConfigSpace& app_space,
+                    const sparksim::ConfigSpace& query_space,
+                    AppLevelOptimizerOptions options, uint64_t seed);
+
+  /// Runs Algorithm 2 from `current_app_config`. Requires at least one
+  /// query context.
+  JointResult Optimize(const sparksim::ConfigVector& current_app_config,
+                       const std::vector<AppQueryContext>& queries);
+
+ private:
+  const sparksim::ConfigSpace& app_space_;
+  const sparksim::ConfigSpace& query_space_;
+  AppLevelOptimizerOptions options_;
+  common::Rng rng_;
+};
+
+/// The app_cache of §4.4: pre-computed app-level configurations keyed by
+/// artifact_id, consulted at application submission to skip inference on the
+/// critical path.
+class AppCache {
+ public:
+  struct Entry {
+    sparksim::ConfigVector app_config;
+    std::vector<sparksim::ConfigVector> query_configs;
+    int generation = 0;  ///< how many times this entry has been recomputed
+  };
+
+  void Put(const std::string& artifact_id, Entry entry);
+  std::optional<Entry> Get(const std::string& artifact_id) const;
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::map<std::string, Entry> cache_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_APP_OPTIMIZER_H_

@@ -1,0 +1,93 @@
+#include "core/baseline_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/archive.h"
+
+namespace rockhopper::core {
+
+std::vector<double> BaselineModel::Features(
+    const std::vector<double>& embedding, const sparksim::ConfigVector& config,
+    double data_size) const {
+  std::vector<double> out = embedding;
+  const std::vector<double> unit = space_.Normalize(config);
+  out.insert(out.end(), unit.begin(), unit.end());
+  out.push_back(std::log1p(std::max(0.0, data_size)));
+  return out;
+}
+
+Status BaselineModel::Fit(const ml::Dataset& data) {
+  ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) return Status::InvalidArgument("empty baseline trace");
+  ml::Dataset log_data;
+  log_data.x = data.x;
+  log_data.y.reserve(data.y.size());
+  for (double r : data.y) log_data.y.push_back(std::log1p(std::max(0.0, r)));
+  return model_.Fit(log_data);
+}
+
+double BaselineModel::PredictRuntime(const std::vector<double>& embedding,
+                                     const sparksim::ConfigVector& config,
+                                     double data_size) const {
+  assert(is_fitted());
+  const double log_pred =
+      model_.Predict(Features(embedding, config, data_size));
+  return std::expm1(std::max(0.0, log_pred));
+}
+
+namespace {
+
+// A compact fingerprint of the tuned parameter set: deserializing against a
+// different space would silently misalign features.
+std::string SpaceFingerprint(const sparksim::ConfigSpace& space) {
+  std::string out;
+  for (const sparksim::ParamSpec& p : space.params()) {
+    out += p.name;
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> BaselineModel::Serialize() const {
+  if (!is_fitted()) return Status::FailedPrecondition("model not fitted");
+  common::ArchiveWriter writer;
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer.PutString("space", SpaceFingerprint(space_)));
+  ROCKHOPPER_RETURN_IF_ERROR(writer.PutBool(
+      "embedding.virtual_operators", embedding_options_.virtual_operators));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer.PutDouble("embedding.bucket_log10_width",
+                       embedding_options_.bucket_log10_width));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer.PutInt("embedding.num_buckets", embedding_options_.num_buckets));
+  ROCKHOPPER_RETURN_IF_ERROR(model_.Save("model", &writer));
+  return writer.Finish();
+}
+
+Status BaselineModel::Deserialize(const std::string& archive_text) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(reader,
+                              common::ArchiveReader::Parse(archive_text));
+  ROCKHOPPER_ASSIGN_OR_RETURN(fingerprint, reader.GetString("space"));
+  if (fingerprint != SpaceFingerprint(space_)) {
+    return Status::FailedPrecondition(
+        "archived model was trained for a different config space");
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(
+      vops, reader.GetBool("embedding.virtual_operators"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(
+      width, reader.GetDouble("embedding.bucket_log10_width"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(buckets,
+                              reader.GetInt("embedding.num_buckets"));
+  if (vops != embedding_options_.virtual_operators ||
+      width != embedding_options_.bucket_log10_width ||
+      buckets != embedding_options_.num_buckets) {
+    return Status::FailedPrecondition(
+        "archived model uses a different embedding scheme");
+  }
+  return model_.Load("model", reader);
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,72 @@
+#ifndef ROCKHOPPER_CORE_BASELINE_MODEL_H_
+#define ROCKHOPPER_CORE_BASELINE_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/embedding.h"
+#include "ml/dataset.h"
+#include "ml/kernel_ridge.h"
+#include "sparksim/config_space.h"
+
+namespace rockhopper::core {
+
+/// The offline-trained surrogate of Eq. (2):
+///   f([workload embedding, configs]) = perf,
+/// fitted on benchmark traces collected by the flighting pipeline (§4.2) and
+/// used to warm-start online tuning before any query-specific observations
+/// exist. Runtime is modeled in log space (runtimes span orders of magnitude
+/// across queries) by an RBF kernel ridge regressor.
+struct BaselineModelOptions {
+  double lengthscale = 4.0;  ///< RBF lengthscale on standardized features
+  double alpha = 0.05;       ///< kernel ridge regularization
+};
+
+class BaselineModel {
+ public:
+  using Options = BaselineModelOptions;
+
+  explicit BaselineModel(const sparksim::ConfigSpace& space,
+                         EmbeddingOptions embedding_options = {},
+                         Options options = {})
+      : space_(space),
+        embedding_options_(embedding_options),
+        model_(ml::KernelRidgeOptions{options.lengthscale, options.alpha}) {}
+
+  /// Assembles the model's feature row: embedding ++ normalized config ++
+  /// log1p(data size).
+  std::vector<double> Features(const std::vector<double>& embedding,
+                               const sparksim::ConfigVector& config,
+                               double data_size) const;
+
+  /// Trains on a flighting trace. `data` rows must already be Features()
+  /// rows; targets are raw runtimes (log is applied internally).
+  Status Fit(const ml::Dataset& data);
+
+  bool is_fitted() const { return model_.is_fitted(); }
+
+  /// Predicted runtime (seconds, original scale).
+  double PredictRuntime(const std::vector<double>& embedding,
+                        const sparksim::ConfigVector& config,
+                        double data_size) const;
+
+  const sparksim::ConfigSpace& space() const { return space_; }
+  const EmbeddingOptions& embedding_options() const {
+    return embedding_options_;
+  }
+
+  /// Serializes the trained model (the distribution artifact the paper's
+  /// Autotune Clients download, §5). Load fails when the archived model was
+  /// trained against a different config space or embedding scheme.
+  Result<std::string> Serialize() const;
+  Status Deserialize(const std::string& archive_text);
+
+ private:
+  const sparksim::ConfigSpace& space_;
+  EmbeddingOptions embedding_options_;
+  ml::KernelRidgeRegression model_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_BASELINE_MODEL_H_

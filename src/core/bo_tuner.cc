@@ -1,0 +1,87 @@
+#include "core/bo_tuner.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rockhopper::core {
+
+BoTuner::BoTuner(const sparksim::ConfigSpace& space,
+                 sparksim::ConfigVector start, BoTunerOptions options,
+                 uint64_t seed, const BaselineModel* baseline,
+                 std::vector<double> embedding)
+    : space_(space),
+      start_(space.Clamp(std::move(start))),
+      options_(options),
+      rng_(seed),
+      baseline_(baseline),
+      embedding_(std::move(embedding)),
+      gp_(options.gp),
+      best_runtime_(std::numeric_limits<double>::infinity()) {}
+
+std::vector<double> BoTuner::Features(const sparksim::ConfigVector& config,
+                                      double data_size) const {
+  std::vector<double> features = space_.Normalize(config);
+  if (options_.data_size_feature) {
+    features.push_back(std::log1p(std::max(0.0, data_size)));
+  }
+  return features;
+}
+
+sparksim::ConfigVector BoTuner::Propose(double expected_data_size) {
+  if (iteration_ == 0) return start_;
+  if (iteration_ <= options_.init_random || !gp_.is_fitted()) {
+    return space_.Sample(&rng_);
+  }
+  const bool baseline_ready = baseline_ != nullptr && baseline_->is_fitted() &&
+                              !embedding_.empty();
+  const double gp_weight = std::min(
+      1.0, static_cast<double>(history_.size()) / 10.0);
+  sparksim::ConfigVector best_candidate = space_.Sample(&rng_);
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < options_.candidate_pool; ++i) {
+    sparksim::ConfigVector candidate = space_.Sample(&rng_);
+    const ml::Prediction pred =
+        gp_.PredictWithUncertainty(Features(candidate, expected_data_size));
+    double score =
+        ml::AcquisitionScore(options_.acquisition, pred, best_runtime_);
+    if (baseline_ready && gp_weight < 1.0) {
+      const double baseline_runtime = baseline_->PredictRuntime(
+          embedding_, candidate, expected_data_size);
+      score = gp_weight * score +
+              (1.0 - gp_weight) *
+                  ml::AcquisitionScore(options_.acquisition,
+                                       ml::Prediction{baseline_runtime, 0.0},
+                                       best_runtime_);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_candidate = std::move(candidate);
+    }
+  }
+  return best_candidate;
+}
+
+void BoTuner::Observe(const sparksim::ConfigVector& config, double data_size,
+                      double runtime) {
+  Observation obs;
+  obs.config = config;
+  obs.data_size = data_size;
+  obs.runtime = runtime;
+  obs.iteration = iteration_++;
+  history_.push_back(std::move(obs));
+  best_runtime_ = std::min(best_runtime_, runtime);
+
+  ml::Dataset data;
+  const size_t start = history_.size() > options_.max_window
+                           ? history_.size() - options_.max_window
+                           : 0;
+  for (size_t i = start; i < history_.size(); ++i) {
+    data.Add(Features(history_[i].config, history_[i].data_size),
+             history_[i].runtime);
+  }
+  // Refit failures keep the previous surrogate; proposals fall back to
+  // random sampling until a fit succeeds.
+  (void)gp_.Fit(data);
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,72 @@
+#ifndef ROCKHOPPER_CORE_BO_TUNER_H_
+#define ROCKHOPPER_CORE_BO_TUNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/baseline_model.h"
+#include "core/observation.h"
+#include "core/tuner.h"
+#include "ml/acquisition.h"
+#include "ml/gaussian_process.h"
+
+namespace rockhopper::core {
+
+struct BoTunerOptions {
+  ml::AcquisitionOptions acquisition;
+  ml::GaussianProcessOptions gp;
+  /// Random candidates scored per iteration (global search, unrestricted —
+  /// the property that makes vanilla BO jumpy under noise, Fig. 2a).
+  int candidate_pool = 64;
+  /// Initial design: iteration 0 proposes the start config, then this many
+  /// random probes before the GP takes over.
+  int init_random = 3;
+  /// Cap on GP training rows (GP fits are O(n^3)).
+  size_t max_window = 80;
+  /// Contextual BO: append log1p(data size) to the GP features so the model
+  /// separates config effects from input-size effects.
+  bool data_size_feature = false;
+};
+
+/// Vanilla / Contextual Bayesian Optimization baseline (paper §4.1, Fig. 2a,
+/// Fig. 12-13): a GP surrogate with an acquisition function over a global
+/// random candidate pool. When constructed with a BaselineModel and a
+/// workload embedding, the baseline's transfer-learned predictions are
+/// blended in while query-specific evidence is scarce (the warm-start of
+/// §4.2/Fig. 12).
+class BoTuner : public Tuner {
+ public:
+  BoTuner(const sparksim::ConfigSpace& space, sparksim::ConfigVector start,
+          BoTunerOptions options, uint64_t seed,
+          const BaselineModel* baseline = nullptr,
+          std::vector<double> embedding = {});
+
+  sparksim::ConfigVector Propose(double expected_data_size) override;
+  void Observe(const sparksim::ConfigVector& config, double data_size,
+               double runtime) override;
+  std::string name() const override {
+    return options_.data_size_feature ? "contextual-bo" : "bo";
+  }
+
+  const ObservationWindow& history() const { return history_; }
+
+ private:
+  std::vector<double> Features(const sparksim::ConfigVector& config,
+                               double data_size) const;
+
+  const sparksim::ConfigSpace& space_;
+  sparksim::ConfigVector start_;
+  BoTunerOptions options_;
+  common::Rng rng_;
+  const BaselineModel* baseline_;
+  std::vector<double> embedding_;
+  ml::GaussianProcessRegressor gp_;
+  ObservationWindow history_;
+  double best_runtime_;
+  int iteration_ = 0;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_BO_TUNER_H_

@@ -1,0 +1,91 @@
+#include "core/centroid_learning.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rockhopper::core {
+
+CentroidLearner::CentroidLearner(const sparksim::ConfigSpace& space,
+                                 sparksim::ConfigVector initial_centroid,
+                                 std::unique_ptr<CandidateScorer> scorer,
+                                 CentroidLearningOptions options, uint64_t seed)
+    : space_(space),
+      options_(options),
+      centroid_(space.Clamp(std::move(initial_centroid))),
+      scorer_(std::move(scorer)),
+      rng_(seed),
+      best_runtime_(std::numeric_limits<double>::infinity()),
+      alpha_(options.alpha),
+      beta_(options.beta) {}
+
+sparksim::ConfigVector CentroidLearner::Propose(double expected_data_size) {
+  // Candidate 0 is the centroid itself, so "stay put" is always on the
+  // table; the rest are drawn from the beta-neighborhood.
+  last_candidates_.clear();
+  last_candidates_.push_back(centroid_);
+  for (int i = 1; i < options_.num_candidates; ++i) {
+    last_candidates_.push_back(
+        space_.SampleNeighbor(centroid_, beta_, &rng_));
+  }
+  const size_t pick = scorer_->SelectBest(last_candidates_, expected_data_size,
+                                          best_runtime_);
+  return last_candidates_[pick < last_candidates_.size() ? pick : 0];
+}
+
+void CentroidLearner::Observe(const sparksim::ConfigVector& config,
+                              double data_size, double runtime) {
+  Observation obs;
+  obs.config = config;
+  obs.data_size = data_size;
+  obs.runtime = runtime;
+  obs.iteration = iteration_++;
+  history_.push_back(std::move(obs));
+  const size_t window =
+      static_cast<size_t>(std::max(1, options_.window_size));
+  if (history_.size() > window) {
+    history_.erase(history_.begin());
+  }
+  best_runtime_ = std::min(best_runtime_, runtime);
+  if (options_.elite_size > 0) {
+    // Keep the all-time-best observations by size-normalized runtime; under
+    // one-sided production noise these are also the least-noisy samples.
+    elites_.push_back(history_.back());
+    std::sort(elites_.begin(), elites_.end(),
+              [](const Observation& a, const Observation& b) {
+                return a.runtime / std::max(1e-12, a.data_size) <
+                       b.runtime / std::max(1e-12, b.data_size);
+              });
+    if (elites_.size() > static_cast<size_t>(options_.elite_size)) {
+      elites_.resize(static_cast<size_t>(options_.elite_size));
+    }
+  }
+  scorer_->Update(history_);
+  if (options_.update_every > 0 && iteration_ % options_.update_every == 0) {
+    MaybeUpdateCentroid(data_size);
+  }
+  alpha_ = std::max(options_.min_alpha, alpha_ * options_.step_decay);
+  beta_ = std::max(options_.min_beta, beta_ * options_.step_decay);
+}
+
+void CentroidLearner::MaybeUpdateCentroid(double reference_data_size) {
+  ObservationWindow window = history_;
+  window.insert(window.end(), elites_.begin(), elites_.end());
+  Result<Observation> best =
+      FindBest(space_, window, options_.find_best_version,
+               reference_data_size);
+  if (!best.ok()) return;
+  const sparksim::ConfigVector& c_star = best->config;
+  Result<GradientSigns> gradient =
+      FindGradient(space_, window, options_.gradient_method, c_star,
+                   reference_data_size, alpha_);
+  if (!gradient.ok()) {
+    // Not enough observations for a gradient yet: anchor on the best point.
+    centroid_ = c_star;
+    return;
+  }
+  last_gradient_ = *gradient;
+  centroid_ = UpdateCentroid(space_, c_star, last_gradient_, alpha_,
+                             options_.multiplicative_update);
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,109 @@
+#ifndef ROCKHOPPER_CORE_CENTROID_LEARNING_H_
+#define ROCKHOPPER_CORE_CENTROID_LEARNING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/find_best.h"
+#include "core/find_gradient.h"
+#include "core/observation.h"
+#include "core/scorer.h"
+#include "core/tuner.h"
+
+namespace rockhopper::core {
+
+/// Knobs of Algorithm 1.
+struct CentroidLearningOptions {
+  /// Centroid update step (the momentum-like overshoot factor alpha).
+  double alpha = 0.25;
+  /// Candidate-generation step (beta): the relative half-width of the
+  /// neighborhood around the centroid from which candidates are drawn.
+  /// Restricting exploration to this box is the paper's key regression
+  /// guardrail — no drastic jumps into unknown regions.
+  double beta = 0.35;
+  /// N: observations retained for FIND_BEST / FIND_GRADIENT. The paper
+  /// recommends 10-20 under production noise.
+  int window_size = 15;
+  /// Candidates generated per iteration (the centroid itself is included
+  /// as candidate 0).
+  int num_candidates = 16;
+  FindBestVersion find_best_version = FindBestVersion::kModelPredicted;
+  GradientMethod gradient_method = GradientMethod::kModelSign;
+  /// Multiplicative (Eq. 6 form) vs. literal-additive centroid update; see
+  /// find_gradient.h.
+  bool multiplicative_update = true;
+  /// Iterations between centroid updates (1 = every observation).
+  int update_every = 1;
+  /// Per-iteration multiplicative decay applied to alpha and beta, with the
+  /// floors below. Fixed steps leave the centroid in a stationary band whose
+  /// width is the step size; a gentle decay tightens the band as evidence
+  /// accumulates (stochastic-approximation schedule). Set to 1.0 for the
+  /// constant-step form of Algorithm 1.
+  double step_decay = 0.992;
+  double min_alpha = 0.04;
+  double min_beta = 0.06;
+  /// Extension beyond Algorithm 1's latest-N window: also keep this many
+  /// all-time-best observations (by size-normalized runtime) in the
+  /// FIND_BEST/FIND_GRADIENT window. Under the paper's one-sided noise the
+  /// lowest observations are the least-noisy ones, so a small elite memory
+  /// ratchets the anchor the way direct-search incumbents do. 0 disables.
+  int elite_size = 3;
+};
+
+/// The Centroid Learning tuner (paper Algorithm 1): a hybrid of
+/// model-guided search (a CandidateScorer picks within a restricted
+/// neighborhood of the centroid) and statistically robust gradient descent
+/// (the centroid moves from the windowed best configuration c* against a
+/// gradient fitted on the whole window, overshooting by alpha to escape
+/// local minima).
+class CentroidLearner : public Tuner {
+ public:
+  /// `scorer` is owned; `initial_centroid` is typically the default config
+  /// (cold start) or a known-good configuration.
+  CentroidLearner(const sparksim::ConfigSpace& space,
+                  sparksim::ConfigVector initial_centroid,
+                  std::unique_ptr<CandidateScorer> scorer,
+                  CentroidLearningOptions options, uint64_t seed);
+
+  sparksim::ConfigVector Propose(double expected_data_size) override;
+  void Observe(const sparksim::ConfigVector& config, double data_size,
+               double runtime) override;
+  std::string name() const override { return "centroid-learning"; }
+
+  const sparksim::ConfigVector& centroid() const { return centroid_; }
+  const ObservationWindow& history() const { return history_; }
+  int iteration() const { return iteration_; }
+  /// Current (decayed) step sizes.
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  /// The most recent gradient signs (empty before the first update).
+  const GradientSigns& last_gradient() const { return last_gradient_; }
+
+  /// Exposes the candidate set generated for the latest Propose (for tests
+  /// and the monitoring dashboard's "explain this recommendation" view).
+  const std::vector<sparksim::ConfigVector>& last_candidates() const {
+    return last_candidates_;
+  }
+
+ private:
+  void MaybeUpdateCentroid(double reference_data_size);
+
+  const sparksim::ConfigSpace& space_;
+  CentroidLearningOptions options_;
+  sparksim::ConfigVector centroid_;
+  std::unique_ptr<CandidateScorer> scorer_;
+  common::Rng rng_;
+  ObservationWindow history_;
+  ObservationWindow elites_;  // all-time best by size-normalized runtime
+  std::vector<sparksim::ConfigVector> last_candidates_;
+  GradientSigns last_gradient_;
+  double best_runtime_;
+  double alpha_;
+  double beta_;
+  int iteration_ = 0;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_CENTROID_LEARNING_H_

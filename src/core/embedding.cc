@@ -1,0 +1,62 @@
+#include "core/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rockhopper::core {
+
+namespace {
+
+size_t SizeBucket(const EmbeddingOptions& options, double rows) {
+  if (rows < 1.0) rows = 1.0;
+  const int bucket =
+      static_cast<int>(std::log10(rows) / options.bucket_log10_width);
+  return static_cast<size_t>(std::clamp(bucket, 0, options.num_buckets - 1));
+}
+
+}  // namespace
+
+size_t VirtualOperatorBucket(const EmbeddingOptions& options,
+                             double input_rows, double output_rows) {
+  const size_t in_b = SizeBucket(options, input_rows);
+  const size_t out_b = SizeBucket(options, output_rows);
+  return in_b * static_cast<size_t>(options.num_buckets) + out_b;
+}
+
+size_t EmbeddingLength(const EmbeddingOptions& options) {
+  const size_t per_type =
+      options.virtual_operators
+          ? static_cast<size_t>(options.num_buckets) *
+                static_cast<size_t>(options.num_buckets)
+          : 1;
+  return 2 + sparksim::kNumOperatorTypes * per_type;
+}
+
+std::vector<double> ComputeEmbedding(const sparksim::QueryPlan& plan,
+                                     const EmbeddingOptions& options,
+                                     double scale_factor) {
+  std::vector<double> out(EmbeddingLength(options), 0.0);
+  if (plan.empty()) return out;
+  out[0] = std::log1p(plan.RootCardinality(scale_factor));
+  out[1] = std::log1p(plan.LeafInputCardinality(scale_factor));
+  const size_t per_type =
+      options.virtual_operators
+          ? static_cast<size_t>(options.num_buckets) *
+                static_cast<size_t>(options.num_buckets)
+          : 1;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const sparksim::PlanNode& n = plan.node(i);
+    const size_t type_base =
+        2 + static_cast<size_t>(n.type) * per_type;
+    size_t slot = type_base;
+    if (options.virtual_operators) {
+      slot += VirtualOperatorBucket(options,
+                                    plan.InputRows(i) * scale_factor,
+                                    n.est_output_rows * scale_factor);
+    }
+    out[slot] += 1.0;
+  }
+  return out;
+}
+
+}  // namespace rockhopper::core

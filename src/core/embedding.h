@@ -1,0 +1,49 @@
+#ifndef ROCKHOPPER_CORE_EMBEDDING_H_
+#define ROCKHOPPER_CORE_EMBEDDING_H_
+
+#include <vector>
+
+#include "sparksim/plan.h"
+
+namespace rockhopper::core {
+
+/// Workload-embedding configuration (paper §4.1). The embedding vector has
+/// three components, all derived from compile-time optimizer output:
+///   1. log of the estimated root-operator cardinality,
+///   2. log of the total input cardinality over leaf operators,
+///   3. operator-occurrence counts — either one slot per physical operator
+///      type, or, with virtual operators enabled, one slot per
+///      (operator type, input bucket, output bucket) combination, where the
+///      buckets discretize the optimizer's row estimates on a log10 grid.
+struct EmbeddingOptions {
+  /// Enables the virtual-operator refinement (§4.1, Fig. 4). Disabled, the
+  /// embedding matches the plain operator-count scheme of Phoebe [53] that
+  /// the §6.2 ablation compares against.
+  bool virtual_operators = true;
+  /// Log10 bucket width for virtual-operator input/output sizes; e.g. 2.0
+  /// buckets cardinalities as [1, 100), [100, 10^4), ... The paper fine-tunes
+  /// these thresholds end-to-end; the ablation bench sweeps this knob.
+  double bucket_log10_width = 2.0;
+  /// Number of input/output size buckets (cardinalities clamp into the last).
+  int num_buckets = 5;
+};
+
+/// Computes the workload embedding for `plan` at data-scale `factor`.
+/// Embeddings are plain feature vectors consumed as surrogate-model context;
+/// their length is fixed by `options` (EmbeddingLength), independent of the
+/// plan, so embeddings from different plans are comparable.
+std::vector<double> ComputeEmbedding(const sparksim::QueryPlan& plan,
+                                     const EmbeddingOptions& options,
+                                     double scale_factor = 1.0);
+
+/// Length of vectors produced by ComputeEmbedding with these options.
+size_t EmbeddingLength(const EmbeddingOptions& options);
+
+/// The virtual-operator index for a node with the given input/output rows:
+/// flattens (input bucket, output bucket) onto [0, num_buckets^2).
+size_t VirtualOperatorBucket(const EmbeddingOptions& options, double input_rows,
+                             double output_rows);
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_EMBEDDING_H_

@@ -1,0 +1,163 @@
+#include "core/flighting.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace rockhopper::core {
+
+FlightingPipeline::FlightingPipeline(sparksim::SparkSimulator* simulator,
+                                     const sparksim::ConfigSpace& space,
+                                     EmbeddingOptions embedding_options)
+    : simulator_(simulator),
+      space_(space),
+      embedding_options_(embedding_options) {}
+
+sparksim::QueryPlan FlightingPipeline::PlanFor(FlightingConfig::Suite suite,
+                                               int query_id) {
+  return suite == FlightingConfig::Suite::kTpch
+             ? sparksim::TpchPlan(query_id)
+             : sparksim::TpcdsPlan(query_id);
+}
+
+std::vector<FlightingRecord> FlightingPipeline::Run(
+    const FlightingConfig& config) {
+  std::vector<int> query_ids = config.query_ids;
+  if (query_ids.empty()) {
+    const int count = config.suite == FlightingConfig::Suite::kTpch
+                          ? sparksim::kNumTpchQueries
+                          : sparksim::kNumTpcdsQueries;
+    for (int q = 1; q <= count; ++q) query_ids.push_back(q);
+  }
+  common::Rng rng(config.seed);
+  std::vector<FlightingRecord> records;
+  for (int query_id : query_ids) {
+    const sparksim::QueryPlan plan = PlanFor(config.suite, query_id);
+    for (double scale : config.scale_factors) {
+      // "Random" matches the paper's deployed pipeline; "LHS" is the
+      // space-filling alternative (stratified per dimension).
+      std::vector<sparksim::ConfigVector> candidates;
+      if (config.config_generation == "LHS") {
+        candidates = space_.LatinHypercubeSample(
+            static_cast<size_t>(config.configs_per_query), &rng);
+      } else {
+        for (int c = 0; c < config.configs_per_query; ++c) {
+          candidates.push_back(space_.Sample(&rng));
+        }
+      }
+      for (const sparksim::ConfigVector& candidate : candidates) {
+        for (int run = 0; run < config.runs_per_config; ++run) {
+          const sparksim::ExecutionResult result =
+              simulator_->ExecuteQuery(plan, candidate, scale);
+          FlightingRecord record;
+          record.query_id = query_id;
+          record.signature = plan.Signature();
+          record.config = candidate;
+          record.data_size = result.input_bytes;
+          record.runtime = result.runtime_seconds;
+          records.push_back(std::move(record));
+        }
+      }
+    }
+  }
+  return records;
+}
+
+ml::Dataset FlightingPipeline::ToTrainingData(
+    const std::vector<FlightingRecord>& records, FlightingConfig::Suite suite,
+    const BaselineModel& model_spec) const {
+  ml::Dataset data;
+  // Embeddings are per query id; cache them (scale factor 1: embeddings use
+  // compile-time estimates, data size enters as its own feature).
+  std::map<int, std::vector<double>> embeddings;
+  for (const FlightingRecord& record : records) {
+    auto it = embeddings.find(record.query_id);
+    if (it == embeddings.end()) {
+      it = embeddings
+               .emplace(record.query_id,
+                        ComputeEmbedding(PlanFor(suite, record.query_id),
+                                         embedding_options_))
+               .first;
+    }
+    data.Add(model_spec.Features(it->second, record.config, record.data_size),
+             record.runtime);
+  }
+  return data;
+}
+
+Result<std::vector<FlightingRecord>> FlightingPipeline::TrainBaseline(
+    const FlightingConfig& config, BaselineModel* model, int max_samples) {
+  std::vector<FlightingRecord> records = Run(config);
+  std::vector<FlightingRecord> sampled = records;
+  if (max_samples > 0 && static_cast<size_t>(max_samples) < sampled.size()) {
+    common::Rng rng(config.seed ^ 0xabcdef);
+    rng.Shuffle(&sampled);
+    sampled.resize(static_cast<size_t>(max_samples));
+  }
+  const ml::Dataset data = ToTrainingData(sampled, config.suite, *model);
+  ROCKHOPPER_RETURN_IF_ERROR(model->Fit(data));
+  return records;
+}
+
+Status FlightingPipeline::ExportCsv(
+    const std::string& path,
+    const std::vector<FlightingRecord>& records) const {
+  common::CsvTable table;
+  table.header = {"query_id", "signature", "data_size", "runtime"};
+  for (const sparksim::ParamSpec& p : space_.params()) {
+    table.header.push_back(p.name);
+  }
+  for (const FlightingRecord& record : records) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(record.query_id));
+    row.push_back(std::to_string(record.signature));
+    row.push_back(common::TextTable::FormatDouble(record.data_size, 6));
+    row.push_back(common::TextTable::FormatDouble(record.runtime, 6));
+    for (double v : record.config) {
+      row.push_back(common::TextTable::FormatDouble(v, 6));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return common::WriteCsvFile(path, table);
+}
+
+Result<std::vector<FlightingRecord>> FlightingPipeline::ImportCsv(
+    const std::string& path) const {
+  ROCKHOPPER_ASSIGN_OR_RETURN(table, common::ReadCsvFile(path));
+  if (table.header.size() != 4 + space_.size()) {
+    return Status::InvalidArgument("trace column count mismatch");
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(query_ids, table.NumericColumn("query_id"));
+  // Signatures are full 64-bit hashes: parse as integers, not doubles, to
+  // avoid precision loss above 2^53.
+  ROCKHOPPER_ASSIGN_OR_RETURN(sig_col, table.ColumnIndex("signature"));
+  std::vector<uint64_t> signatures;
+  signatures.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    signatures.push_back(std::strtoull(row[sig_col].c_str(), nullptr, 10));
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(sizes, table.NumericColumn("data_size"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(runtimes, table.NumericColumn("runtime"));
+  std::vector<std::vector<double>> config_cols;
+  for (const sparksim::ParamSpec& p : space_.params()) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(col, table.NumericColumn(p.name));
+    config_cols.push_back(col);
+  }
+  std::vector<FlightingRecord> records(table.rows.size());
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    records[i].query_id = static_cast<int>(query_ids[i]);
+    records[i].signature = signatures[i];
+    records[i].data_size = sizes[i];
+    records[i].runtime = runtimes[i];
+    records[i].config.resize(space_.size());
+    for (size_t j = 0; j < space_.size(); ++j) {
+      records[i].config[j] = config_cols[j][i];
+    }
+  }
+  return records;
+}
+
+}  // namespace rockhopper::core

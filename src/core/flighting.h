@@ -1,0 +1,88 @@
+#ifndef ROCKHOPPER_CORE_FLIGHTING_H_
+#define ROCKHOPPER_CORE_FLIGHTING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/baseline_model.h"
+#include "core/embedding.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+namespace rockhopper::core {
+
+/// Configuration of one offline flighting run, mirroring the paper's
+/// pipeline config file (§4.2): benchmark database, query set, scaling
+/// factor(s), runs, pool, and the config-generation algorithm (currently
+/// "Random", as in the paper).
+struct FlightingConfig {
+  enum class Suite { kTpch, kTpcds };
+  Suite suite = Suite::kTpcds;
+  /// Query ids to execute; empty = the whole suite.
+  std::vector<int> query_ids;
+  /// Data-scale multipliers relative to each plan's base estimates.
+  std::vector<double> scale_factors = {0.5, 1.0, 2.0};
+  /// Random configurations sampled per (query, scale).
+  int configs_per_query = 10;
+  /// Executions per sampled configuration (repeats average out noise).
+  int runs_per_config = 1;
+  std::string config_generation = "Random";
+  uint64_t seed = 17;
+};
+
+/// One row of the flighting trace — the unit the ETL job consumes.
+struct FlightingRecord {
+  int query_id = 0;
+  uint64_t signature = 0;
+  sparksim::ConfigVector config;
+  double data_size = 0.0;  ///< input bytes actually read
+  double runtime = 0.0;    ///< observed (noisy) seconds
+};
+
+/// The offline experiment platform + ETL + training pipeline of §4.2:
+/// executes benchmark queries on the simulator under random configurations,
+/// persists traces, and trains the warm-start BaselineModel.
+class FlightingPipeline {
+ public:
+  /// `simulator` must outlive the pipeline. `space` is the tuned config
+  /// space (query-level in production).
+  FlightingPipeline(sparksim::SparkSimulator* simulator,
+                    const sparksim::ConfigSpace& space,
+                    EmbeddingOptions embedding_options = {});
+
+  /// Runs the experiment matrix and returns the trace.
+  std::vector<FlightingRecord> Run(const FlightingConfig& config);
+
+  /// The ETL step: joins trace rows with their plans' embeddings into a
+  /// BaselineModel training dataset. `suite` must match the trace's origin
+  /// so plans (and hence embeddings) can be regenerated.
+  ml::Dataset ToTrainingData(const std::vector<FlightingRecord>& records,
+                             FlightingConfig::Suite suite,
+                             const BaselineModel& model_spec) const;
+
+  /// Runs + ETL + fit in one step. `max_samples` > 0 subsamples the trace
+  /// (the Fig. 12 study trains on 100/500/1000 rows).
+  Result<std::vector<FlightingRecord>> TrainBaseline(
+      const FlightingConfig& config, BaselineModel* model,
+      int max_samples = 0);
+
+  /// Trace persistence (the storage handoff between the experiment platform
+  /// and the training pipeline).
+  Status ExportCsv(const std::string& path,
+                   const std::vector<FlightingRecord>& records) const;
+  Result<std::vector<FlightingRecord>> ImportCsv(const std::string& path) const;
+
+  /// The plan a record refers to.
+  static sparksim::QueryPlan PlanFor(FlightingConfig::Suite suite,
+                                     int query_id);
+
+ private:
+  sparksim::SparkSimulator* simulator_;
+  const sparksim::ConfigSpace& space_;
+  EmbeddingOptions embedding_options_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_FLIGHTING_H_

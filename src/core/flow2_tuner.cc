@@ -1,0 +1,86 @@
+#include "core/flow2_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/matrix.h"
+
+namespace rockhopper::core {
+
+Flow2Tuner::Flow2Tuner(const sparksim::ConfigSpace& space,
+                       sparksim::ConfigVector start, Flow2Options options,
+                       uint64_t seed)
+    : space_(space),
+      options_(options),
+      rng_(seed),
+      incumbent_(space.Normalize(space.Clamp(start))),
+      incumbent_raw_(space.Clamp(std::move(start))),
+      incumbent_cost_(std::numeric_limits<double>::infinity()),
+      step_(options.initial_step) {}
+
+std::vector<double> Flow2Tuner::RandomUnitVector() {
+  std::vector<double> u(space_.size());
+  double norm = 0.0;
+  do {
+    for (double& v : u) v = rng_.Normal();
+    norm = common::Norm(u);
+  } while (norm < 1e-9);
+  for (double& v : u) v /= norm;
+  return u;
+}
+
+sparksim::ConfigVector Flow2Tuner::FromUnit(
+    const std::vector<double>& unit) const {
+  return space_.Denormalize(unit);
+}
+
+sparksim::ConfigVector Flow2Tuner::Propose(double expected_data_size) {
+  (void)expected_data_size;
+  if (first_) return incumbent_raw_;  // establish the incumbent cost
+  if (!tried_forward_) {
+    direction_ = RandomUnitVector();
+  }
+  const double sign = tried_forward_ ? -1.0 : 1.0;
+  std::vector<double> probe = incumbent_;
+  for (size_t i = 0; i < probe.size(); ++i) {
+    probe[i] = std::clamp(probe[i] + sign * step_ * direction_[i], 0.0, 1.0);
+  }
+  return FromUnit(probe);
+}
+
+void Flow2Tuner::Observe(const sparksim::ConfigVector& config,
+                         double data_size, double runtime) {
+  (void)data_size;
+  if (first_) {
+    first_ = false;
+    incumbent_cost_ = runtime;
+    incumbent_raw_ = config;
+    incumbent_ = space_.Normalize(config);
+    return;
+  }
+  if (runtime < incumbent_cost_) {
+    incumbent_cost_ = runtime;
+    incumbent_raw_ = config;
+    incumbent_ = space_.Normalize(config);
+    tried_forward_ = false;
+    fail_count_ = 0;
+    if (++success_streak_ >= 2) {
+      step_ = std::min(0.5, step_ * options_.grow);
+      success_streak_ = 0;
+    }
+    return;
+  }
+  success_streak_ = 0;
+  if (!tried_forward_) {
+    tried_forward_ = true;  // next probe is the mirrored direction
+  } else {
+    tried_forward_ = false;
+    if (++fail_count_ >= options_.patience) {
+      step_ = std::max(options_.min_step, step_ * options_.shrink);
+      fail_count_ = 0;
+    }
+  }
+}
+
+}  // namespace rockhopper::core

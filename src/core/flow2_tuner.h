@@ -1,0 +1,62 @@
+#ifndef ROCKHOPPER_CORE_FLOW2_TUNER_H_
+#define ROCKHOPPER_CORE_FLOW2_TUNER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/tuner.h"
+
+namespace rockhopper::core {
+
+struct Flow2Options {
+  /// Initial step size in normalized coordinates.
+  double initial_step = 0.1;
+  double min_step = 0.005;
+  /// Step shrink factor after a full failed direction cycle.
+  double shrink = 0.7;
+  /// Step growth factor after consecutive improvements.
+  double grow = 1.4;
+  /// Failed proposals (u then -u counted separately) before shrinking.
+  int patience = 4;
+};
+
+/// FLOW2-style randomized direct search (Wu et al., AAAI'21), the gradient-
+/// descent baseline of Fig. 2b. From an incumbent x it probes x + s*u for a
+/// random unit direction u; on failure it tries the opposite direction
+/// x - s*u; the step s grows on success streaks and shrinks after repeated
+/// failures. Decisions compare *single* noisy observations — precisely the
+/// fragility the paper's noise study exposes.
+class Flow2Tuner : public Tuner {
+ public:
+  Flow2Tuner(const sparksim::ConfigSpace& space, sparksim::ConfigVector start,
+             Flow2Options options, uint64_t seed);
+
+  sparksim::ConfigVector Propose(double expected_data_size) override;
+  void Observe(const sparksim::ConfigVector& config, double data_size,
+               double runtime) override;
+  std::string name() const override { return "flow2"; }
+
+  double step_size() const { return step_; }
+  const sparksim::ConfigVector& incumbent() const { return incumbent_raw_; }
+
+ private:
+  std::vector<double> RandomUnitVector();
+  sparksim::ConfigVector FromUnit(const std::vector<double>& unit) const;
+
+  const sparksim::ConfigSpace& space_;
+  Flow2Options options_;
+  common::Rng rng_;
+  std::vector<double> incumbent_;      // normalized coordinates
+  sparksim::ConfigVector incumbent_raw_;
+  double incumbent_cost_;
+  std::vector<double> direction_;
+  bool tried_forward_ = false;         // the -u probe is pending
+  double step_;
+  int fail_count_ = 0;
+  int success_streak_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_FLOW2_TUNER_H_

@@ -1,0 +1,81 @@
+#include "core/guardrail.h"
+
+#include <cmath>
+
+#include "ml/linear_regression.h"
+
+namespace rockhopper::core {
+
+namespace {
+
+// The trend decomposition behind §4.3's regression model on "iteration
+// number and input cardinality". Two stages instead of one joint fit:
+// input size and iteration are often collinear in production (data grows as
+// the query recurs), and a joint fit would split the blame arbitrarily.
+// Fitting data size first deliberately attributes as much runtime growth as
+// possible to the input, so only growth the input cannot explain counts
+// against the tuner — the conservative direction for a guardrail.
+struct TrendFit {
+  bool ok = false;
+  ml::LinearRegression size_model{1e-8};    // runtime ~ data size
+  ml::LinearRegression trend_model{1e-8};   // residual ~ iteration
+  double mean_runtime = 0.0;
+};
+
+TrendFit FitTrend(const std::vector<Observation>& history) {
+  TrendFit fit;
+  if (history.size() < 3) return fit;
+  ml::Dataset size_data;
+  double sum = 0.0;
+  for (const Observation& obs : history) {
+    size_data.Add({obs.data_size}, obs.runtime);
+    sum += obs.runtime;
+  }
+  fit.mean_runtime = sum / static_cast<double>(history.size());
+  if (!fit.size_model.Fit(size_data).ok()) return fit;
+  ml::Dataset trend_data;
+  for (const Observation& obs : history) {
+    const double residual =
+        obs.runtime - fit.size_model.Predict({obs.data_size});
+    trend_data.Add({static_cast<double>(obs.iteration)}, residual);
+  }
+  if (!fit.trend_model.Fit(trend_data).ok()) return fit;
+  fit.ok = true;
+  return fit;
+}
+
+}  // namespace
+
+double Guardrail::PredictNextRuntime() const {
+  const TrendFit fit = FitTrend(history_);
+  if (!fit.ok) return -1.0;
+  const Observation& last = history_.back();
+  return fit.size_model.Predict({last.data_size}) +
+         fit.trend_model.Predict({static_cast<double>(last.iteration + 1)});
+}
+
+bool Guardrail::Record(const Observation& obs) {
+  if (disabled_) return false;
+  history_.push_back(obs);
+  if (static_cast<int>(history_.size()) <= options_.min_iterations) {
+    return true;
+  }
+  const TrendFit fit = FitTrend(history_);
+  if (!fit.ok) return true;
+  // Projected cumulative regression attributable to tuning: the iteration
+  // trend extrapolated over the whole history. A positive drift exceeding
+  // `regression_threshold` of the typical runtime is a strike.
+  const double slope = fit.trend_model.coefficients()[0];
+  const double projected_drift =
+      slope * static_cast<double>(history_.back().iteration + 1);
+  if (projected_drift >
+      options_.regression_threshold * std::fabs(fit.mean_runtime)) {
+    ++strikes_;
+    if (strikes_ >= options_.max_strikes) disabled_ = true;
+  } else {
+    strikes_ = 0;
+  }
+  return !disabled_;
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,62 @@
+#ifndef ROCKHOPPER_CORE_GUARDRAIL_H_
+#define ROCKHOPPER_CORE_GUARDRAIL_H_
+
+#include <vector>
+
+#include "core/observation.h"
+
+namespace rockhopper::core {
+
+/// The production guardrail of §4.3: a per-query watchdog that disables
+/// autotuning when observations indicate persistent regression instead of
+/// improvement.
+///
+/// After a minimum exploration budget (30 iterations, so every query gets a
+/// fair chance even through early noise), a regression of runtime on input
+/// cardinality and iteration number is fitted over the history, per §4.3.
+/// The fit is two-stage — data size first, then the iteration trend on the
+/// residual — so runtime growth explainable by growing inputs is never
+/// blamed on the tuner. A strike is recorded when the iteration trend,
+/// projected over the history, exceeds `regression_threshold` of the typical
+/// runtime (a de-noised version of the paper's "predicted next exceeds the
+/// previous execution" check, robust to spike noise); `max_strikes`
+/// consecutive strikes disable tuning permanently and the caller reinstates
+/// the defaults.
+struct GuardrailOptions {
+  int min_iterations = 30;
+  /// Relative excess of predicted-next over previous runtime that counts
+  /// as a regression signal (0.1 = 10%).
+  double regression_threshold = 0.1;
+  /// Consecutive regression signals before tuning is disabled.
+  int max_strikes = 3;
+};
+
+class Guardrail {
+ public:
+  using Options = GuardrailOptions;
+
+  explicit Guardrail(Options options = {}) : options_(options) {}
+
+  /// Feeds one completed execution. Returns true while tuning may continue,
+  /// false once disabled (sticky).
+  bool Record(const Observation& obs);
+
+  bool disabled() const { return disabled_; }
+  int strikes() const { return strikes_; }
+  const Options& options() const { return options_; }
+
+  /// The runtime the trend model predicts for the next iteration, or a
+  /// negative value when the model cannot be fitted yet. Exposed for the
+  /// monitoring dashboard and tests.
+  double PredictNextRuntime() const;
+
+ private:
+  Options options_;
+  std::vector<Observation> history_;
+  bool disabled_ = false;
+  int strikes_ = 0;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_GUARDRAIL_H_

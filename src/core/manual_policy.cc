@@ -1,0 +1,57 @@
+#include "core/manual_policy.h"
+
+#include <limits>
+
+namespace rockhopper::core {
+
+ExpertPolicyTuner::ExpertPolicyTuner(const sparksim::ConfigSpace& space,
+                                     sparksim::ConfigVector start,
+                                     Options options, uint64_t seed)
+    : space_(space),
+      options_(options),
+      rng_(seed),
+      best_config_(space.Clamp(std::move(start))),
+      best_runtime_(std::numeric_limits<double>::infinity()) {}
+
+sparksim::ConfigVector ExpertPolicyTuner::Propose(double expected_data_size) {
+  (void)expected_data_size;
+  if (iteration_ == 0) return best_config_;  // start with the defaults
+
+  const int sweep_total =
+      static_cast<int>(space_.size()) * options_.sweep_points;
+  if (iteration_ <= sweep_total) {
+    // Phase 2: hold everything at the best known point, move one dimension
+    // through evenly spread values.
+    std::vector<double> unit = space_.Normalize(best_config_);
+    unit[sweep_dim_] = (static_cast<double>(sweep_point_) + 0.5) /
+                       static_cast<double>(options_.sweep_points);
+    // Humans don't hit grid values exactly; jitter a little.
+    unit[sweep_dim_] += rng_.Normal(0.0, 0.04);
+    return space_.Denormalize(unit);
+  }
+  // Phase 3: refine locally, with an occasional intuition jump.
+  if (rng_.Bernoulli(options_.exploration)) {
+    return space_.Sample(&rng_);
+  }
+  return space_.SampleNeighbor(best_config_, options_.refine_step, &rng_);
+}
+
+void ExpertPolicyTuner::Observe(const sparksim::ConfigVector& config,
+                                double data_size, double runtime) {
+  (void)data_size;
+  ++iteration_;
+  const int sweep_total =
+      static_cast<int>(space_.size()) * options_.sweep_points;
+  if (iteration_ > 1 && iteration_ <= sweep_total + 1) {
+    if (++sweep_point_ >= options_.sweep_points) {
+      sweep_point_ = 0;
+      sweep_dim_ = (sweep_dim_ + 1) % space_.size();
+    }
+  }
+  if (runtime < best_runtime_) {
+    best_runtime_ = runtime;
+    best_config_ = config;
+  }
+}
+
+}  // namespace rockhopper::core

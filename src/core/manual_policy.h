@@ -1,0 +1,59 @@
+#ifndef ROCKHOPPER_CORE_MANUAL_POLICY_H_
+#define ROCKHOPPER_CORE_MANUAL_POLICY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/tuner.h"
+
+namespace rockhopper::core {
+
+/// A simulated domain expert for the manual-tuning study of §2.2 / Fig. 3.
+///
+/// The paper's study put ~50 volunteers on a prediction platform (configs
+/// in, predicted runtime out) and compared their iteration-indexed progress
+/// with Bayesian Optimization. This policy reproduces the observed human
+/// pattern — methodical one-knob-at-a-time sweeps, occasional intuition
+/// jumps, then local refinement around the best finding:
+///   phase 1: run the defaults;
+///   phase 2: sweep each dimension over a few spread values while holding
+///            the others at the best known point (what "tuning memory and
+///            partitions first" looks like in aggregate);
+///   phase 3: local refinement around the best config, with an
+///            `exploration` chance of a fresh random jump (the behaviour
+///            that sometimes escapes the model's local minima).
+struct ExpertPolicyOptions {
+  int sweep_points = 3;        ///< values probed per dimension in phase 2
+  double refine_step = 0.12;   ///< phase-3 neighborhood half-width
+  double exploration = 0.15;   ///< phase-3 random-restart probability
+};
+
+class ExpertPolicyTuner : public Tuner {
+ public:
+  using Options = ExpertPolicyOptions;
+
+  ExpertPolicyTuner(const sparksim::ConfigSpace& space,
+                    sparksim::ConfigVector start, Options options,
+                    uint64_t seed);
+
+  sparksim::ConfigVector Propose(double expected_data_size) override;
+  void Observe(const sparksim::ConfigVector& config, double data_size,
+               double runtime) override;
+  std::string name() const override { return "expert-policy"; }
+
+  const sparksim::ConfigVector& best_config() const { return best_config_; }
+
+ private:
+  const sparksim::ConfigSpace& space_;
+  Options options_;
+  common::Rng rng_;
+  sparksim::ConfigVector best_config_;
+  double best_runtime_;
+  int iteration_ = 0;
+  size_t sweep_dim_ = 0;
+  int sweep_point_ = 0;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_MANUAL_POLICY_H_

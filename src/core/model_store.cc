@@ -1,0 +1,111 @@
+#include "core/model_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rockhopper::core {
+
+namespace fs = std::filesystem;
+
+ModelStore::ModelStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+std::string ModelStore::DirFor(uint64_t signature) const {
+  return root_ + "/" + std::to_string(signature);
+}
+
+std::string ModelStore::PathFor(uint64_t signature, int generation) const {
+  return DirFor(signature) + "/gen-" + std::to_string(generation) + ".model";
+}
+
+Result<int> ModelStore::Put(uint64_t signature, const std::string& artifact) {
+  std::error_code ec;
+  fs::create_directories(DirFor(signature), ec);
+  if (ec) return Status::Internal("cannot create store directory");
+  const std::vector<int> existing = Generations(signature);
+  const int generation = existing.empty() ? 0 : existing.back() + 1;
+  const std::string path = PathFor(signature, generation);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path);
+  out.write(artifact.data(), static_cast<std::streamsize>(artifact.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return generation;
+}
+
+Result<std::string> ModelStore::Get(uint64_t signature, int generation) const {
+  const std::string path = PathFor(signature, generation);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no generation " + std::to_string(generation) +
+                            " for signature " + std::to_string(signature));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Result<std::string> ModelStore::GetLatest(uint64_t signature) const {
+  const std::vector<int> generations = Generations(signature);
+  if (generations.empty()) {
+    return Status::NotFound("no models for signature " +
+                            std::to_string(signature));
+  }
+  return Get(signature, generations.back());
+}
+
+std::vector<int> ModelStore::Generations(uint64_t signature) const {
+  std::vector<int> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(DirFor(signature), ec)) {
+    const std::string name = entry.path().filename().string();
+    // Expected "gen-<n>.model".
+    if (name.rfind("gen-", 0) != 0) continue;
+    const size_t dot = name.find(".model");
+    if (dot == std::string::npos) continue;
+    out.push_back(std::atoi(name.substr(4, dot - 4).c_str()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> ModelStore::Signatures() const {
+  std::vector<uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    char* end = nullptr;
+    const uint64_t sig = std::strtoull(name.c_str(), &end, 10);
+    if (end != name.c_str() && *end == '\0') out.push_back(sig);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status ModelStore::CleanupGenerations(int keep) {
+  if (keep < 1) return Status::InvalidArgument("keep must be >= 1");
+  for (uint64_t signature : Signatures()) {
+    const std::vector<int> generations = Generations(signature);
+    const int drop = static_cast<int>(generations.size()) - keep;
+    for (int i = 0; i < drop; ++i) {
+      std::error_code ec;
+      fs::remove(PathFor(signature, generations[static_cast<size_t>(i)]), ec);
+      if (ec) return Status::Internal("cleanup failed");
+    }
+  }
+  return Status::OK();
+}
+
+Status ModelStore::DeleteSignature(uint64_t signature) {
+  std::error_code ec;
+  fs::remove_all(DirFor(signature), ec);
+  if (ec) return Status::Internal("delete failed");
+  return Status::OK();
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,59 @@
+#ifndef ROCKHOPPER_CORE_MODEL_STORE_H_
+#define ROCKHOPPER_CORE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rockhopper::core {
+
+/// A directory-backed store for serialized model artifacts keyed by query
+/// signature — the in-process stand-in for the paper's Autotune Backend
+/// storage (§5): per-signature model files written by the Model Updater,
+/// fetched by the Autotune Clients' model loader, and cleaned up by the
+/// Storage Manager to honor retention policies (the paper cites GDPR).
+///
+/// Each Put writes a new generation; Get returns the latest. Retention is
+/// by generation count per signature (CleanupGenerations) and the paper's
+/// all-data deletion path is DeleteSignature.
+class ModelStore {
+ public:
+  /// `root` is created if absent.
+  explicit ModelStore(std::string root);
+
+  /// Writes `artifact` as the next generation for `signature`. Returns the
+  /// generation number written.
+  Result<int> Put(uint64_t signature, const std::string& artifact);
+
+  /// Latest generation's artifact; NotFound when the signature is unknown.
+  Result<std::string> GetLatest(uint64_t signature) const;
+
+  /// A specific generation's artifact.
+  Result<std::string> Get(uint64_t signature, int generation) const;
+
+  /// Generations currently stored for `signature`, ascending.
+  std::vector<int> Generations(uint64_t signature) const;
+
+  /// All signatures with at least one stored generation.
+  std::vector<uint64_t> Signatures() const;
+
+  /// Keeps only the newest `keep` generations per signature.
+  Status CleanupGenerations(int keep);
+
+  /// Removes every artifact for `signature` (the user-data deletion path).
+  Status DeleteSignature(uint64_t signature);
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string DirFor(uint64_t signature) const;
+  std::string PathFor(uint64_t signature, int generation) const;
+
+  std::string root_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_MODEL_STORE_H_

@@ -1,0 +1,172 @@
+#include "core/monitor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/statistics.h"
+#include "common/table.h"
+#include "ml/linear_regression.h"
+#include "ml/metrics.h"
+
+namespace rockhopper::core {
+
+void TuningMonitor::Record(MonitorRecord record) {
+  if (record.iteration < 0) {
+    record.iteration = static_cast<int>(records_.size());
+  }
+  records_.push_back(std::move(record));
+}
+
+TuningMonitor::TrendSummary TuningMonitor::Trend() const {
+  TrendSummary summary;
+  if (records_.size() < 3) return summary;
+  ml::Dataset by_iteration;
+  ml::Dataset by_size;
+  for (const MonitorRecord& r : records_) {
+    by_iteration.Add({static_cast<double>(r.iteration)}, r.runtime);
+    by_size.Add({r.data_size}, r.runtime);
+  }
+  ml::LinearRegression iteration_fit(1e-9);
+  if (iteration_fit.Fit(by_iteration).ok()) {
+    summary.runtime_slope = iteration_fit.coefficients()[0];
+  }
+  // Size-adjusted: regress runtime on size, then the residual on iteration
+  // (same decomposition as the guardrail, so dashboard and guardrail agree).
+  ml::LinearRegression size_fit(1e-9);
+  if (size_fit.Fit(by_size).ok()) {
+    ml::Dataset residual;
+    for (const MonitorRecord& r : records_) {
+      residual.Add({static_cast<double>(r.iteration)},
+                   r.runtime - size_fit.Predict({r.data_size}));
+    }
+    ml::LinearRegression residual_fit(1e-9);
+    if (residual_fit.Fit(residual).ok()) {
+      summary.size_adjusted_slope = residual_fit.coefficients()[0];
+    }
+  }
+  const size_t quarter = std::max<size_t>(1, records_.size() / 4);
+  double first = 0.0, last = 0.0;
+  for (size_t i = 0; i < quarter; ++i) first += records_[i].runtime;
+  for (size_t i = records_.size() - quarter; i < records_.size(); ++i) {
+    last += records_[i].runtime;
+  }
+  first /= static_cast<double>(quarter);
+  last /= static_cast<double>(quarter);
+  if (first > 0.0) summary.improvement_pct = 100.0 * (first - last) / first;
+  return summary;
+}
+
+std::vector<TuningMonitor::DimensionInsight> TuningMonitor::Dimensions()
+    const {
+  std::vector<DimensionInsight> out;
+  if (records_.empty()) return out;
+  for (size_t d = 0; d < space_->size(); ++d) {
+    DimensionInsight insight;
+    insight.name = space_->param(d).name;
+    insight.initial_value = records_.front().config[d];
+    insight.current_value = records_.back().config[d];
+    std::vector<double> values, runtimes;
+    for (const MonitorRecord& r : records_) {
+      values.push_back(space_->Normalize(r.config)[d]);
+      runtimes.push_back(std::log1p(std::max(0.0, r.runtime)));
+    }
+    insight.spearman_with_runtime = ml::SpearmanCorrelation(values, runtimes);
+    int flips = 0;
+    int prev_sign = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+      const double delta = values[i] - values[i - 1];
+      const int sign = delta > 1e-12 ? 1 : (delta < -1e-12 ? -1 : 0);
+      if (sign != 0 && prev_sign != 0 && sign != prev_sign) ++flips;
+      if (sign != 0) prev_sign = sign;
+    }
+    insight.direction_flips = flips;
+    out.push_back(std::move(insight));
+  }
+  return out;
+}
+
+TuningMonitor::MetricsSummary TuningMonitor::Metrics() const {
+  MetricsSummary summary;
+  if (records_.empty()) return summary;
+  for (const MonitorRecord& r : records_) {
+    summary.mean_tasks += r.metrics.total_tasks;
+    summary.mean_scan_bytes += r.metrics.scan_bytes;
+    summary.mean_shuffle_bytes += r.metrics.shuffle_bytes;
+    summary.total_spills += r.metrics.spill_events;
+    summary.broadcast_joins += r.metrics.broadcast_joins;
+    summary.sort_merge_joins += r.metrics.sort_merge_joins;
+  }
+  const double n = static_cast<double>(records_.size());
+  summary.mean_tasks /= n;
+  summary.mean_scan_bytes /= n;
+  summary.mean_shuffle_bytes /= n;
+  return summary;
+}
+
+TuningMonitor::Diagnosis TuningMonitor::Diagnose() const {
+  Diagnosis diagnosis;
+  if (records_.size() < 6) {
+    diagnosis.explanation = "not enough executions to diagnose";
+    return diagnosis;
+  }
+  const TrendSummary trend = Trend();
+  const double mean_runtime = [&] {
+    double sum = 0.0;
+    for (const MonitorRecord& r : records_) sum += r.runtime;
+    return sum / static_cast<double>(records_.size());
+  }();
+  // Significance scale: trend projected over the window vs typical runtime.
+  const double horizon = static_cast<double>(records_.size());
+  const double raw_drift = trend.runtime_slope * horizon;
+  const double adjusted_drift = trend.size_adjusted_slope * horizon;
+  const double threshold = 0.1 * std::fabs(mean_runtime);
+  std::ostringstream why;
+  if (raw_drift < -threshold) {
+    diagnosis.verdict = Verdict::kImproving;
+    why << "runtime trending down (" << trend.improvement_pct
+        << "% first-to-last quartile)";
+  } else if (raw_drift > threshold && adjusted_drift <= threshold) {
+    diagnosis.verdict = Verdict::kDataGrowth;
+    why << "runtime growth tracks input growth; config-attributable drift "
+           "is insignificant";
+  } else if (adjusted_drift > threshold) {
+    diagnosis.verdict = Verdict::kSuspectConfiguration;
+    why << "runtime rising beyond what input growth explains; review the "
+           "latest configuration changes";
+  } else {
+    diagnosis.verdict = Verdict::kNeutral;
+    why << "no significant trend";
+  }
+  diagnosis.explanation = why.str();
+  return diagnosis;
+}
+
+std::string TuningMonitor::Report() const {
+  std::ostringstream out;
+  out << "=== tuning dashboard: " << records_.size() << " executions ===\n";
+  if (records_.empty()) return out.str();
+  const TrendSummary trend = Trend();
+  out << "trend: slope " << trend.runtime_slope << " s/iter (size-adjusted "
+      << trend.size_adjusted_slope << "), first-to-last improvement "
+      << trend.improvement_pct << "%\n";
+
+  common::TextTable dims;
+  dims.SetHeader({"config", "initial", "current", "rank-corr", "flips"});
+  for (const DimensionInsight& d : Dimensions()) {
+    dims.AddRow({d.name, common::TextTable::FormatDouble(d.initial_value, 0),
+                 common::TextTable::FormatDouble(d.current_value, 0),
+                 common::TextTable::FormatDouble(d.spearman_with_runtime, 2),
+                 std::to_string(d.direction_flips)});
+  }
+  out << dims.ToString();
+
+  const MetricsSummary metrics = Metrics();
+  out << "metrics: mean tasks " << metrics.mean_tasks << ", spills "
+      << metrics.total_spills << ", broadcast/SMJ joins "
+      << metrics.broadcast_joins << "/" << metrics.sort_merge_joins << "\n";
+  const Diagnosis diagnosis = Diagnose();
+  out << "rca: " << diagnosis.explanation << "\n";
+  return out.str();
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,99 @@
+#ifndef ROCKHOPPER_CORE_MONITOR_H_
+#define ROCKHOPPER_CORE_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "sparksim/config_space.h"
+#include "sparksim/cost_model.h"
+
+namespace rockhopper::core {
+
+/// One monitored execution: everything the dashboard ingests per run.
+struct MonitorRecord {
+  int iteration = 0;
+  sparksim::ConfigVector config;
+  double data_size = 0.0;
+  double runtime = 0.0;
+  sparksim::ExecutionMetrics metrics;
+};
+
+/// The per-query monitoring dashboard of §6.3's posterior analysis: it
+/// tracks configuration changes across iterations, performance trends, and
+/// the execution metrics configuration suggestions directly influence
+/// (partitions/tasks, plan choices, spills, input sizes), and produces a
+/// Root-Cause-Analysis verdict explaining performance changes — "validate
+/// Rockhopper's recommendations and support RCA for performance
+/// variations".
+class TuningMonitor {
+ public:
+  /// `space` must outlive the monitor.
+  explicit TuningMonitor(const sparksim::ConfigSpace* space)
+      : space_(space) {}
+
+  void Record(MonitorRecord record);
+
+  size_t size() const { return records_.size(); }
+  const std::vector<MonitorRecord>& records() const { return records_; }
+
+  /// Performance trend over the recorded window.
+  struct TrendSummary {
+    /// OLS slope of runtime on iteration (seconds per iteration).
+    double runtime_slope = 0.0;
+    /// Slope after regressing out data size first (the config-attributable
+    /// trend, mirroring the guardrail's decomposition).
+    double size_adjusted_slope = 0.0;
+    /// First-quartile mean vs last-quartile mean, as a percentage gain.
+    double improvement_pct = 0.0;
+  };
+  TrendSummary Trend() const;
+
+  /// Per-dimension view of the tuner's decisions.
+  struct DimensionInsight {
+    std::string name;
+    double initial_value = 0.0;
+    double current_value = 0.0;
+    /// Rank correlation of this dimension with runtime across the window —
+    /// the de-noised "is this knob hurting us" signal.
+    double spearman_with_runtime = 0.0;
+    /// How often the tuner reversed direction on this dimension.
+    int direction_flips = 0;
+  };
+  std::vector<DimensionInsight> Dimensions() const;
+
+  /// Aggregate of the config-sensitive execution metrics.
+  struct MetricsSummary {
+    double mean_tasks = 0.0;
+    double mean_scan_bytes = 0.0;
+    double mean_shuffle_bytes = 0.0;
+    int total_spills = 0;
+    int broadcast_joins = 0;
+    int sort_merge_joins = 0;
+  };
+  MetricsSummary Metrics() const;
+
+  /// The RCA verdict for this query's recent behaviour.
+  enum class Verdict {
+    kImproving,            ///< runtime trending down
+    kDataGrowth,           ///< runtime up, explained by input growth
+    kSuspectConfiguration, ///< runtime up with flat inputs: tuning suspect
+    kNeutral,              ///< no significant trend
+  };
+  struct Diagnosis {
+    Verdict verdict = Verdict::kNeutral;
+    std::string explanation;
+  };
+  Diagnosis Diagnose() const;
+
+  /// Renders the dashboard as text: trend, per-dimension insights, metrics,
+  /// and the RCA verdict.
+  std::string Report() const;
+
+ private:
+  const sparksim::ConfigSpace* space_;
+  std::vector<MonitorRecord> records_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_MONITOR_H_

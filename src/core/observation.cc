@@ -1,0 +1,112 @@
+#include "core/observation.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace rockhopper::core {
+
+void ObservationStore::Append(uint64_t signature, Observation obs) {
+  std::vector<Observation>& history = log_[signature];
+  if (obs.iteration < 0) obs.iteration = static_cast<int>(history.size());
+  history.push_back(std::move(obs));
+}
+
+const std::vector<Observation>& ObservationStore::History(
+    uint64_t signature) const {
+  static const std::vector<Observation>* const kEmpty =
+      new std::vector<Observation>();
+  auto it = log_.find(signature);
+  return it == log_.end() ? *kEmpty : it->second;
+}
+
+ObservationWindow ObservationStore::LastN(uint64_t signature, size_t n) const {
+  const std::vector<Observation>& history = History(signature);
+  const size_t start = history.size() > n ? history.size() - n : 0;
+  return ObservationWindow(history.begin() + static_cast<std::ptrdiff_t>(start),
+                           history.end());
+}
+
+size_t ObservationStore::Count(uint64_t signature) const {
+  auto it = log_.find(signature);
+  return it == log_.end() ? 0 : it->second.size();
+}
+
+std::vector<uint64_t> ObservationStore::Signatures() const {
+  std::vector<uint64_t> out;
+  out.reserve(log_.size());
+  for (const auto& [sig, _] : log_) out.push_back(sig);
+  return out;
+}
+
+Result<double> MinRuntime(const ObservationWindow& window) {
+  if (window.empty()) return Status::InvalidArgument("empty window");
+  double best = window.front().runtime;
+  for (const Observation& obs : window) best = std::min(best, obs.runtime);
+  return best;
+}
+
+Status ExportObservations(const sparksim::ConfigSpace& space,
+                          const ObservationStore& store,
+                          const std::string& path) {
+  common::CsvTable table;
+  table.header = {"signature", "iteration", "data_size", "runtime"};
+  for (const sparksim::ParamSpec& p : space.params()) {
+    table.header.push_back(p.name);
+  }
+  for (uint64_t signature : store.Signatures()) {
+    for (const Observation& obs : store.History(signature)) {
+      if (obs.config.size() != space.size()) {
+        return Status::InvalidArgument(
+            "observation config width does not match space");
+      }
+      std::vector<std::string> row;
+      row.push_back(std::to_string(signature));
+      row.push_back(std::to_string(obs.iteration));
+      row.push_back(common::TextTable::FormatDouble(obs.data_size, 6));
+      row.push_back(common::TextTable::FormatDouble(obs.runtime, 6));
+      for (double v : obs.config) {
+        row.push_back(common::TextTable::FormatDouble(v, 6));
+      }
+      table.rows.push_back(std::move(row));
+    }
+  }
+  return common::WriteCsvFile(path, table);
+}
+
+Result<ObservationStore> ImportObservations(const sparksim::ConfigSpace& space,
+                                            const std::string& path) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(table, common::ReadCsvFile(path));
+  if (table.header.size() != 4 + space.size()) {
+    return Status::InvalidArgument("observation log column count mismatch");
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(sig_col, table.ColumnIndex("signature"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(iterations, table.NumericColumn("iteration"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(sizes, table.NumericColumn("data_size"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(runtimes, table.NumericColumn("runtime"));
+  std::vector<std::vector<double>> config_cols;
+  for (const sparksim::ParamSpec& p : space.params()) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(col, table.NumericColumn(p.name));
+    config_cols.push_back(col);
+  }
+  ObservationStore store;
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    // Signatures are 64-bit hashes: parse as integers to keep full precision.
+    const uint64_t signature =
+        std::strtoull(table.rows[i][sig_col].c_str(), nullptr, 10);
+    Observation obs;
+    obs.iteration = static_cast<int>(iterations[i]);
+    obs.data_size = sizes[i];
+    obs.runtime = runtimes[i];
+    obs.config.resize(space.size());
+    for (size_t j = 0; j < space.size(); ++j) {
+      obs.config[j] = config_cols[j][i];
+    }
+    store.Append(signature, std::move(obs));
+  }
+  return store;
+}
+
+}  // namespace rockhopper::core

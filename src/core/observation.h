@@ -1,0 +1,70 @@
+#ifndef ROCKHOPPER_CORE_OBSERVATION_H_
+#define ROCKHOPPER_CORE_OBSERVATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparksim/config_space.h"
+
+namespace rockhopper::core {
+
+/// One tuning observation: the tuple (c_i, p_i, r_i) of Algorithm 1 —
+/// the executed configuration, the input data size it ran against, and the
+/// observed (noisy) runtime.
+struct Observation {
+  sparksim::ConfigVector config;
+  double data_size = 1.0;
+  double runtime = 0.0;
+  int iteration = 0;
+};
+
+/// The latest-N window Omega(t, N) of Algorithm 1.
+using ObservationWindow = std::vector<Observation>;
+
+/// Append-only per-query-signature observation log, the in-process stand-in
+/// for the paper's event-file storage (§5). Each query signature gets an
+/// isolated history; the store never mixes signatures (the paper's privacy
+/// boundary between users maps to the same isolation property).
+class ObservationStore {
+ public:
+  /// Appends an observation for `signature`; the iteration field is
+  /// auto-assigned sequentially when negative.
+  void Append(uint64_t signature, Observation obs);
+
+  /// Full history for `signature` (empty when unseen).
+  const std::vector<Observation>& History(uint64_t signature) const;
+
+  /// The most recent `n` observations for `signature`.
+  ObservationWindow LastN(uint64_t signature, size_t n) const;
+
+  /// Number of observations recorded for `signature`.
+  size_t Count(uint64_t signature) const;
+
+  /// All signatures with at least one observation.
+  std::vector<uint64_t> Signatures() const;
+
+ private:
+  std::map<uint64_t, std::vector<Observation>> log_;
+};
+
+/// The lowest runtime in `window`; error when empty.
+Result<double> MinRuntime(const ObservationWindow& window);
+
+/// Persists the full store as CSV (one row per observation, one column per
+/// parameter of `space`) — the event-file storage of §5 that survives
+/// service restarts.
+Status ExportObservations(const sparksim::ConfigSpace& space,
+                          const ObservationStore& store,
+                          const std::string& path);
+
+/// Reloads a store written by ExportObservations; fails when the column
+/// layout does not match `space`.
+Result<ObservationStore> ImportObservations(const sparksim::ConfigSpace& space,
+                                            const std::string& path);
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_OBSERVATION_H_

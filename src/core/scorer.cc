@@ -1,0 +1,168 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/window_model.h"
+
+namespace rockhopper::core {
+
+SurrogateScorer::SurrogateScorer(const sparksim::ConfigSpace& space,
+                                 const BaselineModel* baseline,
+                                 std::vector<double> embedding,
+                                 Options options)
+    : space_(space),
+      baseline_(baseline),
+      embedding_(std::move(embedding)),
+      options_(options) {}
+
+std::vector<double> SurrogateScorer::GpFeatures(
+    const sparksim::ConfigVector& config, double data_size) const {
+  return WindowFeatures(space_, config, data_size);
+}
+
+void SurrogateScorer::Update(const ObservationWindow& history) {
+  history_size_ = history.size();
+  if (history.size() < options_.min_history) return;
+  ml::Dataset data;
+  const size_t start = history.size() > options_.max_window
+                           ? history.size() - options_.max_window
+                           : 0;
+  for (size_t i = start; i < history.size(); ++i) {
+    data.Add(GpFeatures(history[i].config, history[i].data_size),
+             history[i].runtime);
+  }
+  // A failed refit leaves the previous fit in place; scoring degrades to
+  // the baseline blend rather than erroring out of the tuning loop.
+  (void)gp_.Fit(data);
+}
+
+size_t SurrogateScorer::SelectBest(
+    const std::vector<sparksim::ConfigVector>& candidates, double data_size,
+    double best_observed) {
+  if (candidates.empty()) return 0;
+  const bool gp_ready =
+      gp_.is_fitted() && history_size_ >= options_.min_history;
+  const bool baseline_ready = baseline_ != nullptr && baseline_->is_fitted() &&
+                              !embedding_.empty();
+  // Weight of the query-specific GP relative to the transfer-learned
+  // baseline grows with the amount of query-specific evidence.
+  const double gp_weight =
+      gp_ready ? std::min(1.0, static_cast<double>(history_size_) /
+                                   options_.blend_saturation)
+               : 0.0;
+  size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double score = 0.0;
+    if (gp_ready) {
+      const ml::Prediction pred =
+          gp_.PredictWithUncertainty(GpFeatures(candidates[i], data_size));
+      score += gp_weight *
+               ml::AcquisitionScore(options_.acquisition, pred, best_observed);
+    }
+    if (baseline_ready && gp_weight < 1.0) {
+      const double runtime =
+          baseline_->PredictRuntime(embedding_, candidates[i], data_size);
+      // The baseline is a point model: exploit its mean (negated runtime so
+      // higher is better), scaled into the acquisition blend.
+      score += (1.0 - gp_weight) *
+               ml::AcquisitionScore(options_.acquisition,
+                                    ml::Prediction{runtime, 0.0},
+                                    best_observed);
+    }
+    if (!gp_ready && !baseline_ready) {
+      // No information at all: keep the first candidate (the centroid).
+      return 0;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void PseudoSurrogateScorer::Update(const ObservationWindow& history) {
+  (void)history;  // An oracle has nothing to learn.
+}
+
+size_t PseudoSurrogateScorer::SelectBest(
+    const std::vector<sparksim::ConfigVector>& candidates, double data_size,
+    double best_observed) {
+  (void)best_observed;
+  if (candidates.empty()) return 0;
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> truth(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    truth[i] = function_->TruePerformance(candidates[i], data_size);
+  }
+  std::sort(order.begin(), order.end(),
+            [&truth](size_t a, size_t b) { return truth[a] < truth[b]; });
+  // Level X selects the candidate at the 10*X-th percentile of the true
+  // ranking: Level 1 ~ near-best, Level 9 ~ near-worst.
+  const double q = std::clamp(0.1 * static_cast<double>(level_), 0.0, 1.0);
+  const size_t pick = static_cast<size_t>(std::llround(
+      q * static_cast<double>(candidates.size() - 1)));
+  return order[pick];
+}
+
+std::string PseudoSurrogateScorer::name() const {
+  return "pseudo-level-" + std::to_string(level_);
+}
+
+RegressorScorer::RegressorScorer(const sparksim::ConfigSpace& space,
+                                 std::unique_ptr<ml::Regressor> model,
+                                 std::string model_name, size_t min_history,
+                                 size_t max_window)
+    : space_(space),
+      model_(std::move(model)),
+      model_name_(std::move(model_name)),
+      min_history_(min_history),
+      max_window_(max_window) {}
+
+void RegressorScorer::Update(const ObservationWindow& history) {
+  usable_ = false;
+  if (history.size() < min_history_) return;
+  ml::Dataset data;
+  const size_t start =
+      history.size() > max_window_ ? history.size() - max_window_ : 0;
+  for (size_t i = start; i < history.size(); ++i) {
+    data.Add(WindowFeatures(space_, history[i].config, history[i].data_size),
+             history[i].runtime);
+  }
+  usable_ = model_->Fit(data).ok();
+}
+
+size_t RegressorScorer::SelectBest(
+    const std::vector<sparksim::ConfigVector>& candidates, double data_size,
+    double best_observed) {
+  (void)best_observed;
+  if (candidates.empty() || !usable_) return 0;
+  size_t best = 0;
+  double best_pred = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double pred =
+        model_->Predict(WindowFeatures(space_, candidates[i], data_size));
+    if (pred < best_pred) {
+      best_pred = pred;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void RandomScorer::Update(const ObservationWindow& history) { (void)history; }
+
+size_t RandomScorer::SelectBest(
+    const std::vector<sparksim::ConfigVector>& candidates, double data_size,
+    double best_observed) {
+  (void)data_size;
+  (void)best_observed;
+  if (candidates.empty()) return 0;
+  return rng_.Index(candidates.size());
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,65 @@
+#include "core/simple_tuners.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rockhopper::core {
+
+HillClimbTuner::HillClimbTuner(const sparksim::ConfigSpace& space,
+                               sparksim::ConfigVector start, double step,
+                               uint64_t seed)
+    : space_(space),
+      rng_(seed),
+      incumbent_(space.Normalize(space.Clamp(start))),
+      incumbent_raw_(space.Clamp(std::move(start))),
+      incumbent_cost_(std::numeric_limits<double>::infinity()),
+      step_(step) {}
+
+sparksim::ConfigVector HillClimbTuner::Propose(double expected_data_size) {
+  (void)expected_data_size;
+  if (first_) return incumbent_raw_;
+  std::vector<double> probe = incumbent_;
+  probe[dim_] = std::clamp(
+      probe[dim_] + static_cast<double>(sign_) * step_, 0.0, 1.0);
+  return space_.Denormalize(probe);
+}
+
+void HillClimbTuner::Observe(const sparksim::ConfigVector& config,
+                             double data_size, double runtime) {
+  (void)data_size;
+  if (first_) {
+    first_ = false;
+    incumbent_cost_ = runtime;
+    return;
+  }
+  if (runtime < incumbent_cost_) {
+    incumbent_cost_ = runtime;
+    incumbent_raw_ = config;
+    incumbent_ = space_.Normalize(config);
+    // Keep pushing the same direction on the same coordinate.
+    return;
+  }
+  // Failed: flip direction, or advance to the next coordinate.
+  if (sign_ == 1) {
+    sign_ = -1;
+  } else {
+    sign_ = 1;
+    dim_ = (dim_ + 1) % space_.size();
+  }
+}
+
+sparksim::ConfigVector RandomSearchTuner::Propose(double expected_data_size) {
+  (void)expected_data_size;
+  return space_.Sample(&rng_);
+}
+
+void RandomSearchTuner::Observe(const sparksim::ConfigVector& config,
+                                double data_size, double runtime) {
+  (void)data_size;
+  if (best_runtime_ < 0.0 || runtime < best_runtime_) {
+    best_runtime_ = runtime;
+    best_config_ = config;
+  }
+}
+
+}  // namespace rockhopper::core

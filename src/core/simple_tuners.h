@@ -1,0 +1,85 @@
+#ifndef ROCKHOPPER_CORE_SIMPLE_TUNERS_H_
+#define ROCKHOPPER_CORE_SIMPLE_TUNERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/tuner.h"
+
+namespace rockhopper::core {
+
+/// Coordinate-wise hill climbing (§4.3's "hill-climbing [26]" reference
+/// point): cycles through dimensions, probing one signed step at a time and
+/// keeping whatever single noisy comparison says is better.
+class HillClimbTuner : public Tuner {
+ public:
+  HillClimbTuner(const sparksim::ConfigSpace& space,
+                 sparksim::ConfigVector start, double step, uint64_t seed);
+
+  sparksim::ConfigVector Propose(double expected_data_size) override;
+  void Observe(const sparksim::ConfigVector& config, double data_size,
+               double runtime) override;
+  std::string name() const override { return "hill-climb"; }
+
+  const sparksim::ConfigVector& incumbent() const { return incumbent_raw_; }
+
+ private:
+  const sparksim::ConfigSpace& space_;
+  common::Rng rng_;
+  std::vector<double> incumbent_;  // normalized
+  sparksim::ConfigVector incumbent_raw_;
+  double incumbent_cost_;
+  double step_;
+  size_t dim_ = 0;
+  int sign_ = 1;
+  bool first_ = true;
+};
+
+/// Pure random search over the full space; tracks the best config seen.
+class RandomSearchTuner : public Tuner {
+ public:
+  RandomSearchTuner(const sparksim::ConfigSpace& space, uint64_t seed)
+      : space_(space), rng_(seed) {}
+
+  sparksim::ConfigVector Propose(double expected_data_size) override;
+  void Observe(const sparksim::ConfigVector& config, double data_size,
+               double runtime) override;
+  std::string name() const override { return "random-search"; }
+
+  const sparksim::ConfigVector& best_config() const { return best_config_; }
+  double best_runtime() const { return best_runtime_; }
+
+ private:
+  const sparksim::ConfigSpace& space_;
+  common::Rng rng_;
+  sparksim::ConfigVector best_config_;
+  double best_runtime_ = -1.0;
+};
+
+/// A do-nothing tuner that always proposes a fixed configuration — the
+/// "defaults" arm of every comparison, and what the TuningService falls back
+/// to when the guardrail fires.
+class FixedConfigTuner : public Tuner {
+ public:
+  explicit FixedConfigTuner(sparksim::ConfigVector config)
+      : config_(std::move(config)) {}
+
+  sparksim::ConfigVector Propose(double expected_data_size) override {
+    (void)expected_data_size;
+    return config_;
+  }
+  void Observe(const sparksim::ConfigVector& config, double data_size,
+               double runtime) override {
+    (void)config;
+    (void)data_size;
+    (void)runtime;
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  sparksim::ConfigVector config_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_SIMPLE_TUNERS_H_

@@ -1,0 +1,183 @@
+#include "core/tuning_service.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/matrix.h"
+
+namespace rockhopper::core {
+
+TuningService::TuningService(const sparksim::ConfigSpace& space,
+                             const BaselineModel* baseline,
+                             TuningServiceOptions options, uint64_t seed)
+    : space_(space),
+      baseline_(baseline),
+      options_(std::move(options)),
+      rng_(seed),
+      defaults_(space.Defaults()),
+      app_space_(sparksim::AppLevelSpace()) {}
+
+TuningService::QueryState& TuningService::StateFor(
+    const sparksim::QueryPlan& plan) {
+  const uint64_t signature = plan.Signature();
+  auto it = states_.find(signature);
+  if (it != states_.end()) return it->second;
+
+  QueryState state;
+  state.embedding = ComputeEmbedding(plan, options_.embedding);
+  // Optional cross-signature warm start: begin from the centroid of the
+  // nearest already-tuned signature (by embedding distance) rather than the
+  // defaults. This is how a recurring query whose plan re-hashed after a
+  // data change keeps its accumulated tuning.
+  sparksim::ConfigVector start = defaults_;
+  if (options_.enable_signature_transfer) {
+    double best_distance = options_.transfer_max_distance;
+    const double norm =
+        std::sqrt(static_cast<double>(state.embedding.size()));
+    for (const auto& [other_sig, other_state] : states_) {
+      if (other_state.disabled ||
+          other_state.embedding.size() != state.embedding.size()) {
+        continue;
+      }
+      const double distance =
+          std::sqrt(common::SquaredDistance(state.embedding,
+                                            other_state.embedding)) /
+          std::max(1.0, norm);
+      if (distance < best_distance) {
+        best_distance = distance;
+        start = other_state.tuner->centroid();
+      }
+    }
+  }
+  auto scorer = std::make_unique<SurrogateScorer>(
+      space_, baseline_, state.embedding, options_.scorer);
+  state.tuner = std::make_unique<CentroidLearner>(
+      space_, start, std::move(scorer), options_.centroid,
+      rng_.Fork().engine()());
+  state.guardrail = Guardrail(options_.guardrail);
+  return states_.emplace(signature, std::move(state)).first->second;
+}
+
+sparksim::ConfigVector TuningService::OnQueryStart(
+    const sparksim::QueryPlan& plan, double expected_data_size) {
+  QueryState& state = StateFor(plan);
+  if (state.disabled) return defaults_;
+  return state.tuner->Propose(expected_data_size);
+}
+
+void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
+                               const sparksim::ConfigVector& config,
+                               double data_size, double runtime) {
+  const uint64_t signature = plan.Signature();
+  QueryState& state = StateFor(plan);
+
+  Observation obs;
+  obs.config = config;
+  obs.data_size = data_size;
+  obs.runtime = runtime;
+  obs.iteration = -1;  // assigned by the store
+  observations_.Append(signature, obs);
+
+  if (state.disabled) return;
+  state.tuner->Observe(config, data_size, runtime);
+  if (options_.enable_guardrail) {
+    obs.iteration = static_cast<int>(observations_.Count(signature)) - 1;
+    if (!state.guardrail.Record(obs)) {
+      state.disabled = true;
+    }
+  }
+}
+
+bool TuningService::IsTuningEnabled(uint64_t signature) const {
+  auto it = states_.find(signature);
+  return it != states_.end() && !it->second.disabled;
+}
+
+size_t TuningService::IterationCount(uint64_t signature) const {
+  return observations_.Count(signature);
+}
+
+size_t TuningService::NumDisabled() const {
+  size_t count = 0;
+  for (const auto& [_, state] : states_) {
+    if (state.disabled) ++count;
+  }
+  return count;
+}
+
+void TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
+                                  const ObservationWindow& history) {
+  states_.erase(plan.Signature());
+  QueryState& state = StateFor(plan);
+  for (const Observation& obs : history) {
+    observations_.Append(plan.Signature(), obs);
+    state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
+    if (options_.enable_guardrail && !state.guardrail.Record(obs)) {
+      state.disabled = true;
+      break;
+    }
+  }
+}
+
+Result<std::string> TuningService::ExplainQuery(uint64_t signature) const {
+  auto it = states_.find(signature);
+  if (it == states_.end()) {
+    return Status::NotFound("no tuning state for signature " +
+                            std::to_string(signature));
+  }
+  const QueryState& state = it->second;
+  const CentroidLearner& tuner = *state.tuner;
+  std::ostringstream out;
+  out << "signature " << signature << ": ";
+  if (state.disabled) {
+    out << "autotuning DISABLED by guardrail after "
+        << state.guardrail.strikes() << " strikes; defaults in effect.";
+    return out.str();
+  }
+  out << "iteration " << tuner.iteration() << ", centroid [";
+  const sparksim::ConfigVector& centroid = tuner.centroid();
+  for (size_t i = 0; i < centroid.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << space_.param(i).name << "=" << centroid[i];
+  }
+  out << "], candidate neighborhood beta=" << tuner.beta()
+      << ", overshoot alpha=" << tuner.alpha();
+  if (!tuner.last_gradient().empty()) {
+    out << ", last gradient [";
+    for (size_t i = 0; i < tuner.last_gradient().size(); ++i) {
+      if (i > 0) out << ", ";
+      out << (tuner.last_gradient()[i] > 0
+                  ? "decrease "
+                  : (tuner.last_gradient()[i] < 0 ? "increase " : "hold "))
+          << space_.param(i).name;
+    }
+    out << "]";
+  }
+  out << "; " << tuner.last_candidates().size()
+      << " candidates scored at the last proposal.";
+  return out.str();
+}
+
+sparksim::ConfigVector TuningService::OnApplicationStart(
+    const std::string& artifact_id) {
+  if (auto entry = app_cache_.Get(artifact_id)) {
+    return entry->app_config;
+  }
+  return app_space_.Defaults();
+}
+
+void TuningService::PrecomputeAppConfig(
+    const std::string& artifact_id,
+    const std::vector<AppQueryContext>& queries) {
+  if (queries.empty()) return;
+  AppLevelOptimizer optimizer(app_space_, space_, options_.app,
+                              rng_.Fork().engine()());
+  const sparksim::ConfigVector current = OnApplicationStart(artifact_id);
+  AppLevelOptimizer::JointResult result = optimizer.Optimize(current, queries);
+  AppCache::Entry entry;
+  entry.app_config = std::move(result.app_config);
+  entry.query_configs = std::move(result.query_configs);
+  app_cache_.Put(artifact_id, std::move(entry));
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,126 @@
+#ifndef ROCKHOPPER_CORE_TUNING_SERVICE_H_
+#define ROCKHOPPER_CORE_TUNING_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/app_optimizer.h"
+#include "core/baseline_model.h"
+#include "core/centroid_learning.h"
+#include "core/guardrail.h"
+#include "core/observation.h"
+#include "sparksim/plan.h"
+
+namespace rockhopper::core {
+
+struct TuningServiceOptions {
+  CentroidLearningOptions centroid;
+  Guardrail::Options guardrail;
+  EmbeddingOptions embedding;
+  SurrogateScorer::Options scorer;
+  AppLevelOptimizerOptions app;
+  /// Disabling the guardrail tunes forever (used by ablations).
+  bool enable_guardrail = true;
+  /// When a brand-new query signature arrives (e.g. a recurring query whose
+  /// plan changed enough to re-hash), seed its centroid from the most
+  /// similar already-tuned signature by embedding distance instead of the
+  /// defaults — an adaptive-warm-start extension in the spirit of the
+  /// paper's future-work discussion on dynamic workloads.
+  bool enable_signature_transfer = false;
+  /// Maximum normalized embedding distance for a transfer to apply.
+  double transfer_max_distance = 2.0;
+};
+
+/// The online phase of Rockhopper (Figs. 5 and 7): per-query-signature
+/// tuning state (a CentroidLearner warm-started by the offline baseline
+/// model, plus a regression guardrail), an observation store, and the
+/// app-level cache keyed by artifact_id.
+///
+/// Lifecycle per query execution:
+///   config = service.OnQueryStart(plan, expected_data_size);
+///   ... run the query with `config` ...
+///   service.OnQueryEnd(plan, config, observed_data_size, runtime);
+///
+/// Queries are identified by their plan signature; each signature gets an
+/// isolated model (the paper's per-query, per-user training boundary).
+class TuningService {
+ public:
+  /// `baseline` may be null (no transfer learning); must outlive the
+  /// service when provided.
+  TuningService(const sparksim::ConfigSpace& space,
+                const BaselineModel* baseline, TuningServiceOptions options,
+                uint64_t seed);
+
+  /// Returns the configuration to run `plan` with. When tuning is disabled
+  /// for this signature (guardrail) the defaults are returned.
+  sparksim::ConfigVector OnQueryStart(const sparksim::QueryPlan& plan,
+                                      double expected_data_size);
+
+  /// Records the execution outcome and advances the tuner/guardrail.
+  void OnQueryEnd(const sparksim::QueryPlan& plan,
+                  const sparksim::ConfigVector& config, double data_size,
+                  double runtime);
+
+  /// Whether autotuning is (still) active for this plan's signature.
+  bool IsTuningEnabled(uint64_t signature) const;
+
+  /// Per-signature iteration count.
+  size_t IterationCount(uint64_t signature) const;
+
+  /// Signatures ever seen / currently disabled (deployment stats, §6.3).
+  size_t NumSignatures() const { return states_.size(); }
+  size_t NumDisabled() const;
+
+  const ObservationStore& observations() const { return observations_; }
+
+  /// Warm-restarts the tuning state of `plan`'s signature by replaying the
+  /// stored observations through a fresh tuner and guardrail — how the
+  /// service resumes after a restart from the persisted event files
+  /// (ExportObservations/ImportObservations). Replaces any existing state.
+  void ReplayHistory(const sparksim::QueryPlan& plan,
+                     const ObservationWindow& history);
+
+  /// A human-readable rationale for this signature's latest proposal —
+  /// centroid, candidate count, last gradient direction, step sizes — the
+  /// transparency logging of §5 ("logs the suggested configurations along
+  /// with their rationale"). NotFound before the first OnQueryStart.
+  Result<std::string> ExplainQuery(uint64_t signature) const;
+
+  /// The app-level path (§4.4): returns the cached app config for
+  /// `artifact_id`, or the app-space defaults on a cache miss.
+  sparksim::ConfigVector OnApplicationStart(const std::string& artifact_id);
+
+  /// Recomputes and caches the app-level configuration for `artifact_id`
+  /// via Algorithm 2 after an application run. `queries` supplies per-query
+  /// contexts (centroids + scoring functions).
+  void PrecomputeAppConfig(const std::string& artifact_id,
+                           const std::vector<AppQueryContext>& queries);
+
+  const AppCache& app_cache() const { return app_cache_; }
+
+ private:
+  struct QueryState {
+    std::unique_ptr<CentroidLearner> tuner;
+    Guardrail guardrail;
+    std::vector<double> embedding;
+    bool disabled = false;
+  };
+
+  QueryState& StateFor(const sparksim::QueryPlan& plan);
+
+  const sparksim::ConfigSpace& space_;
+  const BaselineModel* baseline_;
+  TuningServiceOptions options_;
+  common::Rng rng_;
+  sparksim::ConfigVector defaults_;
+  std::map<uint64_t, QueryState> states_;
+  ObservationStore observations_;
+  sparksim::ConfigSpace app_space_;
+  AppCache app_cache_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_TUNING_SERVICE_H_

@@ -1,0 +1,67 @@
+#include "core/window_model.h"
+
+#include <cmath>
+
+namespace rockhopper::core {
+
+std::vector<double> WindowFeatures(const sparksim::ConfigSpace& space,
+                                   const sparksim::ConfigVector& config,
+                                   double data_size) {
+  std::vector<double> features = space.Normalize(config);
+  features.push_back(std::log1p(std::max(0.0, data_size)));
+  return features;
+}
+
+std::vector<double> WindowModel::CenteredFeatures(
+    const sparksim::ConfigVector& config, double data_size) const {
+  std::vector<double> f = WindowFeatures(*space_, config, data_size);
+  for (size_t j = 0; j < f.size() && j < feature_mean_.size(); ++j) {
+    f[j] -= feature_mean_[j];
+  }
+  return f;
+}
+
+Status WindowModel::Fit(const ObservationWindow& window) {
+  if (window.empty()) return Status::InvalidArgument("empty window");
+  // Production noise is multiplicative (Eq. 8): modelling log-runtime turns
+  // it into additive noise of constant variance, so spikes stop dominating
+  // the least-squares fit.
+  std::vector<double> targets;
+  targets.reserve(window.size());
+  for (const Observation& obs : window) {
+    targets.push_back(std::log1p(std::max(0.0, obs.runtime)));
+  }
+  y_scaler_.Fit(targets);
+  // Center features at the window mean before the quadratic expansion:
+  // uncentered squares/products are nearly collinear with the linear terms
+  // on a tight observation cloud, and the ridge would smear the local trend
+  // across them.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(window.size());
+  for (const Observation& obs : window) {
+    rows.push_back(WindowFeatures(*space_, obs.config, obs.data_size));
+  }
+  feature_mean_.assign(rows[0].size(), 0.0);
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < row.size(); ++j) feature_mean_[j] += row[j];
+  }
+  for (double& m : feature_mean_) m /= static_cast<double>(rows.size());
+  ml::Dataset data;
+  for (size_t i = 0; i < window.size(); ++i) {
+    std::vector<double> centered = rows[i];
+    for (size_t j = 0; j < centered.size(); ++j) {
+      centered[j] -= feature_mean_[j];
+    }
+    data.Add(std::move(centered), y_scaler_.Transform(targets[i]));
+  }
+  return model_.Fit(data);
+}
+
+double WindowModel::Predict(const sparksim::ConfigVector& config,
+                            double data_size) const {
+  const double log_pred = y_scaler_.InverseTransform(
+      model_.Predict(CenteredFeatures(config, data_size)));
+  return std::expm1(std::min(700.0, std::max(0.0, log_pred)));
+}
+
+}  // namespace rockhopper::core

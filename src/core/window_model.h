@@ -1,0 +1,56 @@
+#ifndef ROCKHOPPER_CORE_WINDOW_MODEL_H_
+#define ROCKHOPPER_CORE_WINDOW_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/observation.h"
+#include "ml/linear_regression.h"
+#include "ml/scaler.h"
+#include "sparksim/config_space.h"
+
+namespace rockhopper::core {
+
+/// Feature row used by the local models of Centroid Learning: the
+/// configuration in normalized ([0, 1], log-geometry-aware) coordinates,
+/// followed by log1p(data size). Excluding raw byte counts keeps the tiny
+/// window regressions well conditioned.
+std::vector<double> WindowFeatures(const sparksim::ConfigSpace& space,
+                                   const sparksim::ConfigVector& config,
+                                   double data_size);
+
+/// The local model H(c, p) of Eq. (4): a regression fitted on one
+/// observation window, able to predict runtime for any (config, data size)
+/// pair near the window. Backed by a quadratic ridge surface — expressive
+/// enough to bend with the convex runtime bowls, stable on N = 10-20 rows.
+///
+/// Targets are standardized internally and the ridge penalty is applied on
+/// that scale: a 15-observation window fits ~15 quadratic coefficients, so
+/// without real shrinkage the surface would memorize the production noise
+/// instead of the local trend (exactly what FIND_GRADIENT must not do).
+class WindowModel {
+ public:
+  explicit WindowModel(const sparksim::ConfigSpace* space) : space_(space) {}
+
+  /// Fits on the window; fails when the window is empty.
+  Status Fit(const ObservationWindow& window);
+
+  bool is_fitted() const { return model_.is_fitted(); }
+
+  /// Predicted runtime H(config, data_size).
+  double Predict(const sparksim::ConfigVector& config, double data_size) const;
+
+ private:
+  std::vector<double> CenteredFeatures(const sparksim::ConfigVector& config,
+                                       double data_size) const;
+
+  const sparksim::ConfigSpace* space_;
+  ml::QuadraticRegression model_{/*l2=*/0.05};
+  ml::TargetScaler y_scaler_;
+  std::vector<double> feature_mean_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_WINDOW_MODEL_H_

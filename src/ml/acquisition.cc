@@ -1,0 +1,38 @@
+#include "ml/acquisition.h"
+
+#include <cmath>
+
+namespace rockhopper::ml {
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double NormalPdf(double z) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double AcquisitionScore(const AcquisitionOptions& options,
+                        const Prediction& prediction, double best_observed) {
+  const double mean = prediction.mean;
+  const double sd = prediction.stddev;
+  switch (options.kind) {
+    case AcquisitionKind::kExpectedImprovement: {
+      const double improvement = best_observed - mean - options.xi;
+      if (sd <= 1e-12) return improvement > 0.0 ? improvement : 0.0;
+      const double z = improvement / sd;
+      return improvement * NormalCdf(z) + sd * NormalPdf(z);
+    }
+    case AcquisitionKind::kLowerConfidenceBound:
+      return -(mean - options.kappa * sd);
+    case AcquisitionKind::kProbabilityOfImprovement: {
+      const double improvement = best_observed - mean - options.xi;
+      if (sd <= 1e-12) return improvement > 0.0 ? 1.0 : 0.0;
+      return NormalCdf(improvement / sd);
+    }
+    case AcquisitionKind::kMeanOnly:
+      return -mean;
+  }
+  return 0.0;
+}
+
+}  // namespace rockhopper::ml

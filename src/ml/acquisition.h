@@ -1,0 +1,37 @@
+#ifndef ROCKHOPPER_ML_ACQUISITION_H_
+#define ROCKHOPPER_ML_ACQUISITION_H_
+
+#include "ml/model.h"
+
+namespace rockhopper::ml {
+
+/// Acquisition functions for Bayesian-optimization-style candidate selection.
+/// All scores follow the convention "higher is better" for a *minimization*
+/// objective (runtime): the candidate with the largest score is executed next.
+enum class AcquisitionKind {
+  kExpectedImprovement,   ///< EI against the best (lowest) observed value
+  kLowerConfidenceBound,  ///< -(mean - kappa * stddev)
+  kProbabilityOfImprovement,
+  kMeanOnly,              ///< pure exploitation: -mean
+};
+
+struct AcquisitionOptions {
+  AcquisitionKind kind = AcquisitionKind::kExpectedImprovement;
+  double xi = 0.01;     ///< EI / PI exploration margin
+  double kappa = 2.0;   ///< LCB exploration weight
+};
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+/// Standard normal PDF.
+double NormalPdf(double z);
+
+/// Scores a prediction against `best_observed` (the lowest runtime seen so
+/// far). With stddev == 0 the score degrades gracefully to the deterministic
+/// improvement (EI/PI) or negated mean (LCB/mean-only).
+double AcquisitionScore(const AcquisitionOptions& options,
+                        const Prediction& prediction, double best_observed);
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_ACQUISITION_H_

@@ -1,0 +1,53 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+namespace rockhopper::ml {
+
+Status Dataset::Validate() const {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("feature/target count mismatch");
+  }
+  const size_t width = num_features();
+  for (const auto& row : x) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("ragged feature rows");
+    }
+  }
+  return Status::OK();
+}
+
+void Dataset::TruncateToLast(size_t n) {
+  if (x.size() <= n) return;
+  const size_t drop = x.size() - n;
+  x.erase(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(drop));
+  y.erase(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(drop));
+}
+
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           double test_fraction,
+                                           common::Rng* rng) {
+  std::vector<size_t> idx(data.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  const size_t test_n = static_cast<size_t>(
+      static_cast<double>(data.size()) * std::clamp(test_fraction, 0.0, 1.0));
+  Dataset train, test;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    Dataset& target = i < test_n ? test : train;
+    target.Add(data.x[idx[i]], data.y[idx[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Dataset BootstrapSample(const Dataset& data, size_t n, common::Rng* rng) {
+  Dataset out;
+  if (data.empty()) return out;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = rng->Index(data.size());
+    out.Add(data.x[j], data.y[j]);
+  }
+  return out;
+}
+
+}  // namespace rockhopper::ml

@@ -1,0 +1,46 @@
+#ifndef ROCKHOPPER_ML_DATASET_H_
+#define ROCKHOPPER_ML_DATASET_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace rockhopper::ml {
+
+/// A supervised regression dataset: feature rows plus one target per row.
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  size_t size() const { return x.size(); }
+  size_t num_features() const { return x.empty() ? 0 : x[0].size(); }
+  bool empty() const { return x.empty(); }
+
+  /// Appends one example; the first row fixes the feature width.
+  void Add(std::vector<double> features, double target) {
+    x.push_back(std::move(features));
+    y.push_back(target);
+  }
+
+  /// Validates rectangular shape and matching lengths.
+  Status Validate() const;
+
+  /// Keeps only the most recent `n` examples (the sliding observation
+  /// window used by online tuners).
+  void TruncateToLast(size_t n);
+};
+
+/// Randomly splits into (train, test) with `test_fraction` of rows held out.
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           double test_fraction,
+                                           common::Rng* rng);
+
+/// Draws `n` rows with replacement (bootstrap resampling).
+Dataset BootstrapSample(const Dataset& data, size_t n, common::Rng* rng);
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_DATASET_H_

@@ -1,0 +1,127 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace rockhopper::ml {
+
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double score = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+Status DecisionTreeRegressor::Fit(const Dataset& data) {
+  ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) return Status::InvalidArgument("empty training data");
+  nodes_.clear();
+  std::vector<uint32_t> indices(data.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<uint32_t>(i);
+  }
+  Build(data, &indices, 0);
+  return Status::OK();
+}
+
+int DecisionTreeRegressor::Build(const Dataset& data,
+                                 std::vector<uint32_t>* indices, int depth) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double sum = 0.0, sq = 0.0;
+  for (uint32_t i : *indices) {
+    sum += data.y[i];
+    sq += data.y[i] * data.y[i];
+  }
+  const double n = static_cast<double>(indices->size());
+  const double mean = sum / n;
+  const double sse = sq - sum * mean;  // total squared error around mean
+  nodes_[static_cast<size_t>(node_index)].value = mean;
+
+  if (depth >= options_.max_depth ||
+      static_cast<int>(indices->size()) < options_.min_samples_split ||
+      sse <= 1e-12) {
+    return node_index;
+  }
+
+  // Feature subset (bagging-style column sampling for forests).
+  const int num_features = static_cast<int>(data.num_features());
+  std::vector<int> features(static_cast<size_t>(num_features));
+  for (int f = 0; f < num_features; ++f) features[static_cast<size_t>(f)] = f;
+  if (options_.max_features > 0 && options_.max_features < num_features) {
+    rng_.Shuffle(&features);
+    features.resize(static_cast<size_t>(options_.max_features));
+  }
+
+  SplitCandidate best;
+  std::vector<std::pair<double, uint32_t>> sorted;
+  for (int feature : features) {
+    sorted.clear();
+    sorted.reserve(indices->size());
+    for (uint32_t i : *indices) {
+      sorted.emplace_back(data.x[i][static_cast<size_t>(feature)], i);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    // Prefix sums let every split position be scored in O(1):
+    // variance reduction = sum^2_l/n_l + sum^2_r/n_r - sum^2/n.
+    double left_sum = 0.0;
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      left_sum += data.y[sorted[k].second];
+      if (sorted[k].first == sorted[k + 1].first) continue;  // no split here
+      const double nl = static_cast<double>(k + 1);
+      const double nr = n - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double score =
+          left_sum * left_sum / nl + right_sum * right_sum / nr;
+      if (score > best.score) {
+        best.score = score;
+        best.feature = feature;
+        best.threshold = 0.5 * (sorted[k].first + sorted[k + 1].first);
+      }
+    }
+  }
+  if (best.feature < 0 || best.score <= sum * mean + 1e-12) {
+    return node_index;  // no useful split found
+  }
+
+  std::vector<uint32_t> left, right;
+  for (uint32_t i : *indices) {
+    if (data.x[i][static_cast<size_t>(best.feature)] <= best.threshold) {
+      left.push_back(i);
+    } else {
+      right.push_back(i);
+    }
+  }
+  if (left.empty() || right.empty()) return node_index;
+
+  nodes_[static_cast<size_t>(node_index)].feature = best.feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
+  const int left_child = Build(data, &left, depth + 1);
+  nodes_[static_cast<size_t>(node_index)].left = left_child;
+  const int right_child = Build(data, &right, depth + 1);
+  nodes_[static_cast<size_t>(node_index)].right = right_child;
+  return node_index;
+}
+
+double DecisionTreeRegressor::Predict(
+    const std::vector<double>& features) const {
+  assert(!nodes_.empty());
+  int index = 0;
+  while (nodes_[static_cast<size_t>(index)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    index = features[static_cast<size_t>(node.feature)] <= node.threshold
+                ? node.left
+                : node.right;
+  }
+  return nodes_[static_cast<size_t>(index)].value;
+}
+
+}  // namespace rockhopper::ml

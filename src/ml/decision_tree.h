@@ -1,0 +1,57 @@
+#ifndef ROCKHOPPER_ML_DECISION_TREE_H_
+#define ROCKHOPPER_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace rockhopper::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 12;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  /// Features considered per split; 0 = all. Random forests pass a subset
+  /// size (typically d/3 for regression) together with an Rng.
+  int max_features = 0;
+};
+
+/// CART regression tree: axis-aligned splits chosen to maximize variance
+/// reduction, leaves predicting the mean target. The non-parametric
+/// surrogate family of the related work (RFHOC's random forests), offered
+/// here as an alternative baseline-model backend and bench subject.
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(DecisionTreeOptions options = {},
+                                 uint64_t seed = 0)
+      : options_(options), rng_(seed) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  bool is_fitted() const override { return !nodes_.empty(); }
+
+  /// Number of tree nodes (leaves + splits).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const Dataset& data, std::vector<uint32_t>* indices, int depth);
+
+  DecisionTreeOptions options_;
+  common::Rng rng_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_DECISION_TREE_H_

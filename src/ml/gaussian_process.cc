@@ -1,0 +1,101 @@
+#include "ml/gaussian_process.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace rockhopper::ml {
+
+double GaussianProcessRegressor::Kernel(const std::vector<double>& a,
+                                        const std::vector<double>& b) const {
+  switch (options_.kernel) {
+    case GpKernelKind::kRbf:
+      return RbfKernel{lengthscale_, options_.signal_variance}(a, b);
+    case GpKernelKind::kMatern52:
+      return Matern52Kernel{lengthscale_, options_.signal_variance}(a, b);
+  }
+  return 0.0;
+}
+
+Status GaussianProcessRegressor::Fit(const Dataset& data) {
+  ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) return Status::InvalidArgument("empty training data");
+  fitted_ = false;
+  ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Fit(data.x));
+  y_scaler_.Fit(data.y);
+  train_x_ = x_scaler_.TransformBatch(data.x);
+  train_y_std_.resize(data.y.size());
+  for (size_t i = 0; i < data.y.size(); ++i) {
+    train_y_std_[i] = y_scaler_.Transform(data.y[i]);
+  }
+
+  double best_lml = -std::numeric_limits<double>::infinity();
+  double best_lengthscale = 1.0;
+  bool any_ok = false;
+  std::vector<double> grid = options_.lengthscale_grid;
+  if (grid.empty()) grid = {1.0};
+  for (double ls : grid) {
+    double lml = 0.0;
+    if (FitWithLengthscale(ls, &lml).ok() && lml > best_lml) {
+      best_lml = lml;
+      best_lengthscale = ls;
+      any_ok = true;
+    }
+  }
+  if (!any_ok) return Status::Internal("GP fit failed for all lengthscales");
+  ROCKHOPPER_RETURN_IF_ERROR(FitWithLengthscale(best_lengthscale, &best_lml));
+  log_marginal_likelihood_ = best_lml;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status GaussianProcessRegressor::FitWithLengthscale(double lengthscale,
+                                                    double* lml) {
+  lengthscale_ = lengthscale;
+  common::Matrix k(train_x_.size(), train_x_.size());
+  for (size_t i = 0; i < train_x_.size(); ++i) {
+    for (size_t j = i; j < train_x_.size(); ++j) {
+      const double v = Kernel(train_x_[i], train_x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddDiagonal(options_.noise_variance);
+  ROCKHOPPER_ASSIGN_OR_RETURN(l, common::CholeskyFactor(k, /*jitter=*/1e-8));
+  chol_ = l;
+  const std::vector<double> z = common::ForwardSubstitute(chol_, train_y_std_);
+  alpha_ = common::BackSubstituteTranspose(chol_, z);
+  // log p(y) = -1/2 y^T alpha - sum(log diag L) - n/2 log(2 pi)
+  double log_det = 0.0;
+  for (size_t i = 0; i < chol_.rows(); ++i) log_det += std::log(chol_(i, i));
+  const double n = static_cast<double>(train_x_.size());
+  *lml = -0.5 * common::Dot(train_y_std_, alpha_) - log_det -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+  return Status::OK();
+}
+
+double GaussianProcessRegressor::Predict(
+    const std::vector<double>& features) const {
+  return PredictWithUncertainty(features).mean;
+}
+
+Prediction GaussianProcessRegressor::PredictWithUncertainty(
+    const std::vector<double>& features) const {
+  assert(fitted_);
+  const std::vector<double> xs = x_scaler_.Transform(features);
+  std::vector<double> kv(train_x_.size());
+  for (size_t i = 0; i < train_x_.size(); ++i) {
+    kv[i] = Kernel(train_x_[i], xs);
+  }
+  const double mean_std = common::Dot(kv, alpha_);
+  const std::vector<double> v = common::ForwardSubstitute(chol_, kv);
+  double var = Kernel(xs, xs) + options_.noise_variance - common::Dot(v, v);
+  if (var < 0.0) var = 0.0;
+  Prediction p;
+  p.mean = y_scaler_.InverseTransform(mean_std);
+  p.stddev = y_scaler_.InverseTransformStd(std::sqrt(var));
+  return p;
+}
+
+}  // namespace rockhopper::ml

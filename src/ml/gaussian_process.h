@@ -1,0 +1,73 @@
+#ifndef ROCKHOPPER_ML_GAUSSIAN_PROCESS_H_
+#define ROCKHOPPER_ML_GAUSSIAN_PROCESS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "ml/kernel.h"
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace rockhopper::ml {
+
+/// Kernel families supported by the Gaussian process surrogate.
+enum class GpKernelKind {
+  kRbf,       ///< squared-exponential: very smooth posterior means
+  kMatern52,  ///< rougher; often a better prior for runtime surfaces
+};
+
+/// Hyperparameters of the Gaussian process surrogate.
+struct GaussianProcessOptions {
+  GpKernelKind kernel = GpKernelKind::kRbf;
+  /// Candidate lengthscales tried during Fit; the one maximizing the log
+  /// marginal likelihood wins. Leave a single element to skip selection.
+  std::vector<double> lengthscale_grid = {0.25, 0.5, 1.0, 2.0, 4.0};
+  /// Observation noise variance added to the kernel diagonal (in standardized
+  /// target units). Production runtimes are extremely noisy, so the default
+  /// is deliberately large.
+  double noise_variance = 0.1;
+  /// Signal variance of the kernel (standardized targets => near 1).
+  double signal_variance = 1.0;
+};
+
+/// Exact Gaussian-process regression with an RBF kernel, the surrogate model
+/// of the vanilla Bayesian Optimization baseline (paper §4.1, Fig. 2).
+/// Inputs and targets are standardized internally; predictions are returned
+/// in original units. Fit cost is O(n^3): callers with long observation
+/// histories should window them (Dataset::TruncateToLast).
+class GaussianProcessRegressor : public ProbabilisticRegressor {
+ public:
+  explicit GaussianProcessRegressor(GaussianProcessOptions options = {})
+      : options_(std::move(options)) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  Prediction PredictWithUncertainty(
+      const std::vector<double>& features) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Log marginal likelihood of the selected hyperparameters on the
+  /// (standardized) training data.
+  double log_marginal_likelihood() const { return log_marginal_likelihood_; }
+  double selected_lengthscale() const { return lengthscale_; }
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+  Status FitWithLengthscale(double lengthscale, double* lml);
+
+  GaussianProcessOptions options_;
+  bool fitted_ = false;
+  double lengthscale_ = 1.0;
+  StandardScaler x_scaler_;
+  TargetScaler y_scaler_;
+  std::vector<std::vector<double>> train_x_;  // standardized
+  std::vector<double> train_y_std_;            // standardized targets
+  common::Matrix chol_;                        // L with L L^T = K + noise I
+  std::vector<double> alpha_;                  // (K + noise I)^{-1} y
+  double log_marginal_likelihood_ = 0.0;
+};
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_GAUSSIAN_PROCESS_H_

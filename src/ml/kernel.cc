@@ -1,0 +1,20 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+
+namespace rockhopper::ml {
+
+double RbfKernel::operator()(const std::vector<double>& a,
+                             const std::vector<double>& b) const {
+  const double d2 = common::SquaredDistance(a, b);
+  return signal_variance * std::exp(-d2 / (2.0 * lengthscale * lengthscale));
+}
+
+double Matern52Kernel::operator()(const std::vector<double>& a,
+                                  const std::vector<double>& b) const {
+  const double d = std::sqrt(common::SquaredDistance(a, b));
+  const double s = std::sqrt(5.0) * d / lengthscale;
+  return signal_variance * (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+}  // namespace rockhopper::ml

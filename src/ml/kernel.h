@@ -1,0 +1,59 @@
+#ifndef ROCKHOPPER_ML_KERNEL_H_
+#define ROCKHOPPER_ML_KERNEL_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace rockhopper::ml {
+
+/// Radial basis function (squared-exponential) kernel
+///   k(a, b) = signal_variance * exp(-||a - b||^2 / (2 * lengthscale^2)).
+/// Inputs are expected to be standardized; a single isotropic lengthscale is
+/// sufficient for the low-dimensional config spaces tuned here.
+struct RbfKernel {
+  double lengthscale = 1.0;
+  double signal_variance = 1.0;
+
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const;
+};
+
+/// Matern 5/2 kernel, the other standard Bayesian-optimization choice;
+/// rougher than RBF, often a better fit for runtime surfaces.
+struct Matern52Kernel {
+  double lengthscale = 1.0;
+  double signal_variance = 1.0;
+
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const;
+};
+
+/// Gram matrix K[i][j] = kernel(rows[i], rows[j]).
+template <typename Kernel>
+common::Matrix GramMatrix(const Kernel& kernel,
+                          const std::vector<std::vector<double>>& rows) {
+  common::Matrix k(rows.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i; j < rows.size(); ++j) {
+      const double v = kernel(rows[i], rows[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+/// Cross-kernel vector k*[i] = kernel(rows[i], query).
+template <typename Kernel>
+std::vector<double> KernelVector(const Kernel& kernel,
+                                 const std::vector<std::vector<double>>& rows,
+                                 const std::vector<double>& query) {
+  std::vector<double> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) out[i] = kernel(rows[i], query);
+  return out;
+}
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_KERNEL_H_

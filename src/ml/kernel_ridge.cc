@@ -1,0 +1,73 @@
+#include "ml/kernel_ridge.h"
+
+#include <cassert>
+
+namespace rockhopper::ml {
+
+Status KernelRidgeRegression::Fit(const Dataset& data) {
+  ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) return Status::InvalidArgument("empty training data");
+  fitted_ = false;
+  ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Fit(data.x));
+  y_scaler_.Fit(data.y);
+  train_x_ = x_scaler_.TransformBatch(data.x);
+  std::vector<double> y_std(data.y.size());
+  for (size_t i = 0; i < data.y.size(); ++i) {
+    y_std[i] = y_scaler_.Transform(data.y[i]);
+  }
+  kernel_ = RbfKernel{options_.lengthscale, 1.0};
+  common::Matrix k = GramMatrix(kernel_, train_x_);
+  k.AddDiagonal(options_.alpha);
+  ROCKHOPPER_ASSIGN_OR_RETURN(coef,
+                              common::CholeskySolve(k, y_std, /*jitter=*/1e-8));
+  dual_coef_ = coef;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double KernelRidgeRegression::Predict(
+    const std::vector<double>& features) const {
+  assert(fitted_);
+  const std::vector<double> xs = x_scaler_.Transform(features);
+  const std::vector<double> kv = KernelVector(kernel_, train_x_, xs);
+  return y_scaler_.InverseTransform(common::Dot(kv, dual_coef_));
+}
+
+Status KernelRidgeRegression::Save(const std::string& prefix,
+                                   common::ArchiveWriter* writer) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutDouble(prefix + ".lengthscale", options_.lengthscale));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutDouble(prefix + ".alpha", options_.alpha));
+  ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Save(prefix + ".x_scaler", writer));
+  ROCKHOPPER_RETURN_IF_ERROR(y_scaler_.Save(prefix + ".y_scaler", writer));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutDoubleRows(prefix + ".train_x", train_x_));
+  return writer->PutDoubles(prefix + ".dual_coef", dual_coef_);
+}
+
+Status KernelRidgeRegression::Load(const std::string& prefix,
+                                   const common::ArchiveReader& reader) {
+  fitted_ = false;
+  ROCKHOPPER_ASSIGN_OR_RETURN(lengthscale,
+                              reader.GetDouble(prefix + ".lengthscale"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(alpha, reader.GetDouble(prefix + ".alpha"));
+  ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Load(prefix + ".x_scaler", reader));
+  ROCKHOPPER_RETURN_IF_ERROR(y_scaler_.Load(prefix + ".y_scaler", reader));
+  ROCKHOPPER_ASSIGN_OR_RETURN(train_x,
+                              reader.GetDoubleRows(prefix + ".train_x"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(dual_coef,
+                              reader.GetDoubles(prefix + ".dual_coef"));
+  if (train_x.size() != dual_coef.size() || train_x.empty()) {
+    return Status::InvalidArgument("inconsistent kernel ridge archive");
+  }
+  options_ = KernelRidgeOptions{lengthscale, alpha};
+  kernel_ = RbfKernel{lengthscale, 1.0};
+  train_x_ = std::move(train_x);
+  dual_coef_ = std::move(dual_coef);
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace rockhopper::ml

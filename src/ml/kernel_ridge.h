@@ -1,0 +1,50 @@
+#ifndef ROCKHOPPER_ML_KERNEL_RIDGE_H_
+#define ROCKHOPPER_ML_KERNEL_RIDGE_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "ml/kernel.h"
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace rockhopper::ml {
+
+struct KernelRidgeOptions {
+  double lengthscale = 1.0;
+  double alpha = 0.1;  ///< ridge strength on the kernel diagonal
+};
+
+/// Kernel ridge regression with an RBF kernel: the non-linear H(c, p) model
+/// used by FIND_BEST v3 and FIND_GRADIENT to predict runtime at a fixed
+/// reference data size (paper §4.3, Eq. 4-6). Cheaper to fit than a GP
+/// (no hyperparameter search) and robust on the tiny sliding windows
+/// (N = 10-20 observations) the online tuner maintains.
+class KernelRidgeRegression : public Regressor {
+ public:
+  explicit KernelRidgeRegression(KernelRidgeOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Persists/restores the fitted model (options, scalers, support points,
+  /// dual coefficients) under `prefix` — the model-file distribution path
+  /// of §5 (the paper ships ONNX files; this archive plays that role).
+  Status Save(const std::string& prefix, common::ArchiveWriter* writer) const;
+  Status Load(const std::string& prefix, const common::ArchiveReader& reader);
+
+ private:
+  KernelRidgeOptions options_;
+  bool fitted_ = false;
+  RbfKernel kernel_;
+  StandardScaler x_scaler_;
+  TargetScaler y_scaler_;
+  std::vector<std::vector<double>> train_x_;
+  std::vector<double> dual_coef_;
+};
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_KERNEL_RIDGE_H_

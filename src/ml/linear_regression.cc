@@ -1,0 +1,86 @@
+#include "ml/linear_regression.h"
+
+#include <cassert>
+
+#include "common/matrix.h"
+
+namespace rockhopper::ml {
+
+Status LinearRegression::Fit(const Dataset& data) {
+  ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) return Status::InvalidArgument("empty training data");
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  // Design matrix with a leading 1-column for the intercept. The intercept
+  // column is not penalized: we zero its ridge contribution by subtracting
+  // it back out of the Gram diagonal, which the LeastSquares helper does not
+  // support directly, so instead we center targets and features when l2 > 0.
+  fitted_ = false;
+  if (l2_ <= 0.0) {
+    common::Matrix x(n, d + 1);
+    for (size_t i = 0; i < n; ++i) {
+      x(i, 0) = 1.0;
+      for (size_t j = 0; j < d; ++j) x(i, j + 1) = data.x[i][j];
+    }
+    ROCKHOPPER_ASSIGN_OR_RETURN(w, common::LeastSquares(x, data.y, 0.0));
+    intercept_ = w[0];
+    coef_.assign(w.begin() + 1, w.end());
+    fitted_ = true;
+    return Status::OK();
+  }
+  // Ridge path: center features and targets, solve penalized slopes, then
+  // recover the intercept from the means.
+  std::vector<double> xmean(d, 0.0);
+  double ymean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ymean += data.y[i];
+    for (size_t j = 0; j < d; ++j) xmean[j] += data.x[i][j];
+  }
+  ymean /= static_cast<double>(n);
+  for (size_t j = 0; j < d; ++j) xmean[j] /= static_cast<double>(n);
+  common::Matrix xc(n, d);
+  std::vector<double> yc(n);
+  for (size_t i = 0; i < n; ++i) {
+    yc[i] = data.y[i] - ymean;
+    for (size_t j = 0; j < d; ++j) xc(i, j) = data.x[i][j] - xmean[j];
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(w, common::LeastSquares(xc, yc, l2_));
+  coef_ = w;
+  intercept_ = ymean - common::Dot(coef_, xmean);
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LinearRegression::Predict(const std::vector<double>& features) const {
+  assert(fitted_ && features.size() == coef_.size());
+  return intercept_ + common::Dot(coef_, features);
+}
+
+std::vector<double> QuadraticFeatures(const std::vector<double>& x) {
+  std::vector<double> out = x;
+  out.reserve(x.size() + x.size() * (x.size() + 1) / 2);
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = i; j < x.size(); ++j) {
+      out.push_back(x[i] * x[j]);
+    }
+  }
+  return out;
+}
+
+Dataset QuadraticExpand(const Dataset& data) {
+  Dataset out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    out.Add(QuadraticFeatures(data.x[i]), data.y[i]);
+  }
+  return out;
+}
+
+Status QuadraticRegression::Fit(const Dataset& data) {
+  return linear_.Fit(QuadraticExpand(data));
+}
+
+double QuadraticRegression::Predict(const std::vector<double>& features) const {
+  return linear_.Predict(QuadraticFeatures(features));
+}
+
+}  // namespace rockhopper::ml

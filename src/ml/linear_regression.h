@@ -1,0 +1,60 @@
+#ifndef ROCKHOPPER_ML_LINEAR_REGRESSION_H_
+#define ROCKHOPPER_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace rockhopper::ml {
+
+/// Ordinary / ridge least-squares linear regression with an (unpenalized)
+/// intercept. With l2 = 0 this is plain OLS.
+///
+/// This is the statistical workhorse of Centroid Learning's FIND_GRADIENT:
+/// a linear surface fitted on the last N noisy observations whose
+/// coefficient signs give the descent direction (paper §4.3, Fig. 6).
+class LinearRegression : public Regressor {
+ public:
+  explicit LinearRegression(double l2 = 0.0) : l2_(l2) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Slope coefficients, one per feature (intercept excluded).
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double l2_;
+  bool fitted_ = false;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Expands a feature row with pairwise products and squares, turning the
+/// linear learners into quadratic-surface learners:
+/// [x1..xd] -> [x1..xd, x1*x1, x1*x2, ..., xd*xd].
+std::vector<double> QuadraticFeatures(const std::vector<double>& x);
+
+/// Applies QuadraticFeatures to every row of a dataset (targets unchanged).
+Dataset QuadraticExpand(const Dataset& data);
+
+/// Linear regression on QuadraticFeatures: a convex-bowl-capable surface
+/// used as the non-linear H(c, p) model in FIND_BEST/FIND_GRADIENT when the
+/// observation window is too small for a kernel method.
+class QuadraticRegression : public Regressor {
+ public:
+  explicit QuadraticRegression(double l2 = 1e-6) : linear_(l2) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  bool is_fitted() const override { return linear_.is_fitted(); }
+
+ private:
+  LinearRegression linear_;
+};
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,80 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace rockhopper::ml {
+
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& pred) {
+  assert(truth.size() == pred.size() && !truth.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& pred) {
+  return std::sqrt(MeanSquaredError(truth, pred));
+}
+
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred) {
+  assert(truth.size() == pred.size() && !truth.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    sum += std::fabs(truth[i] - pred[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double R2Score(const std::vector<double>& truth,
+               const std::vector<double>& pred) {
+  assert(truth.size() == pred.size() && !truth.empty());
+  const double mean = common::Mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+namespace {
+
+// Ranks with ties averaged.
+std::vector<double> Ranks(const std::vector<double>& xs) {
+  std::vector<size_t> order(xs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 +
+                            1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  return common::PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+}  // namespace rockhopper::ml

@@ -1,0 +1,33 @@
+#ifndef ROCKHOPPER_ML_METRICS_H_
+#define ROCKHOPPER_ML_METRICS_H_
+
+#include <vector>
+
+namespace rockhopper::ml {
+
+/// Mean squared error; requires equal non-zero lengths.
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& pred);
+
+/// Root mean squared error.
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& pred);
+
+/// Mean absolute error.
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred);
+
+/// Coefficient of determination; 1 for a perfect fit, <= 0 for fits no
+/// better than predicting the mean. Returns 0 when truth is constant.
+double R2Score(const std::vector<double>& truth,
+               const std::vector<double>& pred);
+
+/// Spearman rank correlation: the metric that matters for a *surrogate* —
+/// candidate selection only needs the predicted ordering to match the true
+/// ordering. Ties receive averaged ranks.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_METRICS_H_

@@ -1,0 +1,52 @@
+#ifndef ROCKHOPPER_ML_MODEL_H_
+#define ROCKHOPPER_ML_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace rockhopper::ml {
+
+/// Common interface for the regression models used as tuning surrogates.
+/// Implementations must be refittable: Fit() discards any previous state.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on `data`; fails on empty or malformed input.
+  virtual Status Fit(const Dataset& data) = 0;
+
+  /// Point prediction for one feature row. Requires a prior successful Fit;
+  /// the behaviour is undefined otherwise (asserts in debug builds).
+  virtual double Predict(const std::vector<double>& features) const = 0;
+
+  virtual bool is_fitted() const = 0;
+
+  /// Point predictions for many rows.
+  std::vector<double> PredictBatch(
+      const std::vector<std::vector<double>>& rows) const {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto& row : rows) out.push_back(Predict(row));
+    return out;
+  }
+};
+
+/// Mean and standard deviation of a probabilistic prediction.
+struct Prediction {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// A Regressor that also quantifies predictive uncertainty (e.g. a Gaussian
+/// process), as required by Bayesian-optimization acquisition functions.
+class ProbabilisticRegressor : public Regressor {
+ public:
+  virtual Prediction PredictWithUncertainty(
+      const std::vector<double>& features) const = 0;
+};
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_MODEL_H_

@@ -1,0 +1,52 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rockhopper::ml {
+
+Status RandomForestRegressor::Fit(const Dataset& data) {
+  ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) return Status::InvalidArgument("empty training data");
+  trees_.clear();
+  const int d = static_cast<int>(data.num_features());
+  DecisionTreeOptions tree_options = options_.tree;
+  tree_options.max_features = options_.max_features > 0
+                                  ? options_.max_features
+                                  : std::max(1, d / 3);
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(options_.sample_fraction *
+                             static_cast<double>(data.size())));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    const Dataset boot = BootstrapSample(data, sample_size, &rng_);
+    DecisionTreeRegressor tree(tree_options, rng_.Fork().engine()());
+    ROCKHOPPER_RETURN_IF_ERROR(tree.Fit(boot));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForestRegressor::Predict(
+    const std::vector<double>& features) const {
+  return PredictWithUncertainty(features).mean;
+}
+
+Prediction RandomForestRegressor::PredictWithUncertainty(
+    const std::vector<double>& features) const {
+  assert(!trees_.empty());
+  double sum = 0.0, sq = 0.0;
+  for (const DecisionTreeRegressor& tree : trees_) {
+    const double p = tree.Predict(features);
+    sum += p;
+    sq += p * p;
+  }
+  const double n = static_cast<double>(trees_.size());
+  Prediction out;
+  out.mean = sum / n;
+  const double var = std::max(0.0, sq / n - out.mean * out.mean);
+  out.stddev = std::sqrt(var);
+  return out;
+}
+
+}  // namespace rockhopper::ml

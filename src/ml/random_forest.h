@@ -1,0 +1,47 @@
+#ifndef ROCKHOPPER_ML_RANDOM_FOREST_H_
+#define ROCKHOPPER_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace rockhopper::ml {
+
+struct RandomForestOptions {
+  int num_trees = 30;
+  DecisionTreeOptions tree;
+  /// Bootstrap sample size as a fraction of the training set.
+  double sample_fraction = 1.0;
+  /// Per-split feature subset; 0 = max(1, d/3), the regression default.
+  int max_features = 0;
+};
+
+/// Bagged CART ensemble (regression random forest). Predictions average the
+/// trees; PredictWithUncertainty exposes the tree-disagreement stddev so
+/// the forest can drive acquisition functions like the GP does.
+class RandomForestRegressor : public ProbabilisticRegressor {
+ public:
+  explicit RandomForestRegressor(RandomForestOptions options = {},
+                                 uint64_t seed = 1)
+      : options_(options), rng_(seed) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  Prediction PredictWithUncertainty(
+      const std::vector<double>& features) const override;
+  bool is_fitted() const override { return !trees_.empty(); }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  common::Rng rng_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_RANDOM_FOREST_H_

@@ -1,0 +1,109 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace rockhopper::ml {
+
+Status StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Status::InvalidArgument("no rows to fit scaler");
+  const size_t width = rows[0].size();
+  mean_.assign(width, 0.0);
+  scale_.assign(width, 1.0);
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      mean_.clear();
+      return Status::InvalidArgument("ragged rows in scaler input");
+    }
+    for (size_t j = 0; j < width; ++j) mean_[j] += row[j];
+  }
+  const double n = static_cast<double>(rows.size());
+  for (size_t j = 0; j < width; ++j) mean_[j] /= n;
+  std::vector<double> ss(width, 0.0);
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < width; ++j) {
+      const double d = row[j] - mean_[j];
+      ss[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < width; ++j) {
+    const double sd = std::sqrt(ss[j] / n);
+    scale_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  return Status::OK();
+}
+
+std::vector<double> StandardScaler::Transform(
+    const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::TransformBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Transform(row));
+  return out;
+}
+
+std::vector<double> StandardScaler::InverseTransform(
+    const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = row[j] * scale_[j] + mean_[j];
+  }
+  return out;
+}
+
+void TargetScaler::Fit(const std::vector<double>& y) {
+  mean_ = common::Mean(y);
+  const double sd = common::StdDev(y);
+  scale_ = sd > 1e-12 ? sd : 1.0;
+  fitted_ = true;
+}
+
+Status StandardScaler::Save(const std::string& prefix,
+                            common::ArchiveWriter* writer) const {
+  if (!is_fitted()) return Status::FailedPrecondition("scaler not fitted");
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutDoubles(prefix + ".mean", mean_));
+  return writer->PutDoubles(prefix + ".scale", scale_);
+}
+
+Status StandardScaler::Load(const std::string& prefix,
+                            const common::ArchiveReader& reader) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(mean, reader.GetDoubles(prefix + ".mean"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(scale, reader.GetDoubles(prefix + ".scale"));
+  if (mean.size() != scale.size() || mean.empty()) {
+    return Status::InvalidArgument("inconsistent scaler state in archive");
+  }
+  mean_ = std::move(mean);
+  scale_ = std::move(scale);
+  return Status::OK();
+}
+
+Status TargetScaler::Save(const std::string& prefix,
+                          common::ArchiveWriter* writer) const {
+  if (!fitted_) return Status::FailedPrecondition("target scaler not fitted");
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutDouble(prefix + ".mean", mean_));
+  return writer->PutDouble(prefix + ".scale", scale_);
+}
+
+Status TargetScaler::Load(const std::string& prefix,
+                          const common::ArchiveReader& reader) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(mean, reader.GetDouble(prefix + ".mean"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(scale, reader.GetDouble(prefix + ".scale"));
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("non-positive target scale in archive");
+  }
+  mean_ = mean;
+  scale_ = scale;
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace rockhopper::ml

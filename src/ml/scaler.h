@@ -1,0 +1,62 @@
+#ifndef ROCKHOPPER_ML_SCALER_H_
+#define ROCKHOPPER_ML_SCALER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/archive.h"
+#include "common/status.h"
+
+namespace rockhopper::ml {
+
+/// Per-feature standardization to zero mean and unit variance. Constant
+/// features are left centered with scale 1 so Transform stays finite.
+class StandardScaler {
+ public:
+  Status Fit(const std::vector<std::vector<double>>& rows);
+
+  bool is_fitted() const { return !mean_.empty(); }
+  size_t num_features() const { return mean_.size(); }
+
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> TransformBatch(
+      const std::vector<std::vector<double>>& rows) const;
+  std::vector<double> InverseTransform(const std::vector<double>& row) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+  /// Persists the fitted state under `prefix` (model distribution, §5).
+  Status Save(const std::string& prefix, common::ArchiveWriter* writer) const;
+  Status Load(const std::string& prefix, const common::ArchiveReader& reader);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+/// Scalar standardization of regression targets; remembers mean/stddev so
+/// predictions can be mapped back to the original units.
+class TargetScaler {
+ public:
+  void Fit(const std::vector<double>& y);
+  bool is_fitted() const { return fitted_; }
+  double Transform(double y) const { return (y - mean_) / scale_; }
+  double InverseTransform(double z) const { return z * scale_ + mean_; }
+  /// Maps a standardized stddev back to original units.
+  double InverseTransformStd(double s) const { return s * scale_; }
+  double mean() const { return mean_; }
+  double scale() const { return scale_; }
+
+  Status Save(const std::string& prefix, common::ArchiveWriter* writer) const;
+  Status Load(const std::string& prefix, const common::ArchiveReader& reader);
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace rockhopper::ml
+
+#endif  // ROCKHOPPER_ML_SCALER_H_

@@ -1,0 +1,83 @@
+#include "ml/svr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/matrix.h"
+
+namespace rockhopper::ml {
+
+namespace {
+
+double SoftThreshold(double z, double eps) {
+  if (z > eps) return z - eps;
+  if (z < -eps) return z + eps;
+  return 0.0;
+}
+
+}  // namespace
+
+Status EpsilonSVR::Fit(const Dataset& data) {
+  ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
+  if (data.empty()) return Status::InvalidArgument("empty training data");
+  fitted_ = false;
+  ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Fit(data.x));
+  y_scaler_.Fit(data.y);
+  train_x_ = x_scaler_.TransformBatch(data.x);
+  const size_t n = train_x_.size();
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = y_scaler_.Transform(data.y[i]);
+
+  kernel_ = RbfKernel{options_.lengthscale, 1.0};
+  // Augmented kernel K' = K + 1 absorbs the bias term.
+  common::Matrix k = GramMatrix(kernel_, train_x_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) k(i, j) += 1.0;
+  }
+
+  beta_.assign(n, 0.0);
+  // f_cache[i] = sum_j beta_j K'(i, j), maintained incrementally.
+  std::vector<double> f_cache(n, 0.0);
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double kii = k(i, i);
+      if (kii <= 0.0) continue;
+      // Gradient of the smooth part w.r.t. beta_i, excluding beta_i itself.
+      const double g = f_cache[i] - beta_[i] * kii - y[i];
+      const double target =
+          std::clamp(SoftThreshold(-g, options_.epsilon) / kii, -options_.c,
+                     options_.c);
+      const double delta = target - beta_[i];
+      if (delta == 0.0) continue;
+      beta_[i] = target;
+      for (size_t j = 0; j < n; ++j) f_cache[j] += delta * k(i, j);
+      max_delta = std::max(max_delta, std::fabs(delta));
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double EpsilonSVR::Predict(const std::vector<double>& features) const {
+  assert(fitted_);
+  const std::vector<double> xs = x_scaler_.Transform(features);
+  double sum = 0.0;
+  for (size_t i = 0; i < train_x_.size(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    sum += beta_[i] * (kernel_(train_x_[i], xs) + 1.0);
+  }
+  return y_scaler_.InverseTransform(sum);
+}
+
+size_t EpsilonSVR::num_support_vectors() const {
+  size_t count = 0;
+  for (double b : beta_) {
+    if (b != 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace rockhopper::ml

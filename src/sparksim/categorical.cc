@@ -1,0 +1,75 @@
+#include "sparksim/categorical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace rockhopper::sparksim {
+
+Result<CategoricalParam> CategoricalParam::Create(
+    std::string name, std::vector<std::string> values, size_t default_index) {
+  if (values.empty()) {
+    return Status::InvalidArgument("categorical parameter needs values");
+  }
+  if (default_index >= values.size()) {
+    return Status::InvalidArgument("default index out of range");
+  }
+  std::set<std::string> unique(values.begin(), values.end());
+  if (unique.size() != values.size()) {
+    return Status::InvalidArgument("duplicate categorical values");
+  }
+  return CategoricalParam(std::move(name), std::move(values), default_index);
+}
+
+ParamSpec CategoricalParam::Spec() const {
+  ParamSpec spec;
+  spec.name = name_;
+  spec.min_value = 0.0;
+  spec.max_value = static_cast<double>(values_.size() - 1);
+  spec.default_value = static_cast<double>(default_index_);
+  spec.log_scale = false;
+  spec.integer = true;
+  return spec;
+}
+
+const std::string& CategoricalParam::Decode(double dimension_value) const {
+  const double rounded = std::round(dimension_value);
+  const double clamped =
+      std::clamp(rounded, 0.0, static_cast<double>(values_.size() - 1));
+  return values_[static_cast<size_t>(clamped)];
+}
+
+Result<double> CategoricalParam::Encode(const std::string& value) const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == value) return static_cast<double>(i);
+  }
+  return Status::NotFound("unknown category: " + value);
+}
+
+Status CategoricalParam::ReorderByPerformance(
+    const std::vector<std::pair<std::string, double>>&
+        mean_runtime_by_value) {
+  if (mean_runtime_by_value.size() != values_.size()) {
+    return Status::InvalidArgument("need one mean runtime per category");
+  }
+  const std::string default_value = values_[default_index_];
+  std::vector<std::pair<double, std::string>> ranked;
+  std::set<std::string> seen;
+  for (const auto& [value, runtime] : mean_runtime_by_value) {
+    if (!Encode(value).ok()) {
+      return Status::InvalidArgument("unknown category: " + value);
+    }
+    if (!seen.insert(value).second) {
+      return Status::InvalidArgument("duplicate category: " + value);
+    }
+    ranked.emplace_back(runtime, value);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    values_[i] = ranked[i].second;
+    if (values_[i] == default_value) default_index_ = i;
+  }
+  return Status::OK();
+}
+
+}  // namespace rockhopper::sparksim

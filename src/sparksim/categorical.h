@@ -1,0 +1,66 @@
+#ifndef ROCKHOPPER_SPARKSIM_CATEGORICAL_H_
+#define ROCKHOPPER_SPARKSIM_CATEGORICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparksim/config_space.h"
+
+namespace rockhopper::sparksim {
+
+/// Adapter that maps a categorical Spark configuration (e.g. a compression
+/// codec in {lz4, snappy, zstd} or a boolean feature flag) onto one
+/// continuous, integer-valued ConfigSpace dimension so the continuous
+/// tuners can handle it — the embedding approach §4.3 points to for
+/// categorical configurations.
+///
+/// The axis position of each category matters for neighborhood search:
+/// adjacent indices should behave similarly. ReorderByPerformance sorts the
+/// categories by their observed mean runtime, turning the arbitrary initial
+/// ordering into a performance-monotone embedding (the 1-D analogue of the
+/// learned categorical embeddings the paper cites).
+class CategoricalParam {
+ public:
+  /// `values` must be non-empty and unique; `default_index` in range.
+  static Result<CategoricalParam> Create(std::string name,
+                                         std::vector<std::string> values,
+                                         size_t default_index);
+
+  /// The continuous ParamSpec for this dimension: integer values in
+  /// [0, size-1], linear scale.
+  ParamSpec Spec() const;
+
+  size_t size() const { return values_.size(); }
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& values() const { return values_; }
+
+  /// Category for a continuous dimension value (rounds and clamps).
+  const std::string& Decode(double dimension_value) const;
+
+  /// Dimension value for a category name; NotFound for unknown names.
+  Result<double> Encode(const std::string& value) const;
+
+  /// Reorders the embedding so categories sort by ascending mean runtime.
+  /// `mean_runtime_by_value` must cover every category (extra names are
+  /// rejected). Existing encoded values become stale after a reorder;
+  /// callers re-encode.
+  Status ReorderByPerformance(
+      const std::vector<std::pair<std::string, double>>&
+          mean_runtime_by_value);
+
+ private:
+  CategoricalParam(std::string name, std::vector<std::string> values,
+                   size_t default_index)
+      : name_(std::move(name)),
+        values_(std::move(values)),
+        default_index_(default_index) {}
+
+  std::string name_;
+  std::vector<std::string> values_;
+  size_t default_index_;
+};
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_CATEGORICAL_H_

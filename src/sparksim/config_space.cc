@@ -1,0 +1,200 @@
+#include "sparksim/config_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace rockhopper::sparksim {
+
+Result<size_t> ConfigSpace::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return i;
+  }
+  return Status::NotFound("no such parameter: " + name);
+}
+
+ConfigVector ConfigSpace::Defaults() const {
+  ConfigVector out(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out[i] = params_[i].default_value;
+  }
+  return out;
+}
+
+ConfigVector ConfigSpace::Clamp(ConfigVector config) const {
+  assert(config.size() == params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    config[i] = std::clamp(config[i], p.min_value, p.max_value);
+    if (p.integer) config[i] = std::round(config[i]);
+  }
+  return config;
+}
+
+Status ConfigSpace::Validate(const ConfigVector& config) const {
+  if (config.size() != params_.size()) {
+    std::ostringstream msg;
+    msg << "config has " << config.size() << " values, space has "
+        << params_.size();
+    return Status::InvalidArgument(msg.str());
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    if (config[i] < p.min_value || config[i] > p.max_value) {
+      std::ostringstream msg;
+      msg << p.name << "=" << config[i] << " outside [" << p.min_value << ", "
+          << p.max_value << "]";
+      return Status::OutOfRange(msg.str());
+    }
+  }
+  return Status::OK();
+}
+
+ConfigVector ConfigSpace::Sample(common::Rng* rng) const {
+  ConfigVector out(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    out[i] = p.log_scale ? rng->LogUniform(p.min_value, p.max_value)
+                         : rng->Uniform(p.min_value, p.max_value);
+  }
+  return Clamp(std::move(out));
+}
+
+double ConfigSpace::Reflect(const ParamSpec& spec, double value) {
+  if (spec.log_scale) {
+    // Mirror in log space: log-distance past the edge comes back inward.
+    for (int i = 0; i < 4 && (value > spec.max_value || value < spec.min_value);
+         ++i) {
+      if (value > spec.max_value) {
+        value = spec.max_value * spec.max_value / value;
+      } else if (value < spec.min_value) {
+        value = spec.min_value * spec.min_value / value;
+      }
+    }
+  } else {
+    for (int i = 0; i < 4 && (value > spec.max_value || value < spec.min_value);
+         ++i) {
+      if (value > spec.max_value) {
+        value = 2.0 * spec.max_value - value;
+      } else if (value < spec.min_value) {
+        value = 2.0 * spec.min_value - value;
+      }
+    }
+  }
+  return std::clamp(value, spec.min_value, spec.max_value);
+}
+
+std::vector<ConfigVector> ConfigSpace::LatinHypercubeSample(
+    size_t n, common::Rng* rng) const {
+  if (n == 0) return {};
+  // One permutation of strata per dimension; samples are drawn uniformly
+  // within each stratum in normalized (log-aware) coordinates.
+  std::vector<std::vector<size_t>> strata(params_.size());
+  for (size_t d = 0; d < params_.size(); ++d) {
+    strata[d].resize(n);
+    for (size_t i = 0; i < n; ++i) strata[d][i] = i;
+    rng->Shuffle(&strata[d]);
+  }
+  std::vector<ConfigVector> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> unit(params_.size());
+    for (size_t d = 0; d < params_.size(); ++d) {
+      unit[d] = (static_cast<double>(strata[d][i]) + rng->Uniform()) /
+                static_cast<double>(n);
+    }
+    out.push_back(Denormalize(unit));
+  }
+  return out;
+}
+
+ConfigVector ConfigSpace::SampleNeighbor(const ConfigVector& center,
+                                         double step,
+                                         common::Rng* rng) const {
+  assert(center.size() == params_.size());
+  ConfigVector out(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    const double u = rng->Uniform(-step, step);
+    if (p.log_scale) {
+      // Multiplicative perturbation: c * exp(u) stays within a relative
+      // factor of exp(step) of the center. Reflected at the range edges so
+      // centers near a boundary still get two-sided neighborhoods.
+      out[i] = Reflect(p, center[i] * std::exp(u));
+    } else {
+      out[i] = Reflect(p, center[i] + u * (p.max_value - p.min_value));
+    }
+  }
+  return Clamp(std::move(out));
+}
+
+std::vector<double> ConfigSpace::Normalize(const ConfigVector& config) const {
+  assert(config.size() == params_.size());
+  std::vector<double> out(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    const double v = std::clamp(config[i], p.min_value, p.max_value);
+    if (p.log_scale) {
+      out[i] = (std::log(v) - std::log(p.min_value)) /
+               (std::log(p.max_value) - std::log(p.min_value));
+    } else {
+      out[i] = (v - p.min_value) / (p.max_value - p.min_value);
+    }
+  }
+  return out;
+}
+
+ConfigVector ConfigSpace::Denormalize(const std::vector<double>& unit) const {
+  assert(unit.size() == params_.size());
+  ConfigVector out(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    const double u = std::clamp(unit[i], 0.0, 1.0);
+    if (p.log_scale) {
+      out[i] = std::exp(std::log(p.min_value) +
+                        u * (std::log(p.max_value) - std::log(p.min_value)));
+    } else {
+      out[i] = p.min_value + u * (p.max_value - p.min_value);
+    }
+  }
+  return Clamp(std::move(out));
+}
+
+ConfigSpace ConfigSpace::Concat(const ConfigSpace& a, const ConfigSpace& b) {
+  std::vector<ParamSpec> params = a.params_;
+  params.insert(params.end(), b.params_.begin(), b.params_.end());
+  return ConfigSpace(std::move(params));
+}
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace
+
+ConfigSpace QueryLevelSpace() {
+  ConfigSpace space;
+  space.Add({kMaxPartitionBytes, 1.0 * kMiB, 1024.0 * kMiB, 128.0 * kMiB,
+             /*log_scale=*/true, /*integer=*/true});
+  space.Add({kBroadcastThreshold, 0.0625 * kMiB, 512.0 * kMiB, 10.0 * kMiB,
+             /*log_scale=*/true, /*integer=*/true});
+  space.Add({kShufflePartitions, 8.0, 2000.0, 200.0,
+             /*log_scale=*/true, /*integer=*/true});
+  return space;
+}
+
+ConfigSpace AppLevelSpace() {
+  ConfigSpace space;
+  space.Add({kExecutorInstances, 2.0, 64.0, 8.0,
+             /*log_scale=*/true, /*integer=*/true});
+  space.Add({kExecutorMemoryGb, 4.0, 56.0, 28.0,
+             /*log_scale=*/true, /*integer=*/true});
+  return space;
+}
+
+ConfigSpace JointSpace() {
+  return ConfigSpace::Concat(AppLevelSpace(), QueryLevelSpace());
+}
+
+}  // namespace rockhopper::sparksim

@@ -1,0 +1,124 @@
+#ifndef ROCKHOPPER_SPARKSIM_CONFIG_SPACE_H_
+#define ROCKHOPPER_SPARKSIM_CONFIG_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace rockhopper::sparksim {
+
+/// A configuration assignment: one value per parameter of a ConfigSpace, in
+/// the space's declaration order.
+using ConfigVector = std::vector<double>;
+
+/// Metadata for one tunable Spark parameter.
+struct ParamSpec {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  double default_value = 0.0;
+  /// Neighborhoods and random samples are taken in log space (the natural
+  /// geometry for byte sizes and partition counts).
+  bool log_scale = false;
+  /// Values are rounded to integers after any transformation.
+  bool integer = false;
+};
+
+/// An ordered set of tunable parameters plus range arithmetic used by every
+/// tuner: clamping, random sampling, and relative neighborhoods.
+class ConfigSpace {
+ public:
+  ConfigSpace() = default;
+  explicit ConfigSpace(std::vector<ParamSpec> params)
+      : params_(std::move(params)) {}
+
+  void Add(ParamSpec spec) { params_.push_back(std::move(spec)); }
+
+  size_t size() const { return params_.size(); }
+  const ParamSpec& param(size_t i) const { return params_[i]; }
+  const std::vector<ParamSpec>& params() const { return params_; }
+
+  /// Index of the named parameter, or error when absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// The all-defaults configuration.
+  ConfigVector Defaults() const;
+
+  /// Clamps each value into its parameter's range and rounds integer
+  /// parameters.
+  ConfigVector Clamp(ConfigVector config) const;
+
+  /// Validates dimension and ranges.
+  Status Validate(const ConfigVector& config) const;
+
+  /// Uniform (log-uniform for log-scale parameters) random configuration.
+  ConfigVector Sample(common::Rng* rng) const;
+
+  /// Latin hypercube design of `n` configurations: every dimension is
+  /// stratified into n equal (log-geometry-aware) bins with exactly one
+  /// sample per bin, independently permuted per dimension. Better space
+  /// coverage per sample than i.i.d. sampling — the flighting pipeline's
+  /// alternative config-generation algorithm (the paper lists LHS among
+  /// related approaches and leaves generation efficiency as future work).
+  std::vector<ConfigVector> LatinHypercubeSample(size_t n,
+                                                 common::Rng* rng) const;
+
+  /// A random configuration inside the relative neighborhood of `center`:
+  /// each dimension is perturbed by at most `step` in relative terms
+  /// (multiplicative for log-scale parameters, additive fraction of the range
+  /// otherwise), then clamped. This is the candidate-generation primitive of
+  /// Centroid Learning (step = beta) and of the app-level optimizer.
+  ConfigVector SampleNeighbor(const ConfigVector& center, double step,
+                              common::Rng* rng) const;
+
+  /// Maps a configuration into [0, 1]^d (log-scaled dims use log geometry):
+  /// the normalized feature representation handed to surrogate models.
+  std::vector<double> Normalize(const ConfigVector& config) const;
+
+  /// Inverse of Normalize (then clamped).
+  ConfigVector Denormalize(const std::vector<double>& unit) const;
+
+  /// Concatenates two spaces (e.g. app-level + query-level for the joint
+  /// optimization of Algorithm 2).
+  static ConfigSpace Concat(const ConfigSpace& a, const ConfigSpace& b);
+
+  /// Reflects `value` back into the parameter's range instead of clamping
+  /// (mirror in log space for log-scale parameters). Plain clamping makes
+  /// range boundaries absorbing for neighborhood samplers and gradient
+  /// probes — out-of-range steps would collapse onto the edge, so "stay at
+  /// the boundary" wins every model comparison there.
+  static double Reflect(const ParamSpec& spec, double value);
+
+ private:
+  std::vector<ParamSpec> params_;
+};
+
+/// Well-known parameter names used across the library (matching the Spark
+/// configuration keys the production deployment tunes, §6.3).
+inline constexpr char kMaxPartitionBytes[] =
+    "spark.sql.files.maxPartitionBytes";
+inline constexpr char kBroadcastThreshold[] =
+    "spark.sql.autoBroadcastJoinThreshold";
+inline constexpr char kShufflePartitions[] = "spark.sql.shuffle.partitions";
+inline constexpr char kExecutorInstances[] = "spark.executor.instances";
+inline constexpr char kExecutorMemoryGb[] = "spark.executor.memory";
+
+/// The three query-level parameters tuned in production (§6.3):
+/// maxPartitionBytes [1 MiB, 1 GiB] (default 128 MiB),
+/// autoBroadcastJoinThreshold [64 KiB, 512 MiB] (default 10 MiB),
+/// shuffle.partitions [8, 2000] (default 200).
+ConfigSpace QueryLevelSpace();
+
+/// The two app-level parameters (§4.4): executor instances [2, 64]
+/// (default 8) and executor memory in GiB [4, 56] (default 28).
+ConfigSpace AppLevelSpace();
+
+/// AppLevelSpace() followed by QueryLevelSpace(): the joint space of
+/// Algorithm 2.
+ConfigSpace JointSpace();
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_CONFIG_SPACE_H_

@@ -1,0 +1,276 @@
+#include "sparksim/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rockhopper::sparksim {
+
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+double QueryParam(const ConfigVector& v, size_t i) {
+  assert(v.size() >= 3);
+  return v[i];
+}
+
+}  // namespace
+
+EffectiveConfig EffectiveConfig::FromQueryConfig(
+    const ConfigVector& query_config) {
+  EffectiveConfig c;
+  c.max_partition_bytes = QueryParam(query_config, 0);
+  c.broadcast_threshold = QueryParam(query_config, 1);
+  c.shuffle_partitions = QueryParam(query_config, 2);
+  return c;
+}
+
+EffectiveConfig EffectiveConfig::FromJointConfig(
+    const ConfigVector& joint_config) {
+  assert(joint_config.size() >= 5);
+  EffectiveConfig c;
+  c.executor_instances = joint_config[0];
+  c.executor_memory_gb = joint_config[1];
+  c.max_partition_bytes = joint_config[2];
+  c.broadcast_threshold = joint_config[3];
+  c.shuffle_partitions = joint_config[4];
+  return c;
+}
+
+EffectiveConfig EffectiveConfig::FromAppAndQuery(
+    const ConfigVector& app_config, const ConfigVector& query_config) {
+  assert(app_config.size() >= 2);
+  EffectiveConfig c = FromQueryConfig(query_config);
+  c.executor_instances = app_config[0];
+  c.executor_memory_gb = app_config[1];
+  return c;
+}
+
+double CostModel::SlotCount(const EffectiveConfig& config) const {
+  return std::max(1.0, config.executor_instances) *
+         static_cast<double>(pool_.cores_per_executor);
+}
+
+double CostModel::Waves(double tasks, double slots) const {
+  return std::ceil(std::max(1.0, tasks) / std::max(1.0, slots));
+}
+
+double CostModel::SpillMultiplier(double bytes_per_task,
+                                  const EffectiveConfig& config,
+                                  ExecutionMetrics* metrics) const {
+  const double mem_per_task = config.executor_memory_gb * kGiB *
+                              params_.memory_fraction /
+                              static_cast<double>(pool_.cores_per_executor);
+  if (bytes_per_task <= mem_per_task) return 1.0;
+  if (metrics != nullptr) ++metrics->spill_events;
+  const double over = bytes_per_task / mem_per_task - 1.0;
+  return std::min(params_.max_spill_multiplier,
+                  1.0 + params_.spill_penalty * over);
+}
+
+double CostModel::ScanCost(double bytes, const EffectiveConfig& config,
+                           ExecutionMetrics* metrics) const {
+  if (bytes <= 0.0) return 0.0;
+  const double slots = SlotCount(config);
+  const double tasks =
+      std::max(1.0, std::ceil(bytes / std::max(1.0, config.max_partition_bytes)));
+  const double per_task = bytes / tasks;
+  const double task_time =
+      per_task / params_.scan_throughput + params_.task_overhead_sec;
+  if (metrics != nullptr) {
+    metrics->total_tasks += tasks;
+    metrics->scan_bytes += bytes;
+  }
+  return Waves(tasks, slots) * task_time;
+}
+
+double CostModel::ExchangeCost(double bytes, const EffectiveConfig& config,
+                               ExecutionMetrics* metrics) const {
+  if (bytes <= 0.0) return 0.0;
+  const double slots = SlotCount(config);
+  const double partitions = std::max(1.0, config.shuffle_partitions);
+  // Map-side write is spread over the available cores.
+  const double write_sec = bytes / (params_.shuffle_write_throughput * slots);
+  // Reduce side: one task per shuffle partition. Oversized partitions spill.
+  const double per_partition = bytes / partitions;
+  const double spill = SpillMultiplier(per_partition, config, metrics);
+  const double task_time =
+      per_partition * spill / params_.shuffle_read_throughput +
+      params_.task_overhead_sec;
+  if (metrics != nullptr) {
+    metrics->total_tasks += partitions;
+    metrics->shuffle_bytes += bytes;
+  }
+  return write_sec + Waves(partitions, slots) * task_time;
+}
+
+double CostModel::CpuCost(double rows, const EffectiveConfig& config) const {
+  if (rows <= 0.0) return 0.0;
+  return rows / (params_.cpu_rows_per_sec * SlotCount(config));
+}
+
+double CostModel::SortCost(double rows, double bytes,
+                           const EffectiveConfig& config,
+                           ExecutionMetrics* metrics) const {
+  if (rows <= 0.0) return 0.0;
+  const double partitions = std::max(1.0, config.shuffle_partitions);
+  const double per_task_rows = rows / partitions;
+  const double log_factor = std::log2(std::max(2.0, per_task_rows));
+  const double spill = SpillMultiplier(bytes / partitions, config, metrics);
+  return CpuCost(rows, config) * log_factor * 0.25 * spill;
+}
+
+double CostModel::SubtreeCostSkippingExchange(const QueryPlan& plan,
+                                              size_t index,
+                                              const EffectiveConfig& config,
+                                              double scale,
+                                              ExecutionMetrics* metrics) const {
+  const PlanNode& n = plan.node(index);
+  if (n.type == OperatorType::kExchange) {
+    double sum = 0.0;
+    for (uint32_t c : n.children) {
+      sum += SubtreeCost(plan, c, config, scale, metrics);
+    }
+    return sum;
+  }
+  return SubtreeCost(plan, index, config, scale, metrics);
+}
+
+double CostModel::SubtreeCost(const QueryPlan& plan, size_t index,
+                              const EffectiveConfig& config, double scale,
+                              ExecutionMetrics* metrics) const {
+  const PlanNode& n = plan.node(index);
+  const double rows = n.est_output_rows * scale;
+  const double bytes = rows * n.row_width_bytes;
+
+  switch (n.type) {
+    case OperatorType::kScan:
+      return ScanCost(bytes, config, metrics);
+    case OperatorType::kFilter:
+    case OperatorType::kProject: {
+      double sum = CpuCost(plan.InputRows(index) * scale, config);
+      for (uint32_t c : n.children) {
+        sum += SubtreeCost(plan, c, config, scale, metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kJoin: {
+      // Children are [probe Exchange, build Exchange] (by construction in
+      // the plan generators; be permissive about other shapes).
+      if (n.children.size() != 2) {
+        double sum = CpuCost(rows, config);
+        for (uint32_t c : n.children) {
+          sum += SubtreeCost(plan, c, config, scale, metrics);
+        }
+        return sum;
+      }
+      const uint32_t left = n.children[0];
+      const uint32_t right = n.children[1];
+      const PlanNode& ln = plan.node(left);
+      const PlanNode& rn = plan.node(right);
+      const double left_bytes = ln.est_output_rows * scale * ln.row_width_bytes;
+      const double right_bytes =
+          rn.est_output_rows * scale * rn.row_width_bytes;
+      const bool build_is_right = right_bytes <= left_bytes;
+      const double build_bytes = build_is_right ? right_bytes : left_bytes;
+      const double build_rows = (build_is_right ? rn : ln).est_output_rows * scale;
+      const double probe_rows = (build_is_right ? ln : rn).est_output_rows * scale;
+      const uint32_t build_child = build_is_right ? right : left;
+      const uint32_t probe_child = build_is_right ? left : right;
+
+      // Spark semantics: broadcast iff the *estimated* build size is under
+      // the threshold — not a cost-based decision. Mis-set thresholds are
+      // exactly what the tuner exploits/fixes.
+      if (build_bytes <= config.broadcast_threshold) {
+        if (metrics != nullptr) ++metrics->broadcast_joins;
+        // Driver collect + broadcast to every executor.
+        const double bcast_sec =
+            build_bytes * std::sqrt(std::max(1.0, config.executor_instances)) /
+            params_.broadcast_throughput;
+        // The broadcast table must fit in executor memory; blowing past it
+        // models OOM-retry storms.
+        const double mem_bytes =
+            config.executor_memory_gb * kGiB * params_.memory_fraction;
+        const double oom_mult =
+            build_bytes > mem_bytes ? params_.oom_retry_multiplier : 1.0;
+        if (metrics != nullptr &&
+            build_bytes > params_.fatal_oom_multiple * mem_bytes) {
+          ++metrics->oom_events;
+        }
+        const double build_sec = CpuCost(build_rows, config);
+        const double probe_sec = CpuCost(probe_rows, config);
+        // Neither side shuffles under a broadcast hash join.
+        const double children_sec =
+            SubtreeCostSkippingExchange(plan, probe_child, config, scale,
+                                        metrics) +
+            SubtreeCostSkippingExchange(plan, build_child, config, scale,
+                                        metrics);
+        return children_sec + (bcast_sec + build_sec + probe_sec) * oom_mult;
+      }
+      // Sort-merge join: both children (their Exchanges) are paid, plus
+      // sort + merge.
+      if (metrics != nullptr) ++metrics->sort_merge_joins;
+      const double children_sec =
+          SubtreeCost(plan, probe_child, config, scale, metrics) +
+          SubtreeCost(plan, build_child, config, scale, metrics);
+      const double sort_sec =
+          SortCost(probe_rows, probe_rows * ln.row_width_bytes, config,
+                   metrics) +
+          SortCost(build_rows, build_bytes, config, metrics);
+      const double merge_sec = CpuCost(probe_rows + build_rows, config);
+      return children_sec + sort_sec + merge_sec;
+    }
+    case OperatorType::kAggregate: {
+      double sum = CpuCost(plan.InputRows(index) * scale, config) +
+                   CpuCost(rows, config);
+      for (uint32_t c : n.children) {
+        sum += SubtreeCost(plan, c, config, scale, metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kExchange: {
+      double sum = ExchangeCost(bytes, config, metrics);
+      for (uint32_t c : n.children) {
+        sum += SubtreeCost(plan, c, config, scale, metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kSort: {
+      double sum = SortCost(rows, bytes, config, metrics);
+      for (uint32_t c : n.children) {
+        sum += SubtreeCost(plan, c, config, scale, metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kWindow: {
+      double sum = SortCost(rows, bytes, config, metrics) +
+                   CpuCost(rows * 2.0, config);
+      for (uint32_t c : n.children) {
+        sum += SubtreeCost(plan, c, config, scale, metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kUnion:
+    case OperatorType::kLimit: {
+      double sum = 0.0;
+      for (uint32_t c : n.children) {
+        sum += SubtreeCost(plan, c, config, scale, metrics);
+      }
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+double CostModel::ExecutionSeconds(const QueryPlan& plan,
+                                   const EffectiveConfig& config, double scale,
+                                   ExecutionMetrics* metrics) const {
+  if (plan.empty()) return 0.0;
+  const double startup =
+      params_.base_overhead_sec +
+      params_.startup_sec_per_executor * std::max(1.0, config.executor_instances);
+  return startup + SubtreeCost(plan, 0, config, scale, metrics);
+}
+
+}  // namespace rockhopper::sparksim

@@ -1,0 +1,137 @@
+#ifndef ROCKHOPPER_SPARKSIM_COST_MODEL_H_
+#define ROCKHOPPER_SPARKSIM_COST_MODEL_H_
+
+#include <string>
+
+#include "sparksim/config_space.h"
+#include "sparksim/plan.h"
+
+namespace rockhopper::sparksim {
+
+/// The Spark pool (node SKU family) a job runs on. Executors within a pool
+/// are homogeneous; the cost model derives task slots from
+/// executors x cores_per_executor.
+struct PoolSpec {
+  std::string name = "medium";
+  int cores_per_executor = 4;
+};
+
+/// The five configuration values the cost model consumes, resolved from the
+/// query-level and app-level config vectors.
+struct EffectiveConfig {
+  double max_partition_bytes = 128.0 * 1024 * 1024;
+  double broadcast_threshold = 10.0 * 1024 * 1024;
+  double shuffle_partitions = 200.0;
+  double executor_instances = 8.0;
+  double executor_memory_gb = 28.0;
+
+  /// Builds from a QueryLevelSpace() vector plus app-level defaults.
+  static EffectiveConfig FromQueryConfig(const ConfigVector& query_config);
+  /// Builds from a JointSpace() vector (app-level first).
+  static EffectiveConfig FromJointConfig(const ConfigVector& joint_config);
+  /// Builds from separate app-level and query-level vectors.
+  static EffectiveConfig FromAppAndQuery(const ConfigVector& app_config,
+                                         const ConfigVector& query_config);
+};
+
+/// Calibration constants of the analytic model. Defaults approximate a
+/// mid-size cloud Spark pool; they are exposed so tests can probe specific
+/// regimes (e.g. forcing spills).
+struct CostModelParams {
+  double scan_throughput = 150e6;        ///< bytes/sec per core
+  double shuffle_write_throughput = 90e6;
+  double shuffle_read_throughput = 110e6;
+  double cpu_rows_per_sec = 9e6;         ///< per-core row processing rate
+  double task_overhead_sec = 0.09;       ///< scheduling cost per task
+  double broadcast_throughput = 250e6;   ///< bytes/sec per executor
+  double memory_fraction = 0.6;          ///< usable fraction of executor mem
+  double spill_penalty = 1.8;            ///< slope of over-memory slowdown
+  double max_spill_multiplier = 6.0;
+  double oom_retry_multiplier = 4.0;     ///< broadcast exceeding executor mem
+  /// A broadcast build side beyond this multiple of usable executor memory
+  /// does not merely retry — the job fails (ExecutionResult::failed).
+  double fatal_oom_multiple = 3.0;
+  double startup_sec_per_executor = 0.3;
+  double base_overhead_sec = 4.0;
+};
+
+/// Per-execution diagnostics, mirroring the metrics Rockhopper's monitoring
+/// dashboard collects for posterior analysis (§6.3): partitions, plan
+/// choices, task counts and input sizes.
+struct ExecutionMetrics {
+  double total_tasks = 0.0;
+  int broadcast_joins = 0;
+  int sort_merge_joins = 0;
+  int spill_events = 0;
+  double scan_bytes = 0.0;
+  double shuffle_bytes = 0.0;
+  /// Out-of-memory incidents: a broadcast build side exceeding the fatal
+  /// multiple of usable executor memory. One or more of these marks the
+  /// execution as failed (the paper's "insufficient allocations can lead to
+  /// ... failures").
+  int oom_events = 0;
+};
+
+/// Deterministic analytic execution-time model for a physical plan under a
+/// configuration at a given data-scale multiplier. This replaces live Spark
+/// execution (see DESIGN.md): it reproduces the convex runtime-vs-config
+/// trade-offs the optimizer navigates —
+///   * maxPartitionBytes: few huge scan tasks (underparallelized) vs. many
+///     tiny ones (scheduling overhead), Fig. 1-style convexity;
+///   * shuffle.partitions: per-task memory pressure and spills vs. task
+///     overhead waves;
+///   * autoBroadcastJoinThreshold: a plan switch per join — broadcast hash
+///     join avoids both child shuffles but risks memory blow-up on large
+///     build sides;
+///   * executor instances/memory: slots and spill headroom vs. startup cost.
+class CostModel {
+ public:
+  explicit CostModel(CostModelParams params = {}, PoolSpec pool = {})
+      : params_(params), pool_(pool) {}
+
+  /// Noise-free execution time in seconds for `plan` at `scale` (cardinality
+  /// multiplier relative to the plan's base estimates). `metrics` is
+  /// optional.
+  double ExecutionSeconds(const QueryPlan& plan, const EffectiveConfig& config,
+                          double scale, ExecutionMetrics* metrics = nullptr) const;
+
+  const CostModelParams& params() const { return params_; }
+  const PoolSpec& pool() const { return pool_; }
+
+ private:
+  struct NodeCost {
+    double seconds = 0.0;
+  };
+
+  double SlotCount(const EffectiveConfig& config) const;
+  double Waves(double tasks, double slots) const;
+  double SpillMultiplier(double bytes_per_task,
+                         const EffectiveConfig& config,
+                         ExecutionMetrics* metrics) const;
+
+  double ScanCost(double bytes, const EffectiveConfig& config,
+                  ExecutionMetrics* metrics) const;
+  double ExchangeCost(double bytes, const EffectiveConfig& config,
+                      ExecutionMetrics* metrics) const;
+  double CpuCost(double rows, const EffectiveConfig& config) const;
+  double SortCost(double rows, double bytes, const EffectiveConfig& config,
+                  ExecutionMetrics* metrics) const;
+
+  /// Recursive subtree cost; handles the join-strategy decision.
+  double SubtreeCost(const QueryPlan& plan, size_t index,
+                     const EffectiveConfig& config, double scale,
+                     ExecutionMetrics* metrics) const;
+
+  /// Subtree cost with the top Exchange skipped (broadcast join path).
+  double SubtreeCostSkippingExchange(const QueryPlan& plan, size_t index,
+                                     const EffectiveConfig& config,
+                                     double scale,
+                                     ExecutionMetrics* metrics) const;
+
+  CostModelParams params_;
+  PoolSpec pool_;
+};
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_COST_MODEL_H_

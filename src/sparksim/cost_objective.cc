@@ -1,0 +1,25 @@
+#include "sparksim/cost_objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rockhopper::sparksim {
+
+double ExecutionDollars(double runtime_seconds, const EffectiveConfig& config,
+                        const PricingModel& pricing) {
+  const double hours = std::max(0.0, runtime_seconds) / 3600.0;
+  return pricing.dollars_per_job +
+         hours * std::max(1.0, config.executor_instances) *
+             pricing.dollars_per_executor_hour;
+}
+
+double BlendedObjective(double runtime_seconds, double dollars,
+                        double cost_weight, double time_scale,
+                        double dollar_scale) {
+  const double w = std::clamp(cost_weight, 0.0, 1.0);
+  const double t = runtime_seconds / std::max(1e-12, time_scale);
+  const double c = dollars / std::max(1e-12, dollar_scale);
+  return (1.0 - w) * t + w * c;
+}
+
+}  // namespace rockhopper::sparksim

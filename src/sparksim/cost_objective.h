@@ -1,0 +1,33 @@
+#ifndef ROCKHOPPER_SPARKSIM_COST_OBJECTIVE_H_
+#define ROCKHOPPER_SPARKSIM_COST_OBJECTIVE_H_
+
+#include "sparksim/cost_model.h"
+
+namespace rockhopper::sparksim {
+
+/// Cloud pricing for the dollar-cost objective the paper's user study
+/// surfaced (§2.1: "teams with particularly large resource utilization or
+/// fixed budgets also noted the importance of cost").
+struct PricingModel {
+  double dollars_per_executor_hour = 0.35;
+  /// Fixed per-job charge (driver, orchestration).
+  double dollars_per_job = 0.01;
+};
+
+/// Dollar cost of one execution: executors held for the job's duration plus
+/// the fixed charge.
+double ExecutionDollars(double runtime_seconds, const EffectiveConfig& config,
+                        const PricingModel& pricing = {});
+
+/// A blended tuning objective: (1 - cost_weight) * normalized time +
+/// cost_weight * normalized dollars. With cost_weight = 0 this is the
+/// paper's pure-latency objective; 1 is pure cost. `time_scale` and
+/// `dollar_scale` normalize the two units (typically the default config's
+/// runtime and cost), so weights are comparable.
+double BlendedObjective(double runtime_seconds, double dollars,
+                        double cost_weight, double time_scale,
+                        double dollar_scale);
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_COST_OBJECTIVE_H_

@@ -1,0 +1,18 @@
+#include "sparksim/noise.h"
+
+#include <cmath>
+
+namespace rockhopper::sparksim {
+
+double ApplyNoise(double g0, const NoiseParams& params, common::Rng* rng) {
+  double g = g0;
+  if (params.fluctuation_level > 0.0) {
+    g *= 1.0 + std::fabs(rng->Normal(0.0, params.fluctuation_level));
+  }
+  if (params.spike_level > 0.0 && rng->Bernoulli(params.spike_level / 10.0)) {
+    g *= 2.0;
+  }
+  return g;
+}
+
+}  // namespace rockhopper::sparksim

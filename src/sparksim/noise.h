@@ -1,0 +1,28 @@
+#ifndef ROCKHOPPER_SPARKSIM_NOISE_H_
+#define ROCKHOPPER_SPARKSIM_NOISE_H_
+
+#include "common/rng.h"
+
+namespace rockhopper::sparksim {
+
+/// Observation-noise model of production Spark clusters, paper Eq. (8):
+///   g = g0 * (1 + |eps|)          with probability 1 - SL/10
+///   g = g0 * (1 + |eps|) * 2      with probability SL/10   (spike)
+/// where eps ~ N(0, FL). FL ("fluctuation level") is the std-dev of the
+/// Gaussian slowdown; SL ("spike level") scales the 2x-slowdown probability.
+/// The paper's high-noise setting is FL = SL = 1; low noise is FL = SL = 0.1.
+struct NoiseParams {
+  double fluctuation_level = 1.0;  ///< FL
+  double spike_level = 1.0;        ///< SL
+
+  static NoiseParams High() { return {1.0, 1.0}; }
+  static NoiseParams Low() { return {0.1, 0.1}; }
+  static NoiseParams None() { return {0.0, 0.0}; }
+};
+
+/// Applies Eq. (8) to a baseline execution time `g0`.
+double ApplyNoise(double g0, const NoiseParams& params, common::Rng* rng);
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_NOISE_H_

@@ -1,0 +1,116 @@
+#include "sparksim/plan.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace rockhopper::sparksim {
+
+const char* OperatorTypeName(OperatorType type) {
+  switch (type) {
+    case OperatorType::kScan:
+      return "Scan";
+    case OperatorType::kFilter:
+      return "Filter";
+    case OperatorType::kProject:
+      return "Project";
+    case OperatorType::kJoin:
+      return "Join";
+    case OperatorType::kAggregate:
+      return "Aggregate";
+    case OperatorType::kExchange:
+      return "Exchange";
+    case OperatorType::kSort:
+      return "Sort";
+    case OperatorType::kUnion:
+      return "Union";
+    case OperatorType::kWindow:
+      return "Window";
+    case OperatorType::kLimit:
+      return "Limit";
+  }
+  return "Unknown";
+}
+
+uint32_t QueryPlan::AddNode(PlanNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+double QueryPlan::RootCardinality(double factor) const {
+  if (nodes_.empty()) return 0.0;
+  return root().est_output_rows * factor;
+}
+
+double QueryPlan::LeafInputCardinality(double factor) const {
+  double sum = 0.0;
+  for (const PlanNode& n : nodes_) {
+    if (n.type == OperatorType::kScan) sum += n.est_output_rows;
+  }
+  return sum * factor;
+}
+
+double QueryPlan::LeafInputBytes(double factor) const {
+  double sum = 0.0;
+  for (const PlanNode& n : nodes_) {
+    if (n.type == OperatorType::kScan) {
+      sum += n.est_output_rows * n.row_width_bytes;
+    }
+  }
+  return sum * factor;
+}
+
+std::vector<double> QueryPlan::OperatorCounts() const {
+  std::vector<double> counts(kNumOperatorTypes, 0.0);
+  for (const PlanNode& n : nodes_) {
+    counts[static_cast<size_t>(n.type)] += 1.0;
+  }
+  return counts;
+}
+
+double QueryPlan::InputRows(size_t node_index) const {
+  assert(node_index < nodes_.size());
+  const PlanNode& n = nodes_[node_index];
+  if (n.children.empty()) return n.est_output_rows;
+  double sum = 0.0;
+  for (uint32_t c : n.children) sum += nodes_[c].est_output_rows;
+  return sum;
+}
+
+void QueryPlan::AppendString(size_t index, int depth, std::string* out) const {
+  const PlanNode& n = nodes_[index];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  std::ostringstream line;
+  line << OperatorTypeName(n.type) << " rows=" << n.est_output_rows
+       << " width=" << n.row_width_bytes << "\n";
+  out->append(line.str());
+  for (uint32_t c : n.children) AppendString(c, depth + 1, out);
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out;
+  if (!nodes_.empty()) AppendString(0, 0, &out);
+  return out;
+}
+
+uint64_t QueryPlan::Signature() const {
+  // FNV-1a over the structural fields. Cardinalities are bucketed to the
+  // nearest power of two so small estimate jitter does not split signatures.
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (const PlanNode& n : nodes_) {
+    mix(static_cast<uint64_t>(n.type));
+    const double rows = n.est_output_rows > 1.0 ? n.est_output_rows : 1.0;
+    mix(static_cast<uint64_t>(std::llround(std::log2(rows))));
+    mix(static_cast<uint64_t>(n.children.size()));
+    for (uint32_t c : n.children) mix(c);
+  }
+  return hash;
+}
+
+}  // namespace rockhopper::sparksim

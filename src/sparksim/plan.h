@@ -1,0 +1,101 @@
+#ifndef ROCKHOPPER_SPARKSIM_PLAN_H_
+#define ROCKHOPPER_SPARKSIM_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rockhopper::sparksim {
+
+/// Physical operator kinds modeled by the simulator. Exchange is the shuffle
+/// boundary whose width is controlled by spark.sql.shuffle.partitions; Join
+/// strategy (broadcast vs. sort-merge) is decided by the cost model from
+/// spark.sql.autoBroadcastJoinThreshold at execution time, so plans carry a
+/// strategy-neutral kJoin.
+enum class OperatorType : uint8_t {
+  kScan = 0,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kExchange,
+  kSort,
+  kUnion,
+  kWindow,
+  kLimit,
+};
+
+/// Number of distinct OperatorType values (for embedding vector sizing).
+inline constexpr size_t kNumOperatorTypes = 10;
+
+/// Short name like "Scan" or "Join".
+const char* OperatorTypeName(OperatorType type);
+
+/// One node of a physical plan. Plans are stored as an arena of nodes with
+/// child links by index; node 0 is the root.
+struct PlanNode {
+  OperatorType type = OperatorType::kScan;
+  /// Optimizer's estimated output row count of this operator at the plan's
+  /// base scale.
+  double est_output_rows = 0.0;
+  /// Average output row width in bytes.
+  double row_width_bytes = 64.0;
+  /// Children indices into QueryPlan::nodes (empty for leaves).
+  std::vector<uint32_t> children;
+};
+
+/// A physical query plan annotated with optimizer cardinality estimates —
+/// the compile-time information Rockhopper's workload embedding consumes
+/// (paper §4.1). The plan is scale-relative: ScaledRows() maps the base
+/// estimates to a concrete input size multiplier.
+class QueryPlan {
+ public:
+  QueryPlan() = default;
+
+  /// Appends a node and returns its index. The caller builds bottom-up and
+  /// must finish with node 0 as root (use BuildReversed helper or construct
+  /// root-first with placeholder children).
+  uint32_t AddNode(PlanNode node);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  const PlanNode& node(size_t i) const { return nodes_[i]; }
+  PlanNode& mutable_node(size_t i) { return nodes_[i]; }
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+
+  const PlanNode& root() const { return nodes_.front(); }
+
+  /// Estimated output rows of the root at scale `factor` (factor 1 = base).
+  double RootCardinality(double factor = 1.0) const;
+
+  /// Sum of estimated input rows over all leaf (Scan) operators at scale
+  /// `factor` — the "total input cardinality" embedding component.
+  double LeafInputCardinality(double factor = 1.0) const;
+
+  /// Total bytes read by all Scan operators at scale `factor`.
+  double LeafInputBytes(double factor = 1.0) const;
+
+  /// Histogram of operator occurrences indexed by OperatorType.
+  std::vector<double> OperatorCounts() const;
+
+  /// Estimated input rows of `node_index` at the base scale: the sum of its
+  /// children's output rows, or its own output rows for a leaf.
+  double InputRows(size_t node_index) const;
+
+  /// Human-readable indented tree (for logging and examples).
+  std::string ToString() const;
+
+  /// A stable hash of the plan structure and cardinalities — the "query
+  /// signature" under which models are trained and stored (paper §4.2).
+  uint64_t Signature() const;
+
+ private:
+  void AppendString(size_t index, int depth, std::string* out) const;
+
+  std::vector<PlanNode> nodes_;
+};
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_PLAN_H_

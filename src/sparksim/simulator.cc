@@ -1,0 +1,43 @@
+#include "sparksim/simulator.h"
+
+#include <cassert>
+
+namespace rockhopper::sparksim {
+
+ExecutionResult SparkSimulator::ExecuteQuery(const QueryPlan& plan,
+                                             const ConfigVector& query_config,
+                                             double data_scale) {
+  return Execute(plan, EffectiveConfig::FromQueryConfig(query_config),
+                 data_scale);
+}
+
+ExecutionResult SparkSimulator::Execute(const QueryPlan& plan,
+                                        const EffectiveConfig& config,
+                                        double data_scale) {
+  ExecutionResult result;
+  result.data_scale = data_scale;
+  result.noise_free_seconds =
+      cost_model_.ExecutionSeconds(plan, config, data_scale, &result.metrics);
+  result.runtime_seconds = ApplyNoise(result.noise_free_seconds, noise_, &rng_);
+  result.input_bytes = plan.LeafInputBytes(data_scale);
+  result.input_rows = plan.LeafInputCardinality(data_scale);
+  result.failed = result.metrics.oom_events > 0;
+  return result;
+}
+
+std::vector<ExecutionResult> SparkSimulator::ExecuteApplication(
+    const SparkApplication& app, const ConfigVector& app_config,
+    const std::vector<ConfigVector>& query_configs, double data_scale) {
+  assert(query_configs.size() == app.queries.size());
+  std::vector<ExecutionResult> results;
+  results.reserve(app.queries.size());
+  for (size_t i = 0; i < app.queries.size(); ++i) {
+    results.push_back(
+        Execute(app.queries[i],
+                EffectiveConfig::FromAppAndQuery(app_config, query_configs[i]),
+                data_scale));
+  }
+  return results;
+}
+
+}  // namespace rockhopper::sparksim

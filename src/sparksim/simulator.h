@@ -1,0 +1,86 @@
+#ifndef ROCKHOPPER_SPARKSIM_SIMULATOR_H_
+#define ROCKHOPPER_SPARKSIM_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparksim/config_space.h"
+#include "sparksim/cost_model.h"
+#include "sparksim/noise.h"
+#include "sparksim/plan.h"
+
+namespace rockhopper::sparksim {
+
+/// The outcome of one simulated query execution — everything the tuner and
+/// the monitoring path observe.
+struct ExecutionResult {
+  double runtime_seconds = 0.0;        ///< noisy, what the tuner sees
+  double noise_free_seconds = 0.0;     ///< ground truth for evaluation only
+  double data_scale = 1.0;             ///< cardinality multiplier used
+  double input_bytes = 0.0;            ///< total scan bytes (the "data size")
+  double input_rows = 0.0;             ///< total scan rows
+  /// The job died (fatal OOM from an oversized broadcast). runtime_seconds
+  /// then reflects the time burned before failing; callers typically report
+  /// a large penalty to their tuner.
+  bool failed = false;
+  ExecutionMetrics metrics;
+};
+
+/// A recurrent Spark application: an artifact (notebook / job definition)
+/// identified by a stable artifact_id that executes a fixed sequence of
+/// queries each run (paper §4.4).
+struct SparkApplication {
+  std::string artifact_id;
+  std::vector<QueryPlan> queries;
+};
+
+/// Facade over the analytic cost model plus the production noise model:
+/// the stand-in for a live Fabric Spark cluster. Executions are stateful
+/// only through the simulator's RNG (noise draws), so a fixed seed replays
+/// an identical noisy trace.
+struct SparkSimulatorOptions {
+  CostModelParams cost_params;
+  PoolSpec pool;
+  NoiseParams noise = NoiseParams::High();
+  uint64_t seed = 20240601;
+};
+
+class SparkSimulator {
+ public:
+  using Options = SparkSimulatorOptions;
+
+  explicit SparkSimulator(Options options = {})
+      : cost_model_(options.cost_params, options.pool),
+        noise_(options.noise),
+        rng_(options.seed) {}
+
+  /// Executes `plan` with query-level configs (app-level at defaults).
+  ExecutionResult ExecuteQuery(const QueryPlan& plan,
+                               const ConfigVector& query_config,
+                               double data_scale);
+
+  /// Executes `plan` with explicit app-level + query-level configs.
+  ExecutionResult Execute(const QueryPlan& plan, const EffectiveConfig& config,
+                          double data_scale);
+
+  /// Executes every query of `app` under one app-level config and per-query
+  /// query-level configs (`query_configs[i]` for query i). Returns per-query
+  /// results; the application runtime is their sum.
+  std::vector<ExecutionResult> ExecuteApplication(
+      const SparkApplication& app, const ConfigVector& app_config,
+      const std::vector<ConfigVector>& query_configs, double data_scale);
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const NoiseParams& noise() const { return noise_; }
+  void set_noise(const NoiseParams& noise) { noise_ = noise; }
+
+ private:
+  CostModel cost_model_;
+  NoiseParams noise_;
+  common::Rng rng_;
+};
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_SIMULATOR_H_

@@ -1,0 +1,126 @@
+#include "sparksim/synthetic.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rockhopper::sparksim {
+
+SyntheticFunction::SyntheticFunction(ConfigSpace space, ConfigVector optimum,
+                                     std::vector<double> weights,
+                                     double base_level, double output_scale,
+                                     double size_exponent)
+    : space_(std::move(space)),
+      optimum_(std::move(optimum)),
+      weights_(std::move(weights)),
+      base_level_(base_level),
+      output_scale_(output_scale),
+      size_exponent_(size_exponent) {
+  assert(optimum_.size() == space_.size());
+  assert(weights_.size() == space_.size());
+  unit_optimum_ = space_.Normalize(optimum_);
+}
+
+SyntheticFunction SyntheticFunction::Default() {
+  ConfigSpace space = QueryLevelSpace();
+  // Optimum away from the defaults: small partitions, mid broadcast
+  // threshold, high-ish shuffle partitions.
+  ConfigVector optimum = {32.0 * 1024 * 1024, 48.0 * 1024 * 1024, 640.0};
+  // Unequal weights make one configuration clearly "most impactful"
+  // (maxPartitionBytes, mirroring Figs. 10b/11d). The overall steepness
+  // gives roughly an 8x runtime spread across the space, in line with the
+  // log-scale spread of the paper's Fig. 8.
+  std::vector<double> weights = {9.0, 3.0, 4.8};
+  return SyntheticFunction(std::move(space), std::move(optimum),
+                           std::move(weights), /*base_level=*/1.0,
+                           /*output_scale=*/1.6e4, /*size_exponent=*/0.85);
+}
+
+double SyntheticFunction::TruePerformance(const ConfigVector& config,
+                                          double data_size) const {
+  const std::vector<double> u = space_.Normalize(config);
+  double bowl = base_level_;
+  for (size_t i = 0; i < u.size(); ++i) {
+    const double d = u[i] - unit_optimum_[i];
+    bowl += weights_[i] * d * d;
+  }
+  return output_scale_ * std::pow(std::max(1e-9, data_size), size_exponent_) *
+         bowl;
+}
+
+double SyntheticFunction::OptimalPerformance(double data_size) const {
+  return TruePerformance(optimum_, data_size);
+}
+
+double SyntheticFunction::Observe(const ConfigVector& config, double data_size,
+                                  const NoiseParams& noise,
+                                  common::Rng* rng) const {
+  return ApplyNoise(TruePerformance(config, data_size), noise, rng);
+}
+
+double SyntheticFunction::OptimalityGap(const ConfigVector& config,
+                                        size_t dim) const {
+  assert(dim < space_.size());
+  const std::vector<double> u = space_.Normalize(config);
+  return std::fabs(u[dim] - unit_optimum_[dim]);
+}
+
+DataSizeSchedule DataSizeSchedule::Constant(double size) {
+  DataSizeSchedule s;
+  s.kind_ = Kind::kConstant;
+  s.a_ = size;
+  return s;
+}
+
+DataSizeSchedule DataSizeSchedule::Linear(double start,
+                                          double slope_per_iteration) {
+  DataSizeSchedule s;
+  s.kind_ = Kind::kLinear;
+  s.a_ = start;
+  s.b_ = slope_per_iteration;
+  return s;
+}
+
+DataSizeSchedule DataSizeSchedule::Periodic(double base, double amplitude,
+                                            int period) {
+  DataSizeSchedule s;
+  s.kind_ = Kind::kPeriodic;
+  s.a_ = base;
+  s.b_ = amplitude;
+  s.period_ = period > 0 ? period : 1;
+  return s;
+}
+
+DataSizeSchedule DataSizeSchedule::RandomWalk(double base,
+                                              double relative_sigma,
+                                              uint64_t seed) {
+  DataSizeSchedule s;
+  s.kind_ = Kind::kRandomWalk;
+  s.a_ = base;
+  s.b_ = relative_sigma;
+  s.seed_ = seed;
+  return s;
+}
+
+double DataSizeSchedule::At(int t) const {
+  constexpr double kFloor = 1e-6;
+  switch (kind_) {
+    case Kind::kConstant:
+      return std::max(kFloor, a_);
+    case Kind::kLinear:
+      return std::max(kFloor, a_ + b_ * static_cast<double>(t));
+    case Kind::kPeriodic: {
+      // The paper's sawtooth f(t) = t mod K, scaled into [base, base + amp].
+      const double phase = static_cast<double>(t % period_) /
+                           static_cast<double>(period_);
+      return std::max(kFloor, a_ + b_ * phase);
+    }
+    case Kind::kRandomWalk: {
+      // Deterministic in t: hash-seeded lognormal steps accumulated once.
+      common::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+      return std::max(kFloor, a_ * std::exp(rng.Normal(0.0, b_)));
+    }
+  }
+  return std::max(kFloor, a_);
+}
+
+}  // namespace rockhopper::sparksim

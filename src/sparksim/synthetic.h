@@ -1,0 +1,86 @@
+#ifndef ROCKHOPPER_SPARKSIM_SYNTHETIC_H_
+#define ROCKHOPPER_SPARKSIM_SYNTHETIC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sparksim/config_space.h"
+#include "sparksim/noise.h"
+
+namespace rockhopper::sparksim {
+
+/// The synthetic optimization function of paper §6.1: observed performance
+/// (execution time) as a convex function of three tunable configurations and
+/// the data size, with Eq. (8) noise injected on top.
+///
+/// The noise-free surface is a quadratic bowl in the normalized (log-scaled)
+/// configuration coordinates with a known optimum:
+///   g0(c, p) = scale * p^size_exponent * (base + sum_i w_i (u_i - u*_i)^2)
+/// where u = space.Normalize(c). The p^size_exponent term (exponent < 1)
+/// makes the normalized runtime r/p decrease with growing p, matching the
+/// bias the paper observed in FIND_BEST v2 (§4.3).
+class SyntheticFunction {
+ public:
+  SyntheticFunction(ConfigSpace space, ConfigVector optimum,
+                    std::vector<double> weights, double base_level,
+                    double output_scale, double size_exponent);
+
+  /// The paper's setup: QueryLevelSpace() with the optimum placed away from
+  /// the defaults, output calibrated so performance values land in the 1e4
+  /// range of Figs. 9-10 at p = 1.
+  static SyntheticFunction Default();
+
+  const ConfigSpace& space() const { return space_; }
+  const ConfigVector& optimum() const { return optimum_; }
+
+  /// Noise-free performance ("true performance" in the paper's figures).
+  double TruePerformance(const ConfigVector& config, double data_size) const;
+
+  /// Best achievable noise-free performance at this data size.
+  double OptimalPerformance(double data_size) const;
+
+  /// One noisy observation (Eq. 8).
+  double Observe(const ConfigVector& config, double data_size,
+                 const NoiseParams& noise, common::Rng* rng) const;
+
+  /// |config[dim] - optimum[dim]| in normalized coordinates: the
+  /// "optimality gap" series of Figs. 10b/11d.
+  double OptimalityGap(const ConfigVector& config, size_t dim) const;
+
+ private:
+  ConfigSpace space_;
+  ConfigVector optimum_;
+  std::vector<double> unit_optimum_;
+  std::vector<double> weights_;
+  double base_level_;
+  double output_scale_;
+  double size_exponent_;
+};
+
+/// Deterministic data-size trajectories p(t) for the dynamic-workload
+/// experiments (§6.1): constant, linearly increasing, periodic (the paper's
+/// f(t) = t mod K sawtooth), and a seeded random walk for customer-workload
+/// simulations.
+class DataSizeSchedule {
+ public:
+  static DataSizeSchedule Constant(double size);
+  static DataSizeSchedule Linear(double start, double slope_per_iteration);
+  static DataSizeSchedule Periodic(double base, double amplitude, int period);
+  static DataSizeSchedule RandomWalk(double base, double relative_sigma,
+                                     uint64_t seed);
+
+  /// Data size at iteration t (>= 0); always >= a small positive floor.
+  double At(int t) const;
+
+ private:
+  enum class Kind { kConstant, kLinear, kPeriodic, kRandomWalk };
+  Kind kind_ = Kind::kConstant;
+  double a_ = 1.0;
+  double b_ = 0.0;
+  int period_ = 1;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_SYNTHETIC_H_

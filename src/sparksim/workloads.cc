@@ -1,0 +1,182 @@
+#include "sparksim/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rockhopper::sparksim {
+
+namespace {
+
+// Builds plans top-down: nodes are appended root-first so node 0 is the root
+// as QueryPlan requires; children indices are patched into parents as they
+// are created.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(QueryPlan* plan) : plan_(plan) {}
+
+  uint32_t Add(OperatorType type, double rows, double width,
+               std::vector<uint32_t> children = {}) {
+    PlanNode node;
+    node.type = type;
+    node.est_output_rows = rows;
+    node.row_width_bytes = width;
+    node.children = std::move(children);
+    return plan_->AddNode(std::move(node));
+  }
+
+  void Link(uint32_t parent, uint32_t child) {
+    plan_->mutable_node(parent).children.push_back(child);
+  }
+
+ private:
+  QueryPlan* plan_;
+};
+
+// A scan, optionally wrapped in a filter. Returns the index of the top node
+// of the branch and its output rows/width via out-params.
+uint32_t BuildScanBranch(PlanBuilder* b, common::Rng* rng,
+                         const PlanProfile& profile, double rows, double width,
+                         double* out_rows, double* out_width) {
+  // Top-down: create the (optional) filter first, then the scan under it.
+  const bool filtered = rng->Bernoulli(profile.filter_prob);
+  double selectivity = 1.0;
+  uint32_t top = 0;
+  if (filtered) {
+    selectivity = rng->LogUniform(0.005, 0.9);
+    top = b->Add(OperatorType::kFilter, rows * selectivity, width);
+    const uint32_t scan = b->Add(OperatorType::kScan, rows, width);
+    b->Link(top, scan);
+  } else {
+    top = b->Add(OperatorType::kScan, rows, width);
+  }
+  *out_rows = rows * selectivity;
+  *out_width = width;
+  return top;
+}
+
+}  // namespace
+
+QueryPlan GeneratePlan(const PlanProfile& profile, common::Rng* rng) {
+  QueryPlan plan;
+  PlanBuilder b(&plan);
+
+  const int num_joins =
+      static_cast<int>(rng->UniformInt(profile.min_joins, profile.max_joins));
+  const double fact_rows =
+      rng->LogUniform(profile.fact_rows_min, profile.fact_rows_max);
+  const double fact_width = rng->Uniform(48.0, 196.0);
+
+  // Reserve the root chain top-down: [Limit] -> [Sort] -> [Window] ->
+  // Aggregate -> Exchange -> join tree.
+  uint32_t parent = UINT32_MAX;
+  auto chain = [&](OperatorType type, double rows, double width) {
+    const uint32_t idx = b.Add(type, rows, width);
+    if (parent != UINT32_MAX) b.Link(parent, idx);
+    parent = idx;
+    return idx;
+  };
+
+  // Output cardinality of the aggregate: group-by reduces heavily.
+  const double agg_rows = std::max(1.0, fact_rows * rng->LogUniform(1e-7, 1e-2));
+  const double agg_width = rng->Uniform(24.0, 96.0);
+
+  if (rng->Bernoulli(profile.limit_prob)) {
+    chain(OperatorType::kLimit, std::min(agg_rows, 100.0), agg_width);
+  }
+  if (rng->Bernoulli(profile.sort_prob)) {
+    chain(OperatorType::kSort, agg_rows, agg_width);
+  }
+  if (rng->Bernoulli(profile.window_prob)) {
+    chain(OperatorType::kWindow, agg_rows, agg_width);
+  }
+  chain(OperatorType::kAggregate, agg_rows, agg_width);
+
+  // The aggregate consumes a shuffled join tree.
+  double joined_rows = 0.0;
+  double joined_width = 0.0;
+  uint32_t probe = BuildScanBranch(&b, rng, profile, fact_rows, fact_width,
+                                   &joined_rows, &joined_width);
+  for (int j = 0; j < num_joins; ++j) {
+    const double dim_rows =
+        rng->LogUniform(profile.dim_rows_min, profile.dim_rows_max);
+    const double dim_width = rng->Uniform(16.0, 128.0);
+    double build_rows = 0.0;
+    double build_width = 0.0;
+    // Join output: fact-side cardinality scaled by a join selectivity.
+    const double join_sel = rng->LogUniform(0.05, 1.5);
+    const double out_rows = std::max(1.0, joined_rows * join_sel);
+    const double out_width =
+        std::min(512.0, joined_width + 0.5 * dim_width);
+
+    const uint32_t join = b.Add(OperatorType::kJoin, out_rows, out_width);
+    // Probe side flows through an Exchange (repartition for the join).
+    const uint32_t probe_ex =
+        b.Add(OperatorType::kExchange, joined_rows, joined_width);
+    b.Link(join, probe_ex);
+    b.Link(probe_ex, probe);
+    // Build side: Exchange over a dimension scan branch.
+    const uint32_t build_ex = b.Add(OperatorType::kExchange, 0.0, 0.0);
+    b.Link(join, build_ex);
+    const uint32_t build = BuildScanBranch(&b, rng, profile, dim_rows,
+                                           dim_width, &build_rows,
+                                           &build_width);
+    plan.mutable_node(build_ex).est_output_rows = build_rows;
+    plan.mutable_node(build_ex).row_width_bytes = build_width;
+    b.Link(build_ex, build);
+
+    probe = join;
+    joined_rows = out_rows;
+    joined_width = out_width;
+  }
+
+  // Final exchange feeding the aggregate.
+  const uint32_t final_ex =
+      b.Add(OperatorType::kExchange, joined_rows, joined_width);
+  b.Link(parent, final_ex);
+  b.Link(final_ex, probe);
+  return plan;
+}
+
+QueryPlan TpchPlan(int query_id) {
+  query_id = std::clamp(query_id, 1, kNumTpchQueries);
+  PlanProfile profile;
+  profile.min_joins = 1;
+  profile.max_joins = 5;
+  profile.fact_rows_min = 1e8;   // lineitem at SF-100 is ~6e8 rows
+  profile.fact_rows_max = 7e8;
+  profile.dim_rows_min = 1e4;    // supplier/nation up to orders
+  profile.dim_rows_max = 2e8;
+  profile.window_prob = 0.05;
+  common::Rng rng(0x7c401000ULL + static_cast<uint64_t>(query_id));
+  return GeneratePlan(profile, &rng);
+}
+
+QueryPlan TpcdsPlan(int query_id) {
+  query_id = std::clamp(query_id, 1, kNumTpcdsQueries);
+  PlanProfile profile;
+  profile.min_joins = 2;
+  profile.max_joins = 9;
+  profile.fact_rows_min = 5e7;   // store_sales / catalog_sales family
+  profile.fact_rows_max = 9e8;
+  profile.dim_rows_min = 1e3;
+  profile.dim_rows_max = 8e7;
+  profile.window_prob = 0.35;    // TPC-DS leans on window functions
+  profile.sort_prob = 0.6;
+  common::Rng rng(0xd5d50000ULL + static_cast<uint64_t>(query_id));
+  return GeneratePlan(profile, &rng);
+}
+
+QueryPlan CustomerPlan(common::Rng* rng) {
+  PlanProfile profile;
+  profile.min_joins = 0;
+  profile.max_joins = 8;
+  profile.fact_rows_min = 1e5;   // "micro-batch" jobs up to 20-hour giants
+  profile.fact_rows_max = 2e9;
+  profile.dim_rows_min = 1e2;
+  profile.dim_rows_max = 1e8;
+  profile.filter_prob = 0.6;
+  profile.window_prob = 0.2;
+  return GeneratePlan(profile, rng);
+}
+
+}  // namespace rockhopper::sparksim

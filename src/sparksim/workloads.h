@@ -1,0 +1,52 @@
+#ifndef ROCKHOPPER_SPARKSIM_WORKLOADS_H_
+#define ROCKHOPPER_SPARKSIM_WORKLOADS_H_
+
+#include "common/rng.h"
+#include "sparksim/plan.h"
+
+namespace rockhopper::sparksim {
+
+/// Shape parameters for the synthetic plan generator. Plans are star-schema
+/// join trees: one fact-table scan joined against several dimension scans,
+/// with filters, exchanges at join/aggregate boundaries, a final aggregation,
+/// and optional sort/window/limit operators.
+struct PlanProfile {
+  int min_joins = 1;
+  int max_joins = 5;
+  double fact_rows_min = 5e7;   ///< fact-table cardinality range (base scale)
+  double fact_rows_max = 8e8;
+  double dim_rows_min = 1e4;    ///< dimension-table cardinality range
+  double dim_rows_max = 5e7;
+  double filter_prob = 0.7;     ///< chance of a Filter above each scan
+  double window_prob = 0.1;     ///< chance of a Window above the aggregate
+  double sort_prob = 0.4;       ///< chance of a final Sort
+  double limit_prob = 0.3;      ///< chance of a final Limit
+};
+
+/// Generates one deterministic plan from `rng` (callers seed the rng from a
+/// stable query identity).
+QueryPlan GeneratePlan(const PlanProfile& profile, common::Rng* rng);
+
+/// TPC-H-like plan for query_id in [1, 22] at a nominal SF-100 base scale.
+/// Deterministic: the same id always yields the same plan. These are
+/// structural stand-ins — operator mix and cardinality profile, not SQL
+/// semantics (see DESIGN.md substitutions).
+QueryPlan TpchPlan(int query_id);
+
+/// Number of TPC-H-like queries (22).
+inline constexpr int kNumTpchQueries = 22;
+
+/// TPC-DS-like plan for query_id in [1, 99]; deeper join trees, more
+/// window/rollup operators than TPC-H.
+QueryPlan TpcdsPlan(int query_id);
+
+/// Number of TPC-DS-like queries (99).
+inline constexpr int kNumTpcdsQueries = 99;
+
+/// A randomized "customer" plan drawn from a broad profile, used to build
+/// the synthetic production populations of Figs. 15-16.
+QueryPlan CustomerPlan(common::Rng* rng);
+
+}  // namespace rockhopper::sparksim
+
+#endif  // ROCKHOPPER_SPARKSIM_WORKLOADS_H_

@@ -1,0 +1,97 @@
+#include "common/archive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rockhopper::common {
+namespace {
+
+TEST(ArchiveTest, RoundTripsScalars) {
+  ArchiveWriter writer;
+  ASSERT_TRUE(writer.PutString("name", "baseline-v1").ok());
+  ASSERT_TRUE(writer.PutDouble("pi", 3.14159265358979).ok());
+  ASSERT_TRUE(writer.PutInt("count", -42).ok());
+  ASSERT_TRUE(writer.PutBool("flag", true).ok());
+  Result<ArchiveReader> reader = ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->GetString("name"), "baseline-v1");
+  EXPECT_DOUBLE_EQ(*reader->GetDouble("pi"), 3.14159265358979);
+  EXPECT_EQ(*reader->GetInt("count"), -42);
+  EXPECT_TRUE(*reader->GetBool("flag"));
+}
+
+TEST(ArchiveTest, DoublesRoundTripExactly) {
+  // Hexfloat must preserve every bit, including awkward values.
+  const std::vector<double> values = {0.1, 1.0 / 3.0, 1e-300, 1e300,
+                                      -0.0,  2.2250738585072014e-308};
+  ArchiveWriter writer;
+  ASSERT_TRUE(writer.PutDoubles("v", values).ok());
+  Result<ArchiveReader> reader = ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  const std::vector<double> back = *reader->GetDoubles("v");
+  ASSERT_EQ(back.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back[i], values[i]) << "index " << i;
+  }
+}
+
+TEST(ArchiveTest, RoundTripsRows) {
+  ArchiveWriter writer;
+  const std::vector<std::vector<double>> rows = {{1, 2, 3}, {}, {4.5}};
+  ASSERT_TRUE(writer.PutDoubleRows("m", rows).ok());
+  Result<ArchiveReader> reader = ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->GetDoubleRows("m"), rows);
+}
+
+TEST(ArchiveTest, EmptyVectorRoundTrips) {
+  ArchiveWriter writer;
+  ASSERT_TRUE(writer.PutDoubles("empty", {}).ok());
+  Result<ArchiveReader> reader = ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->GetDoubles("empty")->empty());
+}
+
+TEST(ArchiveTest, RejectsDuplicateKeys) {
+  ArchiveWriter writer;
+  ASSERT_TRUE(writer.PutInt("k", 1).ok());
+  EXPECT_EQ(writer.PutInt("k", 2).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ArchiveTest, RejectsBadKeysAndValues) {
+  ArchiveWriter writer;
+  EXPECT_FALSE(writer.PutInt("", 1).ok());
+  EXPECT_FALSE(writer.PutInt("a=b", 1).ok());
+  EXPECT_FALSE(writer.PutString("k", "line1\nline2").ok());
+}
+
+TEST(ArchiveTest, MissingKeyIsNotFound) {
+  ArchiveWriter writer;
+  ASSERT_TRUE(writer.PutInt("present", 1).ok());
+  Result<ArchiveReader> reader = ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->Has("present"));
+  EXPECT_FALSE(reader->Has("absent"));
+  EXPECT_EQ(reader->GetInt("absent").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArchiveTest, ParseRejectsBadHeaderAndMalformedLines) {
+  EXPECT_FALSE(ArchiveReader::Parse("").ok());
+  EXPECT_FALSE(ArchiveReader::Parse("not-an-archive\nk = v\n").ok());
+  EXPECT_FALSE(
+      ArchiveReader::Parse("rockhopper-archive v1\nmalformed line\n").ok());
+}
+
+TEST(ArchiveTest, TypeMismatchErrors) {
+  ArchiveWriter writer;
+  ASSERT_TRUE(writer.PutString("s", "hello").ok());
+  Result<ArchiveReader> reader = ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->GetDouble("s").ok());
+  EXPECT_FALSE(reader->GetInt("s").ok());
+  EXPECT_FALSE(reader->GetBool("s").ok());
+}
+
+}  // namespace
+}  // namespace rockhopper::common

@@ -1,0 +1,194 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rockhopper::common {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRowsAndRowCol) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNoOp) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix i = Matrix::Identity(2);
+  EXPECT_EQ(m.Multiply(i), m);
+  EXPECT_EQ(i.Multiply(m), m);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.Transpose(), m);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const std::vector<double> v = a.Multiply(std::vector<double>{1.0, -1.0});
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], -1.0);
+}
+
+TEST(MatrixTest, AddAndAddDiagonal) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{1, 1}, {1, 1}});
+  Matrix c = a.Add(b);
+  EXPECT_DOUBLE_EQ(c(1, 1), 5.0);
+  c.AddDiagonal(10.0);
+  EXPECT_DOUBLE_EQ(c(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 15.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 3.0);
+}
+
+TEST(CholeskyTest, FactorizesKnownSpdMatrix) {
+  // A = L L^T with L = [[2,0],[1,3]].
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), 3.0, 1e-12);
+  EXPECT_NEAR((*l)(0, 1), 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteWithoutJitter) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, JitterRescuesNearSingular) {
+  // Rank-1 matrix; jitter retries should succeed.
+  Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+  EXPECT_TRUE(CholeskyFactor(a, 1e-8).ok());
+}
+
+TEST(CholeskyTest, SolveRoundTrips) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
+  const std::vector<double> x_true = {1.0, -2.0};
+  const std::vector<double> b = a.Multiply(x_true);
+  Result<std::vector<double>> x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], -2.0, 1e-10);
+}
+
+TEST(TriangularSolveTest, ForwardAndBackward) {
+  Matrix l = Matrix::FromRows({{2, 0}, {1, 3}});
+  const std::vector<double> b = {4.0, 11.0};
+  const std::vector<double> y = ForwardSubstitute(l, b);
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], 3.0, 1e-12);
+  // L^T x = y.
+  const std::vector<double> x = BackSubstituteTranspose(l, y);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+}
+
+TEST(GaussianSolveTest, SolvesGeneralSystem) {
+  Matrix a = Matrix::FromRows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  const std::vector<double> x_true = {3.0, -1.0, 2.0};
+  const std::vector<double> b = a.Multiply(x_true);
+  Result<std::vector<double>> x = GaussianSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-10);
+}
+
+TEST(GaussianSolveTest, DetectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_EQ(GaussianSolve(a, {1.0, 2.0}).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(GaussianSolveTest, RejectsShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(GaussianSolve(a, {1.0, 2.0}).ok());
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 2*x0 - 3*x1 on a well-conditioned design.
+  Rng rng(3);
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y[i] = 2.0 * x(i, 0) - 3.0 * x(i, 1);
+  }
+  Result<std::vector<double>> w = LeastSquares(x, y);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 2.0, 1e-8);
+  EXPECT_NEAR((*w)[1], -3.0, 1e-8);
+}
+
+TEST(LeastSquaresTest, RidgeShrinksCoefficients) {
+  Rng rng(4);
+  Matrix x(30, 1);
+  std::vector<double> y(30);
+  for (size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    y[i] = 5.0 * x(i, 0);
+  }
+  const double w0 = (*LeastSquares(x, y, 0.0))[0];
+  const double w_ridge = (*LeastSquares(x, y, 100.0))[0];
+  EXPECT_GT(w0, w_ridge);
+  EXPECT_GT(w_ridge, 0.0);
+}
+
+TEST(LeastSquaresTest, HandlesRankDeficientDesign) {
+  // Duplicate column: normal equations singular without jitter.
+  Matrix x = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Result<std::vector<double>> w = LeastSquares(x, {2, 4, 6});
+  ASSERT_TRUE(w.ok());
+  // Any w with w0 + w1 = 2 is a solution; prediction must be right.
+  EXPECT_NEAR((*w)[0] + (*w)[1], 2.0, 1e-4);
+}
+
+TEST(LeastSquaresTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(LeastSquares(Matrix(), {}).ok());
+  EXPECT_FALSE(LeastSquares(Matrix(2, 1), {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(VectorOpsTest, DotNormDistance) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {4, 5}), 25.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::common

@@ -1,0 +1,116 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rockhopper::common {
+namespace {
+
+TEST(StatisticsTest, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5.0}), -5.0);
+}
+
+TEST(StatisticsTest, VarianceUsesSampleDenominator) {
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(StatisticsTest, StdDevIsSqrtVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(StdDev(xs), std::sqrt(Variance(xs)));
+}
+
+TEST(StatisticsTest, QuantileInterpolatesLinearly) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 25.0);
+  EXPECT_NEAR(Quantile(xs, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(StatisticsTest, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, -0.3), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 2.0), 2.0);
+}
+
+TEST(StatisticsTest, QuantileDoesNotReorderInput) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  (void)Quantile(xs, 0.5);
+  EXPECT_EQ(xs[0], 3.0);  // passed by value; original untouched
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatisticsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+  EXPECT_DOUBLE_EQ(Max({}), 0.0);
+}
+
+TEST(StatisticsTest, SummarizeConsistentWithPieces) {
+  const std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, Mean(xs));
+  EXPECT_DOUBLE_EQ(s.stddev, StdDev(xs));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p05, Quantile(xs, 0.05));
+  EXPECT_DOUBLE_EQ(s.p95, Quantile(xs, 0.95));
+}
+
+TEST(StatisticsTest, SummarizeEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Normal(10.0, 3.0);
+    xs.push_back(v);
+    rs.Add(v);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), StdDev(xs), 1e-9);
+}
+
+TEST(RunningStatsTest, SmallCounts) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.Add(4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(CorrelationTest, PerfectPositiveAndNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {1}), 0.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::common

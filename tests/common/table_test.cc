@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rockhopper::common {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "23"});
+  const std::string out = t.ToString();
+  // Split into lines; the second column must start at the same offset in
+  // every row (the widest first-column cell is "longer", 6 chars + 2 pad).
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);  // header, separator, 2 rows
+  EXPECT_EQ(lines[0].find('v'), lines[2].find('1'));
+  EXPECT_EQ(lines[0].find('v'), lines[3].find("23"));
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_NO_FATAL_FAILURE((void)t.ToString());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable t;
+  t.SetHeader({"x", "y"});
+  t.AddNumericRow({1.23456, 2.0}, 2);
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TextTableTest, FormatDoubleSwitchesToScientific) {
+  EXPECT_EQ(TextTable::FormatDouble(0.5, 2), "0.50");
+  const std::string big = TextTable::FormatDouble(1.5e9, 2);
+  EXPECT_NE(big.find('e'), std::string::npos);
+  const std::string tiny = TextTable::FormatDouble(1.5e-7, 2);
+  EXPECT_NE(tiny.find('e'), std::string::npos);
+  EXPECT_EQ(TextTable::FormatDouble(0.0, 1), "0.0");
+}
+
+TEST(TextTableTest, NoHeaderMeansNoSeparator) {
+  TextTable t;
+  t.AddRow({"only", "data"});
+  const std::string out = t.ToString();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rockhopper::common

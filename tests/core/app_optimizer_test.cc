@@ -1,0 +1,123 @@
+#include "core/app_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/cost_model.h"
+#include "sparksim/workloads.h"
+
+namespace rockhopper::core {
+namespace {
+
+class AppOptimizerTest : public ::testing::Test {
+ protected:
+  sparksim::ConfigSpace app_space_ = sparksim::AppLevelSpace();
+  sparksim::ConfigSpace query_space_ = sparksim::QueryLevelSpace();
+
+  // Score = negated noise-free runtime of the plan under the joint config:
+  // an oracle acquisition for testing Algorithm 2's mechanics.
+  AppQueryContext OracleContext(const sparksim::QueryPlan* plan,
+                                double scale) {
+    AppQueryContext ctx;
+    ctx.centroid = query_space_.Defaults();
+    ctx.score = [this, plan, scale](const sparksim::ConfigVector& app,
+                                    const sparksim::ConfigVector& query) {
+      return -model_.ExecutionSeconds(
+          *plan, sparksim::EffectiveConfig::FromAppAndQuery(app, query),
+          scale);
+    };
+    return ctx;
+  }
+
+  sparksim::CostModel model_;
+};
+
+TEST_F(AppOptimizerTest, ReturnsValidConfigsForEveryQuery) {
+  const sparksim::QueryPlan p1 = sparksim::TpchPlan(1);
+  const sparksim::QueryPlan p2 = sparksim::TpchPlan(2);
+  AppLevelOptimizer optimizer(app_space_, query_space_, {}, 1);
+  const auto result = optimizer.Optimize(
+      app_space_.Defaults(), {OracleContext(&p1, 1.0), OracleContext(&p2, 1.0)});
+  EXPECT_TRUE(app_space_.Validate(result.app_config).ok());
+  ASSERT_EQ(result.query_configs.size(), 2u);
+  for (const auto& qc : result.query_configs) {
+    EXPECT_TRUE(query_space_.Validate(qc).ok());
+  }
+  EXPECT_TRUE(std::isfinite(result.total_score));
+}
+
+TEST_F(AppOptimizerTest, PicksAtLeastAsGoodAsCurrentSetting) {
+  // The current app config is candidate 0, so the chosen configuration can
+  // only score better or equal.
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(5);
+  AppLevelOptimizer optimizer(app_space_, query_space_, {}, 2);
+  const AppQueryContext ctx = OracleContext(&plan, 2.0);
+  const sparksim::ConfigVector current = app_space_.Defaults();
+  const auto result = optimizer.Optimize(current, {ctx});
+  double current_best = -1e300;
+  // Score of keeping the current app config with the query centroid.
+  const double keep_score = ctx.score(current, ctx.centroid);
+  current_best = keep_score;
+  EXPECT_GE(result.total_score, current_best - 1e-9);
+}
+
+TEST_F(AppOptimizerTest, LargeJobPrefersMoreExecutors) {
+  // A heavy scan at scale 4 should pull executor count above a tiny job's.
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(9);
+  AppLevelOptimizerOptions options;
+  options.num_app_candidates = 40;
+  options.app_step = 0.8;
+  AppLevelOptimizer optimizer(app_space_, query_space_, options, 3);
+  const auto heavy = optimizer.Optimize(app_space_.Defaults(),
+                                        {OracleContext(&plan, 4.0)});
+  const auto light = optimizer.Optimize(app_space_.Defaults(),
+                                        {OracleContext(&plan, 0.001)});
+  EXPECT_GE(heavy.app_config[0], light.app_config[0]);
+}
+
+TEST_F(AppOptimizerTest, JointScoreSumsAcrossQueries) {
+  // With two identical queries the chosen app config's total score should
+  // be ~2x the single-query score for the same seed/candidates.
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(3);
+  AppLevelOptimizer opt_a(app_space_, query_space_, {}, 4);
+  AppLevelOptimizer opt_b(app_space_, query_space_, {}, 4);
+  const auto one =
+      opt_a.Optimize(app_space_.Defaults(), {OracleContext(&plan, 1.0)});
+  const auto two = opt_b.Optimize(
+      app_space_.Defaults(),
+      {OracleContext(&plan, 1.0), OracleContext(&plan, 1.0)});
+  EXPECT_NEAR(two.total_score, 2.0 * one.total_score,
+              0.15 * std::fabs(one.total_score));
+}
+
+TEST(AppCacheTest, PutGetAndGenerations) {
+  AppCache cache;
+  EXPECT_FALSE(cache.Get("nb-1").has_value());
+  AppCache::Entry entry;
+  entry.app_config = {8.0, 28.0};
+  cache.Put("nb-1", entry);
+  ASSERT_TRUE(cache.Get("nb-1").has_value());
+  EXPECT_EQ(cache.Get("nb-1")->generation, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  // Recomputation bumps the generation.
+  entry.app_config = {16.0, 28.0};
+  cache.Put("nb-1", entry);
+  EXPECT_EQ(cache.Get("nb-1")->generation, 1);
+  EXPECT_DOUBLE_EQ(cache.Get("nb-1")->app_config[0], 16.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AppCacheTest, ArtifactsAreIsolated) {
+  AppCache cache;
+  AppCache::Entry a, b;
+  a.app_config = {2.0, 4.0};
+  b.app_config = {64.0, 56.0};
+  cache.Put("nb-a", a);
+  cache.Put("nb-b", b);
+  EXPECT_DOUBLE_EQ(cache.Get("nb-a")->app_config[0], 2.0);
+  EXPECT_DOUBLE_EQ(cache.Get("nb-b")->app_config[0], 64.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

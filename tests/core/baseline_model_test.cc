@@ -1,0 +1,106 @@
+#include "core/baseline_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/cost_model.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+namespace rockhopper::core {
+namespace {
+
+class BaselineModelTest : public ::testing::Test {
+ protected:
+  sparksim::ConfigSpace space_ = sparksim::QueryLevelSpace();
+  EmbeddingOptions embedding_options_;
+
+  // Builds a noiseless benchmark trace over `queries` TPC-H-like plans.
+  ml::Dataset MakeTrace(BaselineModel* model, int queries, int configs,
+                        uint64_t seed) {
+    sparksim::SparkSimulator::Options sim_options;
+    sim_options.noise = sparksim::NoiseParams::None();
+    sparksim::SparkSimulator sim(sim_options);
+    common::Rng rng(seed);
+    ml::Dataset data;
+    for (int q = 1; q <= queries; ++q) {
+      const sparksim::QueryPlan plan = sparksim::TpchPlan(q);
+      const std::vector<double> embedding =
+          ComputeEmbedding(plan, embedding_options_);
+      for (int c = 0; c < configs; ++c) {
+        const sparksim::ConfigVector config = space_.Sample(&rng);
+        const sparksim::ExecutionResult r = sim.ExecuteQuery(plan, config, 1.0);
+        data.Add(model->Features(embedding, config, r.input_bytes),
+                 r.runtime_seconds);
+      }
+    }
+    return data;
+  }
+};
+
+TEST_F(BaselineModelTest, FeatureLayout) {
+  BaselineModel model(space_, embedding_options_);
+  const std::vector<double> embedding(EmbeddingLength(embedding_options_),
+                                      1.0);
+  const std::vector<double> f =
+      model.Features(embedding, space_.Defaults(), 100.0);
+  EXPECT_EQ(f.size(), embedding.size() + space_.size() + 1);
+}
+
+TEST_F(BaselineModelTest, RejectsEmptyTrace) {
+  BaselineModel model(space_);
+  EXPECT_FALSE(model.Fit(ml::Dataset{}).ok());
+  EXPECT_FALSE(model.is_fitted());
+}
+
+TEST_F(BaselineModelTest, PredictionsPositiveAndOrdered) {
+  BaselineModel model(space_, embedding_options_);
+  const ml::Dataset trace = MakeTrace(&model, 6, 20, 1);
+  ASSERT_TRUE(model.Fit(trace).ok());
+  EXPECT_TRUE(model.is_fitted());
+  // Predictions must be positive runtimes.
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(2);
+  const std::vector<double> embedding =
+      ComputeEmbedding(plan, embedding_options_);
+  common::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GT(model.PredictRuntime(embedding, space_.Sample(&rng),
+                                   plan.LeafInputBytes(1.0)),
+              0.0);
+  }
+}
+
+TEST_F(BaselineModelTest, TransfersAcrossQueries) {
+  // Train on queries 1..8, evaluate ranking on unseen query 9: the
+  // embedding should let the model rank configs better than chance.
+  BaselineModel model(space_, embedding_options_);
+  const ml::Dataset trace = MakeTrace(&model, 8, 25, 3);
+  ASSERT_TRUE(model.Fit(trace).ok());
+
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams::None();
+  sparksim::SparkSimulator sim(sim_options);
+  const sparksim::QueryPlan unseen = sparksim::TpchPlan(9);
+  const std::vector<double> embedding =
+      ComputeEmbedding(unseen, embedding_options_);
+  common::Rng rng(4);
+  std::vector<double> truth, pred;
+  for (int i = 0; i < 30; ++i) {
+    const sparksim::ConfigVector config = space_.Sample(&rng);
+    truth.push_back(
+        sim.ExecuteQuery(unseen, config, 1.0).noise_free_seconds);
+    pred.push_back(model.PredictRuntime(embedding, config,
+                                        unseen.LeafInputBytes(1.0)));
+  }
+  // Rank correlation on an unseen query demonstrates transfer.
+  double correct_pairs = 0.0, total_pairs = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (size_t j = i + 1; j < truth.size(); ++j) {
+      total_pairs += 1.0;
+      if ((truth[i] < truth[j]) == (pred[i] < pred[j])) correct_pairs += 1.0;
+    }
+  }
+  EXPECT_GT(correct_pairs / total_pairs, 0.55);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

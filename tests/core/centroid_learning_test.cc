@@ -1,0 +1,169 @@
+#include "core/centroid_learning.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sparksim/synthetic.h"
+
+namespace rockhopper::core {
+namespace {
+
+class CentroidLearningTest : public ::testing::Test {
+ protected:
+  sparksim::SyntheticFunction function_ =
+      sparksim::SyntheticFunction::Default();
+  const sparksim::ConfigSpace& space_ = function_.space();
+
+  std::unique_ptr<CentroidLearner> MakeLearner(
+      int pseudo_level, CentroidLearningOptions options,
+      sparksim::ConfigVector start, uint64_t seed) {
+    return std::make_unique<CentroidLearner>(
+        space_, std::move(start),
+        std::make_unique<PseudoSurrogateScorer>(&function_, pseudo_level),
+        options, seed);
+  }
+
+  // Runs `iters` iterations against the synthetic function and returns the
+  // final true performance of the centroid.
+  double RunLoop(CentroidLearner* learner, int iters,
+                 const sparksim::NoiseParams& noise, uint64_t seed) {
+    common::Rng rng(seed);
+    for (int t = 0; t < iters; ++t) {
+      const sparksim::ConfigVector c = learner->Propose(1.0);
+      learner->Observe(c, 1.0, function_.Observe(c, 1.0, noise, &rng));
+    }
+    return function_.TruePerformance(learner->centroid(), 1.0);
+  }
+};
+
+TEST_F(CentroidLearningTest, ProposalsStayInNeighborhoodOfCentroid) {
+  CentroidLearningOptions options;
+  options.beta = 0.1;
+  auto learner = MakeLearner(1, options, space_.Defaults(), 1);
+  const sparksim::ConfigVector proposal = learner->Propose(1.0);
+  EXPECT_TRUE(space_.Validate(proposal).ok());
+  const std::vector<double> c0 = space_.Normalize(learner->centroid());
+  const std::vector<double> p = space_.Normalize(proposal);
+  // beta = 0.1 in log space: proposals within exp(0.1) of centroid
+  // multiplicatively, i.e. bounded normalized distance.
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], c0[i], 0.1);
+  }
+}
+
+TEST_F(CentroidLearningTest, CandidateZeroIsCentroid) {
+  auto learner = MakeLearner(1, {}, space_.Defaults(), 2);
+  (void)learner->Propose(1.0);
+  ASSERT_FALSE(learner->last_candidates().empty());
+  EXPECT_EQ(learner->last_candidates()[0], learner->centroid());
+}
+
+TEST_F(CentroidLearningTest, ConvergesNoiselessFromBadStart) {
+  CentroidLearningOptions options;
+  auto learner =
+      MakeLearner(1, options, space_.Denormalize({0.95, 0.95, 0.95}), 3);
+  const double final_perf =
+      RunLoop(learner.get(), 120, sparksim::NoiseParams::None(), 3);
+  const double start_perf = function_.TruePerformance(
+      space_.Denormalize({0.95, 0.95, 0.95}), 1.0);
+  const double optimal = function_.OptimalPerformance(1.0);
+  // Most of the optimality gap must be closed.
+  EXPECT_LT(final_perf - optimal, 0.25 * (start_perf - optimal));
+}
+
+TEST_F(CentroidLearningTest, ConvergesUnderHighNoise) {
+  // The headline claim (Fig. 9c): even a Level-5 surrogate converges under
+  // FL = SL = 1 noise. Median over several seeded runs, as in the paper's
+  // repeated-run methodology.
+  std::vector<double> finals;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    CentroidLearningOptions options;
+    options.window_size = 20;
+    auto learner = MakeLearner(5, options,
+                               space_.Denormalize({0.9, 0.9, 0.9}), 40 + seed);
+    finals.push_back(
+        RunLoop(learner.get(), 250, sparksim::NoiseParams::High(), 80 + seed));
+  }
+  std::sort(finals.begin(), finals.end());
+  const double median = finals[finals.size() / 2];
+  const double start_perf =
+      function_.TruePerformance(space_.Denormalize({0.9, 0.9, 0.9}), 1.0);
+  const double optimal = function_.OptimalPerformance(1.0);
+  EXPECT_LT(median - optimal, 0.5 * (start_perf - optimal));
+}
+
+TEST_F(CentroidLearningTest, WindowIsBounded) {
+  CentroidLearningOptions options;
+  options.window_size = 10;
+  auto learner = MakeLearner(1, options, space_.Defaults(), 5);
+  RunLoop(learner.get(), 30, sparksim::NoiseParams::None(), 5);
+  EXPECT_EQ(learner->history().size(), 10u);
+  EXPECT_EQ(learner->iteration(), 30);
+}
+
+TEST_F(CentroidLearningTest, GradientExposedAfterUpdates) {
+  auto learner = MakeLearner(1, {}, space_.Defaults(), 6);
+  EXPECT_TRUE(learner->last_gradient().empty());
+  RunLoop(learner.get(), 5, sparksim::NoiseParams::None(), 6);
+  EXPECT_EQ(learner->last_gradient().size(), space_.size());
+}
+
+TEST_F(CentroidLearningTest, RestrictedExplorationLimitsRegression) {
+  // The guardrail property of §4.3: starting from a good configuration,
+  // no executed candidate should be drastically worse than the start —
+  // unlike global-search BO. beta bounds the step.
+  CentroidLearningOptions options;
+  options.beta = 0.15;
+  auto learner = MakeLearner(5, options, function_.optimum(), 7);
+  common::Rng rng(7);
+  const double start_perf = function_.OptimalPerformance(1.0);
+  double worst = 0.0;
+  for (int t = 0; t < 60; ++t) {
+    const sparksim::ConfigVector c = learner->Propose(1.0);
+    worst = std::max(worst, function_.TruePerformance(c, 1.0));
+    learner->Observe(
+        c, 1.0, function_.Observe(c, 1.0, sparksim::NoiseParams::Low(), &rng));
+  }
+  // True performance of any executed config stays within 2.5x of optimal
+  // (global random search would routinely exceed this on this function).
+  EXPECT_LT(worst, 2.5 * start_perf);
+}
+
+TEST_F(CentroidLearningTest, UpdateEveryKDefersCentroidMoves) {
+  CentroidLearningOptions options;
+  options.update_every = 5;
+  auto learner =
+      MakeLearner(1, options, space_.Denormalize({0.8, 0.8, 0.8}), 8);
+  common::Rng rng(8);
+  const sparksim::ConfigVector before = learner->centroid();
+  for (int t = 0; t < 4; ++t) {
+    const sparksim::ConfigVector c = learner->Propose(1.0);
+    learner->Observe(c, 1.0, function_.TruePerformance(c, 1.0));
+  }
+  EXPECT_EQ(learner->centroid(), before);  // not yet
+  const sparksim::ConfigVector c = learner->Propose(1.0);
+  learner->Observe(c, 1.0, function_.TruePerformance(c, 1.0));
+  EXPECT_NE(learner->centroid(), before);  // 5th observation triggers update
+}
+
+TEST_F(CentroidLearningTest, LinearGradientVariantAlsoConverges) {
+  CentroidLearningOptions options;
+  options.gradient_method = GradientMethod::kLinearSign;
+  options.find_best_version = FindBestVersion::kNormalized;
+  auto learner =
+      MakeLearner(3, options, space_.Denormalize({0.9, 0.9, 0.9}), 9);
+  const double final_perf =
+      RunLoop(learner.get(), 150, sparksim::NoiseParams::Low(), 9);
+  const double start_perf =
+      function_.TruePerformance(space_.Denormalize({0.9, 0.9, 0.9}), 1.0);
+  EXPECT_LT(final_perf, start_perf);
+}
+
+TEST_F(CentroidLearningTest, NameIsStable) {
+  auto learner = MakeLearner(1, {}, space_.Defaults(), 10);
+  EXPECT_EQ(learner->name(), "centroid-learning");
+}
+
+}  // namespace
+}  // namespace rockhopper::core

@@ -1,0 +1,119 @@
+#include "core/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/workloads.h"
+
+namespace rockhopper::core {
+namespace {
+
+using sparksim::OperatorType;
+using sparksim::PlanNode;
+using sparksim::QueryPlan;
+
+QueryPlan FilterScanPlan(double scan_rows, double filter_rows) {
+  QueryPlan plan;
+  PlanNode filter;
+  filter.type = OperatorType::kFilter;
+  filter.est_output_rows = filter_rows;
+  const uint32_t f = plan.AddNode(filter);
+  PlanNode scan;
+  scan.type = OperatorType::kScan;
+  scan.est_output_rows = scan_rows;
+  plan.mutable_node(f).children.push_back(plan.AddNode(scan));
+  return plan;
+}
+
+TEST(EmbeddingTest, LengthMatchesOptions) {
+  EmbeddingOptions plain;
+  plain.virtual_operators = false;
+  EXPECT_EQ(EmbeddingLength(plain), 2 + sparksim::kNumOperatorTypes);
+  EmbeddingOptions vops;
+  vops.virtual_operators = true;
+  vops.num_buckets = 5;
+  EXPECT_EQ(EmbeddingLength(vops), 2 + sparksim::kNumOperatorTypes * 25);
+  const QueryPlan plan = sparksim::TpchPlan(1);
+  EXPECT_EQ(ComputeEmbedding(plan, plain).size(), EmbeddingLength(plain));
+  EXPECT_EQ(ComputeEmbedding(plan, vops).size(), EmbeddingLength(vops));
+}
+
+TEST(EmbeddingTest, FirstTwoComponentsAreLogCardinalities) {
+  const QueryPlan plan = FilterScanPlan(1e6, 1e3);
+  EmbeddingOptions options;
+  const std::vector<double> e = ComputeEmbedding(plan, options);
+  EXPECT_NEAR(e[0], std::log1p(1e3), 1e-9);  // root = filter output
+  EXPECT_NEAR(e[1], std::log1p(1e6), 1e-9);  // leaf input
+}
+
+TEST(EmbeddingTest, PlainCountsMatchOperatorHistogram) {
+  EmbeddingOptions plain;
+  plain.virtual_operators = false;
+  const QueryPlan plan = sparksim::TpchPlan(3);
+  const std::vector<double> e = ComputeEmbedding(plan, plain);
+  const std::vector<double> counts = plan.OperatorCounts();
+  for (size_t t = 0; t < sparksim::kNumOperatorTypes; ++t) {
+    EXPECT_DOUBLE_EQ(e[2 + t], counts[t]);
+  }
+}
+
+TEST(EmbeddingTest, VirtualOperatorsDistinguishSelectivity) {
+  // Two filters with the same operator type but very different output sizes
+  // must land in different slots (the Fig. 4 scenario).
+  EmbeddingOptions options;
+  options.virtual_operators = true;
+  const QueryPlan selective = FilterScanPlan(1e8, 1e2);   // massive reduction
+  const QueryPlan pass_through = FilterScanPlan(1e8, 9e7);  // barely filters
+  const std::vector<double> e1 = ComputeEmbedding(selective, options);
+  const std::vector<double> e2 = ComputeEmbedding(pass_through, options);
+  EXPECT_NE(e1, e2);
+  // With plain counts they are nearly identical (only components 0/1 move).
+  EmbeddingOptions plain;
+  plain.virtual_operators = false;
+  const std::vector<double> p1 = ComputeEmbedding(selective, plain);
+  const std::vector<double> p2 = ComputeEmbedding(pass_through, plain);
+  for (size_t i = 2; i < p1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1[i], p2[i]);
+  }
+}
+
+TEST(EmbeddingTest, BucketIndexClampsAtExtremes) {
+  EmbeddingOptions options;
+  options.num_buckets = 5;
+  options.bucket_log10_width = 2.0;
+  EXPECT_EQ(VirtualOperatorBucket(options, 0.5, 0.5), 0u);
+  EXPECT_EQ(VirtualOperatorBucket(options, 1e30, 1e30), 24u);
+  // input bucket 1 (rows 1e2..1e4), output bucket 0.
+  EXPECT_EQ(VirtualOperatorBucket(options, 1e3, 10.0), 5u);
+}
+
+TEST(EmbeddingTest, ScaleFactorShiftsCardinalities) {
+  const QueryPlan plan = FilterScanPlan(1e6, 1e3);
+  EmbeddingOptions options;
+  const std::vector<double> base = ComputeEmbedding(plan, options, 1.0);
+  const std::vector<double> big = ComputeEmbedding(plan, options, 100.0);
+  EXPECT_GT(big[0], base[0]);
+  EXPECT_GT(big[1], base[1]);
+}
+
+TEST(EmbeddingTest, EmptyPlanGivesZeroVector) {
+  EmbeddingOptions options;
+  const std::vector<double> e = ComputeEmbedding(QueryPlan(), options);
+  for (double v : e) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EmbeddingTest, SimilarPlansGetCloseEmbeddings) {
+  // The transfer-learning premise: similar workloads -> similar context.
+  EmbeddingOptions options;
+  const std::vector<double> a =
+      ComputeEmbedding(FilterScanPlan(1e6, 1e3), options);
+  const std::vector<double> b =
+      ComputeEmbedding(FilterScanPlan(1.2e6, 1.1e3), options);
+  double dist = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) dist += std::fabs(a[i] - b[i]);
+  EXPECT_LT(dist, 1.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

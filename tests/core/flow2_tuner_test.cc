@@ -1,0 +1,102 @@
+#include "core/flow2_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/synthetic.h"
+
+namespace rockhopper::core {
+namespace {
+
+class Flow2TunerTest : public ::testing::Test {
+ protected:
+  sparksim::SyntheticFunction function_ =
+      sparksim::SyntheticFunction::Default();
+  const sparksim::ConfigSpace& space_ = function_.space();
+};
+
+TEST_F(Flow2TunerTest, FirstProposalEstablishesIncumbent) {
+  Flow2Tuner tuner(space_, space_.Defaults(), {}, 1);
+  EXPECT_EQ(tuner.Propose(1.0), space_.Defaults());
+  EXPECT_EQ(tuner.name(), "flow2");
+}
+
+TEST_F(Flow2TunerTest, ProposalsAlwaysValid) {
+  Flow2Tuner tuner(space_, space_.Defaults(), {}, 2);
+  common::Rng rng(2);
+  for (int t = 0; t < 50; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    EXPECT_TRUE(space_.Validate(c).ok());
+    tuner.Observe(c, 1.0,
+                  function_.Observe(c, 1.0, sparksim::NoiseParams::None(), &rng));
+  }
+}
+
+TEST_F(Flow2TunerTest, ConvergesOnNoiselessConvexFunction) {
+  Flow2Tuner tuner(space_, space_.Denormalize({0.9, 0.9, 0.9}), {}, 3);
+  common::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    tuner.Observe(c, 1.0, function_.TruePerformance(c, 1.0));
+  }
+  const double incumbent_perf =
+      function_.TruePerformance(tuner.incumbent(), 1.0);
+  const double start_perf =
+      function_.TruePerformance(space_.Denormalize({0.9, 0.9, 0.9}), 1.0);
+  const double optimal = function_.OptimalPerformance(1.0);
+  EXPECT_LT(incumbent_perf - optimal, 0.2 * (start_perf - optimal));
+}
+
+TEST_F(Flow2TunerTest, IncumbentOnlyMovesOnImprovement) {
+  Flow2Tuner tuner(space_, space_.Defaults(), {}, 4);
+  // Establish incumbent at cost 100.
+  const sparksim::ConfigVector first = tuner.Propose(1.0);
+  tuner.Observe(first, 1.0, 100.0);
+  const sparksim::ConfigVector incumbent = tuner.incumbent();
+  // A worse probe leaves the incumbent unchanged.
+  const sparksim::ConfigVector probe = tuner.Propose(1.0);
+  tuner.Observe(probe, 1.0, 200.0);
+  EXPECT_EQ(tuner.incumbent(), incumbent);
+  // A better probe moves it.
+  const sparksim::ConfigVector probe2 = tuner.Propose(1.0);
+  tuner.Observe(probe2, 1.0, 50.0);
+  EXPECT_EQ(tuner.incumbent(), probe2);
+}
+
+TEST_F(Flow2TunerTest, StepShrinksAfterRepeatedFailures) {
+  Flow2Options options;
+  options.patience = 2;
+  Flow2Tuner tuner(space_, space_.Defaults(), options, 5);
+  const double initial_step = tuner.step_size();
+  const sparksim::ConfigVector first = tuner.Propose(1.0);
+  tuner.Observe(first, 1.0, 1.0);  // incumbent cost 1: everything else fails
+  for (int t = 0; t < 20; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    tuner.Observe(c, 1.0, 10.0);
+  }
+  EXPECT_LT(tuner.step_size(), initial_step);
+  EXPECT_GE(tuner.step_size(), options.min_step);
+}
+
+TEST_F(Flow2TunerTest, NoiseDerailsSingleComparisonDescent) {
+  // The Fig. 2b property: spikes corrupt FLOW2's pairwise comparisons, so
+  // under high noise its final incumbent is frequently far from optimal.
+  // Run several seeds; at least a third should end badly (>25% above opt).
+  int bad = 0;
+  const int trials = 12;
+  for (int s = 0; s < trials; ++s) {
+    Flow2Tuner tuner(space_, space_.Denormalize({0.2, 0.2, 0.2}), {},
+                     100 + s);
+    common::Rng rng(200 + s);
+    for (int t = 0; t < 120; ++t) {
+      const sparksim::ConfigVector c = tuner.Propose(1.0);
+      tuner.Observe(c, 1.0, function_.Observe(
+                                c, 1.0, sparksim::NoiseParams::High(), &rng));
+    }
+    const double perf = function_.TruePerformance(tuner.incumbent(), 1.0);
+    if (perf > 1.25 * function_.OptimalPerformance(1.0)) ++bad;
+  }
+  EXPECT_GE(bad, trials / 3);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

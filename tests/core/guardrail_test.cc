@@ -1,0 +1,122 @@
+#include "core/guardrail.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rockhopper::core {
+namespace {
+
+Observation Obs(int iteration, double runtime, double data_size = 1.0) {
+  Observation o;
+  o.config = {1.0, 2.0, 3.0};
+  o.iteration = iteration;
+  o.runtime = runtime;
+  o.data_size = data_size;
+  return o;
+}
+
+TEST(GuardrailTest, NeverFiresBeforeMinIterations) {
+  Guardrail guard;  // min_iterations = 30
+  // Strongly regressing runtimes — but the exploration budget protects them.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(guard.Record(Obs(i, 10.0 + 5.0 * i)));
+  }
+  EXPECT_FALSE(guard.disabled());
+}
+
+TEST(GuardrailTest, DisablesOnPersistentRegression) {
+  Guardrail::Options options;
+  options.min_iterations = 10;
+  options.max_strikes = 3;
+  Guardrail guard(options);
+  bool active = true;
+  for (int i = 0; i < 40 && active; ++i) {
+    active = guard.Record(Obs(i, 10.0 + 3.0 * i));
+  }
+  EXPECT_TRUE(guard.disabled());
+}
+
+TEST(GuardrailTest, ImprovingQueryNeverDisabled) {
+  Guardrail::Options options;
+  options.min_iterations = 10;
+  Guardrail guard(options);
+  common::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double runtime = 100.0 / (1.0 + 0.05 * i) + rng.Uniform(0.0, 2.0);
+    EXPECT_TRUE(guard.Record(Obs(i, runtime))) << "iteration " << i;
+  }
+  EXPECT_FALSE(guard.disabled());
+  EXPECT_EQ(guard.strikes(), 0);
+}
+
+TEST(GuardrailTest, FlatNoisyQueryStaysEnabled) {
+  Guardrail::Options options;
+  options.min_iterations = 10;
+  options.regression_threshold = 0.15;
+  Guardrail guard(options);
+  common::Rng rng(2);
+  for (int i = 0; i < 80; ++i) {
+    EXPECT_TRUE(guard.Record(Obs(i, 50.0 * (1.0 + 0.1 * rng.Uniform()))));
+  }
+  EXPECT_FALSE(guard.disabled());
+}
+
+TEST(GuardrailTest, DataSizeGrowthIsNotMistakenForRegression) {
+  // Runtime grows only because input size grows; the cardinality feature
+  // must absorb it. (This is why the trend model includes input size.)
+  Guardrail::Options options;
+  options.min_iterations = 10;
+  options.regression_threshold = 0.1;
+  Guardrail guard(options);
+  for (int i = 0; i < 60; ++i) {
+    const double p = 1.0 + 0.2 * i;         // growing input
+    const double runtime = 20.0 * p;        // runtime tracks input exactly
+    EXPECT_TRUE(guard.Record(Obs(i, runtime, p))) << "iteration " << i;
+  }
+  EXPECT_FALSE(guard.disabled());
+}
+
+TEST(GuardrailTest, StrikesResetOnRecovery) {
+  Guardrail::Options options;
+  options.min_iterations = 5;
+  options.max_strikes = 8;  // generous: the regressing phase must not kill it
+  Guardrail guard(options);
+  // Regress for a bit...
+  int i = 0;
+  for (; i < 10; ++i) guard.Record(Obs(i, 10.0 + 3.0 * i));
+  EXPECT_GT(guard.strikes(), 0);
+  EXPECT_FALSE(guard.disabled());
+  // ...then improve sharply and stay fast; the trend flips and strikes
+  // must clear.
+  for (; i < 45; ++i) guard.Record(Obs(i, 2.0));
+  EXPECT_EQ(guard.strikes(), 0);
+  EXPECT_FALSE(guard.disabled());
+}
+
+TEST(GuardrailTest, DisabledIsSticky) {
+  Guardrail::Options options;
+  options.min_iterations = 5;
+  options.max_strikes = 2;
+  Guardrail guard(options);
+  int i = 0;
+  while (!guard.disabled() && i < 50) {
+    guard.Record(Obs(i, 10.0 + 4.0 * i));
+    ++i;
+  }
+  ASSERT_TRUE(guard.disabled());
+  // Even perfect runs afterwards do not re-enable.
+  EXPECT_FALSE(guard.Record(Obs(i, 0.1)));
+  EXPECT_TRUE(guard.disabled());
+}
+
+TEST(GuardrailTest, PredictNextRuntimeTracksTrend) {
+  Guardrail guard;
+  EXPECT_LT(guard.PredictNextRuntime(), 0.0);  // unfittable yet
+  for (int i = 0; i < 10; ++i) guard.Record(Obs(i, 10.0 + 2.0 * i));
+  // Linear trend: next iteration (10) should predict ~30.
+  EXPECT_NEAR(guard.PredictNextRuntime(), 30.0, 1.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

@@ -1,0 +1,83 @@
+#include "core/manual_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/synthetic.h"
+
+namespace rockhopper::core {
+namespace {
+
+class ManualPolicyTest : public ::testing::Test {
+ protected:
+  sparksim::SyntheticFunction function_ =
+      sparksim::SyntheticFunction::Default();
+  const sparksim::ConfigSpace& space_ = function_.space();
+};
+
+TEST_F(ManualPolicyTest, StartsWithGivenConfig) {
+  ExpertPolicyTuner tuner(space_, space_.Defaults(), {}, 1);
+  EXPECT_EQ(tuner.Propose(1.0), space_.Defaults());
+  EXPECT_EQ(tuner.name(), "expert-policy");
+}
+
+TEST_F(ManualPolicyTest, SweepPhaseVariesOneDimensionAtATime) {
+  ExpertPolicyOptions options;
+  options.sweep_points = 3;
+  ExpertPolicyTuner tuner(space_, space_.Defaults(), options, 2);
+  // Consume the initial default run.
+  sparksim::ConfigVector c = tuner.Propose(1.0);
+  tuner.Observe(c, 1.0, 100.0);
+  // The first sweep_points proposals move dimension 0 while others stay at
+  // the best-known (default) values.
+  const std::vector<double> base = space_.Normalize(space_.Defaults());
+  for (int i = 0; i < options.sweep_points; ++i) {
+    c = tuner.Propose(1.0);
+    const std::vector<double> u = space_.Normalize(c);
+    EXPECT_NEAR(u[1], base[1], 1e-9) << "dim 1 moved during dim-0 sweep";
+    EXPECT_NEAR(u[2], base[2], 1e-9) << "dim 2 moved during dim-0 sweep";
+    tuner.Observe(c, 1.0, 100.0);
+  }
+  // Next proposals sweep dimension 1.
+  c = tuner.Propose(1.0);
+  const std::vector<double> u = space_.Normalize(c);
+  EXPECT_NEAR(u[2], base[2], 1e-9);
+}
+
+TEST_F(ManualPolicyTest, TracksBestConfig) {
+  ExpertPolicyTuner tuner(space_, space_.Defaults(), {}, 3);
+  sparksim::ConfigVector c = tuner.Propose(1.0);
+  tuner.Observe(c, 1.0, 50.0);
+  const sparksim::ConfigVector winner = space_.Denormalize({0.4, 0.4, 0.4});
+  tuner.Observe(winner, 1.0, 10.0);
+  EXPECT_EQ(tuner.best_config(), winner);
+  tuner.Observe(space_.Defaults(), 1.0, 90.0);
+  EXPECT_EQ(tuner.best_config(), winner);
+}
+
+TEST_F(ManualPolicyTest, ImprovesOnConvexFunction) {
+  // The human-like policy should make clear progress in ~40 iterations —
+  // the iteration budget the paper's volunteers used.
+  ExpertPolicyTuner tuner(space_, space_.Denormalize({0.9, 0.9, 0.9}), {}, 4);
+  common::Rng rng(4);
+  for (int t = 0; t < 40; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    tuner.Observe(c, 1.0, function_.TruePerformance(c, 1.0));
+  }
+  const double start = function_.TruePerformance(
+      space_.Denormalize({0.9, 0.9, 0.9}), 1.0);
+  const double end = function_.TruePerformance(tuner.best_config(), 1.0);
+  const double optimal = function_.OptimalPerformance(1.0);
+  EXPECT_LT(end - optimal, 0.5 * (start - optimal));
+}
+
+TEST_F(ManualPolicyTest, ProposalsAlwaysValid) {
+  ExpertPolicyTuner tuner(space_, space_.Defaults(), {}, 5);
+  for (int t = 0; t < 60; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    EXPECT_TRUE(space_.Validate(c).ok());
+    tuner.Observe(c, 1.0, 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace rockhopper::core

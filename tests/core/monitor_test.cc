@@ -1,0 +1,142 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rockhopper::core {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() : space_(sparksim::QueryLevelSpace()), monitor_(&space_) {}
+
+  MonitorRecord Rec(double runtime, double data_size = 1.0,
+                    sparksim::ConfigVector config = {}) {
+    MonitorRecord r;
+    r.iteration = -1;  // auto-assign
+    r.config = config.empty() ? space_.Defaults() : std::move(config);
+    r.data_size = data_size;
+    r.runtime = runtime;
+    return r;
+  }
+
+  sparksim::ConfigSpace space_;
+  TuningMonitor monitor_;
+};
+
+TEST_F(MonitorTest, AutoAssignsIterations) {
+  monitor_.Record(Rec(10.0));
+  monitor_.Record(Rec(11.0));
+  EXPECT_EQ(monitor_.records()[0].iteration, 0);
+  EXPECT_EQ(monitor_.records()[1].iteration, 1);
+  EXPECT_EQ(monitor_.size(), 2u);
+}
+
+TEST_F(MonitorTest, TrendSlopeOnLinearSeries) {
+  for (int i = 0; i < 20; ++i) monitor_.Record(Rec(100.0 - 2.0 * i));
+  const TuningMonitor::TrendSummary trend = monitor_.Trend();
+  EXPECT_NEAR(trend.runtime_slope, -2.0, 1e-6);
+  EXPECT_GT(trend.improvement_pct, 20.0);
+}
+
+TEST_F(MonitorTest, SizeAdjustedSlopeIgnoresDataGrowth) {
+  // Runtime exactly tracks data size: the size-adjusted trend must vanish.
+  for (int i = 0; i < 30; ++i) {
+    const double p = 1.0 + 0.3 * i;
+    monitor_.Record(Rec(20.0 * p, p));
+  }
+  const TuningMonitor::TrendSummary trend = monitor_.Trend();
+  EXPECT_GT(trend.runtime_slope, 1.0);
+  EXPECT_NEAR(trend.size_adjusted_slope, 0.0, 0.2);
+}
+
+TEST_F(MonitorTest, DiagnoseImproving) {
+  for (int i = 0; i < 30; ++i) monitor_.Record(Rec(100.0 / (1.0 + 0.1 * i)));
+  EXPECT_EQ(monitor_.Diagnose().verdict, TuningMonitor::Verdict::kImproving);
+}
+
+TEST_F(MonitorTest, DiagnoseDataGrowth) {
+  for (int i = 0; i < 30; ++i) {
+    const double p = 1.0 + 0.2 * i;
+    monitor_.Record(Rec(15.0 * p, p));
+  }
+  EXPECT_EQ(monitor_.Diagnose().verdict, TuningMonitor::Verdict::kDataGrowth);
+}
+
+TEST_F(MonitorTest, DiagnoseSuspectConfiguration) {
+  // Input size flat, runtime climbing: the tuner is the suspect.
+  for (int i = 0; i < 30; ++i) monitor_.Record(Rec(10.0 + 2.0 * i, 1.0));
+  EXPECT_EQ(monitor_.Diagnose().verdict,
+            TuningMonitor::Verdict::kSuspectConfiguration);
+}
+
+TEST_F(MonitorTest, DiagnoseNeutralOnFlatNoise) {
+  common::Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    monitor_.Record(Rec(50.0 + rng.Uniform(-1.0, 1.0)));
+  }
+  EXPECT_EQ(monitor_.Diagnose().verdict, TuningMonitor::Verdict::kNeutral);
+}
+
+TEST_F(MonitorTest, DiagnoseNeedsHistory) {
+  monitor_.Record(Rec(1.0));
+  EXPECT_EQ(monitor_.Diagnose().verdict, TuningMonitor::Verdict::kNeutral);
+  EXPECT_NE(monitor_.Diagnose().explanation.find("not enough"),
+            std::string::npos);
+}
+
+TEST_F(MonitorTest, DimensionInsightsTrackChangesAndCorrelation) {
+  // Sweep shuffle.partitions up while runtime rises with it.
+  for (int i = 0; i < 20; ++i) {
+    sparksim::ConfigVector c = space_.Defaults();
+    c[2] = 100.0 + 50.0 * i;
+    monitor_.Record(Rec(10.0 + i, 1.0, c));
+  }
+  const auto dims = monitor_.Dimensions();
+  ASSERT_EQ(dims.size(), 3u);
+  EXPECT_EQ(dims[2].name, sparksim::kShufflePartitions);
+  EXPECT_DOUBLE_EQ(dims[2].initial_value, 100.0);
+  EXPECT_DOUBLE_EQ(dims[2].current_value, 100.0 + 50.0 * 19);
+  EXPECT_GT(dims[2].spearman_with_runtime, 0.95);
+  EXPECT_EQ(dims[2].direction_flips, 0);
+  // Untouched dimensions have no correlation signal.
+  EXPECT_EQ(dims[0].direction_flips, 0);
+}
+
+TEST_F(MonitorTest, DirectionFlipsCounted) {
+  for (int i = 0; i < 10; ++i) {
+    sparksim::ConfigVector c = space_.Defaults();
+    c[2] = i % 2 == 0 ? 100.0 : 400.0;  // zig-zag
+    monitor_.Record(Rec(10.0, 1.0, c));
+  }
+  EXPECT_GE(monitor_.Dimensions()[2].direction_flips, 7);
+}
+
+TEST_F(MonitorTest, MetricsAggregated) {
+  MonitorRecord r = Rec(10.0);
+  r.metrics.total_tasks = 100;
+  r.metrics.spill_events = 2;
+  r.metrics.broadcast_joins = 1;
+  monitor_.Record(r);
+  r.metrics.total_tasks = 300;
+  r.metrics.sort_merge_joins = 2;
+  monitor_.Record(r);
+  const auto metrics = monitor_.Metrics();
+  EXPECT_DOUBLE_EQ(metrics.mean_tasks, 200.0);
+  EXPECT_EQ(metrics.total_spills, 4);
+  EXPECT_EQ(metrics.broadcast_joins, 2);
+  EXPECT_EQ(metrics.sort_merge_joins, 2);
+}
+
+TEST_F(MonitorTest, ReportContainsAllSections) {
+  for (int i = 0; i < 10; ++i) monitor_.Record(Rec(10.0 - 0.5 * i));
+  const std::string report = monitor_.Report();
+  EXPECT_NE(report.find("tuning dashboard"), std::string::npos);
+  EXPECT_NE(report.find("trend:"), std::string::npos);
+  EXPECT_NE(report.find(sparksim::kMaxPartitionBytes), std::string::npos);
+  EXPECT_NE(report.find("rca:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

@@ -1,0 +1,80 @@
+#include "core/simple_tuners.h"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/synthetic.h"
+
+namespace rockhopper::core {
+namespace {
+
+class SimpleTunersTest : public ::testing::Test {
+ protected:
+  sparksim::SyntheticFunction function_ =
+      sparksim::SyntheticFunction::Default();
+  const sparksim::ConfigSpace& space_ = function_.space();
+};
+
+TEST_F(SimpleTunersTest, HillClimbConvergesNoiseless) {
+  HillClimbTuner tuner(space_, space_.Denormalize({0.85, 0.85, 0.85}), 0.08,
+                       1);
+  for (int t = 0; t < 200; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    tuner.Observe(c, 1.0, function_.TruePerformance(c, 1.0));
+  }
+  const double perf = function_.TruePerformance(tuner.incumbent(), 1.0);
+  const double start = function_.TruePerformance(
+      space_.Denormalize({0.85, 0.85, 0.85}), 1.0);
+  EXPECT_LT(perf, start);
+  EXPECT_LT(perf - function_.OptimalPerformance(1.0),
+            0.5 * (start - function_.OptimalPerformance(1.0)));
+}
+
+TEST_F(SimpleTunersTest, HillClimbProposalsValid) {
+  HillClimbTuner tuner(space_, space_.Defaults(), 0.1, 2);
+  for (int t = 0; t < 40; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    EXPECT_TRUE(space_.Validate(c).ok());
+    tuner.Observe(c, 1.0, 10.0);
+  }
+}
+
+TEST_F(SimpleTunersTest, HillClimbKeepsIncumbentOnFailure) {
+  HillClimbTuner tuner(space_, space_.Defaults(), 0.1, 3);
+  const sparksim::ConfigVector first = tuner.Propose(1.0);
+  tuner.Observe(first, 1.0, 1.0);
+  const sparksim::ConfigVector incumbent = tuner.incumbent();
+  for (int t = 0; t < 10; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    tuner.Observe(c, 1.0, 99.0);  // all probes fail
+  }
+  EXPECT_EQ(tuner.incumbent(), incumbent);
+}
+
+TEST_F(SimpleTunersTest, RandomSearchTracksBest) {
+  RandomSearchTuner tuner(space_, 4);
+  common::Rng rng(4);
+  double best_seen = 1e300;
+  for (int t = 0; t < 50; ++t) {
+    const sparksim::ConfigVector c = tuner.Propose(1.0);
+    EXPECT_TRUE(space_.Validate(c).ok());
+    const double r = function_.Observe(c, 1.0, sparksim::NoiseParams::None(),
+                                       &rng);
+    tuner.Observe(c, 1.0, r);
+    best_seen = std::min(best_seen, r);
+  }
+  EXPECT_DOUBLE_EQ(tuner.best_runtime(), best_seen);
+  EXPECT_EQ(tuner.name(), "random-search");
+}
+
+TEST_F(SimpleTunersTest, FixedConfigAlwaysProposesSame) {
+  const sparksim::ConfigVector d = space_.Defaults();
+  FixedConfigTuner tuner(d);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(tuner.Propose(1.0), d);
+    tuner.Observe(d, 1.0, 10.0);  // observations ignored
+  }
+  EXPECT_EQ(tuner.name(), "fixed");
+}
+
+}  // namespace
+}  // namespace rockhopper::core

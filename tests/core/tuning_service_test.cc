@@ -1,0 +1,261 @@
+#include "core/tuning_service.h"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+namespace rockhopper::core {
+namespace {
+
+class TuningServiceTest : public ::testing::Test {
+ protected:
+  TuningServiceTest() : space_(sparksim::QueryLevelSpace()) {}
+
+  TuningServiceOptions FastOptions() {
+    TuningServiceOptions options;
+    options.guardrail.min_iterations = 10;
+    options.centroid.num_candidates = 8;
+    return options;
+  }
+
+  sparksim::ConfigSpace space_;
+};
+
+TEST_F(TuningServiceTest, FirstStartReturnsValidConfig) {
+  TuningService service(space_, nullptr, FastOptions(), 1);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(1);
+  const sparksim::ConfigVector config = service.OnQueryStart(plan, 1e9);
+  EXPECT_TRUE(space_.Validate(config).ok());
+  EXPECT_EQ(service.NumSignatures(), 1u);
+}
+
+TEST_F(TuningServiceTest, SignaturesTrackedIndependently) {
+  TuningService service(space_, nullptr, FastOptions(), 2);
+  const sparksim::QueryPlan p1 = sparksim::TpchPlan(1);
+  const sparksim::QueryPlan p2 = sparksim::TpchPlan(2);
+  (void)service.OnQueryStart(p1, 1e9);
+  (void)service.OnQueryStart(p2, 1e9);
+  EXPECT_EQ(service.NumSignatures(), 2u);
+  service.OnQueryEnd(p1, space_.Defaults(), 1e9, 100.0);
+  EXPECT_EQ(service.IterationCount(p1.Signature()), 1u);
+  EXPECT_EQ(service.IterationCount(p2.Signature()), 0u);
+}
+
+TEST_F(TuningServiceTest, ObservationsRecorded) {
+  TuningService service(space_, nullptr, FastOptions(), 3);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(3);
+  for (int i = 0; i < 5; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1e9);
+    service.OnQueryEnd(plan, c, 1e9, 50.0 - i);
+  }
+  EXPECT_EQ(service.observations().Count(plan.Signature()), 5u);
+  EXPECT_TRUE(service.IsTuningEnabled(plan.Signature()));
+}
+
+TEST_F(TuningServiceTest, GuardrailDisablesRegressingQuery) {
+  TuningServiceOptions options = FastOptions();
+  options.guardrail.min_iterations = 8;
+  options.guardrail.max_strikes = 2;
+  TuningService service(space_, nullptr, options, 4);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(4);
+  // Report runtimes that regress hard regardless of config.
+  for (int i = 0; i < 40; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, c, 1.0, 10.0 + 5.0 * i);
+  }
+  EXPECT_FALSE(service.IsTuningEnabled(plan.Signature()));
+  EXPECT_EQ(service.NumDisabled(), 1u);
+  // Once disabled, starts return the defaults.
+  EXPECT_EQ(service.OnQueryStart(plan, 1.0), space_.Defaults());
+}
+
+TEST_F(TuningServiceTest, GuardrailCanBeDisabledByOption) {
+  TuningServiceOptions options = FastOptions();
+  options.enable_guardrail = false;
+  TuningService service(space_, nullptr, options, 5);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(5);
+  for (int i = 0; i < 40; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, c, 1.0, 10.0 + 5.0 * i);
+  }
+  EXPECT_TRUE(service.IsTuningEnabled(plan.Signature()));
+  EXPECT_EQ(service.NumDisabled(), 0u);
+}
+
+TEST_F(TuningServiceTest, ImprovesQueryOnSimulator) {
+  // End-to-end sanity: tuning a TPC-H-like query on the noiseless simulator
+  // should beat the defaults after some iterations.
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams::None();
+  sparksim::SparkSimulator sim(sim_options);
+  TuningService service(space_, nullptr, FastOptions(), 6);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(7);
+  const double default_runtime =
+      sim.ExecuteQuery(plan, space_.Defaults(), 1.0).noise_free_seconds;
+  double last_runtime = default_runtime;
+  for (int i = 0; i < 60; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    const sparksim::ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+    service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+    last_runtime = r.noise_free_seconds;
+  }
+  EXPECT_LE(last_runtime, default_runtime * 1.05);
+}
+
+TEST_F(TuningServiceTest, AppCacheMissReturnsAppDefaults) {
+  TuningService service(space_, nullptr, FastOptions(), 7);
+  EXPECT_EQ(service.OnApplicationStart("unknown-artifact"),
+            sparksim::AppLevelSpace().Defaults());
+}
+
+TEST_F(TuningServiceTest, PrecomputeAppConfigPopulatesCache) {
+  TuningService service(space_, nullptr, FastOptions(), 8);
+  AppQueryContext ctx;
+  ctx.centroid = space_.Defaults();
+  // Prefer more executors, unconditionally.
+  ctx.score = [](const sparksim::ConfigVector& app,
+                 const sparksim::ConfigVector& /*query*/) {
+    return app[0];
+  };
+  service.PrecomputeAppConfig("notebook-42", {ctx});
+  EXPECT_EQ(service.app_cache().size(), 1u);
+  const sparksim::ConfigVector cached =
+      service.OnApplicationStart("notebook-42");
+  EXPECT_GE(cached[0], sparksim::AppLevelSpace().Defaults()[0]);
+}
+
+TEST_F(TuningServiceTest, ReplayHistoryRestoresIterationCount) {
+  // First service: tune for a while, persist the event log.
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams::Low();
+  sparksim::SparkSimulator sim(sim_options);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(9);
+  TuningService first(space_, nullptr, FastOptions(), 10);
+  for (int i = 0; i < 20; ++i) {
+    const sparksim::ConfigVector c = first.OnQueryStart(plan, 1.0);
+    const sparksim::ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+    first.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+  }
+  // Second service: replay from the stored history and keep tuning.
+  TuningService second(space_, nullptr, FastOptions(), 11);
+  second.ReplayHistory(plan, first.observations().History(plan.Signature()));
+  EXPECT_EQ(second.IterationCount(plan.Signature()), 20u);
+  EXPECT_TRUE(second.IsTuningEnabled(plan.Signature()));
+  const sparksim::ConfigVector next = second.OnQueryStart(plan, 1.0);
+  EXPECT_TRUE(space_.Validate(next).ok());
+}
+
+TEST_F(TuningServiceTest, ReplayHistoryReappliesGuardrail) {
+  TuningServiceOptions options = FastOptions();
+  options.guardrail.min_iterations = 8;
+  options.guardrail.max_strikes = 2;
+  TuningService service(space_, nullptr, options, 12);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(10);
+  ObservationWindow regressing;
+  for (int i = 0; i < 40; ++i) {
+    Observation o;
+    o.config = space_.Defaults();
+    o.data_size = 1.0;
+    o.runtime = 10.0 + 5.0 * i;
+    o.iteration = i;
+    regressing.push_back(o);
+  }
+  service.ReplayHistory(plan, regressing);
+  EXPECT_FALSE(service.IsTuningEnabled(plan.Signature()));
+  EXPECT_EQ(service.OnQueryStart(plan, 1.0), space_.Defaults());
+}
+
+TEST_F(TuningServiceTest, ExplainQueryDescribesState) {
+  TuningService service(space_, nullptr, FastOptions(), 13);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(11);
+  EXPECT_EQ(service.ExplainQuery(plan.Signature()).status().code(),
+            StatusCode::kNotFound);
+  for (int i = 0; i < 5; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, c, 1.0, 50.0 - i);
+  }
+  Result<std::string> explanation = service.ExplainQuery(plan.Signature());
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_NE(explanation->find("centroid"), std::string::npos);
+  EXPECT_NE(explanation->find(sparksim::kShufflePartitions),
+            std::string::npos);
+  EXPECT_NE(explanation->find("candidates scored"), std::string::npos);
+}
+
+TEST_F(TuningServiceTest, ExplainQueryReportsDisabledState) {
+  TuningServiceOptions options = FastOptions();
+  options.guardrail.min_iterations = 8;
+  options.guardrail.max_strikes = 2;
+  TuningService service(space_, nullptr, options, 14);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(12);
+  for (int i = 0; i < 40; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, c, 1.0, 10.0 + 5.0 * i);
+  }
+  Result<std::string> explanation = service.ExplainQuery(plan.Signature());
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_NE(explanation->find("DISABLED"), std::string::npos);
+}
+
+TEST_F(TuningServiceTest, SignatureTransferSeedsFromSimilarQuery) {
+  TuningServiceOptions options = FastOptions();
+  options.enable_signature_transfer = true;
+  options.enable_guardrail = false;
+  TuningService service(space_, nullptr, options, 15);
+
+  // Tune query A away from the defaults with fabricated feedback: small
+  // configs look fast, so the centroid drifts down.
+  const sparksim::QueryPlan plan_a = sparksim::TpchPlan(13);
+  for (int i = 0; i < 25; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan_a, 1.0);
+    const double runtime = 10.0 + 100.0 * space_.Normalize(c)[2];
+    service.OnQueryEnd(plan_a, c, 1.0, runtime);
+  }
+  // Query B: the same plan with slightly perturbed cardinalities — a new
+  // signature but a near-identical embedding.
+  sparksim::QueryPlan plan_b = plan_a;
+  plan_b.mutable_node(0).est_output_rows *= 64.0;  // re-hashes the signature
+  ASSERT_NE(plan_b.Signature(), plan_a.Signature());
+
+  const sparksim::ConfigVector b_first = service.OnQueryStart(plan_b, 1.0);
+  // B's first proposal should start near A's learned centroid, not the
+  // defaults: its shuffle.partitions must be well below the default.
+  Result<std::string> a_explain = service.ExplainQuery(plan_a.Signature());
+  ASSERT_TRUE(a_explain.ok());
+  EXPECT_LT(space_.Normalize(b_first)[2],
+            space_.Normalize(space_.Defaults())[2]);
+
+  // Without transfer, a fresh service starts B at the defaults.
+  TuningServiceOptions cold_options = FastOptions();
+  cold_options.enable_signature_transfer = false;
+  TuningService cold(space_, nullptr, cold_options, 16);
+  const sparksim::ConfigVector cold_first = cold.OnQueryStart(plan_b, 1.0);
+  EXPECT_NEAR(space_.Normalize(cold_first)[2],
+              space_.Normalize(space_.Defaults())[2], 0.06);
+}
+
+TEST_F(TuningServiceTest, SignatureTransferIgnoresDistantQueries) {
+  TuningServiceOptions options = FastOptions();
+  options.enable_signature_transfer = true;
+  options.transfer_max_distance = 1e-6;  // effectively disabled by radius
+  TuningService service(space_, nullptr, options, 17);
+  const sparksim::QueryPlan plan_a = sparksim::TpchPlan(14);
+  for (int i = 0; i < 10; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan_a, 1.0);
+    service.OnQueryEnd(plan_a, c, 1.0, 10.0 + 100.0 * space_.Normalize(c)[2]);
+  }
+  const sparksim::QueryPlan plan_b = sparksim::TpcdsPlan(50);  // unrelated
+  const sparksim::ConfigVector b_first = service.OnQueryStart(plan_b, 1.0);
+  EXPECT_NEAR(space_.Normalize(b_first)[2],
+              space_.Normalize(space_.Defaults())[2], 0.06);
+}
+
+TEST_F(TuningServiceTest, PrecomputeWithNoQueriesIsNoOp) {
+  TuningService service(space_, nullptr, FastOptions(), 9);
+  service.PrecomputeAppConfig("empty", {});
+  EXPECT_EQ(service.app_cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

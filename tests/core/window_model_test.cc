@@ -1,0 +1,81 @@
+#include "core/window_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/synthetic.h"
+
+namespace rockhopper::core {
+namespace {
+
+Observation Obs(const sparksim::ConfigVector& config, double data_size,
+                double runtime) {
+  Observation o;
+  o.config = config;
+  o.data_size = data_size;
+  o.runtime = runtime;
+  return o;
+}
+
+TEST(WindowFeaturesTest, NormalizedConfigPlusLogSize) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const std::vector<double> f =
+      WindowFeatures(space, space.Defaults(), 100.0);
+  ASSERT_EQ(f.size(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(f[i], 0.0);
+    EXPECT_LE(f[i], 1.0);
+  }
+  EXPECT_NEAR(f[3], std::log1p(100.0), 1e-12);
+}
+
+TEST(WindowModelTest, RejectsEmptyWindow) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  WindowModel model(&space);
+  EXPECT_FALSE(model.Fit({}).ok());
+  EXPECT_FALSE(model.is_fitted());
+}
+
+TEST(WindowModelTest, LearnsBowlFromCleanWindow) {
+  const sparksim::SyntheticFunction f = sparksim::SyntheticFunction::Default();
+  const sparksim::ConfigSpace& space = f.space();
+  common::Rng rng(1);
+  ObservationWindow window;
+  for (int i = 0; i < 20; ++i) {
+    const sparksim::ConfigVector c = space.Sample(&rng);
+    window.push_back(Obs(c, 1.0, f.TruePerformance(c, 1.0)));
+  }
+  WindowModel model(&space);
+  ASSERT_TRUE(model.Fit(window).ok());
+  // The model should rank the optimum below a far corner.
+  sparksim::ConfigVector corner = space.Denormalize({1.0, 1.0, 1.0});
+  EXPECT_LT(model.Predict(f.optimum(), 1.0), model.Predict(corner, 1.0));
+}
+
+TEST(WindowModelTest, SeparatesDataSizeFromConfigEffect) {
+  // Runtime = 100 * p regardless of config: predictions at fixed p must be
+  // ~constant across configs.
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  common::Rng rng(2);
+  ObservationWindow window;
+  for (int i = 0; i < 25; ++i) {
+    const double p = rng.Uniform(0.5, 4.0);
+    window.push_back(Obs(space.Sample(&rng), p, 100.0 * p));
+  }
+  WindowModel model(&space);
+  ASSERT_TRUE(model.Fit(window).ok());
+  const double a = model.Predict(space.Defaults(), 2.0);
+  const double b = model.Predict(space.Sample(&rng), 2.0);
+  EXPECT_NEAR(a, b, 0.35 * std::max(std::fabs(a), 1.0));
+}
+
+TEST(WindowModelTest, SinglePointWindowStillFits) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  WindowModel model(&space);
+  ASSERT_TRUE(model.Fit({Obs(space.Defaults(), 1.0, 5.0)}).ok());
+  EXPECT_NEAR(model.Predict(space.Defaults(), 1.0), 5.0, 0.5);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

@@ -1,0 +1,96 @@
+#include "ml/acquisition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(NormalDistTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalDistTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(NormalPdf(1.0), 0.2419707245, 1e-9);
+  EXPECT_DOUBLE_EQ(NormalPdf(1.0), NormalPdf(-1.0));
+}
+
+AcquisitionOptions Ei() {
+  AcquisitionOptions o;
+  o.kind = AcquisitionKind::kExpectedImprovement;
+  o.xi = 0.0;
+  return o;
+}
+
+TEST(ExpectedImprovementTest, PrefersLowerMeanAtEqualStd) {
+  const double best = 10.0;
+  const double better = AcquisitionScore(Ei(), {8.0, 1.0}, best);
+  const double worse = AcquisitionScore(Ei(), {9.5, 1.0}, best);
+  EXPECT_GT(better, worse);
+}
+
+TEST(ExpectedImprovementTest, PrefersHigherStdAtEqualMean) {
+  const double best = 10.0;
+  const double explore = AcquisitionScore(Ei(), {10.0, 3.0}, best);
+  const double exploit = AcquisitionScore(Ei(), {10.0, 0.5}, best);
+  EXPECT_GT(explore, exploit);
+}
+
+TEST(ExpectedImprovementTest, ZeroStdDegradesToDeterministicImprovement) {
+  EXPECT_DOUBLE_EQ(AcquisitionScore(Ei(), {7.0, 0.0}, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(AcquisitionScore(Ei(), {12.0, 0.0}, 10.0), 0.0);
+}
+
+TEST(ExpectedImprovementTest, NonNegative) {
+  for (double mean : {1.0, 10.0, 100.0}) {
+    for (double sd : {0.0, 0.1, 5.0}) {
+      EXPECT_GE(AcquisitionScore(Ei(), {mean, sd}, 10.0), 0.0);
+    }
+  }
+}
+
+TEST(ExpectedImprovementTest, XiShiftsThreshold) {
+  AcquisitionOptions with_xi = Ei();
+  with_xi.xi = 1.0;
+  EXPECT_LT(AcquisitionScore(with_xi, {9.5, 0.0}, 10.0),
+            AcquisitionScore(Ei(), {9.5, 0.0}, 10.0) + 1e-12);
+  EXPECT_DOUBLE_EQ(AcquisitionScore(with_xi, {9.5, 0.0}, 10.0), 0.0);
+}
+
+TEST(LcbTest, TradesOffMeanAndUncertainty) {
+  AcquisitionOptions lcb;
+  lcb.kind = AcquisitionKind::kLowerConfidenceBound;
+  lcb.kappa = 2.0;
+  EXPECT_DOUBLE_EQ(AcquisitionScore(lcb, {10.0, 1.0}, 0.0), -8.0);
+  // Higher uncertainty raises the score (more optimistic lower bound).
+  EXPECT_GT(AcquisitionScore(lcb, {10.0, 3.0}, 0.0),
+            AcquisitionScore(lcb, {10.0, 1.0}, 0.0));
+}
+
+TEST(PiTest, ProbabilityBoundsAndMonotonicity) {
+  AcquisitionOptions pi;
+  pi.kind = AcquisitionKind::kProbabilityOfImprovement;
+  pi.xi = 0.0;
+  const double p_better = AcquisitionScore(pi, {8.0, 1.0}, 10.0);
+  const double p_worse = AcquisitionScore(pi, {12.0, 1.0}, 10.0);
+  EXPECT_GT(p_better, 0.5);
+  EXPECT_LT(p_worse, 0.5);
+  EXPECT_GE(p_worse, 0.0);
+  EXPECT_LE(p_better, 1.0);
+  // Deterministic edge.
+  EXPECT_DOUBLE_EQ(AcquisitionScore(pi, {8.0, 0.0}, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(AcquisitionScore(pi, {12.0, 0.0}, 10.0), 0.0);
+}
+
+TEST(MeanOnlyTest, NegatesMean) {
+  AcquisitionOptions mean_only;
+  mean_only.kind = AcquisitionKind::kMeanOnly;
+  EXPECT_DOUBLE_EQ(AcquisitionScore(mean_only, {7.0, 5.0}, 0.0), -7.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

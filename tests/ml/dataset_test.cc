@@ -1,0 +1,73 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(DatasetTest, AddAndShape) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  d.Add({1.0, 2.0}, 3.0);
+  d.Add({4.0, 5.0}, 6.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesRaggedRows) {
+  Dataset d;
+  d.x = {{1.0, 2.0}, {3.0}};
+  d.y = {1.0, 2.0};
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesLengthMismatch) {
+  Dataset d;
+  d.x = {{1.0}};
+  d.y = {1.0, 2.0};
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, TruncateToLastKeepsRecent) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.Add({static_cast<double>(i)}, i);
+  d.TruncateToLast(3);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.y[0], 7.0);
+  EXPECT_DOUBLE_EQ(d.y[2], 9.0);
+  d.TruncateToLast(10);  // no-op when already smaller
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DatasetTest, TrainTestSplitPartitions) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.Add({static_cast<double>(i)}, i);
+  common::Rng rng(1);
+  auto [train, test] = TrainTestSplit(d, 0.25, &rng);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.size(), 75u);
+  // No example lost or duplicated: targets partition {0..99}.
+  std::vector<double> all = train.y;
+  all.insert(all.end(), test.y.begin(), test.y.end());
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(all[i], i);
+}
+
+TEST(DatasetTest, BootstrapSampleDrawsWithReplacement) {
+  Dataset d;
+  d.Add({1.0}, 1.0);
+  d.Add({2.0}, 2.0);
+  common::Rng rng(2);
+  Dataset boot = BootstrapSample(d, 50, &rng);
+  EXPECT_EQ(boot.size(), 50u);
+  for (double y : boot.y) EXPECT_TRUE(y == 1.0 || y == 2.0);
+}
+
+TEST(DatasetTest, BootstrapOfEmptyIsEmpty) {
+  common::Rng rng(3);
+  EXPECT_TRUE(BootstrapSample(Dataset{}, 10, &rng).empty());
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

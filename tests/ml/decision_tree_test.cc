@@ -1,0 +1,116 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(DecisionTreeTest, FitsStepFunctionExactly) {
+  Dataset d;
+  for (int i = 0; i < 40; ++i) {
+    const double x = i / 40.0;
+    d.Add({x}, x < 0.5 ? 1.0 : 5.0);
+  }
+  DecisionTreeRegressor tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  EXPECT_TRUE(tree.is_fitted());
+  EXPECT_DOUBLE_EQ(tree.Predict({0.2}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.8}), 5.0);
+}
+
+TEST(DecisionTreeTest, ApproximatesSmoothFunction) {
+  common::Rng rng(1);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(0, 1);
+    d.Add({x}, std::sin(6.0 * x));
+  }
+  DecisionTreeRegressor tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  std::vector<double> truth, pred;
+  for (int i = 0; i <= 50; ++i) {
+    const double x = i / 50.0;
+    truth.push_back(std::sin(6.0 * x));
+    pred.push_back(tree.Predict({x}));
+  }
+  EXPECT_GT(R2Score(truth, pred), 0.9);
+}
+
+TEST(DecisionTreeTest, ConstantTargetsYieldSingleLeaf) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.Add({static_cast<double>(i)}, 7.0);
+  DecisionTreeRegressor tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({100.0}), 7.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsGrowth) {
+  common::Rng rng(2);
+  Dataset d;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(0, 1);
+    d.Add({x}, x);
+  }
+  DecisionTreeOptions shallow;
+  shallow.max_depth = 1;
+  DecisionTreeRegressor stump(shallow);
+  ASSERT_TRUE(stump.Fit(d).ok());
+  EXPECT_LE(stump.node_count(), 3u);  // root + 2 leaves
+
+  DecisionTreeRegressor deep;
+  ASSERT_TRUE(deep.Fit(d).ok());
+  EXPECT_GT(deep.node_count(), stump.node_count());
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.Add({static_cast<double>(i)}, static_cast<double>(i % 2));
+  }
+  DecisionTreeOptions options;
+  options.min_samples_leaf = 10;
+  DecisionTreeRegressor tree(options);
+  ASSERT_TRUE(tree.Fit(d).ok());
+  // With leaves of >= 10 the tree can split at most once.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, MultiDimensionalSplits) {
+  // y depends only on feature 1; the tree must discover that.
+  common::Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(0, 1), b = rng.Uniform(0, 1);
+    d.Add({a, b}, b > 0.5 ? 10.0 : 0.0);
+  }
+  DecisionTreeRegressor tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  EXPECT_NEAR(tree.Predict({0.1, 0.9}), 10.0, 0.5);
+  EXPECT_NEAR(tree.Predict({0.9, 0.1}), 0.0, 0.5);
+}
+
+TEST(DecisionTreeTest, RejectsEmptyData) {
+  DecisionTreeRegressor tree;
+  EXPECT_FALSE(tree.Fit(Dataset{}).ok());
+  EXPECT_FALSE(tree.is_fitted());
+}
+
+TEST(DecisionTreeTest, RefitReplacesState) {
+  Dataset up, down;
+  for (int i = 0; i < 20; ++i) {
+    up.Add({i / 20.0}, i / 20.0);
+    down.Add({i / 20.0}, 1.0 - i / 20.0);
+  }
+  DecisionTreeRegressor tree;
+  ASSERT_TRUE(tree.Fit(up).ok());
+  ASSERT_TRUE(tree.Fit(down).ok());
+  EXPECT_GT(tree.Predict({0.0}), tree.Predict({1.0}));
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

@@ -1,0 +1,161 @@
+#include "ml/gaussian_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rockhopper::ml {
+namespace {
+
+GaussianProcessOptions LowNoiseOptions() {
+  GaussianProcessOptions options;
+  options.noise_variance = 1e-4;
+  return options;
+}
+
+TEST(GaussianProcessTest, InterpolatesTrainingPointsAtLowNoise) {
+  Dataset d;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i / 10.0;
+    d.Add({x}, std::sin(4.0 * x));
+  }
+  GaussianProcessRegressor gp(LowNoiseOptions());
+  ASSERT_TRUE(gp.Fit(d).ok());
+  EXPECT_TRUE(gp.is_fitted());
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i / 10.0;
+    EXPECT_NEAR(gp.Predict({x}), std::sin(4.0 * x), 0.05);
+  }
+}
+
+TEST(GaussianProcessTest, UncertaintyGrowsAwayFromData) {
+  Dataset d;
+  for (int i = 0; i <= 8; ++i) d.Add({i / 8.0}, 1.0 + 0.1 * i);
+  GaussianProcessRegressor gp(LowNoiseOptions());
+  ASSERT_TRUE(gp.Fit(d).ok());
+  const Prediction at_data = gp.PredictWithUncertainty({0.5});
+  const Prediction far = gp.PredictWithUncertainty({30.0});
+  EXPECT_LT(at_data.stddev, far.stddev);
+}
+
+TEST(GaussianProcessTest, RevertsToPriorFarFromData) {
+  Dataset d;
+  for (int i = 0; i < 6; ++i) d.Add({i * 0.1}, 100.0);
+  GaussianProcessRegressor gp(LowNoiseOptions());
+  ASSERT_TRUE(gp.Fit(d).ok());
+  // Far away, the standardized posterior mean reverts toward the target
+  // mean (100 here since targets are constant).
+  EXPECT_NEAR(gp.Predict({1000.0}), 100.0, 1.0);
+}
+
+TEST(GaussianProcessTest, LengthscaleSelectionPrefersDataFit) {
+  // Rapidly varying function: the marginal likelihood should not pick the
+  // largest lengthscale on the grid.
+  Dataset d;
+  common::Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.Uniform(0, 1);
+    d.Add({x}, std::sin(20.0 * x));
+  }
+  GaussianProcessOptions options;
+  options.noise_variance = 1e-3;
+  options.lengthscale_grid = {0.05, 8.0};
+  GaussianProcessRegressor gp(options);
+  ASSERT_TRUE(gp.Fit(d).ok());
+  EXPECT_DOUBLE_EQ(gp.selected_lengthscale(), 0.05);
+}
+
+TEST(GaussianProcessTest, LogMarginalLikelihoodIsFinite) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.Add({i * 0.2}, i % 3);
+  GaussianProcessRegressor gp;
+  ASSERT_TRUE(gp.Fit(d).ok());
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+}
+
+TEST(GaussianProcessTest, NoisyTargetsDoNotBreakFit) {
+  common::Rng rng(2);
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.Uniform(0, 1);
+    d.Add({x}, 10.0 * x + std::fabs(rng.Normal(0.0, 5.0)));
+  }
+  GaussianProcessRegressor gp;  // default noise_variance 0.1
+  ASSERT_TRUE(gp.Fit(d).ok());
+  // The trend should survive the noise.
+  EXPECT_GT(gp.Predict({0.9}), gp.Predict({0.1}));
+}
+
+TEST(GaussianProcessTest, RejectsEmptyData) {
+  GaussianProcessRegressor gp;
+  EXPECT_FALSE(gp.Fit(Dataset{}).ok());
+  EXPECT_FALSE(gp.is_fitted());
+}
+
+TEST(GaussianProcessTest, RefitReplacesState) {
+  Dataset d1;
+  for (int i = 0; i < 6; ++i) d1.Add({i * 0.1}, 0.0);
+  Dataset d2;
+  for (int i = 0; i < 6; ++i) d2.Add({i * 0.1}, 50.0);
+  GaussianProcessRegressor gp(LowNoiseOptions());
+  ASSERT_TRUE(gp.Fit(d1).ok());
+  ASSERT_TRUE(gp.Fit(d2).ok());
+  EXPECT_NEAR(gp.Predict({0.3}), 50.0, 1.0);
+}
+
+TEST(GaussianProcessTest, Matern52KernelFitsAndPredicts) {
+  GaussianProcessOptions options;
+  options.kernel = GpKernelKind::kMatern52;
+  options.noise_variance = 1e-4;
+  Dataset d;
+  for (int i = 0; i <= 12; ++i) {
+    const double x = i / 12.0;
+    d.Add({x}, 3.0 * x * x);
+  }
+  GaussianProcessRegressor gp(options);
+  ASSERT_TRUE(gp.Fit(d).ok());
+  EXPECT_NEAR(gp.Predict({0.5}), 0.75, 0.1);
+  EXPECT_GT(gp.PredictWithUncertainty({10.0}).stddev,
+            gp.PredictWithUncertainty({0.5}).stddev);
+}
+
+TEST(GaussianProcessTest, KernelChoiceChangesPosterior) {
+  Dataset d;
+  common::Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    const double x = rng.Uniform(0, 1);
+    d.Add({x}, std::sin(8.0 * x));
+  }
+  GaussianProcessOptions rbf;
+  rbf.noise_variance = 1e-3;
+  GaussianProcessOptions matern = rbf;
+  matern.kernel = GpKernelKind::kMatern52;
+  GaussianProcessRegressor gp_rbf(rbf), gp_matern(matern);
+  ASSERT_TRUE(gp_rbf.Fit(d).ok());
+  ASSERT_TRUE(gp_matern.Fit(d).ok());
+  // Same data, different priors: posteriors must differ somewhere.
+  bool differs = false;
+  for (int i = 0; i <= 10 && !differs; ++i) {
+    differs = std::fabs(gp_rbf.Predict({i / 10.0}) -
+                        gp_matern.Predict({i / 10.0})) > 1e-6;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GaussianProcessTest, MultiDimensionalInputs) {
+  common::Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.Uniform(0, 1), b = rng.Uniform(0, 1);
+    d.Add({a, b}, a + 2.0 * b);
+  }
+  GaussianProcessRegressor gp(LowNoiseOptions());
+  ASSERT_TRUE(gp.Fit(d).ok());
+  EXPECT_NEAR(gp.Predict({0.5, 0.5}), 1.5, 0.1);
+  EXPECT_GT(gp.Predict({0.5, 0.9}), gp.Predict({0.5, 0.1}));
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

@@ -1,0 +1,115 @@
+#include "ml/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/kernel_ridge.h"
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(RbfKernelTest, UnitAtZeroDistance) {
+  RbfKernel k{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(k({1.0, 2.0}, {1.0, 2.0}), 1.0);
+}
+
+TEST(RbfKernelTest, DecaysWithDistance) {
+  RbfKernel k{1.0, 1.0};
+  const double near = k({0.0}, {0.5});
+  const double far = k({0.0}, {2.0});
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+  EXPECT_NEAR(k({0.0}, {1.0}), std::exp(-0.5), 1e-12);
+}
+
+TEST(RbfKernelTest, LengthscaleControlsDecay) {
+  RbfKernel narrow{0.5, 1.0};
+  RbfKernel wide{4.0, 1.0};
+  EXPECT_LT(narrow({0.0}, {1.0}), wide({0.0}, {1.0}));
+}
+
+TEST(RbfKernelTest, SignalVarianceScales) {
+  RbfKernel k{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(k({0.0}, {0.0}), 3.0);
+}
+
+TEST(Matern52KernelTest, BasicProperties) {
+  Matern52Kernel k{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(k({0.0}, {0.0}), 1.0);
+  EXPECT_GT(k({0.0}, {0.5}), k({0.0}, {2.0}));
+  EXPECT_GT(k({0.0}, {2.0}), 0.0);
+}
+
+TEST(GramMatrixTest, SymmetricWithUnitDiagonal) {
+  common::Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+  }
+  RbfKernel k{1.0, 1.0};
+  const common::Matrix g = GramMatrix(k, rows);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g(i, i), 1.0);
+    for (size_t j = 0; j < rows.size(); ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(KernelVectorTest, MatchesPairwiseEvaluation) {
+  RbfKernel k{1.0, 1.0};
+  std::vector<std::vector<double>> rows = {{0.0}, {1.0}, {2.0}};
+  const std::vector<double> kv = KernelVector(k, rows, {0.5});
+  ASSERT_EQ(kv.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(kv[i], k(rows[i], {0.5}));
+  }
+}
+
+TEST(KernelRidgeTest, InterpolatesSmoothFunction) {
+  // y = sin(x) on a dense grid; kernel ridge should fit well in-range.
+  Dataset d;
+  for (int i = 0; i <= 40; ++i) {
+    const double x = -3.0 + 6.0 * i / 40.0;
+    d.Add({x}, std::sin(x));
+  }
+  KernelRidgeRegression model({/*lengthscale=*/0.5, /*alpha=*/1e-4});
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_TRUE(model.is_fitted());
+  EXPECT_NEAR(model.Predict({0.7}), std::sin(0.7), 0.02);
+  EXPECT_NEAR(model.Predict({-2.1}), std::sin(-2.1), 0.02);
+}
+
+TEST(KernelRidgeTest, RegularizationSmoothsNoise) {
+  common::Rng rng(2);
+  Dataset d;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.Uniform(-2, 2);
+    d.Add({x}, x * x + rng.Normal(0.0, 0.3));
+  }
+  KernelRidgeRegression smooth({1.0, 1.0});
+  ASSERT_TRUE(smooth.Fit(d).ok());
+  // A heavily regularized fit stays near the overall trend.
+  EXPECT_NEAR(smooth.Predict({0.0}), 0.0, 1.0);
+  EXPECT_GT(smooth.Predict({2.0}), smooth.Predict({0.0}));
+}
+
+TEST(KernelRidgeTest, RejectsEmptyData) {
+  KernelRidgeRegression model;
+  EXPECT_FALSE(model.Fit(Dataset{}).ok());
+}
+
+TEST(KernelRidgeTest, HandlesDuplicateRows) {
+  Dataset d;
+  for (int i = 0; i < 5; ++i) d.Add({1.0}, 2.0);
+  for (int i = 0; i < 5; ++i) d.Add({2.0}, 4.0);
+  KernelRidgeRegression model({1.0, 0.01});
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_NEAR(model.Predict({1.0}), 2.0, 0.3);
+  EXPECT_NEAR(model.Predict({2.0}), 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

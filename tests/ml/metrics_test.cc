@@ -1,0 +1,63 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(MetricsTest, MseKnownValue) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0, 0}, {3, 4}), 12.5);
+}
+
+TEST(MetricsTest, RmseIsSqrtMse) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0, 0}, {3, 4}),
+                   std::sqrt(12.5));
+}
+
+TEST(MetricsTest, MaeKnownValue) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {2, 2, 1}), 1.0);
+}
+
+TEST(MetricsTest, R2PerfectAndMeanBaseline) {
+  EXPECT_DOUBLE_EQ(R2Score({1, 2, 3}, {1, 2, 3}), 1.0);
+  // Predicting the mean gives R2 = 0.
+  EXPECT_NEAR(R2Score({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+  // Worse than the mean goes negative.
+  EXPECT_LT(R2Score({1, 2, 3}, {3, 2, 1}), 0.0);
+}
+
+TEST(MetricsTest, R2ConstantTruthIsZero) {
+  EXPECT_DOUBLE_EQ(R2Score({5, 5, 5}, {1, 2, 3}), 0.0);
+}
+
+TEST(SpearmanTest, MonotonicMapsGivePerfectCorrelation) {
+  // Any monotone transform preserves ranks.
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {10, 100, 1000, 10000}), 1.0,
+              1e-12);
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTiesWithAveragedRanks) {
+  // Ties should not blow up; correlation of x with itself is still 1.
+  const std::vector<double> x = {1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanCorrelation(x, x), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({2, 2, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(SpearmanTest, RobustToOutliersUnlikePearson) {
+  // One huge outlier barely moves rank correlation.
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {1, 2, 3, 4, 1000};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

@@ -1,0 +1,92 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace rockhopper::ml {
+namespace {
+
+Dataset NoisyBowl(int n, double noise, uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    d.Add({a, b}, a * a + 2.0 * b * b + rng.Normal(0.0, noise));
+  }
+  return d;
+}
+
+TEST(RandomForestTest, FitsNonlinearSurface) {
+  RandomForestRegressor forest;
+  ASSERT_TRUE(forest.Fit(NoisyBowl(600, 0.05, 1)).ok());
+  EXPECT_EQ(forest.num_trees(), 30u);
+  std::vector<double> truth, pred;
+  common::Rng rng(2);
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    truth.push_back(a * a + 2.0 * b * b);
+    pred.push_back(forest.Predict({a, b}));
+  }
+  EXPECT_GT(R2Score(truth, pred), 0.8);
+}
+
+TEST(RandomForestTest, SmoothsNoiseBetterThanSingleTree) {
+  const Dataset train = NoisyBowl(300, 0.6, 3);
+  DecisionTreeRegressor tree;
+  RandomForestRegressor forest;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  ASSERT_TRUE(forest.Fit(train).ok());
+  std::vector<double> truth, tree_pred, forest_pred;
+  common::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    truth.push_back(a * a + 2.0 * b * b);
+    tree_pred.push_back(tree.Predict({a, b}));
+    forest_pred.push_back(forest.Predict({a, b}));
+  }
+  EXPECT_LT(MeanSquaredError(truth, forest_pred),
+            MeanSquaredError(truth, tree_pred));
+}
+
+TEST(RandomForestTest, UncertaintyHigherOffManifold) {
+  RandomForestRegressor forest;
+  ASSERT_TRUE(forest.Fit(NoisyBowl(400, 0.05, 5)).ok());
+  const Prediction inside = forest.PredictWithUncertainty({0.1, 0.1});
+  const Prediction outside = forest.PredictWithUncertainty({5.0, -7.0});
+  // Trees disagree more in extrapolation regions... at minimum the API
+  // returns non-negative uncertainty and a sane mean.
+  EXPECT_GE(inside.stddev, 0.0);
+  EXPECT_GE(outside.stddev, 0.0);
+  EXPECT_TRUE(std::isfinite(outside.mean));
+}
+
+TEST(RandomForestTest, DeterministicForFixedSeed) {
+  const Dataset train = NoisyBowl(200, 0.1, 6);
+  RandomForestRegressor a({}, 99);
+  RandomForestRegressor b({}, 99);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  for (double x : {-0.5, 0.0, 0.7}) {
+    EXPECT_DOUBLE_EQ(a.Predict({x, x}), b.Predict({x, x}));
+  }
+}
+
+TEST(RandomForestTest, OptionsControlEnsembleSize) {
+  RandomForestOptions options;
+  options.num_trees = 5;
+  RandomForestRegressor forest(options);
+  ASSERT_TRUE(forest.Fit(NoisyBowl(100, 0.1, 7)).ok());
+  EXPECT_EQ(forest.num_trees(), 5u);
+}
+
+TEST(RandomForestTest, RejectsEmptyData) {
+  RandomForestRegressor forest;
+  EXPECT_FALSE(forest.Fit(Dataset{}).ok());
+  EXPECT_FALSE(forest.is_fitted());
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

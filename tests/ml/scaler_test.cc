@@ -1,0 +1,72 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(StandardScalerTest, TransformsToZeroMeanUnitVariance) {
+  StandardScaler scaler;
+  std::vector<std::vector<double>> rows = {{1.0, 10.0}, {2.0, 20.0},
+                                           {3.0, 30.0}, {4.0, 40.0}};
+  ASSERT_TRUE(scaler.Fit(rows).ok());
+  const auto transformed = scaler.TransformBatch(rows);
+  for (size_t j = 0; j < 2; ++j) {
+    std::vector<double> col;
+    for (const auto& r : transformed) col.push_back(r[j]);
+    EXPECT_NEAR(common::Mean(col), 0.0, 1e-12);
+    // Population stddev = 1 after scaling.
+    double ss = 0.0;
+    for (double v : col) ss += v * v;
+    EXPECT_NEAR(std::sqrt(ss / col.size()), 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScalerTest, InverseTransformRoundTrips) {
+  StandardScaler scaler;
+  std::vector<std::vector<double>> rows = {{5.0, -2.0}, {7.0, 4.0}, {9.0, 1.0}};
+  ASSERT_TRUE(scaler.Fit(rows).ok());
+  for (const auto& r : rows) {
+    const auto back = scaler.InverseTransform(scaler.Transform(r));
+    EXPECT_NEAR(back[0], r[0], 1e-12);
+    EXPECT_NEAR(back[1], r[1], 1e-12);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeatureStaysFinite) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{3.0, 1.0}, {3.0, 2.0}}).ok());
+  const auto t = scaler.Transform({3.0, 1.5});
+  EXPECT_TRUE(std::isfinite(t[0]));
+  EXPECT_NEAR(t[0], 0.0, 1e-12);  // centered, scale 1
+}
+
+TEST(StandardScalerTest, RejectsEmptyAndRagged) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.Fit({}).ok());
+  EXPECT_FALSE(scaler.Fit({{1.0}, {1.0, 2.0}}).ok());
+  EXPECT_FALSE(scaler.is_fitted());
+}
+
+TEST(TargetScalerTest, RoundTripsAndScalesStd) {
+  TargetScaler scaler;
+  scaler.Fit({10.0, 20.0, 30.0});
+  EXPECT_TRUE(scaler.is_fitted());
+  EXPECT_NEAR(scaler.InverseTransform(scaler.Transform(17.0)), 17.0, 1e-12);
+  EXPECT_NEAR(scaler.Transform(scaler.mean()), 0.0, 1e-12);
+  EXPECT_NEAR(scaler.InverseTransformStd(1.0), scaler.scale(), 1e-12);
+}
+
+TEST(TargetScalerTest, ConstantTargetsScaleOne) {
+  TargetScaler scaler;
+  scaler.Fit({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(scaler.scale(), 1.0);
+  EXPECT_DOUBLE_EQ(scaler.Transform(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

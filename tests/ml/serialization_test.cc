@@ -1,0 +1,98 @@
+// Round-trip tests for model persistence (the §5 model-distribution path).
+
+#include <gtest/gtest.h>
+
+#include "common/archive.h"
+#include "ml/kernel_ridge.h"
+#include "ml/scaler.h"
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(ScalerSerializationTest, StandardScalerRoundTrip) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{1.0, 10.0}, {3.0, 30.0}, {5.0, 20.0}}).ok());
+  common::ArchiveWriter writer;
+  ASSERT_TRUE(scaler.Save("s", &writer).ok());
+  Result<common::ArchiveReader> reader =
+      common::ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  StandardScaler loaded;
+  ASSERT_TRUE(loaded.Load("s", *reader).ok());
+  const std::vector<double> row = {2.5, 17.0};
+  EXPECT_EQ(loaded.Transform(row), scaler.Transform(row));
+}
+
+TEST(ScalerSerializationTest, UnfittedScalerRefusesToSave) {
+  StandardScaler scaler;
+  common::ArchiveWriter writer;
+  EXPECT_EQ(scaler.Save("s", &writer).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ScalerSerializationTest, TargetScalerRoundTrip) {
+  TargetScaler scaler;
+  scaler.Fit({5.0, 15.0, 25.0});
+  common::ArchiveWriter writer;
+  ASSERT_TRUE(scaler.Save("y", &writer).ok());
+  Result<common::ArchiveReader> reader =
+      common::ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  TargetScaler loaded;
+  ASSERT_TRUE(loaded.Load("y", *reader).ok());
+  EXPECT_TRUE(loaded.is_fitted());
+  EXPECT_DOUBLE_EQ(loaded.Transform(12.0), scaler.Transform(12.0));
+  EXPECT_DOUBLE_EQ(loaded.InverseTransform(1.5), scaler.InverseTransform(1.5));
+}
+
+TEST(KernelRidgeSerializationTest, PredictionsIdenticalAfterRoundTrip) {
+  common::Rng rng(1);
+  Dataset d;
+  for (int i = 0; i < 30; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    d.Add({a, b}, a * a + b + rng.Normal(0.0, 0.05));
+  }
+  KernelRidgeRegression model({0.8, 0.05});
+  ASSERT_TRUE(model.Fit(d).ok());
+  common::ArchiveWriter writer;
+  ASSERT_TRUE(model.Save("krr", &writer).ok());
+  Result<common::ArchiveReader> reader =
+      common::ArchiveReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  KernelRidgeRegression loaded;
+  ASSERT_TRUE(loaded.Load("krr", *reader).ok());
+  EXPECT_TRUE(loaded.is_fitted());
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    EXPECT_DOUBLE_EQ(loaded.Predict(x), model.Predict(x));
+  }
+}
+
+TEST(KernelRidgeSerializationTest, UnfittedModelRefusesToSave) {
+  KernelRidgeRegression model;
+  common::ArchiveWriter writer;
+  EXPECT_FALSE(model.Save("krr", &writer).ok());
+}
+
+TEST(KernelRidgeSerializationTest, CorruptArchiveRejected) {
+  common::Rng rng(2);
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.Add({rng.Uniform()}, rng.Uniform());
+  KernelRidgeRegression model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  common::ArchiveWriter writer;
+  ASSERT_TRUE(model.Save("krr", &writer).ok());
+  // Drop the dual coefficients: load must fail, not crash.
+  std::string text = writer.Finish();
+  const size_t pos = text.find("krr.dual_coef");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, text.find('\n', pos) - pos + 1);
+  Result<common::ArchiveReader> reader = common::ArchiveReader::Parse(text);
+  ASSERT_TRUE(reader.ok());
+  KernelRidgeRegression loaded;
+  EXPECT_FALSE(loaded.Load("krr", *reader).ok());
+  EXPECT_FALSE(loaded.is_fitted());
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

@@ -1,0 +1,123 @@
+#include "ml/svr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace rockhopper::ml {
+namespace {
+
+TEST(SvrTest, FitsLinearTrend) {
+  Dataset d;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i / 20.0;
+    d.Add({x}, 3.0 * x + 1.0);
+  }
+  EpsilonSVR svr;
+  ASSERT_TRUE(svr.Fit(d).ok());
+  EXPECT_TRUE(svr.is_fitted());
+  EXPECT_NEAR(svr.Predict({0.5}), 2.5, 0.15);
+  EXPECT_GT(svr.Predict({1.0}), svr.Predict({0.0}));
+}
+
+TEST(SvrTest, FitsConvexBowl) {
+  Dataset d;
+  for (int i = 0; i <= 30; ++i) {
+    const double x = -2.0 + 4.0 * i / 30.0;
+    d.Add({x}, x * x);
+  }
+  SvrOptions options;
+  options.lengthscale = 0.7;
+  options.epsilon = 0.02;
+  EpsilonSVR svr(options);
+  ASSERT_TRUE(svr.Fit(d).ok());
+  // Bowl shape preserved: minimum near 0, sides higher.
+  EXPECT_LT(svr.Predict({0.0}), svr.Predict({1.5}));
+  EXPECT_LT(svr.Predict({0.0}), svr.Predict({-1.5}));
+  EXPECT_NEAR(svr.Predict({1.0}), 1.0, 0.5);
+}
+
+TEST(SvrTest, EpsilonTubeSparsifiesDuals) {
+  Dataset d;
+  common::Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.Uniform(-1, 1);
+    d.Add({x}, 0.5 * x);
+  }
+  SvrOptions wide;
+  wide.epsilon = 0.5;  // most residuals inside the tube
+  EpsilonSVR sparse(wide);
+  ASSERT_TRUE(sparse.Fit(d).ok());
+  SvrOptions tight;
+  tight.epsilon = 0.001;
+  EpsilonSVR dense(tight);
+  ASSERT_TRUE(dense.Fit(d).ok());
+  EXPECT_LT(sparse.num_support_vectors(), dense.num_support_vectors());
+}
+
+TEST(SvrTest, RobustToSpikeOutliers) {
+  // The production use case: SVR's epsilon-insensitive loss caps outlier
+  // influence at C, so a few 2x spikes shouldn't drag the surface up much.
+  common::Rng rng(2);
+  Dataset clean, spiked;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double y = 10.0 + 5.0 * x;
+    clean.Add({x}, y);
+    spiked.Add({x}, i % 10 == 0 ? y * 2.0 : y);
+  }
+  SvrOptions options;
+  options.c = 1.0;
+  EpsilonSVR svr_clean(options), svr_spiked(options);
+  ASSERT_TRUE(svr_clean.Fit(clean).ok());
+  ASSERT_TRUE(svr_spiked.Fit(spiked).ok());
+  // Predictions with spikes stay within ~15% of the clean fit.
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(svr_spiked.Predict({x}), svr_clean.Predict({x}),
+                0.15 * svr_clean.Predict({x}));
+  }
+}
+
+TEST(SvrTest, ModerateAccuracySurrogateRanksCandidates) {
+  // What Fig. 10 needs: the SVR trained on noisy data ranks configs well
+  // enough (Spearman > 0.5) even if absolute values are off.
+  common::Rng rng(3);
+  Dataset d;
+  auto truth = [](double x) { return (x - 0.3) * (x - 0.3) * 100.0 + 10.0; };
+  for (int i = 0; i < 80; ++i) {
+    const double x = rng.Uniform(0, 1);
+    d.Add({x}, truth(x) * (1.0 + std::fabs(rng.Normal(0.0, 0.5))));
+  }
+  EpsilonSVR svr;
+  ASSERT_TRUE(svr.Fit(d).ok());
+  std::vector<double> t, p;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i / 20.0;
+    t.push_back(truth(x));
+    p.push_back(svr.Predict({x}));
+  }
+  EXPECT_GT(SpearmanCorrelation(t, p), 0.5);
+}
+
+TEST(SvrTest, RejectsEmptyData) {
+  EpsilonSVR svr;
+  EXPECT_FALSE(svr.Fit(Dataset{}).ok());
+}
+
+TEST(SvrTest, RefitReplacesState) {
+  Dataset up, down;
+  for (int i = 0; i <= 10; ++i) {
+    up.Add({i / 10.0}, i / 10.0);
+    down.Add({i / 10.0}, 1.0 - i / 10.0);
+  }
+  EpsilonSVR svr;
+  ASSERT_TRUE(svr.Fit(up).ok());
+  ASSERT_TRUE(svr.Fit(down).ok());
+  EXPECT_GT(svr.Predict({0.0}), svr.Predict({1.0}));
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

@@ -1,0 +1,182 @@
+// Numeric property sweeps over the math substrate: randomized SPD systems,
+// scaler round trips across dimensionalities, data-size schedule laws, and
+// spill-multiplier bounds in the cost model.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "ml/linear_regression.h"
+#include "ml/scaler.h"
+#include "sparksim/cost_model.h"
+#include "sparksim/synthetic.h"
+
+namespace rockhopper {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cholesky on randomized SPD matrices A = B B^T + eps I of varying size.
+class CholeskyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyProperty, FactorReconstructsAndSolves) {
+  const int n = GetParam();
+  common::Rng rng(static_cast<uint64_t>(n) * 31 + 7);
+  common::Matrix b(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b(static_cast<size_t>(i), static_cast<size_t>(j)) =
+          rng.Uniform(-1.0, 1.0);
+    }
+  }
+  common::Matrix a = b.Multiply(b.Transpose());
+  a.AddDiagonal(0.1);
+  const auto l = common::CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  // L L^T == A.
+  const common::Matrix reconstructed = l->Multiply(l->Transpose());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(reconstructed(static_cast<size_t>(i), static_cast<size_t>(j)),
+                  a(static_cast<size_t>(i), static_cast<size_t>(j)), 1e-9);
+    }
+  }
+  // Solve round trip.
+  std::vector<double> x_true(static_cast<size_t>(n));
+  for (double& v : x_true) v = rng.Uniform(-2.0, 2.0);
+  const auto x = common::CholeskySolve(a, a.Multiply(x_true));
+  ASSERT_TRUE(x.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR((*x)[static_cast<size_t>(i)], x_true[static_cast<size_t>(i)],
+                1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values(1, 2, 5, 12, 30));
+
+// ---------------------------------------------------------------------
+// Ridge path continuity: as l2 -> 0 the ridge solution approaches OLS.
+class RidgeContinuity : public ::testing::TestWithParam<double> {};
+
+TEST_P(RidgeContinuity, SmallRidgeStaysNearOls) {
+  common::Rng rng(5);
+  ml::Dataset d;
+  for (int i = 0; i < 80; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    d.Add({a, b}, 3.0 * a - 2.0 * b + 1.0 + rng.Normal(0.0, 0.05));
+  }
+  ml::LinearRegression ols(0.0);
+  ml::LinearRegression ridge(GetParam());
+  ASSERT_TRUE(ols.Fit(d).ok());
+  ASSERT_TRUE(ridge.Fit(d).ok());
+  const double tolerance = 10.0 * GetParam() + 1e-6;
+  EXPECT_NEAR(ridge.coefficients()[0], ols.coefficients()[0], tolerance);
+  EXPECT_NEAR(ridge.coefficients()[1], ols.coefficients()[1], tolerance);
+  EXPECT_NEAR(ridge.intercept(), ols.intercept(), tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RidgeContinuity,
+                         ::testing::Values(1e-8, 1e-5, 1e-3));
+
+// ---------------------------------------------------------------------
+// Scaler round trips at several dimensionalities.
+class ScalerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalerProperty, TransformInverseIsIdentity) {
+  const int dims = GetParam();
+  common::Rng rng(static_cast<uint64_t>(dims) + 11);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> row(static_cast<size_t>(dims));
+    for (double& v : row) v = rng.Uniform(-100.0, 100.0);
+    rows.push_back(std::move(row));
+  }
+  ml::StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(rows).ok());
+  for (const auto& row : rows) {
+    const auto back = scaler.InverseTransform(scaler.Transform(row));
+    for (int j = 0; j < dims; ++j) {
+      EXPECT_NEAR(back[static_cast<size_t>(j)], row[static_cast<size_t>(j)],
+                  1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ScalerProperty, ::testing::Values(1, 3, 8, 25));
+
+// ---------------------------------------------------------------------
+// Data-size schedules: positivity everywhere; periodic schedules repeat.
+TEST(ScheduleLaws, AllSchedulesStayPositive) {
+  const std::vector<sparksim::DataSizeSchedule> schedules = {
+      sparksim::DataSizeSchedule::Constant(0.0),  // floor applies
+      sparksim::DataSizeSchedule::Linear(0.5, -1.0),
+      sparksim::DataSizeSchedule::Periodic(0.1, 3.0, 13),
+      sparksim::DataSizeSchedule::RandomWalk(1.0, 1.5, 99),
+  };
+  for (const auto& schedule : schedules) {
+    for (int t = 0; t < 500; t += 7) {
+      EXPECT_GT(schedule.At(t), 0.0);
+    }
+  }
+}
+
+TEST(ScheduleLaws, PeriodicRepeatsWithPeriod) {
+  for (int period : {1, 5, 40}) {
+    const auto s = sparksim::DataSizeSchedule::Periodic(1.0, 2.0, period);
+    for (int t = 0; t < 100; ++t) {
+      EXPECT_DOUBLE_EQ(s.At(t), s.At(t + period));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Spill multiplier bounds: shuffles never get a free lunch nor an unbounded
+// penalty, across memory settings.
+class SpillBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpillBounds, ShuffleCostMonotoneInMemoryAndBounded) {
+  const double partitions = GetParam();
+  sparksim::CostModel model;
+  sparksim::QueryPlan plan;
+  sparksim::PlanNode agg;
+  agg.type = sparksim::OperatorType::kAggregate;
+  agg.est_output_rows = 10;
+  const uint32_t a = plan.AddNode(agg);
+  sparksim::PlanNode ex;
+  ex.type = sparksim::OperatorType::kExchange;
+  ex.est_output_rows = 2e8;
+  ex.row_width_bytes = 100;
+  const uint32_t e = plan.AddNode(ex);
+  plan.mutable_node(a).children.push_back(e);
+  sparksim::PlanNode scan;
+  scan.type = sparksim::OperatorType::kScan;
+  scan.est_output_rows = 2e8;
+  scan.row_width_bytes = 100;
+  plan.mutable_node(e).children.push_back(plan.AddNode(scan));
+
+  double prev = 1e300;
+  for (double mem : {2.0, 8.0, 32.0, 56.0}) {
+    sparksim::EffectiveConfig config;
+    config.shuffle_partitions = partitions;
+    config.executor_memory_gb = mem;
+    const double sec = model.ExecutionSeconds(plan, config, 1.0);
+    EXPECT_LE(sec, prev + 1e-9) << "memory " << mem;
+    prev = sec;
+  }
+  // Bounded: the worst case is within max_spill_multiplier of the best.
+  sparksim::EffectiveConfig tight, roomy;
+  tight.shuffle_partitions = roomy.shuffle_partitions = partitions;
+  tight.executor_memory_gb = 2.0;
+  roomy.executor_memory_gb = 56.0;
+  EXPECT_LE(model.ExecutionSeconds(plan, tight, 1.0),
+            model.ExecutionSeconds(plan, roomy, 1.0) *
+                (model.params().max_spill_multiplier + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, SpillBounds,
+                         ::testing::Values(8.0, 64.0, 500.0, 2000.0));
+
+}  // namespace
+}  // namespace rockhopper

@@ -1,0 +1,98 @@
+#include "sparksim/categorical.h"
+
+#include <gtest/gtest.h>
+
+namespace rockhopper::sparksim {
+namespace {
+
+Result<CategoricalParam> Codec() {
+  return CategoricalParam::Create("spark.io.compression.codec",
+                                  {"lz4", "snappy", "zstd"}, 0);
+}
+
+TEST(CategoricalParamTest, CreateValidations) {
+  EXPECT_TRUE(Codec().ok());
+  EXPECT_FALSE(CategoricalParam::Create("x", {}, 0).ok());
+  EXPECT_FALSE(CategoricalParam::Create("x", {"a"}, 5).ok());
+  EXPECT_FALSE(CategoricalParam::Create("x", {"a", "a"}, 0).ok());
+}
+
+TEST(CategoricalParamTest, SpecIsIntegerLinearDimension) {
+  const CategoricalParam param = *Codec();
+  const ParamSpec spec = param.Spec();
+  EXPECT_EQ(spec.name, "spark.io.compression.codec");
+  EXPECT_DOUBLE_EQ(spec.min_value, 0.0);
+  EXPECT_DOUBLE_EQ(spec.max_value, 2.0);
+  EXPECT_DOUBLE_EQ(spec.default_value, 0.0);
+  EXPECT_FALSE(spec.log_scale);
+  EXPECT_TRUE(spec.integer);
+}
+
+TEST(CategoricalParamTest, EncodeDecodeRoundTrip) {
+  const CategoricalParam param = *Codec();
+  for (const std::string& value : param.values()) {
+    Result<double> encoded = param.Encode(value);
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_EQ(param.Decode(*encoded), value);
+  }
+  EXPECT_FALSE(param.Encode("gzip").ok());
+}
+
+TEST(CategoricalParamTest, DecodeRoundsAndClamps) {
+  const CategoricalParam param = *Codec();
+  EXPECT_EQ(param.Decode(0.4), "lz4");
+  EXPECT_EQ(param.Decode(0.6), "snappy");
+  EXPECT_EQ(param.Decode(-3.0), "lz4");
+  EXPECT_EQ(param.Decode(99.0), "zstd");
+}
+
+TEST(CategoricalParamTest, ReorderByPerformanceSortsAxis) {
+  CategoricalParam param = *Codec();
+  // zstd fastest, lz4 middle, snappy slowest.
+  ASSERT_TRUE(param
+                  .ReorderByPerformance(
+                      {{"lz4", 20.0}, {"snappy", 30.0}, {"zstd", 10.0}})
+                  .ok());
+  EXPECT_EQ(param.values(),
+            (std::vector<std::string>{"zstd", "lz4", "snappy"}));
+  // The default category (lz4) keeps its identity at its new index.
+  EXPECT_DOUBLE_EQ(param.Spec().default_value, 1.0);
+  EXPECT_EQ(param.Decode(0.0), "zstd");
+}
+
+TEST(CategoricalParamTest, ReorderValidations) {
+  CategoricalParam param = *Codec();
+  EXPECT_FALSE(param.ReorderByPerformance({{"lz4", 1.0}}).ok());
+  EXPECT_FALSE(param
+                   .ReorderByPerformance({{"lz4", 1.0},
+                                          {"snappy", 2.0},
+                                          {"gzip", 3.0}})
+                   .ok());
+  EXPECT_FALSE(param
+                   .ReorderByPerformance(
+                       {{"lz4", 1.0}, {"lz4", 2.0}, {"zstd", 3.0}})
+                   .ok());
+}
+
+TEST(CategoricalParamTest, ComposesWithConfigSpace) {
+  // A space mixing a categorical dimension with a numeric one: all the
+  // generic machinery (sampling, neighborhoods) applies.
+  const CategoricalParam codec = *Codec();
+  ConfigSpace space;
+  space.Add(codec.Spec());
+  space.Add({"spark.sql.shuffle.partitions", 8.0, 2000.0, 200.0, true, true});
+  common::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const ConfigVector c = space.Sample(&rng);
+    ASSERT_TRUE(space.Validate(c).ok());
+    // Dimension 0 decodes to a legal category after any sampling.
+    const std::string& value = codec.Decode(c[0]);
+    EXPECT_TRUE(value == "lz4" || value == "snappy" || value == "zstd");
+  }
+  const ConfigVector neighbor =
+      space.SampleNeighbor(space.Defaults(), 0.4, &rng);
+  EXPECT_TRUE(space.Validate(neighbor).ok());
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

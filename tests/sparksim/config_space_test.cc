@@ -1,0 +1,182 @@
+#include "sparksim/config_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rockhopper::sparksim {
+namespace {
+
+TEST(ConfigSpaceTest, QueryLevelSpaceShape) {
+  const ConfigSpace space = QueryLevelSpace();
+  ASSERT_EQ(space.size(), 3u);
+  EXPECT_EQ(space.param(0).name, kMaxPartitionBytes);
+  EXPECT_EQ(space.param(1).name, kBroadcastThreshold);
+  EXPECT_EQ(space.param(2).name, kShufflePartitions);
+  ASSERT_TRUE(space.IndexOf(kShufflePartitions).ok());
+  EXPECT_EQ(*space.IndexOf(kShufflePartitions), 2u);
+  EXPECT_FALSE(space.IndexOf("spark.nonexistent").ok());
+}
+
+TEST(ConfigSpaceTest, DefaultsMatchSparkDefaults) {
+  const ConfigSpace space = QueryLevelSpace();
+  const ConfigVector d = space.Defaults();
+  EXPECT_DOUBLE_EQ(d[0], 128.0 * 1024 * 1024);  // 128 MiB
+  EXPECT_DOUBLE_EQ(d[1], 10.0 * 1024 * 1024);   // 10 MiB
+  EXPECT_DOUBLE_EQ(d[2], 200.0);
+  EXPECT_TRUE(space.Validate(d).ok());
+}
+
+TEST(ConfigSpaceTest, ClampEnforcesRangeAndInteger) {
+  const ConfigSpace space = QueryLevelSpace();
+  ConfigVector v = {1e12, -5.0, 123.7};
+  v = space.Clamp(std::move(v));
+  EXPECT_DOUBLE_EQ(v[0], 1024.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(v[1], space.param(1).min_value);
+  EXPECT_DOUBLE_EQ(v[2], 124.0);  // rounded
+}
+
+TEST(ConfigSpaceTest, ValidateRejectsWrongShapeAndRange) {
+  const ConfigSpace space = QueryLevelSpace();
+  EXPECT_FALSE(space.Validate({1.0, 2.0}).ok());
+  ConfigVector bad = space.Defaults();
+  bad[2] = 1e9;
+  EXPECT_EQ(space.Validate(bad).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ConfigSpaceTest, SampleAlwaysValid) {
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(space.Validate(space.Sample(&rng)).ok());
+  }
+}
+
+TEST(ConfigSpaceTest, SampleNeighborStaysWithinRelativeBox) {
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(2);
+  const ConfigVector center = space.Defaults();
+  const double step = 0.2;
+  for (int i = 0; i < 200; ++i) {
+    const ConfigVector n = space.SampleNeighbor(center, step, &rng);
+    EXPECT_TRUE(space.Validate(n).ok());
+    // Log-scale dims: within a multiplicative factor exp(step) (plus
+    // integer rounding slack).
+    EXPECT_LE(n[0], center[0] * std::exp(step) + 1.0);
+    EXPECT_GE(n[0], center[0] * std::exp(-step) - 1.0);
+    EXPECT_LE(n[2], center[2] * std::exp(step) + 1.0);
+    EXPECT_GE(n[2], center[2] * std::exp(-step) - 1.0);
+  }
+}
+
+TEST(ConfigSpaceTest, NormalizeDenormalizeRoundTrip) {
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const ConfigVector c = space.Sample(&rng);
+    const std::vector<double> unit = space.Normalize(c);
+    for (double u : unit) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+    const ConfigVector back = space.Denormalize(unit);
+    // Round trip within integer-rounding tolerance.
+    for (size_t j = 0; j < c.size(); ++j) {
+      EXPECT_NEAR(back[j] / c[j], 1.0, 1e-6);
+    }
+  }
+}
+
+TEST(ConfigSpaceTest, NormalizeUsesLogGeometry) {
+  const ConfigSpace space = QueryLevelSpace();
+  // Geometric midpoint of [1 MiB, 1024 MiB] is 32 MiB -> unit 0.5.
+  ConfigVector c = space.Defaults();
+  c[0] = 32.0 * 1024 * 1024;
+  EXPECT_NEAR(space.Normalize(c)[0], 0.5, 1e-9);
+}
+
+TEST(ConfigSpaceTest, DenormalizeClampsOutOfRangeUnits) {
+  const ConfigSpace space = QueryLevelSpace();
+  const ConfigVector lo = space.Denormalize({-0.5, -0.5, -0.5});
+  const ConfigVector hi = space.Denormalize({1.5, 1.5, 1.5});
+  EXPECT_TRUE(space.Validate(lo).ok());
+  EXPECT_TRUE(space.Validate(hi).ok());
+  EXPECT_DOUBLE_EQ(lo[2], space.param(2).min_value);
+  EXPECT_DOUBLE_EQ(hi[2], space.param(2).max_value);
+}
+
+TEST(ConfigSpaceTest, ConcatBuildsJointSpace) {
+  const ConfigSpace joint = JointSpace();
+  ASSERT_EQ(joint.size(), 5u);
+  EXPECT_EQ(joint.param(0).name, kExecutorInstances);
+  EXPECT_EQ(joint.param(1).name, kExecutorMemoryGb);
+  EXPECT_EQ(joint.param(2).name, kMaxPartitionBytes);
+  const ConfigVector d = joint.Defaults();
+  EXPECT_DOUBLE_EQ(d[0], 8.0);
+  EXPECT_DOUBLE_EQ(d[4], 200.0);
+}
+
+TEST(ConfigSpaceTest, LatinHypercubeStratifiesEveryDimension) {
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(5);
+  const size_t n = 16;
+  const std::vector<ConfigVector> design = space.LatinHypercubeSample(n, &rng);
+  ASSERT_EQ(design.size(), n);
+  for (size_t d = 0; d < space.size(); ++d) {
+    // Exactly one sample per stratum in normalized coordinates.
+    std::vector<bool> hit(n, false);
+    for (const ConfigVector& c : design) {
+      EXPECT_TRUE(space.Validate(c).ok());
+      const double u = space.Normalize(c)[d];
+      size_t bucket = static_cast<size_t>(u * static_cast<double>(n));
+      if (bucket >= n) bucket = n - 1;
+      // Integer rounding can nudge a sample across a stratum edge for the
+      // coarse dimensions; tolerate adjacency.
+      if (hit[bucket]) {
+        const size_t alt = bucket > 0 ? bucket - 1 : bucket + 1;
+        bucket = alt;
+      }
+      hit[bucket] = true;
+    }
+    size_t covered = 0;
+    for (bool h : hit) covered += h ? 1 : 0;
+    EXPECT_GE(covered, n - 2) << "dimension " << d;
+  }
+}
+
+TEST(ConfigSpaceTest, LatinHypercubeEdgeCases) {
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(6);
+  EXPECT_TRUE(space.LatinHypercubeSample(0, &rng).empty());
+  const std::vector<ConfigVector> one = space.LatinHypercubeSample(1, &rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(space.Validate(one[0]).ok());
+}
+
+TEST(ConfigSpaceTest, ReflectMirrorsAtBoundaries) {
+  ParamSpec log_spec{"p", 10.0, 1000.0, 100.0, /*log_scale=*/true, false};
+  // 2000 is a factor 2 past the max; mirrored to max^2/2000 = 500.
+  EXPECT_DOUBLE_EQ(ConfigSpace::Reflect(log_spec, 2000.0), 500.0);
+  EXPECT_DOUBLE_EQ(ConfigSpace::Reflect(log_spec, 5.0), 20.0);
+  EXPECT_DOUBLE_EQ(ConfigSpace::Reflect(log_spec, 300.0), 300.0);
+  ParamSpec lin_spec{"q", 0.0, 10.0, 5.0, /*log_scale=*/false, false};
+  EXPECT_DOUBLE_EQ(ConfigSpace::Reflect(lin_spec, 12.0), 8.0);
+  EXPECT_DOUBLE_EQ(ConfigSpace::Reflect(lin_spec, -3.0), 3.0);
+  // Far past the boundary, the result is still clamped into range.
+  const double far = ConfigSpace::Reflect(lin_spec, 1000.0);
+  EXPECT_GE(far, 0.0);
+  EXPECT_LE(far, 10.0);
+}
+
+TEST(ConfigSpaceTest, AppLevelSpaceIsIntegerValued) {
+  const ConfigSpace space = AppLevelSpace();
+  common::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const ConfigVector c = space.Sample(&rng);
+    EXPECT_DOUBLE_EQ(c[0], std::round(c[0]));
+    EXPECT_DOUBLE_EQ(c[1], std::round(c[1]));
+  }
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

@@ -1,0 +1,72 @@
+#include "sparksim/cost_objective.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rockhopper::sparksim {
+namespace {
+
+TEST(CostObjectiveTest, DollarsScaleWithRuntimeAndExecutors) {
+  EffectiveConfig config;
+  config.executor_instances = 10.0;
+  PricingModel pricing;
+  pricing.dollars_per_executor_hour = 0.5;
+  pricing.dollars_per_job = 0.0;
+  // 1 hour x 10 executors x $0.5 = $5.
+  EXPECT_DOUBLE_EQ(ExecutionDollars(3600.0, config, pricing), 5.0);
+  // Doubling either runtime or executors doubles the cost.
+  EXPECT_DOUBLE_EQ(ExecutionDollars(7200.0, config, pricing), 10.0);
+  config.executor_instances = 20.0;
+  EXPECT_DOUBLE_EQ(ExecutionDollars(3600.0, config, pricing), 10.0);
+}
+
+TEST(CostObjectiveTest, FixedJobChargeAlwaysApplies) {
+  EffectiveConfig config;
+  PricingModel pricing;
+  pricing.dollars_per_job = 0.25;
+  EXPECT_GE(ExecutionDollars(0.0, config, pricing), 0.25);
+}
+
+TEST(CostObjectiveTest, MoreExecutorsTradeTimeForCost) {
+  // The tension the user study describes: halving runtime by doubling
+  // executors leaves dollars unchanged, so cost-weighted objectives prefer
+  // the smaller cluster once overheads make scaling sublinear.
+  EffectiveConfig small, large;
+  small.executor_instances = 8.0;
+  large.executor_instances = 16.0;
+  const double small_dollars = ExecutionDollars(100.0, small);
+  // Sublinear speedup: 16 executors only get to 60 s, not 50 s.
+  const double large_dollars = ExecutionDollars(60.0, large);
+  EXPECT_GT(large_dollars, small_dollars);
+}
+
+TEST(BlendedObjectiveTest, WeightEndpoints) {
+  // time 2x scale, dollars 0.5x scale.
+  EXPECT_DOUBLE_EQ(BlendedObjective(200.0, 5.0, 0.0, 100.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(BlendedObjective(200.0, 5.0, 1.0, 100.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(BlendedObjective(200.0, 5.0, 0.5, 100.0, 10.0), 1.25);
+}
+
+TEST(BlendedObjectiveTest, WeightClampedAndScalesGuarded) {
+  EXPECT_DOUBLE_EQ(BlendedObjective(100.0, 1.0, -1.0, 100.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BlendedObjective(100.0, 1.0, 2.0, 100.0, 1.0), 1.0);
+  // Zero scales don't divide by zero.
+  EXPECT_TRUE(std::isfinite(BlendedObjective(100.0, 1.0, 0.5, 0.0, 0.0)));
+}
+
+TEST(BlendedObjectiveTest, RanksConfigsDifferentlyByWeight) {
+  // Config A: fast but expensive; config B: slow but cheap.
+  const double a_time = 50.0, a_dollars = 8.0;
+  const double b_time = 100.0, b_dollars = 2.0;
+  const double time_scale = 100.0, dollar_scale = 4.0;
+  // Latency-focused: A wins.
+  EXPECT_LT(BlendedObjective(a_time, a_dollars, 0.1, time_scale, dollar_scale),
+            BlendedObjective(b_time, b_dollars, 0.1, time_scale, dollar_scale));
+  // Budget-focused: B wins.
+  EXPECT_GT(BlendedObjective(a_time, a_dollars, 0.9, time_scale, dollar_scale),
+            BlendedObjective(b_time, b_dollars, 0.9, time_scale, dollar_scale));
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

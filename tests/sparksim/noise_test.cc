@@ -1,0 +1,70 @@
+#include "sparksim/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+
+namespace rockhopper::sparksim {
+namespace {
+
+TEST(NoiseTest, NoNoiseIsIdentity) {
+  common::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(ApplyNoise(100.0, NoiseParams::None(), &rng), 100.0);
+  }
+}
+
+TEST(NoiseTest, NoiseOnlySlowsDown) {
+  // Eq. (8) multiplies by (1 + |eps|) and possibly 2: never below g0.
+  common::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(ApplyNoise(50.0, NoiseParams::High(), &rng), 50.0);
+  }
+}
+
+TEST(NoiseTest, SpikeProbabilityMatchesSlOver10) {
+  // With FL = 0 the only inflation is the 2x spike; count its frequency.
+  common::Rng rng(3);
+  NoiseParams params{0.0, 1.0};  // SL = 1 -> P(spike) = 0.1
+  int spikes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (ApplyNoise(10.0, params, &rng) == 20.0) ++spikes;
+  }
+  EXPECT_NEAR(static_cast<double>(spikes) / n, 0.1, 0.01);
+}
+
+TEST(NoiseTest, FluctuationScalesWithFl) {
+  common::Rng rng_low(4), rng_high(4);
+  NoiseParams low{0.1, 0.0};
+  NoiseParams high{1.0, 0.0};
+  std::vector<double> low_obs, high_obs;
+  for (int i = 0; i < 5000; ++i) {
+    low_obs.push_back(ApplyNoise(100.0, low, &rng_low));
+    high_obs.push_back(ApplyNoise(100.0, high, &rng_high));
+  }
+  // E[|N(0, FL)|] = FL * sqrt(2/pi): ~8 for FL=0.1 vs ~80 for FL=1 on g0=100.
+  EXPECT_LT(common::Mean(low_obs), 115.0);
+  EXPECT_GT(common::Mean(high_obs), 150.0);
+  EXPECT_GT(common::StdDev(high_obs), common::StdDev(low_obs));
+}
+
+TEST(NoiseTest, HighNoisePresetMatchesPaper) {
+  const NoiseParams high = NoiseParams::High();
+  EXPECT_DOUBLE_EQ(high.fluctuation_level, 1.0);
+  EXPECT_DOUBLE_EQ(high.spike_level, 1.0);
+  const NoiseParams low = NoiseParams::Low();
+  EXPECT_DOUBLE_EQ(low.fluctuation_level, 0.1);
+  EXPECT_DOUBLE_EQ(low.spike_level, 0.1);
+}
+
+TEST(NoiseTest, DeterministicGivenSeed) {
+  common::Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(ApplyNoise(3.0, NoiseParams::High(), &a),
+                     ApplyNoise(3.0, NoiseParams::High(), &b));
+  }
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

@@ -1,0 +1,110 @@
+#include "sparksim/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace rockhopper::sparksim {
+namespace {
+
+// Aggregate(rows=10) -> Exchange(rows=1000) -> Scan(rows=1000)
+//                                            \-> Scan(rows=500)
+QueryPlan SmallPlan() {
+  QueryPlan plan;
+  PlanNode agg;
+  agg.type = OperatorType::kAggregate;
+  agg.est_output_rows = 10;
+  const uint32_t agg_idx = plan.AddNode(agg);
+  PlanNode ex;
+  ex.type = OperatorType::kExchange;
+  ex.est_output_rows = 1000;
+  const uint32_t ex_idx = plan.AddNode(ex);
+  plan.mutable_node(agg_idx).children.push_back(ex_idx);
+  PlanNode s1;
+  s1.type = OperatorType::kScan;
+  s1.est_output_rows = 1000;
+  s1.row_width_bytes = 100;
+  const uint32_t s1_idx = plan.AddNode(s1);
+  PlanNode s2;
+  s2.type = OperatorType::kScan;
+  s2.est_output_rows = 500;
+  s2.row_width_bytes = 50;
+  const uint32_t s2_idx = plan.AddNode(s2);
+  plan.mutable_node(ex_idx).children = {s1_idx, s2_idx};
+  return plan;
+}
+
+TEST(PlanTest, RootIsNodeZero) {
+  const QueryPlan plan = SmallPlan();
+  EXPECT_EQ(plan.root().type, OperatorType::kAggregate);
+  EXPECT_DOUBLE_EQ(plan.RootCardinality(), 10.0);
+  EXPECT_DOUBLE_EQ(plan.RootCardinality(3.0), 30.0);
+}
+
+TEST(PlanTest, LeafAggregatesScaleLinearly) {
+  const QueryPlan plan = SmallPlan();
+  EXPECT_DOUBLE_EQ(plan.LeafInputCardinality(), 1500.0);
+  EXPECT_DOUBLE_EQ(plan.LeafInputCardinality(2.0), 3000.0);
+  EXPECT_DOUBLE_EQ(plan.LeafInputBytes(), 1000.0 * 100 + 500.0 * 50);
+}
+
+TEST(PlanTest, OperatorCountsHistogram) {
+  const QueryPlan plan = SmallPlan();
+  const std::vector<double> counts = plan.OperatorCounts();
+  ASSERT_EQ(counts.size(), kNumOperatorTypes);
+  EXPECT_DOUBLE_EQ(counts[static_cast<size_t>(OperatorType::kScan)], 2.0);
+  EXPECT_DOUBLE_EQ(counts[static_cast<size_t>(OperatorType::kExchange)], 1.0);
+  EXPECT_DOUBLE_EQ(counts[static_cast<size_t>(OperatorType::kAggregate)], 1.0);
+  EXPECT_DOUBLE_EQ(counts[static_cast<size_t>(OperatorType::kJoin)], 0.0);
+}
+
+TEST(PlanTest, InputRowsSumsChildren) {
+  const QueryPlan plan = SmallPlan();
+  EXPECT_DOUBLE_EQ(plan.InputRows(0), 1000.0);   // aggregate reads exchange
+  EXPECT_DOUBLE_EQ(plan.InputRows(1), 1500.0);   // exchange reads both scans
+  EXPECT_DOUBLE_EQ(plan.InputRows(2), 1000.0);   // leaf reads itself
+}
+
+TEST(PlanTest, EmptyPlanIsSafe) {
+  QueryPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.RootCardinality(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.LeafInputCardinality(), 0.0);
+  EXPECT_EQ(plan.ToString(), "");
+}
+
+TEST(PlanTest, ToStringShowsTree) {
+  const std::string s = SmallPlan().ToString();
+  EXPECT_NE(s.find("Aggregate"), std::string::npos);
+  EXPECT_NE(s.find("  Exchange"), std::string::npos);
+  EXPECT_NE(s.find("    Scan"), std::string::npos);
+}
+
+TEST(PlanTest, SignatureStableAndStructureSensitive) {
+  const uint64_t sig1 = SmallPlan().Signature();
+  const uint64_t sig2 = SmallPlan().Signature();
+  EXPECT_EQ(sig1, sig2);
+  QueryPlan other = SmallPlan();
+  other.mutable_node(0).type = OperatorType::kSort;
+  EXPECT_NE(other.Signature(), sig1);
+}
+
+TEST(PlanTest, SignatureBucketsCardinalityJitter) {
+  // Small estimate jitter (same power-of-two bucket) keeps the signature;
+  // an order-of-magnitude change breaks it.
+  QueryPlan a = SmallPlan();
+  QueryPlan b = SmallPlan();
+  b.mutable_node(2).est_output_rows = 1001.0;  // same log2 bucket as 1000
+  EXPECT_EQ(a.Signature(), b.Signature());
+  QueryPlan c = SmallPlan();
+  c.mutable_node(2).est_output_rows = 100000.0;
+  EXPECT_NE(a.Signature(), c.Signature());
+}
+
+TEST(OperatorTypeTest, NamesAreDistinct) {
+  EXPECT_STREQ(OperatorTypeName(OperatorType::kScan), "Scan");
+  EXPECT_STREQ(OperatorTypeName(OperatorType::kJoin), "Join");
+  EXPECT_STREQ(OperatorTypeName(OperatorType::kWindow), "Window");
+  EXPECT_STREQ(OperatorTypeName(OperatorType::kLimit), "Limit");
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

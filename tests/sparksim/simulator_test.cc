@@ -1,0 +1,158 @@
+#include "sparksim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/workloads.h"
+
+namespace rockhopper::sparksim {
+namespace {
+
+SparkSimulator::Options NoiselessOptions() {
+  SparkSimulator::Options options;
+  options.noise = NoiseParams::None();
+  return options;
+}
+
+TEST(SparkSimulatorTest, NoiselessMatchesCostModel) {
+  SparkSimulator sim(NoiselessOptions());
+  const QueryPlan plan = TpchPlan(4);
+  const ConfigVector config = QueryLevelSpace().Defaults();
+  const ExecutionResult r = sim.ExecuteQuery(plan, config, 1.0);
+  EXPECT_DOUBLE_EQ(r.runtime_seconds, r.noise_free_seconds);
+  const double expected = sim.cost_model().ExecutionSeconds(
+      plan, EffectiveConfig::FromQueryConfig(config), 1.0);
+  EXPECT_DOUBLE_EQ(r.noise_free_seconds, expected);
+}
+
+TEST(SparkSimulatorTest, NoisyRuntimeNeverFaster) {
+  SparkSimulator::Options options;
+  options.noise = NoiseParams::High();
+  SparkSimulator sim(options);
+  const QueryPlan plan = TpchPlan(6);
+  const ConfigVector config = QueryLevelSpace().Defaults();
+  for (int i = 0; i < 50; ++i) {
+    const ExecutionResult r = sim.ExecuteQuery(plan, config, 1.0);
+    EXPECT_GE(r.runtime_seconds, r.noise_free_seconds);
+  }
+}
+
+TEST(SparkSimulatorTest, SeededTraceReplays) {
+  SparkSimulator::Options options;
+  options.noise = NoiseParams::High();
+  options.seed = 123;
+  SparkSimulator a(options), b(options);
+  const QueryPlan plan = TpchPlan(8);
+  const ConfigVector config = QueryLevelSpace().Defaults();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.ExecuteQuery(plan, config, 1.0).runtime_seconds,
+                     b.ExecuteQuery(plan, config, 1.0).runtime_seconds);
+  }
+}
+
+TEST(SparkSimulatorTest, ResultCarriesInputSizes) {
+  SparkSimulator sim(NoiselessOptions());
+  const QueryPlan plan = TpchPlan(10);
+  const ExecutionResult r =
+      sim.ExecuteQuery(plan, QueryLevelSpace().Defaults(), 2.0);
+  EXPECT_DOUBLE_EQ(r.data_scale, 2.0);
+  EXPECT_DOUBLE_EQ(r.input_bytes, plan.LeafInputBytes(2.0));
+  EXPECT_DOUBLE_EQ(r.input_rows, plan.LeafInputCardinality(2.0));
+}
+
+TEST(SparkSimulatorTest, ExecuteApplicationRunsAllQueries) {
+  SparkSimulator sim(NoiselessOptions());
+  SparkApplication app;
+  app.artifact_id = "notebook-7";
+  app.queries = {TpchPlan(1), TpchPlan(2), TpchPlan(3)};
+  const ConfigVector app_config = AppLevelSpace().Defaults();
+  const std::vector<ConfigVector> query_configs(
+      3, QueryLevelSpace().Defaults());
+  const std::vector<ExecutionResult> results =
+      sim.ExecuteApplication(app, app_config, query_configs, 1.0);
+  ASSERT_EQ(results.size(), 3u);
+  for (const ExecutionResult& r : results) {
+    EXPECT_GT(r.runtime_seconds, 0.0);
+  }
+}
+
+TEST(SparkSimulatorTest, AppConfigAffectsAllQueries) {
+  SparkSimulator sim(NoiselessOptions());
+  SparkApplication app;
+  app.queries = {TpchPlan(12), TpchPlan(13)};
+  const std::vector<ConfigVector> qc(2, QueryLevelSpace().Defaults());
+  const std::vector<ExecutionResult> small =
+      sim.ExecuteApplication(app, {2.0, 8.0}, qc, 2.0);
+  const std::vector<ExecutionResult> large =
+      sim.ExecuteApplication(app, {32.0, 32.0}, qc, 2.0);
+  const double small_total =
+      small[0].noise_free_seconds + small[1].noise_free_seconds;
+  const double large_total =
+      large[0].noise_free_seconds + large[1].noise_free_seconds;
+  EXPECT_GT(small_total, large_total);  // big scans want more executors
+}
+
+TEST(SparkSimulatorTest, FatalOomMarksExecutionFailed) {
+  // A configuration that broadcasts a build side far beyond executor
+  // memory: the job fails instead of just slowing down.
+  SparkSimulator sim(NoiselessOptions());
+  QueryPlan plan;
+  auto add = [&plan](OperatorType type, double rows, double width,
+                     std::vector<uint32_t> children = {}) {
+    PlanNode n;
+    n.type = type;
+    n.est_output_rows = rows;
+    n.row_width_bytes = width;
+    n.children = std::move(children);
+    return plan.AddNode(n);
+  };
+  const uint32_t join = add(OperatorType::kJoin, 1e8, 96);
+  // Probe side bigger than the build side so the 5e9-byte table below is
+  // the one chosen for broadcasting.
+  const uint32_t pex = add(OperatorType::kExchange, 1e8, 64);
+  plan.mutable_node(join).children.push_back(pex);
+  plan.mutable_node(pex).children.push_back(
+      add(OperatorType::kScan, 1e8, 64));
+  const uint32_t bex = add(OperatorType::kExchange, 5e7, 100);
+  plan.mutable_node(join).children.push_back(bex);
+  plan.mutable_node(bex).children.push_back(
+      add(OperatorType::kScan, 5e7, 100));
+
+  EffectiveConfig config;
+  config.broadcast_threshold = 8e9;     // broadcast a ~4.7 GiB build side...
+  config.executor_memory_gb = 1.0;      // ...into 0.6 GiB of usable memory
+  const ExecutionResult bad = sim.Execute(plan, config, 1.0);
+  EXPECT_TRUE(bad.failed);
+  EXPECT_GT(bad.metrics.oom_events, 0);
+
+  config.broadcast_threshold = 1.0;     // sort-merge join instead
+  const ExecutionResult good = sim.Execute(plan, config, 1.0);
+  EXPECT_FALSE(good.failed);
+  EXPECT_EQ(good.metrics.oom_events, 0);
+}
+
+TEST(SparkSimulatorTest, HealthyConfigsNeverFail) {
+  SparkSimulator sim(NoiselessOptions());
+  const ConfigVector defaults = QueryLevelSpace().Defaults();
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    EXPECT_FALSE(sim.ExecuteQuery(TpchPlan(q), defaults, 1.0).failed)
+        << "q" << q;
+  }
+}
+
+TEST(SparkSimulatorTest, SetNoiseSwitchesRegime) {
+  SparkSimulator sim(NoiselessOptions());
+  const QueryPlan plan = TpchPlan(14);
+  const ConfigVector config = QueryLevelSpace().Defaults();
+  const ExecutionResult clean = sim.ExecuteQuery(plan, config, 1.0);
+  EXPECT_DOUBLE_EQ(clean.runtime_seconds, clean.noise_free_seconds);
+  sim.set_noise(NoiseParams::High());
+  bool any_noisy = false;
+  for (int i = 0; i < 20; ++i) {
+    const ExecutionResult r = sim.ExecuteQuery(plan, config, 1.0);
+    any_noisy |= r.runtime_seconds > r.noise_free_seconds * 1.01;
+  }
+  EXPECT_TRUE(any_noisy);
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

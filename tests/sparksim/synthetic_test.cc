@@ -1,0 +1,118 @@
+#include "sparksim/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rockhopper::sparksim {
+namespace {
+
+TEST(SyntheticFunctionTest, OptimumIsGlobalMinimum) {
+  const SyntheticFunction f = SyntheticFunction::Default();
+  const double at_opt = f.TruePerformance(f.optimum(), 1.0);
+  EXPECT_DOUBLE_EQ(at_opt, f.OptimalPerformance(1.0));
+  common::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const ConfigVector c = f.space().Sample(&rng);
+    EXPECT_GE(f.TruePerformance(c, 1.0), at_opt - 1e-9);
+  }
+}
+
+TEST(SyntheticFunctionTest, ConvexAlongEachAxis) {
+  const SyntheticFunction f = SyntheticFunction::Default();
+  // Midpoint test in normalized space: f(mid) <= (f(a) + f(b)) / 2.
+  const ConfigSpace& space = f.space();
+  common::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> ua = space.Normalize(space.Sample(&rng));
+    std::vector<double> ub = space.Normalize(space.Sample(&rng));
+    std::vector<double> um(ua.size());
+    for (size_t i = 0; i < ua.size(); ++i) um[i] = 0.5 * (ua[i] + ub[i]);
+    // Evaluate the quadratic bowl directly via normalized coordinates. Use
+    // the raw (unclamped-integer) denormalized values minus rounding noise:
+    // tolerate small integer-rounding wiggle.
+    const double fa = f.TruePerformance(space.Denormalize(ua), 1.0);
+    const double fb = f.TruePerformance(space.Denormalize(ub), 1.0);
+    const double fm = f.TruePerformance(space.Denormalize(um), 1.0);
+    EXPECT_LE(fm, 0.5 * (fa + fb) + 1e-2 * (fa + fb));
+  }
+}
+
+TEST(SyntheticFunctionTest, ScalesWithDataSizeSublinearly) {
+  const SyntheticFunction f = SyntheticFunction::Default();
+  const ConfigVector c = f.space().Defaults();
+  const double r1 = f.TruePerformance(c, 1.0);
+  const double r2 = f.TruePerformance(c, 2.0);
+  EXPECT_GT(r2, r1);
+  // Sublinear: doubling p less than doubles r, so r/p decreases in p —
+  // the FIND_BEST v2 bias the paper describes.
+  EXPECT_LT(r2 / 2.0, r1);
+}
+
+TEST(SyntheticFunctionTest, OutputCalibratedToPaperRange) {
+  // Figs. 9-10 show values in the 1.7e4..2.3e4 band at p = 1.
+  const SyntheticFunction f = SyntheticFunction::Default();
+  EXPECT_GT(f.OptimalPerformance(1.0), 1e4);
+  EXPECT_LT(f.OptimalPerformance(1.0), 3e4);
+}
+
+TEST(SyntheticFunctionTest, ObserveAddsOnlySlowdownNoise) {
+  const SyntheticFunction f = SyntheticFunction::Default();
+  common::Rng rng(3);
+  const ConfigVector c = f.space().Defaults();
+  const double truth = f.TruePerformance(c, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(f.Observe(c, 1.0, NoiseParams::High(), &rng), truth);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(f.Observe(c, 1.0, NoiseParams::None(), &rng), truth);
+  }
+}
+
+TEST(SyntheticFunctionTest, OptimalityGapZeroAtOptimum) {
+  const SyntheticFunction f = SyntheticFunction::Default();
+  for (size_t d = 0; d < f.space().size(); ++d) {
+    EXPECT_NEAR(f.OptimalityGap(f.optimum(), d), 0.0, 1e-9);
+  }
+  ConfigVector off = f.optimum();
+  off[0] *= 4.0;
+  EXPECT_GT(f.OptimalityGap(off, 0), 0.05);
+}
+
+TEST(DataSizeScheduleTest, ConstantSchedule) {
+  const DataSizeSchedule s = DataSizeSchedule::Constant(2.5);
+  EXPECT_DOUBLE_EQ(s.At(0), 2.5);
+  EXPECT_DOUBLE_EQ(s.At(100), 2.5);
+}
+
+TEST(DataSizeScheduleTest, LinearGrowth) {
+  const DataSizeSchedule s = DataSizeSchedule::Linear(1.0, 0.1);
+  EXPECT_DOUBLE_EQ(s.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(10), 2.0);
+  EXPECT_LT(s.At(5), s.At(6));
+}
+
+TEST(DataSizeScheduleTest, PeriodicSawtooth) {
+  const DataSizeSchedule s = DataSizeSchedule::Periodic(1.0, 1.0, 10);
+  EXPECT_DOUBLE_EQ(s.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(5), 1.5);
+  EXPECT_DOUBLE_EQ(s.At(10), 1.0);  // wraps: f(t) = t mod K
+  EXPECT_DOUBLE_EQ(s.At(15), s.At(5));
+}
+
+TEST(DataSizeScheduleTest, LinearNeverGoesNonPositive) {
+  const DataSizeSchedule s = DataSizeSchedule::Linear(1.0, -1.0);
+  EXPECT_GT(s.At(100), 0.0);
+}
+
+TEST(DataSizeScheduleTest, RandomWalkDeterministicPerT) {
+  const DataSizeSchedule s = DataSizeSchedule::RandomWalk(1.0, 0.3, 42);
+  EXPECT_DOUBLE_EQ(s.At(7), s.At(7));
+  EXPECT_GT(s.At(3), 0.0);
+  // Different seeds give different trajectories.
+  const DataSizeSchedule other = DataSizeSchedule::RandomWalk(1.0, 0.3, 43);
+  EXPECT_NE(s.At(3), other.At(3));
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

@@ -1,0 +1,128 @@
+#include "sparksim/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rockhopper::sparksim {
+namespace {
+
+TEST(WorkloadsTest, TpchPlansAreDeterministic) {
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    EXPECT_EQ(TpchPlan(q).Signature(), TpchPlan(q).Signature()) << "q" << q;
+  }
+}
+
+TEST(WorkloadsTest, TpchPlansAreDistinct) {
+  std::set<uint64_t> signatures;
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    signatures.insert(TpchPlan(q).Signature());
+  }
+  EXPECT_EQ(signatures.size(), static_cast<size_t>(kNumTpchQueries));
+}
+
+TEST(WorkloadsTest, TpcdsPlansAreDistinct) {
+  std::set<uint64_t> signatures;
+  for (int q = 1; q <= kNumTpcdsQueries; ++q) {
+    signatures.insert(TpcdsPlan(q).Signature());
+  }
+  EXPECT_EQ(signatures.size(), static_cast<size_t>(kNumTpcdsQueries));
+}
+
+TEST(WorkloadsTest, QueryIdsClampInsteadOfCrash) {
+  EXPECT_EQ(TpchPlan(0).Signature(), TpchPlan(1).Signature());
+  EXPECT_EQ(TpchPlan(99).Signature(), TpchPlan(22).Signature());
+}
+
+// Structural invariants every generated plan must satisfy.
+void CheckPlanInvariants(const QueryPlan& plan) {
+  ASSERT_FALSE(plan.empty());
+  size_t scans = 0;
+  std::vector<int> indegree(plan.size(), 0);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const PlanNode& n = plan.node(i);
+    if (n.type == OperatorType::kScan) {
+      ++scans;
+      EXPECT_TRUE(n.children.empty()) << "scan with children";
+      EXPECT_GT(n.est_output_rows, 0.0);
+      EXPECT_GT(n.row_width_bytes, 0.0);
+    }
+    if (n.type == OperatorType::kJoin) {
+      EXPECT_EQ(n.children.size(), 2u) << "join must be binary";
+    }
+    for (uint32_t c : n.children) {
+      ASSERT_LT(c, plan.size());
+      ++indegree[c];
+    }
+  }
+  EXPECT_GE(scans, 1u);
+  // Exactly one root (node 0), every other node referenced exactly once
+  // (tree, not DAG).
+  EXPECT_EQ(indegree[0], 0);
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_EQ(indegree[i], 1) << "node " << i;
+  }
+}
+
+TEST(WorkloadsTest, TpchPlanInvariants) {
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    SCOPED_TRACE("tpch q" + std::to_string(q));
+    CheckPlanInvariants(TpchPlan(q));
+  }
+}
+
+TEST(WorkloadsTest, TpcdsPlanInvariants) {
+  for (int q = 1; q <= kNumTpcdsQueries; ++q) {
+    SCOPED_TRACE("tpcds q" + std::to_string(q));
+    CheckPlanInvariants(TpcdsPlan(q));
+  }
+}
+
+TEST(WorkloadsTest, TpcdsDeeperThanTpchOnAverage) {
+  double tpch_nodes = 0, tpcds_nodes = 0;
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    tpch_nodes += static_cast<double>(TpchPlan(q).size());
+  }
+  for (int q = 1; q <= kNumTpcdsQueries; ++q) {
+    tpcds_nodes += static_cast<double>(TpcdsPlan(q).size());
+  }
+  EXPECT_GT(tpcds_nodes / kNumTpcdsQueries, tpch_nodes / kNumTpchQueries);
+}
+
+TEST(WorkloadsTest, CustomerPlansVaryWithRng) {
+  common::Rng rng(99);
+  std::set<uint64_t> signatures;
+  for (int i = 0; i < 30; ++i) {
+    const QueryPlan plan = CustomerPlan(&rng);
+    CheckPlanInvariants(plan);
+    signatures.insert(plan.Signature());
+  }
+  EXPECT_GT(signatures.size(), 25u);
+}
+
+TEST(WorkloadsTest, GeneratePlanRespectsJoinBounds) {
+  PlanProfile profile;
+  profile.min_joins = 2;
+  profile.max_joins = 2;
+  common::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const QueryPlan plan = GeneratePlan(profile, &rng);
+    const std::vector<double> counts = plan.OperatorCounts();
+    EXPECT_DOUBLE_EQ(counts[static_cast<size_t>(OperatorType::kJoin)], 2.0);
+  }
+}
+
+TEST(WorkloadsTest, ZeroJoinProfileYieldsScanAggregate) {
+  PlanProfile profile;
+  profile.min_joins = 0;
+  profile.max_joins = 0;
+  common::Rng rng(8);
+  const QueryPlan plan = GeneratePlan(profile, &rng);
+  const std::vector<double> counts = plan.OperatorCounts();
+  EXPECT_DOUBLE_EQ(counts[static_cast<size_t>(OperatorType::kJoin)], 0.0);
+  EXPECT_GE(counts[static_cast<size_t>(OperatorType::kAggregate)], 1.0);
+  EXPECT_GE(counts[static_cast<size_t>(OperatorType::kScan)], 1.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

@@ -1,0 +1,269 @@
+// rockhopper — command-line driver for the library, the shape of the
+// paper's operational tooling:
+//
+//   rockhopper flight --suite=tpcds --configs=8 --out=DIR
+//       run the offline flighting pipeline, export the trace CSV, train
+//       the baseline model, and store the serialized artifact (§4.2, §5);
+//
+//   rockhopper tune --suite=tpch --iters=40 --model-dir=DIR [--events=FILE]
+//       load the stored baseline, tune the chosen suite online against the
+//       simulator, print per-query outcomes, and optionally persist the
+//       event log;
+//
+//   rockhopper report --events=FILE
+//       reload a persisted event log and print the monitoring dashboard
+//       (trend, per-dimension insights, RCA verdict) per query signature
+//       (§6.3 posterior analysis).
+//
+// Every run is deterministic given --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/flighting.h"
+#include "core/model_store.h"
+#include "core/monitor.h"
+#include "core/tuning_service.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+namespace {
+
+using namespace rockhopper;        // NOLINT(build/namespaces)
+using namespace rockhopper::core;  // NOLINT(build/namespaces)
+namespace sparksim = rockhopper::sparksim;
+
+// The one baseline-model key the CLI uses in its model store ("one model
+// per region", §4.2).
+constexpr uint64_t kRegionKey = 1;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args.flags[arg] = "true";
+    } else {
+      args.flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+FlightingConfig::Suite SuiteFromName(const std::string& name) {
+  return name == "tpch" ? FlightingConfig::Suite::kTpch
+                        : FlightingConfig::Suite::kTpcds;
+}
+
+int SuiteSize(FlightingConfig::Suite suite) {
+  return suite == FlightingConfig::Suite::kTpch ? sparksim::kNumTpchQueries
+                                                : sparksim::kNumTpcdsQueries;
+}
+
+int RunFlight(const Args& args) {
+  const std::string out_dir = args.Get("out", "rockhopper-out");
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams::Low();
+  sim_options.seed = static_cast<uint64_t>(args.GetInt("seed", 17));
+  sparksim::SparkSimulator sim(sim_options);
+  FlightingPipeline pipeline(&sim, space);
+
+  FlightingConfig config;
+  config.suite = SuiteFromName(args.Get("suite", "tpcds"));
+  config.configs_per_query = args.GetInt("configs", 8);
+  config.runs_per_config = args.GetInt("runs", 1);
+  config.config_generation = args.Get("generation", "Random");
+  config.scale_factors = {1.0};
+  config.seed = sim_options.seed;
+
+  BaselineModel model(space);
+  auto records = pipeline.TrainBaseline(config, &model,
+                                        args.GetInt("max-samples", 0));
+  if (!records.ok()) {
+    std::fprintf(stderr, "flighting failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  ModelStore store(out_dir + "/models");
+  const std::string trace_path = out_dir + "/trace.csv";
+  if (auto st = pipeline.ExportCsv(trace_path, *records); !st.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto artifact = model.Serialize();
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "serialize failed: %s\n",
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+  auto generation = store.Put(kRegionKey, *artifact);
+  if (!generation.ok()) {
+    std::fprintf(stderr, "store failed: %s\n",
+                 generation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("flighting: %zu records -> %s\n", records->size(),
+              trace_path.c_str());
+  std::printf("baseline model: generation %d in %s/models\n", *generation,
+              out_dir.c_str());
+  return 0;
+}
+
+int RunTune(const Args& args) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const std::string model_dir = args.Get("model-dir", "rockhopper-out");
+  BaselineModel model(space);
+  const BaselineModel* baseline = nullptr;
+  ModelStore store(model_dir + "/models");
+  if (auto artifact = store.GetLatest(kRegionKey); artifact.ok()) {
+    if (model.Deserialize(*artifact).ok()) {
+      baseline = &model;
+      std::printf("loaded baseline model from %s/models\n",
+                  model_dir.c_str());
+    }
+  }
+  if (baseline == nullptr) {
+    std::printf("no stored baseline model; tuning cold\n");
+  }
+
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams{args.GetDouble("fl", 0.3),
+                                            args.GetDouble("sl", 0.3)};
+  sim_options.seed = static_cast<uint64_t>(args.GetInt("seed", 23));
+  sparksim::SparkSimulator sim(sim_options);
+
+  TuningServiceOptions service_options;
+  TuningService service(space, baseline, service_options, sim_options.seed);
+
+  const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpch"));
+  const int iters = args.GetInt("iters", 40);
+  const int count = SuiteSize(suite);
+  std::printf("tuning %d queries x %d iterations (FL=%.2f SL=%.2f)\n\n",
+              count, iters, sim_options.noise.fluctuation_level,
+              sim_options.noise.spike_level);
+
+  double default_total = 0.0, tuned_total = 0.0;
+  for (int q = 1; q <= count; ++q) {
+    const sparksim::QueryPlan plan = FlightingPipeline::PlanFor(suite, q);
+    const double default_sec = sim.cost_model().ExecutionSeconds(
+        plan, sparksim::EffectiveConfig::FromQueryConfig(space.Defaults()),
+        1.0);
+    double tail = 0.0;
+    const int tail_n = std::max(1, iters / 8);
+    for (int run = 0; run < iters; ++run) {
+      const sparksim::ConfigVector config =
+          service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
+      const sparksim::ExecutionResult result =
+          sim.ExecuteQuery(plan, config, 1.0);
+      service.OnQueryEnd(plan, config, result.input_bytes,
+                         result.runtime_seconds);
+      if (run >= iters - tail_n) tail += result.noise_free_seconds;
+    }
+    tail /= tail_n;
+    default_total += default_sec;
+    tuned_total += tail;
+    std::printf("q%-3d  %8.2f s -> %8.2f s  (%+6.1f%%)%s\n", q, default_sec,
+                tail, 100.0 * (default_sec - tail) / default_sec,
+                service.IsTuningEnabled(plan.Signature()) ? ""
+                                                          : "  [guardrail]");
+  }
+  std::printf("\nsuite: %.1f s -> %.1f s (%.1f%% improvement); guardrail "
+              "disabled %zu/%zu\n",
+              default_total, tuned_total,
+              100.0 * (default_total - tuned_total) / default_total,
+              service.NumDisabled(), service.NumSignatures());
+
+  const std::string events = args.Get("events", "");
+  if (!events.empty()) {
+    if (auto st = ExportObservations(space, service.observations(), events);
+        !st.ok()) {
+      std::fprintf(stderr, "event export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("event log written to %s\n", events.c_str());
+  }
+  return 0;
+}
+
+int RunReport(const Args& args) {
+  const std::string events = args.Get("events", "");
+  if (events.empty()) {
+    std::fprintf(stderr, "report requires --events=FILE\n");
+    return 1;
+  }
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  auto store = ImportObservations(space, events);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot load events: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  for (uint64_t signature : store->Signatures()) {
+    TuningMonitor monitor(&space);
+    for (const Observation& obs : store->History(signature)) {
+      MonitorRecord record;
+      record.iteration = obs.iteration;
+      record.config = obs.config;
+      record.data_size = obs.data_size;
+      record.runtime = obs.runtime;
+      monitor.Record(record);
+    }
+    std::printf("--- signature %llu ---\n%s\n",
+                static_cast<unsigned long long>(signature),
+                monitor.Report().c_str());
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: rockhopper <command> [--flag=value ...]\n\n"
+      "commands:\n"
+      "  flight  run offline flighting, train + store the baseline model\n"
+      "          flags: --suite=tpcds|tpch --configs=N --runs=N\n"
+      "                 --generation=Random|LHS --max-samples=N --out=DIR\n"
+      "  tune    tune a suite online with the stored baseline\n"
+      "          flags: --suite=tpch|tpcds --iters=N --model-dir=DIR\n"
+      "                 --fl=F --sl=F --events=FILE --seed=N\n"
+      "  report  print per-signature monitoring dashboards from an event "
+      "log\n"
+      "          flags: --events=FILE\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.command == "flight") return RunFlight(args);
+  if (args.command == "tune") return RunTune(args);
+  if (args.command == "report") return RunReport(args);
+  PrintUsage();
+  return args.command.empty() ? 1 : 2;
+}
