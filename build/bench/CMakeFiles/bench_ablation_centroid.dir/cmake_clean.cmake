@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_centroid.dir/bench_ablation_centroid.cc.o"
+  "CMakeFiles/bench_ablation_centroid.dir/bench_ablation_centroid.cc.o.d"
+  "bench_ablation_centroid"
+  "bench_ablation_centroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_centroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

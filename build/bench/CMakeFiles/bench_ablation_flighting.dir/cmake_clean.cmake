@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flighting.dir/bench_ablation_flighting.cc.o"
+  "CMakeFiles/bench_ablation_flighting.dir/bench_ablation_flighting.cc.o.d"
+  "bench_ablation_flighting"
+  "bench_ablation_flighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

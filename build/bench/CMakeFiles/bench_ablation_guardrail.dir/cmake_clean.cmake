@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_guardrail.dir/bench_ablation_guardrail.cc.o"
+  "CMakeFiles/bench_ablation_guardrail.dir/bench_ablation_guardrail.cc.o.d"
+  "bench_ablation_guardrail"
+  "bench_ablation_guardrail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_guardrail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

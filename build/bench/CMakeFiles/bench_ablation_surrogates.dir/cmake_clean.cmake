@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_surrogates.dir/bench_ablation_surrogates.cc.o"
+  "CMakeFiles/bench_ablation_surrogates.dir/bench_ablation_surrogates.cc.o.d"
+  "bench_ablation_surrogates"
+  "bench_ablation_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg2_app_level.dir/bench_alg2_app_level.cc.o"
+  "CMakeFiles/bench_alg2_app_level.dir/bench_alg2_app_level.cc.o.d"
+  "bench_alg2_app_level"
+  "bench_alg2_app_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg2_app_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_alg2_app_level.
+# This may be replaced when dependencies are built.

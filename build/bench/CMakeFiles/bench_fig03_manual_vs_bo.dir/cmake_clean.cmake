@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_manual_vs_bo.dir/bench_fig03_manual_vs_bo.cc.o"
+  "CMakeFiles/bench_fig03_manual_vs_bo.dir/bench_fig03_manual_vs_bo.cc.o.d"
+  "bench_fig03_manual_vs_bo"
+  "bench_fig03_manual_vs_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_manual_vs_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_synthetic_function.dir/bench_fig08_synthetic_function.cc.o"
+  "CMakeFiles/bench_fig08_synthetic_function.dir/bench_fig08_synthetic_function.cc.o.d"
+  "bench_fig08_synthetic_function"
+  "bench_fig08_synthetic_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_synthetic_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

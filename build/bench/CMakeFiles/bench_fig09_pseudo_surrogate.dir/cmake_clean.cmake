@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_pseudo_surrogate.dir/bench_fig09_pseudo_surrogate.cc.o"
+  "CMakeFiles/bench_fig09_pseudo_surrogate.dir/bench_fig09_pseudo_surrogate.cc.o.d"
+  "bench_fig09_pseudo_surrogate"
+  "bench_fig09_pseudo_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_pseudo_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

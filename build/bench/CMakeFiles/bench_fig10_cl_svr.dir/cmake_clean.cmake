@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cl_svr.dir/bench_fig10_cl_svr.cc.o"
+  "CMakeFiles/bench_fig10_cl_svr.dir/bench_fig10_cl_svr.cc.o.d"
+  "bench_fig10_cl_svr"
+  "bench_fig10_cl_svr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cl_svr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_external_customers.dir/bench_fig16_external_customers.cc.o"
+  "CMakeFiles/bench_fig16_external_customers.dir/bench_fig16_external_customers.cc.o.d"
+  "bench_fig16_external_customers"
+  "bench_fig16_external_customers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_external_customers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_inference.dir/bench_micro_inference.cc.o"
+  "CMakeFiles/bench_micro_inference.dir/bench_micro_inference.cc.o.d"
+  "bench_micro_inference"
+  "bench_micro_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

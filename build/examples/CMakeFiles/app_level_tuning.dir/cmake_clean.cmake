@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_level_tuning.dir/app_level_tuning.cc.o"
+  "CMakeFiles/app_level_tuning.dir/app_level_tuning.cc.o.d"
+  "app_level_tuning"
+  "app_level_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_level_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

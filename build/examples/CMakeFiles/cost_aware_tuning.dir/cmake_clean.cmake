@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_aware_tuning.dir/cost_aware_tuning.cc.o"
+  "CMakeFiles/cost_aware_tuning.dir/cost_aware_tuning.cc.o.d"
+  "cost_aware_tuning"
+  "cost_aware_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_aware_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

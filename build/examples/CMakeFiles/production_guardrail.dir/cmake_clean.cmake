@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_guardrail.dir/production_guardrail.cc.o"
+  "CMakeFiles/production_guardrail.dir/production_guardrail.cc.o.d"
+  "production_guardrail"
+  "production_guardrail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_guardrail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_suite_tuning.dir/tpch_suite_tuning.cc.o"
+  "CMakeFiles/tpch_suite_tuning.dir/tpch_suite_tuning.cc.o.d"
+  "tpch_suite_tuning"
+  "tpch_suite_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_suite_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

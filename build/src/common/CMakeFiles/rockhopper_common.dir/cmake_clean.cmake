@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_common.dir/archive.cc.o"
+  "CMakeFiles/rockhopper_common.dir/archive.cc.o.d"
+  "CMakeFiles/rockhopper_common.dir/csv.cc.o"
+  "CMakeFiles/rockhopper_common.dir/csv.cc.o.d"
+  "CMakeFiles/rockhopper_common.dir/logging.cc.o"
+  "CMakeFiles/rockhopper_common.dir/logging.cc.o.d"
+  "CMakeFiles/rockhopper_common.dir/matrix.cc.o"
+  "CMakeFiles/rockhopper_common.dir/matrix.cc.o.d"
+  "CMakeFiles/rockhopper_common.dir/rng.cc.o"
+  "CMakeFiles/rockhopper_common.dir/rng.cc.o.d"
+  "CMakeFiles/rockhopper_common.dir/statistics.cc.o"
+  "CMakeFiles/rockhopper_common.dir/statistics.cc.o.d"
+  "CMakeFiles/rockhopper_common.dir/status.cc.o"
+  "CMakeFiles/rockhopper_common.dir/status.cc.o.d"
+  "CMakeFiles/rockhopper_common.dir/table.cc.o"
+  "CMakeFiles/rockhopper_common.dir/table.cc.o.d"
+  "librockhopper_common.a"
+  "librockhopper_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_optimizer.cc" "src/core/CMakeFiles/rockhopper_core.dir/app_optimizer.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/app_optimizer.cc.o.d"
+  "/root/repo/src/core/baseline_model.cc" "src/core/CMakeFiles/rockhopper_core.dir/baseline_model.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/baseline_model.cc.o.d"
+  "/root/repo/src/core/bo_tuner.cc" "src/core/CMakeFiles/rockhopper_core.dir/bo_tuner.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/bo_tuner.cc.o.d"
+  "/root/repo/src/core/centroid_learning.cc" "src/core/CMakeFiles/rockhopper_core.dir/centroid_learning.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/centroid_learning.cc.o.d"
+  "/root/repo/src/core/embedding.cc" "src/core/CMakeFiles/rockhopper_core.dir/embedding.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/embedding.cc.o.d"
+  "/root/repo/src/core/find_best.cc" "src/core/CMakeFiles/rockhopper_core.dir/find_best.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/find_best.cc.o.d"
+  "/root/repo/src/core/find_gradient.cc" "src/core/CMakeFiles/rockhopper_core.dir/find_gradient.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/find_gradient.cc.o.d"
+  "/root/repo/src/core/flighting.cc" "src/core/CMakeFiles/rockhopper_core.dir/flighting.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/flighting.cc.o.d"
+  "/root/repo/src/core/flow2_tuner.cc" "src/core/CMakeFiles/rockhopper_core.dir/flow2_tuner.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/flow2_tuner.cc.o.d"
+  "/root/repo/src/core/guardrail.cc" "src/core/CMakeFiles/rockhopper_core.dir/guardrail.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/guardrail.cc.o.d"
+  "/root/repo/src/core/manual_policy.cc" "src/core/CMakeFiles/rockhopper_core.dir/manual_policy.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/manual_policy.cc.o.d"
+  "/root/repo/src/core/model_store.cc" "src/core/CMakeFiles/rockhopper_core.dir/model_store.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/model_store.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/rockhopper_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/observation.cc" "src/core/CMakeFiles/rockhopper_core.dir/observation.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/observation.cc.o.d"
+  "/root/repo/src/core/scorer.cc" "src/core/CMakeFiles/rockhopper_core.dir/scorer.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/scorer.cc.o.d"
+  "/root/repo/src/core/simple_tuners.cc" "src/core/CMakeFiles/rockhopper_core.dir/simple_tuners.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/simple_tuners.cc.o.d"
+  "/root/repo/src/core/tuning_service.cc" "src/core/CMakeFiles/rockhopper_core.dir/tuning_service.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/tuning_service.cc.o.d"
+  "/root/repo/src/core/window_model.cc" "src/core/CMakeFiles/rockhopper_core.dir/window_model.cc.o" "gcc" "src/core/CMakeFiles/rockhopper_core.dir/window_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rockhopper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rockhopper_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/rockhopper_sparksim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

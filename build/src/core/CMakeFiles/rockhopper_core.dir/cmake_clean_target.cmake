@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librockhopper_core.a"
+)

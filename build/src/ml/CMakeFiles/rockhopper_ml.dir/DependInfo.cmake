@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/acquisition.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/acquisition.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/acquisition.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gaussian_process.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/gaussian_process.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/gaussian_process.cc.o.d"
+  "/root/repo/src/ml/kernel.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/kernel.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/kernel.cc.o.d"
+  "/root/repo/src/ml/kernel_ridge.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/kernel_ridge.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/kernel_ridge.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/rockhopper_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/rockhopper_ml.dir/svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rockhopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

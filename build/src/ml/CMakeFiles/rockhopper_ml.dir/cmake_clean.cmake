@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_ml.dir/acquisition.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/acquisition.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/dataset.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/gaussian_process.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/gaussian_process.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/kernel.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/kernel.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/kernel_ridge.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/kernel_ridge.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/metrics.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/random_forest.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/scaler.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/rockhopper_ml.dir/svr.cc.o"
+  "CMakeFiles/rockhopper_ml.dir/svr.cc.o.d"
+  "librockhopper_ml.a"
+  "librockhopper_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparksim/categorical.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/categorical.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/categorical.cc.o.d"
+  "/root/repo/src/sparksim/config_space.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/config_space.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/config_space.cc.o.d"
+  "/root/repo/src/sparksim/cost_model.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/cost_model.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sparksim/cost_objective.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/cost_objective.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/cost_objective.cc.o.d"
+  "/root/repo/src/sparksim/noise.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/noise.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/noise.cc.o.d"
+  "/root/repo/src/sparksim/plan.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/plan.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/plan.cc.o.d"
+  "/root/repo/src/sparksim/simulator.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/simulator.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/simulator.cc.o.d"
+  "/root/repo/src/sparksim/synthetic.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/synthetic.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/synthetic.cc.o.d"
+  "/root/repo/src/sparksim/workloads.cc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/workloads.cc.o" "gcc" "src/sparksim/CMakeFiles/rockhopper_sparksim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rockhopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_sparksim.dir/categorical.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/categorical.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/config_space.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/config_space.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/cost_model.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/cost_model.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/cost_objective.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/cost_objective.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/noise.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/noise.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/plan.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/plan.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/simulator.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/simulator.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/synthetic.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/synthetic.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim.dir/workloads.cc.o"
+  "CMakeFiles/rockhopper_sparksim.dir/workloads.cc.o.d"
+  "librockhopper_sparksim.a"
+  "librockhopper_sparksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

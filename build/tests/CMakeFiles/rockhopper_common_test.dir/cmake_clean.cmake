@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_common_test.dir/common/archive_test.cc.o"
+  "CMakeFiles/rockhopper_common_test.dir/common/archive_test.cc.o.d"
+  "CMakeFiles/rockhopper_common_test.dir/common/csv_test.cc.o"
+  "CMakeFiles/rockhopper_common_test.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/rockhopper_common_test.dir/common/matrix_test.cc.o"
+  "CMakeFiles/rockhopper_common_test.dir/common/matrix_test.cc.o.d"
+  "CMakeFiles/rockhopper_common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/rockhopper_common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/rockhopper_common_test.dir/common/statistics_test.cc.o"
+  "CMakeFiles/rockhopper_common_test.dir/common/statistics_test.cc.o.d"
+  "CMakeFiles/rockhopper_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/rockhopper_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/rockhopper_common_test.dir/common/table_test.cc.o"
+  "CMakeFiles/rockhopper_common_test.dir/common/table_test.cc.o.d"
+  "rockhopper_common_test"
+  "rockhopper_common_test.pdb"
+  "rockhopper_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/app_optimizer_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/app_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/app_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/baseline_model_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/baseline_model_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/baseline_model_test.cc.o.d"
+  "/root/repo/tests/core/bo_tuner_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/bo_tuner_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/bo_tuner_test.cc.o.d"
+  "/root/repo/tests/core/centroid_learning_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/centroid_learning_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/centroid_learning_test.cc.o.d"
+  "/root/repo/tests/core/embedding_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/embedding_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/embedding_test.cc.o.d"
+  "/root/repo/tests/core/find_best_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/find_best_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/find_best_test.cc.o.d"
+  "/root/repo/tests/core/find_gradient_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/find_gradient_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/find_gradient_test.cc.o.d"
+  "/root/repo/tests/core/flighting_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/flighting_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/flighting_test.cc.o.d"
+  "/root/repo/tests/core/flow2_tuner_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/flow2_tuner_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/flow2_tuner_test.cc.o.d"
+  "/root/repo/tests/core/guardrail_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/guardrail_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/guardrail_test.cc.o.d"
+  "/root/repo/tests/core/manual_policy_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/manual_policy_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/manual_policy_test.cc.o.d"
+  "/root/repo/tests/core/model_store_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/model_store_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/model_store_test.cc.o.d"
+  "/root/repo/tests/core/monitor_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/monitor_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/monitor_test.cc.o.d"
+  "/root/repo/tests/core/observation_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/observation_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/observation_test.cc.o.d"
+  "/root/repo/tests/core/scorer_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/scorer_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/scorer_test.cc.o.d"
+  "/root/repo/tests/core/simple_tuners_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/simple_tuners_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/simple_tuners_test.cc.o.d"
+  "/root/repo/tests/core/tuning_service_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/tuning_service_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/tuning_service_test.cc.o.d"
+  "/root/repo/tests/core/window_model_test.cc" "tests/CMakeFiles/rockhopper_core_test.dir/core/window_model_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_core_test.dir/core/window_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rockhopper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/rockhopper_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rockhopper_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rockhopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

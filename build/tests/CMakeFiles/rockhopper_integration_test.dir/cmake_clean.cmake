@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_integration_test.dir/integration/deployment_test.cc.o"
+  "CMakeFiles/rockhopper_integration_test.dir/integration/deployment_test.cc.o.d"
+  "CMakeFiles/rockhopper_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/rockhopper_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "rockhopper_integration_test"
+  "rockhopper_integration_test.pdb"
+  "rockhopper_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

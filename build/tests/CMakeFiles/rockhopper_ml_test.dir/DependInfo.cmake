@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/acquisition_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/acquisition_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/acquisition_test.cc.o.d"
+  "/root/repo/tests/ml/dataset_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/dataset_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/dataset_test.cc.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/decision_tree_test.cc.o.d"
+  "/root/repo/tests/ml/gaussian_process_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/gaussian_process_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/gaussian_process_test.cc.o.d"
+  "/root/repo/tests/ml/kernel_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/kernel_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/kernel_test.cc.o.d"
+  "/root/repo/tests/ml/linear_regression_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/linear_regression_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/linear_regression_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/random_forest_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/random_forest_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/random_forest_test.cc.o.d"
+  "/root/repo/tests/ml/scaler_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/scaler_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/scaler_test.cc.o.d"
+  "/root/repo/tests/ml/serialization_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/serialization_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/serialization_test.cc.o.d"
+  "/root/repo/tests/ml/svr_test.cc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/svr_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_ml_test.dir/ml/svr_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rockhopper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/rockhopper_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rockhopper_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rockhopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

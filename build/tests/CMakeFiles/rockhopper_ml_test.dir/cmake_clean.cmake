@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_ml_test.dir/ml/acquisition_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/acquisition_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/dataset_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/dataset_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/decision_tree_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/decision_tree_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/gaussian_process_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/gaussian_process_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/kernel_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/kernel_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/linear_regression_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/linear_regression_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/random_forest_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/random_forest_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/scaler_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/scaler_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/serialization_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/serialization_test.cc.o.d"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/svr_test.cc.o"
+  "CMakeFiles/rockhopper_ml_test.dir/ml/svr_test.cc.o.d"
+  "rockhopper_ml_test"
+  "rockhopper_ml_test.pdb"
+  "rockhopper_ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_property_test.dir/properties/algorithm_property_test.cc.o"
+  "CMakeFiles/rockhopper_property_test.dir/properties/algorithm_property_test.cc.o.d"
+  "CMakeFiles/rockhopper_property_test.dir/properties/numeric_property_test.cc.o"
+  "CMakeFiles/rockhopper_property_test.dir/properties/numeric_property_test.cc.o.d"
+  "CMakeFiles/rockhopper_property_test.dir/properties/property_test.cc.o"
+  "CMakeFiles/rockhopper_property_test.dir/properties/property_test.cc.o.d"
+  "rockhopper_property_test"
+  "rockhopper_property_test.pdb"
+  "rockhopper_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

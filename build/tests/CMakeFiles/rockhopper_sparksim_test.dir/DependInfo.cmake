@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparksim/categorical_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/categorical_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/categorical_test.cc.o.d"
+  "/root/repo/tests/sparksim/config_space_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/config_space_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/config_space_test.cc.o.d"
+  "/root/repo/tests/sparksim/cost_model_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_model_test.cc.o.d"
+  "/root/repo/tests/sparksim/cost_objective_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_objective_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_objective_test.cc.o.d"
+  "/root/repo/tests/sparksim/noise_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/noise_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/noise_test.cc.o.d"
+  "/root/repo/tests/sparksim/plan_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/plan_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/plan_test.cc.o.d"
+  "/root/repo/tests/sparksim/simulator_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/simulator_test.cc.o.d"
+  "/root/repo/tests/sparksim/synthetic_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/synthetic_test.cc.o.d"
+  "/root/repo/tests/sparksim/workloads_test.cc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/workloads_test.cc.o" "gcc" "tests/CMakeFiles/rockhopper_sparksim_test.dir/sparksim/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rockhopper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/rockhopper_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rockhopper_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rockhopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

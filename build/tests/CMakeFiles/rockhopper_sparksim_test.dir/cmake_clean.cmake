@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/categorical_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/categorical_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/config_space_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/config_space_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_model_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_model_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_objective_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/cost_objective_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/noise_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/noise_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/plan_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/plan_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/simulator_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/simulator_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/synthetic_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/synthetic_test.cc.o.d"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/workloads_test.cc.o"
+  "CMakeFiles/rockhopper_sparksim_test.dir/sparksim/workloads_test.cc.o.d"
+  "rockhopper_sparksim_test"
+  "rockhopper_sparksim_test.pdb"
+  "rockhopper_sparksim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper_sparksim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

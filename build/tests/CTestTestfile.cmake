@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rockhopper_common_test[1]_include.cmake")
+include("/root/repo/build/tests/rockhopper_ml_test[1]_include.cmake")
+include("/root/repo/build/tests/rockhopper_sparksim_test[1]_include.cmake")
+include("/root/repo/build/tests/rockhopper_core_test[1]_include.cmake")
+include("/root/repo/build/tests/rockhopper_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/rockhopper_property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhopper.dir/rockhopper_cli.cc.o"
+  "CMakeFiles/rockhopper.dir/rockhopper_cli.cc.o.d"
+  "rockhopper"
+  "rockhopper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhopper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
