@@ -1,0 +1,22 @@
+#ifndef ROCKHOPPER_COMMON_CRC32_H_
+#define ROCKHOPPER_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rockhopper::common {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// Used by the crash-safe observation journal to detect torn or bit-flipped
+/// records on recovery. `seed` allows incremental computation by chaining:
+/// Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_CRC32_H_

@@ -57,6 +57,23 @@ double Guardrail::PredictNextRuntime() const {
 bool Guardrail::Record(const Observation& obs) {
   if (disabled_) return false;
   history_.push_back(obs);
+  // Failure strikes run ahead of the exploration-budget gate: a config that
+  // keeps killing jobs is disabled fast, while a lone failure resets before
+  // the consecutive counter reaches the strike threshold. Failure strikes
+  // are sticky across successes so a flapping query still drains them.
+  if (obs.failed) {
+    ++consecutive_failures_;
+    if (options_.failure_strike_threshold > 0 &&
+        consecutive_failures_ % options_.failure_strike_threshold == 0) {
+      ++failure_strikes_;
+      if (failure_strikes_ >= options_.max_failure_strikes) {
+        disabled_ = true;
+        return false;
+      }
+    }
+  } else {
+    consecutive_failures_ = 0;
+  }
   if (static_cast<int>(history_.size()) <= options_.min_iterations) {
     return true;
   }

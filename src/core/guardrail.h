@@ -29,6 +29,16 @@ struct GuardrailOptions {
   double regression_threshold = 0.1;
   /// Consecutive regression signals before tuning is disabled.
   int max_strikes = 3;
+  /// Failure path (§4.3's "insufficient allocations can lead to ...
+  /// failures"): every `failure_strike_threshold` *consecutive* failed
+  /// executions earns one failure strike; `max_failure_strikes` strikes
+  /// disable tuning. A lone sporadic failure resets the consecutive counter
+  /// before it reaches the threshold and therefore never strikes. Unlike
+  /// regression strikes, failure accounting ignores `min_iterations` — a
+  /// configuration that kills jobs must not hide behind the exploration
+  /// budget.
+  int failure_strike_threshold = 2;
+  int max_failure_strikes = 3;
 };
 
 class Guardrail {
@@ -43,6 +53,8 @@ class Guardrail {
 
   bool disabled() const { return disabled_; }
   int strikes() const { return strikes_; }
+  int failure_strikes() const { return failure_strikes_; }
+  int consecutive_failures() const { return consecutive_failures_; }
   const Options& options() const { return options_; }
 
   /// The runtime the trend model predicts for the next iteration, or a
@@ -55,6 +67,8 @@ class Guardrail {
   std::vector<Observation> history_;
   bool disabled_ = false;
   int strikes_ = 0;
+  int failure_strikes_ = 0;
+  int consecutive_failures_ = 0;
 };
 
 }  // namespace rockhopper::core

@@ -1,0 +1,191 @@
+#include "core/journal.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace rockhopper::core {
+
+namespace {
+
+constexpr char kHeader[] = "rockhopper-journal v1";
+
+// Serializes the checksummed portion of one record. Hexfloat keeps doubles
+// bit-exact across the round trip.
+std::string FormatPayload(uint64_t signature, const Observation& obs) {
+  char buffer[64];
+  std::string payload;
+  payload.reserve(48 + 24 * obs.config.size());
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64 " %d %d ", signature,
+                obs.iteration, obs.failed ? 1 : 0);
+  payload += buffer;
+  std::snprintf(buffer, sizeof(buffer), "%a %a", obs.data_size, obs.runtime);
+  payload += buffer;
+  for (double v : obs.config) {
+    std::snprintf(buffer, sizeof(buffer), " %a", v);
+    payload += buffer;
+  }
+  return payload;
+}
+
+// Parses a payload back into (signature, observation). Returns false on any
+// malformed field — the caller treats that like a CRC mismatch.
+bool ParsePayload(const std::string& payload, uint64_t* signature,
+                  Observation* obs) {
+  const char* cursor = payload.c_str();
+  char* end = nullptr;
+  *signature = std::strtoull(cursor, &end, 10);
+  if (end == cursor) return false;
+  cursor = end;
+  const long iteration = std::strtol(cursor, &end, 10);
+  if (end == cursor) return false;
+  cursor = end;
+  const long failed = std::strtol(cursor, &end, 10);
+  if (end == cursor || (failed != 0 && failed != 1)) return false;
+  cursor = end;
+  obs->iteration = static_cast<int>(iteration);
+  obs->failed = failed == 1;
+  obs->data_size = std::strtod(cursor, &end);
+  if (end == cursor) return false;
+  cursor = end;
+  obs->runtime = std::strtod(cursor, &end);
+  if (end == cursor) return false;
+  cursor = end;
+  obs->config.clear();
+  while (true) {
+    while (*cursor == ' ') ++cursor;
+    if (*cursor == '\0') break;
+    const double v = std::strtod(cursor, &end);
+    if (end == cursor) return false;
+    obs->config.push_back(v);
+    cursor = end;
+  }
+  return true;
+}
+
+}  // namespace
+
+ObservationJournal::~ObservationJournal() { Close(); }
+
+ObservationJournal::ObservationJournal(ObservationJournal&& other) noexcept
+    : file_(other.file_), path_(std::move(other.path_)) {
+  other.file_ = nullptr;
+}
+
+ObservationJournal& ObservationJournal::operator=(
+    ObservationJournal&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+void ObservationJournal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<ObservationJournal> ObservationJournal::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::Internal("cannot open journal for append: " + path);
+  }
+  // In append mode the position is at EOF; an empty file needs the header.
+  std::fseek(file, 0, SEEK_END);
+  if (std::ftell(file) == 0) {
+    std::fprintf(file, "%s\n", kHeader);
+    std::fflush(file);
+  }
+  ObservationJournal journal;
+  journal.file_ = file;
+  journal.path_ = path;
+  return journal;
+}
+
+Status ObservationJournal::Append(uint64_t signature, const Observation& obs) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  const std::string payload = FormatPayload(signature, obs);
+  const uint32_t crc = common::Crc32(payload);
+  if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0 ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("journal append failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<ObservationJournal::Recovered> ObservationJournal::Recover(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open journal: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Header must be intact — a foreign or headerless file is an error, not a
+  // recoverable tail.
+  const size_t header_len = std::strlen(kHeader);
+  if (text.size() < header_len + 1 ||
+      text.compare(0, header_len, kHeader) != 0 || text[header_len] != '\n') {
+    return Status::InvalidArgument("not a rockhopper journal: " + path);
+  }
+
+  Recovered recovered;
+  size_t pos = header_len + 1;
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) {
+      // Truncated tail: the writer died mid-record.
+      recovered.clean = false;
+      recovered.bytes_dropped = text.size() - pos;
+      ++recovered.records_dropped;
+      return recovered;
+    }
+    const std::string line = text.substr(pos, newline - pos);
+    // "<crc-hex8> <payload>"
+    bool line_ok = line.size() > 9 && line[8] == ' ';
+    uint64_t signature = 0;
+    Observation obs;
+    if (line_ok) {
+      const std::string crc_text = line.substr(0, 8);
+      char* end = nullptr;
+      const unsigned long crc = std::strtoul(crc_text.c_str(), &end, 16);
+      const std::string payload = line.substr(9);
+      line_ok = end == crc_text.c_str() + crc_text.size() &&
+                static_cast<uint32_t>(crc) == common::Crc32(payload) &&
+                ParsePayload(payload, &signature, &obs);
+    }
+    if (!line_ok) {
+      // Bad record: everything from here on is untrustworthy (the writer is
+      // strictly sequential, so a corrupt record means corruption reached at
+      // least this offset). Keep the valid prefix, drop the suffix.
+      recovered.clean = false;
+      recovered.bytes_dropped = text.size() - pos;
+      for (size_t p = pos; p < text.size();) {
+        ++recovered.records_dropped;
+        const size_t nl = text.find('\n', p);
+        if (nl == std::string::npos) break;
+        p = nl + 1;
+      }
+      return recovered;
+    }
+    recovered.store.Append(signature, std::move(obs));
+    ++recovered.records_recovered;
+    pos = newline + 1;
+  }
+  return recovered;
+}
+
+}  // namespace rockhopper::core

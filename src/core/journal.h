@@ -1,0 +1,70 @@
+#ifndef ROCKHOPPER_CORE_JOURNAL_H_
+#define ROCKHOPPER_CORE_JOURNAL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "core/observation.h"
+
+namespace rockhopper::core {
+
+/// Crash-safe, append-only observation journal — the restart path that
+/// replaces bulk CSV export for the live service. One line per accepted
+/// observation:
+///
+///   rockhopper-journal v1
+///   <crc32-hex8> <signature> <iteration> <failed> <data_size> <runtime> <c0> <c1> ...
+///
+/// Doubles are hexfloat-formatted (exact round-trip); the CRC-32 covers the
+/// payload after the checksum field. A service killed mid-write leaves a
+/// truncated or garbage tail; recovery keeps the longest valid prefix and
+/// reports what it dropped, so a restart never replays corrupt rows
+/// verbatim (unlike the CSV path this replaces).
+class ObservationJournal {
+ public:
+  ObservationJournal() = default;
+  ~ObservationJournal();
+  ObservationJournal(ObservationJournal&& other) noexcept;
+  ObservationJournal& operator=(ObservationJournal&& other) noexcept;
+  ObservationJournal(const ObservationJournal&) = delete;
+  ObservationJournal& operator=(const ObservationJournal&) = delete;
+
+  /// Opens `path` for appending, writing the header when the file is new or
+  /// empty. An existing journal keeps its records — Append continues it.
+  static Result<ObservationJournal> Open(const std::string& path);
+
+  /// Appends one record and flushes it to the OS (crash safety: at most the
+  /// in-flight record is lost to a kill).
+  Status Append(uint64_t signature, const Observation& obs);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  /// Closes the underlying file (also done by the destructor).
+  void Close();
+
+  struct Recovered {
+    ObservationStore store;
+    size_t records_recovered = 0;
+    /// Lines abandoned after the first bad record (they may be fine, but a
+    /// corrupt predecessor makes the suffix untrustworthy).
+    size_t records_dropped = 0;
+    size_t bytes_dropped = 0;
+    /// False when a truncated tail, CRC mismatch, or garbage line was hit.
+    bool clean = true;
+  };
+
+  /// Reads a journal, tolerating a truncated or corrupt tail: the longest
+  /// valid prefix of records is kept, everything from the first bad record
+  /// on is dropped and counted. Only a missing file or an unreadable/foreign
+  /// header is an error.
+  static Result<Recovered> Recover(const std::string& path);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_JOURNAL_H_

@@ -95,6 +95,7 @@ TuningMonitor::MetricsSummary TuningMonitor::Metrics() const {
     summary.total_spills += r.metrics.spill_events;
     summary.broadcast_joins += r.metrics.broadcast_joins;
     summary.sort_merge_joins += r.metrics.sort_merge_joins;
+    if (r.failed) ++summary.failures;
   }
   const double n = static_cast<double>(records_.size());
   summary.mean_tasks /= n;
@@ -163,7 +164,8 @@ std::string TuningMonitor::Report() const {
   const MetricsSummary metrics = Metrics();
   out << "metrics: mean tasks " << metrics.mean_tasks << ", spills "
       << metrics.total_spills << ", broadcast/SMJ joins "
-      << metrics.broadcast_joins << "/" << metrics.sort_merge_joins << "\n";
+      << metrics.broadcast_joins << "/" << metrics.sort_merge_joins
+      << ", failures " << metrics.failures << "\n";
   const Diagnosis diagnosis = Diagnose();
   out << "rca: " << diagnosis.explanation << "\n";
   return out.str();

@@ -15,6 +15,8 @@ struct MonitorRecord {
   sparksim::ConfigVector config;
   double data_size = 0.0;
   double runtime = 0.0;
+  /// The execution died (runtime is then a penalized imputation).
+  bool failed = false;
   sparksim::ExecutionMetrics metrics;
 };
 
@@ -69,6 +71,8 @@ class TuningMonitor {
     int total_spills = 0;
     int broadcast_joins = 0;
     int sort_merge_joins = 0;
+    /// Failed executions in the window (the failure pipeline's RCA signal).
+    int failures = 0;
   };
   MetricsSummary Metrics() const;
 

@@ -1,6 +1,7 @@
 #include "core/observation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/csv.h"
@@ -52,7 +53,7 @@ Status ExportObservations(const sparksim::ConfigSpace& space,
                           const ObservationStore& store,
                           const std::string& path) {
   common::CsvTable table;
-  table.header = {"signature", "iteration", "data_size", "runtime"};
+  table.header = {"signature", "iteration", "data_size", "runtime", "failed"};
   for (const sparksim::ParamSpec& p : space.params()) {
     table.header.push_back(p.name);
   }
@@ -67,6 +68,7 @@ Status ExportObservations(const sparksim::ConfigSpace& space,
       row.push_back(std::to_string(obs.iteration));
       row.push_back(common::TextTable::FormatDouble(obs.data_size, 6));
       row.push_back(common::TextTable::FormatDouble(obs.runtime, 6));
+      row.push_back(obs.failed ? "1" : "0");
       for (double v : obs.config) {
         row.push_back(common::TextTable::FormatDouble(v, 6));
       }
@@ -76,23 +78,36 @@ Status ExportObservations(const sparksim::ConfigSpace& space,
   return common::WriteCsvFile(path, table);
 }
 
-Result<ObservationStore> ImportObservations(const sparksim::ConfigSpace& space,
-                                            const std::string& path) {
+Result<ImportedObservations> ImportObservations(
+    const sparksim::ConfigSpace& space, const std::string& path) {
   ROCKHOPPER_ASSIGN_OR_RETURN(table, common::ReadCsvFile(path));
-  if (table.header.size() != 4 + space.size()) {
+  // Files written before the `failed` column existed have one fewer column.
+  const bool has_failed_column = table.ColumnIndex("failed").ok();
+  const size_t expected = (has_failed_column ? 5 : 4) + space.size();
+  if (table.header.size() != expected) {
     return Status::InvalidArgument("observation log column count mismatch");
   }
   ROCKHOPPER_ASSIGN_OR_RETURN(sig_col, table.ColumnIndex("signature"));
   ROCKHOPPER_ASSIGN_OR_RETURN(iterations, table.NumericColumn("iteration"));
   ROCKHOPPER_ASSIGN_OR_RETURN(sizes, table.NumericColumn("data_size"));
   ROCKHOPPER_ASSIGN_OR_RETURN(runtimes, table.NumericColumn("runtime"));
+  std::vector<double> failed_col(table.rows.size(), 0.0);
+  if (has_failed_column) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(col, table.NumericColumn("failed"));
+    failed_col = col;
+  }
   std::vector<std::vector<double>> config_cols;
   for (const sparksim::ParamSpec& p : space.params()) {
     ROCKHOPPER_ASSIGN_OR_RETURN(col, table.NumericColumn(p.name));
     config_cols.push_back(col);
   }
-  ObservationStore store;
+  ImportedObservations imported;
   for (size_t i = 0; i < table.rows.size(); ++i) {
+    if (!std::isfinite(runtimes[i]) || runtimes[i] <= 0.0 ||
+        !std::isfinite(sizes[i]) || sizes[i] <= 0.0) {
+      ++imported.skipped_rows;
+      continue;
+    }
     // Signatures are 64-bit hashes: parse as integers to keep full precision.
     const uint64_t signature =
         std::strtoull(table.rows[i][sig_col].c_str(), nullptr, 10);
@@ -100,13 +115,14 @@ Result<ObservationStore> ImportObservations(const sparksim::ConfigSpace& space,
     obs.iteration = static_cast<int>(iterations[i]);
     obs.data_size = sizes[i];
     obs.runtime = runtimes[i];
+    obs.failed = failed_col[i] != 0.0;
     obs.config.resize(space.size());
     for (size_t j = 0; j < space.size(); ++j) {
       obs.config[j] = config_cols[j][i];
     }
-    store.Append(signature, std::move(obs));
+    imported.store.Append(signature, std::move(obs));
   }
-  return store;
+  return imported;
 }
 
 }  // namespace rockhopper::core

@@ -19,6 +19,9 @@ struct Observation {
   double data_size = 1.0;
   double runtime = 0.0;
   int iteration = 0;
+  /// The execution died; `runtime` is then the penalized imputation the
+  /// failure policy fed to the tuner, not a measured runtime.
+  bool failed = false;
 };
 
 /// The latest-N window Omega(t, N) of Algorithm 1.
@@ -60,10 +63,21 @@ Status ExportObservations(const sparksim::ConfigSpace& space,
                           const ObservationStore& store,
                           const std::string& path);
 
+/// An imported event file plus what had to be dropped to load it.
+struct ImportedObservations {
+  ObservationStore store;
+  /// Rows rejected for non-finite or non-positive runtime/data size — a
+  /// corrupt event file must not poison ReplayHistory after a restart.
+  size_t skipped_rows = 0;
+};
+
 /// Reloads a store written by ExportObservations; fails when the column
-/// layout does not match `space`.
-Result<ObservationStore> ImportObservations(const sparksim::ConfigSpace& space,
-                                            const std::string& path);
+/// layout does not match `space`. Rows carrying non-finite or non-positive
+/// runtime or data size are skipped (counted in the result) rather than
+/// replayed verbatim. Accepts files written before the `failed` column
+/// existed.
+Result<ImportedObservations> ImportObservations(
+    const sparksim::ConfigSpace& space, const std::string& path);
 
 }  // namespace rockhopper::core
 

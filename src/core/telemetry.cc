@@ -1,0 +1,53 @@
+#include "core/telemetry.h"
+
+#include <cmath>
+
+namespace rockhopper::core {
+
+TelemetryVerdict TelemetrySanitizer::Admit(uint64_t signature,
+                                           const QueryEndEvent& event,
+                                           const sparksim::ConfigSpace& space) {
+  if (event.config.size() != space.size()) {
+    ++stats_.rejected_config;
+    return TelemetryVerdict::kRejectConfig;
+  }
+  if (!std::isfinite(event.data_size) || !std::isfinite(event.runtime)) {
+    ++stats_.rejected_nonfinite;
+    return TelemetryVerdict::kRejectNonFinite;
+  }
+  for (double v : event.config) {
+    if (!std::isfinite(v)) {
+      ++stats_.rejected_nonfinite;
+      return TelemetryVerdict::kRejectNonFinite;
+    }
+  }
+  if (event.data_size <= 0.0) {
+    ++stats_.rejected_nonpositive;
+    return TelemetryVerdict::kRejectNonPositive;
+  }
+  // A failed run legitimately reports a meaningless runtime (a timeout's
+  // burn, or zero); the failure policy imputes a penalty downstream, so only
+  // successful runs must carry a positive runtime.
+  if (!event.failed && event.runtime <= 0.0) {
+    ++stats_.rejected_nonpositive;
+    return TelemetryVerdict::kRejectNonPositive;
+  }
+  if (event.event_id != 0 && dedup_window_ > 0) {
+    SeenWindow& window = seen_[signature];
+    if (window.ids.count(event.event_id) > 0) {
+      ++stats_.rejected_duplicate;
+      return TelemetryVerdict::kRejectDuplicate;
+    }
+    window.ids.insert(event.event_id);
+    window.order.push_back(event.event_id);
+    if (window.order.size() > dedup_window_) {
+      window.ids.erase(window.order.front());
+      window.order.pop_front();
+    }
+  }
+  ++stats_.accepted;
+  if (event.failed) ++stats_.failures_ingested;
+  return TelemetryVerdict::kAccept;
+}
+
+}  // namespace rockhopper::core

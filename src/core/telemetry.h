@@ -1,0 +1,81 @@
+#ifndef ROCKHOPPER_CORE_TELEMETRY_H_
+#define ROCKHOPPER_CORE_TELEMETRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "sparksim/config_space.h"
+#include "sparksim/fault.h"
+
+namespace rockhopper::core {
+
+/// One OnQueryEnd delivery as it arrives off the (unreliable) telemetry bus.
+/// `event_id` identifies the *delivery source* execution so duplicated
+/// deliveries can be collapsed; 0 means unidentified (legacy callers), which
+/// disables deduplication for that event.
+struct QueryEndEvent {
+  uint64_t event_id = 0;
+  sparksim::ConfigVector config;
+  double data_size = 0.0;
+  double runtime = 0.0;
+  bool failed = false;
+  sparksim::FailureKind failure = sparksim::FailureKind::kNone;
+};
+
+/// Ingestion counters, surfaced through ExplainQuery and the CLI so operators
+/// can see how much of the telemetry stream was unusable.
+struct TelemetryStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_nonfinite = 0;    ///< NaN/Inf runtime or data size
+  uint64_t rejected_nonpositive = 0;  ///< zero or negative runtime/data size
+  uint64_t rejected_duplicate = 0;    ///< event_id already ingested
+  uint64_t rejected_config = 0;       ///< config width does not match space
+  uint64_t failures_ingested = 0;     ///< accepted events with failed = true
+
+  uint64_t total_rejected() const {
+    return rejected_nonfinite + rejected_nonpositive + rejected_duplicate +
+           rejected_config;
+  }
+};
+
+enum class TelemetryVerdict {
+  kAccept,
+  kRejectNonFinite,
+  kRejectNonPositive,
+  kRejectDuplicate,
+  kRejectConfig,
+};
+
+/// The telemetry-sanitization layer in front of the tuning pipeline: one bad
+/// event must not corrupt the CL window, the guardrail fit, or the persisted
+/// history. Checks, in order: config width, finiteness, positivity (skipped
+/// for failed runs, whose runtime is imputed downstream anyway), and
+/// per-signature event-id deduplication over a bounded window.
+class TelemetrySanitizer {
+ public:
+  explicit TelemetrySanitizer(size_t dedup_window = 256)
+      : dedup_window_(dedup_window) {}
+
+  /// Validates one delivery for `signature` against `space`; updates the
+  /// counters. kAccept means the event is safe to feed to the tuner.
+  TelemetryVerdict Admit(uint64_t signature, const QueryEndEvent& event,
+                         const sparksim::ConfigSpace& space);
+
+  const TelemetryStats& stats() const { return stats_; }
+
+ private:
+  struct SeenWindow {
+    std::deque<uint64_t> order;
+    std::set<uint64_t> ids;
+  };
+
+  size_t dedup_window_;
+  TelemetryStats stats_;
+  std::map<uint64_t, SeenWindow> seen_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_TELEMETRY_H_

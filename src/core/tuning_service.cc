@@ -1,9 +1,11 @@
 #include "core/tuning_service.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/matrix.h"
+#include "common/statistics.h"
 
 namespace rockhopper::core {
 
@@ -15,6 +17,7 @@ TuningService::TuningService(const sparksim::ConfigSpace& space,
       options_(std::move(options)),
       rng_(seed),
       defaults_(space.Defaults()),
+      sanitizer_(options_.telemetry_dedup_window),
       app_space_(sparksim::AppLevelSpace()) {}
 
 TuningService::QueryState& TuningService::StateFor(
@@ -25,6 +28,7 @@ TuningService::QueryState& TuningService::StateFor(
 
   QueryState state;
   state.embedding = ComputeEmbedding(plan, options_.embedding);
+  state.backoff = std::max(1, options_.failure_policy.initial_backoff);
   // Optional cross-signature warm start: begin from the centroid of the
   // nearest already-tuned signature (by embedding distance) rather than the
   // defaults. This is how a recurring query whose plan re-hashed after a
@@ -62,30 +66,90 @@ sparksim::ConfigVector TuningService::OnQueryStart(
     const sparksim::QueryPlan& plan, double expected_data_size) {
   QueryState& state = StateFor(plan);
   if (state.disabled) return defaults_;
+  if (state.fallback_remaining > 0) {
+    // Failure fallback: re-run the known-safe defaults instead of exploring
+    // until the backoff window drains.
+    --state.fallback_remaining;
+    return defaults_;
+  }
   return state.tuner->Propose(expected_data_size);
+}
+
+double TuningService::ImputeFailedRuntime(uint64_t signature,
+                                          const QueryEndEvent& event) const {
+  const double penalty = std::max(1.0, options_.failure_policy.penalty_multiplier);
+  // Typical successful runtime over the recent window.
+  const ObservationWindow window =
+      observations_.LastN(signature, static_cast<size_t>(std::max(
+                                         1, options_.centroid.window_size)));
+  std::vector<double> successes;
+  for (const Observation& obs : window) {
+    if (!obs.failed) successes.push_back(obs.runtime);
+  }
+  if (!successes.empty()) return penalty * common::Median(successes);
+  // No successful history: penalize the reported burn time when usable,
+  // otherwise a unit runtime so the penalty is still positive.
+  if (std::isfinite(event.runtime) && event.runtime > 0.0) {
+    return penalty * event.runtime;
+  }
+  return penalty;
+}
+
+void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
+                               const QueryEndEvent& event) {
+  const uint64_t signature = plan.Signature();
+  QueryState& state = StateFor(plan);
+
+  if (sanitizer_.Admit(signature, event, space_) != TelemetryVerdict::kAccept) {
+    return;  // rejected events only move the counters
+  }
+
+  Observation obs;
+  obs.config = event.config;
+  obs.data_size = event.data_size;
+  obs.runtime = event.runtime;
+  obs.failed = event.failed;
+  obs.iteration = static_cast<int>(observations_.Count(signature));
+
+  if (event.failed) {
+    obs.runtime = ImputeFailedRuntime(signature, event);
+    ++state.consecutive_failures;
+    if (options_.failure_policy.fallback_after > 0 &&
+        state.consecutive_failures >= options_.failure_policy.fallback_after) {
+      // Bounded retry-with-fallback: defaults for `backoff` runs, widening
+      // exponentially while the streak persists.
+      state.fallback_remaining = state.backoff;
+      state.backoff =
+          std::min(state.backoff * 2, options_.failure_policy.max_backoff);
+    }
+  } else {
+    // A success ends the streak, but the backoff width stays widened: a
+    // signature that keeps slipping back into failure streaks earns longer
+    // and longer default-only windows (mirroring the guardrail's sticky
+    // failure strikes).
+    state.consecutive_failures = 0;
+  }
+
+  observations_.Append(signature, obs);
+  if (journal_ != nullptr && !journal_->Append(signature, obs).ok()) {
+    ++journal_errors_;
+  }
+
+  if (state.disabled) return;
+  state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
+  if (options_.enable_guardrail && !state.guardrail.Record(obs)) {
+    state.disabled = true;
+  }
 }
 
 void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
                                const sparksim::ConfigVector& config,
                                double data_size, double runtime) {
-  const uint64_t signature = plan.Signature();
-  QueryState& state = StateFor(plan);
-
-  Observation obs;
-  obs.config = config;
-  obs.data_size = data_size;
-  obs.runtime = runtime;
-  obs.iteration = -1;  // assigned by the store
-  observations_.Append(signature, obs);
-
-  if (state.disabled) return;
-  state.tuner->Observe(config, data_size, runtime);
-  if (options_.enable_guardrail) {
-    obs.iteration = static_cast<int>(observations_.Count(signature)) - 1;
-    if (!state.guardrail.Record(obs)) {
-      state.disabled = true;
-    }
-  }
+  QueryEndEvent event;
+  event.config = config;
+  event.data_size = data_size;
+  event.runtime = runtime;
+  OnQueryEnd(plan, event);
 }
 
 bool TuningService::IsTuningEnabled(uint64_t signature) const {
@@ -105,18 +169,57 @@ size_t TuningService::NumDisabled() const {
   return count;
 }
 
-void TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
-                                  const ObservationWindow& history) {
+size_t TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
+                                    const ObservationWindow& history) {
   states_.erase(plan.Signature());
   QueryState& state = StateFor(plan);
+  size_t replayed = 0;
   for (const Observation& obs : history) {
+    // The same invariants the ingestion boundary enforces: persisted rows
+    // are not above suspicion (corrupt event files, hand-edited CSVs).
+    if (!std::isfinite(obs.runtime) || !std::isfinite(obs.data_size) ||
+        obs.runtime <= 0.0 || obs.data_size <= 0.0 ||
+        obs.config.size() != space_.size()) {
+      continue;
+    }
     observations_.Append(plan.Signature(), obs);
+    ++replayed;
     state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
     if (options_.enable_guardrail && !state.guardrail.Record(obs)) {
       state.disabled = true;
       break;
     }
   }
+  return replayed;
+}
+
+Result<TuningService::RecoveryReport> TuningService::RecoverFromJournal(
+    const std::string& path, const std::vector<sparksim::QueryPlan>& plans) {
+  auto recovered = ObservationJournal::Recover(path);
+  if (!recovered.ok()) return recovered.status();
+
+  RecoveryReport report;
+  report.journal_clean = recovered->clean;
+  report.observations_dropped = recovered->records_dropped;
+
+  std::map<uint64_t, const sparksim::QueryPlan*> by_signature;
+  for (const sparksim::QueryPlan& plan : plans) {
+    by_signature[plan.Signature()] = &plan;
+  }
+  for (uint64_t signature : recovered->store.Signatures()) {
+    auto it = by_signature.find(signature);
+    if (it == by_signature.end()) {
+      ++report.unknown_signatures;
+      continue;
+    }
+    const std::vector<Observation>& history =
+        recovered->store.History(signature);
+    const size_t replayed = ReplayHistory(*it->second, history);
+    report.observations_replayed += replayed;
+    report.observations_dropped += history.size() - replayed;
+    ++report.signatures_restored;
+  }
+  return report;
 }
 
 Result<std::string> TuningService::ExplainQuery(uint64_t signature) const {
@@ -131,7 +234,9 @@ Result<std::string> TuningService::ExplainQuery(uint64_t signature) const {
   out << "signature " << signature << ": ";
   if (state.disabled) {
     out << "autotuning DISABLED by guardrail after "
-        << state.guardrail.strikes() << " strikes; defaults in effect.";
+        << state.guardrail.strikes() << " regression strikes and "
+        << state.guardrail.failure_strikes()
+        << " failure strikes; defaults in effect.";
     return out.str();
   }
   out << "iteration " << tuner.iteration() << ", centroid [";
@@ -154,7 +259,19 @@ Result<std::string> TuningService::ExplainQuery(uint64_t signature) const {
     out << "]";
   }
   out << "; " << tuner.last_candidates().size()
-      << " candidates scored at the last proposal.";
+      << " candidates scored at the last proposal";
+  if (state.consecutive_failures > 0 || state.fallback_remaining > 0) {
+    out << "; failure streak " << state.consecutive_failures << " ("
+        << state.guardrail.failure_strikes() << " strikes), "
+        << state.fallback_remaining << " fallback runs on defaults pending";
+  }
+  const TelemetryStats& stats = sanitizer_.stats();
+  out << "; telemetry: " << stats.accepted << " accepted, "
+      << stats.total_rejected() << " rejected ("
+      << stats.rejected_nonfinite << " non-finite, "
+      << stats.rejected_nonpositive << " non-positive, "
+      << stats.rejected_duplicate << " duplicate), "
+      << stats.failures_ingested << " failures ingested.";
   return out.str();
 }
 

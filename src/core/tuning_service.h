@@ -10,10 +10,30 @@
 #include "core/baseline_model.h"
 #include "core/centroid_learning.h"
 #include "core/guardrail.h"
+#include "core/journal.h"
 #include "core/observation.h"
+#include "core/telemetry.h"
 #include "sparksim/plan.h"
 
 namespace rockhopper::core {
+
+/// How the service reacts to failed executions (the paper's "insufficient
+/// allocations can lead to ... failures", §4.3): penalize, fall back, back
+/// off, and let the guardrail disable persistent offenders.
+struct FailurePolicyOptions {
+  /// Imputed runtime for a failed run, as a multiple of the signature's
+  /// typical (median) successful runtime — Centroid Learning then steps away
+  /// from the failing region exactly as it steps away from a slow one.
+  double penalty_multiplier = 3.0;
+  /// Consecutive failures after which the next proposals fall back to the
+  /// defaults (the known-safe configuration) instead of exploring.
+  int fallback_after = 2;
+  /// The first fallback re-runs the defaults this many times; each further
+  /// failure streak doubles the fallback run count (exponential backoff) up
+  /// to `max_backoff`.
+  int initial_backoff = 1;
+  int max_backoff = 16;
+};
 
 struct TuningServiceOptions {
   CentroidLearningOptions centroid;
@@ -21,6 +41,9 @@ struct TuningServiceOptions {
   EmbeddingOptions embedding;
   SurrogateScorer::Options scorer;
   AppLevelOptimizerOptions app;
+  FailurePolicyOptions failure_policy;
+  /// Per-signature event-id window for telemetry deduplication (0 disables).
+  size_t telemetry_dedup_window = 256;
   /// Disabling the guardrail tunes forever (used by ablations).
   bool enable_guardrail = true;
   /// When a brand-new query signature arrives (e.g. a recurring query whose
@@ -41,10 +64,16 @@ struct TuningServiceOptions {
 /// Lifecycle per query execution:
 ///   config = service.OnQueryStart(plan, expected_data_size);
 ///   ... run the query with `config` ...
-///   service.OnQueryEnd(plan, config, observed_data_size, runtime);
+///   service.OnQueryEnd(plan, event);
 ///
 /// Queries are identified by their plan signature; each signature gets an
 /// isolated model (the paper's per-query, per-user training boundary).
+///
+/// Telemetry entering OnQueryEnd is treated as untrusted: events are
+/// sanitized (non-finite / non-positive values rejected, duplicates
+/// deduplicated by event id), failed runs are imputed a penalized runtime,
+/// and repeated failures trigger a retry-on-defaults fallback with
+/// exponential backoff before the guardrail disables tuning outright.
 class TuningService {
  public:
   /// `baseline` may be null (no transfer learning); must outlive the
@@ -54,11 +83,17 @@ class TuningService {
                 uint64_t seed);
 
   /// Returns the configuration to run `plan` with. When tuning is disabled
-  /// for this signature (guardrail) the defaults are returned.
+  /// for this signature (guardrail) — or the signature is in a failure
+  /// fallback window — the defaults are returned.
   sparksim::ConfigVector OnQueryStart(const sparksim::QueryPlan& plan,
                                       double expected_data_size);
 
-  /// Records the execution outcome and advances the tuner/guardrail.
+  /// Ingests one telemetry delivery: sanitize, impute failures, advance the
+  /// tuner/guardrail, journal. Rejected events only move the counters.
+  void OnQueryEnd(const sparksim::QueryPlan& plan, const QueryEndEvent& event);
+
+  /// Legacy trusted-telemetry entry point (no event id, success assumed) —
+  /// still sanitized at the ingestion boundary.
   void OnQueryEnd(const sparksim::QueryPlan& plan,
                   const sparksim::ConfigVector& config, double data_size,
                   double runtime);
@@ -75,17 +110,49 @@ class TuningService {
 
   const ObservationStore& observations() const { return observations_; }
 
+  /// Ingestion counters of the telemetry-sanitization layer.
+  const TelemetryStats& telemetry_stats() const { return sanitizer_.stats(); }
+
+  /// Attaches a crash-safe journal: every accepted observation is appended
+  /// (with the runtime actually fed to the tuner, so recovery replays the
+  /// identical state). Not owned; pass nullptr to detach. Journal I/O errors
+  /// are counted, never fatal to the tuning path.
+  void AttachJournal(ObservationJournal* journal) { journal_ = journal; }
+  uint64_t journal_errors() const { return journal_errors_; }
+
   /// Warm-restarts the tuning state of `plan`'s signature by replaying the
   /// stored observations through a fresh tuner and guardrail — how the
-  /// service resumes after a restart from the persisted event files
-  /// (ExportObservations/ImportObservations). Replaces any existing state.
-  void ReplayHistory(const sparksim::QueryPlan& plan,
-                     const ObservationWindow& history);
+  /// service resumes after a restart from the persisted event files.
+  /// Replaces any existing state. Rows that would not pass ingestion
+  /// sanitization are skipped; returns the number actually replayed.
+  size_t ReplayHistory(const sparksim::QueryPlan& plan,
+                       const ObservationWindow& history);
+
+  struct RecoveryReport {
+    size_t signatures_restored = 0;
+    size_t observations_replayed = 0;
+    /// Journal suffix dropped by CRC/truncation recovery plus rows skipped
+    /// by replay sanitization.
+    size_t observations_dropped = 0;
+    /// Journal signatures with no matching plan in the recovery set.
+    size_t unknown_signatures = 0;
+    /// False when the journal had a truncated or corrupt tail.
+    bool journal_clean = true;
+  };
+
+  /// Restores the service from a crash-safe journal: recovers the longest
+  /// valid record prefix, then replays every signature that matches one of
+  /// `plans` through ReplayHistory. The service's observation store and
+  /// per-signature tuners/guardrails end up as if the journaled events had
+  /// just been ingested.
+  Result<RecoveryReport> RecoverFromJournal(
+      const std::string& path, const std::vector<sparksim::QueryPlan>& plans);
 
   /// A human-readable rationale for this signature's latest proposal —
-  /// centroid, candidate count, last gradient direction, step sizes — the
-  /// transparency logging of §5 ("logs the suggested configurations along
-  /// with their rationale"). NotFound before the first OnQueryStart.
+  /// centroid, candidate count, last gradient direction, step sizes, plus
+  /// the telemetry-rejection and failure-policy counters — the transparency
+  /// logging of §5 ("logs the suggested configurations along with their
+  /// rationale"). NotFound before the first OnQueryStart.
   Result<std::string> ExplainQuery(uint64_t signature) const;
 
   /// The app-level path (§4.4): returns the cached app config for
@@ -106,9 +173,20 @@ class TuningService {
     Guardrail guardrail;
     std::vector<double> embedding;
     bool disabled = false;
+    /// Failure-policy state: current streak, fallback runs left on the
+    /// defaults, and the (exponentially growing) backoff width.
+    int consecutive_failures = 0;
+    int fallback_remaining = 0;
+    int backoff = 1;
   };
 
   QueryState& StateFor(const sparksim::QueryPlan& plan);
+
+  /// Penalized-runtime imputation for a failed run: penalty_multiplier x
+  /// the signature's typical successful runtime (window median), with sane
+  /// fallbacks when no successful history exists yet.
+  double ImputeFailedRuntime(uint64_t signature,
+                             const QueryEndEvent& event) const;
 
   const sparksim::ConfigSpace& space_;
   const BaselineModel* baseline_;
@@ -117,6 +195,9 @@ class TuningService {
   sparksim::ConfigVector defaults_;
   std::map<uint64_t, QueryState> states_;
   ObservationStore observations_;
+  TelemetrySanitizer sanitizer_;
+  ObservationJournal* journal_ = nullptr;
+  uint64_t journal_errors_ = 0;
   sparksim::ConfigSpace app_space_;
   AppCache app_cache_;
 };

@@ -1,0 +1,136 @@
+#include "sparksim/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rockhopper::sparksim {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "None";
+    case FailureKind::kBroadcastOom:
+      return "BroadcastOom";
+    case FailureKind::kExecutorOom:
+      return "ExecutorOom";
+    case FailureKind::kExecutorLoss:
+      return "ExecutorLoss";
+    case FailureKind::kTimeout:
+      return "Timeout";
+  }
+  return "Unknown";
+}
+
+FaultParams FaultParams::Production() {
+  FaultParams p;
+  p.oom_base_rate = 0.02;
+  p.oom_pressure_slope = 0.15;
+  p.executor_loss_rate = 0.02;
+  p.timeout_rate = 0.015;
+  p.task_retry_rate = 0.08;
+  p.task_retry_multiplier = 1.6;
+  p.drop_rate = 0.05;
+  p.duplicate_rate = 0.05;
+  p.reorder_rate = 0.05;
+  p.corrupt_rate = 0.04;
+  return p;
+}
+
+double FaultModel::OomProbability(const EffectiveConfig& config,
+                                  const ExecutionMetrics& metrics) const {
+  double p = params_.oom_base_rate;
+  if (params_.oom_pressure_slope > 0.0 && metrics.shuffle_bytes > 0.0) {
+    // Same memory geometry as CostModel::SpillMultiplier: usable per-task
+    // memory vs. per-reduce-partition shuffle bytes. Below pressure 1 the
+    // executor has headroom; above it, spills first, then kills.
+    const double mem_per_task =
+        config.executor_memory_gb * kGiB * cost_params_.memory_fraction /
+        std::max(1.0, static_cast<double>(pool_.cores_per_executor));
+    const double per_partition =
+        metrics.shuffle_bytes / std::max(1.0, config.shuffle_partitions);
+    const double pressure = per_partition / std::max(1.0, mem_per_task);
+    p += params_.oom_pressure_slope * std::max(0.0, pressure - 1.0);
+  }
+  return std::clamp(p, 0.0, 0.95);
+}
+
+JobFault FaultModel::DrawJobFault(const EffectiveConfig& config,
+                                  const ExecutionMetrics& metrics) {
+  JobFault fault;
+  if (!params_.InjectsJobFaults()) return fault;
+  // One draw per fault class per execution, in a fixed order so a seed
+  // replays the identical fault trace.
+  const bool oom = rng_.Bernoulli(OomProbability(config, metrics));
+  const bool loss = rng_.Bernoulli(params_.executor_loss_rate);
+  const bool timeout = rng_.Bernoulli(params_.timeout_rate);
+  const bool retry = rng_.Bernoulli(params_.task_retry_rate);
+  if (oom) {
+    fault.kind = FailureKind::kExecutorOom;
+    fault.failed = true;
+    // Time burned re-attempting the stage before giving up.
+    fault.runtime_multiplier = 2.0;
+    return fault;
+  }
+  if (loss) {
+    if (config.executor_instances <= params_.loss_fatal_instances) {
+      fault.kind = FailureKind::kExecutorLoss;
+      fault.failed = true;
+      fault.runtime_multiplier = 1.5;
+      return fault;
+    }
+    // Survivable: the lost executor's tasks are rescheduled on the rest.
+    // The kind is still recorded so callers can attribute the slowdown.
+    fault.kind = FailureKind::kExecutorLoss;
+    fault.runtime_multiplier *=
+        1.0 + 1.0 / std::max(1.0, config.executor_instances - 1.0);
+  }
+  if (timeout) {
+    fault.kind = FailureKind::kTimeout;
+    fault.failed = true;
+    fault.runtime_multiplier = std::max(1.0, params_.timeout_multiple);
+    return fault;
+  }
+  if (retry) {
+    fault.runtime_multiplier *= std::max(1.0, params_.task_retry_multiplier);
+  }
+  return fault;
+}
+
+TelemetryFault FaultModel::DrawTelemetryFault() {
+  TelemetryFault fault;
+  if (!params_.CorruptsTelemetry()) return fault;
+  fault.drop = rng_.Bernoulli(params_.drop_rate);
+  fault.duplicate = rng_.Bernoulli(params_.duplicate_rate);
+  fault.reorder = rng_.Bernoulli(params_.reorder_rate);
+  if (rng_.Bernoulli(params_.corrupt_rate)) {
+    const int64_t mode = rng_.UniformInt(0, 2);
+    fault.corruption = mode == 0 ? TelemetryFault::Corruption::kNaN
+                      : mode == 1 ? TelemetryFault::Corruption::kZero
+                                  : TelemetryFault::Corruption::kNegative;
+  }
+  // A dropped event cannot also be duplicated.
+  if (fault.drop) fault.duplicate = false;
+  return fault;
+}
+
+double FaultModel::CorruptRuntime(double runtime,
+                                  TelemetryFault::Corruption mode) {
+  switch (mode) {
+    case TelemetryFault::Corruption::kNone:
+      return runtime;
+    case TelemetryFault::Corruption::kNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case TelemetryFault::Corruption::kZero:
+      return 0.0;
+    case TelemetryFault::Corruption::kNegative:
+      return -std::fabs(runtime);
+  }
+  return runtime;
+}
+
+}  // namespace rockhopper::sparksim

@@ -22,6 +22,15 @@ ExecutionResult SparkSimulator::Execute(const QueryPlan& plan,
   result.input_bytes = plan.LeafInputBytes(data_scale);
   result.input_rows = plan.LeafInputCardinality(data_scale);
   result.failed = result.metrics.oom_events > 0;
+  if (result.failed) result.failure = FailureKind::kBroadcastOom;
+  if (fault_model_.params().InjectsJobFaults()) {
+    const JobFault fault = fault_model_.DrawJobFault(config, result.metrics);
+    result.runtime_seconds *= fault.runtime_multiplier;
+    if (fault.failed && !result.failed) {
+      result.failed = true;
+      result.failure = fault.kind;
+    }
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "sparksim/config_space.h"
 #include "sparksim/cost_model.h"
+#include "sparksim/fault.h"
 #include "sparksim/noise.h"
 #include "sparksim/plan.h"
 
@@ -20,10 +21,12 @@ struct ExecutionResult {
   double data_scale = 1.0;             ///< cardinality multiplier used
   double input_bytes = 0.0;            ///< total scan bytes (the "data size")
   double input_rows = 0.0;             ///< total scan rows
-  /// The job died (fatal OOM from an oversized broadcast). runtime_seconds
-  /// then reflects the time burned before failing; callers typically report
-  /// a large penalty to their tuner.
+  /// The job died (fatal broadcast OOM from the cost model, or an injected
+  /// production fault). runtime_seconds then reflects the time burned before
+  /// failing; callers typically report a large penalty to their tuner.
   bool failed = false;
+  /// Why the job died (kNone when it did not).
+  FailureKind failure = FailureKind::kNone;
   ExecutionMetrics metrics;
 };
 
@@ -43,6 +46,9 @@ struct SparkSimulatorOptions {
   CostModelParams cost_params;
   PoolSpec pool;
   NoiseParams noise = NoiseParams::High();
+  /// Injected production failure modes, layered on the noise model. The
+  /// default injects nothing.
+  FaultParams faults = FaultParams::None();
   uint64_t seed = 20240601;
 };
 
@@ -53,7 +59,9 @@ class SparkSimulator {
   explicit SparkSimulator(Options options = {})
       : cost_model_(options.cost_params, options.pool),
         noise_(options.noise),
-        rng_(options.seed) {}
+        rng_(options.seed),
+        fault_model_(options.faults, options.seed ^ 0x6661756c74ULL,
+                     options.cost_params, options.pool) {}
 
   /// Executes `plan` with query-level configs (app-level at defaults).
   ExecutionResult ExecuteQuery(const QueryPlan& plan,
@@ -74,11 +82,15 @@ class SparkSimulator {
   const CostModel& cost_model() const { return cost_model_; }
   const NoiseParams& noise() const { return noise_; }
   void set_noise(const NoiseParams& noise) { noise_ = noise; }
+  /// The fault injector (mutable: drawing telemetry faults advances its
+  /// stream). Telemetry delivery is the caller's loop, so the caller draws.
+  FaultModel& fault_model() { return fault_model_; }
 
  private:
   CostModel cost_model_;
   NoiseParams noise_;
   common::Rng rng_;
+  FaultModel fault_model_;
 };
 
 }  // namespace rockhopper::sparksim

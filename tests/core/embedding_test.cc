@@ -22,7 +22,10 @@ QueryPlan FilterScanPlan(double scan_rows, double filter_rows) {
   PlanNode scan;
   scan.type = OperatorType::kScan;
   scan.est_output_rows = scan_rows;
-  plan.mutable_node(f).children.push_back(plan.AddNode(scan));
+  // AddNode may reallocate the node vector, so it must complete before
+  // mutable_node takes a reference.
+  const uint32_t s = plan.AddNode(scan);
+  plan.mutable_node(f).children.push_back(s);
   return plan;
 }
 

@@ -16,6 +16,12 @@ Observation Obs(int iteration, double runtime, double data_size = 1.0) {
   return o;
 }
 
+Observation FailedObs(int iteration, double runtime = 90.0) {
+  Observation o = Obs(iteration, runtime);
+  o.failed = true;
+  return o;
+}
+
 TEST(GuardrailTest, NeverFiresBeforeMinIterations) {
   Guardrail guard;  // min_iterations = 30
   // Strongly regressing runtimes — but the exploration budget protects them.
@@ -108,6 +114,68 @@ TEST(GuardrailTest, DisabledIsSticky) {
   // Even perfect runs afterwards do not re-enable.
   EXPECT_FALSE(guard.Record(Obs(i, 0.1)));
   EXPECT_TRUE(guard.disabled());
+}
+
+TEST(GuardrailFailureTest, PersistentFailuresDisable) {
+  // Defaults: 2 consecutive failures = 1 strike, 3 strikes disable. A
+  // failure-heavy trace (everything dying) must get the signature disabled —
+  // and without waiting for min_iterations.
+  Guardrail guard;  // min_iterations = 30: failures must bypass it
+  int i = 0;
+  while (!guard.disabled() && i < 20) {
+    guard.Record(FailedObs(i));
+    ++i;
+  }
+  EXPECT_TRUE(guard.disabled());
+  EXPECT_EQ(i, 6);  // 3 strikes x 2 consecutive failures each
+  EXPECT_EQ(guard.failure_strikes(), 3);
+}
+
+TEST(GuardrailFailureTest, SporadicSingleFailuresNeverStrike) {
+  // One failure in every four runs, never two in a row: the consecutive
+  // counter resets before reaching the strike threshold.
+  Guardrail guard;
+  for (int i = 0; i < 100; ++i) {
+    const bool failed = (i % 4 == 3);
+    EXPECT_TRUE(guard.Record(failed ? FailedObs(i) : Obs(i, 30.0)))
+        << "iteration " << i;
+  }
+  EXPECT_FALSE(guard.disabled());
+  EXPECT_EQ(guard.failure_strikes(), 0);
+}
+
+TEST(GuardrailFailureTest, FailureStrikesAreSticky) {
+  // Strikes accumulate across separated failure bursts: two bursts of two
+  // plus one more burst crosses max_failure_strikes even with long healthy
+  // stretches in between.
+  Guardrail guard;
+  int iteration = 0;
+  auto burst = [&](int failures) {
+    for (int i = 0; i < failures; ++i) guard.Record(FailedObs(iteration++));
+  };
+  auto healthy = [&](int runs) {
+    for (int i = 0; i < runs; ++i) guard.Record(Obs(iteration++, 30.0));
+  };
+  burst(2);  // strike 1
+  EXPECT_EQ(guard.failure_strikes(), 1);
+  healthy(10);
+  EXPECT_EQ(guard.failure_strikes(), 1);  // sticky through recovery
+  EXPECT_EQ(guard.consecutive_failures(), 0);
+  burst(2);  // strike 2
+  healthy(10);
+  burst(2);  // strike 3 -> disabled
+  EXPECT_TRUE(guard.disabled());
+}
+
+TEST(GuardrailFailureTest, LongStreakEarnsMultipleStrikes) {
+  Guardrail::Options options;
+  options.failure_strike_threshold = 2;
+  options.max_failure_strikes = 10;  // keep it enabled to count strikes
+  Guardrail guard(options);
+  for (int i = 0; i < 7; ++i) guard.Record(FailedObs(i));
+  // 7 consecutive failures at threshold 2 = strikes at 2, 4, 6.
+  EXPECT_EQ(guard.failure_strikes(), 3);
+  EXPECT_EQ(guard.consecutive_failures(), 7);
 }
 
 TEST(GuardrailTest, PredictNextRuntimeTracksTrend) {

@@ -1,0 +1,187 @@
+#include "core/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace rockhopper::core {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  JournalTest() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rockhopper_journal_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log"))
+                .string();
+  }
+  ~JournalTest() override { std::remove(path_.c_str()); }
+
+  Observation Obs(int iteration, double runtime, bool failed = false) {
+    Observation o;
+    o.config = {128.0 * 1024 * 1024, 10.0 * 1024 * 1024, 200.0};
+    o.data_size = 1.5;
+    o.runtime = runtime;
+    o.iteration = iteration;
+    o.failed = failed;
+    return o;
+  }
+
+  std::string ReadAll() {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void WriteAll(const std::string& content) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(JournalTest, RoundTripExact) {
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    // Awkward doubles on purpose: hexfloat must round-trip them exactly.
+    ASSERT_TRUE(journal->Append(7, Obs(0, 0.1)).ok());
+    ASSERT_TRUE(journal->Append(7, Obs(1, 1.0 / 3.0)).ok());
+    ASSERT_TRUE(journal->Append(9, Obs(0, 123.456789012345, true)).ok());
+  }
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->clean);
+  EXPECT_EQ(recovered->records_recovered, 3u);
+  EXPECT_EQ(recovered->records_dropped, 0u);
+  ASSERT_EQ(recovered->store.Count(7), 2u);
+  ASSERT_EQ(recovered->store.Count(9), 1u);
+  EXPECT_DOUBLE_EQ(recovered->store.History(7)[1].runtime, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(recovered->store.History(7)[1].config[0],
+                   128.0 * 1024 * 1024);
+  EXPECT_TRUE(recovered->store.History(9)[0].failed);
+  EXPECT_EQ(recovered->store.History(9)[0].iteration, 0);
+}
+
+TEST_F(JournalTest, ReopenAppendsInsteadOfTruncating) {
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(1, Obs(0, 10.0)).ok());
+  }
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(1, Obs(1, 11.0)).ok());
+  }
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_recovered, 2u);
+  EXPECT_TRUE(recovered->clean);
+}
+
+TEST_F(JournalTest, TruncatedTailKeepsPrefix) {
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(journal->Append(1, Obs(i, 10.0 + i)).ok());
+    }
+  }
+  // Simulate a kill mid-write: chop the file mid-way through the last line.
+  std::string content = ReadAll();
+  WriteAll(content.substr(0, content.size() - 7));
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->clean);
+  EXPECT_EQ(recovered->records_recovered, 4u);
+  EXPECT_EQ(recovered->records_dropped, 1u);
+  EXPECT_GT(recovered->bytes_dropped, 0u);
+  EXPECT_DOUBLE_EQ(recovered->store.History(1)[3].runtime, 13.0);
+}
+
+TEST_F(JournalTest, GarbageTailKeepsPrefix) {
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(1, Obs(0, 10.0)).ok());
+    ASSERT_TRUE(journal->Append(1, Obs(1, 11.0)).ok());
+  }
+  WriteAll(ReadAll() + "\x01\x02garbage not a record\xff\n more trash\n");
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->clean);
+  EXPECT_EQ(recovered->records_recovered, 2u);
+  EXPECT_EQ(recovered->records_dropped, 2u);
+}
+
+TEST_F(JournalTest, BitFlippedRecordDropsFromThereOn) {
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(journal->Append(1, Obs(i, 20.0 + i)).ok());
+    }
+  }
+  std::string content = ReadAll();
+  // Flip one payload bit in the third record (line index 3 counting the
+  // header): the CRC must catch it and recovery must keep records 0-1 only.
+  size_t line_start = 0;
+  for (int line = 0; line < 3; ++line) {
+    line_start = content.find('\n', line_start) + 1;
+  }
+  // Flip a character well inside the payload (past the 9-char CRC prefix).
+  content[line_start + 12] ^= 0x01;
+  WriteAll(content);
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->clean);
+  EXPECT_EQ(recovered->records_recovered, 2u);
+  EXPECT_EQ(recovered->records_dropped, 2u);
+  ASSERT_EQ(recovered->store.Count(1), 2u);
+  EXPECT_DOUBLE_EQ(recovered->store.History(1)[1].runtime, 21.0);
+}
+
+TEST_F(JournalTest, MissingFileIsError) {
+  EXPECT_FALSE(ObservationJournal::Recover(path_ + ".nope").ok());
+}
+
+TEST_F(JournalTest, ForeignHeaderIsError) {
+  WriteAll("not a rockhopper journal\nwhatever\n");
+  EXPECT_FALSE(ObservationJournal::Recover(path_).ok());
+}
+
+TEST_F(JournalTest, EmptyJournalRecoversEmpty) {
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+  }
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->clean);
+  EXPECT_EQ(recovered->records_recovered, 0u);
+}
+
+TEST_F(JournalTest, MoveTransfersOwnership) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ObservationJournal moved = std::move(*journal);
+  EXPECT_TRUE(moved.is_open());
+  ASSERT_TRUE(moved.Append(1, Obs(0, 5.0)).ok());
+  moved.Close();
+  EXPECT_FALSE(moved.is_open());
+  EXPECT_FALSE(moved.Append(1, Obs(1, 6.0)).ok());
+}
+
+}  // namespace
+}  // namespace rockhopper::core

@@ -1,0 +1,150 @@
+#include "core/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace rockhopper::core {
+namespace {
+
+QueryEndEvent GoodEvent(const sparksim::ConfigSpace& space,
+                        uint64_t event_id = 0) {
+  QueryEndEvent e;
+  e.event_id = event_id;
+  e.config = space.Defaults();
+  e.data_size = 1.0;
+  e.runtime = 30.0;
+  return e;
+}
+
+class TelemetrySanitizerTest : public ::testing::Test {
+ protected:
+  sparksim::ConfigSpace space_ = sparksim::QueryLevelSpace();
+  TelemetrySanitizer sanitizer_;
+};
+
+TEST_F(TelemetrySanitizerTest, AcceptsCleanEvent) {
+  EXPECT_EQ(sanitizer_.Admit(1, GoodEvent(space_), space_),
+            TelemetryVerdict::kAccept);
+  EXPECT_EQ(sanitizer_.stats().accepted, 1u);
+  EXPECT_EQ(sanitizer_.stats().total_rejected(), 0u);
+}
+
+TEST_F(TelemetrySanitizerTest, RejectsNonFiniteRuntime) {
+  QueryEndEvent nan_event = GoodEvent(space_);
+  nan_event.runtime = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(sanitizer_.Admit(1, nan_event, space_),
+            TelemetryVerdict::kRejectNonFinite);
+  QueryEndEvent inf_event = GoodEvent(space_);
+  inf_event.runtime = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(sanitizer_.Admit(1, inf_event, space_),
+            TelemetryVerdict::kRejectNonFinite);
+  EXPECT_EQ(sanitizer_.stats().rejected_nonfinite, 2u);
+  EXPECT_EQ(sanitizer_.stats().accepted, 0u);
+}
+
+TEST_F(TelemetrySanitizerTest, RejectsNonFiniteDataSizeAndConfig) {
+  QueryEndEvent bad_size = GoodEvent(space_);
+  bad_size.data_size = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(sanitizer_.Admit(1, bad_size, space_),
+            TelemetryVerdict::kRejectNonFinite);
+  QueryEndEvent bad_config = GoodEvent(space_);
+  bad_config.config[0] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(sanitizer_.Admit(1, bad_config, space_),
+            TelemetryVerdict::kRejectNonFinite);
+}
+
+TEST_F(TelemetrySanitizerTest, RejectsZeroAndNegativeRuntime) {
+  QueryEndEvent zero = GoodEvent(space_);
+  zero.runtime = 0.0;
+  EXPECT_EQ(sanitizer_.Admit(1, zero, space_),
+            TelemetryVerdict::kRejectNonPositive);
+  QueryEndEvent negative = GoodEvent(space_);
+  negative.runtime = -5.0;
+  EXPECT_EQ(sanitizer_.Admit(1, negative, space_),
+            TelemetryVerdict::kRejectNonPositive);
+  EXPECT_EQ(sanitizer_.stats().rejected_nonpositive, 2u);
+}
+
+TEST_F(TelemetrySanitizerTest, FailedRunMayCarryZeroRuntime) {
+  // A killed job often reports no usable runtime; the event is still needed
+  // (its failure drives imputation and the guardrail), so positivity is not
+  // enforced on failed runs.
+  QueryEndEvent failed = GoodEvent(space_);
+  failed.failed = true;
+  failed.failure = sparksim::FailureKind::kExecutorOom;
+  failed.runtime = 0.0;
+  EXPECT_EQ(sanitizer_.Admit(1, failed, space_), TelemetryVerdict::kAccept);
+  EXPECT_EQ(sanitizer_.stats().failures_ingested, 1u);
+  // But a NaN runtime on a failed run is still garbage.
+  failed.runtime = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(sanitizer_.Admit(1, failed, space_),
+            TelemetryVerdict::kRejectNonFinite);
+}
+
+TEST_F(TelemetrySanitizerTest, RejectsWrongConfigWidth) {
+  QueryEndEvent bad = GoodEvent(space_);
+  bad.config.push_back(1.0);
+  EXPECT_EQ(sanitizer_.Admit(1, bad, space_),
+            TelemetryVerdict::kRejectConfig);
+  EXPECT_EQ(sanitizer_.stats().rejected_config, 1u);
+}
+
+TEST_F(TelemetrySanitizerTest, DeduplicatesByEventId) {
+  const QueryEndEvent e = GoodEvent(space_, 77);
+  EXPECT_EQ(sanitizer_.Admit(1, e, space_), TelemetryVerdict::kAccept);
+  EXPECT_EQ(sanitizer_.Admit(1, e, space_),
+            TelemetryVerdict::kRejectDuplicate);
+  EXPECT_EQ(sanitizer_.stats().rejected_duplicate, 1u);
+  // A different event id passes.
+  EXPECT_EQ(sanitizer_.Admit(1, GoodEvent(space_, 78), space_),
+            TelemetryVerdict::kAccept);
+}
+
+TEST_F(TelemetrySanitizerTest, DedupIsPerSignature) {
+  const QueryEndEvent e = GoodEvent(space_, 77);
+  EXPECT_EQ(sanitizer_.Admit(1, e, space_), TelemetryVerdict::kAccept);
+  EXPECT_EQ(sanitizer_.Admit(2, e, space_), TelemetryVerdict::kAccept);
+}
+
+TEST_F(TelemetrySanitizerTest, EventIdZeroDisablesDedup) {
+  // Legacy callers without delivery ids must never be deduplicated.
+  const QueryEndEvent e = GoodEvent(space_, 0);
+  EXPECT_EQ(sanitizer_.Admit(1, e, space_), TelemetryVerdict::kAccept);
+  EXPECT_EQ(sanitizer_.Admit(1, e, space_), TelemetryVerdict::kAccept);
+}
+
+TEST_F(TelemetrySanitizerTest, DedupWindowIsBounded) {
+  TelemetrySanitizer small(4);  // remembers only the last 4 event ids
+  for (uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(small.Admit(1, GoodEvent(space_, id), space_),
+              TelemetryVerdict::kAccept);
+  }
+  // Id 1 has been evicted from the window; a (very) late duplicate slips
+  // through — bounded memory is the trade-off.
+  EXPECT_EQ(small.Admit(1, GoodEvent(space_, 1), space_),
+            TelemetryVerdict::kAccept);
+  // Id 5 is still in the window.
+  EXPECT_EQ(small.Admit(1, GoodEvent(space_, 5), space_),
+            TelemetryVerdict::kRejectDuplicate);
+}
+
+TEST_F(TelemetrySanitizerTest, CountersAddUp) {
+  sanitizer_.Admit(1, GoodEvent(space_, 1), space_);         // accept
+  sanitizer_.Admit(1, GoodEvent(space_, 1), space_);         // duplicate
+  QueryEndEvent nan_event = GoodEvent(space_, 2);
+  nan_event.runtime = std::numeric_limits<double>::quiet_NaN();
+  sanitizer_.Admit(1, nan_event, space_);                    // non-finite
+  QueryEndEvent zero = GoodEvent(space_, 3);
+  zero.runtime = 0.0;
+  sanitizer_.Admit(1, zero, space_);                         // non-positive
+  const TelemetryStats& stats = sanitizer_.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.total_rejected(), 3u);
+  EXPECT_EQ(stats.rejected_duplicate, 1u);
+  EXPECT_EQ(stats.rejected_nonfinite, 1u);
+  EXPECT_EQ(stats.rejected_nonpositive, 1u);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

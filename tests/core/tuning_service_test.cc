@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "core/journal.h"
 #include "sparksim/simulator.h"
 #include "sparksim/workloads.h"
 
@@ -255,6 +260,228 @@ TEST_F(TuningServiceTest, PrecomputeWithNoQueriesIsNoOp) {
   TuningService service(space_, nullptr, FastOptions(), 9);
   service.PrecomputeAppConfig("empty", {});
   EXPECT_EQ(service.app_cache().size(), 0u);
+}
+
+// --- failure-aware pipeline -------------------------------------------------
+
+QueryEndEvent Event(const sparksim::ConfigVector& config, double runtime,
+                    uint64_t event_id = 0) {
+  QueryEndEvent e;
+  e.event_id = event_id;
+  e.config = config;
+  e.data_size = 1.0;
+  e.runtime = runtime;
+  return e;
+}
+
+TEST_F(TuningServiceTest, OnQueryEndRejectsGarbageTelemetry) {
+  TuningService service(space_, nullptr, FastOptions(), 20);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(1);
+  const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+  service.OnQueryEnd(plan, Event(c, std::numeric_limits<double>::quiet_NaN()));
+  service.OnQueryEnd(plan, Event(c, std::numeric_limits<double>::infinity()));
+  service.OnQueryEnd(plan, Event(c, 0.0));
+  service.OnQueryEnd(plan, Event(c, -4.0));
+  EXPECT_EQ(service.IterationCount(plan.Signature()), 0u);
+  EXPECT_EQ(service.telemetry_stats().total_rejected(), 4u);
+  EXPECT_EQ(service.telemetry_stats().rejected_nonfinite, 2u);
+  EXPECT_EQ(service.telemetry_stats().rejected_nonpositive, 2u);
+  // Good telemetry still flows.
+  service.OnQueryEnd(plan, Event(c, 30.0));
+  EXPECT_EQ(service.IterationCount(plan.Signature()), 1u);
+}
+
+TEST_F(TuningServiceTest, LegacyOnQueryEndIsAlsoSanitized) {
+  TuningService service(space_, nullptr, FastOptions(), 21);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(2);
+  const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+  service.OnQueryEnd(plan, c, 1.0,
+                     std::numeric_limits<double>::quiet_NaN());
+  service.OnQueryEnd(plan, c, 1.0, -1.0);
+  EXPECT_EQ(service.IterationCount(plan.Signature()), 0u);
+}
+
+TEST_F(TuningServiceTest, DuplicateDeliveriesCountOnce) {
+  TuningService service(space_, nullptr, FastOptions(), 22);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(3);
+  const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+  const QueryEndEvent e = Event(c, 25.0, /*event_id=*/501);
+  service.OnQueryEnd(plan, e);
+  service.OnQueryEnd(plan, e);  // the bus delivered it twice
+  service.OnQueryEnd(plan, e);  // ...and a third time
+  EXPECT_EQ(service.IterationCount(plan.Signature()), 1u);
+  EXPECT_EQ(service.telemetry_stats().rejected_duplicate, 2u);
+}
+
+TEST_F(TuningServiceTest, FailedRunGetsPenalizedImputation) {
+  TuningServiceOptions options = FastOptions();
+  options.failure_policy.penalty_multiplier = 3.0;
+  TuningService service(space_, nullptr, options, 23);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(4);
+  // Build a healthy history with ~40s runtimes.
+  for (int i = 0; i < 6; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, Event(c, 40.0));
+  }
+  // A failed run with no usable runtime.
+  const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+  QueryEndEvent failed = Event(c, 0.0);
+  failed.failed = true;
+  failed.failure = sparksim::FailureKind::kExecutorOom;
+  service.OnQueryEnd(plan, failed);
+  const ObservationWindow history =
+      service.observations().History(plan.Signature());
+  ASSERT_EQ(history.size(), 7u);
+  EXPECT_TRUE(history.back().failed);
+  // Imputed: penalty x median successful runtime = 3 x 40.
+  EXPECT_NEAR(history.back().runtime, 120.0, 1e-9);
+  EXPECT_EQ(service.telemetry_stats().failures_ingested, 1u);
+}
+
+TEST_F(TuningServiceTest, FailureStreakTriggersDefaultsFallbackWithBackoff) {
+  TuningServiceOptions options = FastOptions();
+  options.failure_policy.fallback_after = 2;
+  options.failure_policy.initial_backoff = 1;
+  options.guardrail.max_failure_strikes = 100;  // keep the guardrail out
+  TuningService service(space_, nullptr, options, 24);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(5);
+
+  auto fail_once = [&] {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    QueryEndEvent e = Event(c, 10.0);
+    e.failed = true;
+    service.OnQueryEnd(plan, e);
+  };
+  auto succeed_once = [&] {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, Event(c, 30.0));
+  };
+
+  succeed_once();
+  fail_once();
+  fail_once();  // streak hits fallback_after = 2
+  // The next start must fall back to the defaults (backoff width 1).
+  EXPECT_EQ(service.OnQueryStart(plan, 1.0), space_.Defaults());
+  Result<std::string> why = service.ExplainQuery(plan.Signature());
+  ASSERT_TRUE(why.ok());
+  EXPECT_NE(why->find("fallback"), std::string::npos);
+  // The fallback window is consumed; tuning resumes...
+  succeed_once();
+  // ...and a later streak backs off twice as wide.
+  fail_once();
+  fail_once();
+  EXPECT_EQ(service.OnQueryStart(plan, 1.0), space_.Defaults());
+  EXPECT_EQ(service.OnQueryStart(plan, 1.0), space_.Defaults());
+}
+
+TEST_F(TuningServiceTest, PersistentFailuresDisableViaGuardrail) {
+  TuningService service(space_, nullptr, FastOptions(), 25);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(6);
+  for (int i = 0; i < 10; ++i) {
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    QueryEndEvent e = Event(c, 10.0);
+    e.failed = true;
+    service.OnQueryEnd(plan, e);
+  }
+  EXPECT_FALSE(service.IsTuningEnabled(plan.Signature()));
+  EXPECT_EQ(service.OnQueryStart(plan, 1.0), space_.Defaults());
+}
+
+TEST_F(TuningServiceTest, ExplainQueryReportsTelemetryCounters) {
+  TuningService service(space_, nullptr, FastOptions(), 26);
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(7);
+  const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+  service.OnQueryEnd(plan, Event(c, 30.0));
+  service.OnQueryEnd(plan, Event(c, std::numeric_limits<double>::quiet_NaN()));
+  Result<std::string> explanation = service.ExplainQuery(plan.Signature());
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_NE(explanation->find("telemetry"), std::string::npos);
+  EXPECT_NE(explanation->find("non-finite"), std::string::npos);
+}
+
+TEST_F(TuningServiceTest, JournalRecordsAcceptedObservationsOnly) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rockhopper_svc_journal.log")
+          .string();
+  std::remove(path.c_str());
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningService service(space_, nullptr, FastOptions(), 27);
+    service.AttachJournal(&*journal);
+    const sparksim::QueryPlan plan = sparksim::TpchPlan(8);
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, Event(c, 30.0));
+    service.OnQueryEnd(plan,
+                       Event(c, std::numeric_limits<double>::quiet_NaN()));
+    service.OnQueryEnd(plan, Event(c, 31.0));
+    EXPECT_EQ(service.journal_errors(), 0u);
+  }
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_recovered, 2u);  // the NaN never made it in
+  std::remove(path.c_str());
+}
+
+TEST_F(TuningServiceTest, RecoverFromJournalRestoresState) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rockhopper_svc_recover.log")
+          .string();
+  std::remove(path.c_str());
+  const sparksim::QueryPlan plan_a = sparksim::TpchPlan(9);
+  const sparksim::QueryPlan plan_b = sparksim::TpchPlan(10);
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningService service(space_, nullptr, FastOptions(), 28);
+    service.AttachJournal(&*journal);
+    for (int i = 0; i < 12; ++i) {
+      const sparksim::ConfigVector ca = service.OnQueryStart(plan_a, 1.0);
+      service.OnQueryEnd(plan_a, Event(ca, 40.0 - i));
+      if (i < 4) {
+        const sparksim::ConfigVector cb = service.OnQueryStart(plan_b, 1.0);
+        service.OnQueryEnd(plan_b, Event(cb, 60.0));
+      }
+    }
+  }
+  TuningService restarted(space_, nullptr, FastOptions(), 29);
+  Result<TuningService::RecoveryReport> report =
+      restarted.RecoverFromJournal(path, {plan_a, plan_b});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->journal_clean);
+  EXPECT_EQ(report->signatures_restored, 2u);
+  EXPECT_EQ(report->observations_replayed, 16u);
+  EXPECT_EQ(report->observations_dropped, 0u);
+  EXPECT_EQ(report->unknown_signatures, 0u);
+  EXPECT_EQ(restarted.IterationCount(plan_a.Signature()), 12u);
+  EXPECT_EQ(restarted.IterationCount(plan_b.Signature()), 4u);
+  EXPECT_TRUE(space_.Validate(restarted.OnQueryStart(plan_a, 1.0)).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(TuningServiceTest, RecoverFromJournalCountsUnknownSignatures) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rockhopper_svc_unknown.log")
+          .string();
+  std::remove(path.c_str());
+  const sparksim::QueryPlan plan = sparksim::TpchPlan(11);
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningService service(space_, nullptr, FastOptions(), 30);
+    service.AttachJournal(&*journal);
+    const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+    service.OnQueryEnd(plan, Event(c, 30.0));
+  }
+  TuningService restarted(space_, nullptr, FastOptions(), 31);
+  // Recover with a plan set that does not contain the journaled signature.
+  Result<TuningService::RecoveryReport> report =
+      restarted.RecoverFromJournal(path, {sparksim::TpchPlan(12)});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->signatures_restored, 0u);
+  EXPECT_EQ(report->unknown_signatures, 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -100,8 +100,9 @@ TEST_F(DeploymentTest, FullLifecycle) {
       ExportObservations(space, service.observations(), events_path).ok());
   auto reloaded = ImportObservations(space, events_path);
   ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->skipped_rows, 0u);
   TuningService restarted(space, &client_model, service_options, 6);
-  restarted.ReplayHistory(query, reloaded->History(query.Signature()));
+  restarted.ReplayHistory(query, reloaded->store.History(query.Signature()));
   EXPECT_EQ(restarted.IterationCount(query.Signature()), 25u);
   const sparksim::ConfigVector next =
       restarted.OnQueryStart(query, query.LeafInputBytes(1.0));

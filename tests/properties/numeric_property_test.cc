@@ -154,7 +154,10 @@ TEST_P(SpillBounds, ShuffleCostMonotoneInMemoryAndBounded) {
   scan.type = sparksim::OperatorType::kScan;
   scan.est_output_rows = 2e8;
   scan.row_width_bytes = 100;
-  plan.mutable_node(e).children.push_back(plan.AddNode(scan));
+  // AddNode may reallocate the node vector, so it must complete before
+  // mutable_node takes a reference.
+  const uint32_t s = plan.AddNode(scan);
+  plan.mutable_node(e).children.push_back(s);
 
   double prev = 1e300;
   for (double mem : {2.0, 8.0, 32.0, 56.0}) {

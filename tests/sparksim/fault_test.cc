@@ -1,0 +1,227 @@
+#include "sparksim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rockhopper::sparksim {
+namespace {
+
+ExecutionMetrics ShuffleMetrics(double shuffle_bytes) {
+  ExecutionMetrics m;
+  m.shuffle_bytes = shuffle_bytes;
+  return m;
+}
+
+TEST(FaultParamsTest, NoneIsInert) {
+  const FaultParams none = FaultParams::None();
+  EXPECT_FALSE(none.InjectsJobFaults());
+  EXPECT_FALSE(none.CorruptsTelemetry());
+  FaultModel model(none, 42);
+  EffectiveConfig config;
+  const ExecutionMetrics metrics = ShuffleMetrics(1e12);
+  for (int i = 0; i < 200; ++i) {
+    const JobFault fault = model.DrawJobFault(config, metrics);
+    EXPECT_EQ(fault.kind, FailureKind::kNone);
+    EXPECT_FALSE(fault.failed);
+    EXPECT_DOUBLE_EQ(fault.runtime_multiplier, 1.0);
+    EXPECT_FALSE(model.DrawTelemetryFault().any());
+  }
+}
+
+TEST(FaultParamsTest, ProductionInjectsEverything) {
+  const FaultParams prod = FaultParams::Production();
+  EXPECT_TRUE(prod.InjectsJobFaults());
+  EXPECT_TRUE(prod.CorruptsTelemetry());
+  // The chaos acceptance bar: >= 5% job-failure rate at defaults.
+  EXPECT_GE(prod.oom_base_rate + prod.executor_loss_rate + prod.timeout_rate,
+            0.05);
+  EXPECT_GT(prod.drop_rate, 0.0);
+  EXPECT_GT(prod.duplicate_rate, 0.0);
+  EXPECT_GT(prod.reorder_rate, 0.0);
+  EXPECT_GT(prod.corrupt_rate, 0.0);
+}
+
+TEST(FaultModelTest, SameSeedReplaysIdenticalTrace) {
+  const FaultParams prod = FaultParams::Production();
+  FaultModel a(prod, 7);
+  FaultModel b(prod, 7);
+  EffectiveConfig config;
+  const ExecutionMetrics metrics = ShuffleMetrics(5e10);
+  for (int i = 0; i < 500; ++i) {
+    const JobFault fa = a.DrawJobFault(config, metrics);
+    const JobFault fb = b.DrawJobFault(config, metrics);
+    EXPECT_EQ(fa.kind, fb.kind);
+    EXPECT_EQ(fa.failed, fb.failed);
+    EXPECT_DOUBLE_EQ(fa.runtime_multiplier, fb.runtime_multiplier);
+    const TelemetryFault ta = a.DrawTelemetryFault();
+    const TelemetryFault tb = b.DrawTelemetryFault();
+    EXPECT_EQ(ta.drop, tb.drop);
+    EXPECT_EQ(ta.duplicate, tb.duplicate);
+    EXPECT_EQ(ta.reorder, tb.reorder);
+    EXPECT_EQ(ta.corruption, tb.corruption);
+  }
+}
+
+TEST(FaultModelTest, DifferentSeedsDiverge) {
+  const FaultParams prod = FaultParams::Production();
+  FaultModel a(prod, 1);
+  FaultModel b(prod, 2);
+  EffectiveConfig config;
+  const ExecutionMetrics metrics = ShuffleMetrics(5e10);
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    const JobFault fa = a.DrawJobFault(config, metrics);
+    const JobFault fb = b.DrawJobFault(config, metrics);
+    if (fa.kind != fb.kind ||
+        fa.runtime_multiplier != fb.runtime_multiplier) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultModelTest, OomProbabilityRisesAsMemoryShrinks) {
+  // Config-dependence is the point: the same shuffle load must be more
+  // OOM-prone when executor memory is starved relative to it.
+  FaultParams params;
+  params.oom_base_rate = 0.02;
+  params.oom_pressure_slope = 0.15;
+  FaultModel model(params, 3);
+  const ExecutionMetrics metrics = ShuffleMetrics(400.0 * 1024 * 1024 * 1024);
+  EffectiveConfig roomy;
+  roomy.executor_memory_gb = 64.0;
+  roomy.shuffle_partitions = 200.0;
+  EffectiveConfig starved = roomy;
+  starved.executor_memory_gb = 2.0;
+  const double p_roomy = model.OomProbability(roomy, metrics);
+  const double p_starved = model.OomProbability(starved, metrics);
+  EXPECT_GE(p_roomy, params.oom_base_rate);
+  EXPECT_GT(p_starved, p_roomy);
+  EXPECT_LE(p_starved, 0.95);
+}
+
+TEST(FaultModelTest, MorePartitionsRelievePressure) {
+  FaultParams params;
+  params.oom_base_rate = 0.0;
+  params.oom_pressure_slope = 0.2;
+  FaultModel model(params, 3);
+  const ExecutionMetrics metrics = ShuffleMetrics(200.0 * 1024 * 1024 * 1024);
+  EffectiveConfig coarse;
+  coarse.executor_memory_gb = 4.0;
+  coarse.shuffle_partitions = 50.0;
+  EffectiveConfig fine = coarse;
+  fine.shuffle_partitions = 4000.0;
+  EXPECT_GT(model.OomProbability(coarse, metrics),
+            model.OomProbability(fine, metrics));
+}
+
+TEST(FaultModelTest, NoShufflePressureMeansBaseRateOnly) {
+  FaultParams params;
+  params.oom_base_rate = 0.01;
+  params.oom_pressure_slope = 0.5;
+  FaultModel model(params, 3);
+  EffectiveConfig config;
+  EXPECT_DOUBLE_EQ(model.OomProbability(config, ShuffleMetrics(0.0)),
+                   params.oom_base_rate);
+}
+
+TEST(FaultModelTest, ExecutorLossFatalOnlyWithoutHeadroom) {
+  FaultParams params;
+  params.executor_loss_rate = 1.0;  // force the loss branch every draw
+  FaultModel model(params, 11);
+  const ExecutionMetrics metrics = ShuffleMetrics(0.0);
+  EffectiveConfig tiny;
+  tiny.executor_instances = 2.0;  // <= loss_fatal_instances
+  const JobFault fatal = model.DrawJobFault(tiny, metrics);
+  EXPECT_TRUE(fatal.failed);
+  EXPECT_EQ(fatal.kind, FailureKind::kExecutorLoss);
+
+  EffectiveConfig fleet;
+  fleet.executor_instances = 32.0;
+  const JobFault survivable = model.DrawJobFault(fleet, metrics);
+  EXPECT_FALSE(survivable.failed);
+  EXPECT_EQ(survivable.kind, FailureKind::kExecutorLoss);
+  // Losing 1 of 32 executors costs roughly 1/31 extra runtime.
+  EXPECT_GT(survivable.runtime_multiplier, 1.0);
+  EXPECT_LT(survivable.runtime_multiplier, 1.2);
+}
+
+TEST(FaultModelTest, TimeoutBurnsTheWatchdogBudget) {
+  FaultParams params;
+  params.timeout_rate = 1.0;
+  params.timeout_multiple = 10.0;
+  FaultModel model(params, 5);
+  const JobFault fault =
+      model.DrawJobFault(EffectiveConfig{}, ShuffleMetrics(0.0));
+  EXPECT_TRUE(fault.failed);
+  EXPECT_EQ(fault.kind, FailureKind::kTimeout);
+  EXPECT_DOUBLE_EQ(fault.runtime_multiplier, 10.0);
+}
+
+TEST(FaultModelTest, TaskRetryAmplifiesWithoutFailing) {
+  FaultParams params;
+  params.task_retry_rate = 1.0;
+  params.task_retry_multiplier = 1.6;
+  FaultModel model(params, 5);
+  const JobFault fault =
+      model.DrawJobFault(EffectiveConfig{}, ShuffleMetrics(0.0));
+  EXPECT_FALSE(fault.failed);
+  EXPECT_EQ(fault.kind, FailureKind::kNone);
+  EXPECT_DOUBLE_EQ(fault.runtime_multiplier, 1.6);
+}
+
+TEST(FaultModelTest, EmpiricalFaultRatesTrackParams) {
+  FaultParams params;
+  params.timeout_rate = 0.1;
+  FaultModel model(params, 99);
+  int failures = 0;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (model.DrawJobFault(EffectiveConfig{}, ShuffleMetrics(0.0)).failed) {
+      ++failures;
+    }
+  }
+  const double rate = static_cast<double>(failures) / kDraws;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(FaultModelTest, TelemetryFaultRatesTrackParams) {
+  FaultParams params;
+  params.drop_rate = 0.05;
+  params.duplicate_rate = 0.05;
+  params.corrupt_rate = 0.04;
+  FaultModel model(params, 123);
+  int drops = 0, dups = 0, corruptions = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    const TelemetryFault fault = model.DrawTelemetryFault();
+    if (fault.drop) ++drops;
+    if (fault.duplicate) ++dups;
+    if (fault.corruption != TelemetryFault::Corruption::kNone) ++corruptions;
+    // A dropped event cannot also be duplicated.
+    EXPECT_FALSE(fault.drop && fault.duplicate);
+  }
+  EXPECT_NEAR(drops / static_cast<double>(kDraws), 0.05, 0.01);
+  EXPECT_NEAR(corruptions / static_cast<double>(kDraws), 0.04, 0.01);
+  EXPECT_GT(dups, 0);
+}
+
+TEST(FaultModelTest, CorruptRuntimeModes) {
+  using Corruption = TelemetryFault::Corruption;
+  EXPECT_DOUBLE_EQ(FaultModel::CorruptRuntime(42.0, Corruption::kNone), 42.0);
+  EXPECT_TRUE(std::isnan(FaultModel::CorruptRuntime(42.0, Corruption::kNaN)));
+  EXPECT_DOUBLE_EQ(FaultModel::CorruptRuntime(42.0, Corruption::kZero), 0.0);
+  EXPECT_LT(FaultModel::CorruptRuntime(42.0, Corruption::kNegative), 0.0);
+}
+
+TEST(FailureKindTest, NamesAreDistinct) {
+  EXPECT_STREQ(FailureKindName(FailureKind::kNone), "None");
+  EXPECT_STRNE(FailureKindName(FailureKind::kExecutorOom),
+               FailureKindName(FailureKind::kExecutorLoss));
+  EXPECT_STRNE(FailureKindName(FailureKind::kBroadcastOom),
+               FailureKindName(FailureKind::kTimeout));
+}
+
+}  // namespace
+}  // namespace rockhopper::sparksim

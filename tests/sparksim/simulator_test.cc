@@ -110,12 +110,14 @@ TEST(SparkSimulatorTest, FatalOomMarksExecutionFailed) {
   // the one chosen for broadcasting.
   const uint32_t pex = add(OperatorType::kExchange, 1e8, 64);
   plan.mutable_node(join).children.push_back(pex);
-  plan.mutable_node(pex).children.push_back(
-      add(OperatorType::kScan, 1e8, 64));
+  // add() may reallocate the node vector, so it must complete before
+  // mutable_node takes a reference.
+  const uint32_t pscan = add(OperatorType::kScan, 1e8, 64);
+  plan.mutable_node(pex).children.push_back(pscan);
   const uint32_t bex = add(OperatorType::kExchange, 5e7, 100);
   plan.mutable_node(join).children.push_back(bex);
-  plan.mutable_node(bex).children.push_back(
-      add(OperatorType::kScan, 5e7, 100));
+  const uint32_t bscan = add(OperatorType::kScan, 5e7, 100);
+  plan.mutable_node(bex).children.push_back(bscan);
 
   EffectiveConfig config;
   config.broadcast_threshold = 8e9;     // broadcast a ~4.7 GiB build side...

@@ -13,19 +13,32 @@
 //   rockhopper report --events=FILE
 //       reload a persisted event log and print the monitoring dashboard
 //       (trend, per-dimension insights, RCA verdict) per query signature
-//       (§6.3 posterior analysis).
+//       (§6.3 posterior analysis);
+//
+//   rockhopper chaos --suite=tpch --iters=60 [--journal=FILE]
+//       tune under the production fault-injection preset (job failures,
+//       dropped/duplicated/corrupted telemetry) and print the sanitizer,
+//       failure-policy, and guardrail outcomes;
+//
+//   rockhopper recover --journal=FILE --suite=tpch
+//       restore a tuning service from a crash-safe observation journal
+//       (tolerating a truncated or corrupt tail) and print what survived.
 //
 // Every run is deterministic given --seed.
 
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/flighting.h"
+#include "core/journal.h"
 #include "core/model_store.h"
 #include "core/monitor.h"
 #include "core/tuning_service.h"
+#include "sparksim/fault.h"
 #include "sparksim/simulator.h"
 #include "sparksim/workloads.h"
 
@@ -218,25 +231,180 @@ int RunReport(const Args& args) {
     return 1;
   }
   const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
-  auto store = ImportObservations(space, events);
-  if (!store.ok()) {
+  auto imported = ImportObservations(space, events);
+  if (!imported.ok()) {
     std::fprintf(stderr, "cannot load events: %s\n",
-                 store.status().ToString().c_str());
+                 imported.status().ToString().c_str());
     return 1;
   }
-  for (uint64_t signature : store->Signatures()) {
+  if (imported->skipped_rows > 0) {
+    std::printf("skipped %zu corrupt rows (non-finite/non-positive values)\n",
+                imported->skipped_rows);
+  }
+  for (uint64_t signature : imported->store.Signatures()) {
     TuningMonitor monitor(&space);
-    for (const Observation& obs : store->History(signature)) {
+    for (const Observation& obs : imported->store.History(signature)) {
       MonitorRecord record;
       record.iteration = obs.iteration;
       record.config = obs.config;
       record.data_size = obs.data_size;
       record.runtime = obs.runtime;
+      record.failed = obs.failed;
       monitor.Record(record);
     }
     std::printf("--- signature %llu ---\n%s\n",
                 static_cast<unsigned long long>(signature),
                 monitor.Report().c_str());
+  }
+  return 0;
+}
+
+// Drives the full failure pipeline: the simulator injects job faults, the
+// delivery loop below injects telemetry faults (drop / duplicate / reorder /
+// corrupt), and the service sanitizes, imputes, falls back, and journals.
+int RunChaos(const Args& args) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams{args.GetDouble("fl", 0.3),
+                                            args.GetDouble("sl", 0.3)};
+  sim_options.faults = sparksim::FaultParams::Production();
+  sim_options.seed = static_cast<uint64_t>(args.GetInt("seed", 29));
+  sparksim::SparkSimulator sim(sim_options);
+
+  TuningServiceOptions service_options;
+  TuningService service(space, nullptr, service_options, sim_options.seed);
+
+  ObservationJournal journal;
+  const std::string journal_path = args.Get("journal", "");
+  if (!journal_path.empty()) {
+    auto opened = ObservationJournal::Open(journal_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open journal: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    journal = std::move(*opened);
+    service.AttachJournal(&journal);
+  }
+
+  const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpch"));
+  const int iters = args.GetInt("iters", 60);
+  const int count = SuiteSize(suite);
+  std::printf("chaos-tuning %d queries x %d iterations under injected "
+              "faults\n\n",
+              count, iters);
+
+  uint64_t next_event_id = 1;
+  size_t failures = 0, dropped = 0, duplicated = 0, reordered = 0,
+         corrupted = 0;
+  for (int q = 1; q <= count; ++q) {
+    const sparksim::QueryPlan plan = FlightingPipeline::PlanFor(suite, q);
+    // Reordered events park here and deliver after the next execution.
+    std::deque<QueryEndEvent> delayed;
+    for (int run = 0; run < iters; ++run) {
+      const sparksim::ConfigVector config =
+          service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
+      const sparksim::ExecutionResult result =
+          sim.ExecuteQuery(plan, config, 1.0);
+      if (result.failed) ++failures;
+
+      QueryEndEvent event;
+      event.event_id = next_event_id++;
+      event.config = config;
+      event.data_size = result.input_bytes;
+      event.runtime = result.runtime_seconds;
+      event.failed = result.failed;
+      event.failure = result.failure;
+
+      const sparksim::TelemetryFault fault =
+          sim.fault_model().DrawTelemetryFault();
+      if (fault.corruption != sparksim::TelemetryFault::Corruption::kNone) {
+        event.runtime = sparksim::FaultModel::CorruptRuntime(event.runtime,
+                                                             fault.corruption);
+        ++corrupted;
+      }
+      if (fault.drop) {
+        ++dropped;
+      } else if (fault.reorder) {
+        ++reordered;
+        delayed.push_back(event);
+      } else {
+        service.OnQueryEnd(plan, event);
+        if (fault.duplicate) {
+          ++duplicated;
+          service.OnQueryEnd(plan, event);
+        }
+        while (!delayed.empty()) {
+          service.OnQueryEnd(plan, delayed.front());
+          delayed.pop_front();
+        }
+      }
+    }
+    while (!delayed.empty()) {
+      service.OnQueryEnd(plan, delayed.front());
+      delayed.pop_front();
+    }
+    if (auto explanation = service.ExplainQuery(plan.Signature());
+        explanation.ok() && q <= 3) {
+      std::printf("q%d: %s\n", q, explanation->c_str());
+    }
+  }
+
+  const TelemetryStats& stats = service.telemetry_stats();
+  std::printf("\ninjected: %zu job failures, %zu dropped, %zu duplicated, "
+              "%zu reordered, %zu corrupted events\n",
+              failures, dropped, duplicated, reordered, corrupted);
+  std::printf("sanitizer: %llu accepted, %llu rejected (%llu non-finite, "
+              "%llu non-positive, %llu duplicate), %llu failures imputed\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.total_rejected()),
+              static_cast<unsigned long long>(stats.rejected_nonfinite),
+              static_cast<unsigned long long>(stats.rejected_nonpositive),
+              static_cast<unsigned long long>(stats.rejected_duplicate),
+              static_cast<unsigned long long>(stats.failures_ingested));
+  std::printf("guardrail disabled %zu/%zu signatures\n",
+              service.NumDisabled(), service.NumSignatures());
+  if (!journal_path.empty()) {
+    std::printf("journal written to %s (%llu append errors)\n",
+                journal_path.c_str(),
+                static_cast<unsigned long long>(service.journal_errors()));
+  }
+  return 0;
+}
+
+int RunRecover(const Args& args) {
+  const std::string journal_path = args.Get("journal", "");
+  if (journal_path.empty()) {
+    std::fprintf(stderr, "recover requires --journal=FILE\n");
+    return 1;
+  }
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpch"));
+  std::vector<sparksim::QueryPlan> plans;
+  for (int q = 1; q <= SuiteSize(suite); ++q) {
+    plans.push_back(FlightingPipeline::PlanFor(suite, q));
+  }
+  TuningService service(space, nullptr, {},
+                        static_cast<uint64_t>(args.GetInt("seed", 31)));
+  auto report = service.RecoverFromJournal(journal_path, plans);
+  if (!report.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("journal %s: %s\n", journal_path.c_str(),
+              report->journal_clean ? "clean" : "corrupt/truncated tail");
+  std::printf("recovered %zu signatures, %zu observations (%zu dropped, "
+              "%zu unknown signatures)\n",
+              report->signatures_restored, report->observations_replayed,
+              report->observations_dropped, report->unknown_signatures);
+  for (const sparksim::QueryPlan& plan : plans) {
+    const size_t n = service.IterationCount(plan.Signature());
+    if (n == 0) continue;
+    std::printf("  signature %llu: %zu iterations, tuning %s\n",
+                static_cast<unsigned long long>(plan.Signature()), n,
+                service.IsTuningEnabled(plan.Signature()) ? "enabled"
+                                                          : "disabled");
   }
   return 0;
 }
@@ -254,7 +422,13 @@ void PrintUsage() {
       "                 --fl=F --sl=F --events=FILE --seed=N\n"
       "  report  print per-signature monitoring dashboards from an event "
       "log\n"
-      "          flags: --events=FILE\n");
+      "          flags: --events=FILE\n"
+      "  chaos   tune under injected production faults (failures + corrupt "
+      "telemetry)\n"
+      "          flags: --suite=tpch|tpcds --iters=N --fl=F --sl=F\n"
+      "                 --journal=FILE --seed=N\n"
+      "  recover restore tuning state from a crash-safe journal\n"
+      "          flags: --journal=FILE --suite=tpch|tpcds --seed=N\n");
 }
 
 }  // namespace
@@ -264,6 +438,8 @@ int main(int argc, char** argv) {
   if (args.command == "flight") return RunFlight(args);
   if (args.command == "tune") return RunTune(args);
   if (args.command == "report") return RunReport(args);
+  if (args.command == "chaos") return RunChaos(args);
+  if (args.command == "recover") return RunRecover(args);
   PrintUsage();
   return args.command.empty() ? 1 : 2;
 }

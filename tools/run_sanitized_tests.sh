@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Configures, builds, and runs the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the ROCKHOPPER_SANITIZE build). Uses its own
+# build directory so the regular build stays untouched.
+#
+# Usage: tools/run_sanitized_tests.sh [ctest-args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${ROCKHOPPER_SANITIZE_BUILD_DIR:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DROCKHOPPER_SANITIZE=ON \
+  -DROCKHOPPER_BUILD_BENCHMARKS=OFF \
+  -DROCKHOPPER_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
