@@ -1,0 +1,103 @@
+#include "core/ingest_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/statistics.h"
+
+namespace rockhopper::core {
+
+double FailurePolicyStage::ImputeFailedRuntime(
+    const QueryEndEvent& event, const ObservationWindow& recent) const {
+  const double penalty = std::max(1.0, options_.penalty_multiplier);
+  // Typical successful runtime over the recent window.
+  std::vector<double> successes;
+  for (const Observation& obs : recent) {
+    if (!obs.failed) successes.push_back(obs.runtime);
+  }
+  if (!successes.empty()) return penalty * common::Median(successes);
+  // No successful history: penalize the reported burn time when usable,
+  // otherwise a unit runtime so the penalty is still positive.
+  if (std::isfinite(event.runtime) && event.runtime > 0.0) {
+    return penalty * event.runtime;
+  }
+  return penalty;
+}
+
+Observation FailurePolicyStage::Apply(const QueryEndEvent& event,
+                                      const ObservationWindow& recent,
+                                      size_t iteration,
+                                      QueryState* state) const {
+  Observation obs;
+  obs.config = event.config;
+  obs.data_size = event.data_size;
+  obs.runtime = event.runtime;
+  obs.failed = event.failed;
+  obs.iteration = static_cast<int>(iteration);
+
+  if (event.failed) {
+    obs.runtime = ImputeFailedRuntime(event, recent);
+    ++state->consecutive_failures;
+    if (options_.fallback_after > 0 &&
+        state->consecutive_failures >= options_.fallback_after) {
+      // Bounded retry-with-fallback: defaults for `backoff` runs, widening
+      // exponentially while the streak persists.
+      state->fallback_remaining = state->backoff;
+      state->backoff = std::min(state->backoff * 2, options_.max_backoff);
+    }
+  } else {
+    // A success ends the streak, but the backoff width stays widened: a
+    // signature that keeps slipping back into failure streaks earns longer
+    // and longer default-only windows (mirroring the guardrail's sticky
+    // failure strikes).
+    state->consecutive_failures = 0;
+  }
+  return obs;
+}
+
+bool TuneStage::Apply(const Observation& obs, QueryState* state) const {
+  if (state->disabled) return false;
+  state->tuner->Observe(obs.config, obs.data_size, obs.runtime);
+  if (enable_guardrail_ && !state->guardrail.Record(obs)) {
+    state->disabled = true;
+  }
+  return !state->disabled;
+}
+
+void JournalStage::Append(ObservationJournal* journal, uint64_t signature,
+                          const Observation& obs) {
+  if (journal == nullptr) return;
+  if (journal->Append(signature, obs).ok()) return;
+  const uint64_t count = errors_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count == 1 || count % 100 == 0) {
+    ROCKHOPPER_LOG(kWarning) << "journal append failed (" << count
+                             << " errors so far): " << journal->path();
+  }
+}
+
+TelemetryVerdict IngestPipeline::Ingest(uint64_t signature,
+                                        const QueryEndEvent& event,
+                                        QueryState* state,
+                                        ObservationStore* store,
+                                        ObservationJournal* journal) {
+  const TelemetryVerdict verdict = sanitize_.Admit(signature, event);
+  if (verdict != TelemetryVerdict::kAccept) {
+    return verdict;  // rejected events only move the counters
+  }
+  // The imputation window is read before the new observation lands, exactly
+  // as the pre-pipeline fused path did.
+  const ObservationWindow recent = store->LastN(
+      signature,
+      static_cast<size_t>(std::max(1, failure_policy_.window_size())));
+  Observation obs = failure_policy_.Apply(event, recent,
+                                          store->Count(signature), state);
+  store->Append(signature, obs);
+  // Journal before the tune stage so even a disabled signature's accepted
+  // observations persist (recovery replays the identical state).
+  journal_.Append(journal, signature, obs);
+  tune_.Apply(obs, state);
+  return TelemetryVerdict::kAccept;
+}
+
+}  // namespace rockhopper::core

@@ -1,14 +1,17 @@
 #include "core/journal.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstring>
+#include <iterator>
 #include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/logging.h"
 
 namespace rockhopper::core {
 
@@ -73,23 +76,31 @@ bool ParsePayload(const std::string& payload, uint64_t* signature,
 
 ObservationJournal::~ObservationJournal() { Close(); }
 
-ObservationJournal::ObservationJournal(ObservationJournal&& other) noexcept
-    : file_(other.file_), path_(std::move(other.path_)) {
+ObservationJournal::ObservationJournal(ObservationJournal&& other) noexcept {
+  other.StopGroupCommit();  // drain; the writer thread references `other`
+  file_ = other.file_;
+  path_ = std::move(other.path_);
+  async_write_errors_ =
+      other.async_write_errors_.load(std::memory_order_relaxed);
   other.file_ = nullptr;
 }
 
 ObservationJournal& ObservationJournal::operator=(
     ObservationJournal&& other) noexcept {
   if (this != &other) {
+    other.StopGroupCommit();
     Close();
     file_ = other.file_;
     path_ = std::move(other.path_);
+    async_write_errors_ =
+        other.async_write_errors_.load(std::memory_order_relaxed);
     other.file_ = nullptr;
   }
   return *this;
 }
 
 void ObservationJournal::Close() {
+  StopGroupCommit();
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -113,17 +124,122 @@ Result<ObservationJournal> ObservationJournal::Open(const std::string& path) {
   return journal;
 }
 
+Status ObservationJournal::WriteRecord(uint64_t signature,
+                                       const Observation& obs, bool flush) {
+  const std::string payload = FormatPayload(signature, obs);
+  const uint32_t crc = common::Crc32(payload);
+  if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0 ||
+      (flush && std::fflush(file_) != 0)) {
+    return Status::Internal("journal append failed: " + path_);
+  }
+  return Status::OK();
+}
+
 Status ObservationJournal::Append(uint64_t signature, const Observation& obs) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("journal is not open");
   }
-  const std::string payload = FormatPayload(signature, obs);
-  const uint32_t crc = common::Crc32(payload);
-  if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0 ||
-      std::fflush(file_) != 0) {
-    return Status::Internal("journal append failed: " + path_);
+  if (gc_ != nullptr) {
+    std::unique_lock<std::mutex> lock(gc_->mu);
+    gc_->not_full.wait(lock, [this] {
+      return gc_->queue.size() < gc_->options.queue_capacity || gc_->stop;
+    });
+    if (gc_->stop) {
+      return Status::FailedPrecondition("journal group commit is stopping");
+    }
+    gc_->queue.emplace_back(signature, obs);
+    ++gc_->in_flight;
+    gc_->not_empty.notify_one();
+    return Status::OK();
   }
+  return WriteRecord(signature, obs, /*flush=*/true);
+}
+
+Status ObservationJournal::StartGroupCommit(const GroupCommitOptions& options) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  if (gc_ != nullptr) {
+    return Status::FailedPrecondition("group commit already active");
+  }
+  auto state = std::make_unique<GroupCommitState>();
+  state->options = options;
+  if (state->options.max_batch == 0) state->options.max_batch = 1;
+  if (state->options.queue_capacity == 0) state->options.queue_capacity = 1;
+  gc_ = std::move(state);
+  gc_->writer = std::thread([this] { WriterLoop(); });
   return Status::OK();
+}
+
+void ObservationJournal::WriterLoop() {
+  GroupCommitState& gc = *gc_;
+  std::vector<std::pair<uint64_t, Observation>> batch;
+  batch.reserve(gc.options.max_batch);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(gc.mu);
+      gc.not_empty.wait_for(lock, gc.options.flush_interval,
+                            [&gc] { return gc.stop || !gc.queue.empty(); });
+      if (gc.queue.empty()) {
+        if (gc.stop) return;
+        continue;
+      }
+      const size_t take = std::min(gc.options.max_batch, gc.queue.size());
+      batch.assign(std::make_move_iterator(gc.queue.begin()),
+                   std::make_move_iterator(gc.queue.begin() +
+                                           static_cast<std::ptrdiff_t>(take)));
+      gc.queue.erase(gc.queue.begin(),
+                     gc.queue.begin() + static_cast<std::ptrdiff_t>(take));
+      gc.not_full.notify_all();
+    }
+    // One flush covers the whole batch: the group-commit amortization.
+    bool batch_failed = false;
+    for (const auto& [signature, obs] : batch) {
+      if (!WriteRecord(signature, obs, /*flush=*/false).ok()) {
+        batch_failed = true;
+      }
+    }
+    if (std::fflush(file_) != 0) batch_failed = true;
+    if (batch_failed) {
+      const uint64_t total =
+          async_write_errors_.fetch_add(batch.size(),
+                                        std::memory_order_relaxed) +
+          batch.size();
+      // Rate-limited: silent journal loss must be visible, but a dead disk
+      // must not flood the log — warn on the first error and each 100th.
+      if (total == batch.size() || total / 100 != (total - batch.size()) / 100) {
+        ROCKHOPPER_LOG(kWarning)
+            << "journal group-commit write failed (" << total
+            << " records lost so far): " << path_;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(gc.mu);
+      gc.in_flight -= batch.size();
+      if (gc.in_flight == 0) gc.drained.notify_all();
+    }
+    batch.clear();
+  }
+}
+
+void ObservationJournal::StopGroupCommit() {
+  if (gc_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(gc_->mu);
+    gc_->stop = true;
+    gc_->not_empty.notify_all();
+    gc_->not_full.notify_all();
+  }
+  if (gc_->writer.joinable()) gc_->writer.join();
+  // The writer drains the queue before honoring stop (it only exits on an
+  // empty queue), so nothing enqueued before this call is lost.
+  gc_.reset();
+}
+
+void ObservationJournal::Sync() {
+  if (gc_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(gc_->mu);
+  gc_->drained.wait(lock, [this] { return gc_->in_flight == 0; });
 }
 
 Result<ObservationJournal::Recovered> ObservationJournal::Recover(

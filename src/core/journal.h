@@ -1,13 +1,33 @@
 #ifndef ROCKHOPPER_CORE_JOURNAL_H_
 #define ROCKHOPPER_CORE_JOURNAL_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "common/status.h"
 #include "core/observation.h"
 
 namespace rockhopper::core {
+
+/// Knobs of the journal's group-commit mode (see StartGroupCommit).
+struct GroupCommitOptions {
+  /// Upper bound on records written per writer-thread wakeup; one fflush
+  /// covers the whole batch, amortizing the flush over max_batch records.
+  size_t max_batch = 64;
+  /// Longest a queued record waits before the writer flushes it anyway.
+  std::chrono::milliseconds flush_interval{2};
+  /// Bounded queue capacity. Producers block when the queue is full
+  /// (backpressure) — records are never dropped.
+  size_t queue_capacity = 4096;
+};
 
 /// Crash-safe, append-only observation journal — the restart path that
 /// replaces bulk CSV export for the live service. One line per accepted
@@ -21,10 +41,18 @@ namespace rockhopper::core {
 /// truncated or garbage tail; recovery keeps the longest valid prefix and
 /// reports what it dropped, so a restart never replays corrupt rows
 /// verbatim (unlike the CSV path this replaces).
+///
+/// Two write modes share the record format:
+///  - synchronous (default): Append formats, writes, and flushes inline;
+///  - group commit (StartGroupCommit): Append enqueues onto a bounded MPSC
+///    queue drained by a dedicated writer thread that batches records per
+///    flush — the multi-tenant service's high-throughput mode.
 class ObservationJournal {
  public:
   ObservationJournal() = default;
   ~ObservationJournal();
+  /// Moving stops group commit on the source first (draining its queue);
+  /// restart it on the destination if needed.
   ObservationJournal(ObservationJournal&& other) noexcept;
   ObservationJournal& operator=(ObservationJournal&& other) noexcept;
   ObservationJournal(const ObservationJournal&) = delete;
@@ -34,13 +62,37 @@ class ObservationJournal {
   /// empty. An existing journal keeps its records — Append continues it.
   static Result<ObservationJournal> Open(const std::string& path);
 
-  /// Appends one record and flushes it to the OS (crash safety: at most the
-  /// in-flight record is lost to a kill).
+  /// Appends one record. Synchronous mode: writes and flushes to the OS
+  /// before returning (crash safety: at most the in-flight record is lost to
+  /// a kill). Group-commit mode: enqueues and returns; write errors are then
+  /// reported through async_write_errors() instead of the return status.
   Status Append(uint64_t signature, const Observation& obs);
+
+  /// Switches to group-commit mode: spawns the writer thread draining the
+  /// bounded queue in batches. Error when the journal is not open or group
+  /// commit is already active.
+  Status StartGroupCommit(const GroupCommitOptions& options = {});
+
+  /// Drains every queued record, then joins the writer thread and returns to
+  /// synchronous mode. Idempotent; also performed by Close() and moves.
+  void StopGroupCommit();
+
+  bool group_commit_active() const { return gc_ != nullptr; }
+
+  /// Blocks until every record enqueued before this call reached fflush.
+  /// No-op in synchronous mode.
+  void Sync();
+
+  /// Records the writer thread failed to persist (group-commit mode). The
+  /// counter survives StopGroupCommit so shutdown accounting stays intact.
+  uint64_t async_write_errors() const {
+    return async_write_errors_.load(std::memory_order_relaxed);
+  }
 
   bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
-  /// Closes the underlying file (also done by the destructor).
+  /// Stops group commit (draining) and closes the underlying file (also
+  /// done by the destructor).
   void Close();
 
   struct Recovered {
@@ -61,8 +113,28 @@ class ObservationJournal {
   static Result<Recovered> Recover(const std::string& path);
 
  private:
+  struct GroupCommitState {
+    GroupCommitOptions options;
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::condition_variable drained;
+    std::deque<std::pair<uint64_t, Observation>> queue;
+    /// Queued plus currently-being-written records; 0 means fully synced.
+    size_t in_flight = 0;
+    bool stop = false;
+    std::thread writer;
+  };
+
+  /// Formats and writes one record; flushes when `flush` is set. The only
+  /// code path that touches file_ for writing, in both modes.
+  Status WriteRecord(uint64_t signature, const Observation& obs, bool flush);
+  void WriterLoop();
+
   std::FILE* file_ = nullptr;
   std::string path_;
+  std::unique_ptr<GroupCommitState> gc_;
+  std::atomic<uint64_t> async_write_errors_{0};
 };
 
 }  // namespace rockhopper::core

@@ -9,8 +9,28 @@
 
 namespace rockhopper::core {
 
+ObservationStore::ObservationStore(ObservationStore&& other) noexcept {
+  for (size_t i = 0; i < kNumShards; ++i) {
+    std::lock_guard<std::mutex> lock(other.shards_[i].mu);
+    shards_[i].log = std::move(other.shards_[i].log);
+  }
+}
+
+ObservationStore& ObservationStore::operator=(
+    ObservationStore&& other) noexcept {
+  if (this != &other) {
+    for (size_t i = 0; i < kNumShards; ++i) {
+      std::scoped_lock lock(shards_[i].mu, other.shards_[i].mu);
+      shards_[i].log = std::move(other.shards_[i].log);
+    }
+  }
+  return *this;
+}
+
 void ObservationStore::Append(uint64_t signature, Observation obs) {
-  std::vector<Observation>& history = log_[signature];
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<Observation>& history = shard.log[signature];
   if (obs.iteration < 0) obs.iteration = static_cast<int>(history.size());
   history.push_back(std::move(obs));
 }
@@ -19,26 +39,39 @@ const std::vector<Observation>& ObservationStore::History(
     uint64_t signature) const {
   static const std::vector<Observation>* const kEmpty =
       new std::vector<Observation>();
-  auto it = log_.find(signature);
-  return it == log_.end() ? *kEmpty : it->second;
+  const Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.log.find(signature);
+  return it == shard.log.end() ? *kEmpty : it->second;
 }
 
 ObservationWindow ObservationStore::LastN(uint64_t signature, size_t n) const {
-  const std::vector<Observation>& history = History(signature);
+  const Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.log.find(signature);
+  if (it == shard.log.end()) return {};
+  const std::vector<Observation>& history = it->second;
   const size_t start = history.size() > n ? history.size() - n : 0;
   return ObservationWindow(history.begin() + static_cast<std::ptrdiff_t>(start),
                            history.end());
 }
 
 size_t ObservationStore::Count(uint64_t signature) const {
-  auto it = log_.find(signature);
-  return it == log_.end() ? 0 : it->second.size();
+  const Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.log.find(signature);
+  return it == shard.log.end() ? 0 : it->second.size();
 }
 
 std::vector<uint64_t> ObservationStore::Signatures() const {
   std::vector<uint64_t> out;
-  out.reserve(log_.size());
-  for (const auto& [sig, _] : log_) out.push_back(sig);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [sig, _] : shard.log) out.push_back(sig);
+  }
+  // Shards partition by modulus, so per-shard order alone is not global
+  // order; sort to keep the pre-sharding (sorted-map) iteration contract.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -1,8 +1,10 @@
 #ifndef ROCKHOPPER_CORE_OBSERVATION_H_
 #define ROCKHOPPER_CORE_OBSERVATION_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,26 +33,58 @@ using ObservationWindow = std::vector<Observation>;
 /// for the paper's event-file storage (§5). Each query signature gets an
 /// isolated history; the store never mixes signatures (the paper's privacy
 /// boundary between users maps to the same isolation property).
+///
+/// Thread-safe via lock striping: a signature's window lives in the shard
+/// `signature % kNumShards`, guarded by that shard's mutex, so concurrent
+/// ingestion for different signatures does not contend on one lock. `LastN`,
+/// `Count`, and `Signatures` copy under the shard lock and are safe at any
+/// time; `History` returns a reference into the store and is only stable
+/// while no thread is appending to the *same* signature (quiescent reads:
+/// recovery, reports, tests).
 class ObservationStore {
  public:
+  static constexpr size_t kNumShards = 16;
+
+  ObservationStore() = default;
+  /// Movable (fresh mutexes on the destination) so recovery results can be
+  /// returned by value; moving a store that other threads are still using is
+  /// undefined, like any container.
+  ObservationStore(ObservationStore&& other) noexcept;
+  ObservationStore& operator=(ObservationStore&& other) noexcept;
+  ObservationStore(const ObservationStore&) = delete;
+  ObservationStore& operator=(const ObservationStore&) = delete;
+
   /// Appends an observation for `signature`; the iteration field is
   /// auto-assigned sequentially when negative.
   void Append(uint64_t signature, Observation obs);
 
-  /// Full history for `signature` (empty when unseen).
+  /// Full history for `signature` (empty when unseen). See the class comment
+  /// for the reference-stability caveat under concurrency.
   const std::vector<Observation>& History(uint64_t signature) const;
 
-  /// The most recent `n` observations for `signature`.
+  /// The most recent `n` observations for `signature` (copied under lock).
   ObservationWindow LastN(uint64_t signature, size_t n) const;
 
   /// Number of observations recorded for `signature`.
   size_t Count(uint64_t signature) const;
 
-  /// All signatures with at least one observation.
+  /// All signatures with at least one observation, in ascending order.
   std::vector<uint64_t> Signatures() const;
 
  private:
-  std::map<uint64_t, std::vector<Observation>> log_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<uint64_t, std::vector<Observation>> log;
+  };
+
+  Shard& ShardFor(uint64_t signature) {
+    return shards_[signature % kNumShards];
+  }
+  const Shard& ShardFor(uint64_t signature) const {
+    return shards_[signature % kNumShards];
+  }
+
+  std::array<Shard, kNumShards> shards_;
 };
 
 /// The lowest runtime in `window`; error when empty.

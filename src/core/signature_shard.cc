@@ -1,0 +1,69 @@
+#include "core/signature_shard.h"
+
+#include <utility>
+
+namespace rockhopper::core {
+
+SignatureShardMap::LockedState SignatureShardMap::Find(uint64_t signature) {
+  Shard& shard = shards_[ShardIndex(signature)];
+  LockedState locked{std::unique_lock<std::mutex>(shard.mu), nullptr};
+  auto it = shard.states.find(signature);
+  if (it != shard.states.end()) locked.state = &it->second;
+  return locked;
+}
+
+SignatureShardMap::LockedConstState SignatureShardMap::Find(
+    uint64_t signature) const {
+  const Shard& shard = shards_[ShardIndex(signature)];
+  LockedConstState locked{std::unique_lock<std::mutex>(shard.mu), nullptr};
+  auto it = shard.states.find(signature);
+  if (it != shard.states.end()) locked.state = &it->second;
+  return locked;
+}
+
+SignatureShardMap::LockedState SignatureShardMap::Emplace(uint64_t signature,
+                                                          QueryState state) {
+  Shard& shard = shards_[ShardIndex(signature)];
+  LockedState locked{std::unique_lock<std::mutex>(shard.mu), nullptr};
+  auto [it, _] = shard.states.emplace(signature, std::move(state));
+  locked.state = &it->second;
+  return locked;
+}
+
+bool SignatureShardMap::Erase(uint64_t signature) {
+  Shard& shard = shards_[ShardIndex(signature)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.states.erase(signature) > 0;
+}
+
+void SignatureShardMap::ForEach(
+    const std::function<void(uint64_t, const QueryState&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [signature, state] : shard.states) {
+      fn(signature, state);
+    }
+  }
+}
+
+size_t SignatureShardMap::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.states.size();
+  }
+  return total;
+}
+
+size_t SignatureShardMap::CountDisabled() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [_, state] : shard.states) {
+      if (state.disabled) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,99 @@
+#ifndef ROCKHOPPER_CORE_SIGNATURE_SHARD_H_
+#define ROCKHOPPER_CORE_SIGNATURE_SHARD_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/centroid_learning.h"
+#include "core/guardrail.h"
+
+namespace rockhopper::core {
+
+/// Per-signature tuning state: the isolated model of one recurring query
+/// (the paper's per-query, per-user training boundary). Owned by the shard
+/// that owns the signature; all access goes through the shard lock.
+struct QueryState {
+  std::unique_ptr<CentroidLearner> tuner;
+  Guardrail guardrail;
+  std::vector<double> embedding;
+  bool disabled = false;
+  /// Failure-policy state: current streak, fallback runs left on the
+  /// defaults, and the (exponentially growing) backoff width.
+  int consecutive_failures = 0;
+  int fallback_remaining = 0;
+  int backoff = 1;
+};
+
+/// Lock-striped map of per-signature QueryState — the RocksDB sharded-cache
+/// pattern applied to the tuning service's hot state: a signature lives in
+/// shard `signature % kNumShards`, each shard a std::map under its own
+/// mutex, so concurrent tenants touching different signatures contend only
+/// when they hash to the same shard.
+///
+/// Accessors hand back a LockedState guard that owns the shard lock; the
+/// pointed-to QueryState is exclusively held for the guard's lifetime.
+/// Cross-shard operations (ForEach, Size, CountDisabled) take one shard
+/// lock at a time and never nest locks, so they can run concurrently with
+/// per-signature work without deadlock.
+class SignatureShardMap {
+ public:
+  static constexpr size_t kNumShards = 16;
+
+  static size_t ShardIndex(uint64_t signature) {
+    return signature % kNumShards;
+  }
+
+  /// A shard-lock-owning view of one signature's state. `state` stays valid
+  /// and exclusively held while `lock` is held.
+  struct LockedState {
+    std::unique_lock<std::mutex> lock;
+    QueryState* state = nullptr;
+    explicit operator bool() const { return state != nullptr; }
+  };
+  struct LockedConstState {
+    std::unique_lock<std::mutex> lock;
+    const QueryState* state = nullptr;
+    explicit operator bool() const { return state != nullptr; }
+  };
+
+  /// Locks the owning shard and returns the signature's state, or a guard
+  /// with `state == nullptr` (shard still locked) when absent.
+  LockedState Find(uint64_t signature);
+  LockedConstState Find(uint64_t signature) const;
+
+  /// Inserts `state` for `signature` unless one exists; either way returns
+  /// the surviving state with its shard locked. A racing insert keeps the
+  /// first arrival — the loser's state is discarded, matching how a sharded
+  /// cache resolves concurrent fills of one key.
+  LockedState Emplace(uint64_t signature, QueryState state);
+
+  /// Removes the signature's state; returns whether one existed.
+  bool Erase(uint64_t signature);
+
+  /// Visits every (signature, state) pair shard by shard, holding only the
+  /// visited shard's lock. Mutations from other threads may interleave
+  /// between shards; within one shard the view is consistent.
+  void ForEach(
+      const std::function<void(uint64_t, const QueryState&)>& fn) const;
+
+  /// Signatures ever seen / currently disabled (deployment stats, §6.3).
+  size_t Size() const;
+  size_t CountDisabled() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<uint64_t, QueryState> states;
+  };
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_SIGNATURE_SHARD_H_

@@ -4,38 +4,44 @@
 
 namespace rockhopper::core {
 
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
 TelemetryVerdict TelemetrySanitizer::Admit(uint64_t signature,
                                            const QueryEndEvent& event,
                                            const sparksim::ConfigSpace& space) {
   if (event.config.size() != space.size()) {
-    ++stats_.rejected_config;
+    stats_.rejected_config.fetch_add(1, kRelaxed);
     return TelemetryVerdict::kRejectConfig;
   }
   if (!std::isfinite(event.data_size) || !std::isfinite(event.runtime)) {
-    ++stats_.rejected_nonfinite;
+    stats_.rejected_nonfinite.fetch_add(1, kRelaxed);
     return TelemetryVerdict::kRejectNonFinite;
   }
   for (double v : event.config) {
     if (!std::isfinite(v)) {
-      ++stats_.rejected_nonfinite;
+      stats_.rejected_nonfinite.fetch_add(1, kRelaxed);
       return TelemetryVerdict::kRejectNonFinite;
     }
   }
   if (event.data_size <= 0.0) {
-    ++stats_.rejected_nonpositive;
+    stats_.rejected_nonpositive.fetch_add(1, kRelaxed);
     return TelemetryVerdict::kRejectNonPositive;
   }
   // A failed run legitimately reports a meaningless runtime (a timeout's
   // burn, or zero); the failure policy imputes a penalty downstream, so only
   // successful runs must carry a positive runtime.
   if (!event.failed && event.runtime <= 0.0) {
-    ++stats_.rejected_nonpositive;
+    stats_.rejected_nonpositive.fetch_add(1, kRelaxed);
     return TelemetryVerdict::kRejectNonPositive;
   }
   if (event.event_id != 0 && dedup_window_ > 0) {
-    SeenWindow& window = seen_[signature];
+    Stripe& stripe = stripes_[signature % kNumStripes];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    SeenWindow& window = stripe.seen[signature];
     if (window.ids.count(event.event_id) > 0) {
-      ++stats_.rejected_duplicate;
+      stats_.rejected_duplicate.fetch_add(1, kRelaxed);
       return TelemetryVerdict::kRejectDuplicate;
     }
     window.ids.insert(event.event_id);
@@ -45,8 +51,8 @@ TelemetryVerdict TelemetrySanitizer::Admit(uint64_t signature,
       window.order.pop_front();
     }
   }
-  ++stats_.accepted;
-  if (event.failed) ++stats_.failures_ingested;
+  stats_.accepted.fetch_add(1, kRelaxed);
+  if (event.failed) stats_.failures_ingested.fetch_add(1, kRelaxed);
   return TelemetryVerdict::kAccept;
 }
 

@@ -1,9 +1,12 @@
 #ifndef ROCKHOPPER_CORE_TELEMETRY_H_
 #define ROCKHOPPER_CORE_TELEMETRY_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "sparksim/config_space.h"
@@ -26,17 +29,41 @@ struct QueryEndEvent {
 
 /// Ingestion counters, surfaced through ExplainQuery and the CLI so operators
 /// can see how much of the telemetry stream was unusable.
+///
+/// Counters are atomics so concurrent ingestion threads can bump them without
+/// a lock; reads are individually consistent but a snapshot across fields is
+/// only exact at quiescence. Copying produces a plain value snapshot.
 struct TelemetryStats {
-  uint64_t accepted = 0;
-  uint64_t rejected_nonfinite = 0;    ///< NaN/Inf runtime or data size
-  uint64_t rejected_nonpositive = 0;  ///< zero or negative runtime/data size
-  uint64_t rejected_duplicate = 0;    ///< event_id already ingested
-  uint64_t rejected_config = 0;       ///< config width does not match space
-  uint64_t failures_ingested = 0;     ///< accepted events with failed = true
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected_nonfinite{0};    ///< NaN/Inf runtime or size
+  std::atomic<uint64_t> rejected_nonpositive{0};  ///< zero/negative values
+  std::atomic<uint64_t> rejected_duplicate{0};    ///< event_id already seen
+  std::atomic<uint64_t> rejected_config{0};       ///< config width mismatch
+  std::atomic<uint64_t> failures_ingested{0};     ///< accepted failed runs
+
+  TelemetryStats() = default;
+  TelemetryStats(const TelemetryStats& other) { *this = other; }
+  TelemetryStats& operator=(const TelemetryStats& other) {
+    if (this != &other) {
+      accepted = other.accepted.load(std::memory_order_relaxed);
+      rejected_nonfinite =
+          other.rejected_nonfinite.load(std::memory_order_relaxed);
+      rejected_nonpositive =
+          other.rejected_nonpositive.load(std::memory_order_relaxed);
+      rejected_duplicate =
+          other.rejected_duplicate.load(std::memory_order_relaxed);
+      rejected_config = other.rejected_config.load(std::memory_order_relaxed);
+      failures_ingested =
+          other.failures_ingested.load(std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   uint64_t total_rejected() const {
-    return rejected_nonfinite + rejected_nonpositive + rejected_duplicate +
-           rejected_config;
+    return rejected_nonfinite.load(std::memory_order_relaxed) +
+           rejected_nonpositive.load(std::memory_order_relaxed) +
+           rejected_duplicate.load(std::memory_order_relaxed) +
+           rejected_config.load(std::memory_order_relaxed);
   }
 };
 
@@ -53,6 +80,10 @@ enum class TelemetryVerdict {
 /// history. Checks, in order: config width, finiteness, positivity (skipped
 /// for failed runs, whose runtime is imputed downstream anyway), and
 /// per-signature event-id deduplication over a bounded window.
+///
+/// Thread-safe: the validity checks are pure, the counters are atomic, and
+/// the dedup windows are lock-striped by signature (RocksDB-shard style), so
+/// concurrent deliveries for different signatures never contend on one lock.
 class TelemetrySanitizer {
  public:
   explicit TelemetrySanitizer(size_t dedup_window = 256)
@@ -70,10 +101,15 @@ class TelemetrySanitizer {
     std::deque<uint64_t> order;
     std::set<uint64_t> ids;
   };
+  struct Stripe {
+    std::mutex mu;
+    std::map<uint64_t, SeenWindow> seen;
+  };
+  static constexpr size_t kNumStripes = 16;
 
   size_t dedup_window_;
   TelemetryStats stats_;
-  std::map<uint64_t, SeenWindow> seen_;
+  std::array<Stripe, kNumStripes> stripes_;
 };
 
 }  // namespace rockhopper::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/matrix.h"
 #include "common/statistics.h"
@@ -17,15 +18,22 @@ TuningService::TuningService(const sparksim::ConfigSpace& space,
       options_(std::move(options)),
       rng_(seed),
       defaults_(space.Defaults()),
-      sanitizer_(options_.telemetry_dedup_window),
+      pipeline_(space,
+                IngestPipeline::Options{
+                    options_.failure_policy, options_.telemetry_dedup_window,
+                    options_.enable_guardrail, options_.centroid.window_size}),
       app_space_(sparksim::AppLevelSpace()) {}
 
-TuningService::QueryState& TuningService::StateFor(
-    const sparksim::QueryPlan& plan) {
-  const uint64_t signature = plan.Signature();
-  auto it = states_.find(signature);
-  if (it != states_.end()) return it->second;
+SignatureShardMap::LockedState TuningService::StateFor(
+    const sparksim::QueryPlan& plan, uint64_t signature) {
+  {
+    SignatureShardMap::LockedState locked = shards_.Find(signature);
+    if (locked) return locked;
+  }
 
+  // Build the new state with no shard lock held: embedding and tuner
+  // construction are the expensive part of first contact, and the transfer
+  // scan below takes other shards' locks one at a time.
   QueryState state;
   state.embedding = ComputeEmbedding(plan, options_.embedding);
   state.backoff = std::max(1, options_.failure_policy.initial_backoff);
@@ -36,12 +44,11 @@ TuningService::QueryState& TuningService::StateFor(
   sparksim::ConfigVector start = defaults_;
   if (options_.enable_signature_transfer) {
     double best_distance = options_.transfer_max_distance;
-    const double norm =
-        std::sqrt(static_cast<double>(state.embedding.size()));
-    for (const auto& [other_sig, other_state] : states_) {
+    const double norm = std::sqrt(static_cast<double>(state.embedding.size()));
+    shards_.ForEach([&](uint64_t, const QueryState& other_state) {
       if (other_state.disabled ||
           other_state.embedding.size() != state.embedding.size()) {
-        continue;
+        return;
       }
       const double distance =
           std::sqrt(common::SquaredDistance(state.embedding,
@@ -51,20 +58,33 @@ TuningService::QueryState& TuningService::StateFor(
         best_distance = distance;
         start = other_state.tuner->centroid();
       }
-    }
+    });
   }
-  auto scorer = std::make_unique<SurrogateScorer>(
-      space_, baseline_, state.embedding, options_.scorer);
+  auto scorer = std::make_unique<SurrogateScorer>(space_, baseline_,
+                                                  state.embedding,
+                                                  options_.scorer);
+  uint64_t tuner_seed;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    tuner_seed = rng_.Fork().engine()();
+  }
   state.tuner = std::make_unique<CentroidLearner>(
-      space_, start, std::move(scorer), options_.centroid,
-      rng_.Fork().engine()());
+      space_, start, std::move(scorer), options_.centroid, tuner_seed);
   state.guardrail = Guardrail(options_.guardrail);
-  return states_.emplace(signature, std::move(state)).first->second;
+  // A racing creator may have emplaced first; Emplace keeps the winner.
+  return shards_.Emplace(signature, std::move(state));
 }
 
 sparksim::ConfigVector TuningService::OnQueryStart(
     const sparksim::QueryPlan& plan, double expected_data_size) {
-  QueryState& state = StateFor(plan);
+  return OnQueryStart(Handle(plan), expected_data_size);
+}
+
+sparksim::ConfigVector TuningService::OnQueryStart(
+    const SignatureHandle& handle, double expected_data_size) {
+  SignatureShardMap::LockedState locked =
+      StateFor(handle.plan(), handle.signature());
+  QueryState& state = *locked.state;
   if (state.disabled) return defaults_;
   if (state.fallback_remaining > 0) {
     // Failure fallback: re-run the known-safe defaults instead of exploring
@@ -75,71 +95,17 @@ sparksim::ConfigVector TuningService::OnQueryStart(
   return state.tuner->Propose(expected_data_size);
 }
 
-double TuningService::ImputeFailedRuntime(uint64_t signature,
-                                          const QueryEndEvent& event) const {
-  const double penalty = std::max(1.0, options_.failure_policy.penalty_multiplier);
-  // Typical successful runtime over the recent window.
-  const ObservationWindow window =
-      observations_.LastN(signature, static_cast<size_t>(std::max(
-                                         1, options_.centroid.window_size)));
-  std::vector<double> successes;
-  for (const Observation& obs : window) {
-    if (!obs.failed) successes.push_back(obs.runtime);
-  }
-  if (!successes.empty()) return penalty * common::Median(successes);
-  // No successful history: penalize the reported burn time when usable,
-  // otherwise a unit runtime so the penalty is still positive.
-  if (std::isfinite(event.runtime) && event.runtime > 0.0) {
-    return penalty * event.runtime;
-  }
-  return penalty;
-}
-
 void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
                                const QueryEndEvent& event) {
-  const uint64_t signature = plan.Signature();
-  QueryState& state = StateFor(plan);
+  OnQueryEnd(Handle(plan), event);
+}
 
-  if (sanitizer_.Admit(signature, event, space_) != TelemetryVerdict::kAccept) {
-    return;  // rejected events only move the counters
-  }
-
-  Observation obs;
-  obs.config = event.config;
-  obs.data_size = event.data_size;
-  obs.runtime = event.runtime;
-  obs.failed = event.failed;
-  obs.iteration = static_cast<int>(observations_.Count(signature));
-
-  if (event.failed) {
-    obs.runtime = ImputeFailedRuntime(signature, event);
-    ++state.consecutive_failures;
-    if (options_.failure_policy.fallback_after > 0 &&
-        state.consecutive_failures >= options_.failure_policy.fallback_after) {
-      // Bounded retry-with-fallback: defaults for `backoff` runs, widening
-      // exponentially while the streak persists.
-      state.fallback_remaining = state.backoff;
-      state.backoff =
-          std::min(state.backoff * 2, options_.failure_policy.max_backoff);
-    }
-  } else {
-    // A success ends the streak, but the backoff width stays widened: a
-    // signature that keeps slipping back into failure streaks earns longer
-    // and longer default-only windows (mirroring the guardrail's sticky
-    // failure strikes).
-    state.consecutive_failures = 0;
-  }
-
-  observations_.Append(signature, obs);
-  if (journal_ != nullptr && !journal_->Append(signature, obs).ok()) {
-    ++journal_errors_;
-  }
-
-  if (state.disabled) return;
-  state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
-  if (options_.enable_guardrail && !state.guardrail.Record(obs)) {
-    state.disabled = true;
-  }
+void TuningService::OnQueryEnd(const SignatureHandle& handle,
+                               const QueryEndEvent& event) {
+  SignatureShardMap::LockedState locked =
+      StateFor(handle.plan(), handle.signature());
+  pipeline_.Ingest(handle.signature(), event, locked.state, &observations_,
+                   journal_);
 }
 
 void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
@@ -153,26 +119,20 @@ void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
 }
 
 bool TuningService::IsTuningEnabled(uint64_t signature) const {
-  auto it = states_.find(signature);
-  return it != states_.end() && !it->second.disabled;
+  SignatureShardMap::LockedConstState locked = shards_.Find(signature);
+  return locked && !locked.state->disabled;
 }
 
 size_t TuningService::IterationCount(uint64_t signature) const {
   return observations_.Count(signature);
 }
 
-size_t TuningService::NumDisabled() const {
-  size_t count = 0;
-  for (const auto& [_, state] : states_) {
-    if (state.disabled) ++count;
-  }
-  return count;
-}
-
 size_t TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
                                     const ObservationWindow& history) {
-  states_.erase(plan.Signature());
-  QueryState& state = StateFor(plan);
+  const uint64_t signature = plan.Signature();
+  shards_.Erase(signature);
+  SignatureShardMap::LockedState locked = StateFor(plan, signature);
+  QueryState& state = *locked.state;
   size_t replayed = 0;
   for (const Observation& obs : history) {
     // The same invariants the ingestion boundary enforces: persisted rows
@@ -182,7 +142,7 @@ size_t TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
         obs.config.size() != space_.size()) {
       continue;
     }
-    observations_.Append(plan.Signature(), obs);
+    observations_.Append(signature, obs);
     ++replayed;
     state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
     if (options_.enable_guardrail && !state.guardrail.Record(obs)) {
@@ -223,12 +183,12 @@ Result<TuningService::RecoveryReport> TuningService::RecoverFromJournal(
 }
 
 Result<std::string> TuningService::ExplainQuery(uint64_t signature) const {
-  auto it = states_.find(signature);
-  if (it == states_.end()) {
+  SignatureShardMap::LockedConstState locked = shards_.Find(signature);
+  if (!locked) {
     return Status::NotFound("no tuning state for signature " +
                             std::to_string(signature));
   }
-  const QueryState& state = it->second;
+  const QueryState& state = *locked.state;
   const CentroidLearner& tuner = *state.tuner;
   std::ostringstream out;
   out << "signature " << signature << ": ";
@@ -265,18 +225,23 @@ Result<std::string> TuningService::ExplainQuery(uint64_t signature) const {
         << state.guardrail.failure_strikes() << " strikes), "
         << state.fallback_remaining << " fallback runs on defaults pending";
   }
-  const TelemetryStats& stats = sanitizer_.stats();
-  out << "; telemetry: " << stats.accepted << " accepted, "
-      << stats.total_rejected() << " rejected ("
-      << stats.rejected_nonfinite << " non-finite, "
-      << stats.rejected_nonpositive << " non-positive, "
-      << stats.rejected_duplicate << " duplicate), "
-      << stats.failures_ingested << " failures ingested.";
+  const TelemetryStats& stats = pipeline_.stats();
+  out << "; telemetry: " << stats.accepted.load(std::memory_order_relaxed)
+      << " accepted, " << stats.total_rejected() << " rejected ("
+      << stats.rejected_nonfinite.load(std::memory_order_relaxed)
+      << " non-finite, "
+      << stats.rejected_nonpositive.load(std::memory_order_relaxed)
+      << " non-positive, "
+      << stats.rejected_duplicate.load(std::memory_order_relaxed)
+      << " duplicate), "
+      << stats.failures_ingested.load(std::memory_order_relaxed)
+      << " failures ingested.";
   return out.str();
 }
 
 sparksim::ConfigVector TuningService::OnApplicationStart(
     const std::string& artifact_id) {
+  std::lock_guard<std::mutex> lock(app_mu_);
   if (auto entry = app_cache_.Get(artifact_id)) {
     return entry->app_config;
   }
@@ -287,9 +252,18 @@ void TuningService::PrecomputeAppConfig(
     const std::string& artifact_id,
     const std::vector<AppQueryContext>& queries) {
   if (queries.empty()) return;
+  uint64_t optimizer_seed;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    optimizer_seed = rng_.Fork().engine()();
+  }
+  std::lock_guard<std::mutex> lock(app_mu_);
   AppLevelOptimizer optimizer(app_space_, space_, options_.app,
-                              rng_.Fork().engine()());
-  const sparksim::ConfigVector current = OnApplicationStart(artifact_id);
+                              optimizer_seed);
+  sparksim::ConfigVector current = app_space_.Defaults();
+  if (auto entry = app_cache_.Get(artifact_id)) {
+    current = entry->app_config;
+  }
   AppLevelOptimizer::JointResult result = optimizer.Optimize(current, queries);
   AppCache::Entry entry;
   entry.app_config = std::move(result.app_config);

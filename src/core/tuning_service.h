@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,30 +11,14 @@
 #include "core/baseline_model.h"
 #include "core/centroid_learning.h"
 #include "core/guardrail.h"
+#include "core/ingest_pipeline.h"
 #include "core/journal.h"
 #include "core/observation.h"
+#include "core/signature_shard.h"
 #include "core/telemetry.h"
 #include "sparksim/plan.h"
 
 namespace rockhopper::core {
-
-/// How the service reacts to failed executions (the paper's "insufficient
-/// allocations can lead to ... failures", §4.3): penalize, fall back, back
-/// off, and let the guardrail disable persistent offenders.
-struct FailurePolicyOptions {
-  /// Imputed runtime for a failed run, as a multiple of the signature's
-  /// typical (median) successful runtime — Centroid Learning then steps away
-  /// from the failing region exactly as it steps away from a slow one.
-  double penalty_multiplier = 3.0;
-  /// Consecutive failures after which the next proposals fall back to the
-  /// defaults (the known-safe configuration) instead of exploring.
-  int fallback_after = 2;
-  /// The first fallback re-runs the defaults this many times; each further
-  /// failure streak doubles the fallback run count (exponential backoff) up
-  /// to `max_backoff`.
-  int initial_backoff = 1;
-  int max_backoff = 16;
-};
 
 struct TuningServiceOptions {
   CentroidLearningOptions centroid;
@@ -56,10 +41,21 @@ struct TuningServiceOptions {
   double transfer_max_distance = 2.0;
 };
 
-/// The online phase of Rockhopper (Figs. 5 and 7): per-query-signature
-/// tuning state (a CentroidLearner warm-started by the offline baseline
-/// model, plus a regression guardrail), an observation store, and the
-/// app-level cache keyed by artifact_id.
+/// The online phase of Rockhopper (Figs. 5 and 7), structured as a
+/// multi-tenant concurrent service — the deployment shape of §6.3, where one
+/// shared service tunes hundreds of thousands of applications:
+///
+///  - state layer: per-signature QueryState in a lock-striped
+///    SignatureShardMap plus a lock-striped ObservationStore (see
+///    signature_shard.h), so tenants touching different signatures do not
+///    contend;
+///  - pipeline layer: OnQueryEnd is the staged IngestPipeline
+///    (sanitize → impute/failure-policy → journal → tune/guardrail);
+///  - journal layer: an optional crash-safe ObservationJournal, group-commit
+///    capable for high-throughput ingestion.
+///
+/// This class is the thin façade wiring those layers together plus the
+/// app-level cache keyed by artifact_id (§4.4).
 ///
 /// Lifecycle per query execution:
 ///   config = service.OnQueryStart(plan, expected_data_size);
@@ -74,6 +70,11 @@ struct TuningServiceOptions {
 /// deduplicated by event id), failed runs are imputed a penalized runtime,
 /// and repeated failures trigger a retry-on-defaults fallback with
 /// exponential backoff before the guardrail disables tuning outright.
+///
+/// Thread-safety: every public method is safe to call concurrently from
+/// multiple tenant threads. Reference-returning accessors (observations(),
+/// telemetry_stats(), app_cache()) are stable views whose contents settle at
+/// quiescence.
 class TuningService {
  public:
   /// `baseline` may be null (no transfer learning); must outlive the
@@ -82,15 +83,41 @@ class TuningService {
                 const BaselineModel* baseline, TuningServiceOptions options,
                 uint64_t seed);
 
+  /// A pre-hashed reference to one plan's tuning state: the plan signature
+  /// is computed once at Handle() and reused for the whole start/end pair,
+  /// removing the double plan hash from the hot path. The referenced plan
+  /// must outlive the handle.
+  class SignatureHandle {
+   public:
+    uint64_t signature() const { return signature_; }
+    const sparksim::QueryPlan& plan() const { return *plan_; }
+
+   private:
+    friend class TuningService;
+    SignatureHandle(const sparksim::QueryPlan* plan, uint64_t signature)
+        : plan_(plan), signature_(signature) {}
+    const sparksim::QueryPlan* plan_;
+    uint64_t signature_;
+  };
+
+  /// Hashes the plan signature once; pair with the handle-taking
+  /// OnQueryStart/OnQueryEnd overloads.
+  SignatureHandle Handle(const sparksim::QueryPlan& plan) const {
+    return SignatureHandle(&plan, plan.Signature());
+  }
+
   /// Returns the configuration to run `plan` with. When tuning is disabled
   /// for this signature (guardrail) — or the signature is in a failure
   /// fallback window — the defaults are returned.
   sparksim::ConfigVector OnQueryStart(const sparksim::QueryPlan& plan,
                                       double expected_data_size);
+  sparksim::ConfigVector OnQueryStart(const SignatureHandle& handle,
+                                      double expected_data_size);
 
   /// Ingests one telemetry delivery: sanitize, impute failures, advance the
   /// tuner/guardrail, journal. Rejected events only move the counters.
   void OnQueryEnd(const sparksim::QueryPlan& plan, const QueryEndEvent& event);
+  void OnQueryEnd(const SignatureHandle& handle, const QueryEndEvent& event);
 
   /// Legacy trusted-telemetry entry point (no event id, success assumed) —
   /// still sanitized at the ingestion boundary.
@@ -105,20 +132,26 @@ class TuningService {
   size_t IterationCount(uint64_t signature) const;
 
   /// Signatures ever seen / currently disabled (deployment stats, §6.3).
-  size_t NumSignatures() const { return states_.size(); }
-  size_t NumDisabled() const;
+  size_t NumSignatures() const { return shards_.Size(); }
+  size_t NumDisabled() const { return shards_.CountDisabled(); }
 
   const ObservationStore& observations() const { return observations_; }
 
   /// Ingestion counters of the telemetry-sanitization layer.
-  const TelemetryStats& telemetry_stats() const { return sanitizer_.stats(); }
+  const TelemetryStats& telemetry_stats() const { return pipeline_.stats(); }
 
   /// Attaches a crash-safe journal: every accepted observation is appended
   /// (with the runtime actually fed to the tuner, so recovery replays the
   /// identical state). Not owned; pass nullptr to detach. Journal I/O errors
-  /// are counted, never fatal to the tuning path.
+  /// are counted, never fatal to the tuning path, and logged rate-limited
+  /// (first error, then every 100th).
   void AttachJournal(ObservationJournal* journal) { journal_ = journal; }
-  uint64_t journal_errors() const { return journal_errors_; }
+  /// Total journal records lost: synchronous append failures plus (when the
+  /// attached journal runs in group-commit mode) asynchronous write errors.
+  uint64_t journal_errors() const {
+    return pipeline_.journal_errors() +
+           (journal_ != nullptr ? journal_->async_write_errors() : 0);
+  }
 
   /// Warm-restarts the tuning state of `plan`'s signature by replaying the
   /// stored observations through a fresh tuner and guardrail — how the
@@ -168,38 +201,27 @@ class TuningService {
   const AppCache& app_cache() const { return app_cache_; }
 
  private:
-  struct QueryState {
-    std::unique_ptr<CentroidLearner> tuner;
-    Guardrail guardrail;
-    std::vector<double> embedding;
-    bool disabled = false;
-    /// Failure-policy state: current streak, fallback runs left on the
-    /// defaults, and the (exponentially growing) backoff width.
-    int consecutive_failures = 0;
-    int fallback_remaining = 0;
-    int backoff = 1;
-  };
-
-  QueryState& StateFor(const sparksim::QueryPlan& plan);
-
-  /// Penalized-runtime imputation for a failed run: penalty_multiplier x
-  /// the signature's typical successful runtime (window median), with sane
-  /// fallbacks when no successful history exists yet.
-  double ImputeFailedRuntime(uint64_t signature,
-                             const QueryEndEvent& event) const;
+  /// Locked lookup-or-create of the signature's state (shard lock held on
+  /// return). Creation runs outside any shard lock: embedding, optional
+  /// cross-signature transfer scan, tuner construction.
+  SignatureShardMap::LockedState StateFor(const sparksim::QueryPlan& plan,
+                                          uint64_t signature);
 
   const sparksim::ConfigSpace& space_;
   const BaselineModel* baseline_;
   TuningServiceOptions options_;
+  /// Seed source for per-signature tuners and the app optimizer; guarded by
+  /// rng_mu_ so concurrent state creation stays data-race-free.
   common::Rng rng_;
+  std::mutex rng_mu_;
   sparksim::ConfigVector defaults_;
-  std::map<uint64_t, QueryState> states_;
+  SignatureShardMap shards_;
   ObservationStore observations_;
-  TelemetrySanitizer sanitizer_;
+  IngestPipeline pipeline_;
   ObservationJournal* journal_ = nullptr;
-  uint64_t journal_errors_ = 0;
   sparksim::ConfigSpace app_space_;
   AppCache app_cache_;
+  mutable std::mutex app_mu_;
 };
 
 }  // namespace rockhopper::core

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace rockhopper::core {
 namespace {
@@ -170,6 +172,149 @@ TEST_F(JournalTest, EmptyJournalRecoversEmpty) {
   ASSERT_TRUE(recovered.ok());
   EXPECT_TRUE(recovered->clean);
   EXPECT_EQ(recovered->records_recovered, 0u);
+}
+
+TEST_F(JournalTest, GroupCommitRoundTripMatchesSynchronousBytes) {
+  // Same appends through both write modes must produce byte-identical
+  // journals: group commit only changes when bytes reach the file, never
+  // what they are.
+  const std::string sync_path = path_ + ".sync";
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(sync_path);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(journal->Append(7, Obs(i, 10.0 + i, i % 5 == 0)).ok());
+    }
+  }
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->StartGroupCommit().ok());
+    EXPECT_TRUE(journal->group_commit_active());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(journal->Append(7, Obs(i, 10.0 + i, i % 5 == 0)).ok());
+    }
+    journal->StopGroupCommit();
+    EXPECT_FALSE(journal->group_commit_active());
+    EXPECT_EQ(journal->async_write_errors(), 0u);
+  }
+  std::ifstream in(sync_path, std::ios::binary);
+  const std::string sync_content{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  EXPECT_EQ(ReadAll(), sync_content);
+  std::remove(sync_path.c_str());
+}
+
+TEST_F(JournalTest, GroupCommitSyncMakesRecordsDurable) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->StartGroupCommit().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(journal->Append(3, Obs(i, 5.0 + i)).ok());
+  }
+  // After Sync every enqueued record must be recoverable, with the writer
+  // thread still running.
+  journal->Sync();
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_recovered, 10u);
+  journal->StopGroupCommit();
+}
+
+TEST_F(JournalTest, GroupCommitStopDrainsQueue) {
+  // More records than one writer batch, tiny capacity: producers hit
+  // backpressure, Stop must still drain everything.
+  GroupCommitOptions options;
+  options.max_batch = 8;
+  options.queue_capacity = 16;
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->StartGroupCommit(options).ok());
+  constexpr int kRecords = 500;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(journal->Append(1, Obs(i, 1.0 + i)).ok());
+  }
+  journal->StopGroupCommit();
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->clean);
+  EXPECT_EQ(recovered->records_recovered, static_cast<size_t>(kRecords));
+  // Order preserved: iterations are the append order.
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(recovered->store.History(1)[static_cast<size_t>(i)].iteration,
+              i);
+  }
+}
+
+TEST_F(JournalTest, GroupCommitConcurrentProducersLoseNothing) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->StartGroupCommit().ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(
+            journal->Append(static_cast<uint64_t>(t + 1), Obs(i, 1.0 + i))
+                .ok());
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  journal->Close();  // stops group commit first, then closes
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->clean);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(recovered->store.Count(static_cast<uint64_t>(t + 1)),
+              static_cast<size_t>(kPerThread));
+    // Per-signature order follows each producer's append order.
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(recovered->store.History(static_cast<uint64_t>(t + 1))
+                    [static_cast<size_t>(i)]
+                        .iteration,
+                i);
+    }
+  }
+}
+
+TEST_F(JournalTest, StartGroupCommitRequiresOpenJournalAndIsExclusive) {
+  ObservationJournal closed;
+  EXPECT_FALSE(closed.StartGroupCommit().ok());
+
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->StartGroupCommit().ok());
+  EXPECT_FALSE(journal->StartGroupCommit().ok());  // already active
+  journal->StopGroupCommit();
+  journal->StopGroupCommit();  // idempotent
+  ASSERT_TRUE(journal->StartGroupCommit().ok());  // restartable
+  journal->StopGroupCommit();
+}
+
+TEST_F(JournalTest, MoveStopsGroupCommitAndDrains) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->StartGroupCommit().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(journal->Append(5, Obs(i, 2.0 + i)).ok());
+  }
+  ObservationJournal moved = std::move(*journal);
+  // The move drained and stopped the source's writer; the destination is
+  // back in synchronous mode with every record on disk.
+  EXPECT_FALSE(moved.group_commit_active());
+  EXPECT_TRUE(moved.is_open());
+  ASSERT_TRUE(moved.Append(5, Obs(20, 22.0)).ok());
+  moved.Close();
+  Result<ObservationJournal::Recovered> recovered =
+      ObservationJournal::Recover(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->store.Count(5), 21u);
 }
 
 TEST_F(JournalTest, MoveTransfersOwnership) {

@@ -1,0 +1,165 @@
+#include "core/signature_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace rockhopper::core {
+namespace {
+
+QueryState StateWithBackoff(int backoff) {
+  QueryState state;
+  state.backoff = backoff;
+  return state;
+}
+
+TEST(SignatureShardMapTest, FindAbsentLocksShardAndReturnsNull) {
+  SignatureShardMap map;
+  SignatureShardMap::LockedState locked = map.Find(42);
+  EXPECT_FALSE(locked);
+  EXPECT_EQ(locked.state, nullptr);
+  EXPECT_TRUE(locked.lock.owns_lock());
+}
+
+TEST(SignatureShardMapTest, EmplaceThenFindReturnsSameState) {
+  SignatureShardMap map;
+  {
+    SignatureShardMap::LockedState locked = map.Emplace(7, StateWithBackoff(3));
+    ASSERT_TRUE(locked);
+    EXPECT_EQ(locked.state->backoff, 3);
+    locked.state->consecutive_failures = 5;
+  }
+  SignatureShardMap::LockedState found = map.Find(7);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found.state->backoff, 3);
+  EXPECT_EQ(found.state->consecutive_failures, 5);
+}
+
+TEST(SignatureShardMapTest, EmplaceRaceKeepsFirstArrival) {
+  SignatureShardMap map;
+  { map.Emplace(7, StateWithBackoff(1)); }
+  {
+    SignatureShardMap::LockedState second =
+        map.Emplace(7, StateWithBackoff(9));
+    ASSERT_TRUE(second);
+    // The losing insert's state is discarded; the survivor is the first one.
+    EXPECT_EQ(second.state->backoff, 1);
+  }  // release the shard lock before the map-wide Size() scan
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(SignatureShardMapTest, EraseRemovesOnlyThatSignature) {
+  SignatureShardMap map;
+  { map.Emplace(1, StateWithBackoff(1)); }
+  { map.Emplace(2, StateWithBackoff(1)); }
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_FALSE(map.Find(1));
+  EXPECT_TRUE(map.Find(2));
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(SignatureShardMapTest, ConstFindSeesState) {
+  SignatureShardMap map;
+  {
+    SignatureShardMap::LockedState locked = map.Emplace(11, StateWithBackoff(1));
+    locked.state->disabled = true;
+  }
+  const SignatureShardMap& cmap = map;
+  SignatureShardMap::LockedConstState locked = cmap.Find(11);
+  ASSERT_TRUE(locked);
+  EXPECT_TRUE(locked.state->disabled);
+  EXPECT_FALSE(cmap.Find(12));
+}
+
+TEST(SignatureShardMapTest, ForEachVisitsEverySignatureOnce) {
+  SignatureShardMap map;
+  // Cover every shard, including signatures that collide on one shard.
+  std::set<uint64_t> expected;
+  for (uint64_t sig = 0; sig < 3 * SignatureShardMap::kNumShards; ++sig) {
+    map.Emplace(sig, StateWithBackoff(1));
+    expected.insert(sig);
+  }
+  std::set<uint64_t> visited;
+  map.ForEach([&](uint64_t sig, const QueryState&) { visited.insert(sig); });
+  EXPECT_EQ(visited, expected);
+  EXPECT_EQ(map.Size(), expected.size());
+}
+
+TEST(SignatureShardMapTest, CountDisabledCountsAcrossShards) {
+  SignatureShardMap map;
+  for (uint64_t sig = 0; sig < 40; ++sig) {
+    SignatureShardMap::LockedState locked = map.Emplace(sig, StateWithBackoff(1));
+    locked.state->disabled = (sig % 4 == 0);
+  }
+  EXPECT_EQ(map.CountDisabled(), 10u);
+  EXPECT_EQ(map.Size(), 40u);
+}
+
+TEST(SignatureShardMapTest, ShardIndexPartitionsBySignature) {
+  for (uint64_t sig = 0; sig < 100; ++sig) {
+    EXPECT_LT(SignatureShardMap::ShardIndex(sig),
+              SignatureShardMap::kNumShards);
+    EXPECT_EQ(SignatureShardMap::ShardIndex(sig),
+              sig % SignatureShardMap::kNumShards);
+  }
+}
+
+TEST(SignatureShardMapTest, LockedStateHoldsExclusiveShardAccess) {
+  SignatureShardMap map;
+  { map.Emplace(5, StateWithBackoff(1)); }
+  SignatureShardMap::LockedState locked = map.Find(5);
+  ASSERT_TRUE(locked);
+  // A second thread touching the same shard must block until we release.
+  std::atomic<bool> acquired{false};
+  std::thread contender([&] {
+    SignatureShardMap::LockedState other = map.Find(5);
+    acquired.store(true);
+  });
+  EXPECT_FALSE(acquired.load());
+  locked.lock.unlock();
+  contender.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(SignatureShardMapTest, ConcurrentEmplaceAndMutateIsConsistent) {
+  SignatureShardMap map;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kSignatures = 64;
+  constexpr int kRoundsPerSignature = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      // Thread t owns signatures where sig % kThreads == t; all threads also
+      // hammer reads on every signature.
+      for (int round = 0; round < kRoundsPerSignature; ++round) {
+        for (uint64_t sig = 0; sig < kSignatures; ++sig) {
+          if (sig % kThreads == static_cast<uint64_t>(t)) {
+            SignatureShardMap::LockedState locked =
+                map.Emplace(sig, StateWithBackoff(1));
+            ++locked.state->consecutive_failures;
+          } else {
+            SignatureShardMap::LockedState locked = map.Find(sig);
+            if (locked) {
+              EXPECT_GE(locked.state->consecutive_failures, 0);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(map.Size(), kSignatures);
+  size_t total = 0;
+  map.ForEach([&](uint64_t, const QueryState& state) {
+    total += static_cast<size_t>(state.consecutive_failures);
+  });
+  // Each signature's owner incremented exactly once per round.
+  EXPECT_EQ(total, kSignatures * kRoundsPerSignature);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

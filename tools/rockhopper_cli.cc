@@ -22,9 +22,15 @@
 //
 //   rockhopper recover --journal=FILE --suite=tpch
 //       restore a tuning service from a crash-safe observation journal
-//       (tolerating a truncated or corrupt tail) and print what survived.
+//       (tolerating a truncated or corrupt tail) and print what survived;
 //
-// Every run is deterministic given --seed.
+//   rockhopper serve --suite=tpcds --threads=8 --iters=20 [--chaos]
+//       drive one shared tuning service from concurrent tenant threads
+//       (the multi-tenant deployment shape of §6.3) and print aggregate
+//       throughput; --journal=FILE appends through the group-commit path.
+//
+// Every run is deterministic given --seed (serve: per-signature streams are
+// seed-deterministic; thread interleaving varies).
 
 #include <cstdio>
 #include <cstring>
@@ -41,6 +47,7 @@
 #include "sparksim/fault.h"
 #include "sparksim/simulator.h"
 #include "sparksim/workloads.h"
+#include "tools/concurrent_driver.h"
 
 namespace {
 
@@ -409,6 +416,79 @@ int RunRecover(const Args& args) {
   return 0;
 }
 
+// Multi-tenant load harness: K threads drive the suite's plans through one
+// shared service. With --journal, appends go through the journal's
+// group-commit path (batched background writer) unless --sync-journal.
+int RunServe(const Args& args) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const FlightingConfig::Suite suite =
+      SuiteFromName(args.Get("suite", "tpcds"));
+  std::vector<sparksim::QueryPlan> plans;
+  for (int q = 1; q <= SuiteSize(suite); ++q) {
+    plans.push_back(FlightingPipeline::PlanFor(suite, q));
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 37));
+  TuningServiceOptions service_options;
+  TuningService service(space, nullptr, service_options, seed);
+
+  ObservationJournal journal;
+  const std::string journal_path = args.Get("journal", "");
+  const bool group_commit = args.Get("sync-journal", "") != "true";
+  if (!journal_path.empty()) {
+    auto opened = ObservationJournal::Open(journal_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open journal: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    journal = std::move(*opened);
+    if (group_commit) journal.StartGroupCommit({});
+    service.AttachJournal(&journal);
+  }
+
+  tools::ConcurrentDriverOptions driver_options;
+  driver_options.threads = args.GetInt("threads", 4);
+  driver_options.iterations = args.GetInt("iters", 20);
+  driver_options.chaos = args.Get("chaos", "") == "true";
+  driver_options.execution_latency_us = args.GetInt("latency-us", 0);
+  driver_options.fluctuation_level = args.GetDouble("fl", 0.3);
+  driver_options.spike_level = args.GetDouble("sl", 0.3);
+  driver_options.seed = seed;
+
+  std::printf("serving %zu signatures x %d iterations from %d tenant "
+              "threads%s\n\n",
+              plans.size(), driver_options.iterations, driver_options.threads,
+              driver_options.chaos ? " under injected faults" : "");
+  tools::ConcurrentDriver driver(&service, driver_options);
+  const tools::ConcurrentDriverReport report = driver.Run(plans);
+  if (!journal_path.empty()) journal.StopGroupCommit();
+
+  std::printf("served %zu queries in %.2f s: %.0f queries/s\n", report.queries,
+              report.wall_seconds, report.queries_per_second);
+  if (driver_options.chaos) {
+    std::printf("injected: %zu job failures, %zu dropped, %zu duplicated, "
+                "%zu reordered, %zu corrupted events\n",
+                report.job_failures, report.dropped_events,
+                report.duplicated_events, report.reordered_events,
+                report.corrupted_events);
+  }
+  const TelemetryStats& stats = service.telemetry_stats();
+  std::printf("sanitizer: %llu accepted, %llu rejected; guardrail disabled "
+              "%zu/%zu signatures\n",
+              static_cast<unsigned long long>(
+                  stats.accepted.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(stats.total_rejected()),
+              service.NumDisabled(), service.NumSignatures());
+  if (!journal_path.empty()) {
+    std::printf("journal written to %s via %s (%llu append errors)\n",
+                journal_path.c_str(),
+                group_commit ? "group commit" : "synchronous appends",
+                static_cast<unsigned long long>(service.journal_errors()));
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
@@ -428,7 +508,11 @@ void PrintUsage() {
       "          flags: --suite=tpch|tpcds --iters=N --fl=F --sl=F\n"
       "                 --journal=FILE --seed=N\n"
       "  recover restore tuning state from a crash-safe journal\n"
-      "          flags: --journal=FILE --suite=tpch|tpcds --seed=N\n");
+      "          flags: --journal=FILE --suite=tpch|tpcds --seed=N\n"
+      "  serve   drive one shared service from concurrent tenant threads\n"
+      "          flags: --suite=tpcds|tpch --threads=N --iters=N --chaos\n"
+      "                 --latency-us=N --journal=FILE --sync-journal\n"
+      "                 --fl=F --sl=F --seed=N\n");
 }
 
 }  // namespace
@@ -440,6 +524,7 @@ int main(int argc, char** argv) {
   if (args.command == "report") return RunReport(args);
   if (args.command == "chaos") return RunChaos(args);
   if (args.command == "recover") return RunRecover(args);
+  if (args.command == "serve") return RunServe(args);
   PrintUsage();
   return args.command.empty() ? 1 : 2;
 }

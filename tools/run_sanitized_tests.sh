@@ -1,21 +1,41 @@
 #!/usr/bin/env bash
-# Configures, builds, and runs the full test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer (the ROCKHOPPER_SANITIZE build). Uses its own
-# build directory so the regular build stays untouched.
+# Configures, builds, and runs the full test suite under a sanitizer build
+# (the ROCKHOPPER_SANITIZE option). Each sanitizer uses its own build
+# directory so the regular build stays untouched.
 #
-# Usage: tools/run_sanitized_tests.sh [ctest-args...]
+# Usage: tools/run_sanitized_tests.sh [asan|tsan] [ctest-args...]
+#   asan (default): AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan:           ThreadSanitizer — exercises the sharded service, the
+#                   striped stores, and the group-commit journal writer
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${ROCKHOPPER_SANITIZE_BUILD_DIR:-${repo_root}/build-asan}"
+
+mode="asan"
+if [[ $# -gt 0 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  mode="$1"
+  shift
+fi
+
+case "${mode}" in
+  asan)
+    build_dir="${ROCKHOPPER_SANITIZE_BUILD_DIR:-${repo_root}/build-asan}"
+    sanitize_value="address"
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+    ;;
+  tsan)
+    build_dir="${ROCKHOPPER_SANITIZE_BUILD_DIR:-${repo_root}/build-tsan}"
+    sanitize_value="thread"
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+    ;;
+esac
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DROCKHOPPER_SANITIZE=ON \
+  -DROCKHOPPER_SANITIZE="${sanitize_value}" \
   -DROCKHOPPER_BUILD_BENCHMARKS=OFF \
   -DROCKHOPPER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)"
 
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
