@@ -3,14 +3,21 @@
 // embedding computation, cost-model evaluation, and the full Centroid
 // Learning propose step — the work on a query's critical submission path.
 
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <numbers>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common/matrix.h"
 #include "core/centroid_learning.h"
 #include "core/embedding.h"
 #include "core/window_model.h"
 #include "ml/gaussian_process.h"
+#include "ml/kernel.h"
+#include "ml/scaler.h"
 #include "sparksim/cost_model.h"
 #include "sparksim/synthetic.h"
 #include "sparksim/workloads.h"
@@ -78,7 +85,114 @@ void BM_GpFit(benchmark::State& state) {
     benchmark::DoNotOptimize(gp.Fit(data).ok());
   }
 }
-BENCHMARK(BM_GpFit)->Arg(20)->Arg(60);
+BENCHMARK(BM_GpFit)->Arg(20)->Arg(60)->Arg(80);
+
+ml::Dataset RandomGpData(int n, uint64_t seed) {
+  common::Rng rng(seed);
+  ml::Dataset data;
+  for (int i = 0; i < n; ++i) {
+    data.Add({rng.Uniform(), rng.Uniform(), rng.Uniform()}, rng.Uniform());
+  }
+  return data;
+}
+
+// The pre-PR per-observation refit, reconstructed from public primitives:
+// every lengthscale in the grid recomputes the full Gram matrix pair by
+// pair (no distance cache), refactorizes, and the winning lengthscale is
+// then fit once more from scratch. This is the baseline the incremental
+// update is measured against.
+void BM_GpLegacyPerObservationRefit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ml::Dataset data = RandomGpData(n, 9);
+  ml::StandardScaler scaler;
+  if (!scaler.Fit(data.x).ok()) state.SkipWithError("scaler failed");
+  const common::Matrix xs = scaler.TransformBatch(data.x);
+  std::vector<double> y_std(data.y);
+  const std::vector<double> grid = {0.25, 0.5, 1.0, 2.0, 4.0};
+  const double noise = 0.1;
+  const auto fit_one = [&](double ls) {
+    common::Matrix k = GramMatrix(ml::RbfKernel{ls, 1.0}, xs);
+    k.AddDiagonal(noise);
+    auto l = common::CholeskyFactor(k, 1e-8);
+    if (!l.ok()) return -std::numeric_limits<double>::infinity();
+    const std::vector<double> z = common::ForwardSubstitute(*l, y_std);
+    const std::vector<double> alpha = common::BackSubstituteTranspose(*l, z);
+    double log_det = 0.0;
+    for (size_t i = 0; i < l->rows(); ++i) log_det += std::log((*l)(i, i));
+    return -0.5 * common::Dot(y_std, alpha) - log_det -
+           0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+  };
+  for (auto _ : state) {
+    double best_lml = -std::numeric_limits<double>::infinity();
+    double best_ls = 1.0;
+    for (double ls : grid) {
+      const double lml = fit_one(ls);
+      if (lml > best_lml) {
+        best_lml = lml;
+        best_ls = ls;
+      }
+    }
+    benchmark::DoNotOptimize(fit_one(best_ls));  // the duplicate winner fit
+  }
+}
+BENCHMARK(BM_GpLegacyPerObservationRefit)->Arg(20)->Arg(80);
+
+// One incremental observation absorb at window size n: the O(n^2) Cholesky
+// row-append path that replaces the legacy refit above on the hot path.
+void BM_GpIncrementalUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ml::Dataset data = RandomGpData(n, 10);
+  ml::GaussianProcessOptions options;
+  options.refit_interval = 0;
+  options.min_incremental_rows = 0;
+  options.scaler_drift_zscore = 0.0;
+  ml::GaussianProcessRegressor base(options);
+  if (!base.Fit(data).ok()) state.SkipWithError("fit failed");
+  const std::vector<double> features = {0.4, 0.5, 0.6};
+  for (auto _ : state) {
+    state.PauseTiming();
+    ml::GaussianProcessRegressor gp = base;  // reset to the n-row window
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(gp.Update(features, 0.5).ok());
+  }
+}
+BENCHMARK(BM_GpIncrementalUpdate)->Arg(20)->Arg(80);
+
+std::vector<std::vector<double>> RandomPool(int m, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<double>> pool(m);
+  for (auto& q : pool) q = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+  return pool;
+}
+
+// Candidate-pool scoring, one PredictWithUncertainty call per candidate
+// (the pre-PR Propose/SelectBest inner loop).
+void BM_GpPredictPoolPerCandidate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ml::GaussianProcessRegressor gp;
+  if (!gp.Fit(RandomGpData(n, 11)).ok()) state.SkipWithError("fit failed");
+  const std::vector<std::vector<double>> pool = RandomPool(64, 12);
+  for (auto _ : state) {
+    for (const auto& q : pool) {
+      benchmark::DoNotOptimize(gp.PredictWithUncertainty(q));
+    }
+  }
+}
+BENCHMARK(BM_GpPredictPoolPerCandidate)->Arg(20)->Arg(80);
+
+// The same pool through one batched pass: one cross-kernel block plus a
+// multi-right-hand-side triangular solve.
+void BM_GpPredictBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ml::GaussianProcessRegressor gp;
+  if (!gp.Fit(RandomGpData(n, 11)).ok()) state.SkipWithError("fit failed");
+  common::Matrix pool;
+  for (const auto& q : RandomPool(64, 12)) pool.AppendRow(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.PredictBatch(pool));
+  }
+}
+BENCHMARK(BM_GpPredictBatch)->Arg(20)->Arg(80);
 
 void BM_WindowModelFit(benchmark::State& state) {
   const ConfigSpace space = QueryLevelSpace();

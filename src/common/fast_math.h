@@ -1,0 +1,64 @@
+#ifndef ROCKHOPPER_COMMON_FAST_MATH_H_
+#define ROCKHOPPER_COMMON_FAST_MATH_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace rockhopper::common {
+
+// Marks a function for per-ISA cloning with runtime dispatch, so loops over
+// contiguous spans vectorize at the widest width the host supports. The AVX2
+// clone is bit-identical to the baseline clone: it only widens IEEE mul/add/
+// div/sqrt lanes and deliberately leaves FMA off (contraction would change
+// rounding between clones and make results machine-dependent). Disabled under
+// sanitizers: target_clones emits IFUNC resolvers that run during relocation,
+// before the sanitizer runtime is initialized (TSan segfaults at startup).
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    defined(__gnu_linux__) && !defined(__SANITIZE_THREAD__) &&         \
+    !defined(__SANITIZE_ADDRESS__)
+#define ROCKHOPPER_VECTOR_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define ROCKHOPPER_VECTOR_CLONES
+#endif
+
+// Branch-free exp(x) built for auto-vectorization: Cody-Waite range reduction
+// to |r| <= ln(2)/2, a degree-11 Taylor polynomial, and exponent assembly via
+// integer bit manipulation. Maximum relative error vs std::exp is ~9e-15 for
+// x in [-708, 708]; outside that range the result saturates (~2e-308 below,
+// ~9e307 above) instead of producing denormals/infinity. The input must be
+// finite. Unlike std::exp this contains no data-dependent branches or libm
+// calls, so a loop applying it to a span compiles to straight SIMD code.
+inline double FastExp(double x) {
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  // kd carries round(x / ln 2) in its low mantissa bits (exact for |k| < 2^51).
+  const double kd = x * kLog2e + kShift;
+  const double kdd = kd - kShift;
+  const double r = (x - kdd * kLn2Hi) - kdd * kLn2Lo;
+  double p = 1.0 / 39916800.0;  // 1/11!
+  p = p * r + 1.0 / 3628800.0;
+  p = p * r + 1.0 / 362880.0;
+  p = p * r + 1.0 / 40320.0;
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  int64_t ki = std::bit_cast<int64_t>(kd) - std::bit_cast<int64_t>(kShift);
+  // Integer-side saturation keeps the exponent construction valid for any
+  // finite input; double-typed clamps would block vectorization (GCC only
+  // forms float min/max under -ffinite-math-only).
+  ki = ki < -1022 ? -1022 : ki;
+  ki = ki > 1023 ? 1023 : ki;
+  const double scale = std::bit_cast<double>((ki + 1023) << 52);
+  return p * scale;
+}
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_FAST_MATH_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fast_math.h"
+
 namespace rockhopper::common {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -25,6 +27,27 @@ std::vector<double> Matrix::Row(size_t r) const {
   assert(r < rows_);
   return std::vector<double>(data_.begin() + r * cols_,
                              data_.begin() + (r + 1) * cols_);
+}
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (data_.empty() && rows_ == 0) {
+    cols_ = row.size();
+  }
+  assert(row.size() == cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+void Matrix::DropFirstRows(size_t n) {
+  if (n == 0) return;
+  if (n >= rows_) {
+    data_.clear();
+    rows_ = 0;
+    return;
+  }
+  data_.erase(data_.begin(),
+              data_.begin() + static_cast<std::ptrdiff_t>(n * cols_));
+  rows_ -= n;
 }
 
 std::vector<double> Matrix::Col(size_t c) const {
@@ -123,8 +146,52 @@ Result<Matrix> CholeskyFactor(const Matrix& a, double jitter) {
   return r;
 }
 
+Status CholeskyAppendRow(Matrix* l, std::span<const double> row,
+                         double jitter) {
+  assert(l != nullptr);
+  const size_t n = l->rows();
+  if (l->cols() != n) {
+    return Status::InvalidArgument("CholeskyAppendRow requires a square L");
+  }
+  if (row.size() != n + 1) {
+    return Status::InvalidArgument(
+        "CholeskyAppendRow requires n cross terms plus the new diagonal");
+  }
+  const std::vector<double> y = ForwardSubstitute(*l, row.subspan(0, n));
+  const double cross = Dot(y, y);
+  double diag = row[n] - cross;
+  if (diag <= 0.0 || !std::isfinite(diag)) {
+    if (jitter <= 0.0 || !std::isfinite(diag)) {
+      return Status::Internal("appended row breaks positive definiteness");
+    }
+    double eps = jitter;
+    bool rescued = false;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      diag = row[n] + eps - cross;
+      if (diag > 0.0) {
+        rescued = true;
+        break;
+      }
+      eps *= 2.0;
+    }
+    if (!rescued) {
+      return Status::Internal("appended row breaks positive definiteness");
+    }
+  }
+  // Rebuild as (n+1) x (n+1): the old factor is preserved verbatim, the new
+  // bottom row is [y^T, sqrt(diag)].
+  Matrix grown(n + 1, n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) grown(i, j) = (*l)(i, j);
+  }
+  for (size_t j = 0; j < n; ++j) grown(n, j) = y[j];
+  grown(n, n) = std::sqrt(diag);
+  *l = std::move(grown);
+  return Status::OK();
+}
+
 std::vector<double> ForwardSubstitute(const Matrix& l,
-                                      const std::vector<double>& b) {
+                                      std::span<const double> b) {
   const size_t n = l.rows();
   assert(l.cols() == n && b.size() == n);
   std::vector<double> y(n);
@@ -137,7 +204,7 @@ std::vector<double> ForwardSubstitute(const Matrix& l,
 }
 
 std::vector<double> BackSubstituteTranspose(const Matrix& l,
-                                            const std::vector<double>& y) {
+                                            std::span<const double> y) {
   const size_t n = l.rows();
   assert(l.cols() == n && y.size() == n);
   std::vector<double> x(n);
@@ -146,6 +213,102 @@ std::vector<double> BackSubstituteTranspose(const Matrix& l,
     double sum = y[i];
     for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
     x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+namespace {
+
+// Eliminates rows [k0, k1) of the already-solved block from row `ri` of the
+// solution matrix (n x m, row-major), reading the multiplier for row k from
+// coef[k * stride]. The 8-way unroll keeps the target row in registers across
+// eight subtractions; each subtraction stays a separate IEEE operation in
+// ascending k order, so results are bit-identical to the naive loop. The
+// __restrict qualifiers (target row vs. solved rows never overlap) and the
+// per-ISA clones are what let the j loop vectorize.
+ROCKHOPPER_VECTOR_CLONES
+void EliminateRows(double* __restrict yi, const double* __restrict y, size_t m,
+                   const double* __restrict coef, size_t stride, size_t k0,
+                   size_t k1) {
+  size_t k = k0;
+  for (; k + 8 <= k1; k += 8) {
+    const double c0 = coef[k * stride];
+    const double c1 = coef[(k + 1) * stride];
+    const double c2 = coef[(k + 2) * stride];
+    const double c3 = coef[(k + 3) * stride];
+    const double c4 = coef[(k + 4) * stride];
+    const double c5 = coef[(k + 5) * stride];
+    const double c6 = coef[(k + 6) * stride];
+    const double c7 = coef[(k + 7) * stride];
+    const double* __restrict y0 = y + k * m;
+    const double* __restrict y1 = y + (k + 1) * m;
+    const double* __restrict y2 = y + (k + 2) * m;
+    const double* __restrict y3 = y + (k + 3) * m;
+    const double* __restrict y4 = y + (k + 4) * m;
+    const double* __restrict y5 = y + (k + 5) * m;
+    const double* __restrict y6 = y + (k + 6) * m;
+    const double* __restrict y7 = y + (k + 7) * m;
+    for (size_t j = 0; j < m; ++j) {
+      double t = yi[j];
+      t -= c0 * y0[j];
+      t -= c1 * y1[j];
+      t -= c2 * y2[j];
+      t -= c3 * y3[j];
+      t -= c4 * y4[j];
+      t -= c5 * y5[j];
+      t -= c6 * y6[j];
+      t -= c7 * y7[j];
+      yi[j] = t;
+    }
+  }
+  for (; k < k1; ++k) {
+    const double c = coef[k * stride];
+    const double* __restrict yk = y + k * m;
+    for (size_t j = 0; j < m; ++j) yi[j] -= c * yk[j];
+  }
+}
+
+ROCKHOPPER_VECTOR_CLONES
+void DivideRow(double* __restrict yi, size_t m, double d) {
+  for (size_t j = 0; j < m; ++j) yi[j] /= d;
+}
+
+}  // namespace
+
+Matrix ForwardSubstituteMulti(const Matrix& l, const Matrix& b) {
+  const size_t n = l.rows();
+  const size_t m = b.cols();
+  assert(l.cols() == n && b.rows() == n);
+  Matrix y(n, m);
+  if (m == 0) return y;
+  for (size_t i = 0; i < n; ++i) {
+    std::span<double> yi = y.MutableRowSpan(i);
+    const std::span<const double> bi = b.RowSpan(i);
+    for (size_t j = 0; j < m; ++j) yi[j] = bi[j];
+    // Row i of L holds the multipliers for solved rows 0..i-1, contiguously.
+    EliminateRows(yi.data(), y.RowSpan(0).data(), m, l.RowSpan(i).data(),
+                  /*stride=*/1, 0, i);
+    DivideRow(yi.data(), m, l(i, i));
+  }
+  return y;
+}
+
+Matrix BackSubstituteTransposeMulti(const Matrix& l, const Matrix& y) {
+  const size_t n = l.rows();
+  const size_t m = y.cols();
+  assert(l.cols() == n && y.rows() == n);
+  Matrix x(n, m);
+  if (m == 0) return x;
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    std::span<double> xi = x.MutableRowSpan(i);
+    const std::span<const double> yi = y.RowSpan(i);
+    for (size_t j = 0; j < m; ++j) xi[j] = yi[j];
+    // Column i of L holds the multipliers for solved rows i+1..n-1, strided
+    // by the row length.
+    EliminateRows(xi.data(), x.RowSpan(0).data(), m, l.RowSpan(0).data() + i,
+                  /*stride=*/n, i + 1, n);
+    DivideRow(xi.data(), m, l(i, i));
   }
   return x;
 }
@@ -212,17 +375,16 @@ Result<std::vector<double>> LeastSquares(const Matrix& x,
   return CholeskySolve(gram, xty, /*jitter=*/1e-10);
 }
 
-double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+double Dot(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
 }
 
-double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+double Norm(std::span<const double> v) { return std::sqrt(Dot(v, v)); }
 
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b) {
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {

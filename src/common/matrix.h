@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -11,7 +12,13 @@ namespace rockhopper::common {
 
 /// Dense row-major matrix of doubles. Sized for the small/medium linear
 /// systems used by the surrogate models (tens to low thousands of rows);
-/// no attempt is made at cache blocking or SIMD.
+/// no attempt is made at cache blocking or SIMD, but the storage is flat
+/// and contiguous so row operations stream and auto-vectorize.
+///
+/// Besides fixed-shape math, the matrix doubles as an appendable row store
+/// (AppendRow / DropFirstRows / RowSpan): the incremental surrogate engine
+/// keeps feature windows and Cholesky factors in this one representation
+/// instead of `vector<vector<double>>`.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -40,6 +47,28 @@ class Matrix {
 
   /// Copies row `r` out as a vector.
   std::vector<double> Row(size_t r) const;
+
+  /// Zero-copy view of row `r`.
+  std::span<const double> RowSpan(size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> MutableRowSpan(size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// Row view; lets datasets be indexed like the old nested vectors.
+  std::span<const double> operator[](size_t r) const { return RowSpan(r); }
+
+  /// Pre-allocates storage for `rows` rows of `cols` columns.
+  void Reserve(size_t rows, size_t cols) { data_.reserve(rows * cols); }
+
+  /// Appends one row in amortized O(cols). The first row appended to an
+  /// empty matrix fixes the column count; later rows must match it.
+  void AppendRow(std::span<const double> row);
+
+  /// Removes the first `n` rows in place (sliding-window truncation).
+  void DropFirstRows(size_t n);
 
   /// Copies column `c` out as a vector.
   std::vector<double> Col(size_t c) const;
@@ -76,14 +105,36 @@ class Matrix {
 /// times, the standard Gaussian-process trick for near-singular kernels).
 Result<Matrix> CholeskyFactor(const Matrix& a, double jitter = 0.0);
 
+/// Grows the Cholesky factor of an SPD matrix by one row in O(n^2): given
+/// `l` with L L^T = A (n x n) and `row` = the new bottom row of the grown
+/// matrix A' — the n cross terms A'(n, 0..n-1) followed by the new diagonal
+/// A'(n, n) — rewrites `l` as the (n+1) x (n+1) factor of A'. Solves
+/// L y = row[0..n) by forward substitution and appends [y^T, sqrt(d)] with
+/// d = row[n] - ||y||^2. When d is non-positive and `jitter` > 0, the jitter
+/// is added to the *new* diagonal entry and doubled up to 8 times (mirroring
+/// CholeskyFactor); if that fails, `l` is left unchanged and Internal is
+/// returned.
+Status CholeskyAppendRow(Matrix* l, std::span<const double> row,
+                         double jitter = 0.0);
+
 /// Solves L * y = b for y where L is lower triangular (forward substitution).
 std::vector<double> ForwardSubstitute(const Matrix& l,
-                                      const std::vector<double>& b);
+                                      std::span<const double> b);
 
 /// Solves L^T * x = y where L is lower triangular (back substitution on the
 /// implicit transpose).
 std::vector<double> BackSubstituteTranspose(const Matrix& l,
-                                            const std::vector<double>& y);
+                                            std::span<const double> y);
+
+/// Multi-right-hand-side forward substitution: solves L * Y = B for Y where
+/// B is n x m (each column an independent right-hand side). Row-contiguous
+/// updates stream across all m systems at once, so the per-system cost
+/// vectorizes instead of being latency-bound like m single solves.
+Matrix ForwardSubstituteMulti(const Matrix& l, const Matrix& b);
+
+/// Multi-right-hand-side back substitution on the implicit transpose:
+/// solves L^T * X = Y with Y given as n x m.
+Matrix BackSubstituteTransposeMulti(const Matrix& l, const Matrix& y);
 
 /// Solves A * x = b via the Cholesky factorization; A must be symmetric
 /// positive definite (jitter retries as in CholeskyFactor).
@@ -103,14 +154,24 @@ Result<std::vector<double>> LeastSquares(const Matrix& x,
                                          double l2 = 0.0);
 
 /// Dot product; requires equal lengths.
-double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double Dot(std::span<const double> a, std::span<const double> b);
+inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  return Dot(std::span<const double>(a), std::span<const double>(b));
+}
 
 /// Euclidean norm.
-double Norm(const std::vector<double>& v);
+double Norm(std::span<const double> v);
+inline double Norm(const std::vector<double>& v) {
+  return Norm(std::span<const double>(v));
+}
 
 /// Squared Euclidean distance between two equal-length vectors.
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b);
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+inline double SquaredDistance(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  return SquaredDistance(std::span<const double>(a),
+                         std::span<const double>(b));
+}
 
 }  // namespace rockhopper::common
 

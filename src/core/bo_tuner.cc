@@ -3,7 +3,19 @@
 #include <cmath>
 #include <limits>
 
+#include "common/matrix.h"
+
 namespace rockhopper::core {
+
+namespace {
+
+ml::GaussianProcessOptions WithWindow(ml::GaussianProcessOptions gp,
+                                      size_t max_window) {
+  if (gp.max_rows == 0) gp.max_rows = max_window;
+  return gp;
+}
+
+}  // namespace
 
 BoTuner::BoTuner(const sparksim::ConfigSpace& space,
                  sparksim::ConfigVector start, BoTunerOptions options,
@@ -15,7 +27,7 @@ BoTuner::BoTuner(const sparksim::ConfigSpace& space,
       rng_(seed),
       baseline_(baseline),
       embedding_(std::move(embedding)),
-      gp_(options.gp),
+      gp_(WithWindow(options.gp, options.max_window)),
       best_runtime_(std::numeric_limits<double>::infinity()) {}
 
 std::vector<double> BoTuner::Features(const sparksim::ConfigVector& config,
@@ -36,17 +48,30 @@ sparksim::ConfigVector BoTuner::Propose(double expected_data_size) {
                               !embedding_.empty();
   const double gp_weight = std::min(
       1.0, static_cast<double>(history_.size()) / 10.0);
-  sparksim::ConfigVector best_candidate = space_.Sample(&rng_);
-  double best_score = -std::numeric_limits<double>::infinity();
+  // Draw the candidate pool up front, score it through one batched GP pass,
+  // and seed the argmax with the first candidate — no RNG draw is burned on
+  // a throwaway placeholder.
+  std::vector<sparksim::ConfigVector> pool;
+  pool.reserve(static_cast<size_t>(std::max(0, options_.candidate_pool)));
   for (int i = 0; i < options_.candidate_pool; ++i) {
-    sparksim::ConfigVector candidate = space_.Sample(&rng_);
-    const ml::Prediction pred =
-        gp_.PredictWithUncertainty(Features(candidate, expected_data_size));
+    pool.push_back(space_.Sample(&rng_));
+  }
+  if (pool.empty()) return space_.Sample(&rng_);
+  common::Matrix features;
+  for (const auto& candidate : pool) {
+    const std::vector<double> row = Features(candidate, expected_data_size);
+    if (features.rows() == 0) features.Reserve(pool.size(), row.size());
+    features.AppendRow(row);
+  }
+  const std::vector<ml::Prediction> preds = gp_.PredictBatch(features);
+  size_t best_index = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pool.size(); ++i) {
     double score =
-        ml::AcquisitionScore(options_.acquisition, pred, best_runtime_);
+        ml::AcquisitionScore(options_.acquisition, preds[i], best_runtime_);
     if (baseline_ready && gp_weight < 1.0) {
       const double baseline_runtime = baseline_->PredictRuntime(
-          embedding_, candidate, expected_data_size);
+          embedding_, pool[i], expected_data_size);
       score = gp_weight * score +
               (1.0 - gp_weight) *
                   ml::AcquisitionScore(options_.acquisition,
@@ -55,10 +80,10 @@ sparksim::ConfigVector BoTuner::Propose(double expected_data_size) {
     }
     if (score > best_score) {
       best_score = score;
-      best_candidate = std::move(candidate);
+      best_index = i;
     }
   }
-  return best_candidate;
+  return pool[best_index];
 }
 
 void BoTuner::Observe(const sparksim::ConfigVector& config, double data_size,
@@ -71,17 +96,11 @@ void BoTuner::Observe(const sparksim::ConfigVector& config, double data_size,
   history_.push_back(std::move(obs));
   best_runtime_ = std::min(best_runtime_, runtime);
 
-  ml::Dataset data;
-  const size_t start = history_.size() > options_.max_window
-                           ? history_.size() - options_.max_window
-                           : 0;
-  for (size_t i = start; i < history_.size(); ++i) {
-    data.Add(Features(history_[i].config, history_[i].data_size),
-             history_[i].runtime);
-  }
-  // Refit failures keep the previous surrogate; proposals fall back to
-  // random sampling until a fit succeeds.
-  (void)gp_.Fit(data);
+  // Incremental absorb: O(n^2) Cholesky row-append on the hot path, with
+  // the GP escalating to full refits per its policy (refit cadence, window
+  // slide, scaler drift). Failures keep the previous surrogate; proposals
+  // fall back to random sampling until a fit succeeds.
+  (void)gp_.Update(Features(config, data_size), runtime);
 }
 
 }  // namespace rockhopper::core

@@ -4,9 +4,20 @@
 #include <cmath>
 #include <limits>
 
+#include "common/matrix.h"
 #include "core/window_model.h"
 
 namespace rockhopper::core {
+
+namespace {
+
+ml::GaussianProcessOptions WithWindow(ml::GaussianProcessOptions gp,
+                                      size_t max_window) {
+  if (gp.max_rows == 0) gp.max_rows = max_window;
+  return gp;
+}
+
+}  // namespace
 
 SurrogateScorer::SurrogateScorer(const sparksim::ConfigSpace& space,
                                  const BaselineModel* baseline,
@@ -15,7 +26,8 @@ SurrogateScorer::SurrogateScorer(const sparksim::ConfigSpace& space,
     : space_(space),
       baseline_(baseline),
       embedding_(std::move(embedding)),
-      options_(options) {}
+      options_(options),
+      gp_(WithWindow(options.gp, options.max_window)) {}
 
 std::vector<double> SurrogateScorer::GpFeatures(
     const sparksim::ConfigVector& config, double data_size) const {
@@ -23,8 +35,28 @@ std::vector<double> SurrogateScorer::GpFeatures(
 }
 
 void SurrogateScorer::Update(const ObservationWindow& history) {
+  const size_t prev_size = history_size_;
   history_size_ = history.size();
-  if (history.size() < options_.min_history) return;
+  if (history.empty()) return;
+  if (history.size() < options_.min_history) {
+    last_tail_iteration_ = history.back().iteration;
+    return;
+  }
+  // Tuning histories normally grow by one row per observation; when the new
+  // history extends the one already absorbed, route through the GP's O(n^2)
+  // incremental update instead of rebuilding the training set. The GP
+  // windows itself (max_rows) and escalates to full refits per its policy.
+  const bool pure_append =
+      gp_.is_fitted() && history.size() == prev_size + 1 &&
+      history.size() >= 2 &&
+      history[history.size() - 2].iteration == last_tail_iteration_;
+  last_tail_iteration_ = history.back().iteration;
+  if (pure_append) {
+    const Observation& obs = history.back();
+    // A failed update keeps the previous fit, like a failed refit below.
+    (void)gp_.Update(GpFeatures(obs.config, obs.data_size), obs.runtime);
+    return;
+  }
   ml::Dataset data;
   const size_t start = history.size() > options_.max_window
                            ? history.size() - options_.max_window
@@ -52,15 +84,30 @@ size_t SurrogateScorer::SelectBest(
       gp_ready ? std::min(1.0, static_cast<double>(history_size_) /
                                    options_.blend_saturation)
                : 0.0;
+  if (!gp_ready && !baseline_ready) {
+    // No information at all: keep the first candidate (the centroid).
+    return 0;
+  }
+  // Score the whole candidate set through one batched GP pass: one
+  // cross-kernel block and a multi-RHS triangular solve instead of a
+  // latency-bound solve per candidate.
+  std::vector<ml::Prediction> preds;
+  if (gp_ready) {
+    common::Matrix features;
+    for (const auto& candidate : candidates) {
+      const std::vector<double> row = GpFeatures(candidate, data_size);
+      if (features.rows() == 0) features.Reserve(candidates.size(), row.size());
+      features.AppendRow(row);
+    }
+    preds = gp_.PredictBatch(features);
+  }
   size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < candidates.size(); ++i) {
     double score = 0.0;
     if (gp_ready) {
-      const ml::Prediction pred =
-          gp_.PredictWithUncertainty(GpFeatures(candidates[i], data_size));
-      score += gp_weight *
-               ml::AcquisitionScore(options_.acquisition, pred, best_observed);
+      score += gp_weight * ml::AcquisitionScore(options_.acquisition, preds[i],
+                                                best_observed);
     }
     if (baseline_ready && gp_weight < 1.0) {
       const double runtime =
@@ -71,10 +118,6 @@ size_t SurrogateScorer::SelectBest(
                ml::AcquisitionScore(options_.acquisition,
                                     ml::Prediction{runtime, 0.0},
                                     best_observed);
-    }
-    if (!gp_ready && !baseline_ready) {
-      // No information at all: keep the first candidate (the centroid).
-      return 0;
     }
     if (score > best_score) {
       best_score = score;

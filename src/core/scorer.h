@@ -46,6 +46,9 @@ class CandidateScorer {
 /// baseline scores are blended with weight growing in history size.
 struct SurrogateScorerOptions {
   ml::AcquisitionOptions acquisition;
+  /// Surrogate hyperparameters; max_rows defaults to max_window below so the
+  /// GP windows itself and pure appends stay on the O(n^2) update path.
+  ml::GaussianProcessOptions gp;
   size_t max_window = 60;    ///< cap on GP training rows (O(n^3) fits)
   size_t min_history = 3;    ///< below this, baseline-only
   double blend_saturation = 10.0;  ///< history size at which GP weight ~ 1
@@ -76,6 +79,10 @@ class SurrogateScorer : public CandidateScorer {
   Options options_;
   ml::GaussianProcessRegressor gp_;
   size_t history_size_ = 0;
+  /// Iteration number of the last history row absorbed, used to detect that
+  /// a new history is a pure append of the previous one (the hot path that
+  /// routes through the GP's O(n^2) incremental update).
+  int last_tail_iteration_ = -1;
 };
 
 /// The pseudo-surrogate of §6.1: an oracle of tunable *inaccuracy*. Level X

@@ -5,22 +5,16 @@
 namespace rockhopper::ml {
 
 Status Dataset::Validate() const {
-  if (x.size() != y.size()) {
+  if (x.rows() != y.size()) {
     return Status::InvalidArgument("feature/target count mismatch");
-  }
-  const size_t width = num_features();
-  for (const auto& row : x) {
-    if (row.size() != width) {
-      return Status::InvalidArgument("ragged feature rows");
-    }
   }
   return Status::OK();
 }
 
 void Dataset::TruncateToLast(size_t n) {
-  if (x.size() <= n) return;
-  const size_t drop = x.size() - n;
-  x.erase(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(drop));
+  if (y.size() <= n) return;
+  const size_t drop = y.size() - n;
+  x.DropFirstRows(drop);
   y.erase(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(drop));
 }
 
@@ -43,6 +37,7 @@ std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
 Dataset BootstrapSample(const Dataset& data, size_t n, common::Rng* rng) {
   Dataset out;
   if (data.empty()) return out;
+  out.Reserve(n, data.num_features());
   for (size_t i = 0; i < n; ++i) {
     const size_t j = rng->Index(data.size());
     out.Add(data.x[j], data.y[j]);

@@ -2,30 +2,46 @@
 #define ROCKHOPPER_ML_DATASET_H_
 
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "common/status.h"
 
 namespace rockhopper::ml {
 
 /// A supervised regression dataset: feature rows plus one target per row.
+/// Features live in one flat, contiguous row-major block (common::Matrix)
+/// so appends are cheap, rows are cache-friendly spans, and the surrogate
+/// models can hand the whole block to the matrix kernels without repacking.
 struct Dataset {
-  std::vector<std::vector<double>> x;
+  common::Matrix x;
   std::vector<double> y;
 
-  size_t size() const { return x.size(); }
-  size_t num_features() const { return x.empty() ? 0 : x[0].size(); }
-  bool empty() const { return x.empty(); }
+  size_t size() const { return y.size(); }
+  size_t num_features() const { return x.cols(); }
+  bool empty() const { return y.empty(); }
 
   /// Appends one example; the first row fixes the feature width.
-  void Add(std::vector<double> features, double target) {
-    x.push_back(std::move(features));
+  void Add(std::span<const double> features, double target) {
+    x.AppendRow(features);
     y.push_back(target);
   }
+  void Add(std::initializer_list<double> features, double target) {
+    Add(std::span<const double>(features.begin(), features.size()), target);
+  }
 
-  /// Validates rectangular shape and matching lengths.
+  /// Pre-allocates storage for `rows` examples of `width` features.
+  void Reserve(size_t rows, size_t width) {
+    x.Reserve(rows, width);
+    y.reserve(rows);
+  }
+
+  /// Validates matching feature/target counts (rows are rectangular by
+  /// construction in the flat representation).
   Status Validate() const;
 
   /// Keeps only the most recent `n` examples (the sliding observation

@@ -2,18 +2,44 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <numbers>
+#include <utility>
 
 namespace rockhopper::ml {
 
-double GaussianProcessRegressor::Kernel(const std::vector<double>& a,
-                                        const std::vector<double>& b) const {
+namespace {
+
+// Builds K = kernel(d2) + noise I for one lengthscale from the cached
+// pairwise squared distances.
+template <typename Kernel>
+common::Matrix KernelFromDistances(const Kernel& kernel,
+                                   const common::Matrix& d2,
+                                   double noise_variance) {
+  const size_t n = d2.rows();
+  common::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = kernel.FromSquaredDistance(d2(i, j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddDiagonal(noise_variance);
+  return k;
+}
+
+}  // namespace
+
+double GaussianProcessRegressor::KernelFromD2(double d2) const {
   switch (options_.kernel) {
     case GpKernelKind::kRbf:
-      return RbfKernel{lengthscale_, options_.signal_variance}(a, b);
+      return RbfKernel{lengthscale_, options_.signal_variance}
+          .FromSquaredDistance(d2);
     case GpKernelKind::kMatern52:
-      return Matern52Kernel{lengthscale_, options_.signal_variance}(a, b);
+      return Matern52Kernel{lengthscale_, options_.signal_variance}
+          .FromSquaredDistance(d2);
   }
   return 0.0;
 }
@@ -21,58 +47,167 @@ double GaussianProcessRegressor::Kernel(const std::vector<double>& a,
 Status GaussianProcessRegressor::Fit(const Dataset& data) {
   ROCKHOPPER_RETURN_IF_ERROR(data.Validate());
   if (data.empty()) return Status::InvalidArgument("empty training data");
+  raw_x_ = data.x;
+  raw_y_ = data.y;
+  if (options_.max_rows > 0 && raw_y_.size() > options_.max_rows) {
+    const size_t drop = raw_y_.size() - options_.max_rows;
+    raw_x_.DropFirstRows(drop);
+    raw_y_.erase(raw_y_.begin(),
+                 raw_y_.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  return FitFromRaw();
+}
+
+Status GaussianProcessRegressor::FitFromRaw() {
   fitted_ = false;
-  ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Fit(data.x));
-  y_scaler_.Fit(data.y);
-  train_x_ = x_scaler_.TransformBatch(data.x);
-  train_y_std_.resize(data.y.size());
-  for (size_t i = 0; i < data.y.size(); ++i) {
-    train_y_std_[i] = y_scaler_.Transform(data.y[i]);
+  updates_since_refit_ = 0;
+  if (raw_y_.empty()) return Status::InvalidArgument("empty training data");
+  ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Fit(raw_x_));
+  y_scaler_.Fit(raw_y_);
+  train_x_ = x_scaler_.TransformBatch(raw_x_);
+  train_y_std_.resize(raw_y_.size());
+  for (size_t i = 0; i < raw_y_.size(); ++i) {
+    train_y_std_[i] = y_scaler_.Transform(raw_y_[i]);
   }
 
-  double best_lml = -std::numeric_limits<double>::infinity();
-  double best_lengthscale = 1.0;
-  bool any_ok = false;
+  // One O(n^2 * d) distance pass serves the entire lengthscale grid: both
+  // kernels depend on the inputs only through ||a - b||^2.
+  const common::Matrix d2 = PairwiseSquaredDistances(train_x_);
+  const double n = static_cast<double>(raw_y_.size());
+  const double norm_term = 0.5 * n * std::log(2.0 * std::numbers::pi);
+
   std::vector<double> grid = options_.lengthscale_grid;
   if (grid.empty()) grid = {1.0};
+  bool any_ok = false;
+  double best_lml = -std::numeric_limits<double>::infinity();
+  double best_lengthscale = 1.0;
+  common::Matrix best_chol(0, 0);
+  std::vector<double> best_alpha;
   for (double ls : grid) {
-    double lml = 0.0;
-    if (FitWithLengthscale(ls, &lml).ok() && lml > best_lml) {
+    common::Matrix k(0, 0);
+    switch (options_.kernel) {
+      case GpKernelKind::kRbf:
+        k = KernelFromDistances(RbfKernel{ls, options_.signal_variance}, d2,
+                                options_.noise_variance);
+        break;
+      case GpKernelKind::kMatern52:
+        k = KernelFromDistances(Matern52Kernel{ls, options_.signal_variance},
+                                d2, options_.noise_variance);
+        break;
+    }
+    auto l = common::CholeskyFactor(k, /*jitter=*/1e-8);
+    if (!l.ok()) continue;
+    const std::vector<double> z = common::ForwardSubstitute(*l, train_y_std_);
+    std::vector<double> alpha = common::BackSubstituteTranspose(*l, z);
+    // log p(y) = -1/2 y^T alpha - sum(log diag L) - n/2 log(2 pi)
+    double log_det = 0.0;
+    for (size_t i = 0; i < l->rows(); ++i) log_det += std::log((*l)(i, i));
+    const double lml =
+        -0.5 * common::Dot(train_y_std_, alpha) - log_det - norm_term;
+    if (lml > best_lml) {
       best_lml = lml;
       best_lengthscale = ls;
+      best_chol = std::move(*l);
+      best_alpha = std::move(alpha);
       any_ok = true;
     }
   }
   if (!any_ok) return Status::Internal("GP fit failed for all lengthscales");
-  ROCKHOPPER_RETURN_IF_ERROR(FitWithLengthscale(best_lengthscale, &best_lml));
+  lengthscale_ = best_lengthscale;
+  chol_ = std::move(best_chol);
+  alpha_ = std::move(best_alpha);
   log_marginal_likelihood_ = best_lml;
   fitted_ = true;
   return Status::OK();
 }
 
-Status GaussianProcessRegressor::FitWithLengthscale(double lengthscale,
-                                                    double* lml) {
-  lengthscale_ = lengthscale;
-  common::Matrix k(train_x_.size(), train_x_.size());
-  for (size_t i = 0; i < train_x_.size(); ++i) {
-    for (size_t j = i; j < train_x_.size(); ++j) {
-      const double v = Kernel(train_x_[i], train_x_[j]);
+void GaussianProcessRegressor::AppendRaw(std::span<const double> features,
+                                         double target) {
+  raw_x_.AppendRow(features);
+  raw_y_.push_back(target);
+}
+
+Status GaussianProcessRegressor::Update(std::span<const double> features,
+                                        double target) {
+  if (raw_x_.rows() > 0 && features.size() != raw_x_.cols()) {
+    return Status::InvalidArgument("feature width mismatch in GP update");
+  }
+  AppendRaw(features, target);
+  bool slid = false;
+  if (options_.max_rows > 0 && raw_y_.size() > options_.max_rows) {
+    raw_x_.DropFirstRows(1);
+    raw_y_.erase(raw_y_.begin());
+    slid = true;
+  }
+  // The factorization only extends; a window slide drops its first row and
+  // a missing fit means there is nothing to extend. Small windows refit
+  // fully: cheap, and hyperparameter freshness matters most early.
+  if (!fitted_ || slid || raw_y_.size() < options_.min_incremental_rows) {
+    return FitFromRaw();
+  }
+  ++updates_since_refit_;
+  if (options_.refit_interval > 0 &&
+      updates_since_refit_ >= options_.refit_interval) {
+    return FitFromRaw();
+  }
+  const std::vector<double> xs = x_scaler_.Transform(features);
+  const double ys = y_scaler_.Transform(target);
+  if (options_.scaler_drift_zscore > 0.0) {
+    const double z = options_.scaler_drift_zscore;
+    bool drifted = std::abs(ys) > z;
+    for (size_t j = 0; !drifted && j < xs.size(); ++j) {
+      drifted = std::abs(xs[j]) > z;
+    }
+    if (drifted) return FitFromRaw();
+  }
+
+  // Exact O(n^2) rank-append of the factorization under the frozen scalers
+  // and lengthscale.
+  const size_t n = train_x_.rows();
+  const std::span<const double> xs_span(xs);
+  std::vector<double> row(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    row[i] = KernelFromD2(common::SquaredDistance(train_x_[i], xs_span));
+  }
+  row[n] = KernelFromD2(0.0) + options_.noise_variance;
+  const Status append = common::CholeskyAppendRow(&chol_, row, /*jitter=*/1e-8);
+  if (!append.ok()) return FitFromRaw();  // numerically degenerate append
+  train_x_.AppendRow(xs_span);
+  train_y_std_.push_back(ys);
+  const std::vector<double> z = common::ForwardSubstitute(chol_, train_y_std_);
+  alpha_ = common::BackSubstituteTranspose(chol_, z);
+  RecomputeLogMarginalLikelihood();
+  return Status::OK();
+}
+
+Status GaussianProcessRegressor::ForceFullFactorization() {
+  if (!fitted_) return Status::FailedPrecondition("GP not fitted");
+  const common::Matrix d2 = PairwiseSquaredDistances(train_x_);
+  const size_t n = d2.rows();
+  common::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = KernelFromD2(d2(i, j));
       k(i, j) = v;
       k(j, i) = v;
     }
   }
   k.AddDiagonal(options_.noise_variance);
   ROCKHOPPER_ASSIGN_OR_RETURN(l, common::CholeskyFactor(k, /*jitter=*/1e-8));
-  chol_ = l;
+  chol_ = std::move(l);
   const std::vector<double> z = common::ForwardSubstitute(chol_, train_y_std_);
   alpha_ = common::BackSubstituteTranspose(chol_, z);
-  // log p(y) = -1/2 y^T alpha - sum(log diag L) - n/2 log(2 pi)
+  RecomputeLogMarginalLikelihood();
+  return Status::OK();
+}
+
+void GaussianProcessRegressor::RecomputeLogMarginalLikelihood() {
   double log_det = 0.0;
   for (size_t i = 0; i < chol_.rows(); ++i) log_det += std::log(chol_(i, i));
-  const double n = static_cast<double>(train_x_.size());
-  *lml = -0.5 * common::Dot(train_y_std_, alpha_) - log_det -
-         0.5 * n * std::log(2.0 * std::numbers::pi);
-  return Status::OK();
+  const double n = static_cast<double>(train_y_std_.size());
+  log_marginal_likelihood_ = -0.5 * common::Dot(train_y_std_, alpha_) -
+                             log_det -
+                             0.5 * n * std::log(2.0 * std::numbers::pi);
 }
 
 double GaussianProcessRegressor::Predict(
@@ -84,18 +219,71 @@ Prediction GaussianProcessRegressor::PredictWithUncertainty(
     const std::vector<double>& features) const {
   assert(fitted_);
   const std::vector<double> xs = x_scaler_.Transform(features);
-  std::vector<double> kv(train_x_.size());
-  for (size_t i = 0; i < train_x_.size(); ++i) {
-    kv[i] = Kernel(train_x_[i], xs);
+  const std::span<const double> xs_span(xs);
+  std::vector<double> kv(train_x_.rows());
+  for (size_t i = 0; i < train_x_.rows(); ++i) {
+    kv[i] = KernelFromD2(common::SquaredDistance(train_x_[i], xs_span));
   }
   const double mean_std = common::Dot(kv, alpha_);
   const std::vector<double> v = common::ForwardSubstitute(chol_, kv);
-  double var = Kernel(xs, xs) + options_.noise_variance - common::Dot(v, v);
+  double var = KernelFromD2(0.0) + options_.noise_variance - common::Dot(v, v);
   if (var < 0.0) var = 0.0;
   Prediction p;
   p.mean = y_scaler_.InverseTransform(mean_std);
   p.stddev = y_scaler_.InverseTransformStd(std::sqrt(var));
   return p;
+}
+
+std::vector<Prediction> GaussianProcessRegressor::PredictBatch(
+    const common::Matrix& queries) const {
+  assert(fitted_);
+  std::vector<Prediction> out(queries.rows());
+  if (queries.rows() == 0) return out;
+  const common::Matrix q_std = x_scaler_.TransformBatch(queries);
+  // n x m cross-kernel block, rows contiguous over the candidate pool so the
+  // triangular solve streams all candidates per row.
+  common::Matrix kstar = CrossSquaredDistances(train_x_, q_std);
+  const size_t n = kstar.rows();
+  const size_t m = kstar.cols();
+  // One vectorized kernel transform over the contiguous n x m block, with the
+  // kernel dispatch hoisted out of the element loop.
+  const std::span<double> flat(kstar.MutableRowSpan(0).data(), n * m);
+  switch (options_.kernel) {
+    case GpKernelKind::kRbf:
+      RbfKernel{lengthscale_, options_.signal_variance}
+          .ApplyToSquaredDistances(flat);
+      break;
+    case GpKernelKind::kMatern52:
+      Matern52Kernel{lengthscale_, options_.signal_variance}
+          .ApplyToSquaredDistances(flat);
+      break;
+  }
+  std::vector<double> mean_std(m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = alpha_[i];
+    const std::span<const double> row = kstar[i];
+    for (size_t j = 0; j < m; ++j) mean_std[j] += row[j] * a;
+  }
+  const common::Matrix v = common::ForwardSubstituteMulti(chol_, kstar);
+  const double prior = KernelFromD2(0.0) + options_.noise_variance;
+  std::vector<double> vtv(m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const std::span<const double> row = v[i];
+    for (size_t j = 0; j < m; ++j) vtv[j] += row[j] * row[j];
+  }
+  for (size_t j = 0; j < m; ++j) {
+    double var = prior - vtv[j];
+    if (var < 0.0) var = 0.0;
+    out[j].mean = y_scaler_.InverseTransform(mean_std[j]);
+    out[j].stddev = y_scaler_.InverseTransformStd(std::sqrt(var));
+  }
+  return out;
+}
+
+std::vector<Prediction> GaussianProcessRegressor::PredictBatch(
+    const std::vector<std::vector<double>>& queries) const {
+  if (queries.empty()) return {};
+  return PredictBatch(common::Matrix::FromRows(queries));
 }
 
 }  // namespace rockhopper::ml

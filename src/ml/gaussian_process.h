@@ -1,6 +1,7 @@
 #ifndef ROCKHOPPER_ML_GAUSSIAN_PROCESS_H_
 #define ROCKHOPPER_ML_GAUSSIAN_PROCESS_H_
 
+#include <span>
 #include <vector>
 
 #include "common/matrix.h"
@@ -28,44 +29,117 @@ struct GaussianProcessOptions {
   double noise_variance = 0.1;
   /// Signal variance of the kernel (standardized targets => near 1).
   double signal_variance = 1.0;
+
+  // --- incremental-observe policy (Update) ---
+  /// Every this many Update() calls the scalers and lengthscale grid are
+  /// refit from scratch; between refits Update() performs an exact O(n^2)
+  /// Cholesky row-append under the frozen hyperparameters. 1 refits on every
+  /// observation (the legacy per-observation behavior); <= 0 disables
+  /// periodic refits entirely (incremental only — drift and window slides
+  /// still trigger refits).
+  int refit_interval = 8;
+  /// Below this many training rows Update() always refits fully: O(n^3) is
+  /// cheap at small n and hyperparameter freshness matters most early, when
+  /// each observation reshapes the scalers and lengthscale. The incremental
+  /// path engages only once the window is large enough for full refits to
+  /// hurt. 0 engages it immediately.
+  size_t min_incremental_rows = 20;
+  /// Sliding-window cap on training rows retained across Update() calls;
+  /// 0 = unbounded. Dropping the oldest row invalidates the factorization,
+  /// so a window slide forces a full refit.
+  size_t max_rows = 0;
+  /// Full refit when a new observation lands more than this many standard
+  /// deviations outside the frozen scalers' view of the data (either in a
+  /// feature or in the target); guards the incremental path against scaler
+  /// staleness. <= 0 disables the check.
+  double scaler_drift_zscore = 4.0;
 };
 
-/// Exact Gaussian-process regression with an RBF kernel, the surrogate model
-/// of the vanilla Bayesian Optimization baseline (paper §4.1, Fig. 2).
+/// Exact Gaussian-process regression with an RBF or Matern-5/2 kernel, the
+/// surrogate model of the vanilla Bayesian Optimization baseline (paper
+/// §4.1, Fig. 2) and of Centroid Learning's SurrogateScorer.
+///
 /// Inputs and targets are standardized internally; predictions are returned
-/// in original units. Fit cost is O(n^3): callers with long observation
-/// histories should window them (Dataset::TruncateToLast).
+/// in original units. The engine is built for the per-observation service
+/// loop:
+///   - Fit() computes the pairwise squared-distance matrix once and reuses
+///     it across the entire lengthscale grid (both kernels are distance
+///     kernels), keeping the winning factorization — one O(n^2 * d) distance
+///     pass plus one O(n^3) Cholesky per grid point, with no duplicate
+///     final fit.
+///   - Update() appends one observation in O(n^2) (Cholesky row-append and
+///     a pair of triangular solves) while the scalers/lengthscale stay
+///     frozen, refitting fully per the policy knobs above.
+///   - PredictBatch() scores a whole candidate pool through one cross-kernel
+///     matrix and a multi-right-hand-side triangular solve.
+/// Fit cost is O(n^3): callers with long observation histories should window
+/// them (Dataset::TruncateToLast or GaussianProcessOptions::max_rows).
 class GaussianProcessRegressor : public ProbabilisticRegressor {
  public:
   explicit GaussianProcessRegressor(GaussianProcessOptions options = {})
       : options_(std::move(options)) {}
 
   Status Fit(const Dataset& data) override;
+
+  /// Incrementally absorbs one observation (the hot observe path). Performs
+  /// an exact rank-append of the posterior under the current scalers and
+  /// lengthscale, escalating to a full internal refit on the policy
+  /// triggers (refit cadence, window slide, scaler drift, append failure).
+  /// Before the first successful fit this accumulates rows and retries the
+  /// full fit.
+  Status Update(std::span<const double> features, double target);
+
   double Predict(const std::vector<double>& features) const override;
   Prediction PredictWithUncertainty(
       const std::vector<double>& features) const override;
+
+  /// Scores a whole candidate pool at once; rows of `queries` are feature
+  /// rows in original units. Numerically equivalent to calling
+  /// PredictWithUncertainty per row, but the triangular solve streams all
+  /// candidates together.
+  std::vector<Prediction> PredictBatch(const common::Matrix& queries) const;
+  std::vector<Prediction> PredictBatch(
+      const std::vector<std::vector<double>>& queries) const;
+
   bool is_fitted() const override { return fitted_; }
+
+  /// Rebuilds the kernel matrix from the current (standardized) training
+  /// set and refactorizes it from scratch under the current hyperparameters
+  /// — the O(n^3) ground truth the O(n^2) Update() path must match. Scalers
+  /// and lengthscale are left untouched. Exposed so equivalence tests and
+  /// audits can pin the incremental state against the full factorization.
+  Status ForceFullFactorization();
 
   /// Log marginal likelihood of the selected hyperparameters on the
   /// (standardized) training data.
   double log_marginal_likelihood() const { return log_marginal_likelihood_; }
   double selected_lengthscale() const { return lengthscale_; }
+  /// Rows currently in the training window.
+  size_t num_training_rows() const { return raw_y_.size(); }
+  /// Incremental updates absorbed since the last full refit (policy probe).
+  int updates_since_refit() const { return updates_since_refit_; }
 
  private:
-  double Kernel(const std::vector<double>& a,
-                const std::vector<double>& b) const;
-  Status FitWithLengthscale(double lengthscale, double* lml);
+  double KernelFromD2(double d2) const;
+  /// Full refit (scalers + lengthscale grid + factorization) from the
+  /// retained raw training window.
+  Status FitFromRaw();
+  void AppendRaw(std::span<const double> features, double target);
+  void RecomputeLogMarginalLikelihood();
 
   GaussianProcessOptions options_;
   bool fitted_ = false;
   double lengthscale_ = 1.0;
   StandardScaler x_scaler_;
   TargetScaler y_scaler_;
-  std::vector<std::vector<double>> train_x_;  // standardized
-  std::vector<double> train_y_std_;            // standardized targets
-  common::Matrix chol_;                        // L with L L^T = K + noise I
-  std::vector<double> alpha_;                  // (K + noise I)^{-1} y
+  common::Matrix raw_x_;             // training window, original units
+  std::vector<double> raw_y_;
+  common::Matrix train_x_;           // standardized features, flat row-major
+  std::vector<double> train_y_std_;  // standardized targets
+  common::Matrix chol_;              // L with L L^T = K + noise I
+  std::vector<double> alpha_;        // (K + noise I)^{-1} y
   double log_marginal_likelihood_ = 0.0;
+  int updates_since_refit_ = 0;
 };
 
 }  // namespace rockhopper::ml

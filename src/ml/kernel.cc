@@ -1,20 +1,106 @@
 #include "ml/kernel.h"
 
 #include <cmath>
+#include <cstddef>
+
+#include "common/fast_math.h"
 
 namespace rockhopper::ml {
 
-double RbfKernel::operator()(const std::vector<double>& a,
-                             const std::vector<double>& b) const {
-  const double d2 = common::SquaredDistance(a, b);
+namespace {
+
+// Bulk kernel transforms, cloned per ISA so the FastExp body vectorizes.
+// Kernel exponents are never positive (d2 >= 0), and FastExp saturates deep
+// underflow internally, so no floating-point clamp is needed here — which
+// matters, because a double-typed clamp would compile to a branch and break
+// vectorization.
+ROCKHOPPER_VECTOR_CLONES
+void RbfApply(double* __restrict v, size_t n, double neg_inv_two_l2,
+              double sv) {
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = sv * common::FastExp(v[i] * neg_inv_two_l2);
+  }
+}
+
+ROCKHOPPER_VECTOR_CLONES
+void Matern52Apply(double* __restrict v, size_t n, double sqrt5_inv_l,
+                   double sv) {
+  for (size_t i = 0; i < n; ++i) {
+    const double s = std::sqrt(v[i]) * sqrt5_inv_l;
+    v[i] = sv * (1.0 + s + s * s / 3.0) * common::FastExp(-s);
+  }
+}
+
+// Cross squared distances with the query block pre-transposed to d x m, so
+// the inner accumulation streams contiguous memory and vectorizes. The
+// feature loop stays outermost-per-row in ascending order, which makes every
+// output bit-identical to accumulating common::SquaredDistance pair by pair.
+ROCKHOPPER_VECTOR_CLONES
+void CrossD2Row(const double* __restrict a, size_t d,
+                const double* __restrict qt, size_t m, double* __restrict out) {
+  for (size_t j = 0; j < m; ++j) out[j] = 0.0;
+  for (size_t k = 0; k < d; ++k) {
+    const double ak = a[k];
+    const double* __restrict qk = qt + k * m;
+    for (size_t j = 0; j < m; ++j) {
+      const double diff = ak - qk[j];
+      out[j] += diff * diff;
+    }
+  }
+}
+
+}  // namespace
+
+double RbfKernel::FromSquaredDistance(double d2) const {
   return signal_variance * std::exp(-d2 / (2.0 * lengthscale * lengthscale));
 }
 
-double Matern52Kernel::operator()(const std::vector<double>& a,
-                                  const std::vector<double>& b) const {
-  const double d = std::sqrt(common::SquaredDistance(a, b));
+void RbfKernel::ApplyToSquaredDistances(std::span<double> d2) const {
+  RbfApply(d2.data(), d2.size(), -1.0 / (2.0 * lengthscale * lengthscale),
+           signal_variance);
+}
+
+double Matern52Kernel::FromSquaredDistance(double d2) const {
+  const double d = std::sqrt(d2);
   const double s = std::sqrt(5.0) * d / lengthscale;
   return signal_variance * (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+void Matern52Kernel::ApplyToSquaredDistances(std::span<double> d2) const {
+  Matern52Apply(d2.data(), d2.size(), std::sqrt(5.0) / lengthscale,
+                signal_variance);
+}
+
+common::Matrix PairwiseSquaredDistances(const common::Matrix& rows) {
+  const size_t n = rows.rows();
+  common::Matrix d2(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::span<const double> a = rows[i];
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = common::SquaredDistance(a, rows[j]);
+      d2(i, j) = v;
+      d2(j, i) = v;
+    }
+  }
+  return d2;
+}
+
+common::Matrix CrossSquaredDistances(const common::Matrix& rows,
+                                     const common::Matrix& queries) {
+  const size_t m = queries.rows();
+  const size_t d = queries.cols();
+  common::Matrix d2(rows.rows(), m);
+  if (rows.rows() == 0 || m == 0 || d == 0) return d2;
+  common::Matrix qt(d, m);
+  for (size_t j = 0; j < m; ++j) {
+    const std::span<const double> q = queries[j];
+    for (size_t k = 0; k < d; ++k) qt(k, j) = q[k];
+  }
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    CrossD2Row(rows.RowSpan(i).data(), d, qt.RowSpan(0).data(), m,
+               d2.MutableRowSpan(i).data());
+  }
+  return d2;
 }
 
 }  // namespace rockhopper::ml

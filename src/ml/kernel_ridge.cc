@@ -42,8 +42,9 @@ Status KernelRidgeRegression::Save(const std::string& prefix,
       writer->PutDouble(prefix + ".alpha", options_.alpha));
   ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Save(prefix + ".x_scaler", writer));
   ROCKHOPPER_RETURN_IF_ERROR(y_scaler_.Save(prefix + ".y_scaler", writer));
-  ROCKHOPPER_RETURN_IF_ERROR(
-      writer->PutDoubleRows(prefix + ".train_x", train_x_));
+  std::vector<std::vector<double>> rows(train_x_.rows());
+  for (size_t i = 0; i < train_x_.rows(); ++i) rows[i] = train_x_.Row(i);
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutDoubleRows(prefix + ".train_x", rows));
   return writer->PutDoubles(prefix + ".dual_coef", dual_coef_);
 }
 
@@ -62,9 +63,14 @@ Status KernelRidgeRegression::Load(const std::string& prefix,
   if (train_x.size() != dual_coef.size() || train_x.empty()) {
     return Status::InvalidArgument("inconsistent kernel ridge archive");
   }
+  for (const auto& row : train_x) {
+    if (row.size() != train_x[0].size()) {
+      return Status::InvalidArgument("ragged support points in archive");
+    }
+  }
   options_ = KernelRidgeOptions{lengthscale, alpha};
   kernel_ = RbfKernel{lengthscale, 1.0};
-  train_x_ = std::move(train_x);
+  train_x_ = common::Matrix::FromRows(train_x);
   dual_coef_ = std::move(dual_coef);
   fitted_ = true;
   return Status::OK();

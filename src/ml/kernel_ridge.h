@@ -41,7 +41,7 @@ class KernelRidgeRegression : public Regressor {
   RbfKernel kernel_;
   StandardScaler x_scaler_;
   TargetScaler y_scaler_;
-  std::vector<std::vector<double>> train_x_;
+  common::Matrix train_x_;  // standardized support points, flat row-major
   std::vector<double> dual_coef_;
 };
 

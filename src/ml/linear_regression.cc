@@ -56,8 +56,8 @@ double LinearRegression::Predict(const std::vector<double>& features) const {
   return intercept_ + common::Dot(coef_, features);
 }
 
-std::vector<double> QuadraticFeatures(const std::vector<double>& x) {
-  std::vector<double> out = x;
+std::vector<double> QuadraticFeatures(std::span<const double> x) {
+  std::vector<double> out(x.begin(), x.end());
   out.reserve(x.size() + x.size() * (x.size() + 1) / 2);
   for (size_t i = 0; i < x.size(); ++i) {
     for (size_t j = i; j < x.size(); ++j) {
@@ -69,6 +69,8 @@ std::vector<double> QuadraticFeatures(const std::vector<double>& x) {
 
 Dataset QuadraticExpand(const Dataset& data) {
   Dataset out;
+  const size_t d = data.num_features();
+  out.Reserve(data.size(), d + d * (d + 1) / 2);
   for (size_t i = 0; i < data.size(); ++i) {
     out.Add(QuadraticFeatures(data.x[i]), data.y[i]);
   }

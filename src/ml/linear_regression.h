@@ -1,6 +1,7 @@
 #ifndef ROCKHOPPER_ML_LINEAR_REGRESSION_H_
 #define ROCKHOPPER_ML_LINEAR_REGRESSION_H_
 
+#include <span>
 #include <vector>
 
 #include "ml/model.h"
@@ -35,7 +36,10 @@ class LinearRegression : public Regressor {
 /// Expands a feature row with pairwise products and squares, turning the
 /// linear learners into quadratic-surface learners:
 /// [x1..xd] -> [x1..xd, x1*x1, x1*x2, ..., xd*xd].
-std::vector<double> QuadraticFeatures(const std::vector<double>& x);
+std::vector<double> QuadraticFeatures(std::span<const double> x);
+inline std::vector<double> QuadraticFeatures(const std::vector<double>& x) {
+  return QuadraticFeatures(std::span<const double>(x));
+}
 
 /// Applies QuadraticFeatures to every row of a dataset (targets unchanged).
 Dataset QuadraticExpand(const Dataset& data);

@@ -6,22 +6,20 @@
 
 namespace rockhopper::ml {
 
-Status StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
-  if (rows.empty()) return Status::InvalidArgument("no rows to fit scaler");
-  const size_t width = rows[0].size();
+Status StandardScaler::Fit(const common::Matrix& rows) {
+  if (rows.rows() == 0) return Status::InvalidArgument("no rows to fit scaler");
+  const size_t width = rows.cols();
   mean_.assign(width, 0.0);
   scale_.assign(width, 1.0);
-  for (const auto& row : rows) {
-    if (row.size() != width) {
-      mean_.clear();
-      return Status::InvalidArgument("ragged rows in scaler input");
-    }
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const std::span<const double> row = rows[i];
     for (size_t j = 0; j < width; ++j) mean_[j] += row[j];
   }
-  const double n = static_cast<double>(rows.size());
+  const double n = static_cast<double>(rows.rows());
   for (size_t j = 0; j < width; ++j) mean_[j] /= n;
   std::vector<double> ss(width, 0.0);
-  for (const auto& row : rows) {
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const std::span<const double> row = rows[i];
     for (size_t j = 0; j < width; ++j) {
       const double d = row[j] - mean_[j];
       ss[j] += d * d;
@@ -34,11 +32,36 @@ Status StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
   return Status::OK();
 }
 
+Status StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Status::InvalidArgument("no rows to fit scaler");
+  const size_t width = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      mean_.clear();
+      return Status::InvalidArgument("ragged rows in scaler input");
+    }
+  }
+  return Fit(common::Matrix::FromRows(rows));
+}
+
 std::vector<double> StandardScaler::Transform(
-    const std::vector<double>& row) const {
+    std::span<const double> row) const {
   std::vector<double> out(row.size());
   for (size_t j = 0; j < row.size(); ++j) {
     out[j] = (row[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+common::Matrix StandardScaler::TransformBatch(
+    const common::Matrix& rows) const {
+  common::Matrix out(rows.rows(), rows.cols());
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const std::span<const double> row = rows[i];
+    std::span<double> dst = out.MutableRowSpan(i);
+    for (size_t j = 0; j < row.size(); ++j) {
+      dst[j] = (row[j] - mean_[j]) / scale_[j];
+    }
   }
   return out;
 }

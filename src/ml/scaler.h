@@ -1,10 +1,12 @@
 #ifndef ROCKHOPPER_ML_SCALER_H_
 #define ROCKHOPPER_ML_SCALER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/archive.h"
+#include "common/matrix.h"
 #include "common/status.h"
 
 namespace rockhopper::ml {
@@ -13,12 +15,19 @@ namespace rockhopper::ml {
 /// features are left centered with scale 1 so Transform stays finite.
 class StandardScaler {
  public:
+  /// Fits on a flat row-major feature block (the Dataset storage).
+  Status Fit(const common::Matrix& rows);
   Status Fit(const std::vector<std::vector<double>>& rows);
 
   bool is_fitted() const { return !mean_.empty(); }
   size_t num_features() const { return mean_.size(); }
 
-  std::vector<double> Transform(const std::vector<double>& row) const;
+  std::vector<double> Transform(std::span<const double> row) const;
+  std::vector<double> Transform(const std::vector<double>& row) const {
+    return Transform(std::span<const double>(row));
+  }
+  /// Standardizes every row of a flat block into a new flat block.
+  common::Matrix TransformBatch(const common::Matrix& rows) const;
   std::vector<std::vector<double>> TransformBatch(
       const std::vector<std::vector<double>>& rows) const;
   std::vector<double> InverseTransform(const std::vector<double>& row) const;

@@ -25,7 +25,7 @@ Status EpsilonSVR::Fit(const Dataset& data) {
   ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Fit(data.x));
   y_scaler_.Fit(data.y);
   train_x_ = x_scaler_.TransformBatch(data.x);
-  const size_t n = train_x_.size();
+  const size_t n = train_x_.rows();
   std::vector<double> y(n);
   for (size_t i = 0; i < n; ++i) y[i] = y_scaler_.Transform(data.y[i]);
 
@@ -65,7 +65,7 @@ double EpsilonSVR::Predict(const std::vector<double>& features) const {
   assert(fitted_);
   const std::vector<double> xs = x_scaler_.Transform(features);
   double sum = 0.0;
-  for (size_t i = 0; i < train_x_.size(); ++i) {
+  for (size_t i = 0; i < train_x_.rows(); ++i) {
     if (beta_[i] == 0.0) continue;
     sum += beta_[i] * (kernel_(train_x_[i], xs) + 1.0);
   }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/matrix.h"
 #include "ml/kernel.h"
 #include "ml/model.h"
 #include "ml/scaler.h"
@@ -45,7 +46,7 @@ class EpsilonSVR : public Regressor {
   RbfKernel kernel_;
   StandardScaler x_scaler_;
   TargetScaler y_scaler_;
-  std::vector<std::vector<double>> train_x_;
+  common::Matrix train_x_;    // standardized features, flat row-major
   std::vector<double> beta_;  // dual coefficients (alpha - alpha*)
 };
 

@@ -1,0 +1,40 @@
+#include "common/fast_math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rockhopper::common {
+namespace {
+
+TEST(FastExpTest, MatchesStdExpAcrossWorkingRange) {
+  // The batch kernel transform relies on FastExp staying far inside the 1e-9
+  // equivalence budget; pin an order of magnitude of headroom.
+  double max_rel = 0.0;
+  for (double x = -700.0; x <= 700.0; x += 0.37) {
+    const double expected = std::exp(x);
+    const double rel = std::abs(FastExp(x) - expected) / expected;
+    max_rel = std::max(max_rel, rel);
+  }
+  // Fine sweep over the range kernel exponents actually occupy.
+  for (double x = -40.0; x <= 0.0; x += 1e-3) {
+    const double expected = std::exp(x);
+    const double rel = std::abs(FastExp(x) - expected) / expected;
+    max_rel = std::max(max_rel, rel);
+  }
+  EXPECT_LT(max_rel, 1e-13);
+}
+
+TEST(FastExpTest, ExactAtZero) { EXPECT_EQ(FastExp(0.0), 1.0); }
+
+TEST(FastExpTest, SaturatesOutsideDoubleRange) {
+  // Out-of-range inputs saturate instead of producing inf/denormal garbage:
+  // vanishingly small below, finite and huge above.
+  EXPECT_GT(FastExp(-1000.0), 0.0);
+  EXPECT_LT(FastExp(-1000.0), 1e-300);
+  EXPECT_TRUE(std::isfinite(FastExp(1000.0)));
+  EXPECT_GT(FastExp(1000.0), 1e300);
+}
+
+}  // namespace
+}  // namespace rockhopper::common

@@ -190,5 +190,120 @@ TEST(VectorOpsTest, DotNormDistance) {
   EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {4, 5}), 25.0);
 }
 
+TEST(MatrixTest, AppendRowGrowsAndFixesWidth) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  m.AppendRow(std::vector<double>{1.0, 2.0, 3.0});
+  m.AppendRow(std::vector<double>{4.0, 5.0, 6.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 5.0);
+  EXPECT_EQ(m.Row(0), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(MatrixTest, DropFirstRowsSlidesWindow) {
+  Matrix m = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  m.DropFirstRows(2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.Row(0), (std::vector<double>{3, 3}));
+  m.DropFirstRows(5);  // dropping more than present empties the matrix
+  EXPECT_EQ(m.rows(), 0u);
+  // An emptied matrix accepts a fresh width via AppendRow only after cols
+  // are preserved; same width keeps working.
+  m.AppendRow(std::vector<double>{7.0, 8.0});
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+// Random SPD matrix A = B B^T + n I for factorization tests.
+Matrix RandomSpd(size_t n, Rng* rng) {
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) b(i, j) = rng->Uniform(-1.0, 1.0);
+  }
+  Matrix a = b.Multiply(b.Transpose());
+  a.AddDiagonal(static_cast<double>(n));
+  return a;
+}
+
+TEST(CholeskyAppendRowTest, MatchesFullFactorizationOnRandomSpd) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + static_cast<size_t>(rng.Index(30));
+    const Matrix a = RandomSpd(n, &rng);
+    // Factor the leading (n-1) x (n-1) principal block, then append the
+    // last row; the result must match factoring the full matrix directly.
+    Matrix head(n - 1, n - 1);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      for (size_t j = 0; j + 1 < n; ++j) head(i, j) = a(i, j);
+    }
+    Result<Matrix> l_head = CholeskyFactor(head);
+    ASSERT_TRUE(l_head.ok());
+    Matrix grown = *l_head;
+    std::vector<double> row(n);
+    for (size_t j = 0; j < n; ++j) row[j] = a(n - 1, j);
+    ASSERT_TRUE(CholeskyAppendRow(&grown, row).ok());
+
+    Result<Matrix> l_full = CholeskyFactor(a);
+    ASSERT_TRUE(l_full.ok());
+    ASSERT_EQ(grown.rows(), l_full->rows());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        EXPECT_NEAR(grown(i, j), (*l_full)(i, j), 1e-9)
+            << "trial " << trial << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(CholeskyAppendRowTest, JitterRescuesDegenerateDiagonal) {
+  // Appending a duplicate of an existing row makes the grown matrix
+  // singular: the new diagonal d = a_nn - ||y||^2 collapses to ~0. Without
+  // jitter the append must fail; with jitter it must succeed.
+  Matrix a = Matrix::FromRows({{2.0, 1.0}, {1.0, 2.0}});
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  // New row duplicates row 1 exactly => A' is singular.
+  const std::vector<double> dup = {1.0, 2.0, 2.0};
+  Matrix no_jitter = *l;
+  EXPECT_FALSE(CholeskyAppendRow(&no_jitter, dup, /*jitter=*/0.0).ok());
+  // A failed append must leave the factor untouched.
+  EXPECT_EQ(no_jitter, *l);
+  Matrix with_jitter = *l;
+  ASSERT_TRUE(CholeskyAppendRow(&with_jitter, dup, /*jitter=*/1e-8).ok());
+  EXPECT_EQ(with_jitter.rows(), 3u);
+  EXPECT_GT(with_jitter(2, 2), 0.0);
+}
+
+TEST(CholeskyAppendRowTest, RejectsMalformedInput) {
+  Matrix rect(2, 3);
+  EXPECT_FALSE(
+      CholeskyAppendRow(&rect, std::vector<double>{1.0, 2.0, 3.0}).ok());
+  Matrix l = *CholeskyFactor(Matrix::Identity(2));
+  EXPECT_FALSE(CholeskyAppendRow(&l, std::vector<double>{1.0}).ok());
+}
+
+TEST(MultiRhsTest, ForwardSubstituteMultiMatchesPerVector) {
+  Rng rng(7);
+  const size_t n = 12;
+  const size_t m = 5;
+  const Matrix a = RandomSpd(n, &rng);
+  const Matrix l = *CholeskyFactor(a);
+  Matrix b(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) b(i, j) = rng.Uniform(-2.0, 2.0);
+  }
+  const Matrix y = ForwardSubstituteMulti(l, b);
+  const Matrix x = BackSubstituteTransposeMulti(l, y);
+  for (size_t j = 0; j < m; ++j) {
+    const std::vector<double> yj = ForwardSubstitute(l, b.Col(j));
+    const std::vector<double> xj = BackSubstituteTranspose(l, yj);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(y(i, j), yj[i]) << "forward col " << j;
+      EXPECT_DOUBLE_EQ(x(i, j), xj[i]) << "backward col " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rockhopper::common

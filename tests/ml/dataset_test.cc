@@ -15,16 +15,20 @@ TEST(DatasetTest, AddAndShape) {
   EXPECT_TRUE(d.Validate().ok());
 }
 
-TEST(DatasetTest, ValidateCatchesRaggedRows) {
+TEST(DatasetTest, RowsViewFlatStorage) {
+  // Rows are rectangular by construction in the flat representation; the
+  // indexed views must line up with what was appended.
   Dataset d;
-  d.x = {{1.0, 2.0}, {3.0}};
-  d.y = {1.0, 2.0};
-  EXPECT_FALSE(d.Validate().ok());
+  d.Add({1.0, 2.0}, 3.0);
+  d.Add({4.0, 5.0}, 6.0);
+  EXPECT_DOUBLE_EQ(d.x[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(d.x[1][0], 4.0);
+  EXPECT_DOUBLE_EQ(d.x[1][1], 5.0);
 }
 
 TEST(DatasetTest, ValidateCatchesLengthMismatch) {
   Dataset d;
-  d.x = {{1.0}};
+  d.x = common::Matrix::FromRows({{1.0}});
   d.y = {1.0, 2.0};
   EXPECT_FALSE(d.Validate().ok());
 }

@@ -68,6 +68,52 @@ TEST(KernelVectorTest, MatchesPairwiseEvaluation) {
   }
 }
 
+TEST(BulkApplyTest, RbfMatchesScalarTransform) {
+  const RbfKernel k{0.5, 1.3};
+  std::vector<double> d2;
+  for (double v = 0.0; v < 60.0; v += 0.37) d2.push_back(v);
+  d2.push_back(1e6);  // deep in the underflow region
+  std::vector<double> bulk = d2;
+  k.ApplyToSquaredDistances(bulk);
+  for (size_t i = 0; i < d2.size(); ++i) {
+    const double scalar = k.FromSquaredDistance(d2[i]);
+    EXPECT_NEAR(bulk[i], scalar, 1e-12 * scalar + 1e-300) << "d2=" << d2[i];
+  }
+}
+
+TEST(BulkApplyTest, Matern52MatchesScalarTransform) {
+  const Matern52Kernel k{2.0, 0.8};
+  std::vector<double> d2;
+  for (double v = 0.0; v < 60.0; v += 0.37) d2.push_back(v);
+  std::vector<double> bulk = d2;
+  k.ApplyToSquaredDistances(bulk);
+  for (size_t i = 0; i < d2.size(); ++i) {
+    const double scalar = k.FromSquaredDistance(d2[i]);
+    EXPECT_NEAR(bulk[i], scalar, 1e-12 * scalar + 1e-300) << "d2=" << d2[i];
+  }
+}
+
+TEST(CrossSquaredDistancesTest, BitIdenticalToPairwiseSquaredDistance) {
+  // PredictBatch equivalence leans on the blocked cross-distance pass
+  // accumulating features in the same order as common::SquaredDistance.
+  common::Rng rng(7);
+  common::Matrix rows, queries;
+  for (int i = 0; i < 9; ++i) {
+    rows.AppendRow(std::vector<double>{rng.Uniform(), rng.Uniform(),
+                                       rng.Uniform()});
+  }
+  for (int j = 0; j < 5; ++j) {
+    queries.AppendRow(std::vector<double>{rng.Uniform(), rng.Uniform(),
+                                          rng.Uniform()});
+  }
+  const common::Matrix d2 = CrossSquaredDistances(rows, queries);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    for (size_t j = 0; j < queries.rows(); ++j) {
+      EXPECT_EQ(d2(i, j), common::SquaredDistance(rows[i], queries[j]));
+    }
+  }
+}
+
 TEST(KernelRidgeTest, InterpolatesSmoothFunction) {
   // y = sin(x) on a dense grid; kernel ridge should fit well in-range.
   Dataset d;

@@ -47,7 +47,7 @@ TEST(StandardScalerTest, ConstantFeatureStaysFinite) {
 
 TEST(StandardScalerTest, RejectsEmptyAndRagged) {
   StandardScaler scaler;
-  EXPECT_FALSE(scaler.Fit({}).ok());
+  EXPECT_FALSE(scaler.Fit(std::vector<std::vector<double>>{}).ok());
   EXPECT_FALSE(scaler.Fit({{1.0}, {1.0, 2.0}}).ok());
   EXPECT_FALSE(scaler.is_fitted());
 }

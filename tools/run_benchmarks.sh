@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Builds the benchmark harnesses in Release mode and captures the surrogate
+# hot-path numbers (bench_micro_inference) plus the concurrent ingestion
+# throughput (bench_concurrent_throughput) as JSON, merged into
+# BENCH_surrogate.json at the repo root.
+#
+# Usage: tools/run_benchmarks.sh [benchmark-filter]
+#   benchmark-filter: optional --benchmark_filter regex applied to
+#                     bench_micro_inference (default: all benchmarks)
+#
+# The regular build directory stays untouched; benchmarks use their own
+# Release build under build-bench/ so debug configurations never pollute
+# the timings.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${ROCKHOPPER_BENCH_BUILD_DIR:-${repo_root}/build-bench}"
+filter="${1:-}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DROCKHOPPER_BUILD_BENCHMARKS=ON
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target bench_micro_inference bench_concurrent_throughput
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+micro_args=(--benchmark_format=json)
+if [[ -n "${filter}" ]]; then
+  micro_args+=("--benchmark_filter=${filter}")
+fi
+
+echo "== bench_micro_inference =="
+"${build_dir}/bench/bench_micro_inference" "${micro_args[@]}" \
+  > "${tmp_dir}/micro.json"
+echo "== bench_concurrent_throughput =="
+"${build_dir}/bench/bench_concurrent_throughput" \
+  > "${tmp_dir}/throughput.txt"
+
+out="${repo_root}/BENCH_surrogate.json"
+python3 - "${tmp_dir}/micro.json" "${tmp_dir}/throughput.txt" "${out}" <<'EOF'
+import json
+import re
+import sys
+
+micro_path, throughput_path, out_path = sys.argv[1:4]
+with open(micro_path) as f:
+    micro = json.load(f)
+with open(throughput_path) as f:
+    throughput_text = f.read()
+
+micro_times = {
+    b["name"]: {"real_time_ns": b["real_time"], "cpu_time_ns": b["cpu_time"]}
+    for b in micro.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+}
+
+# bench_concurrent_throughput is a custom driver emitting a text table:
+#   threads    queries/s     wall (s)    speedup
+#         1          401         4.94      1.00x
+throughput = {"scaling": []}
+m = re.search(r"\(latency=0, 1 thread\): (\d+) queries/s", throughput_text)
+if m:
+    throughput["service_overhead_queries_per_s"] = int(m.group(1))
+for row in re.finditer(
+    r"^\s*(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)x\s*$", throughput_text, re.M
+):
+    throughput["scaling"].append(
+        {
+            "threads": int(row.group(1)),
+            "queries_per_s": int(row.group(2)),
+            "wall_s": float(row.group(3)),
+            "speedup": float(row.group(4)),
+        }
+    )
+
+
+def ratio(slow, fast):
+    s = micro_times.get(slow)
+    f = micro_times.get(fast)
+    if not s or not f or f["real_time_ns"] <= 0:
+        return None
+    return s["real_time_ns"] / f["real_time_ns"]
+
+
+summary = {
+    # Incremental O(n^2) observation absorb vs the pre-PR per-observation
+    # full refit (grid of uncached Gram builds + duplicate winner fit).
+    "incremental_update_speedup_n20": ratio(
+        "BM_GpLegacyPerObservationRefit/20", "BM_GpIncrementalUpdate/20"
+    ),
+    "incremental_update_speedup_n80": ratio(
+        "BM_GpLegacyPerObservationRefit/80", "BM_GpIncrementalUpdate/80"
+    ),
+    # Batched candidate-pool scoring (pool=64) vs one predict per candidate.
+    "batch_predict_speedup_n20": ratio(
+        "BM_GpPredictPoolPerCandidate/20", "BM_GpPredictBatch/20"
+    ),
+    "batch_predict_speedup_n80": ratio(
+        "BM_GpPredictPoolPerCandidate/80", "BM_GpPredictBatch/80"
+    ),
+}
+
+merged = {
+    "context": micro.get("context", {}),
+    "summary": summary,
+    "micro_inference": micro_times,
+    "concurrent_throughput": throughput,
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for key, value in summary.items():
+    print(f"  {key}: {'n/a' if value is None else f'{value:.2f}x'}")
+EOF
