@@ -3,6 +3,9 @@
 // alpha, FIND_BEST version, gradient method, the elite-memory extension,
 // and the step-decay schedule. Reports the final-centroid median and p95
 // (relative to optimal) per variant.
+//
+// Parallel runtime: one arm per (variant, trial); seeds SplitMix-derived
+// from (base_seed, variant, trial) — bit-identical at any thread count.
 
 #include <functional>
 #include <memory>
@@ -10,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "core/centroid_learning.h"
+#include "core/experiment_runner.h"
 #include "sparksim/synthetic.h"
 
 using namespace rockhopper;           // NOLINT(build/namespaces)
@@ -26,12 +30,15 @@ struct Variant {
 }  // namespace
 
 int main() {
-  const int runs = bench::EnvInt("ROCKHOPPER_RUNS", 15);
-  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 220);
+  const bench::BenchKnobs knobs =
+      bench::ParseKnobs(/*default_iters=*/220, /*default_runs=*/15);
+  const int runs = knobs.runs;
+  const int iters = knobs.iters;
   bench::Banner("Centroid Learning ablations",
                 "Expected shape: N=20 beats tiny windows (the de-noising "
                 "claim); FIND_BEST v3 beats v1; elites and decay tighten the "
                 "band; extreme alpha hurts.");
+  bench::PrintKnobs(knobs);
   const SyntheticFunction f = SyntheticFunction::Default();
   const ConfigSpace& space = f.space();
   const ConfigVector start = space.Denormalize({0.9, 0.9, 0.9});
@@ -88,25 +95,40 @@ int main() {
     variants.push_back(no_decay);
   }
 
+  // One arm per (variant, trial): each owns its learner and noise stream
+  // and writes its final-centroid performance into its slot.
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  const size_t num_arms = variants.size() * static_cast<size_t>(runs);
+  std::vector<double> finals(num_arms, 0.0);
+  runner.Run(
+      num_arms,
+      [&](size_t i) {
+        return ArmId(/*algorithm=*/i / static_cast<size_t>(runs), /*query=*/0,
+                     /*trial=*/i % static_cast<size_t>(runs));
+      },
+      [&](size_t i, uint64_t arm_seed) {
+        const Variant& variant = variants[i / static_cast<size_t>(runs)];
+        CentroidLearner learner(
+            space, start, std::make_unique<PseudoSurrogateScorer>(&f, 5),
+            variant.options, common::SplitMix64(arm_seed));
+        common::Rng noise_rng(common::SplitMix64(arm_seed ^ 1));
+        for (int t = 0; t < iters; ++t) {
+          const ConfigVector c = learner.Propose(1.0);
+          learner.Observe(c, 1.0,
+                          f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
+        }
+        finals[i] = f.TruePerformance(learner.centroid(), 1.0);
+      });
+
   common::TextTable table;
   table.SetHeader({"variant", "final_median/opt", "final_p95/opt"});
-  for (const Variant& variant : variants) {
-    std::vector<double> finals;
-    for (int s = 0; s < runs; ++s) {
-      CentroidLearner learner(
-          space, start, std::make_unique<PseudoSurrogateScorer>(&f, 5),
-          variant.options, 1000 + static_cast<uint64_t>(s));
-      common::Rng noise_rng(5000 + s);
-      for (int t = 0; t < iters; ++t) {
-        const ConfigVector c = learner.Propose(1.0);
-        learner.Observe(c, 1.0,
-                        f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
-      }
-      finals.push_back(f.TruePerformance(learner.centroid(), 1.0));
-    }
-    const common::Summary s = common::Summarize(finals);
+  for (size_t v = 0; v < variants.size(); ++v) {
+    const std::vector<double> variant_finals(
+        finals.begin() + static_cast<long>(v * static_cast<size_t>(runs)),
+        finals.begin() + static_cast<long>((v + 1) * static_cast<size_t>(runs)));
+    const common::Summary s = common::Summarize(variant_finals);
     const double opt = f.OptimalPerformance(1.0);
-    table.AddRow({variant.name,
+    table.AddRow({variants[v].name,
                   common::TextTable::FormatDouble(s.median / opt, 3),
                   common::TextTable::FormatDouble(s.p95 / opt, 3)});
   }

@@ -3,12 +3,17 @@
 // §4.1. Both are used to warm-start Contextual BO on held-out TPC-DS-like
 // queries. Paper result: the virtual-operator embedding yields a consistent
 // additional ~5-10% improvement from iteration 5 onward.
+//
+// Parallel runtime: one arm per embedding variant (each trains its own
+// baseline and runs its own simulator); per-query tuner seeds are SplitMix-
+// derived from the arm seed — bit-identical at any thread count.
 
 #include <map>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/bo_tuner.h"
+#include "core/experiment_runner.h"
 #include "core/flighting.h"
 #include "ml/metrics.h"
 #include "sparksim/simulator.h"
@@ -18,17 +23,15 @@ using namespace rockhopper::core;     // NOLINT(build/namespaces)
 using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
 
 int main() {
-  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 30);
+  const bench::BenchKnobs knobs = bench::ParseKnobs(/*default_iters=*/30);
+  const int iters = knobs.iters;
   bench::Banner("Embedding ablation: plain operator counts vs virtual "
                 "operators",
                 "Expected shape: both warm starts help; the virtual-operator "
                 "embedding gives an extra edge from early iterations.");
+  bench::PrintKnobs(knobs);
   const ConfigSpace space = QueryLevelSpace();
   const std::vector<int> targets = {6, 18, 33, 47, 61, 76, 90};
-
-  SparkSimulator::Options sim_options;
-  sim_options.noise = NoiseParams::Low();
-  SparkSimulator sim(sim_options);
 
   FlightingConfig trace_config;
   trace_config.suite = FlightingConfig::Suite::kTpcds;
@@ -41,59 +44,90 @@ int main() {
   trace_config.configs_per_query = 8;
 
   double default_total = 0.0;
-  for (int q : targets) {
-    default_total += sim.cost_model().ExecutionSeconds(
-        FlightingPipeline::PlanFor(FlightingConfig::Suite::kTpcds, q),
-        EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);
+  {
+    const CostModel model;
+    for (int q : targets) {
+      default_total += model.ExecutionSeconds(
+          FlightingPipeline::PlanFor(FlightingConfig::Suite::kTpcds, q),
+          EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);
+    }
   }
 
-  std::map<bool, std::vector<double>> series;  // virtual? -> per-iter total
-  std::map<bool, std::vector<double>> spearman;  // held-out ranking quality
-  for (bool virtual_ops : {false, true}) {
-    EmbeddingOptions embedding_options;
-    embedding_options.virtual_operators = virtual_ops;
-    FlightingPipeline pipeline(&sim, space, embedding_options);
-    BaselineModel baseline(space, embedding_options);
-    if (!pipeline.TrainBaseline(trace_config, &baseline, /*max_samples=*/500)
-             .ok()) {
-      std::fprintf(stderr, "baseline training failed\n");
-      return 1;
-    }
-    std::vector<double> best_total(static_cast<size_t>(iters), 0.0);
-    common::Rng rank_rng(9);
-    for (int q : targets) {
-      const QueryPlan plan =
-          FlightingPipeline::PlanFor(FlightingConfig::Suite::kTpcds, q);
-      // Held-out surrogate quality: rank correlation between the baseline
-      // model's predictions and true runtimes over random configurations.
-      {
-        const std::vector<double> emb = ComputeEmbedding(plan, embedding_options);
-        std::vector<double> truth, pred;
-        for (int i = 0; i < 40; ++i) {
-          const ConfigVector c = space.Sample(&rank_rng);
-          truth.push_back(sim.cost_model().ExecutionSeconds(
-              plan, EffectiveConfig::FromQueryConfig(c), 1.0));
-          pred.push_back(
-              baseline.PredictRuntime(emb, c, plan.LeafInputBytes(1.0)));
+  struct ArmResult {
+    std::vector<double> best_total;
+    std::vector<double> spearman;
+    bool ok = true;
+  };
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  std::vector<ArmResult> arm_results(2);
+  runner.Run(
+      /*num_arms=*/2,
+      [](size_t i) { return ArmId(/*algorithm=*/i, /*query=*/0, /*trial=*/0); },
+      [&](size_t i, uint64_t arm_seed) {
+        const bool virtual_ops = i == 1;
+        SparkSimulator::Options sim_options;
+        sim_options.noise = NoiseParams::Low();
+        sim_options.seed = common::SplitMix64(arm_seed);
+        SparkSimulator sim(sim_options);
+        EmbeddingOptions embedding_options;
+        embedding_options.virtual_operators = virtual_ops;
+        FlightingPipeline pipeline(&sim, space, embedding_options);
+        BaselineModel baseline(space, embedding_options);
+        ArmResult& out = arm_results[i];
+        if (!pipeline.TrainBaseline(trace_config, &baseline,
+                                    /*max_samples=*/500)
+                 .ok()) {
+          out.ok = false;
+          return;
         }
-        spearman[virtual_ops].push_back(ml::SpearmanCorrelation(truth, pred));
-      }
-      BoTunerOptions options;
-      options.data_size_feature = true;
-      BoTuner tuner(space, space.Defaults(), options,
-                    static_cast<uint64_t>(800 + q), &baseline,
-                    ComputeEmbedding(plan, embedding_options));
-      double best = 1e300;
-      for (int t = 0; t < iters; ++t) {
-        const ConfigVector c = tuner.Propose(plan.LeafInputBytes(1.0));
-        const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
-        tuner.Observe(c, r.input_bytes, r.runtime_seconds);
-        best = std::min(best, r.noise_free_seconds);
-        best_total[static_cast<size_t>(t)] += best;
-      }
-    }
-    series[virtual_ops] = best_total;
+        out.best_total.assign(static_cast<size_t>(iters), 0.0);
+        common::Rng rank_rng(common::SplitMix64(arm_seed ^ 2));
+        for (int q : targets) {
+          const QueryPlan plan =
+              FlightingPipeline::PlanFor(FlightingConfig::Suite::kTpcds, q);
+          // Held-out surrogate quality: rank correlation between the
+          // baseline model's predictions and true runtimes over random
+          // configurations.
+          {
+            const std::vector<double> emb =
+                ComputeEmbedding(plan, embedding_options);
+            std::vector<double> truth, pred;
+            for (int k = 0; k < 40; ++k) {
+              const ConfigVector c = space.Sample(&rank_rng);
+              truth.push_back(sim.cost_model().ExecutionSeconds(
+                  plan, EffectiveConfig::FromQueryConfig(c), 1.0));
+              pred.push_back(
+                  baseline.PredictRuntime(emb, c, plan.LeafInputBytes(1.0)));
+            }
+            out.spearman.push_back(ml::SpearmanCorrelation(truth, pred));
+          }
+          BoTunerOptions options;
+          options.data_size_feature = true;
+          BoTuner tuner(space, space.Defaults(), options,
+                        common::SplitMix64(arm_seed ^
+                                           static_cast<uint64_t>(q)),
+                        &baseline, ComputeEmbedding(plan, embedding_options));
+          double best = 1e300;
+          for (int t = 0; t < iters; ++t) {
+            const ConfigVector c = tuner.Propose(plan.LeafInputBytes(1.0));
+            const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+            tuner.Observe(c, r.input_bytes, r.runtime_seconds);
+            best = std::min(best, r.noise_free_seconds);
+            out.best_total[static_cast<size_t>(t)] += best;
+          }
+        }
+      });
+
+  if (!arm_results[0].ok || !arm_results[1].ok) {
+    std::fprintf(stderr, "baseline training failed\n");
+    return 1;
   }
+  std::map<bool, std::vector<double>> series;
+  std::map<bool, std::vector<double>> spearman;
+  series[false] = arm_results[0].best_total;
+  series[true] = arm_results[1].best_total;
+  spearman[false] = arm_results[0].spearman;
+  spearman[true] = arm_results[1].spearman;
 
   common::TextTable table;
   table.SetHeader({"iteration", "plain_speedup", "virtual_speedup",

@@ -4,11 +4,15 @@
 // hypercube sampling. This harness compares the two at equal sample
 // budgets by the quality of the resulting baseline model: held-out ranking
 // accuracy (Spearman) and log-runtime RMSE on unseen queries.
+//
+// Parallel runtime: one arm per (budget, generation) cell; each trains its
+// own baseline on its own simulator — bit-identical at any thread count.
 
 #include <cmath>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/experiment_runner.h"
 #include "core/flighting.h"
 #include "ml/metrics.h"
 #include "sparksim/simulator.h"
@@ -18,65 +22,99 @@ using namespace rockhopper::core;     // NOLINT(build/namespaces)
 using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
 
 int main() {
+  const bench::BenchKnobs knobs = bench::ParseKnobs(/*default_iters=*/1);
   bench::Banner("Flighting ablation: Random vs Latin hypercube generation",
                 "Expected shape: LHS's stratified coverage matches or beats "
                 "i.i.d. sampling at equal budget, most visibly at small "
                 "budgets.");
+  bench::PrintKnobs(knobs);
   const ConfigSpace space = QueryLevelSpace();
   const std::vector<int> targets = {9, 27, 45, 63, 81};
+  const std::vector<int> budgets = {3, 6, 12};
+  const std::vector<std::string> generations = {"Random", "LHS"};
 
-  SparkSimulator::Options sim_options;
-  sim_options.noise = NoiseParams::Low();
-  SparkSimulator sim(sim_options);
-  FlightingPipeline pipeline(&sim, space);
+  struct ArmResult {
+    double spearman_mean = 0.0;
+    double spearman_min = 0.0;
+    double log_rmse = 0.0;
+    bool ok = true;
+  };
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  const size_t num_arms = budgets.size() * generations.size();
+  std::vector<ArmResult> results(num_arms);
+  runner.Run(
+      num_arms,
+      [&](size_t i) {
+        return ArmId(/*algorithm=*/i % generations.size(),
+                     /*query=*/static_cast<uint64_t>(
+                         budgets[i / generations.size()]),
+                     /*trial=*/0);
+      },
+      [&](size_t i, uint64_t arm_seed) {
+        const int budget = budgets[i / generations.size()];
+        const std::string& generation = generations[i % generations.size()];
+        SparkSimulator::Options sim_options;
+        sim_options.noise = NoiseParams::Low();
+        sim_options.seed = common::SplitMix64(arm_seed);
+        SparkSimulator sim(sim_options);
+        FlightingPipeline pipeline(&sim, space);
+
+        FlightingConfig config;
+        config.suite = FlightingConfig::Suite::kTpcds;
+        for (int q = 1; q <= kNumTpcdsQueries; ++q) {
+          bool is_target = false;
+          for (int t : targets) is_target |= (q == t);
+          if (!is_target) config.query_ids.push_back(q);
+        }
+        config.scale_factors = {1.0};
+        config.configs_per_query = budget;
+        config.config_generation = generation;
+        BaselineModel baseline(space);
+        ArmResult& out = results[i];
+        if (!pipeline.TrainBaseline(config, &baseline).ok()) {
+          out.ok = false;
+          return;
+        }
+        std::vector<double> rhos;
+        std::vector<double> log_truth, log_pred;
+        common::Rng rng(common::SplitMix64(arm_seed ^ 1));
+        for (int q : targets) {
+          const QueryPlan plan =
+              FlightingPipeline::PlanFor(FlightingConfig::Suite::kTpcds, q);
+          const std::vector<double> embedding = ComputeEmbedding(plan, {});
+          std::vector<double> truth, pred;
+          for (int k = 0; k < 40; ++k) {
+            const ConfigVector c = space.Sample(&rng);
+            const double t = sim.cost_model().ExecutionSeconds(
+                plan, EffectiveConfig::FromQueryConfig(c), 1.0);
+            const double p = baseline.PredictRuntime(embedding, c,
+                                                     plan.LeafInputBytes(1.0));
+            truth.push_back(t);
+            pred.push_back(p);
+            log_truth.push_back(std::log1p(t));
+            log_pred.push_back(std::log1p(p));
+          }
+          rhos.push_back(ml::SpearmanCorrelation(truth, pred));
+        }
+        out.spearman_mean = common::Mean(rhos);
+        out.spearman_min = common::Min(rhos);
+        out.log_rmse = ml::RootMeanSquaredError(log_truth, log_pred);
+      });
 
   common::TextTable table;
   table.SetHeader({"budget/query", "generation", "spearman_mean",
                    "spearman_min", "log_rmse"});
-  for (int budget : {3, 6, 12}) {
-    for (const std::string generation : {"Random", "LHS"}) {
-      FlightingConfig config;
-      config.suite = FlightingConfig::Suite::kTpcds;
-      for (int q = 1; q <= kNumTpcdsQueries; ++q) {
-        bool is_target = false;
-        for (int t : targets) is_target |= (q == t);
-        if (!is_target) config.query_ids.push_back(q);
-      }
-      config.scale_factors = {1.0};
-      config.configs_per_query = budget;
-      config.config_generation = generation;
-      BaselineModel baseline(space);
-      if (!pipeline.TrainBaseline(config, &baseline).ok()) {
-        std::fprintf(stderr, "baseline training failed\n");
-        return 1;
-      }
-      std::vector<double> rhos;
-      std::vector<double> log_truth, log_pred;
-      common::Rng rng(17);
-      for (int q : targets) {
-        const QueryPlan plan =
-            FlightingPipeline::PlanFor(FlightingConfig::Suite::kTpcds, q);
-        const std::vector<double> embedding = ComputeEmbedding(plan, {});
-        std::vector<double> truth, pred;
-        for (int i = 0; i < 40; ++i) {
-          const ConfigVector c = space.Sample(&rng);
-          const double t = sim.cost_model().ExecutionSeconds(
-              plan, EffectiveConfig::FromQueryConfig(c), 1.0);
-          const double p = baseline.PredictRuntime(embedding, c,
-                                                   plan.LeafInputBytes(1.0));
-          truth.push_back(t);
-          pred.push_back(p);
-          log_truth.push_back(std::log1p(t));
-          log_pred.push_back(std::log1p(p));
-        }
-        rhos.push_back(ml::SpearmanCorrelation(truth, pred));
-      }
-      table.AddRow({std::to_string(budget), generation,
-                    common::TextTable::FormatDouble(common::Mean(rhos), 3),
-                    common::TextTable::FormatDouble(common::Min(rhos), 3),
-                    common::TextTable::FormatDouble(
-                        ml::RootMeanSquaredError(log_truth, log_pred), 3)});
+  for (size_t i = 0; i < num_arms; ++i) {
+    const ArmResult& out = results[i];
+    if (!out.ok) {
+      std::fprintf(stderr, "baseline training failed\n");
+      return 1;
     }
+    table.AddRow({std::to_string(budgets[i / generations.size()]),
+                  generations[i % generations.size()],
+                  common::TextTable::FormatDouble(out.spearman_mean, 3),
+                  common::TextTable::FormatDouble(out.spearman_min, 3),
+                  common::TextTable::FormatDouble(out.log_rmse, 3)});
   }
   table.Print();
   return 0;

@@ -4,10 +4,17 @@
 // synthetic customer population with the guardrail enabled and disabled and
 // compares the outcome distribution, especially the regression tail the
 // guardrail exists to cut off.
+//
+// Parallel runtime: one arm per (variant, signature). The population
+// member (plan shape + tunability segment) is derived from a signature-only
+// seed, so guardrail-on and guardrail-off tune the *same* population; the
+// simulator/service seeds additionally mix in the variant. Output is
+// bit-identical at any ROCKHOPPER_THREADS setting.
 
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/experiment_runner.h"
 #include "core/tuning_service.h"
 #include "sparksim/simulator.h"
 #include "sparksim/synthetic.h"
@@ -24,60 +31,92 @@ struct Outcome {
   size_t disabled = 0;
 };
 
-Outcome RunPopulation(bool guardrail_enabled, int signatures, int iters) {
-  const ConfigSpace space = QueryLevelSpace();
-  SparkSimulator::Options sim_options;
-  SparkSimulator sim(sim_options);
-  TuningServiceOptions options;
-  options.enable_guardrail = guardrail_enabled;
-  options.guardrail.min_iterations = 30;
-  options.guardrail.regression_threshold = 0.05;
-  options.guardrail.max_strikes = 1;
-  options.centroid.window_size = 20;
-  TuningService service(space, nullptr, options, 555);
-
-  common::Rng population_rng(99);
-  Outcome outcome;
-  for (int n = 0; n < signatures; ++n) {
-    common::Rng plan_rng = population_rng.Fork();
-    const QueryPlan plan = CustomerPlan(&plan_rng);
-    const double segment = population_rng.Uniform();
-    // Same segmentation as the Fig. 16 harness: 70% tunable, 20% noise-
-    // dominated, 10% externally regressing.
-    const double fl = segment < 0.7 ? 0.2 : (segment < 0.9 ? 1.0 : 0.2);
-    const double drift = segment >= 0.9 ? 0.03 : 0.0;
-    sim.set_noise(NoiseParams{fl, fl + 0.1});
-    double late_tuned = 0.0, late_default = 0.0;
-    for (int t = 0; t < iters; ++t) {
-      const double drift_mult = 1.0 + drift * t;
-      const ConfigVector c = service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
-      ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
-      r.runtime_seconds *= drift_mult;
-      service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
-      if (t >= iters - 8) {
-        const double def = sim.cost_model().ExecutionSeconds(
-            plan, EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);
-        late_tuned += r.noise_free_seconds * drift_mult;
-        late_default += def * drift_mult;
-      }
-    }
-    outcome.gains_pct.push_back(100.0 * (1.0 - late_tuned / late_default));
-  }
-  outcome.disabled = service.NumDisabled();
-  return outcome;
-}
+/// Population namespace in the arm-id space: distinct from the two variant
+/// ids so population draws never collide with variant seeds.
+constexpr uint64_t kPopulation = 2;
 
 }  // namespace
 
 int main() {
-  const int signatures = bench::EnvInt("ROCKHOPPER_SIGNATURES", 120);
-  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 45);
+  const bench::BenchKnobs knobs =
+      bench::ParseKnobs(/*default_iters=*/45, /*default_runs=*/1,
+                        /*default_signatures=*/120);
+  const int signatures = knobs.signatures;
+  const int iters = knobs.iters;
   bench::Banner("Guardrail ablation on a mixed customer population",
                 "Expected shape: with the guardrail, the regression tail "
                 "(worst gains) is cut and mean outcome improves; the paper's "
                 "conservative policy trades a little upside for safety.");
-  const Outcome with = RunPopulation(true, signatures, iters);
-  const Outcome without = RunPopulation(false, signatures, iters);
+  bench::PrintKnobs(knobs);
+  const ConfigSpace space = QueryLevelSpace();
+
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  // Arms: variant 0 = guardrail on, variant 1 = guardrail off, crossed with
+  // the population of signatures. Each arm owns one signature's tuning loop.
+  const size_t num_arms = 2 * static_cast<size_t>(signatures);
+  std::vector<double> gains(num_arms, 0.0);
+  std::vector<uint8_t> disabled_flags(num_arms, 0);
+  runner.Run(
+      num_arms,
+      [&](size_t i) {
+        return ArmId(/*algorithm=*/i / static_cast<size_t>(signatures),
+                     /*query=*/static_cast<uint64_t>(
+                         i % static_cast<size_t>(signatures)),
+                     /*trial=*/0);
+      },
+      [&](size_t i, uint64_t arm_seed) {
+        const bool guardrail_enabled = i < static_cast<size_t>(signatures);
+        const int n = static_cast<int>(i % static_cast<size_t>(signatures));
+        // Same population member for both variants: derived from the
+        // signature index alone, independent of the variant.
+        const uint64_t population_seed =
+            runner.ArmSeed(ArmId(kPopulation, static_cast<uint64_t>(n), 0));
+        common::Rng plan_rng(population_seed);
+        const QueryPlan plan = CustomerPlan(&plan_rng);
+        const double segment = common::Rng(population_seed ^ 1).Uniform();
+        // Same segmentation as the Fig. 16 harness: 70% tunable, 20% noise-
+        // dominated, 10% externally regressing.
+        const double fl = segment < 0.7 ? 0.2 : (segment < 0.9 ? 1.0 : 0.2);
+        const double drift = segment >= 0.9 ? 0.03 : 0.0;
+
+        SparkSimulator::Options sim_options;
+        sim_options.noise = NoiseParams{fl, fl + 0.1};
+        sim_options.seed = common::SplitMix64(arm_seed);
+        SparkSimulator sim(sim_options);
+        TuningServiceOptions options;
+        options.enable_guardrail = guardrail_enabled;
+        options.guardrail.min_iterations = 30;
+        options.guardrail.regression_threshold = 0.05;
+        options.guardrail.max_strikes = 1;
+        options.centroid.window_size = 20;
+        TuningService service(space, nullptr, options,
+                              common::SplitMix64(arm_seed ^ 1));
+
+        double late_tuned = 0.0, late_default = 0.0;
+        for (int t = 0; t < iters; ++t) {
+          const double drift_mult = 1.0 + drift * t;
+          const ConfigVector c =
+              service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
+          ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+          r.runtime_seconds *= drift_mult;
+          service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+          if (t >= iters - 8) {
+            const double def = sim.cost_model().ExecutionSeconds(
+                plan, EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);
+            late_tuned += r.noise_free_seconds * drift_mult;
+            late_default += def * drift_mult;
+          }
+        }
+        gains[i] = 100.0 * (1.0 - late_tuned / late_default);
+        disabled_flags[i] = service.NumDisabled() > 0 ? 1 : 0;
+      });
+
+  Outcome with, without;
+  for (size_t i = 0; i < num_arms; ++i) {
+    Outcome& out = i < static_cast<size_t>(signatures) ? with : without;
+    out.gains_pct.push_back(gains[i]);
+    out.disabled += disabled_flags[i];
+  }
 
   common::TextTable table;
   table.SetHeader({"metric", "guardrail_on", "guardrail_off"});

@@ -4,6 +4,9 @@
 // synthetic function at high noise — Gaussian process (+EI), epsilon-SVR,
 // random forest, kernel ridge, the Level-5 pseudo-oracle, and a random
 // scorer (no surrogate at all, isolating the centroid statistics).
+//
+// Parallel runtime: one arm per (backend, trial); seeds SplitMix-derived
+// from (base_seed, backend, trial) — bit-identical at any thread count.
 
 #include <functional>
 #include <memory>
@@ -11,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "core/centroid_learning.h"
+#include "core/experiment_runner.h"
 #include "ml/kernel_ridge.h"
 #include "ml/random_forest.h"
 #include "ml/svr.h"
@@ -32,13 +36,16 @@ struct Backend {
 }  // namespace
 
 int main() {
-  const int runs = bench::EnvInt("ROCKHOPPER_RUNS", 15);
-  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 220);
+  const bench::BenchKnobs knobs =
+      bench::ParseKnobs(/*default_iters=*/220, /*default_runs=*/15);
+  const int runs = knobs.runs;
+  const int iters = knobs.iters;
   bench::Banner("Surrogate-backend ablation for Centroid Learning",
                 "Expected shape: every real surrogate converges (the "
                 "centroid statistics carry most of the weight); better "
                 "surrogates tighten the tail; even the random scorer stays "
                 "bounded thanks to the restricted neighborhood.");
+  bench::PrintKnobs(knobs);
   const SyntheticFunction f = SyntheticFunction::Default();
   const ConfigSpace& space = f.space();
   const ConfigVector start = space.Denormalize({0.9, 0.9, 0.9});
@@ -83,27 +90,43 @@ int main() {
          return std::make_unique<RandomScorer>(seed);
        }});
 
+  // One arm per (backend, trial); final centroid performances land in
+  // per-arm slots and are summarized per backend after the join.
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  const size_t num_arms = backends.size() * static_cast<size_t>(runs);
+  std::vector<double> finals(num_arms, 0.0);
+  runner.Run(
+      num_arms,
+      [&](size_t i) {
+        return ArmId(/*algorithm=*/i / static_cast<size_t>(runs), /*query=*/0,
+                     /*trial=*/i % static_cast<size_t>(runs));
+      },
+      [&](size_t i, uint64_t arm_seed) {
+        const Backend& backend = backends[i / static_cast<size_t>(runs)];
+        CentroidLearningOptions options;
+        options.window_size = 20;
+        CentroidLearner learner(space, start,
+                                backend.make(space, f,
+                                             common::SplitMix64(arm_seed ^ 2)),
+                                options, common::SplitMix64(arm_seed));
+        common::Rng noise_rng(common::SplitMix64(arm_seed ^ 1));
+        for (int t = 0; t < iters; ++t) {
+          const ConfigVector c = learner.Propose(1.0);
+          learner.Observe(c, 1.0,
+                          f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
+        }
+        finals[i] = f.TruePerformance(learner.centroid(), 1.0);
+      });
+
   common::TextTable table;
   table.SetHeader({"backend", "final_median/opt", "final_p95/opt"});
-  for (const Backend& backend : backends) {
-    std::vector<double> finals;
-    for (int s = 0; s < runs; ++s) {
-      CentroidLearningOptions options;
-      options.window_size = 20;
-      CentroidLearner learner(space, start,
-                              backend.make(space, f, 3000 + s), options,
-                              4000 + static_cast<uint64_t>(s));
-      common::Rng noise_rng(6000 + s);
-      for (int t = 0; t < iters; ++t) {
-        const ConfigVector c = learner.Propose(1.0);
-        learner.Observe(c, 1.0,
-                        f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
-      }
-      finals.push_back(f.TruePerformance(learner.centroid(), 1.0));
-    }
-    const common::Summary s = common::Summarize(finals);
+  for (size_t b = 0; b < backends.size(); ++b) {
+    const std::vector<double> backend_finals(
+        finals.begin() + static_cast<long>(b * static_cast<size_t>(runs)),
+        finals.begin() + static_cast<long>((b + 1) * static_cast<size_t>(runs)));
+    const common::Summary s = common::Summarize(backend_finals);
     const double opt = f.OptimalPerformance(1.0);
-    table.AddRow({backend.name,
+    table.AddRow({backends[b].name,
                   common::TextTable::FormatDouble(s.median / opt, 3),
                   common::TextTable::FormatDouble(s.p95 / opt, 3)});
   }

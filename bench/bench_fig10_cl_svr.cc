@@ -4,12 +4,17 @@
 // narrowing upper band, and a shrinking optimality gap on the most
 // impactful configuration (maxPartitionBytes) — a large improvement over
 // the Fig. 2 baselines.
+//
+// Parallel runtime: one arm per repeated trial; learner and noise seeds are
+// SplitMix-derived from (base_seed, trial), so output is bit-identical at
+// any ROCKHOPPER_THREADS setting.
 
 #include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/centroid_learning.h"
+#include "core/experiment_runner.h"
 #include "ml/svr.h"
 #include "sparksim/synthetic.h"
 
@@ -18,35 +23,57 @@ using namespace rockhopper::core;     // NOLINT(build/namespaces)
 using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
 
 int main() {
-  const int runs = bench::EnvInt("ROCKHOPPER_RUNS", 20);
-  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 250);
+  const bench::BenchKnobs knobs =
+      bench::ParseKnobs(/*default_iters=*/250, /*default_runs=*/20);
+  const int runs = knobs.runs;
+  const int iters = knobs.iters;
   bench::Banner("Figure 10: CL with an SVR surrogate, high noise",
                 "Expected shape: convergence comparable to pseudo Levels "
                 "3-5; the p95 (upper band) narrows over iterations; the "
                 "optimality gap on maxPartitionBytes shrinks.");
+  bench::PrintKnobs(knobs);
   const SyntheticFunction f = SyntheticFunction::Default();
   const ConfigSpace& space = f.space();
   const ConfigVector start = space.Denormalize({0.9, 0.9, 0.9});
   std::printf("runs=%d iterations=%d optimal=%.0f start=%.0f\n\n", runs, iters,
               f.OptimalPerformance(1.0), f.TruePerformance(start, 1.0));
 
+  // One arm per trial; each records its own per-iteration series, merged
+  // into the cross-run distributions serially after the join.
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  std::vector<std::vector<double>> run_perf(static_cast<size_t>(runs));
+  std::vector<std::vector<double>> run_gap(static_cast<size_t>(runs));
+  runner.Run(
+      static_cast<size_t>(runs),
+      [](size_t s) { return ArmId(/*algorithm=*/0, /*query=*/0, s); },
+      [&](size_t s, uint64_t arm_seed) {
+        CentroidLearningOptions options;
+        options.window_size = 20;
+        CentroidLearner learner(
+            space, start,
+            std::make_unique<RegressorScorer>(
+                space, std::make_unique<ml::EpsilonSVR>(), "svr"),
+            options, common::SplitMix64(arm_seed));
+        common::Rng noise_rng(common::SplitMix64(arm_seed ^ 1));
+        run_perf[s].reserve(static_cast<size_t>(iters));
+        run_gap[s].reserve(static_cast<size_t>(iters));
+        for (int t = 0; t < iters; ++t) {
+          const ConfigVector c = learner.Propose(1.0);
+          learner.Observe(c, 1.0,
+                          f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
+          run_perf[s].push_back(f.TruePerformance(c, 1.0));
+          run_gap[s].push_back(f.OptimalityGap(c, 0));
+        }
+      });
+
   std::vector<std::vector<double>> perf(static_cast<size_t>(iters));
   std::vector<std::vector<double>> gap(static_cast<size_t>(iters));
   for (int s = 0; s < runs; ++s) {
-    CentroidLearningOptions options;
-    options.window_size = 20;
-    CentroidLearner learner(
-        space, start,
-        std::make_unique<RegressorScorer>(
-            space, std::make_unique<ml::EpsilonSVR>(), "svr"),
-        options, 400 + static_cast<uint64_t>(s));
-    common::Rng noise_rng(9000 + s);
     for (int t = 0; t < iters; ++t) {
-      const ConfigVector c = learner.Propose(1.0);
-      learner.Observe(c, 1.0,
-                      f.Observe(c, 1.0, NoiseParams::High(), &noise_rng));
-      perf[static_cast<size_t>(t)].push_back(f.TruePerformance(c, 1.0));
-      gap[static_cast<size_t>(t)].push_back(f.OptimalityGap(c, 0));
+      perf[static_cast<size_t>(t)].push_back(
+          run_perf[static_cast<size_t>(s)][static_cast<size_t>(t)]);
+      gap[static_cast<size_t>(t)].push_back(
+          run_gap[static_cast<size_t>(s)][static_cast<size_t>(t)]);
     }
   }
 

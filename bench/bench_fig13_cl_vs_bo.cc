@@ -3,6 +3,10 @@
 // execution on the simulator, starting both algorithms from an
 // intentionally poor configuration. The paper reports CL achieving clearly
 // better final convergence.
+//
+// Parallel runtime: one arm per (algorithm, query). Each arm owns its own
+// simulator and tuner, seeded via SplitMix from (base_seed, arm_id), so the
+// printed tables are bit-identical at any ROCKHOPPER_THREADS setting.
 
 #include <memory>
 #include <vector>
@@ -10,6 +14,7 @@
 #include "bench/bench_util.h"
 #include "core/bo_tuner.h"
 #include "core/centroid_learning.h"
+#include "core/experiment_runner.h"
 #include "sparksim/simulator.h"
 #include "sparksim/workloads.h"
 
@@ -17,12 +22,24 @@ using namespace rockhopper;           // NOLINT(build/namespaces)
 using namespace rockhopper::core;     // NOLINT(build/namespaces)
 using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
 
+namespace {
+
+constexpr uint64_t kAlgCl = 0;
+constexpr uint64_t kAlgBo = 1;
+
+}  // namespace
+
 int main() {
-  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 60);
+  // 120 iterations: CL's window-denoised gradient steps need ~2 window
+  // lengths per query to pull ahead of BO's noise-limited GP fit; shorter
+  // budgets leave the comparison inside seed variance (see EXPERIMENTS.md).
+  const bench::BenchKnobs knobs = bench::ParseKnobs(/*default_iters=*/120);
+  const int iters = knobs.iters;
   bench::Banner("Figure 13: Centroid Learning vs (Contextual) BO on live "
                 "noisy executions",
                 "Expected shape: from a poor starting configuration, CL "
                 "reaches a better and more stable final speedup than BO.");
+  bench::PrintKnobs(knobs);
   const ConfigSpace space = QueryLevelSpace();
   // An intentionally poor starting point: tiny scan partitions and minimal
   // shuffle parallelism. The broadcast threshold is left near its default:
@@ -32,44 +49,73 @@ int main() {
   const ConfigVector poor_start = space.Denormalize({0.05, 0.45, 0.05});
   const std::vector<int> queries = {2, 5, 8, 12, 17, 20};
 
-  SparkSimulator::Options sim_options;
-  sim_options.noise = NoiseParams::High();
-  // Independent environments with the same seed: each algorithm sees its
-  // own (identically distributed) noisy cluster.
-  SparkSimulator cl_sim(sim_options);
-  SparkSimulator bo_sim(sim_options);
-
   double default_total = 0.0;
-  for (int q : queries) {
-    default_total += cl_sim.cost_model().ExecutionSeconds(
-        TpchPlan(q), EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);
+  {
+    const CostModel model;
+    for (int q : queries) {
+      default_total += model.ExecutionSeconds(
+          TpchPlan(q), EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);
+    }
   }
+
+  // Arms: (algorithm, query). Each writes its per-iteration noise-free
+  // series into its own slot; the CL/BO totals are reduced serially below.
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  const size_t num_arms = 2 * queries.size();
+  std::vector<std::vector<double>> arm_series(num_arms);
+  runner.Run(
+      num_arms,
+      [&queries](size_t i) {
+        return ArmId(i < queries.size() ? kAlgCl : kAlgBo,
+                     static_cast<uint64_t>(queries[i % queries.size()]),
+                     /*trial=*/0);
+      },
+      [&](size_t i, uint64_t arm_seed) {
+        const bool is_cl = i < queries.size();
+        const int q = queries[i % queries.size()];
+        const QueryPlan plan = TpchPlan(q);
+        SparkSimulator::Options sim_options;
+        sim_options.noise = NoiseParams::High();
+        sim_options.seed = common::SplitMix64(arm_seed);
+        SparkSimulator sim(sim_options);
+        const uint64_t tuner_seed = common::SplitMix64(arm_seed ^ 1);
+
+        std::vector<double>& series = arm_series[i];
+        series.assign(static_cast<size_t>(iters), 0.0);
+        if (is_cl) {
+          CentroidLearningOptions cl_options;
+          cl_options.window_size = 15;
+          CentroidLearner cl(
+              space, poor_start,
+              std::make_unique<SurrogateScorer>(space, nullptr,
+                                                std::vector<double>{},
+                                                SurrogateScorerOptions{}),
+              cl_options, tuner_seed);
+          for (int t = 0; t < iters; ++t) {
+            const ConfigVector c = cl.Propose(plan.LeafInputBytes(1.0));
+            const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+            cl.Observe(c, r.input_bytes, r.runtime_seconds);
+            series[static_cast<size_t>(t)] = r.noise_free_seconds;
+          }
+        } else {
+          BoTunerOptions bo_options;
+          bo_options.data_size_feature = true;
+          BoTuner bo(space, poor_start, bo_options, tuner_seed);
+          for (int t = 0; t < iters; ++t) {
+            const ConfigVector c = bo.Propose(plan.LeafInputBytes(1.0));
+            const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+            bo.Observe(c, r.input_bytes, r.runtime_seconds);
+            series[static_cast<size_t>(t)] = r.noise_free_seconds;
+          }
+        }
+      });
 
   std::vector<double> cl_total(static_cast<size_t>(iters), 0.0);
   std::vector<double> bo_total(static_cast<size_t>(iters), 0.0);
-  for (int q : queries) {
-    const QueryPlan plan = TpchPlan(q);
-    CentroidLearningOptions cl_options;
-    cl_options.window_size = 15;
-    CentroidLearner cl(
-        space, poor_start,
-        std::make_unique<SurrogateScorer>(space, nullptr,
-                                          std::vector<double>{},
-                                          SurrogateScorerOptions{}),
-        cl_options, static_cast<uint64_t>(600 + q));
-    BoTunerOptions bo_options;
-    bo_options.data_size_feature = true;
-    BoTuner bo(space, poor_start, bo_options, static_cast<uint64_t>(700 + q));
+  for (size_t i = 0; i < num_arms; ++i) {
+    std::vector<double>& total = i < queries.size() ? cl_total : bo_total;
     for (int t = 0; t < iters; ++t) {
-      const ConfigVector c1 = cl.Propose(plan.LeafInputBytes(1.0));
-      const ExecutionResult r1 = cl_sim.ExecuteQuery(plan, c1, 1.0);
-      cl.Observe(c1, r1.input_bytes, r1.runtime_seconds);
-      cl_total[static_cast<size_t>(t)] += r1.noise_free_seconds;
-
-      const ConfigVector c2 = bo.Propose(plan.LeafInputBytes(1.0));
-      const ExecutionResult r2 = bo_sim.ExecuteQuery(plan, c2, 1.0);
-      bo.Observe(c2, r2.input_bytes, r2.runtime_seconds);
-      bo_total[static_cast<size_t>(t)] += r2.noise_free_seconds;
+      total[static_cast<size_t>(t)] += arm_series[i][static_cast<size_t>(t)];
     }
   }
 

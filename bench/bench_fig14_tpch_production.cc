@@ -5,10 +5,16 @@
 // guardrail). Paper result: despite noise and runtime spikes, total time
 // improves; >=10 queries gain more than 10%, 6 of those more than 15%, and
 // at most ~3 queries show minor regressions attributable to noise.
+//
+// Parallel runtime: the offline baseline is trained once (serial,
+// deterministic), then one arm per query runs its own simulator and
+// TuningService — seeds SplitMix-derived from (base_seed, query), output
+// bit-identical at any ROCKHOPPER_THREADS setting.
 
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/experiment_runner.h"
 #include "core/flighting.h"
 #include "core/tuning_service.h"
 #include "sparksim/simulator.h"
@@ -19,14 +25,17 @@ using namespace rockhopper::core;     // NOLINT(build/namespaces)
 using namespace rockhopper::sparksim; // NOLINT(build/namespaces)
 
 int main() {
-  const int iters = bench::EnvInt("ROCKHOPPER_ITERS", 55);
+  const bench::BenchKnobs knobs = bench::ParseKnobs(/*default_iters=*/55);
+  const int iters = knobs.iters;
   bench::Banner("Figure 14: TPC-H production tuning (baseline from TPC-DS)",
                 "Expected shape: per-query runtimes trend down across "
                 "iterations; ~10+ of 22 queries gain >10%, several >15%, "
                 "few minor regressions.");
+  bench::PrintKnobs(knobs);
   const ConfigSpace space = QueryLevelSpace();
 
-  // Offline phase: TPC-DS flighting trains the baseline.
+  // Offline phase: TPC-DS flighting trains the baseline (shared, read-only
+  // during the online phase).
   SparkSimulator::Options offline_options;
   offline_options.noise = NoiseParams::Low();
   SparkSimulator offline_sim(offline_options);
@@ -42,39 +51,68 @@ int main() {
     return 1;
   }
 
-  // Online phase: live noisy executions, per-query service state.
-  SparkSimulator::Options online_options;
-  online_options.noise = NoiseParams{0.3, 0.3};
-  SparkSimulator sim(online_options);
-  TuningServiceOptions service_options;
-  // The production policy (§6.3): conservative guardrail that keeps tuning
-  // enabled only while performance improves.
-  service_options.guardrail.min_iterations = 30;
-  service_options.guardrail.regression_threshold = 0.03;
-  service_options.guardrail.max_strikes = 2;
-  TuningService service(space, &baseline, service_options, 99);
-
   std::vector<double> default_runtime(kNumTpchQueries + 1, 0.0);
-  for (int q = 1; q <= kNumTpchQueries; ++q) {
-    default_runtime[static_cast<size_t>(q)] =
-        sim.cost_model().ExecutionSeconds(
-            TpchPlan(q), EffectiveConfig::FromQueryConfig(space.Defaults()),
-            1.0);
+  {
+    const CostModel model;
+    for (int q = 1; q <= kNumTpchQueries; ++q) {
+      default_runtime[static_cast<size_t>(q)] = model.ExecutionSeconds(
+          TpchPlan(q), EffectiveConfig::FromQueryConfig(space.Defaults()),
+          1.0);
+    }
   }
 
-  // Per-query noise-free runtime of the executed config at each iteration.
-  std::vector<std::vector<double>> tuned(
-      static_cast<size_t>(kNumTpchQueries + 1));
+  // Online phase: one arm per query; each owns a live noisy simulator and
+  // its own service state (queries are tuned independently).
+  struct ArmResult {
+    std::vector<double> series;  ///< noise-free runtime per iteration
+    size_t disabled = 0;
+    size_t signatures = 0;
+  };
+  ExperimentRunner runner({knobs.threads, knobs.seed});
+  std::vector<ArmResult> arms(static_cast<size_t>(kNumTpchQueries));
+  runner.Run(
+      static_cast<size_t>(kNumTpchQueries),
+      [](size_t i) {
+        return ArmId(/*algorithm=*/0, /*query=*/static_cast<uint64_t>(i + 1),
+                     /*trial=*/0);
+      },
+      [&](size_t i, uint64_t arm_seed) {
+        const int q = static_cast<int>(i) + 1;
+        SparkSimulator::Options online_options;
+        online_options.noise = NoiseParams{0.3, 0.3};
+        online_options.seed = common::SplitMix64(arm_seed);
+        SparkSimulator sim(online_options);
+        TuningServiceOptions service_options;
+        // The production policy (§6.3): conservative guardrail that keeps
+        // tuning enabled only while performance improves.
+        service_options.guardrail.min_iterations = 30;
+        service_options.guardrail.regression_threshold = 0.03;
+        service_options.guardrail.max_strikes = 2;
+        TuningService service(space, &baseline, service_options,
+                              common::SplitMix64(arm_seed ^ 1));
+        const QueryPlan plan = TpchPlan(q);
+        ArmResult& out = arms[i];
+        out.series.reserve(static_cast<size_t>(iters));
+        for (int t = 0; t < iters; ++t) {
+          const ConfigVector c =
+              service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
+          const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+          service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+          out.series.push_back(r.noise_free_seconds);
+        }
+        out.disabled = service.NumDisabled();
+        out.signatures = service.NumSignatures();
+      });
+
   std::vector<double> total_per_iter(static_cast<size_t>(iters), 0.0);
-  for (int q = 1; q <= kNumTpchQueries; ++q) {
-    const QueryPlan plan = TpchPlan(q);
+  size_t disabled = 0, signatures = 0;
+  for (const ArmResult& arm : arms) {
     for (int t = 0; t < iters; ++t) {
-      const ConfigVector c = service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
-      const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
-      service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
-      tuned[static_cast<size_t>(q)].push_back(r.noise_free_seconds);
-      total_per_iter[static_cast<size_t>(t)] += r.noise_free_seconds;
+      total_per_iter[static_cast<size_t>(t)] +=
+          arm.series[static_cast<size_t>(t)];
     }
+    disabled += arm.disabled;
+    signatures += arm.signatures;
   }
 
   std::printf("total noise-free execution time across 22 queries:\n");
@@ -99,7 +137,7 @@ int main() {
   common::TextTable per_query;
   per_query.SetHeader({"query", "default_sec", "final_sec", "gain_pct"});
   for (int q = 1; q <= kNumTpchQueries; ++q) {
-    const std::vector<double>& series = tuned[static_cast<size_t>(q)];
+    const std::vector<double>& series = arms[static_cast<size_t>(q - 1)].series;
     double late = 0.0;
     const int tail = std::min<int>(10, iters);
     for (int t = iters - tail; t < iters; ++t) {
@@ -126,6 +164,6 @@ int main() {
               "minor regressions: %d   (guardrail disabled %zu of %zu "
               "signatures)\n",
               gain10, gain15, regressions, minor_regressions,
-              service.NumDisabled(), service.NumSignatures());
+              disabled, signatures);
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "ml/kernel.h"
 #include "ml/scaler.h"
 #include "sparksim/cost_model.h"
+#include "sparksim/simulator.h"
 #include "sparksim/synthetic.h"
 #include "sparksim/workloads.h"
 
@@ -56,6 +57,56 @@ void BM_CostModelExecution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CostModelExecution);
+
+// The pre-PR per-call recursion over PlanNode objects — the reference path
+// the plan-cached fast path above is measured against (bit-identical
+// results, see CostModelCacheTest).
+void BM_CostModelExecutionUncached(benchmark::State& state) {
+  const QueryPlan plan = TpcdsPlan(42);
+  const CostModel model;
+  const EffectiveConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ExecutionSecondsUncached(plan, config, 1.0));
+  }
+}
+BENCHMARK(BM_CostModelExecutionUncached);
+
+// Full simulator hot path as tuners drive it: ExecuteQuery per proposal
+// (memoized EffectiveConfig conversion + execution memo) vs the batched
+// entry point over the same proposals.
+void BM_SimulatorExecutePerCall(benchmark::State& state) {
+  SparkSimulator::Options options;
+  options.noise = NoiseParams::Low();
+  options.seed = 17;
+  SparkSimulator sim(options);
+  const QueryPlan plan = TpcdsPlan(42);
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(13);
+  std::vector<ConfigVector> proposals;
+  for (int i = 0; i < 16; ++i) proposals.push_back(space.Sample(&rng));
+  for (auto _ : state) {
+    for (const ConfigVector& c : proposals) {
+      benchmark::DoNotOptimize(sim.ExecuteQuery(plan, c, 1.0));
+    }
+  }
+}
+BENCHMARK(BM_SimulatorExecutePerCall);
+
+void BM_SimulatorExecuteBatch(benchmark::State& state) {
+  SparkSimulator::Options options;
+  options.noise = NoiseParams::Low();
+  options.seed = 17;
+  SparkSimulator sim(options);
+  const QueryPlan plan = TpcdsPlan(42);
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(13);
+  std::vector<ConfigVector> proposals;
+  for (int i = 0; i < 16; ++i) proposals.push_back(space.Sample(&rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.ExecuteBatch(plan, proposals, 1.0));
+  }
+}
+BENCHMARK(BM_SimulatorExecuteBatch);
 
 void BM_GpPredict(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,9 +1,11 @@
 #ifndef ROCKHOPPER_BENCH_BENCH_UTIL_H_
 #define ROCKHOPPER_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/statistics.h"
@@ -19,6 +21,68 @@ inline int EnvInt(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return std::atoi(v);
+}
+
+/// The shared experiment knobs, parsed once per harness from the
+/// environment (the single place these variables are interpreted — the
+/// per-bench copies of getenv/atoi used to drift):
+///   ROCKHOPPER_ITERS       tuning iterations per arm
+///   ROCKHOPPER_RUNS        repeated trials per variant (where applicable)
+///   ROCKHOPPER_SIGNATURES  population size (population harnesses)
+///   ROCKHOPPER_THREADS     worker threads for the parallel runner
+///                          (default: hardware concurrency; 1 = serial).
+///                          Results are bit-identical at any setting.
+///   ROCKHOPPER_SEED        base seed for SplitMix arm-seed derivation
+struct BenchKnobs {
+  int iters = 0;
+  int runs = 0;
+  int signatures = 0;
+  int threads = 1;
+  uint64_t seed = 20240601;
+};
+
+/// Parses and validates the knobs. Invalid values (non-positive or
+/// non-numeric overrides) fall back to the defaults with a warning to
+/// stderr rather than silently running a zero-sized experiment.
+inline BenchKnobs ParseKnobs(int default_iters, int default_runs = 1,
+                             int default_signatures = 1) {
+  const auto positive = [](const char* name, int fallback) {
+    const int v = EnvInt(name, fallback);
+    if (v <= 0) {
+      std::fprintf(stderr, "warning: %s=%d is not positive; using %d\n", name,
+                   v, fallback);
+      return fallback;
+    }
+    return v;
+  };
+  BenchKnobs knobs;
+  knobs.iters = positive("ROCKHOPPER_ITERS", default_iters);
+  knobs.runs = positive("ROCKHOPPER_RUNS", default_runs);
+  knobs.signatures = positive("ROCKHOPPER_SIGNATURES", default_signatures);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  knobs.threads = positive("ROCKHOPPER_THREADS", hw > 0 ? hw : 1);
+  const char* seed_env = std::getenv("ROCKHOPPER_SEED");
+  if (seed_env != nullptr && *seed_env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(seed_env, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      knobs.seed = static_cast<uint64_t>(parsed);
+    } else {
+      std::fprintf(stderr,
+                   "warning: ROCKHOPPER_SEED='%s' is not an integer; using "
+                   "%llu\n",
+                   seed_env,
+                   static_cast<unsigned long long>(knobs.seed));
+    }
+  }
+  return knobs;
+}
+
+/// One-line knobs banner so every harness records the exact run shape.
+inline void PrintKnobs(const BenchKnobs& knobs) {
+  std::printf("knobs: iters=%d runs=%d signatures=%d threads=%d seed=%llu\n",
+              knobs.iters, knobs.runs, knobs.signatures, knobs.threads,
+              static_cast<unsigned long long>(knobs.seed));
 }
 
 /// Prints the standard harness banner.

@@ -7,6 +7,18 @@
 
 namespace rockhopper::common {
 
+/// SplitMix64 finalizer (Steele et al.): a single full-avalanche scramble
+/// step. Used to derive statistically independent seeds from structured
+/// identifiers — e.g. the experiment runner's per-arm seeds from
+/// (base_seed, arm_id) — so that nearby inputs (arm 4 vs arm 5) yield
+/// uncorrelated streams and adding arms never perturbs existing ones.
+constexpr uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic pseudo-random number source used throughout the library.
 ///
 /// All experiments in this repository are seeded, reproducible runs; every
@@ -58,11 +70,8 @@ class Rng {
   /// Derives an independent child generator. Successive calls yield distinct
   /// streams; the parent's subsequent output is unaffected by the child's use.
   Rng Fork() {
-    // SplitMix64-style scramble of a fresh draw to decorrelate streams.
-    uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return Rng(z ^ (z >> 31));
+    // SplitMix64 scramble of a fresh draw to decorrelate streams.
+    return Rng(SplitMix64(engine_()));
   }
 
   std::mt19937_64& engine() { return engine_; }

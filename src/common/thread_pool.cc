@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace rockhopper::common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      throw std::runtime_error("ThreadPool::Submit after Shutdown");
+    }
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (in_flight_ == 0) all_idle_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (shutting_down_ && queue_.empty()) return;
+    }
+    RunOneTask();
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  // Shared iteration/exception state for this loop only, so concurrent
+  // ParallelFor calls on one pool do not interfere.
+  struct LoopState {
+    std::atomic<size_t> remaining;
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::mutex done_mutex;
+    std::condition_variable done;
+    explicit LoopState(size_t n) : remaining(n) {}
+  };
+  auto state = std::make_shared<LoopState>(n);
+
+  auto run_iteration = [state, &body](size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->error_mutex);
+      if (!state->error) state->error = std::current_exception();
+    }
+    if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state->done_mutex);
+      state->done.notify_all();
+    }
+  };
+
+  // Iteration 0 runs on the calling thread after the rest are queued; the
+  // caller then helps drain the queue instead of blocking, so ParallelFor
+  // makes progress even when the pool is saturated with other work.
+  for (size_t i = 1; i < n; ++i) {
+    Submit([run_iteration, i] { run_iteration(i); });
+  }
+  run_iteration(0);
+  while (state->remaining.load(std::memory_order_acquire) > 0) {
+    if (!RunOneTask()) {
+      std::unique_lock<std::mutex> lock(state->done_mutex);
+      state->done.wait_for(lock, std::chrono::milliseconds(1), [&state] {
+        return state->remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace rockhopper::common

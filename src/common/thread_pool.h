@@ -1,0 +1,76 @@
+#ifndef ROCKHOPPER_COMMON_THREAD_POOL_H_
+#define ROCKHOPPER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rockhopper::common {
+
+/// Fixed-size worker pool over a mutex-protected MPMC task queue.
+///
+/// Any thread may Submit work (multi-producer) and every worker competes for
+/// queued tasks (multi-consumer). The pool is the execution substrate for the
+/// deterministic experiment runner (core/experiment_runner.h) but is
+/// deliberately generic: tasks are plain `void()` closures with no ordering
+/// guarantees between them, so correctness of callers must never depend on
+/// the schedule. Determinism is the caller's job (give each task its own
+/// state and seed); throughput is the pool's.
+///
+/// Shutdown: the destructor (or Shutdown()) drains every task already
+/// queued, then joins the workers. Tasks submitted after Shutdown began are
+/// rejected with std::runtime_error rather than silently dropped.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Thread-safe; throws std::runtime_error after
+  /// Shutdown() has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Safe to call
+  /// repeatedly; new work may be submitted afterwards.
+  void Wait();
+
+  /// Drains the queue and joins all workers. Idempotent; implied by the
+  /// destructor.
+  void Shutdown();
+
+  /// Runs body(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finish. If any iteration throws, the first exception (in
+  /// completion order) is rethrown on the calling thread after the loop
+  /// drains; the remaining iterations still run to completion so partial
+  /// state stays well-defined. The calling thread also executes iterations,
+  /// so ParallelFor works even on a pool under concurrent load.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+  /// Pops one task if available (returns false otherwise); used by workers
+  /// and by ParallelFor's help-while-waiting loop.
+  bool RunOneTask();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;  ///< queued + currently executing tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_THREAD_POOL_H_

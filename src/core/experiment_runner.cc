@@ -1,0 +1,25 @@
+#include "core/experiment_runner.h"
+
+#include "common/thread_pool.h"
+
+namespace rockhopper::core {
+
+void ExperimentRunner::Run(
+    size_t num_arms, const std::function<uint64_t(size_t)>& arm_ids,
+    const std::function<void(size_t, uint64_t)>& fn) const {
+  if (num_arms == 0) return;
+  if (options_.threads <= 1) {
+    for (size_t i = 0; i < num_arms; ++i) fn(i, ArmSeed(arm_ids(i)));
+    return;
+  }
+  common::ThreadPool pool(static_cast<size_t>(options_.threads));
+  pool.ParallelFor(num_arms,
+                   [this, &arm_ids, &fn](size_t i) { fn(i, ArmSeed(arm_ids(i))); });
+}
+
+void ExperimentRunner::Run(
+    size_t num_arms, const std::function<void(size_t, uint64_t)>& fn) const {
+  Run(num_arms, [](size_t i) { return static_cast<uint64_t>(i); }, fn);
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,72 @@
+#ifndef ROCKHOPPER_CORE_EXPERIMENT_RUNNER_H_
+#define ROCKHOPPER_CORE_EXPERIMENT_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace rockhopper::core {
+
+/// A benchmark decomposed for the parallel runtime is a set of *arms*: one
+/// arm per (algorithm, query, trial) combination. Each arm owns every piece
+/// of mutable state it touches — its simulator, its tuner, its RNGs — and
+/// derives all of its seeds from a single arm seed, so arms are independent
+/// by construction and a run's output is a pure function of
+/// (base_seed, arm ids), never of thread count or schedule.
+///
+/// ArmId packs the three coordinates into disjoint bit ranges (24 bits each
+/// for algorithm and query, 16 for trial), so no two distinct coordinates
+/// can ever collide — unlike the former ad-hoc `600 + q` / `700 + q` seed
+/// literals, which silently overlapped once an algorithm offset crossed a
+/// query offset.
+constexpr uint64_t ArmId(uint64_t algorithm, uint64_t query, uint64_t trial) {
+  return (algorithm << 40) | ((query & 0xffffffULL) << 16) |
+         (trial & 0xffffULL);
+}
+
+/// Runs the arms of an experiment across a fixed-size thread pool (or
+/// inline when threads == 1). Results are deterministic at any thread
+/// count: the runner only hands each arm its index and SplitMix-derived
+/// seed; arms write to caller-preallocated slots and all aggregation
+/// happens serially after Run returns.
+struct ExperimentOptions {
+  /// Worker threads; <= 1 runs every arm inline on the calling thread
+  /// (the reference serial path — bit-identical to any parallel run).
+  int threads = 1;
+  /// Base seed mixed into every arm seed. Changing it reseeds the whole
+  /// experiment coherently.
+  uint64_t base_seed = 20240601;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentOptions options = {})
+      : options_(options) {}
+
+  /// The deterministic seed of `arm_id` under this runner's base seed:
+  /// SplitMix64 applied twice so both coordinates get full avalanche.
+  /// Depends only on (base_seed, arm_id).
+  uint64_t ArmSeed(uint64_t arm_id) const {
+    return common::SplitMix64(options_.base_seed ^ common::SplitMix64(arm_id));
+  }
+
+  /// Executes fn(arm_index, arm_seed) for every arm in [0, num_arms),
+  /// where arm_seed = ArmSeed(arm_ids(arm_index)). Blocks until all arms
+  /// finish; the first exception thrown by any arm is rethrown here.
+  void Run(size_t num_arms, const std::function<uint64_t(size_t)>& arm_ids,
+           const std::function<void(size_t, uint64_t)>& fn) const;
+
+  /// Convenience overload for experiments whose arm id IS the index.
+  void Run(size_t num_arms,
+           const std::function<void(size_t, uint64_t)>& fn) const;
+
+  const ExperimentOptions& options() const { return options_; }
+
+ private:
+  ExperimentOptions options_;
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_EXPERIMENT_RUNNER_H_

@@ -263,9 +263,172 @@ double CostModel::SubtreeCost(const QueryPlan& plan, size_t index,
   return 0.0;
 }
 
+double CostModel::FastSubtreeCostSkippingExchange(
+    const PlanStats& stats, size_t index, const EffectiveConfig& config,
+    double scale, ExecutionMetrics* metrics) const {
+  const NodeStats& n = stats.node[index];
+  if (n.type == OperatorType::kExchange) {
+    double sum = 0.0;
+    const uint32_t begin = n.child_begin;
+    const uint32_t end = begin + n.num_children;
+    for (uint32_t k = begin; k < end; ++k) {
+      sum += FastSubtreeCost(stats, stats.child_index[k], config, scale,
+                             metrics);
+    }
+    return sum;
+  }
+  return FastSubtreeCost(stats, index, config, scale, metrics);
+}
+
+double CostModel::FastSubtreeCost(const PlanStats& stats, size_t index,
+                                  const EffectiveConfig& config, double scale,
+                                  ExecutionMetrics* metrics) const {
+  // One record behind one data pointer (see NodeStats): the walk's entry
+  // critical path is a single dependent load, matching the PlanNode
+  // recursion it replaces. Pointers live in locals that never alias the
+  // metrics writes, so they stay in registers across the recursive calls.
+  const NodeStats* const nodes = stats.node.data();
+  const uint32_t* const child_index = stats.child_index.data();
+  const NodeStats& n = nodes[index];
+  const double rows = n.base_rows * scale;
+  const double bytes = rows * n.width;
+  // Every case accumulates children in node order onto its own cost,
+  // preserving the legacy walk's left-to-right addition order so results
+  // stay bit-identical.
+  const uint32_t child_begin = n.child_begin;
+  const uint32_t child_end = child_begin + n.num_children;
+
+  switch (n.type) {
+    case OperatorType::kScan:
+      return ScanCost(bytes, config, metrics);
+    case OperatorType::kFilter:
+    case OperatorType::kProject: {
+      // input_rows is precomputed at base scale; `* scale` here matches the
+      // legacy `plan.InputRows(index) * scale` ordering exactly.
+      double sum = CpuCost(n.input_rows * scale, config);
+      for (uint32_t k = child_begin; k < child_end; ++k) {
+        sum += FastSubtreeCost(stats, child_index[k], config, scale,
+                               metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kJoin: {
+      if (child_end - child_begin != 2) {
+        double sum = CpuCost(rows, config);
+        for (uint32_t k = child_begin; k < child_end; ++k) {
+          sum += FastSubtreeCost(stats, child_index[k], config, scale,
+                                 metrics);
+        }
+        return sum;
+      }
+      const uint32_t left = child_index[child_begin];
+      const uint32_t right = child_index[child_begin + 1];
+      const NodeStats& ln = nodes[left];
+      const NodeStats& rn = nodes[right];
+      const double left_bytes = ln.base_rows * scale * ln.width;
+      const double right_bytes = rn.base_rows * scale * rn.width;
+      const bool build_is_right = right_bytes <= left_bytes;
+      const double build_bytes = build_is_right ? right_bytes : left_bytes;
+      const double build_rows =
+          (build_is_right ? rn : ln).base_rows * scale;
+      const double probe_rows =
+          (build_is_right ? ln : rn).base_rows * scale;
+      const uint32_t build_child = build_is_right ? right : left;
+      const uint32_t probe_child = build_is_right ? left : right;
+
+      if (build_bytes <= config.broadcast_threshold) {
+        if (metrics != nullptr) ++metrics->broadcast_joins;
+        const double bcast_sec =
+            build_bytes * std::sqrt(std::max(1.0, config.executor_instances)) /
+            params_.broadcast_throughput;
+        const double mem_bytes =
+            config.executor_memory_gb * kGiB * params_.memory_fraction;
+        const double oom_mult =
+            build_bytes > mem_bytes ? params_.oom_retry_multiplier : 1.0;
+        if (metrics != nullptr &&
+            build_bytes > params_.fatal_oom_multiple * mem_bytes) {
+          ++metrics->oom_events;
+        }
+        const double build_sec = CpuCost(build_rows, config);
+        const double probe_sec = CpuCost(probe_rows, config);
+        const double children_sec =
+            FastSubtreeCostSkippingExchange(stats, probe_child, config, scale,
+                                            metrics) +
+            FastSubtreeCostSkippingExchange(stats, build_child, config, scale,
+                                            metrics);
+        return children_sec + (bcast_sec + build_sec + probe_sec) * oom_mult;
+      }
+      if (metrics != nullptr) ++metrics->sort_merge_joins;
+      const double children_sec =
+          FastSubtreeCost(stats, probe_child, config, scale, metrics) +
+          FastSubtreeCost(stats, build_child, config, scale, metrics);
+      const double sort_sec =
+          SortCost(probe_rows, probe_rows * ln.width, config, metrics) +
+          SortCost(build_rows, build_bytes, config, metrics);
+      const double merge_sec = CpuCost(probe_rows + build_rows, config);
+      return children_sec + sort_sec + merge_sec;
+    }
+    case OperatorType::kAggregate: {
+      double sum = CpuCost(n.input_rows * scale, config) +
+                   CpuCost(rows, config);
+      for (uint32_t k = child_begin; k < child_end; ++k) {
+        sum += FastSubtreeCost(stats, child_index[k], config, scale,
+                               metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kExchange: {
+      double sum = ExchangeCost(bytes, config, metrics);
+      for (uint32_t k = child_begin; k < child_end; ++k) {
+        sum += FastSubtreeCost(stats, child_index[k], config, scale,
+                               metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kSort: {
+      double sum = SortCost(rows, bytes, config, metrics);
+      for (uint32_t k = child_begin; k < child_end; ++k) {
+        sum += FastSubtreeCost(stats, child_index[k], config, scale,
+                               metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kWindow: {
+      double sum = SortCost(rows, bytes, config, metrics) +
+                   CpuCost(rows * 2.0, config);
+      for (uint32_t k = child_begin; k < child_end; ++k) {
+        sum += FastSubtreeCost(stats, child_index[k], config, scale,
+                               metrics);
+      }
+      return sum;
+    }
+    case OperatorType::kUnion:
+    case OperatorType::kLimit: {
+      double sum = 0.0;
+      for (uint32_t k = child_begin; k < child_end; ++k) {
+        sum += FastSubtreeCost(stats, child_index[k], config, scale,
+                               metrics);
+      }
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
 double CostModel::ExecutionSeconds(const QueryPlan& plan,
                                    const EffectiveConfig& config, double scale,
                                    ExecutionMetrics* metrics) const {
+  if (plan.empty()) return 0.0;
+  const double startup =
+      params_.base_overhead_sec +
+      params_.startup_sec_per_executor * std::max(1.0, config.executor_instances);
+  return startup + FastSubtreeCost(plan.stats(), 0, config, scale, metrics);
+}
+
+double CostModel::ExecutionSecondsUncached(const QueryPlan& plan,
+                                           const EffectiveConfig& config,
+                                           double scale,
+                                           ExecutionMetrics* metrics) const {
   if (plan.empty()) return 0.0;
   const double startup =
       params_.base_overhead_sec +

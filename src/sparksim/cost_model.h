@@ -91,9 +91,20 @@ class CostModel {
 
   /// Noise-free execution time in seconds for `plan` at `scale` (cardinality
   /// multiplier relative to the plan's base estimates). `metrics` is
-  /// optional.
+  /// optional. Evaluates over the plan's cached PlanStats (flat arrays,
+  /// precomputed input rows and leaf totals) — bit-identical to
+  /// ExecutionSecondsUncached but substantially faster per call; the cache
+  /// is built once on first execution of a plan.
   double ExecutionSeconds(const QueryPlan& plan, const EffectiveConfig& config,
                           double scale, ExecutionMetrics* metrics = nullptr) const;
+
+  /// Reference implementation walking the PlanNode tree directly with no
+  /// cached precomputation — the pre-caching behavior, kept so tests can
+  /// pin the cached path's equivalence and benchmarks can measure the
+  /// hot-path win.
+  double ExecutionSecondsUncached(const QueryPlan& plan,
+                                  const EffectiveConfig& config, double scale,
+                                  ExecutionMetrics* metrics = nullptr) const;
 
   const CostModelParams& params() const { return params_; }
   const PoolSpec& pool() const { return pool_; }
@@ -127,6 +138,17 @@ class CostModel {
                                      const EffectiveConfig& config,
                                      double scale,
                                      ExecutionMetrics* metrics) const;
+
+  /// Fast-path equivalents of the two walks above, reading the flat
+  /// PlanStats arrays instead of the node tree. Arithmetic order matches
+  /// the legacy walk exactly so results are bit-identical.
+  double FastSubtreeCost(const PlanStats& stats, size_t index,
+                         const EffectiveConfig& config, double scale,
+                         ExecutionMetrics* metrics) const;
+  double FastSubtreeCostSkippingExchange(const PlanStats& stats, size_t index,
+                                         const EffectiveConfig& config,
+                                         double scale,
+                                         ExecutionMetrics* metrics) const;
 
   CostModelParams params_;
   PoolSpec pool_;

@@ -1,8 +1,10 @@
 #include "sparksim/plan.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 namespace rockhopper::sparksim {
 
@@ -32,9 +34,75 @@ const char* OperatorTypeName(OperatorType type) {
   return "Unknown";
 }
 
+QueryPlan::QueryPlan(QueryPlan&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      stats_(other.stats_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+QueryPlan& QueryPlan::operator=(const QueryPlan& other) {
+  if (this != &other) {
+    nodes_ = other.nodes_;
+    InvalidateStats();
+  }
+  return *this;
+}
+
+QueryPlan& QueryPlan::operator=(QueryPlan&& other) noexcept {
+  if (this != &other) {
+    nodes_ = std::move(other.nodes_);
+    InvalidateStats();
+    stats_.store(other.stats_.exchange(nullptr, std::memory_order_acq_rel),
+                 std::memory_order_release);
+  }
+  return *this;
+}
+
+QueryPlan::~QueryPlan() { InvalidateStats(); }
+
+void QueryPlan::InvalidateStats() {
+  const PlanStats* stale = stats_.exchange(nullptr, std::memory_order_acq_rel);
+  delete stale;
+}
+
 uint32_t QueryPlan::AddNode(PlanNode node) {
+  InvalidateStats();
   nodes_.push_back(std::move(node));
   return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+const PlanStats& QueryPlan::stats() const {
+  const PlanStats* cached = stats_.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+
+  static std::atomic<uint64_t> next_id{1};
+  auto* built = new PlanStats;
+  const size_t n = nodes_.size();
+  built->node.reserve(n);
+  for (const PlanNode& node : nodes_) {
+    NodeStats record;
+    record.type = node.type;
+    record.num_children = static_cast<uint16_t>(node.children.size());
+    record.child_begin = static_cast<uint32_t>(built->child_index.size());
+    record.base_rows = node.est_output_rows;
+    record.width = node.row_width_bytes;
+    record.input_rows = 0.0;
+    built->node.push_back(record);
+    for (uint32_t c : node.children) built->child_index.push_back(c);
+    if (node.type == OperatorType::kScan) {
+      built->leaf_rows += node.est_output_rows;
+      built->leaf_bytes += node.est_output_rows * node.row_width_bytes;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) built->node[i].input_rows = InputRows(i);
+  built->unique_id = next_id.fetch_add(1, std::memory_order_relaxed);
+
+  const PlanStats* expected = nullptr;
+  if (stats_.compare_exchange_strong(expected, built,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return *built;
+  }
+  delete built;  // another thread won the benign build race
+  return *expected;
 }
 
 double QueryPlan::RootCardinality(double factor) const {
@@ -43,21 +111,15 @@ double QueryPlan::RootCardinality(double factor) const {
 }
 
 double QueryPlan::LeafInputCardinality(double factor) const {
-  double sum = 0.0;
-  for (const PlanNode& n : nodes_) {
-    if (n.type == OperatorType::kScan) sum += n.est_output_rows;
-  }
-  return sum * factor;
+  if (nodes_.empty()) return 0.0;
+  // The cached total is accumulated in the same node order as the former
+  // per-call loop, so this stays bit-identical while dropping to O(1).
+  return stats().leaf_rows * factor;
 }
 
 double QueryPlan::LeafInputBytes(double factor) const {
-  double sum = 0.0;
-  for (const PlanNode& n : nodes_) {
-    if (n.type == OperatorType::kScan) {
-      sum += n.est_output_rows * n.row_width_bytes;
-    }
-  }
-  return sum * factor;
+  if (nodes_.empty()) return 0.0;
+  return stats().leaf_bytes * factor;
 }
 
 std::vector<double> QueryPlan::OperatorCounts() const {

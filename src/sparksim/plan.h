@@ -1,6 +1,7 @@
 #ifndef ROCKHOPPER_SPARKSIM_PLAN_H_
 #define ROCKHOPPER_SPARKSIM_PLAN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -45,6 +46,42 @@ struct PlanNode {
   std::vector<uint32_t> children;
 };
 
+/// Per-node compile-time facts for the cost-model hot path, packed into one
+/// 32-byte record: the fields the recursive walk touches plus the
+/// precomputed per-node input rows, with children flattened into one index
+/// array via CSR-style offsets. Kept as an array-of-structs deliberately —
+/// the walk visits a node's fields together, and one record behind one data
+/// pointer keeps its critical path at a single dependent load per visit (a
+/// one-vector-per-field layout costs five, which measurably loses to the
+/// PlanNode recursion it replaces). Built once per plan (lazily, on first
+/// use) and shared by every subsequent execution; see QueryPlan::stats().
+struct NodeStats {
+  OperatorType type;       ///< operator kind
+  uint8_t padding = 0;
+  uint16_t num_children;   ///< fan-in (plans here are far below 65k)
+  uint32_t child_begin;    ///< offset of first child in PlanStats::child_index
+  double base_rows;        ///< est_output_rows at base scale
+  double width;            ///< row_width_bytes
+  double input_rows;       ///< InputRows(i) at base scale
+};
+
+struct PlanStats {
+  std::vector<NodeStats> node;         ///< per-node records, plan order
+  std::vector<uint32_t> child_index;   ///< flattened children, node order
+  double leaf_rows = 0.0;              ///< LeafInputCardinality(1.0)
+  double leaf_bytes = 0.0;             ///< LeafInputBytes(1.0)
+  /// Process-unique build id. Lets callers (e.g. SparkSimulator's
+  /// execution memo) key caches on plan identity without risking stale
+  /// hits when a destroyed plan's address is reused.
+  uint64_t unique_id = 0;
+
+  size_t size() const { return node.size(); }
+  uint32_t num_children(size_t i) const { return node[i].num_children; }
+  uint32_t child(size_t i, uint32_t k) const {
+    return child_index[node[i].child_begin + k];
+  }
+};
+
 /// A physical query plan annotated with optimizer cardinality estimates —
 /// the compile-time information Rockhopper's workload embedding consumes
 /// (paper §4.1). The plan is scale-relative: ScaledRows() maps the base
@@ -52,6 +89,11 @@ struct PlanNode {
 class QueryPlan {
  public:
   QueryPlan() = default;
+  QueryPlan(const QueryPlan& other) : nodes_(other.nodes_) {}
+  QueryPlan(QueryPlan&& other) noexcept;
+  QueryPlan& operator=(const QueryPlan& other);
+  QueryPlan& operator=(QueryPlan&& other) noexcept;
+  ~QueryPlan();
 
   /// Appends a node and returns its index. The caller builds bottom-up and
   /// must finish with node 0 as root (use BuildReversed helper or construct
@@ -61,8 +103,21 @@ class QueryPlan {
   size_t size() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
   const PlanNode& node(size_t i) const { return nodes_[i]; }
-  PlanNode& mutable_node(size_t i) { return nodes_[i]; }
+  /// Mutable node access for plan construction. Invalidates stats(); the
+  /// caller must not hold the returned reference across a stats() call from
+  /// another thread (plans, like standard containers, are only thread-safe
+  /// for concurrent const access).
+  PlanNode& mutable_node(size_t i) {
+    InvalidateStats();
+    return nodes_[i];
+  }
   const std::vector<PlanNode>& nodes() const { return nodes_; }
+
+  /// The plan-invariant hot-path precomputation, built lazily on first use
+  /// and cached until the plan is next mutated. Safe to call concurrently
+  /// from multiple threads on a plan that is no longer being mutated (the
+  /// build races benignly; one winner is published, losers are discarded).
+  const PlanStats& stats() const;
 
   const PlanNode& root() const { return nodes_.front(); }
 
@@ -92,8 +147,13 @@ class QueryPlan {
 
  private:
   void AppendString(size_t index, int depth, std::string* out) const;
+  void InvalidateStats();
 
   std::vector<PlanNode> nodes_;
+  /// Lazily-built stats cache, published with release/acquire so readers
+  /// never see a half-built PlanStats. Not copied with the plan (copies
+  /// rebuild on demand).
+  mutable std::atomic<const PlanStats*> stats_{nullptr};
 };
 
 }  // namespace rockhopper::sparksim

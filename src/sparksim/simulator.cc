@@ -4,11 +4,38 @@
 
 namespace rockhopper::sparksim {
 
+namespace {
+
+bool SameEffectiveConfig(const EffectiveConfig& a, const EffectiveConfig& b) {
+  return a.max_partition_bytes == b.max_partition_bytes &&
+         a.broadcast_threshold == b.broadcast_threshold &&
+         a.shuffle_partitions == b.shuffle_partitions &&
+         a.executor_instances == b.executor_instances &&
+         a.executor_memory_gb == b.executor_memory_gb;
+}
+
+}  // namespace
+
 ExecutionResult SparkSimulator::ExecuteQuery(const QueryPlan& plan,
                                              const ConfigVector& query_config,
                                              double data_scale) {
-  return Execute(plan, EffectiveConfig::FromQueryConfig(query_config),
-                 data_scale);
+  if (!has_last_query_config_ || query_config != last_query_config_) {
+    last_query_config_ = query_config;
+    last_effective_ = EffectiveConfig::FromQueryConfig(query_config);
+    has_last_query_config_ = true;
+  }
+  return Execute(plan, last_effective_, data_scale);
+}
+
+std::vector<ExecutionResult> SparkSimulator::ExecuteBatch(
+    const QueryPlan& plan, const std::vector<ConfigVector>& query_configs,
+    double data_scale) {
+  std::vector<ExecutionResult> results;
+  results.reserve(query_configs.size());
+  for (const ConfigVector& config : query_configs) {
+    results.push_back(ExecuteQuery(plan, config, data_scale));
+  }
+  return results;
 }
 
 ExecutionResult SparkSimulator::Execute(const QueryPlan& plan,
@@ -16,11 +43,25 @@ ExecutionResult SparkSimulator::Execute(const QueryPlan& plan,
                                         double data_scale) {
   ExecutionResult result;
   result.data_scale = data_scale;
-  result.noise_free_seconds =
-      cost_model_.ExecutionSeconds(plan, config, data_scale, &result.metrics);
+  const PlanStats& stats = plan.stats();
+  if (memo_.valid && memo_.plan_id == stats.unique_id &&
+      memo_.data_scale == data_scale &&
+      SameEffectiveConfig(memo_.config, config)) {
+    result.noise_free_seconds = memo_.noise_free_seconds;
+    result.metrics = memo_.metrics;
+  } else {
+    result.noise_free_seconds =
+        cost_model_.ExecutionSeconds(plan, config, data_scale, &result.metrics);
+    memo_.plan_id = stats.unique_id;
+    memo_.config = config;
+    memo_.data_scale = data_scale;
+    memo_.noise_free_seconds = result.noise_free_seconds;
+    memo_.metrics = result.metrics;
+    memo_.valid = true;
+  }
   result.runtime_seconds = ApplyNoise(result.noise_free_seconds, noise_, &rng_);
-  result.input_bytes = plan.LeafInputBytes(data_scale);
-  result.input_rows = plan.LeafInputCardinality(data_scale);
+  result.input_bytes = stats.leaf_bytes * data_scale;
+  result.input_rows = stats.leaf_rows * data_scale;
   result.failed = result.metrics.oom_events > 0;
   if (result.failed) result.failure = FailureKind::kBroadcastOom;
   if (fault_model_.params().InjectsJobFaults()) {

@@ -1,0 +1,174 @@
+// Tests for common/thread_pool: the MPMC worker pool underneath the
+// parallel experiment runtime. Covers ordering-independence of ParallelFor,
+// exception propagation, Submit/Wait semantics, and shutdown under load.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rockhopper::common {
+namespace {
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ReportsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsRepeatableAndAcceptsNewWork) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Wait();  // No pending work: must not deadlock.
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+// ParallelFor's results must not depend on how iterations interleave: every
+// slot is written exactly once regardless of thread count.
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(kN, [&hits](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+// Slot-per-iteration output is bit-identical across thread counts — the
+// property the experiment runner builds on.
+TEST(ThreadPoolTest, ParallelForOrderingIndependentResults) {
+  constexpr size_t kN = 512;
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kN, 0.0);
+    pool.ParallelFor(kN, [&out](size_t i) {
+      double acc = static_cast<double>(i) + 1.0;
+      for (int k = 0; k < 50; ++k) acc = acc * 1.000001 + 0.5;
+      out[i] = acc;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(64, [&completed](size_t i) {
+      if (i == 13) throw std::runtime_error("arm 13 failed");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "arm 13 failed");
+  }
+  // The loop drains before rethrowing: every non-throwing iteration ran.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPoolTest, ParallelForRecoversAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(8, [](size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool stays usable for subsequent loops.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&count](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kLoops = 6;
+  constexpr size_t kN = 200;
+  std::vector<std::atomic<int>> counts(kLoops);
+  for (auto& c : counts) c.store(0);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kLoops);
+  for (int l = 0; l < kLoops; ++l) {
+    drivers.emplace_back([&pool, &counts, l] {
+      pool.ParallelFor(kN, [&counts, l](size_t) {
+        counts[l].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& d : drivers) d.join();
+  for (int l = 0; l < kLoops; ++l) EXPECT_EQ(counts[l].load(), kN);
+}
+
+// Destruction drains tasks already queued — none are dropped.
+TEST(ThreadPoolTest, ShutdownUnderLoadDrainsQueue) {
+  std::atomic<int> count{0};
+  constexpr int kTasks = 500;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs with most of the queue still pending.
+  }
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace rockhopper::common

@@ -1,0 +1,203 @@
+// Tests for core/experiment_runner: arm-id packing, SplitMix seed
+// derivation, and the headline determinism guarantee — a fig13-style CL/BO
+// experiment produces bit-identical trajectories at 1, 4, and 8 threads.
+
+#include "core/experiment_runner.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bo_tuner.h"
+#include "core/centroid_learning.h"
+#include "gtest/gtest.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+namespace rockhopper::core {
+namespace {
+
+using sparksim::ConfigSpace;
+using sparksim::ConfigVector;
+using sparksim::ExecutionResult;
+using sparksim::NoiseParams;
+using sparksim::QueryLevelSpace;
+using sparksim::QueryPlan;
+using sparksim::SparkSimulator;
+using sparksim::TpchPlan;
+
+TEST(ArmIdTest, PacksCoordinatesIntoDisjointBits) {
+  EXPECT_EQ(ArmId(0, 0, 0), 0u);
+  EXPECT_EQ(ArmId(0, 0, 1), 1u);
+  EXPECT_EQ(ArmId(0, 1, 0), 1ULL << 16);
+  EXPECT_EQ(ArmId(1, 0, 0), 1ULL << 40);
+  EXPECT_EQ(ArmId(2, 3, 4), (2ULL << 40) | (3ULL << 16) | 4ULL);
+}
+
+// The ad-hoc `600 + q` / `700 + q` literals this replaces collided whenever
+// one algorithm's offset range crossed another's. Packed ids cannot.
+TEST(ArmIdTest, NoCollisionsAcrossDenseCoordinateGrid) {
+  std::set<uint64_t> seen;
+  for (uint64_t alg = 0; alg < 8; ++alg) {
+    for (uint64_t query = 0; query < 32; ++query) {
+      for (uint64_t trial = 0; trial < 16; ++trial) {
+        EXPECT_TRUE(seen.insert(ArmId(alg, query, trial)).second)
+            << alg << "/" << query << "/" << trial;
+      }
+    }
+  }
+}
+
+TEST(ExperimentRunnerTest, ArmSeedDependsOnlyOnBaseSeedAndArmId) {
+  const ExperimentRunner a({/*threads=*/1, /*base_seed=*/42});
+  const ExperimentRunner b({/*threads=*/8, /*base_seed=*/42});
+  const ExperimentRunner c({/*threads=*/1, /*base_seed=*/43});
+  EXPECT_EQ(a.ArmSeed(7), b.ArmSeed(7));  // Thread count never matters.
+  EXPECT_NE(a.ArmSeed(7), c.ArmSeed(7));  // Base seed always does.
+  EXPECT_NE(a.ArmSeed(7), a.ArmSeed(8));
+}
+
+TEST(ExperimentRunnerTest, ArmSeedsAreWellMixedForAdjacentIds) {
+  const ExperimentRunner runner({/*threads=*/1, /*base_seed=*/20240601});
+  std::set<uint64_t> seeds;
+  for (uint64_t alg = 0; alg < 4; ++alg) {
+    for (uint64_t q = 0; q < 32; ++q) {
+      const uint64_t s = runner.ArmSeed(ArmId(alg, q, 0));
+      EXPECT_TRUE(seeds.insert(s).second);
+      // Full avalanche: adjacent ids must not yield nearby seeds.
+      const uint64_t t = runner.ArmSeed(ArmId(alg, q, 1));
+      EXPECT_GT(s > t ? s - t : t - s, 1024u);
+    }
+  }
+}
+
+TEST(ExperimentRunnerTest, RunVisitsEveryArmExactlyOnce) {
+  for (int threads : {1, 4}) {
+    const ExperimentRunner runner({threads, /*base_seed=*/1});
+    constexpr size_t kN = 64;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    runner.Run(kN, [&hits](size_t i, uint64_t) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ExperimentRunnerTest, RunPassesDerivedSeeds) {
+  const ExperimentRunner runner({/*threads=*/2, /*base_seed=*/99});
+  constexpr size_t kN = 16;
+  std::vector<uint64_t> seeds(kN, 0);
+  runner.Run(
+      kN, [](size_t i) { return ArmId(1, i, 0); },
+      [&seeds](size_t i, uint64_t seed) { seeds[i] = seed; });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(seeds[i], runner.ArmSeed(ArmId(1, i, 0)));
+  }
+}
+
+TEST(ExperimentRunnerTest, IndexAsIdOverloadMatchesExplicitIds) {
+  const ExperimentRunner runner({/*threads=*/1, /*base_seed=*/5});
+  std::vector<uint64_t> a(8, 0), b(8, 0);
+  runner.Run(8, [&a](size_t i, uint64_t s) { a[i] = s; });
+  runner.Run(
+      8, [](size_t i) { return static_cast<uint64_t>(i); },
+      [&b](size_t i, uint64_t s) { b[i] = s; });
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExperimentRunnerTest, PropagatesArmExceptions) {
+  for (int threads : {1, 4}) {
+    const ExperimentRunner runner({threads, /*base_seed=*/1});
+    EXPECT_THROW(runner.Run(16,
+                            [](size_t i, uint64_t) {
+                              if (i == 5) throw std::runtime_error("arm died");
+                            }),
+                 std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+// The headline guarantee, exercised end-to-end on the fig13 workload shape:
+// CL and BO tuning trajectories on a noisy simulator are bit-identical
+// (exact double equality, not approximate) at 1, 4, and 8 threads.
+std::vector<std::vector<double>> RunFig13Style(int threads, int iters) {
+  const ConfigSpace space = QueryLevelSpace();
+  const ConfigVector poor_start = space.Denormalize({0.05, 0.45, 0.05});
+  const std::vector<int> queries = {2, 5};
+
+  const ExperimentRunner runner({threads, /*base_seed=*/20240601});
+  const size_t num_arms = 2 * queries.size();
+  std::vector<std::vector<double>> arm_series(num_arms);
+  runner.Run(
+      num_arms,
+      [&queries](size_t i) {
+        return ArmId(/*algorithm=*/i < queries.size() ? 0 : 1,
+                     static_cast<uint64_t>(queries[i % queries.size()]),
+                     /*trial=*/0);
+      },
+      [&](size_t i, uint64_t arm_seed) {
+        const bool is_cl = i < queries.size();
+        const QueryPlan plan = TpchPlan(queries[i % queries.size()]);
+        SparkSimulator::Options sim_options;
+        sim_options.noise = NoiseParams::High();
+        sim_options.seed = common::SplitMix64(arm_seed);
+        SparkSimulator sim(sim_options);
+        const uint64_t tuner_seed = common::SplitMix64(arm_seed ^ 1);
+
+        std::vector<double>& series = arm_series[i];
+        series.assign(static_cast<size_t>(iters), 0.0);
+        if (is_cl) {
+          CentroidLearningOptions cl_options;
+          cl_options.window_size = 15;
+          CentroidLearner cl(space, poor_start,
+                             std::make_unique<SurrogateScorer>(
+                                 space, nullptr, std::vector<double>{},
+                                 SurrogateScorerOptions{}),
+                             cl_options, tuner_seed);
+          for (int t = 0; t < iters; ++t) {
+            const ConfigVector c = cl.Propose(plan.LeafInputBytes(1.0));
+            const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+            cl.Observe(c, r.input_bytes, r.runtime_seconds);
+            series[static_cast<size_t>(t)] = r.noise_free_seconds;
+          }
+        } else {
+          BoTunerOptions bo_options;
+          bo_options.data_size_feature = true;
+          BoTuner bo(space, poor_start, bo_options, tuner_seed);
+          for (int t = 0; t < iters; ++t) {
+            const ConfigVector c = bo.Propose(plan.LeafInputBytes(1.0));
+            const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+            bo.Observe(c, r.input_bytes, r.runtime_seconds);
+            series[static_cast<size_t>(t)] = r.noise_free_seconds;
+          }
+        }
+      });
+  return arm_series;
+}
+
+TEST(ExperimentRunnerTest, Fig13TrajectoriesBitIdenticalAcrossThreadCounts) {
+  constexpr int kIters = 12;
+  const std::vector<std::vector<double>> serial = RunFig13Style(1, kIters);
+  const std::vector<std::vector<double>> four = RunFig13Style(4, kIters);
+  const std::vector<std::vector<double>> eight = RunFig13Style(8, kIters);
+  ASSERT_EQ(serial.size(), four.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Exact double equality: the parallel runtime must not perturb a single
+    // bit of any trajectory.
+    EXPECT_EQ(serial[i], four[i]) << "arm " << i;
+    EXPECT_EQ(serial[i], eight[i]) << "arm " << i;
+  }
+  // Sanity: the arms actually did noisy work (non-trivial trajectories).
+  for (const auto& series : serial) {
+    ASSERT_EQ(series.size(), static_cast<size_t>(kIters));
+    for (double v : series) EXPECT_GT(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rockhopper::core

@@ -228,5 +228,77 @@ TEST(CostModelTest, EmptyPlanCostsNothingButStartup) {
   EXPECT_DOUBLE_EQ(model.ExecutionSeconds(empty, DefaultConfig(), 1.0), 0.0);
 }
 
+// The plan-cached fast path must reproduce the reference per-call recursion
+// exactly — same arithmetic in the same order — not merely approximately.
+TEST(CostModelCacheTest, FastPathMatchesUncachedAcrossTpchSuite) {
+  const CostModel model;
+  const ConfigSpace space = QueryLevelSpace();
+  common::Rng rng(20240601);
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    const QueryPlan plan = TpchPlan(q);
+    for (int k = 0; k < 8; ++k) {
+      const EffectiveConfig config = k == 0
+          ? EffectiveConfig::FromQueryConfig(space.Defaults())
+          : EffectiveConfig::FromQueryConfig(space.Sample(&rng));
+      for (double scale : {0.5, 1.0, 3.0}) {
+        ExecutionMetrics cached_metrics, uncached_metrics;
+        const double cached =
+            model.ExecutionSeconds(plan, config, scale, &cached_metrics);
+        const double uncached = model.ExecutionSecondsUncached(
+            plan, config, scale, &uncached_metrics);
+        // ≤1e-12 demanded; exact equality delivered.
+        ASSERT_EQ(cached, uncached) << "q" << q << " k" << k << " x" << scale;
+        ASSERT_EQ(cached_metrics.total_tasks, uncached_metrics.total_tasks);
+        ASSERT_EQ(cached_metrics.shuffle_bytes, uncached_metrics.shuffle_bytes);
+        ASSERT_EQ(cached_metrics.scan_bytes, uncached_metrics.scan_bytes);
+        ASSERT_EQ(cached_metrics.spill_events, uncached_metrics.spill_events);
+        ASSERT_EQ(cached_metrics.broadcast_joins,
+                  uncached_metrics.broadcast_joins);
+        ASSERT_EQ(cached_metrics.sort_merge_joins,
+                  uncached_metrics.sort_merge_joins);
+      }
+    }
+  }
+}
+
+TEST(CostModelCacheTest, FastPathMatchesUncachedOnSyntheticJoin) {
+  const CostModel model;
+  const QueryPlan plan = JoinPlan(5e8, 4e8, 100.0);
+  // Both join strategies and the spill regime.
+  for (double threshold : {1.0, 8e9}) {
+    for (double mem : {4.0, 32.0}) {
+      EffectiveConfig config = DefaultConfig();
+      config.broadcast_threshold = threshold;
+      config.executor_memory_gb = mem;
+      config.shuffle_partitions = 8;
+      EXPECT_EQ(model.ExecutionSeconds(plan, config, 1.0),
+                model.ExecutionSecondsUncached(plan, config, 1.0));
+    }
+  }
+}
+
+// Mutating a plan invalidates its cached stats; the fast path must track
+// the new shape, not the stale one.
+TEST(CostModelCacheTest, PlanMutationInvalidatesCachedStats) {
+  const CostModel model;
+  QueryPlan plan = TpchPlan(3);
+  const EffectiveConfig config = DefaultConfig();
+  EXPECT_EQ(model.ExecutionSeconds(plan, config, 1.0),
+            model.ExecutionSecondsUncached(plan, config, 1.0));
+  plan.mutable_node(0).est_output_rows *= 7.0;
+  EXPECT_EQ(model.ExecutionSeconds(plan, config, 1.0),
+            model.ExecutionSecondsUncached(plan, config, 1.0));
+}
+
+TEST(CostModelCacheTest, CopiedPlanAgreesWithOriginal) {
+  const CostModel model;
+  const QueryPlan plan = TpchPlan(9);
+  const EffectiveConfig config = DefaultConfig();
+  const double original = model.ExecutionSeconds(plan, config, 1.0);
+  const QueryPlan copy = plan;  // copies nodes, not the cache
+  EXPECT_EQ(model.ExecutionSeconds(copy, config, 1.0), original);
+  EXPECT_EQ(model.ExecutionSecondsUncached(copy, config, 1.0), original);
+}
+
 }  // namespace
 }  // namespace rockhopper::sparksim

@@ -141,6 +141,85 @@ TEST(SparkSimulatorTest, HealthyConfigsNeverFail) {
   }
 }
 
+// ExecuteBatch must be indistinguishable from calling ExecuteQuery once per
+// proposal on the same simulator — same noise stream, same results — across
+// every noise regime.
+TEST(SparkSimulatorBatchTest, BatchMatchesSequentialAcrossNoiseLevels) {
+  const ConfigSpace space = QueryLevelSpace();
+  for (const NoiseParams& noise :
+       {NoiseParams::None(), NoiseParams::Low(), NoiseParams::High()}) {
+    SparkSimulator::Options options;
+    options.noise = noise;
+    options.seed = 987;
+    SparkSimulator batch_sim(options);
+    SparkSimulator seq_sim(options);
+    common::Rng rng(55);
+    for (int q : {1, 7, 14, 21}) {
+      const QueryPlan plan = TpchPlan(q);
+      std::vector<ConfigVector> proposals;
+      proposals.push_back(space.Defaults());
+      for (int k = 0; k < 7; ++k) proposals.push_back(space.Sample(&rng));
+      // Repeat one proposal so the memo hit path is exercised mid-batch.
+      proposals.push_back(proposals[1]);
+      const std::vector<ExecutionResult> batch =
+          batch_sim.ExecuteBatch(plan, proposals, 1.0);
+      ASSERT_EQ(batch.size(), proposals.size());
+      for (size_t i = 0; i < proposals.size(); ++i) {
+        const ExecutionResult r = seq_sim.ExecuteQuery(plan, proposals[i], 1.0);
+        ASSERT_EQ(batch[i].runtime_seconds, r.runtime_seconds) << "q" << q;
+        ASSERT_EQ(batch[i].noise_free_seconds, r.noise_free_seconds);
+        ASSERT_EQ(batch[i].failed, r.failed);
+        ASSERT_EQ(batch[i].input_bytes, r.input_bytes);
+        ASSERT_EQ(batch[i].input_rows, r.input_rows);
+      }
+    }
+  }
+}
+
+TEST(SparkSimulatorBatchTest, EmptyBatchReturnsEmpty) {
+  SparkSimulator sim(NoiselessOptions());
+  EXPECT_TRUE(sim.ExecuteBatch(TpchPlan(1), {}, 1.0).empty());
+}
+
+// The execution memo keys on the plan's cached stats identity; repeated
+// calls with the same (plan, config, scale) must keep matching a fresh
+// simulator, and noisy draws must still advance per call (the memo caches
+// the deterministic cost, never the noise).
+TEST(SparkSimulatorBatchTest, MemoizedRepeatsMatchFreshSimulator) {
+  SparkSimulator::Options options;
+  options.noise = NoiseParams::High();
+  options.seed = 31;
+  SparkSimulator memo_sim(options);
+  SparkSimulator fresh_sim(options);
+  const QueryPlan plan = TpchPlan(5);
+  const ConfigVector config = QueryLevelSpace().Defaults();
+  double prev_runtime = -1.0;
+  bool runtimes_vary = false;
+  for (int i = 0; i < 10; ++i) {
+    const ExecutionResult a = memo_sim.ExecuteQuery(plan, config, 1.0);
+    const ExecutionResult b = fresh_sim.ExecuteQuery(plan, config, 1.0);
+    ASSERT_EQ(a.runtime_seconds, b.runtime_seconds);
+    ASSERT_EQ(a.noise_free_seconds, b.noise_free_seconds);
+    runtimes_vary |= (prev_runtime >= 0.0 && a.runtime_seconds != prev_runtime);
+    prev_runtime = a.runtime_seconds;
+  }
+  EXPECT_TRUE(runtimes_vary);
+}
+
+// A mutated plan gets fresh stats (and a fresh identity), so the memo can
+// never serve a stale runtime for the old shape.
+TEST(SparkSimulatorBatchTest, PlanMutationBustsExecutionMemo) {
+  SparkSimulator sim(NoiselessOptions());
+  QueryPlan plan = TpchPlan(2);
+  const ConfigVector config = QueryLevelSpace().Defaults();
+  const double before = sim.ExecuteQuery(plan, config, 1.0).runtime_seconds;
+  plan.mutable_node(0).est_output_rows *= 10.0;
+  const double after = sim.ExecuteQuery(plan, config, 1.0).runtime_seconds;
+  SparkSimulator fresh(NoiselessOptions());
+  EXPECT_EQ(after, fresh.ExecuteQuery(plan, config, 1.0).runtime_seconds);
+  EXPECT_NE(before, after);
+}
+
 TEST(SparkSimulatorTest, SetNoiseSwitchesRegime) {
   SparkSimulator sim(NoiselessOptions());
   const QueryPlan plan = TpchPlan(14);

@@ -5,8 +5,13 @@
 # BENCH_surrogate.json at the repo root.
 #
 # Usage: tools/run_benchmarks.sh [benchmark-filter]
+#        tools/run_benchmarks.sh --suite fig
 #   benchmark-filter: optional --benchmark_filter regex applied to
 #                     bench_micro_inference (default: all benchmarks)
+#   --suite fig:      run the migrated figure/ablation harnesses serially
+#                     (ROCKHOPPER_THREADS=1) and in parallel, verify the
+#                     output is bit-identical, and write per-bench wall
+#                     times + speedups to BENCH_figsuite.json
 #
 # The regular build directory stays untouched; benchmarks use their own
 # Release build under build-bench/ so debug configurations never pollute
@@ -16,6 +21,171 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${ROCKHOPPER_BENCH_BUILD_DIR:-${repo_root}/build-bench}"
 filter="${1:-}"
+
+# The benches migrated onto the parallel experiment runner
+# (core/experiment_runner.h). Each is run at 1 thread and at
+# ROCKHOPPER_FIG_THREADS (default 8) and must print byte-identical output
+# modulo the `threads=` field of the knobs banner.
+fig_benches=(
+  bench_fig10_cl_svr
+  bench_fig13_cl_vs_bo
+  bench_fig14_tpch_production
+  bench_ablation_centroid
+  bench_ablation_surrogates
+  bench_ablation_guardrail
+  bench_ablation_embedding
+  bench_ablation_flighting
+)
+
+run_fig_suite() {
+  local threads="${ROCKHOPPER_FIG_THREADS:-8}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DROCKHOPPER_BUILD_BENCHMARKS=ON
+  cmake --build "${build_dir}" -j "$(nproc)" \
+    --target "${fig_benches[@]}" bench_micro_inference
+
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  # Expand now: a `local` is out of scope by the time the EXIT trap fires.
+  trap "rm -rf '${tmp_dir}'" EXIT
+
+  echo "== fig suite: serial (threads=1) vs parallel (threads=${threads}) =="
+  local timings="${tmp_dir}/timings.tsv"
+  : > "${timings}"
+  local bench
+  for bench in "${fig_benches[@]}"; do
+    local bin="${build_dir}/bench/${bench}"
+    local t0 t1 t2 serial_s parallel_s
+    t0=$(date +%s%N)
+    ROCKHOPPER_THREADS=1 "${bin}" > "${tmp_dir}/${bench}.serial.txt"
+    t1=$(date +%s%N)
+    ROCKHOPPER_THREADS="${threads}" "${bin}" \
+      > "${tmp_dir}/${bench}.parallel.txt"
+    t2=$(date +%s%N)
+    serial_s=$(( (t1 - t0) / 1000000 ))   # milliseconds
+    parallel_s=$(( (t2 - t1) / 1000000 ))
+    # The knobs banner prints the thread count; normalize it before the
+    # bit-identity comparison (everything else must match exactly).
+    sed 's/threads=[0-9]*/threads=X/' "${tmp_dir}/${bench}.serial.txt" \
+      > "${tmp_dir}/${bench}.serial.norm"
+    sed 's/threads=[0-9]*/threads=X/' "${tmp_dir}/${bench}.parallel.txt" \
+      > "${tmp_dir}/${bench}.parallel.norm"
+    local identical=1
+    if ! cmp -s "${tmp_dir}/${bench}.serial.norm" \
+                "${tmp_dir}/${bench}.parallel.norm"; then
+      identical=0
+      echo "ERROR: ${bench} output differs between thread counts" >&2
+    fi
+    printf '%s\t%d\t%d\t%d\n' \
+      "${bench}" "${serial_s}" "${parallel_s}" "${identical}" \
+      >> "${timings}"
+    printf '  %-32s serial %6d ms   parallel %6d ms   %s\n' \
+      "${bench}" "${serial_s}" "${parallel_s}" \
+      "$([[ ${identical} == 1 ]] && echo bit-identical || echo MISMATCH)"
+  done
+
+  echo "== bench_micro_inference (cost-model hot path) =="
+  # Repetitions + min aggregate: on shared/noisy cores the per-rep minimum
+  # is the stable statistic; single runs can swing tens of percent.
+  "${build_dir}/bench/bench_micro_inference" \
+    --benchmark_format=json \
+    --benchmark_repetitions=8 \
+    '--benchmark_filter=BM_CostModelExecution|BM_Simulator' \
+    > "${tmp_dir}/micro_fig.json"
+
+  python3 - "${timings}" "${tmp_dir}/micro_fig.json" "${threads}" \
+    "${repo_root}/BENCH_figsuite.json" <<'EOF'
+import json
+import sys
+
+timings_path, micro_path, threads, out_path = sys.argv[1:5]
+threads = int(threads)
+
+benches = []
+with open(timings_path) as f:
+    for line in f:
+        name, serial_ms, parallel_ms, identical = line.split("\t")
+        serial_ms, parallel_ms = int(serial_ms), int(parallel_ms)
+        benches.append(
+            {
+                "name": name,
+                "serial_ms": serial_ms,
+                "parallel_ms": parallel_ms,
+                "threads": threads,
+                "speedup": serial_ms / parallel_ms if parallel_ms else None,
+                "bit_identical": bool(int(identical)),
+            }
+        )
+
+with open(micro_path) as f:
+    micro = json.load(f)
+# Min over the repetitions (this benchmark build has no min aggregate).
+micro_times = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    name = b.get("run_name", b["name"])
+    t = b["real_time"]
+    if name not in micro_times or t < micro_times[name]:
+        micro_times[name] = t
+
+
+def ratio(slow, fast):
+    if micro_times.get(fast, 0) <= 0 or slow not in micro_times:
+        return None
+    return micro_times[slow] / micro_times[fast]
+
+
+total_serial = sum(b["serial_ms"] for b in benches)
+total_parallel = sum(b["parallel_ms"] for b in benches)
+summary = {
+    "suite_serial_ms": total_serial,
+    "suite_parallel_ms": total_parallel,
+    "suite_speedup": total_serial / total_parallel if total_parallel else None,
+    "threads": threads,
+    "all_bit_identical": all(b["bit_identical"] for b in benches),
+    # Per-call cost-model hot path: cached plan stats vs the pre-PR
+    # recursion (bit-identical results, see CostModelCacheTest).
+    "cost_model_cached_speedup": ratio(
+        "BM_CostModelExecutionUncached", "BM_CostModelExecution"
+    ),
+    "execute_batch_speedup": ratio(
+        "BM_SimulatorExecutePerCall", "BM_SimulatorExecuteBatch"
+    ),
+}
+
+with open(out_path, "w") as f:
+    json.dump(
+        {"summary": summary, "benches": benches, "micro_ns": micro_times},
+        f,
+        indent=2,
+        sort_keys=True,
+    )
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for key in (
+    "suite_speedup",
+    "cost_model_cached_speedup",
+    "execute_batch_speedup",
+):
+    v = summary[key]
+    print(f"  {key}: {'n/a' if v is None else f'{v:.2f}x'}")
+print(f"  all_bit_identical: {summary['all_bit_identical']}")
+if not summary["all_bit_identical"]:
+    sys.exit(1)
+EOF
+}
+
+if [[ "${filter}" == "--suite" ]]; then
+  if [[ "${2:-}" != "fig" ]]; then
+    echo "unknown suite '${2:-}' (expected: fig)" >&2
+    exit 2
+  fi
+  run_fig_suite
+  exit 0
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release \

@@ -6,7 +6,10 @@
 # Usage: tools/run_sanitized_tests.sh [asan|tsan] [ctest-args...]
 #   asan (default): AddressSanitizer + UndefinedBehaviorSanitizer
 #   tsan:           ThreadSanitizer — exercises the sharded service, the
-#                   striped stores, and the group-commit journal writer
+#                   striped stores, the group-commit journal writer, the
+#                   ThreadPool / experiment-runner tests (shutdown under
+#                   load, concurrent ParallelFor, parallel arms), and the
+#                   QueryPlan stats cache's CAS publication
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
