@@ -99,7 +99,9 @@ int main() {
               service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
           ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
           r.runtime_seconds *= drift_mult;
-          service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+          service.OnQueryEnd(
+              plan,
+              QueryEndEvent::FromRun(c, r.input_bytes, r.runtime_seconds));
           if (t >= iters - 8) {
             const double def = sim.cost_model().ExecutionSeconds(
                 plan, EffectiveConfig::FromQueryConfig(space.Defaults()), 1.0);

@@ -31,8 +31,8 @@ QueryEndEvent MakeEvent(const ConfigSpace& space, uint64_t event_id) {
   return event;
 }
 
-// Baseline: the legacy trusted path (no event ids, success assumed).
-void BM_OnQueryEndLegacy(benchmark::State& state) {
+// Baseline: the trusted path (no event ids, so no dedup bookkeeping).
+void BM_OnQueryEndTrusted(benchmark::State& state) {
   const ConfigSpace space = QueryLevelSpace();
   TuningServiceOptions options;
   options.guardrail.min_iterations = 1 << 30;  // keep the fit out of the loop
@@ -40,10 +40,10 @@ void BM_OnQueryEndLegacy(benchmark::State& state) {
   const QueryPlan plan = TpchPlan(5);
   const ConfigVector config = space.Defaults();
   for (auto _ : state) {
-    service.OnQueryEnd(plan, config, 1.0, 30.0);
+    service.OnQueryEnd(plan, QueryEndEvent::FromRun(config, 1.0, 30.0));
   }
 }
-BENCHMARK(BM_OnQueryEndLegacy);
+BENCHMARK(BM_OnQueryEndTrusted);
 
 // Sanitized path: full event ingestion with dedup bookkeeping.
 void BM_OnQueryEndSanitized(benchmark::State& state) {

@@ -14,9 +14,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/journal.h"
 #include "core/tuning_service.h"
 #include "sparksim/workloads.h"
@@ -63,6 +65,7 @@ Row RunOnce(const std::vector<sparksim::QueryPlan>& plans, int threads,
 int main(int argc, char** argv) {
   int iterations = 20;
   int latency_us = 2000;
+  bool overhead_only = false;
   std::string journal_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +74,14 @@ int main(int argc, char** argv) {
       latency_us = std::atoi(arg.c_str() + 13);
     }
     if (arg.rfind("--journal=", 0) == 0) journal_path = arg.substr(10);
+    // The observability overhead experiment: --metrics=off turns every
+    // instrument update into a no-op branch, so metrics-on vs metrics-off
+    // runs of the same workload isolate the cost of the metrics layer.
+    if (arg == "--metrics=off") rockhopper::common::SetMetricsEnabled(false);
+    if (arg == "--metrics=on") rockhopper::common::SetMetricsEnabled(true);
+    // Print only the raw service-overhead line (what the overhead gate in
+    // tools/run_benchmarks.sh --suite metrics parses) and exit.
+    if (arg == "--overhead-only") overhead_only = true;
   }
 
   std::vector<sparksim::QueryPlan> plans;
@@ -78,10 +89,14 @@ int main(int argc, char** argv) {
     plans.push_back(sparksim::TpcdsPlan(q));
   }
 
-  std::printf("concurrent ingestion throughput: %zu signatures x %d "
-              "iterations, %d us simulated execution latency%s\n\n",
-              plans.size(), iterations, latency_us,
-              journal_path.empty() ? "" : ", group-commit journal");
+  if (!overhead_only) {
+    std::printf("concurrent ingestion throughput: %zu signatures x %d "
+                "iterations, %d us simulated execution latency%s "
+                "(metrics %s)\n\n",
+                plans.size(), iterations, latency_us,
+                journal_path.empty() ? "" : ", group-commit journal",
+                rockhopper::common::MetricsEnabled() ? "on" : "off");
+  }
 
   // Raw service overhead: no execution latency, single thread. This is the
   // serial CPU cost per query the concurrent rows must amortize.
@@ -91,6 +106,7 @@ int main(int argc, char** argv) {
                 "(%.1f us/query)\n\n",
                 raw.report.queries_per_second,
                 1e6 / raw.report.queries_per_second);
+    if (overhead_only) return 0;
   }
 
   std::printf("%8s %12s %12s %10s\n", "threads", "queries/s", "wall (s)",

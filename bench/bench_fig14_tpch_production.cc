@@ -97,7 +97,9 @@ int main() {
           const ConfigVector c =
               service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
           const ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
-          service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+          service.OnQueryEnd(
+              plan,
+              QueryEndEvent::FromRun(c, r.input_bytes, r.runtime_seconds));
           out.series.push_back(r.noise_free_seconds);
         }
         out.disabled = service.NumDisabled();

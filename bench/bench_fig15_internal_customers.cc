@@ -64,7 +64,8 @@ int main() {
       const double p = sizes.At(t);
       const ConfigVector c = service.OnQueryStart(plan, plan.LeafInputBytes(p));
       const ExecutionResult r = sim.ExecuteQuery(plan, c, p);
-      service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+      service.OnQueryEnd(
+          plan, QueryEndEvent::FromRun(c, r.input_bytes, r.runtime_seconds));
       if (t >= iters - 10) {
         // Compare with the default config at the *same* input size, so the
         // gain is attributable to tuning rather than data drift.

@@ -62,7 +62,8 @@ int main() {
       const ConfigVector c = service.OnQueryStart(plan, plan.LeafInputBytes(p));
       ExecutionResult r = sim.ExecuteQuery(plan, c, p);
       r.runtime_seconds *= drift_mult;  // external slowdown, config-unrelated
-      service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+      service.OnQueryEnd(
+          plan, QueryEndEvent::FromRun(c, r.input_bytes, r.runtime_seconds));
       if (t >= iters - 8) {
         const double def = sim.cost_model().ExecutionSeconds(
             plan, EffectiveConfig::FromQueryConfig(space.Defaults()), p);

@@ -44,7 +44,8 @@ int main() {
     const sparksim::ConfigVector c1 =
         service.OnQueryStart(tunable, tunable.LeafInputBytes(1.0));
     const sparksim::ExecutionResult r1 = cluster.ExecuteQuery(tunable, c1, 1.0);
-    service.OnQueryEnd(tunable, c1, r1.input_bytes, r1.runtime_seconds);
+    service.OnQueryEnd(tunable, QueryEndEvent::FromRun(c1, r1.input_bytes,
+                                                       r1.runtime_seconds));
 
     // Hostile query: an external slowdown grows 3% per run, regardless of
     // what the tuner does (e.g. a failing upstream dependency).
@@ -52,7 +53,8 @@ int main() {
         service.OnQueryStart(hostile, hostile.LeafInputBytes(1.0));
     sparksim::ExecutionResult r2 = cluster.ExecuteQuery(hostile, c2, 1.0);
     r2.runtime_seconds *= 1.0 + 0.03 * run;
-    service.OnQueryEnd(hostile, c2, r2.input_bytes, r2.runtime_seconds);
+    service.OnQueryEnd(hostile, QueryEndEvent::FromRun(c2, r2.input_bytes,
+                                                       r2.runtime_seconds));
 
     if (run % 6 == 0 || run == 59) {
       std::printf("%3d  %9.1f  %9.1f   %s\n", run, r1.noise_free_seconds,

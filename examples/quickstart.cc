@@ -18,6 +18,7 @@
 #include "sparksim/simulator.h"
 #include "sparksim/workloads.h"
 
+using rockhopper::core::QueryEndEvent;
 using rockhopper::core::TuningService;
 using rockhopper::core::TuningServiceOptions;
 namespace sparksim = rockhopper::sparksim;
@@ -50,8 +51,9 @@ int main() {
     const sparksim::ExecutionResult result =
         cluster.ExecuteQuery(query, config, 1.0);
     // 3. Report the outcome.
-    rockhopper.OnQueryEnd(query, config, result.input_bytes,
-                          result.runtime_seconds);
+    rockhopper.OnQueryEnd(query, QueryEndEvent::FromRun(
+                                     config, result.input_bytes,
+                                     result.runtime_seconds));
     if (run % 5 == 0 || run == 39) {
       std::printf("run %2d: %.1f s observed (%.1f s noise-free, %+.0f%% vs "
                   "default)\n",

@@ -76,8 +76,9 @@ int main() {
           service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
       const sparksim::ExecutionResult result =
           production.ExecuteQuery(plan, config, 1.0);
-      service.OnQueryEnd(plan, config, result.input_bytes,
-                         result.runtime_seconds);
+      service.OnQueryEnd(plan,
+                         QueryEndEvent::FromRun(config, result.input_bytes,
+                                                result.runtime_seconds));
       if (run >= runs_per_query - 5) tail += result.noise_free_seconds;
     }
     tail /= 5.0;

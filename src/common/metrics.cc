@@ -1,0 +1,381 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace rockhopper::common {
+
+namespace metrics_internal {
+
+std::atomic<bool> g_enabled{true};
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  shards_.reserve(metrics_internal::kShards);
+  for (size_t i = 0; i < metrics_internal::kShards; ++i) {
+    shards_.emplace_back(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  // First bucket whose upper bound is >= value; NaN and anything above the
+  // last bound land in the +Inf bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  shards_[metrics_internal::ThisThreadShard()].counts[bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 1us, 4us, ..., ~4.3s: wide enough for a sub-microsecond stage and a
+  // multi-second journal flush on one ladder.
+  return ExponentialBuckets(1e-6, 4.0, 12);
+}
+
+namespace {
+
+std::string FormatDouble(double value, const char* fmt) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, value);
+  return buffer;
+}
+
+// Compact human form for exposition values and bucket bounds.
+std::string Compact(double value) { return FormatDouble(value, "%.9g"); }
+// Exact round-trip form for JSON payloads.
+std::string Exact(double value) { return FormatDouble(value, "%.17g"); }
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HelpEscape(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// "name{labels}" or just "name"; `extra` appends one more label pair.
+std::string SeriesName(const std::string& name, const std::string& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+const MetricsSnapshot::Sample* MetricsSnapshot::Find(
+    const std::string& name, const std::string& labels) const {
+  for (const Sample& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::Value(const std::string& name,
+                              const std::string& labels) const {
+  const Sample* sample = Find(name, labels);
+  return sample == nullptr ? 0.0 : sample->value;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  // Group into families (samples sharing a name) sorted by name; label
+  // variants of one family render under a single HELP/TYPE header.
+  std::vector<const Sample*> ordered;
+  ordered.reserve(samples.size());
+  for (const Sample& sample : samples) ordered.push_back(&sample);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Sample* a, const Sample* b) {
+                     return a->name < b->name;
+                   });
+
+  std::string out;
+  const std::string* current_family = nullptr;
+  for (const Sample* sample : ordered) {
+    if (current_family == nullptr || *current_family != sample->name) {
+      current_family = &sample->name;
+      out += "# HELP " + sample->name + " " + HelpEscape(sample->help) + "\n";
+      out += "# TYPE " + sample->name + " " + TypeName(sample->type) + "\n";
+    }
+    switch (sample->type) {
+      case MetricType::kCounter:
+        out += SeriesName(sample->name, sample->labels) + " " +
+               FormatDouble(sample->value, "%.0f") + "\n";
+        break;
+      case MetricType::kGauge:
+        out += SeriesName(sample->name, sample->labels) + " " +
+               Compact(sample->value) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < sample->bounds.size(); ++i) {
+          cumulative += sample->counts[i];
+          out += SeriesName(sample->name + "_bucket", sample->labels,
+                            "le=\"" + Compact(sample->bounds[i]) + "\"") +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += sample->counts.empty() ? 0 : sample->counts.back();
+        out += SeriesName(sample->name + "_bucket", sample->labels,
+                          "le=\"+Inf\"") +
+               " " + std::to_string(cumulative) + "\n";
+        out += SeriesName(sample->name + "_sum", sample->labels) + " " +
+               Compact(sample->sum) + "\n";
+        out += SeriesName(sample->name + "_count", sample->labels) + " " +
+               std::to_string(sample->count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Sample& sample : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(sample.name) + "\"";
+    if (!sample.labels.empty()) {
+      out += ",\"labels\":\"" + JsonEscape(sample.labels) + "\"";
+    }
+    if (!sample.help.empty()) {
+      out += ",\"help\":\"" + JsonEscape(sample.help) + "\"";
+    }
+    out += ",\"type\":\"";
+    out += TypeName(sample.type);
+    out += "\"";
+    switch (sample.type) {
+      case MetricType::kCounter:
+        out += ",\"value\":" + FormatDouble(sample.value, "%.0f");
+        break;
+      case MetricType::kGauge:
+        out += ",\"value\":" + Exact(sample.value);
+        break;
+      case MetricType::kHistogram: {
+        out += ",\"count\":" + std::to_string(sample.count);
+        out += ",\"sum\":" + Exact(sample.sum);
+        out += ",\"bounds\":[";
+        for (size_t i = 0; i < sample.bounds.size(); ++i) {
+          if (i > 0) out += ',';
+          out += Exact(sample.bounds[i]);
+        }
+        out += "],\"counts\":[";
+        for (size_t i = 0; i < sample.counts.size(); ++i) {
+          if (i > 0) out += ',';
+          out += std::to_string(sample.counts[i]);
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+struct MetricsRegistry::Impl {
+  struct Entry {
+    std::string name;
+    std::string labels;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    // Exactly one is set, matching `type`. unique_ptr keeps the instrument
+    // address stable across registrations (Entry vector may reallocate).
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Entry>> entries;  // registration order
+  std::map<std::string, Entry*> by_key;
+
+  static std::string Key(const std::string& name, const std::string& labels,
+                         MetricType type) {
+    std::string key = name;
+    key += '\x1f';
+    key += labels;
+    key += '\x1f';
+    key += static_cast<char>('0' + static_cast<int>(type));
+    return key;
+  }
+
+  Entry* FindOrCreate(const std::string& name, const std::string& help,
+                      const std::string& labels, MetricType type) {
+    const std::string key = Key(name, labels, type);
+    auto it = by_key.find(key);
+    if (it != by_key.end()) return it->second;
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->labels = labels;
+    entry->help = help;
+    entry->type = type;
+    Entry* raw = entry.get();
+    entries.push_back(std::move(entry));
+    by_key.emplace(key, raw);
+    return raw;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked singleton: instruments stay valid through static destruction
+  // (worker threads may still bump counters while the process unwinds).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Entry* entry =
+      impl_->FindOrCreate(name, help, labels, MetricType::kCounter);
+  if (entry->counter == nullptr) entry->counter.reset(new Counter());
+  return entry->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Entry* entry =
+      impl_->FindOrCreate(name, help, labels, MetricType::kGauge);
+  if (entry->gauge == nullptr) entry->gauge.reset(new Gauge());
+  return entry->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Entry* entry =
+      impl_->FindOrCreate(name, help, labels, MetricType::kHistogram);
+  if (entry->histogram == nullptr) {
+    entry->histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return entry->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snapshot.samples.reserve(impl_->entries.size());
+  for (const auto& entry : impl_->entries) {
+    MetricsSnapshot::Sample sample;
+    sample.name = entry->name;
+    sample.labels = entry->labels;
+    sample.help = entry->help;
+    sample.type = entry->type;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        sample.value = static_cast<double>(entry->counter->Value());
+        break;
+      case MetricType::kGauge:
+        sample.value = entry->gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        sample.bounds = entry->histogram->bounds();
+        sample.counts = entry->histogram->BucketCounts();
+        for (const uint64_t c : sample.counts) sample.count += c;
+        sample.sum = entry->histogram->Sum();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+}  // namespace rockhopper::common

@@ -1,0 +1,218 @@
+#ifndef ROCKHOPPER_COMMON_METRICS_H_
+#define ROCKHOPPER_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rockhopper::common {
+
+/// A process-wide, lock-free metrics layer for the tuning service — the
+/// shape of a serving stack's instrumentation plane:
+///
+///  - Counter / Gauge / Histogram instruments whose hot path is a single
+///    relaxed atomic add on a per-thread shard, so ingestion threads never
+///    serialize on observability;
+///  - a MetricsRegistry keyed on (name, labels) handing out stable
+///    instrument pointers (resolve once, bump forever);
+///  - MetricsSnapshot, one coherent scrape rendered as Prometheus text
+///    exposition or JSON.
+///
+/// Updates are always safe under concurrency; a scrape racing live updates
+/// sees each instrument's fields individually consistent (a histogram's
+/// bucket counts, total count, and sum may each lag by in-flight updates).
+/// At quiescence — after the updating threads joined — a scrape is exact.
+
+namespace metrics_internal {
+
+/// Per-thread update shards per instrument. Threads map to shards
+/// round-robin at first touch; 16 shards bound the scrape cost while
+/// keeping unrelated ingestion threads off each other's cache lines.
+inline constexpr size_t kShards = 16;
+
+/// Stable shard index of the calling thread (assigned round-robin on first
+/// use, then cached in a thread_local).
+size_t ThisThreadShard();
+
+/// Storage behind MetricsEnabled(); use SetMetricsEnabled to flip it.
+extern std::atomic<bool> g_enabled;
+
+/// One cache-line-isolated counter cell, so two shards never share a line.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace metrics_internal
+
+/// Process-wide kill switch, on by default. When off, every instrument
+/// update is a no-op (spans also skip their clock reads) — the metrics-off
+/// mode the overhead benchmark compares against. Flipping it does not clear
+/// accumulated values.
+inline bool MetricsEnabled() {
+  return metrics_internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonically increasing event count. Increment is one relaxed
+/// fetch_add on the calling thread's shard; Value() sums the shards.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[metrics_internal::ThisThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<metrics_internal::ShardCell, metrics_internal::kShards> shards_;
+};
+
+/// A value that can go up and down (queue depths, pool sizes). Writers of a
+/// gauge typically update it under their own synchronization already (e.g.
+/// the pool's queue mutex), so a single atomic double is enough — no shards.
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  /// Relative bump; negative deltas decrease. Atomic (C++20 fetch_add).
+  void Add(double delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket distribution (Prometheus histogram semantics): bucket i
+/// counts observations <= bounds[i], plus an implicit +Inf bucket. Bucket
+/// counts are sharded like Counter; the running sum is one atomic double
+/// fetch_add per observation.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Upper bounds, ascending (exclusive of the implicit +Inf bucket).
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last is +Inf).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct Shard {
+    explicit Shard(size_t buckets)
+        : counts(new std::atomic<uint64_t>[buckets]) {
+      for (size_t i = 0; i < buckets; ++i) counts[i].store(0);
+    }
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` bucket bounds starting at `start`, each `factor` times the
+/// previous — the standard latency-bucket ladder.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+/// The registry-wide default latency ladder: 1 us .. ~4.3 s in x4 steps.
+std::vector<double> DefaultLatencyBuckets();
+
+/// The kind of a snapshot sample (mirrors the Prometheus exposition types).
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One coherent scrape of every registered instrument, decoupled from the
+/// live registry so renderers and tests read plain data.
+struct MetricsSnapshot {
+  struct Sample {
+    std::string name;
+    /// Raw label body, e.g. `stage="sanitize"` (empty for no labels).
+    std::string labels;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    /// Counter (as double; exact to 2^53) and gauge value.
+    double value = 0.0;
+    /// Histogram-only: per-bucket upper bounds and (non-cumulative) counts;
+    /// counts.size() == bounds.size() + 1, last entry is the +Inf bucket.
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<Sample> samples;
+
+  /// First sample matching (name, labels), or nullptr.
+  const Sample* Find(const std::string& name,
+                     const std::string& labels = "") const;
+  /// Find()'s value (counter/gauge) or 0.0 when absent.
+  double Value(const std::string& name, const std::string& labels = "") const;
+
+  /// Prometheus text exposition: families sorted by name, one # HELP/# TYPE
+  /// per family, histograms expanded to _bucket{le=...}/_sum/_count with
+  /// cumulative bucket counts.
+  std::string ToPrometheusText() const;
+  /// The same scrape as a JSON document {"metrics": [...]}.
+  std::string ToJson() const;
+};
+
+/// Owner of every instrument, keyed on (name, labels, type). Get* either
+/// registers or returns the existing instrument — pointers are stable for
+/// the registry's lifetime, so callers resolve once (startup / first use)
+/// and keep the pointer on the hot path. Registration takes a mutex;
+/// instrument updates never do.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every Rockhopper component reports into.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  /// `bounds` must be ascending; used only on first registration of
+  /// (name, labels) — later calls return the existing instrument.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const std::string& labels = "");
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_METRICS_H_

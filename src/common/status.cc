@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

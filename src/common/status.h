@@ -22,6 +22,14 @@ enum class StatusCode {
   kInternal,
   kNotSupported,
   kAborted,
+  /// The operating system / filesystem refused an operation (open, write,
+  /// remove). Retrying or fixing permissions may help; the data itself is
+  /// not known to be damaged.
+  kIOError,
+  /// Stored data was damaged and (partially) unrecoverable — e.g. a
+  /// journal's corrupt or truncated tail dropped during recovery. Distinct
+  /// from kIOError: retrying cannot bring the bytes back.
+  kDataLoss,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -58,6 +66,12 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

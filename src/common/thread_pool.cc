@@ -9,7 +9,14 @@
 
 namespace rockhopper::common {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : queue_depth_metric_(MetricsRegistry::Default().GetGauge(
+          "rockhopper_threadpool_queue_depth",
+          "Tasks queued but not yet started, across all pools")),
+      task_seconds_metric_(MetricsRegistry::Default().GetHistogram(
+          "rockhopper_threadpool_task_seconds",
+          "Per-task execution latency, across all pools",
+          DefaultLatencyBuckets())) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -28,6 +35,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
+  queue_depth_metric_->Add(1.0);
   task_available_.notify_one();
 }
 
@@ -39,7 +47,16 @@ bool ThreadPool::RunOneTask() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  queue_depth_metric_->Add(-1.0);
+  const bool timed = MetricsEnabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   task();
+  if (timed) {
+    task_seconds_metric_->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     --in_flight_;

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace rockhopper::common {
 
 /// Fixed-size worker pool over a mutex-protected MPMC task queue.
@@ -69,6 +71,10 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   size_t in_flight_ = 0;  ///< queued + currently executing tasks
   bool shutting_down_ = false;
+  /// Shared process-wide instruments (all pools report into the same
+  /// series): queued-but-not-yet-started tasks, and per-task run latency.
+  Gauge* queue_depth_metric_;
+  Histogram* task_seconds_metric_;
 };
 
 }  // namespace rockhopper::common

@@ -69,6 +69,7 @@ void JournalStage::Append(ObservationJournal* journal, uint64_t signature,
                           const Observation& obs) {
   if (journal == nullptr) return;
   if (journal->Append(signature, obs).ok()) return;
+  ServiceMetrics::Get().journal_errors->Increment();
   const uint64_t count = errors_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (count == 1 || count % 100 == 0) {
     ROCKHOPPER_LOG(kWarning) << "journal append failed (" << count
@@ -76,27 +77,72 @@ void JournalStage::Append(ObservationJournal* journal, uint64_t signature,
   }
 }
 
+namespace {
+
+common::Counter* VerdictCounter(const ServiceMetrics& metrics,
+                                TelemetryVerdict verdict) {
+  switch (verdict) {
+    case TelemetryVerdict::kAccept:
+      return metrics.telemetry_accepted;
+    case TelemetryVerdict::kRejectNonFinite:
+      return metrics.telemetry_rejected_nonfinite;
+    case TelemetryVerdict::kRejectNonPositive:
+      return metrics.telemetry_rejected_nonpositive;
+    case TelemetryVerdict::kRejectDuplicate:
+      return metrics.telemetry_rejected_duplicate;
+    case TelemetryVerdict::kRejectConfig:
+      return metrics.telemetry_rejected_config;
+  }
+  return metrics.telemetry_accepted;
+}
+
+}  // namespace
+
 TelemetryVerdict IngestPipeline::Ingest(uint64_t signature,
                                         const QueryEndEvent& event,
                                         QueryState* state,
                                         ObservationStore* store,
                                         ObservationJournal* journal) {
-  const TelemetryVerdict verdict = sanitize_.Admit(signature, event);
+  ScopedSpan total_span(metrics_->ingest_seconds);
+  TelemetryVerdict verdict;
+  {
+    ScopedSpan span(metrics_->stage_sanitize);
+    verdict = sanitize_.Admit(signature, event);
+  }
+  VerdictCounter(*metrics_, verdict)->Increment();
   if (verdict != TelemetryVerdict::kAccept) {
     return verdict;  // rejected events only move the counters
   }
-  // The imputation window is read before the new observation lands, exactly
-  // as the pre-pipeline fused path did.
-  const ObservationWindow recent = store->LastN(
-      signature,
-      static_cast<size_t>(std::max(1, failure_policy_.window_size())));
-  Observation obs = failure_policy_.Apply(event, recent,
-                                          store->Count(signature), state);
-  store->Append(signature, obs);
-  // Journal before the tune stage so even a disabled signature's accepted
-  // observations persist (recovery replays the identical state).
-  journal_.Append(journal, signature, obs);
-  tune_.Apply(obs, state);
+  if (event.failed) metrics_->failures_ingested->Increment();
+  Observation obs;
+  {
+    ScopedSpan span(metrics_->stage_failure_policy);
+    // The imputation window is read before the new observation lands,
+    // exactly as the pre-pipeline fused path did.
+    const ObservationWindow recent = store->LastN(
+        signature,
+        static_cast<size_t>(std::max(1, failure_policy_.window_size())));
+    const int fallback_before = state->fallback_remaining;
+    obs = failure_policy_.Apply(event, recent, store->Count(signature), state);
+    if (state->fallback_remaining > fallback_before) {
+      metrics_->fallback_windows->Increment();
+    }
+    store->Append(signature, obs);
+  }
+  {
+    // Journal before the tune stage so even a disabled signature's accepted
+    // observations persist (recovery replays the identical state).
+    ScopedSpan span(metrics_->stage_journal);
+    journal_.Append(journal, signature, obs);
+  }
+  {
+    ScopedSpan span(metrics_->stage_tune);
+    const bool was_disabled = state->disabled;
+    tune_.Apply(obs, state);
+    if (!was_disabled && state->disabled) {
+      metrics_->guardrail_trips->Increment();
+    }
+  }
   return TelemetryVerdict::kAccept;
 }
 

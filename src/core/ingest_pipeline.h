@@ -8,6 +8,7 @@
 #include "core/observation.h"
 #include "core/signature_shard.h"
 #include "core/telemetry.h"
+#include "core/tracing.h"
 
 namespace rockhopper::core {
 
@@ -128,7 +129,8 @@ class IngestPipeline {
   IngestPipeline(const sparksim::ConfigSpace& space, const Options& options)
       : sanitize_(space, options.telemetry_dedup_window),
         failure_policy_(options.failure_policy, options.window_size),
-        tune_(options.enable_guardrail) {}
+        tune_(options.enable_guardrail),
+        metrics_(&ServiceMetrics::Get()) {}
 
   /// Runs one telemetry delivery through all stages against the (locked)
   /// state. Rejected events only move the counters. Returns the sanitize
@@ -146,6 +148,7 @@ class IngestPipeline {
   FailurePolicyStage failure_policy_;
   TuneStage tune_;
   JournalStage journal_;
+  ServiceMetrics* metrics_;
 };
 
 }  // namespace rockhopper::core

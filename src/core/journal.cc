@@ -12,6 +12,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "core/tracing.h"
 
 namespace rockhopper::core {
 
@@ -110,7 +111,7 @@ void ObservationJournal::Close() {
 Result<ObservationJournal> ObservationJournal::Open(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
-    return Status::Internal("cannot open journal for append: " + path);
+    return Status::IOError("cannot open journal for append: " + path);
   }
   // In append mode the position is at EOF; an empty file needs the header.
   std::fseek(file, 0, SEEK_END);
@@ -130,8 +131,9 @@ Status ObservationJournal::WriteRecord(uint64_t signature,
   const uint32_t crc = common::Crc32(payload);
   if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0 ||
       (flush && std::fflush(file_) != 0)) {
-    return Status::Internal("journal append failed: " + path_);
+    return Status::IOError("journal append failed: " + path_);
   }
+  ServiceMetrics::Get().journal_appends->Increment();
   return Status::OK();
 }
 
@@ -152,6 +154,7 @@ Status ObservationJournal::Append(uint64_t signature, const Observation& obs) {
     gc_->not_empty.notify_one();
     return Status::OK();
   }
+  ScopedSpan flush_span(ServiceMetrics::Get().journal_flush_seconds);
   return WriteRecord(signature, obs, /*flush=*/true);
 }
 
@@ -193,14 +196,20 @@ void ObservationJournal::WriterLoop() {
       gc.not_full.notify_all();
     }
     // One flush covers the whole batch: the group-commit amortization.
+    ServiceMetrics& metrics = ServiceMetrics::Get();
+    metrics.journal_batch_size->Observe(static_cast<double>(batch.size()));
     bool batch_failed = false;
-    for (const auto& [signature, obs] : batch) {
-      if (!WriteRecord(signature, obs, /*flush=*/false).ok()) {
-        batch_failed = true;
+    {
+      ScopedSpan flush_span(metrics.journal_flush_seconds);
+      for (const auto& [signature, obs] : batch) {
+        if (!WriteRecord(signature, obs, /*flush=*/false).ok()) {
+          batch_failed = true;
+        }
       }
+      if (std::fflush(file_) != 0) batch_failed = true;
     }
-    if (std::fflush(file_) != 0) batch_failed = true;
     if (batch_failed) {
+      metrics.journal_errors->Increment(batch.size());
       const uint64_t total =
           async_write_errors_.fetch_add(batch.size(),
                                         std::memory_order_relaxed) +
@@ -267,6 +276,9 @@ Result<ObservationJournal::Recovered> ObservationJournal::Recover(
       recovered.clean = false;
       recovered.bytes_dropped = text.size() - pos;
       ++recovered.records_dropped;
+      recovered.tail_status = Status::DataLoss(
+          "journal tail truncated mid-record: dropped " +
+          std::to_string(recovered.bytes_dropped) + " bytes of " + path);
       return recovered;
     }
     const std::string line = text.substr(pos, newline - pos);
@@ -295,6 +307,9 @@ Result<ObservationJournal::Recovered> ObservationJournal::Recover(
         if (nl == std::string::npos) break;
         p = nl + 1;
       }
+      recovered.tail_status = Status::DataLoss(
+          "journal tail corrupt (bad CRC or malformed record): dropped " +
+          std::to_string(recovered.records_dropped) + " records of " + path);
       return recovered;
     }
     recovered.store.Append(signature, std::move(obs));

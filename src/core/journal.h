@@ -60,12 +60,14 @@ class ObservationJournal {
 
   /// Opens `path` for appending, writing the header when the file is new or
   /// empty. An existing journal keeps its records — Append continues it.
+  /// kIOError when the filesystem refuses the open.
   static Result<ObservationJournal> Open(const std::string& path);
 
   /// Appends one record. Synchronous mode: writes and flushes to the OS
   /// before returning (crash safety: at most the in-flight record is lost to
-  /// a kill). Group-commit mode: enqueues and returns; write errors are then
-  /// reported through async_write_errors() instead of the return status.
+  /// a kill); kIOError when the write or flush fails. Group-commit mode:
+  /// enqueues and returns; write errors are then reported through
+  /// async_write_errors() instead of the return status.
   Status Append(uint64_t signature, const Observation& obs);
 
   /// Switches to group-commit mode: spawns the writer thread draining the
@@ -104,12 +106,18 @@ class ObservationJournal {
     size_t bytes_dropped = 0;
     /// False when a truncated tail, CRC mismatch, or garbage line was hit.
     bool clean = true;
+    /// OK for a clean journal; kDataLoss (with what was dropped) when the
+    /// tail was truncated or corrupt. Callers branch on the code to tell
+    /// partial data loss from the hard errors Recover itself returns
+    /// (kNotFound missing file, kInvalidArgument foreign header).
+    Status tail_status = Status::OK();
   };
 
   /// Reads a journal, tolerating a truncated or corrupt tail: the longest
   /// valid prefix of records is kept, everything from the first bad record
-  /// on is dropped and counted. Only a missing file or an unreadable/foreign
-  /// header is an error.
+  /// on is dropped, counted, and reported via `tail_status` (kDataLoss).
+  /// Only a missing file (kNotFound) or an unreadable/foreign header
+  /// (kInvalidArgument) is an error.
   static Result<Recovered> Recover(const std::string& path);
 
  private:

@@ -26,14 +26,14 @@ std::string ModelStore::PathFor(uint64_t signature, int generation) const {
 Result<int> ModelStore::Put(uint64_t signature, const std::string& artifact) {
   std::error_code ec;
   fs::create_directories(DirFor(signature), ec);
-  if (ec) return Status::Internal("cannot create store directory");
+  if (ec) return Status::IOError("cannot create store directory");
   const std::vector<int> existing = Generations(signature);
   const int generation = existing.empty() ? 0 : existing.back() + 1;
   const std::string path = PathFor(signature, generation);
   std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::Internal("cannot open " + path);
+  if (!out) return Status::IOError("cannot open " + path);
   out.write(artifact.data(), static_cast<std::streamsize>(artifact.size()));
-  if (!out) return Status::Internal("write failed: " + path);
+  if (!out) return Status::IOError("write failed: " + path);
   return generation;
 }
 
@@ -95,7 +95,7 @@ Status ModelStore::CleanupGenerations(int keep) {
     for (int i = 0; i < drop; ++i) {
       std::error_code ec;
       fs::remove(PathFor(signature, generations[static_cast<size_t>(i)]), ec);
-      if (ec) return Status::Internal("cleanup failed");
+      if (ec) return Status::IOError("cleanup failed");
     }
   }
   return Status::OK();
@@ -104,7 +104,7 @@ Status ModelStore::CleanupGenerations(int keep) {
 Status ModelStore::DeleteSignature(uint64_t signature) {
   std::error_code ec;
   fs::remove_all(DirFor(signature), ec);
-  if (ec) return Status::Internal("delete failed");
+  if (ec) return Status::IOError("delete failed");
   return Status::OK();
 }
 

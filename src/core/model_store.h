@@ -18,6 +18,10 @@ namespace rockhopper::core {
 /// Each Put writes a new generation; Get returns the latest. Retention is
 /// by generation count per signature (CleanupGenerations) and the paper's
 /// all-data deletion path is DeleteSignature.
+///
+/// Error contract: kNotFound means the signature/generation simply is not
+/// stored (the expected cold-start case); kIOError means the filesystem
+/// refused an operation — callers branch on the code, not the message.
 class ModelStore {
  public:
   /// `root` is created if absent.

@@ -25,6 +25,19 @@ struct QueryEndEvent {
   double runtime = 0.0;
   bool failed = false;
   sparksim::FailureKind failure = sparksim::FailureKind::kNone;
+
+  /// The trusted-telemetry event shape of the legacy OnQueryEnd overload:
+  /// no event id (deduplication disabled for this event), success assumed.
+  /// For harnesses that execute the query themselves and report the result
+  /// in-process — real telemetry buses should fill event_id/failed/failure.
+  static QueryEndEvent FromRun(sparksim::ConfigVector config, double data_size,
+                               double runtime) {
+    QueryEndEvent event;
+    event.config = std::move(config);
+    event.data_size = data_size;
+    event.runtime = runtime;
+    return event;
+  }
 };
 
 /// Ingestion counters, surfaced through ExplainQuery and the CLI so operators

@@ -1,0 +1,90 @@
+#include "core/tracing.h"
+
+namespace rockhopper::core {
+
+namespace {
+
+common::Counter* Verdict(common::MetricsRegistry& reg, const char* verdict) {
+  return reg.GetCounter(
+      "rockhopper_telemetry_events_total",
+      "OnQueryEnd deliveries by sanitizer verdict",
+      std::string("verdict=\"") + verdict + "\"");
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics() {
+  common::MetricsRegistry& reg = common::MetricsRegistry::Default();
+  const std::vector<double> latency = common::DefaultLatencyBuckets();
+
+  queries_started =
+      reg.GetCounter("rockhopper_queries_started_total",
+                     "Configuration proposals handed out by OnQueryStart");
+  queries_ended = reg.GetCounter(
+      "rockhopper_queries_ended_total",
+      "Telemetry deliveries received by OnQueryEnd (before sanitization)");
+  proposals_tuner = reg.GetCounter(
+      "rockhopper_proposals_total", "Proposals by source",
+      "source=\"tuner\"");
+  proposals_fallback = reg.GetCounter(
+      "rockhopper_proposals_total", "Proposals by source",
+      "source=\"fallback\"");
+  proposals_disabled = reg.GetCounter(
+      "rockhopper_proposals_total", "Proposals by source",
+      "source=\"disabled\"");
+
+  telemetry_accepted = Verdict(reg, "accepted");
+  telemetry_rejected_nonfinite = Verdict(reg, "rejected_nonfinite");
+  telemetry_rejected_nonpositive = Verdict(reg, "rejected_nonpositive");
+  telemetry_rejected_duplicate = Verdict(reg, "rejected_duplicate");
+  telemetry_rejected_config = Verdict(reg, "rejected_config");
+  failures_ingested =
+      reg.GetCounter("rockhopper_failures_ingested_total",
+                     "Accepted telemetry events reporting a failed run");
+  guardrail_trips =
+      reg.GetCounter("rockhopper_guardrail_trips_total",
+                     "Signatures whose tuning the guardrail disabled");
+  fallback_windows =
+      reg.GetCounter("rockhopper_fallback_windows_total",
+                     "Failure-backoff windows opened (proposals pinned to "
+                     "the defaults)");
+
+  auto stage = [&](const char* name) {
+    return reg.GetHistogram("rockhopper_ingest_stage_seconds",
+                            "Per-stage latency of the OnQueryEnd ingest "
+                            "pipeline",
+                            latency, std::string("stage=\"") + name + "\"");
+  };
+  stage_sanitize = stage("sanitize");
+  stage_failure_policy = stage("failure_policy");
+  stage_journal = stage("journal");
+  stage_tune = stage("tune");
+  ingest_seconds = reg.GetHistogram(
+      "rockhopper_ingest_seconds",
+      "Whole-pipeline OnQueryEnd latency (rejected deliveries included)",
+      latency);
+
+  journal_appends =
+      reg.GetCounter("rockhopper_journal_appends_total",
+                     "Observation records persisted to the journal");
+  journal_errors = reg.GetCounter(
+      "rockhopper_journal_errors_total",
+      "Observation records lost to journal write errors (sync and "
+      "group-commit modes)");
+  journal_flush_seconds = reg.GetHistogram(
+      "rockhopper_journal_flush_seconds",
+      "Journal write+flush latency (one group-commit batch or one "
+      "synchronous append)",
+      latency);
+  journal_batch_size = reg.GetHistogram(
+      "rockhopper_journal_batch_size",
+      "Records per group-commit writer batch",
+      common::ExponentialBuckets(1.0, 2.0, 9));
+}
+
+ServiceMetrics& ServiceMetrics::Get() {
+  static ServiceMetrics metrics;
+  return metrics;
+}
+
+}  // namespace rockhopper::core

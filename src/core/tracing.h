@@ -1,0 +1,79 @@
+#ifndef ROCKHOPPER_CORE_TRACING_H_
+#define ROCKHOPPER_CORE_TRACING_H_
+
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace rockhopper::core {
+
+/// RAII latency span: measures the enclosing scope on the steady clock and
+/// observes the elapsed seconds into `histogram` at destruction. A null
+/// histogram — or metrics globally disabled — short-circuits both clock
+/// reads, so a disabled span costs one branch.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(common::Histogram* histogram)
+      : histogram_(common::MetricsEnabled() ? histogram : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() {
+    if (histogram_ == nullptr) return;
+    histogram_->Observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  common::Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Every instrument of the tuning service, resolved once from
+/// MetricsRegistry::Default() and shared process-wide — the hot path bumps
+/// pre-resolved pointers, never touching the registry. The full catalogue
+/// (names, labels, semantics) is documented in docs/METRICS.md.
+struct ServiceMetrics {
+  /// The process-wide instance (Meyers singleton; thread-safe init).
+  static ServiceMetrics& Get();
+
+  // --- service façade -----------------------------------------------------
+  common::Counter* queries_started;    ///< OnQueryStart proposals handed out
+  common::Counter* queries_ended;      ///< OnQueryEnd deliveries received
+  common::Counter* proposals_tuner;    ///< proposals from the live tuner
+  common::Counter* proposals_fallback; ///< defaults: failure-backoff window
+  common::Counter* proposals_disabled; ///< defaults: guardrail-disabled
+
+  // --- ingest pipeline ----------------------------------------------------
+  /// rockhopper_telemetry_events_total{verdict=...}, one per verdict.
+  common::Counter* telemetry_accepted;
+  common::Counter* telemetry_rejected_nonfinite;
+  common::Counter* telemetry_rejected_nonpositive;
+  common::Counter* telemetry_rejected_duplicate;
+  common::Counter* telemetry_rejected_config;
+  common::Counter* failures_ingested;   ///< accepted events with failed=true
+  common::Counter* guardrail_trips;     ///< signatures newly disabled
+  common::Counter* fallback_windows;    ///< failure-backoff windows opened
+  /// rockhopper_ingest_stage_seconds{stage=...}: per-stage latency.
+  common::Histogram* stage_sanitize;
+  common::Histogram* stage_failure_policy;
+  common::Histogram* stage_journal;
+  common::Histogram* stage_tune;
+  /// Whole-pipeline latency, every delivery (rejects included).
+  common::Histogram* ingest_seconds;
+
+  // --- journal ------------------------------------------------------------
+  common::Counter* journal_appends;     ///< records persisted
+  common::Counter* journal_errors;      ///< records lost to write errors
+  common::Histogram* journal_flush_seconds;  ///< write+flush latency
+  common::Histogram* journal_batch_size;     ///< group-commit batch sizes
+
+ private:
+  ServiceMetrics();
+};
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_TRACING_H_

@@ -22,6 +22,7 @@ TuningService::TuningService(const sparksim::ConfigSpace& space,
                 IngestPipeline::Options{
                     options_.failure_policy, options_.telemetry_dedup_window,
                     options_.enable_guardrail, options_.centroid.window_size}),
+      metrics_(&ServiceMetrics::Get()),
       app_space_(sparksim::AppLevelSpace()) {}
 
 SignatureShardMap::LockedState TuningService::StateFor(
@@ -82,16 +83,22 @@ sparksim::ConfigVector TuningService::OnQueryStart(
 
 sparksim::ConfigVector TuningService::OnQueryStart(
     const SignatureHandle& handle, double expected_data_size) {
+  metrics_->queries_started->Increment();
   SignatureShardMap::LockedState locked =
       StateFor(handle.plan(), handle.signature());
   QueryState& state = *locked.state;
-  if (state.disabled) return defaults_;
+  if (state.disabled) {
+    metrics_->proposals_disabled->Increment();
+    return defaults_;
+  }
   if (state.fallback_remaining > 0) {
     // Failure fallback: re-run the known-safe defaults instead of exploring
     // until the backoff window drains.
     --state.fallback_remaining;
+    metrics_->proposals_fallback->Increment();
     return defaults_;
   }
+  metrics_->proposals_tuner->Increment();
   return state.tuner->Propose(expected_data_size);
 }
 
@@ -102,6 +109,7 @@ void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
 
 void TuningService::OnQueryEnd(const SignatureHandle& handle,
                                const QueryEndEvent& event) {
+  metrics_->queries_ended->Increment();
   SignatureShardMap::LockedState locked =
       StateFor(handle.plan(), handle.signature());
   pipeline_.Ingest(handle.signature(), event, locked.state, &observations_,
@@ -111,11 +119,11 @@ void TuningService::OnQueryEnd(const SignatureHandle& handle,
 void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
                                const sparksim::ConfigVector& config,
                                double data_size, double runtime) {
-  QueryEndEvent event;
-  event.config = config;
-  event.data_size = data_size;
-  event.runtime = runtime;
-  OnQueryEnd(plan, event);
+  OnQueryEnd(plan, QueryEndEvent::FromRun(config, data_size, runtime));
+}
+
+common::MetricsSnapshot TuningService::Metrics() const {
+  return common::MetricsRegistry::Default().Snapshot();
 }
 
 bool TuningService::IsTuningEnabled(uint64_t signature) const {
@@ -160,6 +168,7 @@ Result<TuningService::RecoveryReport> TuningService::RecoverFromJournal(
 
   RecoveryReport report;
   report.journal_clean = recovered->clean;
+  report.journal_status = recovered->tail_status;
   report.observations_dropped = recovered->records_dropped;
 
   std::map<uint64_t, const sparksim::QueryPlan*> by_signature;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/app_optimizer.h"
 #include "core/baseline_model.h"
 #include "core/centroid_learning.h"
@@ -120,7 +121,11 @@ class TuningService {
   void OnQueryEnd(const SignatureHandle& handle, const QueryEndEvent& event);
 
   /// Legacy trusted-telemetry entry point (no event id, success assumed) —
-  /// still sanitized at the ingestion boundary.
+  /// a thin shim over the event-based overload: builds
+  /// QueryEndEvent::FromRun(config, data_size, runtime) and delegates.
+  [[deprecated(
+      "build a QueryEndEvent (see QueryEndEvent::FromRun) and call "
+      "OnQueryEnd(plan, event)")]]
   void OnQueryEnd(const sparksim::QueryPlan& plan,
                   const sparksim::ConfigVector& config, double data_size,
                   double runtime);
@@ -139,6 +144,14 @@ class TuningService {
 
   /// Ingestion counters of the telemetry-sanitization layer.
   const TelemetryStats& telemetry_stats() const { return pipeline_.stats(); }
+
+  /// One coherent scrape of every instrument the service (and the rest of
+  /// the process) reports into: ingest-stage latency spans, proposal /
+  /// verdict / guardrail / fallback counters, journal health, thread-pool
+  /// depth, simulator memo hit rate. Render with
+  /// MetricsSnapshot::ToPrometheusText() or ToJson(); exact at quiescence
+  /// (see common/metrics.h).
+  common::MetricsSnapshot Metrics() const;
 
   /// Attaches a crash-safe journal: every accepted observation is appended
   /// (with the runtime actually fed to the tuner, so recovery replays the
@@ -171,6 +184,9 @@ class TuningService {
     size_t unknown_signatures = 0;
     /// False when the journal had a truncated or corrupt tail.
     bool journal_clean = true;
+    /// OK for a clean journal, kDataLoss for a recovered-around corrupt or
+    /// truncated tail (see ObservationJournal::Recovered::tail_status).
+    Status journal_status = Status::OK();
   };
 
   /// Restores the service from a crash-safe journal: recovers the longest
@@ -218,6 +234,7 @@ class TuningService {
   SignatureShardMap shards_;
   ObservationStore observations_;
   IngestPipeline pipeline_;
+  ServiceMetrics* metrics_;
   ObservationJournal* journal_ = nullptr;
   sparksim::ConfigSpace app_space_;
   AppCache app_cache_;

@@ -2,9 +2,31 @@
 
 #include <cassert>
 
+#include "common/metrics.h"
+
 namespace rockhopper::sparksim {
 
 namespace {
+
+/// Memo-effectiveness counters, resolved once per process: the hit rate
+/// (hits / executions) tells whether the cost-model walk is being skipped.
+struct SimulatorMetrics {
+  common::Counter* executions;
+  common::Counter* memo_hits;
+
+  static const SimulatorMetrics& Get() {
+    static const SimulatorMetrics metrics = [] {
+      common::MetricsRegistry& reg = common::MetricsRegistry::Default();
+      return SimulatorMetrics{
+          reg.GetCounter("rockhopper_sparksim_executions_total",
+                         "Simulated query executions (all simulators)"),
+          reg.GetCounter("rockhopper_sparksim_memo_hits_total",
+                         "Executions served from the noise-free execution "
+                         "memo instead of a cost-model walk")};
+    }();
+    return metrics;
+  }
+};
 
 bool SameEffectiveConfig(const EffectiveConfig& a, const EffectiveConfig& b) {
   return a.max_partition_bytes == b.max_partition_bytes &&
@@ -44,9 +66,12 @@ ExecutionResult SparkSimulator::Execute(const QueryPlan& plan,
   ExecutionResult result;
   result.data_scale = data_scale;
   const PlanStats& stats = plan.stats();
+  const SimulatorMetrics& sim_metrics = SimulatorMetrics::Get();
+  sim_metrics.executions->Increment();
   if (memo_.valid && memo_.plan_id == stats.unique_id &&
       memo_.data_scale == data_scale &&
       SameEffectiveConfig(memo_.config, config)) {
+    sim_metrics.memo_hits->Increment();
     result.noise_free_seconds = memo_.noise_free_seconds;
     result.metrics = memo_.metrics;
   } else {

@@ -1,0 +1,171 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace rockhopper::common {
+namespace {
+
+// Most tests use a local registry so they never see instruments registered
+// by other tests (or other subsystems) in this process. Tests that must go
+// through MetricsRegistry::Default() work on deltas instead.
+
+TEST(MetricsTest, CounterCountsExactly) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c_total", "help");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(MetricsTest, CounterIsExactUnderThreads) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("threads_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, GaugeSetsAndAdds) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("depth", "help");
+  g->Set(5.0);
+  g->Add(2.0);
+  g->Add(-3.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 4.0);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Prometheus semantics: bucket i counts observations <= bounds[i]; a
+  // value exactly on a bound lands in that bound's bucket.
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("lat_seconds", "help", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) h->Observe(v);
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite bounds + the +Inf bucket
+  EXPECT_EQ(counts[0], 2u);      // 0.5, 1.0
+  EXPECT_EQ(counts[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(counts[2], 1u);      // 4.0
+  EXPECT_EQ(counts[3], 1u);      // 5.0
+  EXPECT_EQ(h->Count(), 6u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 5.0);
+}
+
+TEST(MetricsTest, HistogramNonFiniteLandsInInfBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("odd_seconds", "help", {1.0});
+  h->Observe(std::numeric_limits<double>::infinity());
+  h->Observe(1e300);
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(MetricsTest, ExponentialBucketsLadder) {
+  const std::vector<double> bounds = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+  // The default latency ladder is ascending and spans micros to seconds.
+  const std::vector<double> lat = DefaultLatencyBuckets();
+  ASSERT_GE(lat.size(), 2u);
+  for (size_t i = 1; i < lat.size(); ++i) EXPECT_LT(lat[i - 1], lat[i]);
+  EXPECT_LE(lat.front(), 1e-5);
+  EXPECT_GE(lat.back(), 1.0);
+}
+
+TEST(MetricsTest, RegistryReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("same_total", "help");
+  Counter* b = registry.GetCounter("same_total", "help");
+  EXPECT_EQ(a, b);
+  // Distinct labels are distinct series.
+  Counter* labeled = registry.GetCounter("same_total", "help", "k=\"v\"");
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(registry.GetCounter("same_total", "help", "k=\"v\""), labeled);
+}
+
+TEST(MetricsTest, SnapshotFindAndValue) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits_total", "help")->Increment(3);
+  registry.GetGauge("depth", "help")->Set(7.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.Find("hits_total"), nullptr);
+  EXPECT_EQ(snap.Find("hits_total")->type, MetricType::kCounter);
+  EXPECT_DOUBLE_EQ(snap.Value("hits_total"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.Value("depth"), 7.0);
+  EXPECT_EQ(snap.Find("absent"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.Value("absent"), 0.0);
+}
+
+TEST(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", "Requests seen", "source=\"tuner\"")
+      ->Increment(2);
+  registry.GetGauge("depth", "Queue depth")->Set(3.0);
+  Histogram* h = registry.GetHistogram("lat_seconds", "Latency", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(9.0);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# HELP req_total Requests seen\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{source=\"tuner\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  // Cumulative buckets: 1, 2, 3 across le="1", le="2", le="+Inf".
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("j_total", "with \"quotes\" and \\slash")->Increment();
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"j_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  // Help strings must be escaped for the document to stay parseable.
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"),
+            std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsTest, DisabledMetricsDropUpdates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("gated_total", "help");
+  Gauge* g = registry.GetGauge("gated_depth", "help");
+  Histogram* h = registry.GetHistogram("gated_seconds", "help", {1.0});
+  SetMetricsEnabled(false);
+  c->Increment();
+  g->Set(9.0);
+  h->Observe(0.5);
+  SetMetricsEnabled(true);  // restore for the rest of the binary
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+}  // namespace
+}  // namespace rockhopper::common

@@ -29,6 +29,22 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotSupported), "NotSupported");
   EXPECT_EQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, PersistenceCodesAreDistinct) {
+  // Callers branch on these: kIOError means the operation may succeed on
+  // retry, kDataLoss means the bytes are gone and retrying cannot help.
+  const Status io = Status::IOError("disk full");
+  const Status loss = Status::DataLoss("tail truncated");
+  EXPECT_FALSE(io.ok());
+  EXPECT_FALSE(loss.ok());
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_EQ(loss.code(), StatusCode::kDataLoss);
+  EXPECT_NE(io.code(), loss.code());
+  EXPECT_EQ(io.ToString(), "IOError: disk full");
+  EXPECT_EQ(loss.ToString(), "DataLoss: tail truncated");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -59,6 +59,7 @@ TEST_F(JournalTest, RoundTripExact) {
       ObservationJournal::Recover(path_);
   ASSERT_TRUE(recovered.ok());
   EXPECT_TRUE(recovered->clean);
+  EXPECT_TRUE(recovered->tail_status.ok());
   EXPECT_EQ(recovered->records_recovered, 3u);
   EXPECT_EQ(recovered->records_dropped, 0u);
   ASSERT_EQ(recovered->store.Count(7), 2u);
@@ -103,6 +104,7 @@ TEST_F(JournalTest, TruncatedTailKeepsPrefix) {
       ObservationJournal::Recover(path_);
   ASSERT_TRUE(recovered.ok());
   EXPECT_FALSE(recovered->clean);
+  EXPECT_EQ(recovered->tail_status.code(), StatusCode::kDataLoss);
   EXPECT_EQ(recovered->records_recovered, 4u);
   EXPECT_EQ(recovered->records_dropped, 1u);
   EXPECT_GT(recovered->bytes_dropped, 0u);
@@ -121,6 +123,7 @@ TEST_F(JournalTest, GarbageTailKeepsPrefix) {
       ObservationJournal::Recover(path_);
   ASSERT_TRUE(recovered.ok());
   EXPECT_FALSE(recovered->clean);
+  EXPECT_EQ(recovered->tail_status.code(), StatusCode::kDataLoss);
   EXPECT_EQ(recovered->records_recovered, 2u);
   EXPECT_EQ(recovered->records_dropped, 2u);
 }
@@ -154,12 +157,15 @@ TEST_F(JournalTest, BitFlippedRecordDropsFromThereOn) {
 }
 
 TEST_F(JournalTest, MissingFileIsError) {
-  EXPECT_FALSE(ObservationJournal::Recover(path_ + ".nope").ok());
+  // Distinct from tail damage: the whole journal is absent, not corrupt.
+  EXPECT_EQ(ObservationJournal::Recover(path_ + ".nope").status().code(),
+            StatusCode::kNotFound);
 }
 
 TEST_F(JournalTest, ForeignHeaderIsError) {
   WriteAll("not a rockhopper journal\nwhatever\n");
-  EXPECT_FALSE(ObservationJournal::Recover(path_).ok());
+  EXPECT_EQ(ObservationJournal::Recover(path_).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(JournalTest, EmptyJournalRecoversEmpty) {

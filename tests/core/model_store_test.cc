@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/baseline_model.h"
 #include "core/flighting.h"
@@ -51,6 +52,18 @@ TEST_F(ModelStoreTest, UnknownSignatureIsNotFound) {
   ModelStore store(root_);
   EXPECT_EQ(store.GetLatest(404).status().code(), StatusCode::kNotFound);
   EXPECT_TRUE(store.Generations(404).empty());
+}
+
+TEST_F(ModelStoreTest, UnwritableRootIsIOError) {
+  // A filesystem refusal is kIOError — distinct from the kNotFound cold
+  // start above, so callers can warn loudly on one and proceed quietly on
+  // the other. Rooting the store under a regular file makes every
+  // create_directories fail deterministically.
+  std::filesystem::create_directories(root_);
+  const std::string blocker = root_ + "/not-a-dir";
+  { std::ofstream(blocker) << "file, not a directory"; }
+  ModelStore store(blocker + "/models");
+  EXPECT_EQ(store.Put(7, "artifact").status().code(), StatusCode::kIOError);
 }
 
 TEST_F(ModelStoreTest, SignaturesAreIsolated) {

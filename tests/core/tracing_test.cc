@@ -1,0 +1,85 @@
+#include "core/tracing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace rockhopper::core {
+namespace {
+
+TEST(ScopedSpanTest, ObservesOnceOnScopeExit) {
+  common::MetricsRegistry registry;
+  common::Histogram* h =
+      registry.GetHistogram("span_seconds", "help", {1e-6, 1.0});
+  {
+    ScopedSpan span(h);
+    EXPECT_EQ(h->Count(), 0u);  // nothing observed until destruction
+  }
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_GE(h->Sum(), 0.0);
+}
+
+TEST(ScopedSpanTest, NullHistogramIsNoOp) {
+  ScopedSpan span(nullptr);  // must not crash on destruction
+}
+
+TEST(ScopedSpanTest, DisabledMetricsSkipObservation) {
+  common::MetricsRegistry registry;
+  common::Histogram* h = registry.GetHistogram("off_seconds", "help", {1.0});
+  common::SetMetricsEnabled(false);
+  { ScopedSpan span(h); }
+  common::SetMetricsEnabled(true);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+TEST(ServiceMetricsTest, SingletonIsStableAndComplete) {
+  ServiceMetrics& a = ServiceMetrics::Get();
+  ServiceMetrics& b = ServiceMetrics::Get();
+  EXPECT_EQ(&a, &b);
+  // Every pointer resolved: the hot path bumps these without null checks.
+  EXPECT_NE(a.queries_started, nullptr);
+  EXPECT_NE(a.queries_ended, nullptr);
+  EXPECT_NE(a.proposals_tuner, nullptr);
+  EXPECT_NE(a.proposals_fallback, nullptr);
+  EXPECT_NE(a.proposals_disabled, nullptr);
+  EXPECT_NE(a.telemetry_accepted, nullptr);
+  EXPECT_NE(a.telemetry_rejected_nonfinite, nullptr);
+  EXPECT_NE(a.telemetry_rejected_nonpositive, nullptr);
+  EXPECT_NE(a.telemetry_rejected_duplicate, nullptr);
+  EXPECT_NE(a.telemetry_rejected_config, nullptr);
+  EXPECT_NE(a.failures_ingested, nullptr);
+  EXPECT_NE(a.guardrail_trips, nullptr);
+  EXPECT_NE(a.fallback_windows, nullptr);
+  EXPECT_NE(a.stage_sanitize, nullptr);
+  EXPECT_NE(a.stage_failure_policy, nullptr);
+  EXPECT_NE(a.stage_journal, nullptr);
+  EXPECT_NE(a.stage_tune, nullptr);
+  EXPECT_NE(a.ingest_seconds, nullptr);
+  EXPECT_NE(a.journal_appends, nullptr);
+  EXPECT_NE(a.journal_errors, nullptr);
+  EXPECT_NE(a.journal_flush_seconds, nullptr);
+  EXPECT_NE(a.journal_batch_size, nullptr);
+  // Distinct label values are distinct series.
+  EXPECT_NE(a.proposals_tuner, a.proposals_fallback);
+  EXPECT_NE(a.telemetry_accepted, a.telemetry_rejected_nonfinite);
+  EXPECT_NE(a.stage_sanitize, a.stage_tune);
+}
+
+TEST(ServiceMetricsTest, InstrumentsAppearInDefaultRegistryScrape) {
+  (void)ServiceMetrics::Get();
+  const common::MetricsSnapshot snap =
+      common::MetricsRegistry::Default().Snapshot();
+  EXPECT_NE(snap.Find("rockhopper_queries_started_total"), nullptr);
+  EXPECT_NE(snap.Find("rockhopper_proposals_total", "source=\"tuner\""),
+            nullptr);
+  EXPECT_NE(snap.Find("rockhopper_telemetry_events_total",
+                      "verdict=\"accepted\""),
+            nullptr);
+  EXPECT_NE(snap.Find("rockhopper_ingest_stage_seconds",
+                      "stage=\"sanitize\""),
+            nullptr);
+  EXPECT_NE(snap.Find("rockhopper_journal_errors_total"), nullptr);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

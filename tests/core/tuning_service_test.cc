@@ -42,7 +42,8 @@ TEST_F(TuningServiceTest, SignaturesTrackedIndependently) {
   (void)service.OnQueryStart(p1, 1e9);
   (void)service.OnQueryStart(p2, 1e9);
   EXPECT_EQ(service.NumSignatures(), 2u);
-  service.OnQueryEnd(p1, space_.Defaults(), 1e9, 100.0);
+  service.OnQueryEnd(
+      p1, QueryEndEvent::FromRun(space_.Defaults(), 1e9, 100.0));
   EXPECT_EQ(service.IterationCount(p1.Signature()), 1u);
   EXPECT_EQ(service.IterationCount(p2.Signature()), 0u);
 }
@@ -52,7 +53,7 @@ TEST_F(TuningServiceTest, ObservationsRecorded) {
   const sparksim::QueryPlan plan = sparksim::TpchPlan(3);
   for (int i = 0; i < 5; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan, 1e9);
-    service.OnQueryEnd(plan, c, 1e9, 50.0 - i);
+    service.OnQueryEnd(plan, QueryEndEvent::FromRun(c, 1e9, 50.0 - i));
   }
   EXPECT_EQ(service.observations().Count(plan.Signature()), 5u);
   EXPECT_TRUE(service.IsTuningEnabled(plan.Signature()));
@@ -67,7 +68,7 @@ TEST_F(TuningServiceTest, GuardrailDisablesRegressingQuery) {
   // Report runtimes that regress hard regardless of config.
   for (int i = 0; i < 40; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
-    service.OnQueryEnd(plan, c, 1.0, 10.0 + 5.0 * i);
+    service.OnQueryEnd(plan, QueryEndEvent::FromRun(c, 1.0, 10.0 + 5.0 * i));
   }
   EXPECT_FALSE(service.IsTuningEnabled(plan.Signature()));
   EXPECT_EQ(service.NumDisabled(), 1u);
@@ -82,7 +83,7 @@ TEST_F(TuningServiceTest, GuardrailCanBeDisabledByOption) {
   const sparksim::QueryPlan plan = sparksim::TpchPlan(5);
   for (int i = 0; i < 40; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
-    service.OnQueryEnd(plan, c, 1.0, 10.0 + 5.0 * i);
+    service.OnQueryEnd(plan, QueryEndEvent::FromRun(c, 1.0, 10.0 + 5.0 * i));
   }
   EXPECT_TRUE(service.IsTuningEnabled(plan.Signature()));
   EXPECT_EQ(service.NumDisabled(), 0u);
@@ -102,7 +103,8 @@ TEST_F(TuningServiceTest, ImprovesQueryOnSimulator) {
   for (int i = 0; i < 60; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
     const sparksim::ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
-    service.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+    service.OnQueryEnd(
+        plan, QueryEndEvent::FromRun(c, r.input_bytes, r.runtime_seconds));
     last_runtime = r.noise_free_seconds;
   }
   EXPECT_LE(last_runtime, default_runtime * 1.05);
@@ -140,7 +142,8 @@ TEST_F(TuningServiceTest, ReplayHistoryRestoresIterationCount) {
   for (int i = 0; i < 20; ++i) {
     const sparksim::ConfigVector c = first.OnQueryStart(plan, 1.0);
     const sparksim::ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
-    first.OnQueryEnd(plan, c, r.input_bytes, r.runtime_seconds);
+    first.OnQueryEnd(
+        plan, QueryEndEvent::FromRun(c, r.input_bytes, r.runtime_seconds));
   }
   // Second service: replay from the stored history and keep tuning.
   TuningService second(space_, nullptr, FastOptions(), 11);
@@ -178,7 +181,7 @@ TEST_F(TuningServiceTest, ExplainQueryDescribesState) {
             StatusCode::kNotFound);
   for (int i = 0; i < 5; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
-    service.OnQueryEnd(plan, c, 1.0, 50.0 - i);
+    service.OnQueryEnd(plan, QueryEndEvent::FromRun(c, 1.0, 50.0 - i));
   }
   Result<std::string> explanation = service.ExplainQuery(plan.Signature());
   ASSERT_TRUE(explanation.ok());
@@ -196,7 +199,7 @@ TEST_F(TuningServiceTest, ExplainQueryReportsDisabledState) {
   const sparksim::QueryPlan plan = sparksim::TpchPlan(12);
   for (int i = 0; i < 40; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
-    service.OnQueryEnd(plan, c, 1.0, 10.0 + 5.0 * i);
+    service.OnQueryEnd(plan, QueryEndEvent::FromRun(c, 1.0, 10.0 + 5.0 * i));
   }
   Result<std::string> explanation = service.ExplainQuery(plan.Signature());
   ASSERT_TRUE(explanation.ok());
@@ -215,7 +218,7 @@ TEST_F(TuningServiceTest, SignatureTransferSeedsFromSimilarQuery) {
   for (int i = 0; i < 25; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan_a, 1.0);
     const double runtime = 10.0 + 100.0 * space_.Normalize(c)[2];
-    service.OnQueryEnd(plan_a, c, 1.0, runtime);
+    service.OnQueryEnd(plan_a, QueryEndEvent::FromRun(c, 1.0, runtime));
   }
   // Query B: the same plan with slightly perturbed cardinalities — a new
   // signature but a near-identical embedding.
@@ -248,7 +251,9 @@ TEST_F(TuningServiceTest, SignatureTransferIgnoresDistantQueries) {
   const sparksim::QueryPlan plan_a = sparksim::TpchPlan(14);
   for (int i = 0; i < 10; ++i) {
     const sparksim::ConfigVector c = service.OnQueryStart(plan_a, 1.0);
-    service.OnQueryEnd(plan_a, c, 1.0, 10.0 + 100.0 * space_.Normalize(c)[2]);
+    service.OnQueryEnd(
+        plan_a,
+        QueryEndEvent::FromRun(c, 1.0, 10.0 + 100.0 * space_.Normalize(c)[2]));
   }
   const sparksim::QueryPlan plan_b = sparksim::TpcdsPlan(50);  // unrelated
   const sparksim::ConfigVector b_first = service.OnQueryStart(plan_b, 1.0);
@@ -291,13 +296,17 @@ TEST_F(TuningServiceTest, OnQueryEndRejectsGarbageTelemetry) {
   EXPECT_EQ(service.IterationCount(plan.Signature()), 1u);
 }
 
-TEST_F(TuningServiceTest, LegacyOnQueryEndIsAlsoSanitized) {
+TEST_F(TuningServiceTest, FromRunEventsAreAlsoSanitized) {
+  // QueryEndEvent::FromRun is the migration path for the deprecated
+  // trusted-telemetry overload; its events must pass through the same
+  // sanitization as every other delivery.
   TuningService service(space_, nullptr, FastOptions(), 21);
   const sparksim::QueryPlan plan = sparksim::TpchPlan(2);
   const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
-  service.OnQueryEnd(plan, c, 1.0,
-                     std::numeric_limits<double>::quiet_NaN());
-  service.OnQueryEnd(plan, c, 1.0, -1.0);
+  service.OnQueryEnd(
+      plan, QueryEndEvent::FromRun(
+                c, 1.0, std::numeric_limits<double>::quiet_NaN()));
+  service.OnQueryEnd(plan, QueryEndEvent::FromRun(c, 1.0, -1.0));
   EXPECT_EQ(service.IterationCount(plan.Signature()), 0u);
 }
 

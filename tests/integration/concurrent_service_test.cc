@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/journal.h"
 #include "core/tuning_service.h"
 #include "sparksim/workloads.h"
@@ -207,7 +208,9 @@ TEST_F(ConcurrentServiceTest, JournalRecoveryMatchesSingleThreadedRun) {
   // observation was journaled: recovery sees identical per-signature state
   // regardless of the thread count that produced the journal.
   EXPECT_TRUE(report_one->journal_clean);
+  EXPECT_TRUE(report_one->journal_status.ok());
   EXPECT_TRUE(report_four->journal_clean);
+  EXPECT_TRUE(report_four->journal_status.ok());
   EXPECT_GT(report_one->signatures_restored, 0u);
   EXPECT_EQ(report_four->signatures_restored, report_one->signatures_restored);
   EXPECT_EQ(report_four->observations_replayed,
@@ -224,6 +227,76 @@ TEST_F(ConcurrentServiceTest, JournalRecoveryMatchesSingleThreadedRun) {
     ExpectSameObservations(from_four.observations().History(sig),
                            from_one.observations().History(sig));
   }
+}
+
+// The metrics registry is process-global and accumulates across every test
+// in this binary, so this test works on before/after deltas: with N threads
+// hammering one service, the scraped counters must equal the EXACT number of
+// OnQueryStart / OnQueryEnd calls the workload made — sharded counters lose
+// nothing under concurrency. (Run under tools/run_sanitized_tests.sh tsan to
+// also prove the scrape races no updater.)
+TEST_F(ConcurrentServiceTest, MetricsScrapeMatchesExactCallCounts) {
+  common::MetricsRegistry& registry = common::MetricsRegistry::Default();
+  const common::MetricsSnapshot before = registry.Snapshot();
+  const RunResult run = RunSuite(8, base_ + ".j8");
+  const common::MetricsSnapshot after = registry.Snapshot();
+
+  auto delta = [&](const char* name, const char* labels = "") {
+    return after.Value(name, labels) - before.Value(name, labels);
+  };
+  auto count_delta = [&](const char* name, const char* labels = "") {
+    const common::MetricsSnapshot::Sample* b = before.Find(name, labels);
+    const common::MetricsSnapshot::Sample* a = after.Find(name, labels);
+    return (a != nullptr ? a->count : 0u) - (b != nullptr ? b->count : 0u);
+  };
+
+  const double calls =
+      static_cast<double>(kNumPlans) * static_cast<double>(kEventsPerPlan);
+  EXPECT_EQ(delta("rockhopper_queries_started_total"), calls);
+  EXPECT_EQ(delta("rockhopper_queries_ended_total"), calls);
+
+  // Proposal sources partition the starts...
+  EXPECT_EQ(delta("rockhopper_proposals_total", "source=\"tuner\"") +
+                delta("rockhopper_proposals_total", "source=\"fallback\"") +
+                delta("rockhopper_proposals_total", "source=\"disabled\""),
+            calls);
+  // ...and sanitizer verdicts partition the ends.
+  const char* kVerdicts[] = {"verdict=\"accepted\"",
+                             "verdict=\"rejected_nonfinite\"",
+                             "verdict=\"rejected_nonpositive\"",
+                             "verdict=\"rejected_duplicate\"",
+                             "verdict=\"rejected_config\""};
+  double verdict_total = 0.0;
+  for (const char* labels : kVerdicts) {
+    verdict_total += delta("rockhopper_telemetry_events_total", labels);
+  }
+  EXPECT_EQ(verdict_total, calls);
+
+  // The scraped series agree with the service's own atomic stats.
+  EXPECT_EQ(delta("rockhopper_telemetry_events_total",
+                  "verdict=\"accepted\""),
+            static_cast<double>(run.stats.accepted.load()));
+  EXPECT_EQ(delta("rockhopper_failures_ingested_total"),
+            static_cast<double>(run.stats.failures_ingested.load()));
+
+  // Every accepted observation went through the group-commit journal and
+  // nothing was lost (journal_errors stayed 0 in RunSuite).
+  EXPECT_EQ(delta("rockhopper_journal_appends_total"),
+            static_cast<double>(run.stats.accepted.load()));
+  EXPECT_EQ(delta("rockhopper_journal_errors_total"), 0.0);
+
+  // Latency spans fire once per delivery, rejects included.
+  EXPECT_EQ(count_delta("rockhopper_ingest_seconds"),
+            static_cast<uint64_t>(calls));
+  EXPECT_EQ(count_delta("rockhopper_ingest_stage_seconds",
+                        "stage=\"sanitize\""),
+            static_cast<uint64_t>(calls));
+
+  // The always-failing signatures tripped the guardrail; trips match the
+  // service's disabled-signature count for this fresh service instance.
+  EXPECT_EQ(delta("rockhopper_guardrail_trips_total"),
+            static_cast<double>(run.num_disabled));
+  EXPECT_GT(delta("rockhopper_fallback_windows_total"), 0.0);
 }
 
 }  // namespace

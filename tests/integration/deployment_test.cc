@@ -81,8 +81,9 @@ TEST_F(DeploymentTest, FullLifecycle) {
         service.OnQueryStart(query, query.LeafInputBytes(1.0));
     const sparksim::ExecutionResult result =
         production.ExecuteQuery(query, config, 1.0);
-    service.OnQueryEnd(query, config, result.input_bytes,
-                       result.runtime_seconds);
+    service.OnQueryEnd(query,
+                       QueryEndEvent::FromRun(config, result.input_bytes,
+                                              result.runtime_seconds));
     MonitorRecord record;
     record.iteration = run;
     record.config = config;

@@ -54,7 +54,8 @@ TEST(EndToEndTest, OfflineOnlinePipelineImprovesUnseenQuery) {
   for (int i = 0; i < 50; ++i) {
     const ConfigVector c = service.OnQueryStart(unseen, 1.0);
     const sparksim::ExecutionResult r = sim.ExecuteQuery(unseen, c, 1.0);
-    service.OnQueryEnd(unseen, c, r.input_bytes, r.runtime_seconds);
+    service.OnQueryEnd(unseen, core::QueryEndEvent::FromRun(
+                                   c, r.input_bytes, r.runtime_seconds));
     if (i >= 40) last10.push_back(r.noise_free_seconds);
   }
   // Late iterations should not regress beyond the defaults (and usually

@@ -23,9 +23,12 @@ struct FaultTallies {
 
 // One tenant's recurring job: drives a single plan through `iterations`
 // start/simulate/end cycles. Event ids are per-signature, which is all the
-// sanitizer's per-signature dedup window needs.
-void DrivePlan(core::TuningService* service, const sparksim::QueryPlan& plan,
-               const ConcurrentDriverOptions& options, FaultTallies* tallies) {
+// sanitizer's per-signature dedup window needs. `tallies` may be null
+// (callers that do not report fault counts).
+void DrivePlanImpl(core::TuningService* service,
+                   const sparksim::QueryPlan& plan,
+                   const ConcurrentDriverOptions& options,
+                   FaultTallies* tallies) {
   sparksim::SparkSimulator::Options sim_options;
   sim_options.noise = sparksim::NoiseParams{options.fluctuation_level,
                                             options.spike_level};
@@ -50,7 +53,7 @@ void DrivePlan(core::TuningService* service, const sparksim::QueryPlan& plan,
       std::this_thread::sleep_for(
           std::chrono::microseconds(options.execution_latency_us));
     }
-    if (result.failed) {
+    if (result.failed && tallies != nullptr) {
       tallies->job_failures.fetch_add(1, std::memory_order_relaxed);
     }
 
@@ -68,20 +71,28 @@ void DrivePlan(core::TuningService* service, const sparksim::QueryPlan& plan,
       if (fault.corruption != sparksim::TelemetryFault::Corruption::kNone) {
         event.runtime = sparksim::FaultModel::CorruptRuntime(event.runtime,
                                                              fault.corruption);
-        tallies->corrupted.fetch_add(1, std::memory_order_relaxed);
+        if (tallies != nullptr) {
+          tallies->corrupted.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       if (fault.drop) {
-        tallies->dropped.fetch_add(1, std::memory_order_relaxed);
+        if (tallies != nullptr) {
+          tallies->dropped.fetch_add(1, std::memory_order_relaxed);
+        }
         continue;
       }
       if (fault.reorder) {
-        tallies->reordered.fetch_add(1, std::memory_order_relaxed);
+        if (tallies != nullptr) {
+          tallies->reordered.fetch_add(1, std::memory_order_relaxed);
+        }
         delayed.push_back(event);
         continue;
       }
       service->OnQueryEnd(handle, event);
       if (fault.duplicate) {
-        tallies->duplicated.fetch_add(1, std::memory_order_relaxed);
+        if (tallies != nullptr) {
+          tallies->duplicated.fetch_add(1, std::memory_order_relaxed);
+        }
         service->OnQueryEnd(handle, event);
       }
       while (!delayed.empty()) {
@@ -100,6 +111,12 @@ void DrivePlan(core::TuningService* service, const sparksim::QueryPlan& plan,
 
 }  // namespace
 
+void ConcurrentDriver::DrivePlan(core::TuningService* service,
+                                 const sparksim::QueryPlan& plan,
+                                 const ConcurrentDriverOptions& options) {
+  DrivePlanImpl(service, plan, options, nullptr);
+}
+
 ConcurrentDriverReport ConcurrentDriver::Run(
     const std::vector<sparksim::QueryPlan>& plans) {
   ConcurrentDriverReport report;
@@ -116,7 +133,7 @@ ConcurrentDriverReport ConcurrentDriver::Run(
     workers.emplace_back([&, t] {
       for (size_t i = static_cast<size_t>(t); i < plans.size();
            i += static_cast<size_t>(threads)) {
-        DrivePlan(service_, plans[i], options_, &tallies);
+        DrivePlanImpl(service_, plans[i], options_, &tallies);
       }
     });
   }

@@ -27,7 +27,14 @@
 //   rockhopper serve --suite=tpcds --threads=8 --iters=20 [--chaos]
 //       drive one shared tuning service from concurrent tenant threads
 //       (the multi-tenant deployment shape of §6.3) and print aggregate
-//       throughput; --journal=FILE appends through the group-commit path.
+//       throughput; --journal=FILE appends through the group-commit path;
+//       exits with a metrics scrape (--metrics-format=prom|json|off);
+//
+//   rockhopper metrics --suite=tpch --iters=30 --threads=4 [--format=json]
+//       exercise every instrumented subsystem (ingestion spans, journal
+//       group commit, thread pool, simulator memo) with a chaos workload,
+//       then print one scrape of the service's metrics registry in
+//       Prometheus text or JSON exposition;
 //
 // Every run is deterministic given --seed (serve: per-signature streams are
 // seed-deterministic; thread interleaving varies).
@@ -35,9 +42,12 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 #include "core/flighting.h"
 #include "core/journal.h"
@@ -165,10 +175,18 @@ int RunTune(const Args& args) {
       baseline = &model;
       std::printf("loaded baseline model from %s/models\n",
                   model_dir.c_str());
+    } else {
+      std::fprintf(stderr, "stored baseline model is unreadable; tuning "
+                           "cold\n");
     }
-  }
-  if (baseline == nullptr) {
+  } else if (artifact.status().code() == StatusCode::kNotFound) {
+    // Expected cold start: nothing stored under this key yet.
     std::printf("no stored baseline model; tuning cold\n");
+  } else {
+    // kIOError (or worse): the artifact may exist but could not be read —
+    // worth a loud warning, unlike the routine cold start above.
+    std::fprintf(stderr, "model store read failed: %s; tuning cold\n",
+                 artifact.status().ToString().c_str());
   }
 
   sparksim::SparkSimulator::Options sim_options;
@@ -200,8 +218,9 @@ int RunTune(const Args& args) {
           service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
       const sparksim::ExecutionResult result =
           sim.ExecuteQuery(plan, config, 1.0);
-      service.OnQueryEnd(plan, config, result.input_bytes,
-                         result.runtime_seconds);
+      service.OnQueryEnd(plan,
+                         QueryEndEvent::FromRun(config, result.input_bytes,
+                                                result.runtime_seconds));
       if (run >= iters - tail_n) tail += result.noise_free_seconds;
     }
     tail /= tail_n;
@@ -395,12 +414,27 @@ int RunRecover(const Args& args) {
                         static_cast<uint64_t>(args.GetInt("seed", 31)));
   auto report = service.RecoverFromJournal(journal_path, plans);
   if (!report.ok()) {
-    std::fprintf(stderr, "recovery failed: %s\n",
-                 report.status().ToString().c_str());
+    if (report.status().code() == StatusCode::kNotFound) {
+      std::fprintf(stderr, "no journal at %s\n", journal_path.c_str());
+    } else {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   report.status().ToString().c_str());
+    }
     return 1;
   }
-  std::printf("journal %s: %s\n", journal_path.c_str(),
-              report->journal_clean ? "clean" : "corrupt/truncated tail");
+  // The tail status distinguishes a clean shutdown from recovered-around
+  // damage: kDataLoss means bytes were dropped and re-running recover will
+  // not bring them back.
+  if (report->journal_status.ok()) {
+    std::printf("journal %s: clean\n", journal_path.c_str());
+  } else if (report->journal_status.code() == StatusCode::kDataLoss) {
+    std::printf("journal %s: recovered around damaged tail (%s)\n",
+                journal_path.c_str(),
+                report->journal_status.ToString().c_str());
+  } else {
+    std::printf("journal %s: %s\n", journal_path.c_str(),
+                report->journal_status.ToString().c_str());
+  }
   std::printf("recovered %zu signatures, %zu observations (%zu dropped, "
               "%zu unknown signatures)\n",
               report->signatures_restored, report->observations_replayed,
@@ -486,6 +520,78 @@ int RunServe(const Args& args) {
                 group_commit ? "group commit" : "synchronous appends",
                 static_cast<unsigned long long>(service.journal_errors()));
   }
+
+  const std::string metrics_format = args.Get("metrics-format", "prom");
+  if (metrics_format != "off") {
+    const common::MetricsSnapshot scrape = service.Metrics();
+    std::printf("\n# --- metrics scrape at exit ---\n");
+    if (metrics_format == "json") {
+      std::printf("%s\n", scrape.ToJson().c_str());
+    } else {
+      std::printf("%s", scrape.ToPrometheusText().c_str());
+    }
+  }
+  return 0;
+}
+
+// Exercises every instrumented subsystem, then prints one scrape of the
+// process metrics registry: a chaos workload (job faults + telemetry faults,
+// so the sanitizer / failure-policy / guardrail counters move) driven from a
+// thread pool (so the pool's queue-depth / task-latency instruments report)
+// through a group-commit journal (appends, batch sizes, flush latency).
+int RunMetrics(const Args& args) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpch"));
+  std::vector<sparksim::QueryPlan> plans;
+  for (int q = 1; q <= SuiteSize(suite); ++q) {
+    plans.push_back(FlightingPipeline::PlanFor(suite, q));
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 41));
+  TuningService service(space, nullptr, {}, seed);
+
+  ObservationJournal journal;
+  std::string journal_path = args.Get("journal", "");
+  const bool temp_journal = journal_path.empty();
+  if (temp_journal) {
+    journal_path = (std::filesystem::temp_directory_path() /
+                    "rockhopper-metrics.journal").string();
+    std::error_code ec;
+    std::filesystem::remove(journal_path, ec);  // stale run
+  }
+  auto opened = ObservationJournal::Open(journal_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open journal: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  journal = std::move(*opened);
+  journal.StartGroupCommit({});
+  service.AttachJournal(&journal);
+
+  tools::ConcurrentDriverOptions driver_options;
+  driver_options.iterations = args.GetInt("iters", 30);
+  driver_options.chaos = args.Get("chaos", "true") == "true";
+  driver_options.seed = seed;
+
+  common::ThreadPool pool(static_cast<size_t>(args.GetInt("threads", 4)));
+  pool.ParallelFor(plans.size(), [&](size_t i) {
+    tools::ConcurrentDriver::DrivePlan(&service, plans[i], driver_options);
+  });
+  pool.Shutdown();
+  journal.StopGroupCommit();
+  journal.Close();
+  if (temp_journal) {
+    std::error_code ec;
+    std::filesystem::remove(journal_path, ec);
+  }
+
+  const common::MetricsSnapshot scrape = service.Metrics();
+  if (args.Get("format", "prom") == "json") {
+    std::printf("%s\n", scrape.ToJson().c_str());
+  } else {
+    std::printf("%s", scrape.ToPrometheusText().c_str());
+  }
   return 0;
 }
 
@@ -512,7 +618,12 @@ void PrintUsage() {
       "  serve   drive one shared service from concurrent tenant threads\n"
       "          flags: --suite=tpcds|tpch --threads=N --iters=N --chaos\n"
       "                 --latency-us=N --journal=FILE --sync-journal\n"
-      "                 --fl=F --sl=F --seed=N\n");
+      "                 --fl=F --sl=F --seed=N --metrics-format=prom|json|off\n"
+      "  metrics exercise the instrumented pipeline, print one registry "
+      "scrape\n"
+      "          flags: --suite=tpch|tpcds --iters=N --threads=N\n"
+      "                 --chaos=true|false --journal=FILE --seed=N\n"
+      "                 --format=prom|json\n");
 }
 
 }  // namespace
@@ -525,6 +636,7 @@ int main(int argc, char** argv) {
   if (args.command == "chaos") return RunChaos(args);
   if (args.command == "recover") return RunRecover(args);
   if (args.command == "serve") return RunServe(args);
+  if (args.command == "metrics") return RunMetrics(args);
   PrintUsage();
   return args.command.empty() ? 1 : 2;
 }

@@ -6,12 +6,19 @@
 #
 # Usage: tools/run_benchmarks.sh [benchmark-filter]
 #        tools/run_benchmarks.sh --suite fig
+#        tools/run_benchmarks.sh --suite metrics
 #   benchmark-filter: optional --benchmark_filter regex applied to
 #                     bench_micro_inference (default: all benchmarks)
 #   --suite fig:      run the migrated figure/ablation harnesses serially
 #                     (ROCKHOPPER_THREADS=1) and in parallel, verify the
 #                     output is bit-identical, and write per-bench wall
 #                     times + speedups to BENCH_figsuite.json
+#   --suite metrics:  measure the observability overhead — the raw service
+#                     ingestion rate with the metrics layer enabled vs
+#                     disabled (bench_concurrent_throughput --overhead-only
+#                     --metrics=on|off, best of N reps each) — write
+#                     BENCH_metrics.json, and FAIL (exit 1) if metrics-on
+#                     costs more than 3% over metrics-off
 #
 # The regular build directory stays untouched; benchmarks use their own
 # Release build under build-bench/ so debug configurations never pollute
@@ -178,12 +185,95 @@ if not summary["all_bit_identical"]:
 EOF
 }
 
+run_metrics_suite() {
+  local reps="${ROCKHOPPER_METRICS_REPS:-3}"
+  local iters="${ROCKHOPPER_METRICS_ITERS:-60}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DROCKHOPPER_BUILD_BENCHMARKS=ON
+  cmake --build "${build_dir}" -j "$(nproc)" \
+    --target bench_concurrent_throughput
+
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  trap "rm -rf '${tmp_dir}'" EXIT
+
+  echo "== observability overhead: metrics on vs off =="
+  echo "   (${reps} reps per mode, --iters=${iters}, best-of wins)"
+  # Interleave the modes so slow drift on a shared machine hits both evenly.
+  local mode rep
+  for rep in $(seq "${reps}"); do
+    for mode in off on; do
+      "${build_dir}/bench/bench_concurrent_throughput" \
+        --overhead-only "--metrics=${mode}" "--iters=${iters}" \
+        >> "${tmp_dir}/overhead.${mode}.txt"
+    done
+  done
+
+  python3 - "${tmp_dir}/overhead.on.txt" "${tmp_dir}/overhead.off.txt" \
+    "${reps}" "${iters}" "${repo_root}/BENCH_metrics.json" <<'PYGATE'
+import json
+import re
+import sys
+
+on_path, off_path, reps, iters, out_path = sys.argv[1:6]
+PATTERN = re.compile(r"\(latency=0, 1 thread\): (\d+) queries/s")
+
+
+def qps(path):
+    with open(path) as f:
+        return [int(m.group(1)) for m in PATTERN.finditer(f.read())]
+
+
+on_runs, off_runs = qps(on_path), qps(off_path)
+if not on_runs or not off_runs:
+    sys.exit("could not parse overhead lines from the bench output")
+
+# Best-of: the per-mode maximum is the least-noise estimate of the true
+# rate; transient contention only ever subtracts throughput.
+best_on, best_off = max(on_runs), max(off_runs)
+# Per-query time ratio: > 1.0 means the metrics layer costs throughput.
+overhead_ratio = best_off / best_on
+LIMIT = 1.03
+
+result = {
+    "summary": {
+        "metrics_on_queries_per_s": best_on,
+        "metrics_off_queries_per_s": best_off,
+        "overhead_ratio": overhead_ratio,
+        "overhead_limit": LIMIT,
+        "within_limit": overhead_ratio <= LIMIT,
+    },
+    "runs": {
+        "metrics_on": on_runs,
+        "metrics_off": off_runs,
+        "reps": int(reps),
+        "iters": int(iters),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+print(f"  metrics on : {best_on} queries/s")
+print(f"  metrics off: {best_off} queries/s")
+print(f"  overhead   : {(overhead_ratio - 1) * 100:+.2f}% (limit +3%)")
+if overhead_ratio > LIMIT:
+    print("FAIL: metrics layer exceeds the 3% overhead budget", file=sys.stderr)
+    sys.exit(1)
+PYGATE
+}
+
 if [[ "${filter}" == "--suite" ]]; then
-  if [[ "${2:-}" != "fig" ]]; then
-    echo "unknown suite '${2:-}' (expected: fig)" >&2
-    exit 2
-  fi
-  run_fig_suite
+  case "${2:-}" in
+    fig) run_fig_suite ;;
+    metrics) run_metrics_suite ;;
+    *)
+      echo "unknown suite '${2:-}' (expected: fig, metrics)" >&2
+      exit 2
+      ;;
+  esac
   exit 0
 fi
 
