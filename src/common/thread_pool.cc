@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/buggify.h"
+
 namespace rockhopper::common {
 
 ThreadPool::ThreadPool(size_t num_threads)
@@ -32,7 +34,14 @@ void ThreadPool::Submit(std::function<void()> task) {
     if (shutting_down_) {
       throw std::runtime_error("ThreadPool::Submit after Shutdown");
     }
-    queue_.push_back(std::move(task));
+    if (ROCKHOPPER_BUGGIFY("threadpool.submit.reorder")) {
+      // Submission reordering: this task jumps the queue, the adversarial
+      // schedule for callers that assume FIFO dispatch. The pool's contract
+      // (Wait/Shutdown/ParallelFor completeness) must hold either way.
+      queue_.push_front(std::move(task));
+    } else {
+      queue_.push_back(std::move(task));
+    }
     ++in_flight_;
   }
   queue_depth_metric_->Add(1.0);
@@ -44,6 +53,13 @@ bool ThreadPool::RunOneTask() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return false;
+    if (queue_.size() > 1 && ROCKHOPPER_BUGGIFY("threadpool.task.delay")) {
+      // Task delay: the head task loses its turn and requeues behind the
+      // rest (still queued, so in_flight_ and the depth gauge are
+      // untouched). The >1 guard keeps a lone task from livelocking.
+      queue_.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
     task = std::move(queue_.front());
     queue_.pop_front();
   }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/statistics.h"
+#include "sim/buggify.h"
 
 namespace rockhopper::core {
 
@@ -92,6 +93,8 @@ common::Counter* VerdictCounter(const ServiceMetrics& metrics,
       return metrics.telemetry_rejected_duplicate;
     case TelemetryVerdict::kRejectConfig:
       return metrics.telemetry_rejected_config;
+    case TelemetryVerdict::kSimDropped:
+      return metrics.telemetry_sim_dropped;
   }
   return metrics.telemetry_accepted;
 }
@@ -103,7 +106,31 @@ TelemetryVerdict IngestPipeline::Ingest(uint64_t signature,
                                         QueryState* state,
                                         ObservationStore* store,
                                         ObservationJournal* journal) {
+  const TelemetryVerdict verdict =
+      IngestOnce(signature, event, state, store, journal);
+  if (verdict == TelemetryVerdict::kAccept &&
+      ROCKHOPPER_BUGGIFY("ingest.deliver.redeliver")) {
+    // The bus re-delivers an already-ingested event (at-least-once
+    // delivery); the dedup window must reject it. Counted as one more
+    // delivery so the conservation invariant stays exact.
+    metrics_->queries_ended->Increment();
+    IngestOnce(signature, event, state, store, journal);
+  }
+  return verdict;
+}
+
+TelemetryVerdict IngestPipeline::IngestOnce(uint64_t signature,
+                                            const QueryEndEvent& event,
+                                            QueryState* state,
+                                            ObservationStore* store,
+                                            ObservationJournal* journal) {
   ScopedSpan total_span(metrics_->ingest_seconds);
+  if (ROCKHOPPER_BUGGIFY("ingest.deliver.drop")) {
+    // The delivery dies before the sanitizer sees it (bus partition,
+    // transport timeout) — the service must behave as if it never arrived.
+    metrics_->telemetry_sim_dropped->Increment();
+    return TelemetryVerdict::kSimDropped;
+  }
   TelemetryVerdict verdict;
   {
     ScopedSpan span(metrics_->stage_sanitize);
@@ -119,9 +146,15 @@ TelemetryVerdict IngestPipeline::Ingest(uint64_t signature,
     ScopedSpan span(metrics_->stage_failure_policy);
     // The imputation window is read before the new observation lands,
     // exactly as the pre-pipeline fused path did.
-    const ObservationWindow recent = store->LastN(
-        signature,
-        static_cast<size_t>(std::max(1, failure_policy_.window_size())));
+    size_t window =
+        static_cast<size_t>(std::max(1, failure_policy_.window_size()));
+    if (ROCKHOPPER_BUGGIFY("ingest.window.shrink")) {
+      // Starved imputation window: the stage sees only the latest
+      // observation, so failure imputation leans on a single sample. The
+      // imputed runtime is journaled, so recovery still replays identically.
+      window = 1;
+    }
+    const ObservationWindow recent = store->LastN(signature, window);
     const int fallback_before = state->fallback_remaining;
     obs = failure_policy_.Apply(event, recent, store->Count(signature), state);
     if (state->fallback_remaining > fallback_before) {

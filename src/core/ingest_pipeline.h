@@ -144,6 +144,12 @@ class IngestPipeline {
   uint64_t journal_errors() const { return journal_.errors(); }
 
  private:
+  /// One pass through the stages; Ingest() wraps it with the simulation's
+  /// injected duplicated-delivery fault.
+  TelemetryVerdict IngestOnce(uint64_t signature, const QueryEndEvent& event,
+                              QueryState* state, ObservationStore* store,
+                              ObservationJournal* journal);
+
   SanitizeStage sanitize_;
   FailurePolicyStage failure_policy_;
   TuneStage tune_;

@@ -13,6 +13,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "core/tracing.h"
+#include "sim/buggify.h"
 
 namespace rockhopper::core {
 
@@ -83,6 +84,8 @@ ObservationJournal::ObservationJournal(ObservationJournal&& other) noexcept {
   path_ = std::move(other.path_);
   async_write_errors_ =
       other.async_write_errors_.load(std::memory_order_relaxed);
+  failed_ = other.failed_.load(std::memory_order_relaxed);
+  first_error_ = std::move(other.first_error_);
   other.file_ = nullptr;
 }
 
@@ -95,17 +98,39 @@ ObservationJournal& ObservationJournal::operator=(
     path_ = std::move(other.path_);
     async_write_errors_ =
         other.async_write_errors_.load(std::memory_order_relaxed);
+    failed_ = other.failed_.load(std::memory_order_relaxed);
+    first_error_ = std::move(other.first_error_);
     other.file_ = nullptr;
   }
   return *this;
 }
 
-void ObservationJournal::Close() {
+Status ObservationJournal::Fail(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!failed_.load(std::memory_order_relaxed)) {
+      first_error_ = status;
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+  return status;
+}
+
+Status ObservationJournal::error() const {
+  if (!failed_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+Status ObservationJournal::Close() {
   StopGroupCommit();
   if (file_ != nullptr) {
-    std::fclose(file_);
+    if (std::fclose(file_) != 0 && !failed_.load(std::memory_order_relaxed)) {
+      Fail(Status::IOError("journal close failed: " + path_));
+    }
     file_ = nullptr;
   }
+  return error();
 }
 
 Result<ObservationJournal> ObservationJournal::Open(const std::string& path) {
@@ -129,9 +154,29 @@ Status ObservationJournal::WriteRecord(uint64_t signature,
                                        const Observation& obs, bool flush) {
   const std::string payload = FormatPayload(signature, obs);
   const uint32_t crc = common::Crc32(payload);
-  if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0 ||
-      (flush && std::fflush(file_) != 0)) {
-    return Status::IOError("journal append failed: " + path_);
+  if (ROCKHOPPER_BUGGIFY("journal.append.io_error")) {
+    // The write syscall failed outright: nothing reached the file.
+    return Fail(Status::IOError("injected journal write error: " + path_));
+  }
+  if (ROCKHOPPER_BUGGIFY("journal.append.short_write")) {
+    // Torn write: a prefix of the record (no trailing newline) reaches the
+    // file before the "disk" dies — the tail shape Recover() must drop.
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%08x ", crc);
+    std::fwrite(buffer, 1, sizeof(buffer) - 7, file_);
+    std::fwrite(payload.data(), 1, payload.size() / 2, file_);
+    std::fflush(file_);
+    return Fail(Status::IOError("injected journal short write: " + path_));
+  }
+  if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0) {
+    return Fail(Status::IOError("journal append failed: " + path_));
+  }
+  // An injected flush failure short-circuits the real fflush: the record
+  // stays in the stdio buffer, invisible to a crash snapshot — the
+  // lost-on-power-cut shape of a lying fsync.
+  if (flush && (ROCKHOPPER_BUGGIFY("journal.sync.flush_fail") ||
+                std::fflush(file_) != 0)) {
+    return Fail(Status::IOError("journal flush failed: " + path_));
   }
   ServiceMetrics::Get().journal_appends->Increment();
   return Status::OK();
@@ -140,6 +185,11 @@ Status ObservationJournal::WriteRecord(uint64_t signature,
 Status ObservationJournal::Append(uint64_t signature, const Observation& obs) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("journal is not open");
+  }
+  if (failed_.load(std::memory_order_acquire)) {
+    // Fail-fast after the first error: the valid prefix already ended, so
+    // accepting further records would ack writes recovery can never see.
+    return error();
   }
   if (gc_ != nullptr) {
     std::unique_lock<std::mutex> lock(gc_->mu);
@@ -198,25 +248,43 @@ void ObservationJournal::WriterLoop() {
     // One flush covers the whole batch: the group-commit amortization.
     ServiceMetrics& metrics = ServiceMetrics::Get();
     metrics.journal_batch_size->Observe(static_cast<double>(batch.size()));
-    bool batch_failed = false;
+    size_t lost = 0;
+    size_t written = 0;  // this batch's successful writes
     {
       ScopedSpan flush_span(metrics.journal_flush_seconds);
       for (const auto& [signature, obs] : batch) {
-        if (!WriteRecord(signature, obs, /*flush=*/false).ok()) {
-          batch_failed = true;
+        if (failed_.load(std::memory_order_relaxed)) {
+          // Sticky error: the valid prefix already ended; drain the queue
+          // (so producers unblock) but count every further record as lost.
+          ++lost;
+          continue;
+        }
+        if (WriteRecord(signature, obs, /*flush=*/false).ok()) {
+          ++written;
+        } else {
+          ++lost;
         }
       }
-      if (std::fflush(file_) != 0) batch_failed = true;
+      // Flush unconditionally: records written (and counted as appends)
+      // before a mid-batch error are the journal's valid prefix and must
+      // reach the file — skipping the flush would strand them in the stdio
+      // buffer, acked but invisible to recovery.
+      if (std::fflush(file_) != 0) {
+        if (!failed_.load(std::memory_order_relaxed)) {
+          Fail(Status::IOError("journal flush failed: " + path_));
+        }
+        // This batch's writes never reached the disk.
+        lost += written;
+      }
     }
-    if (batch_failed) {
-      metrics.journal_errors->Increment(batch.size());
+    if (lost > 0) {
+      metrics.journal_errors->Increment(lost);
       const uint64_t total =
-          async_write_errors_.fetch_add(batch.size(),
-                                        std::memory_order_relaxed) +
-          batch.size();
+          async_write_errors_.fetch_add(lost, std::memory_order_relaxed) +
+          lost;
       // Rate-limited: silent journal loss must be visible, but a dead disk
       // must not flood the log — warn on the first error and each 100th.
-      if (total == batch.size() || total / 100 != (total - batch.size()) / 100) {
+      if (total == lost || total / 100 != (total - lost) / 100) {
         ROCKHOPPER_LOG(kWarning)
             << "journal group-commit write failed (" << total
             << " records lost so far): " << path_;
@@ -245,10 +313,12 @@ void ObservationJournal::StopGroupCommit() {
   gc_.reset();
 }
 
-void ObservationJournal::Sync() {
-  if (gc_ == nullptr) return;
-  std::unique_lock<std::mutex> lock(gc_->mu);
-  gc_->drained.wait(lock, [this] { return gc_->in_flight == 0; });
+Status ObservationJournal::Sync() {
+  if (gc_ != nullptr) {
+    std::unique_lock<std::mutex> lock(gc_->mu);
+    gc_->drained.wait(lock, [this] { return gc_->in_flight == 0; });
+  }
+  return error();
 }
 
 Result<ObservationJournal::Recovered> ObservationJournal::Recover(

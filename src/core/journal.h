@@ -68,6 +68,12 @@ class ObservationJournal {
   /// a kill); kIOError when the write or flush fails. Group-commit mode:
   /// enqueues and returns; write errors are then reported through
   /// async_write_errors() instead of the return status.
+  ///
+  /// Errors are sticky: after the first failed write or flush the journal
+  /// fails every further Append with that first error (fail-fast). A torn or
+  /// unflushed record ends the journal's valid prefix — anything appended
+  /// after it would be unrecoverable anyway, so continuing would only turn
+  /// silent data loss into apparent success.
   Status Append(uint64_t signature, const Observation& obs);
 
   /// Switches to group-commit mode: spawns the writer thread draining the
@@ -81,9 +87,10 @@ class ObservationJournal {
 
   bool group_commit_active() const { return gc_ != nullptr; }
 
-  /// Blocks until every record enqueued before this call reached fflush.
-  /// No-op in synchronous mode.
-  void Sync();
+  /// Blocks until every record enqueued before this call reached fflush
+  /// (no-op in synchronous mode), then returns the sticky first error — OK
+  /// means everything appended so far is durably in the OS page cache.
+  Status Sync();
 
   /// Records the writer thread failed to persist (group-commit mode). The
   /// counter survives StopGroupCommit so shutdown accounting stays intact.
@@ -91,11 +98,18 @@ class ObservationJournal {
     return async_write_errors_.load(std::memory_order_relaxed);
   }
 
+  /// The sticky first write/flush error (OK while healthy). Group-commit
+  /// write errors land here asynchronously; Sync() before reading when exact
+  /// accounting matters.
+  Status error() const;
+  bool has_error() const { return failed_.load(std::memory_order_relaxed); }
+
   bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
-  /// Stops group commit (draining) and closes the underlying file (also
-  /// done by the destructor).
-  void Close();
+  /// Stops group commit (draining), closes the underlying file (also done by
+  /// the destructor), and returns the sticky first error — a failed fclose
+  /// counts. OK means the journal closed with every record persisted.
+  Status Close();
 
   struct Recovered {
     ObservationStore store;
@@ -138,11 +152,19 @@ class ObservationJournal {
   /// code path that touches file_ for writing, in both modes.
   Status WriteRecord(uint64_t signature, const Observation& obs, bool flush);
   void WriterLoop();
+  /// Records `status` as the sticky first error (later calls keep the first)
+  /// and returns it.
+  Status Fail(Status status);
 
   std::FILE* file_ = nullptr;
   std::string path_;
   std::unique_ptr<GroupCommitState> gc_;
   std::atomic<uint64_t> async_write_errors_{0};
+  /// Sticky-error state: failed_ is the lock-free fast-path flag, the Status
+  /// itself lives behind error_mu_.
+  std::atomic<bool> failed_{false};
+  mutable std::mutex error_mu_;
+  Status first_error_;
 };
 
 }  // namespace rockhopper::core

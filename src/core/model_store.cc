@@ -5,6 +5,9 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+
+#include "sim/buggify.h"
 
 namespace rockhopper::core {
 
@@ -30,10 +33,34 @@ Result<int> ModelStore::Put(uint64_t signature, const std::string& artifact) {
   const std::vector<int> existing = Generations(signature);
   const int generation = existing.empty() ? 0 : existing.back() + 1;
   const std::string path = PathFor(signature, generation);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path);
-  out.write(artifact.data(), static_cast<std::streamsize>(artifact.size()));
-  if (!out) return Status::IOError("write failed: " + path);
+  // Write-then-rename publication: a crash (or injected fault) mid-write
+  // leaves only a *.tmp file that Generations() ignores — a reader can never
+  // observe a torn artifact under the final name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    if (ROCKHOPPER_BUGGIFY("model_store.put.partial")) {
+      // Partial persist: half the artifact reaches disk, then the writer
+      // dies before the rename — the failure this publication scheme exists
+      // to contain.
+      out.write(artifact.data(),
+                static_cast<std::streamsize>(artifact.size() / 2));
+      out.flush();
+      return Status::IOError("injected partial persist: " + path);
+    }
+    out.write(artifact.data(), static_cast<std::streamsize>(artifact.size()));
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IOError("cannot publish " + path);
+  }
   return generation;
 }
 
@@ -63,11 +90,17 @@ std::vector<int> ModelStore::Generations(uint64_t signature) const {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(DirFor(signature), ec)) {
     const std::string name = entry.path().filename().string();
-    // Expected "gen-<n>.model".
+    // Exactly "gen-<n>.model": the suffix match is anchored so an unpublished
+    // "gen-<n>.model.tmp" from a dead writer is never listed as a generation.
     if (name.rfind("gen-", 0) != 0) continue;
-    const size_t dot = name.find(".model");
-    if (dot == std::string::npos) continue;
-    out.push_back(std::atoi(name.substr(4, dot - 4).c_str()));
+    constexpr std::string_view kSuffix = ".model";
+    if (name.size() <= 4 + kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    out.push_back(
+        std::atoi(name.substr(4, name.size() - kSuffix.size() - 4).c_str()));
   }
   std::sort(out.begin(), out.end());
   return out;

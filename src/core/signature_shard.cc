@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/buggify.h"
+
 namespace rockhopper::core {
 
 SignatureShardMap::LockedState SignatureShardMap::Find(uint64_t signature) {
@@ -38,6 +40,21 @@ bool SignatureShardMap::Erase(uint64_t signature) {
 
 void SignatureShardMap::ForEach(
     const std::function<void(uint64_t, const QueryState&)>& fn) const {
+  // Contention-window reordering: cross-shard scans hold one shard lock at a
+  // time, so concurrent writers interleave between shards — the visit order
+  // is not a consistency guarantee. The injected reversal simulates the
+  // adversarial interleaving (a writer racing ahead of the scan) and flushes
+  // out callers that silently depend on ascending shard order.
+  if (ROCKHOPPER_BUGGIFY("shard.foreach.reorder")) {
+    for (size_t i = kNumShards; i > 0; --i) {
+      const Shard& shard = shards_[i - 1];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [signature, state] : shard.states) {
+        fn(signature, state);
+      }
+    }
+    return;
+  }
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [signature, state] : shard.states) {

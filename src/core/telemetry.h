@@ -86,6 +86,12 @@ enum class TelemetryVerdict {
   kRejectNonPositive,
   kRejectDuplicate,
   kRejectConfig,
+  /// Delivery swallowed by an injected fault before sanitization — only
+  /// produced by the ingest pipeline's Buggify section in ROCKHOPPER_SIM
+  /// builds, never by the sanitizer. Counted separately so the simulation's
+  /// conservation invariant (delivered == accepted + rejected + sim-dropped)
+  /// stays exact under injection.
+  kSimDropped,
 };
 
 /// The telemetry-sanitization layer in front of the tuning pipeline: one bad

@@ -38,6 +38,7 @@ ServiceMetrics::ServiceMetrics() {
   telemetry_rejected_nonpositive = Verdict(reg, "rejected_nonpositive");
   telemetry_rejected_duplicate = Verdict(reg, "rejected_duplicate");
   telemetry_rejected_config = Verdict(reg, "rejected_config");
+  telemetry_sim_dropped = Verdict(reg, "sim_dropped");
   failures_ingested =
       reg.GetCounter("rockhopper_failures_ingested_total",
                      "Accepted telemetry events reporting a failed run");

@@ -53,6 +53,10 @@ struct ServiceMetrics {
   common::Counter* telemetry_rejected_nonpositive;
   common::Counter* telemetry_rejected_duplicate;
   common::Counter* telemetry_rejected_config;
+  /// Deliveries swallowed by the simulation's injected ingest fault
+  /// (verdict="sim_dropped"); always registered, only ever incremented in
+  /// ROCKHOPPER_SIM builds with Buggify enabled.
+  common::Counter* telemetry_sim_dropped;
   common::Counter* failures_ingested;   ///< accepted events with failed=true
   common::Counter* guardrail_trips;     ///< signatures newly disabled
   common::Counter* fallback_windows;    ///< failure-backoff windows opened

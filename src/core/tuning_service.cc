@@ -116,12 +116,6 @@ void TuningService::OnQueryEnd(const SignatureHandle& handle,
                    journal_);
 }
 
-void TuningService::OnQueryEnd(const sparksim::QueryPlan& plan,
-                               const sparksim::ConfigVector& config,
-                               double data_size, double runtime) {
-  OnQueryEnd(plan, QueryEndEvent::FromRun(config, data_size, runtime));
-}
-
 common::MetricsSnapshot TuningService::Metrics() const {
   return common::MetricsRegistry::Default().Snapshot();
 }
@@ -133,6 +127,30 @@ bool TuningService::IsTuningEnabled(uint64_t signature) const {
 
 size_t TuningService::IterationCount(uint64_t signature) const {
   return observations_.Count(signature);
+}
+
+Result<TuningService::GuardrailCounts> TuningService::GuardrailState(
+    uint64_t signature) const {
+  SignatureShardMap::LockedConstState locked = shards_.Find(signature);
+  if (!locked) {
+    return Status::NotFound("no tuning state for signature " +
+                            std::to_string(signature));
+  }
+  GuardrailCounts counts;
+  counts.strikes = locked.state->guardrail.strikes();
+  counts.failure_strikes = locked.state->guardrail.failure_strikes();
+  counts.consecutive_failures = locked.state->consecutive_failures;
+  counts.disabled = locked.state->disabled;
+  return counts;
+}
+
+Status TuningService::Shutdown() {
+  if (journal_ == nullptr) return Status::OK();
+  ObservationJournal* journal = journal_;
+  journal_ = nullptr;
+  const Status sync = journal->Sync();
+  const Status close = journal->Close();
+  return sync.ok() ? close : sync;
 }
 
 size_t TuningService::ReplayHistory(const sparksim::QueryPlan& plan,

@@ -120,18 +120,21 @@ class TuningService {
   void OnQueryEnd(const sparksim::QueryPlan& plan, const QueryEndEvent& event);
   void OnQueryEnd(const SignatureHandle& handle, const QueryEndEvent& event);
 
-  /// Legacy trusted-telemetry entry point (no event id, success assumed) —
-  /// a thin shim over the event-based overload: builds
-  /// QueryEndEvent::FromRun(config, data_size, runtime) and delegates.
-  [[deprecated(
-      "build a QueryEndEvent (see QueryEndEvent::FromRun) and call "
-      "OnQueryEnd(plan, event)")]]
-  void OnQueryEnd(const sparksim::QueryPlan& plan,
-                  const sparksim::ConfigVector& config, double data_size,
-                  double runtime);
-
   /// Whether autotuning is (still) active for this plan's signature.
   bool IsTuningEnabled(uint64_t signature) const;
+
+  /// A consistent snapshot of one signature's guardrail/failure-policy
+  /// counters, read under the shard lock. The strike counts are monotone
+  /// non-decreasing and `disabled` is sticky over a signature's lifetime —
+  /// the invariants the simulation harness checks after every event.
+  /// NotFound before the signature's first query.
+  struct GuardrailCounts {
+    int strikes = 0;
+    int failure_strikes = 0;
+    int consecutive_failures = 0;
+    bool disabled = false;
+  };
+  Result<GuardrailCounts> GuardrailState(uint64_t signature) const;
 
   /// Per-signature iteration count.
   size_t IterationCount(uint64_t signature) const;
@@ -165,6 +168,14 @@ class TuningService {
     return pipeline_.journal_errors() +
            (journal_ != nullptr ? journal_->async_write_errors() : 0);
   }
+
+  /// Orderly shutdown of the persistence layer: syncs and closes the
+  /// attached journal (stopping group commit), detaches it, and returns the
+  /// journal's sticky first error — OK means every accepted observation was
+  /// durably persisted. OK (trivially) when no journal is attached.
+  /// Callers that care about durability must branch on this instead of
+  /// letting the journal close silently in a destructor.
+  Status Shutdown();
 
   /// Warm-restarts the tuning state of `plan`'s signature by replaying the
   /// stored observations through a fresh tuner and guardrail — how the

@@ -1,0 +1,77 @@
+#include "sim/service_digest.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "core/observation.h"
+
+namespace rockhopper::sim {
+
+namespace {
+
+uint32_t Chain(uint32_t crc, const std::string& text) {
+  return common::Crc32(text, crc);
+}
+
+std::string Hex8(uint32_t crc) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+  return buffer;
+}
+
+}  // namespace
+
+std::string DigestServiceState(const core::TuningService& service,
+                               const std::vector<uint64_t>& signatures) {
+  std::vector<uint64_t> ordered = signatures;
+  std::sort(ordered.begin(), ordered.end());
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+
+  uint32_t crc = 0;
+  char buffer[64];
+  for (uint64_t signature : ordered) {
+    const std::vector<core::Observation>& history =
+        service.observations().History(signature);
+    std::snprintf(buffer, sizeof(buffer), "sig %" PRIu64 " n %zu\n", signature,
+                  history.size());
+    crc = Chain(crc, buffer);
+    for (const core::Observation& obs : history) {
+      std::string line;
+      std::snprintf(buffer, sizeof(buffer), "%d %d %a %a", obs.iteration,
+                    obs.failed ? 1 : 0, obs.data_size, obs.runtime);
+      line += buffer;
+      for (double v : obs.config) {
+        std::snprintf(buffer, sizeof(buffer), " %a", v);
+        line += buffer;
+      }
+      line += '\n';
+      crc = Chain(crc, line);
+    }
+    if (auto counts = service.GuardrailState(signature); counts.ok()) {
+      std::snprintf(buffer, sizeof(buffer), "guard %d %d %d %d\n",
+                    counts->strikes, counts->failure_strikes,
+                    counts->consecutive_failures, counts->disabled ? 1 : 0);
+      crc = Chain(crc, buffer);
+    }
+    // ExplainQuery folds in the tuner's centroid, step sizes, iteration, and
+    // last gradient — the internal state the histories alone do not pin.
+    if (auto explanation = service.ExplainQuery(signature); explanation.ok()) {
+      crc = Chain(crc, *explanation);
+    }
+  }
+  return Hex8(crc);
+}
+
+Result<std::string> DigestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Hex8(common::Crc32(buffer.str()));
+}
+
+}  // namespace rockhopper::sim

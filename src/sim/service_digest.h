@@ -1,0 +1,33 @@
+#ifndef ROCKHOPPER_SIM_SERVICE_DIGEST_H_
+#define ROCKHOPPER_SIM_SERVICE_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tuning_service.h"
+
+namespace rockhopper::sim {
+
+/// CRC-32 digest (8 hex chars) of one service's per-signature tuning state:
+/// the exact observation histories (hexfloat-serialized, so double bits
+/// matter), the guardrail counters, and the ExplainQuery rationale text
+/// (centroid, step sizes, iteration). Signatures are visited in ascending
+/// order regardless of the order given, so the digest is independent of
+/// discovery order. Two runs that recovered or replayed into the same state
+/// digest equal; any divergence in an observation bit, a strike count, or
+/// the tuner's centroid changes the digest.
+///
+/// Only valid at quiescence (no concurrent ingestion), like every
+/// whole-service read.
+std::string DigestServiceState(const core::TuningService& service,
+                               const std::vector<uint64_t>& signatures);
+
+/// CRC-32 digest (8 hex chars) of a file's raw bytes — used to compare
+/// journal snapshots across runs. kNotFound when the file cannot be read.
+Result<std::string> DigestFile(const std::string& path);
+
+}  // namespace rockhopper::sim
+
+#endif  // ROCKHOPPER_SIM_SERVICE_DIGEST_H_

@@ -1,0 +1,718 @@
+#include "sim/sim_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/flighting.h"
+#include "core/journal.h"
+#include "core/model_store.h"
+#include "core/tuning_service.h"
+#include "sim/service_digest.h"
+#include "sim/trace.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+namespace rockhopper::sim {
+
+namespace {
+
+namespace fs = std::filesystem;
+using core::Observation;
+using core::ObservationJournal;
+using core::QueryEndEvent;
+using core::TuningService;
+
+/// The one model-store key the simulated service publishes under.
+constexpr uint64_t kModelKey = 1;
+/// Cap on recorded violations: a systemic breakage (e.g. a broken counter)
+/// would otherwise flood the report with one line per delivery.
+constexpr size_t kMaxViolations = 32;
+
+void AddViolation(std::vector<std::string>* violations, std::string text) {
+  if (violations->size() < kMaxViolations) {
+    violations->push_back(std::move(text));
+  }
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t x = 0, y = 0;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+// Exact (bit-level) observation equality: the journal round-trips doubles
+// through hexfloat, so recovery must reproduce every acked observation to
+// the bit, not within an epsilon.
+bool SameObservation(const Observation& a, const Observation& b) {
+  if (a.iteration != b.iteration || a.failed != b.failed ||
+      a.config.size() != b.config.size() ||
+      !BitEqual(a.data_size, b.data_size) || !BitEqual(a.runtime, b.runtime)) {
+    return false;
+  }
+  for (size_t i = 0; i < a.config.size(); ++i) {
+    if (!BitEqual(a.config[i], b.config[i])) return false;
+  }
+  return true;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+/// Deterministic counter deltas between two registry scrapes — the registry
+/// is process-global, so an in-process seed sweep must difference snapshots
+/// rather than read absolute values.
+struct Counts {
+  uint64_t delivered = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t sim_dropped = 0;
+  uint64_t appends = 0;
+  uint64_t errors = 0;
+};
+
+uint64_t DeltaU64(const common::MetricsSnapshot& before,
+                  const common::MetricsSnapshot& after, const char* name,
+                  const char* labels = "") {
+  return static_cast<uint64_t>(
+      std::llround(after.Value(name, labels) - before.Value(name, labels)));
+}
+
+Counts CountsBetween(const common::MetricsSnapshot& before,
+                     const common::MetricsSnapshot& after) {
+  Counts counts;
+  counts.delivered = DeltaU64(before, after, "rockhopper_queries_ended_total");
+  const char* events = "rockhopper_telemetry_events_total";
+  counts.accepted = DeltaU64(before, after, events, "verdict=\"accepted\"");
+  counts.rejected =
+      DeltaU64(before, after, events, "verdict=\"rejected_nonfinite\"") +
+      DeltaU64(before, after, events, "verdict=\"rejected_nonpositive\"") +
+      DeltaU64(before, after, events, "verdict=\"rejected_duplicate\"") +
+      DeltaU64(before, after, events, "verdict=\"rejected_config\"");
+  counts.sim_dropped =
+      DeltaU64(before, after, events, "verdict=\"sim_dropped\"");
+  counts.appends =
+      DeltaU64(before, after, "rockhopper_journal_appends_total");
+  counts.errors = DeltaU64(before, after, "rockhopper_journal_errors_total");
+  return counts;
+}
+
+/// One simulated tenant: a fixed plan driven by its own seeded simulator and
+/// virtual clock. The telemetry bus state (delayed deliveries) and the
+/// guardrail watermarks for the monotonicity invariant live here too.
+struct Tenant {
+  explicit Tenant(sparksim::QueryPlan p)
+      : plan(std::move(p)), signature(plan.Signature()) {}
+
+  sparksim::QueryPlan plan;
+  uint64_t signature;
+  std::unique_ptr<sparksim::SparkSimulator> sim;
+  common::Rng rng{0};  ///< think-time draws (re-seeded per run)
+  double clock = 0.0;
+  int executed = 0;
+  std::deque<QueryEndEvent> delayed;  ///< reordered events awaiting delivery
+  int last_strikes = 0;
+  int last_failure_strikes = 0;
+  bool was_disabled = false;
+};
+
+/// Drives tenants against one service with a deterministic virtual-time
+/// scheduler: each step executes the earliest-clock tenant (ties break to
+/// the lowest index), routes the telemetry through the seeded bus-fault
+/// model, and checks the guardrail invariants after every delivery.
+class ServiceDriver {
+ public:
+  ServiceDriver(TuningService* service, std::vector<Tenant>* tenants,
+                bool chaos, TraceRecorder* trace,
+                std::vector<std::pair<uint64_t, Observation>>* ledger,
+                std::vector<std::string>* violations,
+                uint64_t* next_event_id)
+      : service_(service),
+        tenants_(tenants),
+        chaos_(chaos),
+        trace_(trace),
+        ledger_(ledger),
+        violations_(violations),
+        next_event_id_(next_event_id) {}
+
+  void set_service(TuningService* service) { service_ = service; }
+
+  /// Executes one query on the next-due tenant; false when every tenant has
+  /// reached `target_per_tenant` executions.
+  bool Step(int target_per_tenant) {
+    Tenant* t = nullptr;
+    for (Tenant& candidate : *tenants_) {
+      if (candidate.executed >= target_per_tenant) continue;
+      if (t == nullptr || candidate.clock < t->clock) t = &candidate;
+    }
+    if (t == nullptr) return false;
+
+    const double expected_size = t->plan.LeafInputBytes(1.0);
+    const sparksim::ConfigVector config =
+        service_->OnQueryStart(t->plan, expected_size);
+    if (trace_ != nullptr) {
+      (void)trace_->RecordProposal(t->clock, t->signature, expected_size,
+                                   config);
+    }
+    const sparksim::ExecutionResult result =
+        t->sim->ExecuteQuery(t->plan, config, 1.0);
+    t->clock += result.runtime_seconds + t->rng.Uniform(0.05, 0.5);
+    ++t->executed;
+
+    QueryEndEvent event;
+    event.event_id = ++*next_event_id_;
+    event.config = config;
+    event.data_size = result.input_bytes;
+    event.runtime = result.runtime_seconds;
+    event.failed = result.failed;
+    event.failure = result.failure;
+
+    if (!chaos_) {
+      Deliver(*t, event);
+      return true;
+    }
+    const sparksim::TelemetryFault fault =
+        t->sim->fault_model().DrawTelemetryFault();
+    if (fault.corruption != sparksim::TelemetryFault::Corruption::kNone) {
+      event.runtime =
+          sparksim::FaultModel::CorruptRuntime(event.runtime, fault.corruption);
+    }
+    if (fault.drop) return true;  // the bus ate the event before delivery
+    if (fault.reorder) {
+      // Parks until this tenant's next on-time delivery (or is lost to the
+      // crash, like any in-flight bus buffer).
+      t->delayed.push_back(event);
+      return true;
+    }
+    Deliver(*t, event);
+    if (fault.duplicate) Deliver(*t, event);
+    while (!t->delayed.empty()) {
+      Deliver(*t, t->delayed.front());
+      t->delayed.pop_front();
+    }
+    return true;
+  }
+
+  /// Re-reads every tenant's guardrail counters from the (new) service —
+  /// called after recovery, where counters legitimately restart from the
+  /// replayed state. Monotonicity is an invariant of one service lifetime.
+  void RebaselineGuardrails() {
+    for (Tenant& t : *tenants_) {
+      auto counts = service_->GuardrailState(t.signature);
+      if (counts.ok()) {
+        t.last_strikes = counts->strikes;
+        t.last_failure_strikes = counts->failure_strikes;
+        t.was_disabled = counts->disabled;
+      } else {
+        t.last_strikes = 0;
+        t.last_failure_strikes = 0;
+        t.was_disabled = false;
+      }
+    }
+  }
+
+ private:
+  void Deliver(Tenant& t, const QueryEndEvent& event) {
+    if (trace_ != nullptr) {
+      (void)trace_->RecordEndEvent(t.clock, t.signature, event);
+    }
+    const size_t before = service_->observations().Count(t.signature);
+    service_->OnQueryEnd(t.plan, event);
+    const size_t after = service_->observations().Count(t.signature);
+    // Every observation the service accepted lands in the ack ledger, in
+    // acceptance order — the ground truth the recovery invariant compares
+    // the journal's durable prefix against.
+    const std::vector<Observation>& history =
+        service_->observations().History(t.signature);
+    for (size_t i = before; i < after; ++i) {
+      ledger_->emplace_back(t.signature, history[i]);
+    }
+    CheckGuardrail(t);
+  }
+
+  void CheckGuardrail(Tenant& t) {
+    auto counts = service_->GuardrailState(t.signature);
+    if (!counts.ok()) return;
+    // Regression strikes count *consecutive* regressions: one accepted
+    // observation moves them by +1 or resets them to 0 (guardrail.cc), and a
+    // rejected delivery leaves them untouched. Anything else — a decrease to
+    // a nonzero value, a jump by more than one — means guardrail state was
+    // corrupted or swapped between signatures.
+    const bool strikes_ok = counts->strikes == t.last_strikes ||
+                            counts->strikes == t.last_strikes + 1 ||
+                            counts->strikes == 0;
+    // Failure strikes are sticky across successes: strictly monotone.
+    if (!strikes_ok || counts->failure_strikes < t.last_failure_strikes) {
+      AddViolation(violations_,
+                   "guardrail strike transition invalid for signature " +
+                       std::to_string(t.signature) + ": " +
+                       std::to_string(t.last_strikes) + "/" +
+                       std::to_string(t.last_failure_strikes) + " -> " +
+                       std::to_string(counts->strikes) + "/" +
+                       std::to_string(counts->failure_strikes));
+    }
+    if (t.was_disabled && !counts->disabled) {
+      AddViolation(violations_, "guardrail disable flag reset for signature " +
+                                    std::to_string(t.signature));
+    }
+    t.last_strikes = counts->strikes;
+    t.last_failure_strikes = counts->failure_strikes;
+    t.was_disabled = counts->disabled;
+  }
+
+  TuningService* service_;
+  std::vector<Tenant>* tenants_;
+  bool chaos_;
+  TraceRecorder* trace_;
+  std::vector<std::pair<uint64_t, Observation>>* ledger_;
+  std::vector<std::string>* violations_;
+  uint64_t* next_event_id_;
+};
+
+}  // namespace
+
+std::string SimulationReport::Summary() const {
+  std::ostringstream out;
+  out << "seed " << seed << (passed() ? ": PASS" : ": FAIL")
+      << " mode=" << (group_commit ? "group-commit" : "sync")
+      << " executions=" << executions << " delivered=" << delivered
+      << " accepted=" << accepted << " rejected=" << rejected
+      << " sim_dropped=" << sim_dropped << " appends=" << journal_appends
+      << " errors=" << journal_errors << " recovered=" << records_recovered
+      << " torn=" << (tail_torn ? 1 : 0) << " signatures=" << signatures
+      << " disabled=" << disabled_signatures << " buggify="
+      << (buggify_enabled ? (buggify_compiled ? "on" : "inert") : "off")
+      << " sections_hit=" << buggify_sections_hit
+      << " fires=" << buggify_fires
+      << " recovered_digest=" << recovered_digest
+      << " final_digest=" << final_digest;
+  for (const std::string& violation : violations) {
+    out << "\n  violation: " << violation;
+  }
+  return out.str();
+}
+
+SimulationReport RunSimulation(const SimulationOptions& options) {
+  SimulationReport report;
+  report.seed = options.seed;
+#if defined(ROCKHOPPER_SIM_ENABLED)
+  report.buggify_compiled = true;
+#endif
+  report.buggify_enabled = options.buggify;
+
+  const uint64_t seed = options.seed;
+  common::Rng master(common::SplitMix64(seed ^ 0x73696d2d72756eULL));
+
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const int num_tenants =
+      std::clamp(options.tenants, 1, sparksim::kNumTpchQueries);
+  const int per_tenant = std::max(1, options.events_per_tenant);
+  const int total = num_tenants * per_tenant;
+  const int crash_at = std::clamp(
+      static_cast<int>(options.crash_fraction * total), 1, total - 1);
+
+  std::error_code ec;
+  const fs::path scratch = options.scratch_dir.empty()
+                               ? fs::temp_directory_path() / "rockhopper-sim"
+                               : fs::path(options.scratch_dir);
+  fs::create_directories(scratch, ec);
+  const std::string tag = "sim-" + std::to_string(seed);
+  const std::string journal_path = (scratch / (tag + ".journal")).string();
+  const std::string crash_path = (scratch / (tag + ".crash.journal")).string();
+  const std::string phase2_path = (scratch / (tag + ".phase2.journal")).string();
+  const std::string model_dir = (scratch / (tag + "-models")).string();
+  fs::remove(journal_path, ec);
+  fs::remove(crash_path, ec);
+  fs::remove(phase2_path, ec);
+  fs::remove_all(model_dir, ec);
+
+  if (options.buggify) {
+    BuggifyRegistry::Global().Enable(seed, options.buggify_options);
+  }
+
+  // --- tenants: one TPC-H plan each, simulator and bus seeded per
+  // (run seed, signature) so adding a tenant never perturbs another's trace.
+  std::vector<Tenant> tenants;
+  tenants.reserve(static_cast<size_t>(num_tenants));
+  std::vector<sparksim::QueryPlan> plans;
+  for (int q = 1; q <= num_tenants; ++q) {
+    Tenant t(core::FlightingPipeline::PlanFor(
+        core::FlightingConfig::Suite::kTpch, q));
+    sparksim::SparkSimulator::Options sim_options;
+    sim_options.noise = sparksim::NoiseParams{0.3, 0.3};
+    sim_options.faults = options.chaos ? sparksim::FaultParams::Production()
+                                       : sparksim::FaultParams::None();
+    sim_options.seed = seed ^ t.signature;
+    t.sim = std::make_unique<sparksim::SparkSimulator>(sim_options);
+    t.rng = common::Rng(
+        common::SplitMix64(seed ^ t.signature ^ 0x7468696e6bULL));
+    plans.push_back(t.plan);
+    tenants.push_back(std::move(t));
+  }
+
+  TuningService service(space, nullptr, core::TuningServiceOptions{}, seed);
+
+  auto opened = ObservationJournal::Open(journal_path);
+  if (!opened.ok()) {
+    AddViolation(&report.violations,
+                 "cannot open journal: " + opened.status().ToString());
+    if (options.buggify) BuggifyRegistry::Global().Disable();
+    return report;
+  }
+  ObservationJournal journal = std::move(*opened);
+  report.group_commit =
+      (common::SplitMix64(seed ^ 0x67632d6d6f6465ULL) & 1) != 0;
+  if (report.group_commit) (void)journal.StartGroupCommit({});
+  service.AttachJournal(&journal);
+
+  TraceRecorder trace;
+  TraceRecorder* trace_ptr = nullptr;
+  if (!options.trace_path.empty()) {
+    auto trace_opened = TraceRecorder::Open(options.trace_path);
+    if (trace_opened.ok()) {
+      trace = std::move(*trace_opened);
+      trace_ptr = &trace;
+    } else {
+      AddViolation(&report.violations, "cannot open trace: " +
+                                           trace_opened.status().ToString());
+    }
+  }
+
+  uint64_t next_event_id = 0;
+  std::vector<std::pair<uint64_t, Observation>> ledger;
+  ServiceDriver driver(&service, &tenants, options.chaos, trace_ptr, &ledger,
+                       &report.violations, &next_event_id);
+
+  // --- phase 1: serve until the crash point, publishing a model checkpoint
+  // a few times along the way (exercises the store's atomic-rename path and
+  // its partial-persist fault section).
+  const common::MetricsSnapshot m0 =
+      common::MetricsRegistry::Default().Snapshot();
+  core::ModelStore models(model_dir);
+  std::string last_committed_artifact;
+  bool any_model_committed = false;
+  int model_checkpoints = 0;
+  const int checkpoint_stride = std::max(1, crash_at / 3);
+  for (int i = 0; i < crash_at; ++i) {
+    if (!driver.Step(per_tenant)) break;
+    ++report.executions;
+    if ((i + 1) % checkpoint_stride == 0) {
+      std::string artifact = "baseline-artifact seed " + std::to_string(seed) +
+                             " checkpoint " +
+                             std::to_string(++model_checkpoints) + "\n";
+      for (int pad = 0; pad < 5; ++pad) artifact += artifact;
+      if (models.Put(kModelKey, artifact).ok()) {
+        last_committed_artifact = std::move(artifact);
+        any_model_committed = true;
+      }
+    }
+  }
+
+  // --- crash: sync to establish the deterministic durable watermark, then
+  // snapshot the journal bytes as the "disk" a restarted process would see.
+  // A record stuck in the stdio buffer by an injected flush failure is
+  // correctly invisible here — that is the lying-fsync data-loss shape.
+  const Status sync_status = journal.Sync();
+  if (!options.buggify && !sync_status.ok()) {
+    AddViolation(&report.violations,
+                 "journal sync failed without fault injection: " +
+                     sync_status.ToString());
+  }
+  const common::MetricsSnapshot m1 =
+      common::MetricsRegistry::Default().Snapshot();
+  const Counts phase1 = CountsBetween(m0, m1);
+
+  std::string crash_bytes = ReadFileOrEmpty(journal_path);
+  const bool ends_clean = !crash_bytes.empty() && crash_bytes.back() == '\n';
+  const size_t header_end = std::strlen("rockhopper-journal v1") + 1;
+  bool torn = false;
+  if (ends_clean && phase1.appends >= 1 && master.Bernoulli(0.4)) {
+    // Tear strictly inside the final record line: the crash interrupted the
+    // write syscall itself. At least one byte of the record survives and the
+    // newline never lands, so recovery must drop exactly this record.
+    const size_t prev_nl = crash_bytes.rfind('\n', crash_bytes.size() - 2);
+    if (prev_nl != std::string::npos && prev_nl + 1 >= header_end) {
+      const size_t line_start = prev_nl + 1;
+      const size_t cut =
+          line_start + 1 +
+          static_cast<size_t>(
+              master.Index(crash_bytes.size() - line_start - 1));
+      crash_bytes.resize(cut);
+      torn = true;
+    }
+  }
+  report.tail_torn = torn;
+  if (!WriteFile(crash_path, crash_bytes)) {
+    AddViolation(&report.violations, "cannot write crash snapshot");
+  }
+
+  // --- invariant: conservation of deliveries (phase 1).
+  if (phase1.delivered !=
+      phase1.accepted + phase1.rejected + phase1.sim_dropped) {
+    AddViolation(&report.violations,
+                 "phase-1 delivery conservation broken: delivered " +
+                     std::to_string(phase1.delivered) + " != accepted " +
+                     std::to_string(phase1.accepted) + " + rejected " +
+                     std::to_string(phase1.rejected) + " + sim_dropped " +
+                     std::to_string(phase1.sim_dropped));
+  }
+  if (phase1.accepted != ledger.size()) {
+    AddViolation(&report.violations,
+                 "accepted counter disagrees with the store: counter " +
+                     std::to_string(phase1.accepted) + ", store appends " +
+                     std::to_string(ledger.size()));
+  }
+  if (phase1.appends + phase1.errors != phase1.accepted) {
+    AddViolation(&report.violations,
+                 "journal accounting broken: appends " +
+                     std::to_string(phase1.appends) + " + errors " +
+                     std::to_string(phase1.errors) + " != accepted " +
+                     std::to_string(phase1.accepted));
+  }
+
+  // --- invariant: the recovered journal equals the exact durable prefix of
+  // the ack ledger — no acked-and-persisted observation lost, nothing
+  // unpersisted resurrected.
+  const uint64_t expected_records = phase1.appends - (torn ? 1 : 0);
+  auto recovered = ObservationJournal::Recover(crash_path);
+  if (!recovered.ok()) {
+    AddViolation(&report.violations,
+                 "journal recovery failed outright: " +
+                     recovered.status().ToString());
+  } else {
+    report.records_recovered = recovered->records_recovered;
+    report.records_dropped = recovered->records_dropped;
+    if (recovered->records_recovered != expected_records) {
+      AddViolation(&report.violations,
+                   "recovered record count mismatch: recovered " +
+                       std::to_string(recovered->records_recovered) +
+                       ", durable prefix " +
+                       std::to_string(expected_records));
+    }
+    const bool expect_data_loss = torn || !ends_clean;
+    if (expect_data_loss &&
+        recovered->tail_status.code() != StatusCode::kDataLoss) {
+      AddViolation(&report.violations,
+                   "torn tail not reported as data loss: " +
+                       recovered->tail_status.ToString());
+    }
+    if (!expect_data_loss && !recovered->tail_status.ok()) {
+      AddViolation(&report.violations,
+                   "clean journal reported unclean: " +
+                       recovered->tail_status.ToString());
+    }
+    if (expected_records <= ledger.size()) {
+      std::map<uint64_t, std::vector<const Observation*>> durable;
+      for (size_t i = 0; i < expected_records; ++i) {
+        durable[ledger[i].first].push_back(&ledger[i].second);
+      }
+      for (const auto& [signature, expected_history] : durable) {
+        const std::vector<Observation>& got =
+            recovered->store.History(signature);
+        if (got.size() != expected_history.size()) {
+          AddViolation(&report.violations,
+                       "signature " + std::to_string(signature) +
+                           " recovered " + std::to_string(got.size()) +
+                           " observations, expected " +
+                           std::to_string(expected_history.size()));
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (!SameObservation(got[i], *expected_history[i])) {
+            AddViolation(&report.violations,
+                         "signature " + std::to_string(signature) +
+                             " observation " + std::to_string(i) +
+                             " differs from the acked original");
+            break;
+          }
+        }
+      }
+      for (uint64_t signature : recovered->store.Signatures()) {
+        if (durable.find(signature) == durable.end()) {
+          AddViolation(&report.violations,
+                       "recovery resurrected unacked signature " +
+                           std::to_string(signature));
+        }
+      }
+    } else {
+      AddViolation(&report.violations,
+                   "journal acked more records than the service accepted");
+    }
+  }
+
+  // --- invariant: a restart never reads a torn model artifact — either the
+  // last committed checkpoint, byte-exact, or nothing.
+  {
+    core::ModelStore restarted(model_dir);
+    auto artifact = restarted.GetLatest(kModelKey);
+    if (any_model_committed) {
+      if (!artifact.ok()) {
+        AddViolation(&report.violations,
+                     "model store lost a committed artifact: " +
+                         artifact.status().ToString());
+      } else if (*artifact != last_committed_artifact) {
+        AddViolation(&report.violations,
+                     "model store returned a torn or stale artifact");
+      }
+    } else if (artifact.ok()) {
+      AddViolation(&report.violations,
+                   "model store surfaced an artifact no Put committed");
+    }
+  }
+
+  // --- invariant: recovery is deterministic — two fresh services replaying
+  // the surviving journal reach bit-identical state.
+  TuningService recovered_service(space, nullptr, core::TuningServiceOptions{},
+                                  seed);
+  {
+    TuningService twin(space, nullptr, core::TuningServiceOptions{}, seed);
+    auto r1 = recovered_service.RecoverFromJournal(crash_path, plans);
+    auto r2 = twin.RecoverFromJournal(crash_path, plans);
+    if (!r1.ok() || !r2.ok()) {
+      AddViolation(&report.violations,
+                   "service recovery failed: " +
+                       (r1.ok() ? r2.status() : r1.status()).ToString());
+    } else {
+      if (r1->unknown_signatures != 0) {
+        AddViolation(&report.violations,
+                     "recovery met unknown signatures: " +
+                         std::to_string(r1->unknown_signatures));
+      }
+      std::vector<uint64_t> signatures;
+      for (const sparksim::QueryPlan& plan : plans) {
+        signatures.push_back(plan.Signature());
+      }
+      report.recovered_digest =
+          DigestServiceState(recovered_service, signatures);
+      const std::string twin_digest = DigestServiceState(twin, signatures);
+      if (report.recovered_digest != twin_digest) {
+        AddViolation(&report.violations,
+                     "recovery is nondeterministic: digest " +
+                         report.recovered_digest + " vs " + twin_digest);
+      }
+    }
+  }
+
+  // --- phase 2: the recovered service serves the remaining executions
+  // through a fresh journal, then shuts down with Status checking.
+  ObservationJournal journal2;
+  bool journal2_attached = false;
+  if (auto opened2 = ObservationJournal::Open(phase2_path); opened2.ok()) {
+    journal2 = std::move(*opened2);
+    if (report.group_commit) (void)journal2.StartGroupCommit({});
+    recovered_service.AttachJournal(&journal2);
+    journal2_attached = true;
+  } else {
+    AddViolation(&report.violations,
+                 "cannot open phase-2 journal: " +
+                     opened2.status().ToString());
+  }
+  for (Tenant& t : tenants) {
+    // Fresh per-tenant simulators for the restarted world; in-flight
+    // (reordered) deliveries died with the old process.
+    sparksim::SparkSimulator::Options sim_options;
+    sim_options.noise = sparksim::NoiseParams{0.3, 0.3};
+    sim_options.faults = options.chaos ? sparksim::FaultParams::Production()
+                                       : sparksim::FaultParams::None();
+    sim_options.seed = common::SplitMix64(seed ^ t.signature ^ 0x706832ULL);
+    t.sim = std::make_unique<sparksim::SparkSimulator>(sim_options);
+    t.delayed.clear();
+  }
+  driver.set_service(&recovered_service);
+  driver.RebaselineGuardrails();
+  const size_t ledger_before_phase2 = ledger.size();
+  const common::MetricsSnapshot m2 =
+      common::MetricsRegistry::Default().Snapshot();
+  while (driver.Step(per_tenant)) ++report.executions;
+  const Status shutdown_status = recovered_service.Shutdown();
+  if (!options.buggify && !shutdown_status.ok()) {
+    AddViolation(&report.violations,
+                 "shutdown failed without fault injection: " +
+                     shutdown_status.ToString());
+  }
+  const common::MetricsSnapshot m3 =
+      common::MetricsRegistry::Default().Snapshot();
+  const Counts phase2 = CountsBetween(m2, m3);
+
+  if (phase2.delivered !=
+      phase2.accepted + phase2.rejected + phase2.sim_dropped) {
+    AddViolation(&report.violations,
+                 "phase-2 delivery conservation broken: delivered " +
+                     std::to_string(phase2.delivered) + " != accepted " +
+                     std::to_string(phase2.accepted) + " + rejected " +
+                     std::to_string(phase2.rejected) + " + sim_dropped " +
+                     std::to_string(phase2.sim_dropped));
+  }
+  if (phase2.accepted != ledger.size() - ledger_before_phase2) {
+    AddViolation(&report.violations,
+                 "phase-2 accepted counter disagrees with the store");
+  }
+  if (journal2_attached && phase2.appends + phase2.errors != phase2.accepted) {
+    AddViolation(&report.violations,
+                 "phase-2 journal accounting broken: appends " +
+                     std::to_string(phase2.appends) + " + errors " +
+                     std::to_string(phase2.errors) + " != accepted " +
+                     std::to_string(phase2.accepted));
+  }
+
+  {
+    std::vector<uint64_t> signatures;
+    for (const sparksim::QueryPlan& plan : plans) {
+      signatures.push_back(plan.Signature());
+    }
+    report.final_digest = DigestServiceState(recovered_service, signatures);
+  }
+  report.signatures = recovered_service.NumSignatures();
+  report.disabled_signatures = recovered_service.NumDisabled();
+
+  report.delivered = phase1.delivered + phase2.delivered;
+  report.accepted = phase1.accepted + phase2.accepted;
+  report.rejected = phase1.rejected + phase2.rejected;
+  report.sim_dropped = phase1.sim_dropped + phase2.sim_dropped;
+  report.journal_appends = phase1.appends + phase2.appends;
+  report.journal_errors = phase1.errors + phase2.errors;
+
+  if (trace_ptr != nullptr) {
+    if (Status closed = trace.Close(); !closed.ok()) {
+      AddViolation(&report.violations,
+                   "trace close failed: " + closed.ToString());
+    }
+  }
+  if (options.buggify) {
+    for (const BuggifySectionStats& stats :
+         BuggifyRegistry::Global().Snapshot()) {
+      if (stats.passes > 0) ++report.buggify_sections_hit;
+      report.buggify_fires += stats.fires;
+    }
+    BuggifyRegistry::Global().Disable();
+  }
+
+  (void)journal.Close();
+  fs::remove(journal_path, ec);
+  fs::remove(crash_path, ec);
+  fs::remove(phase2_path, ec);
+  fs::remove_all(model_dir, ec);
+  return report;
+}
+
+}  // namespace rockhopper::sim

@@ -1,0 +1,281 @@
+#include "sim/trace.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace rockhopper::sim {
+
+namespace {
+
+constexpr char kHeader[] = "rockhopper-trace v1";
+
+void AppendDouble(std::string* out, double v) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), " %a", v);
+  *out += buffer;
+}
+
+// Parses one whitespace-led double; advances *cursor past it.
+bool ParseDouble(const char** cursor, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(*cursor, &end);
+  if (end == *cursor) return false;
+  *cursor = end;
+  return true;
+}
+
+bool ParseU64(const char** cursor, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(*cursor, &end, 10);
+  if (end == *cursor) return false;
+  *cursor = end;
+  return true;
+}
+
+bool ParseConfigTail(const char* cursor, sparksim::ConfigVector* config) {
+  config->clear();
+  while (true) {
+    while (*cursor == ' ') ++cursor;
+    if (*cursor == '\0') return true;
+    double v = 0.0;
+    if (!ParseDouble(&cursor, &v)) return false;
+    config->push_back(v);
+  }
+}
+
+// Parses the payload after the kind letter into `record` (kind already set).
+bool ParseRecordPayload(const char* cursor, TraceRecord* record) {
+  if (!ParseDouble(&cursor, &record->timestamp) ||
+      !ParseU64(&cursor, &record->signature)) {
+    return false;
+  }
+  if (record->kind == TraceRecord::Kind::kProposal) {
+    return ParseDouble(&cursor, &record->data_size) &&
+           ParseConfigTail(cursor, &record->config);
+  }
+  uint64_t failed = 0, failure = 0;
+  if (!ParseU64(&cursor, &record->event.event_id) ||
+      !ParseU64(&cursor, &failed) || failed > 1 ||
+      !ParseU64(&cursor, &failure) ||
+      failure > static_cast<uint64_t>(sparksim::FailureKind::kTimeout) ||
+      !ParseDouble(&cursor, &record->event.data_size) ||
+      !ParseDouble(&cursor, &record->event.runtime) ||
+      !ParseConfigTail(cursor, &record->event.config)) {
+    return false;
+  }
+  record->event.failed = failed == 1;
+  record->event.failure = static_cast<sparksim::FailureKind>(failure);
+  record->data_size = record->event.data_size;
+  return true;
+}
+
+}  // namespace
+
+TraceRecorder::~TraceRecorder() { Close(); }
+
+TraceRecorder::TraceRecorder(TraceRecorder&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      records_(other.records_) {
+  other.file_ = nullptr;
+}
+
+TraceRecorder& TraceRecorder::operator=(TraceRecorder&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    records_ = other.records_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Result<TraceRecorder> TraceRecorder::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open trace for writing: " + path);
+  }
+  if (std::fprintf(file, "%s\n", kHeader) < 0 || std::fflush(file) != 0) {
+    std::fclose(file);
+    return Status::IOError("cannot write trace header: " + path);
+  }
+  TraceRecorder recorder;
+  recorder.file_ = file;
+  recorder.path_ = path;
+  return recorder;
+}
+
+Status TraceRecorder::WriteLine(const std::string& payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("trace is not open");
+  }
+  const uint32_t crc = common::Crc32(payload);
+  if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0 ||
+      std::fflush(file_) != 0) {
+    return Status::IOError("trace write failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status TraceRecorder::RecordProposal(double timestamp, uint64_t signature,
+                                     double data_size,
+                                     const sparksim::ConfigVector& config) {
+  char buffer[64];
+  std::string payload = "P";
+  AppendDouble(&payload, timestamp);
+  std::snprintf(buffer, sizeof(buffer), " %" PRIu64, signature);
+  payload += buffer;
+  AppendDouble(&payload, data_size);
+  for (double v : config) AppendDouble(&payload, v);
+  const Status status = WriteLine(payload);
+  if (status.ok()) ++records_;
+  return status;
+}
+
+Status TraceRecorder::RecordEndEvent(double timestamp, uint64_t signature,
+                                     const core::QueryEndEvent& event) {
+  char buffer[96];
+  std::string payload = "E";
+  AppendDouble(&payload, timestamp);
+  std::snprintf(buffer, sizeof(buffer), " %" PRIu64 " %" PRIu64 " %d %u",
+                signature, event.event_id, event.failed ? 1 : 0,
+                static_cast<unsigned>(event.failure));
+  payload += buffer;
+  AppendDouble(&payload, event.data_size);
+  AppendDouble(&payload, event.runtime);
+  for (double v : event.config) AppendDouble(&payload, v);
+  const Status status = WriteLine(payload);
+  if (status.ok()) ++records_;
+  return status;
+}
+
+Status TraceRecorder::Close() {
+  if (file_ == nullptr) return Status::OK();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "F %zu", records_);
+  Status status = WriteLine(buffer);
+  if (std::fclose(file_) != 0 && status.ok()) {
+    status = Status::IOError("trace close failed: " + path_);
+  }
+  file_ = nullptr;
+  return status;
+}
+
+Result<ParsedTrace> TraceReplayer::Read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open trace: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const size_t header_len = std::strlen(kHeader);
+  if (text.size() < header_len + 1 ||
+      text.compare(0, header_len, kHeader) != 0 || text[header_len] != '\n') {
+    return Status::InvalidArgument("not a rockhopper trace: " + path);
+  }
+
+  ParsedTrace trace;
+  bool sealed = false;
+  size_t footer_count = 0;
+  size_t pos = header_len + 1;
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) {
+      return Status::DataLoss("trace truncated mid-record: " + path);
+    }
+    if (sealed) {
+      return Status::DataLoss("trace has records after its footer: " + path);
+    }
+    const std::string line = text.substr(pos, newline - pos);
+    pos = newline + 1;
+    // "<crc-hex8> <payload>"
+    if (line.size() < 11 || line[8] != ' ') {
+      return Status::DataLoss("trace record malformed: " + path);
+    }
+    const std::string crc_text = line.substr(0, 8);
+    char* end = nullptr;
+    const unsigned long crc = std::strtoul(crc_text.c_str(), &end, 16);
+    const std::string payload = line.substr(9);
+    if (end != crc_text.c_str() + crc_text.size() ||
+        static_cast<uint32_t>(crc) != common::Crc32(payload)) {
+      return Status::DataLoss("trace record failed its CRC check: " + path);
+    }
+    const char kind = payload[0];
+    if (payload.size() < 2 || payload[1] != ' ') {
+      return Status::DataLoss("trace record malformed: " + path);
+    }
+    const char* cursor = payload.c_str() + 1;
+    if (kind == 'F') {
+      uint64_t count = 0;
+      if (!ParseU64(&cursor, &count)) {
+        return Status::DataLoss("trace footer malformed: " + path);
+      }
+      footer_count = static_cast<size_t>(count);
+      sealed = true;
+      continue;
+    }
+    TraceRecord record;
+    if (kind == 'P') {
+      record.kind = TraceRecord::Kind::kProposal;
+    } else if (kind == 'E') {
+      record.kind = TraceRecord::Kind::kEndEvent;
+    } else {
+      return Status::DataLoss("trace record has unknown kind: " + path);
+    }
+    if (!ParseRecordPayload(cursor, &record)) {
+      return Status::DataLoss("trace record malformed: " + path);
+    }
+    trace.records.push_back(std::move(record));
+  }
+  if (!sealed) {
+    return Status::DataLoss("trace is missing its sealing footer: " + path);
+  }
+  if (footer_count != trace.records.size()) {
+    return Status::DataLoss(
+        "trace footer count mismatch: footer says " +
+        std::to_string(footer_count) + ", file holds " +
+        std::to_string(trace.records.size()) + ": " + path);
+  }
+  return trace;
+}
+
+Result<TraceReplayReport> TraceReplayer::Replay(
+    const ParsedTrace& trace, core::TuningService* service,
+    const std::vector<sparksim::QueryPlan>& plans) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("replay requires a service");
+  }
+  std::map<uint64_t, const sparksim::QueryPlan*> by_signature;
+  for (const sparksim::QueryPlan& plan : plans) {
+    by_signature[plan.Signature()] = &plan;
+  }
+  TraceReplayReport report;
+  for (const TraceRecord& record : trace.records) {
+    auto it = by_signature.find(record.signature);
+    if (it == by_signature.end()) {
+      ++report.unknown_signatures;
+      continue;
+    }
+    if (record.kind == TraceRecord::Kind::kProposal) {
+      // The proposal itself is not re-imposed — replaying the call advances
+      // the tuner's RNG and proposal counters exactly as the recorded run
+      // did, which is what makes replay-vs-replay states identical.
+      (void)service->OnQueryStart(*it->second, record.data_size);
+      ++report.proposals;
+    } else {
+      service->OnQueryEnd(*it->second, record.event);
+      ++report.events;
+    }
+  }
+  return report;
+}
+
+}  // namespace rockhopper::sim

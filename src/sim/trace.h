@@ -1,0 +1,117 @@
+#ifndef ROCKHOPPER_SIM_TRACE_H_
+#define ROCKHOPPER_SIM_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/telemetry.h"
+#include "core/tuning_service.h"
+#include "sparksim/config_space.h"
+#include "sparksim/plan.h"
+
+namespace rockhopper::sim {
+
+/// One replayable record of a service interaction, in delivery order:
+/// either a proposal handed out at OnQueryStart or a telemetry delivery
+/// ingested at OnQueryEnd. Timestamps are the recorder's virtual clock —
+/// carried for diagnostics and ordering, not consulted by replay.
+struct TraceRecord {
+  enum class Kind : uint8_t { kProposal, kEndEvent };
+  Kind kind = Kind::kProposal;
+  double timestamp = 0.0;
+  uint64_t signature = 0;
+  /// kProposal: the expected data size passed to OnQueryStart and the
+  /// returned config. kEndEvent: the delivered event (config, runtime,
+  /// failure, event id — exactly as the bus delivered it, corruption
+  /// included).
+  double data_size = 0.0;
+  sparksim::ConfigVector config;
+  core::QueryEndEvent event;
+};
+
+/// A fully validated trace file.
+struct ParsedTrace {
+  std::vector<TraceRecord> records;
+};
+
+/// What a replay did to the target service.
+struct TraceReplayReport {
+  size_t proposals = 0;
+  size_t events = 0;
+  /// Records whose signature matched no plan in the replay set (skipped).
+  size_t unknown_signatures = 0;
+};
+
+/// Append-only, CRC-checked interaction trace — the record half of the
+/// harness's record/replay loop. Line format (doubles hexfloat, exact
+/// round-trip; the CRC-32 covers the payload after the checksum field):
+///
+///   rockhopper-trace v1
+///   <crc8> P <ts> <signature> <data_size> <c0> <c1> ...
+///   <crc8> E <ts> <signature> <event_id> <failed> <failure> <size> <rt> <c0> ...
+///   <crc8> F <record-count>
+///
+/// The F footer seals the file: a trace without a matching footer (or whose
+/// count disagrees) was torn mid-write and fails Read with kDataLoss, like
+/// a corrupt journal tail. Writes flush per record, so a crash loses at
+/// most the in-flight line.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  ~TraceRecorder();
+  TraceRecorder(TraceRecorder&& other) noexcept;
+  TraceRecorder& operator=(TraceRecorder&& other) noexcept;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Creates (truncates) `path` and writes the header.
+  static Result<TraceRecorder> Open(const std::string& path);
+
+  Status RecordProposal(double timestamp, uint64_t signature, double data_size,
+                        const sparksim::ConfigVector& config);
+  Status RecordEndEvent(double timestamp, uint64_t signature,
+                        const core::QueryEndEvent& event);
+
+  size_t records() const { return records_; }
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Writes the sealing footer and closes. Also run by the destructor; call
+  /// explicitly to observe the Status.
+  Status Close();
+
+ private:
+  Status WriteLine(const std::string& payload);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  size_t records_ = 0;
+};
+
+/// Reads and replays traces written by TraceRecorder.
+class TraceReplayer {
+ public:
+  /// Parses and fully validates `path`: kNotFound when missing,
+  /// kInvalidArgument for a foreign header, kDataLoss for a CRC mismatch,
+  /// malformed record, truncated tail, or missing/mismatched footer. A
+  /// trace either loads whole or not at all — unlike the journal there is
+  /// no partial-prefix recovery, because a replay of half a trace would
+  /// silently diverge.
+  static Result<ParsedTrace> Read(const std::string& path);
+
+  /// Replays `trace` against `service` in record order: proposals re-run
+  /// OnQueryStart (result discarded — it advances the tuner exactly as the
+  /// recorded run did), deliveries re-run OnQueryEnd verbatim. Records whose
+  /// signature matches no plan in `plans` are counted and skipped. Replaying
+  /// one trace twice into two identically-seeded fresh services produces
+  /// identical final state (see DigestServiceState).
+  static Result<TraceReplayReport> Replay(
+      const ParsedTrace& trace, core::TuningService* service,
+      const std::vector<sparksim::QueryPlan>& plans);
+};
+
+}  // namespace rockhopper::sim
+
+#endif  // ROCKHOPPER_SIM_TRACE_H_

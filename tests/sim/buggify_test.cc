@@ -1,0 +1,125 @@
+#include "sim/buggify.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rockhopper::sim {
+namespace {
+
+// Every test disarms the process-global registry on the way out so the
+// suites sharing this binary (and the default-build zero-cost contract)
+// never see a leftover armed epoch.
+class BuggifyTest : public ::testing::Test {
+ protected:
+  ~BuggifyTest() override { BuggifyRegistry::Global().Disable(); }
+
+  static std::vector<bool> DrawSequence(BuggifySection* section, int n) {
+    std::vector<bool> fires;
+    fires.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      fires.push_back(BuggifyRegistry::Global().Fire(section));
+    }
+    return fires;
+  }
+};
+
+TEST_F(BuggifyTest, DisabledRegistryNeverFires) {
+  BuggifySection* section =
+      BuggifyRegistry::Global().Register("test.disabled.section");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(BuggifyRegistry::Global().Fire(section));
+  }
+}
+
+TEST_F(BuggifyTest, MacroMatchesBuildMode) {
+#if defined(ROCKHOPPER_SIM_ENABLED)
+  // Compiled in: with both probabilities at 1 every encounter fires.
+  BuggifyRegistry::Global().Enable(1, BuggifyOptions{1.0, 1.0});
+  EXPECT_TRUE(ROCKHOPPER_BUGGIFY("test.macro.section"));
+#else
+  // Compiled out: the macro is the literal `false` even when the registry
+  // is armed with certainty-one probabilities.
+  BuggifyRegistry::Global().Enable(1, BuggifyOptions{1.0, 1.0});
+  EXPECT_FALSE(ROCKHOPPER_BUGGIFY("test.macro.section"));
+#endif
+}
+
+TEST_F(BuggifyTest, ProbabilityEdges) {
+  BuggifySection* section =
+      BuggifyRegistry::Global().Register("test.edges.section");
+  BuggifyRegistry::Global().Enable(5, BuggifyOptions{1.0, 0.0});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(BuggifyRegistry::Global().Fire(section));
+  }
+  BuggifyRegistry::Global().Enable(5, BuggifyOptions{1.0, 1.0});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(BuggifyRegistry::Global().Fire(section));
+  }
+  BuggifyRegistry::Global().Enable(5, BuggifyOptions{0.0, 1.0});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(BuggifyRegistry::Global().Fire(section));
+  }
+}
+
+TEST_F(BuggifyTest, SameSeedSameSequence) {
+  BuggifySection* section =
+      BuggifyRegistry::Global().Register("test.determinism.section");
+  const BuggifyOptions options{0.8, 0.5};
+  BuggifyRegistry::Global().Enable(1234, options);
+  const std::vector<bool> first = DrawSequence(section, 200);
+  // Re-arming with the same seed restarts the encounter counter: the k-th
+  // encounter fires identically regardless of what ran in between.
+  BuggifyRegistry::Global().Enable(1234, options);
+  const std::vector<bool> second = DrawSequence(section, 200);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(BuggifyTest, DifferentSeedsDecorrelate) {
+  BuggifySection* section =
+      BuggifyRegistry::Global().Register("test.decorrelate.section");
+  const BuggifyOptions options{1.0, 0.5};
+  BuggifyRegistry::Global().Enable(1, options);
+  const std::vector<bool> a = DrawSequence(section, 200);
+  BuggifyRegistry::Global().Enable(2, options);
+  const std::vector<bool> b = DrawSequence(section, 200);
+  // 200 fair-coin draws agreeing everywhere would mean the seed is ignored.
+  EXPECT_NE(a, b);
+}
+
+TEST_F(BuggifyTest, SnapshotCountsPassesAndFires) {
+  BuggifySection* section =
+      BuggifyRegistry::Global().Register("test.stats.section");
+  BuggifyRegistry::Global().Enable(77, BuggifyOptions{1.0, 1.0});
+  for (int i = 0; i < 10; ++i) (void)BuggifyRegistry::Global().Fire(section);
+  bool found = false;
+  for (const BuggifySectionStats& stats :
+       BuggifyRegistry::Global().Snapshot()) {
+    if (stats.name != "test.stats.section") continue;
+    found = true;
+    EXPECT_TRUE(stats.activated);
+    EXPECT_EQ(stats.passes, 10u);
+    EXPECT_EQ(stats.fires, 10u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(BuggifyRegistry::Global().TotalFires(), 10u);
+
+  // Re-arming resets the epoch's counters.
+  BuggifyRegistry::Global().Enable(77, BuggifyOptions{1.0, 1.0});
+  for (const BuggifySectionStats& stats :
+       BuggifyRegistry::Global().Snapshot()) {
+    if (stats.name == "test.stats.section") {
+      EXPECT_EQ(stats.passes, 0u);
+      EXPECT_EQ(stats.fires, 0u);
+    }
+  }
+}
+
+TEST_F(BuggifyTest, RegisterIsIdempotent) {
+  BuggifySection* a = BuggifyRegistry::Global().Register("test.intern.section");
+  BuggifySection* b = BuggifyRegistry::Global().Register("test.intern.section");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rockhopper::sim

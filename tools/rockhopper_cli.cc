@@ -15,10 +15,24 @@
 //       (trend, per-dimension insights, RCA verdict) per query signature
 //       (§6.3 posterior analysis);
 //
-//   rockhopper chaos --suite=tpch --iters=60 [--journal=FILE]
+//   rockhopper chaos --suite=tpch --iters=60 [--journal=FILE] [--seeds=A..B]
 //       tune under the production fault-injection preset (job failures,
 //       dropped/duplicated/corrupted telemetry) and print the sanitizer,
-//       failure-policy, and guardrail outcomes;
+//       failure-policy, and guardrail outcomes; --seeds sweeps a seed range
+//       with journal-accounting and recovery invariants checked per seed,
+//       exiting non-zero with the reproducing seed on the first violation;
+//
+//   rockhopper simulate --seed=N | --seeds=A..B [--trace=FILE]
+//       run the deterministic whole-service simulation harness (src/sim):
+//       multi-tenant virtual-clock serving, a mid-run crash, recovery, and
+//       cross-layer invariant checks, all derived from the seed; in
+//       ROCKHOPPER_SIM builds Buggify sections also inject journal / model
+//       store / pipeline faults (docs/FAULT_MODEL.md);
+//
+//   rockhopper replay --trace=FILE
+//       load a CRC-checked trace recorded by simulate --trace and replay it
+//       twice into identically-seeded fresh services, verifying both
+//       replays converge to the same state digest and metric deltas;
 //
 //   rockhopper recover --journal=FILE --suite=tpch
 //       restore a tuning service from a crash-safe observation journal
@@ -40,6 +54,7 @@
 // seed-deterministic; thread interleaving varies).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <filesystem>
@@ -47,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 #include "core/flighting.h"
@@ -54,6 +70,9 @@
 #include "core/model_store.h"
 #include "core/monitor.h"
 #include "core/tuning_service.h"
+#include "sim/service_digest.h"
+#include "sim/sim_runner.h"
+#include "sim/trace.h"
 #include "sparksim/fault.h"
 #include "sparksim/simulator.h"
 #include "sparksim/workloads.h"
@@ -102,6 +121,24 @@ Args ParseArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+// Parses "A..B" (inclusive) or a single "N" into [lo, hi].
+bool ParseSeedRange(const std::string& text, uint64_t* lo, uint64_t* hi) {
+  if (text.empty()) return false;
+  const size_t dots = text.find("..");
+  char* end = nullptr;
+  if (dots == std::string::npos) {
+    *lo = *hi = std::strtoull(text.c_str(), &end, 10);
+    return end != text.c_str() && *end == '\0';
+  }
+  const std::string a = text.substr(0, dots);
+  const std::string b = text.substr(dots + 2);
+  *lo = std::strtoull(a.c_str(), &end, 10);
+  if (end == a.c_str() || *end != '\0') return false;
+  *hi = std::strtoull(b.c_str(), &end, 10);
+  if (end == b.c_str() || *end != '\0') return false;
+  return *lo <= *hi;
 }
 
 FlightingConfig::Suite SuiteFromName(const std::string& name) {
@@ -285,29 +322,54 @@ int RunReport(const Args& args) {
   return 0;
 }
 
-// Drives the full failure pipeline: the simulator injects job faults, the
-// delivery loop below injects telemetry faults (drop / duplicate / reorder /
-// corrupt), and the service sanitizes, imputes, falls back, and journals.
-int RunChaos(const Args& args) {
+// One chaos run's outcome plus any crash-safety invariant violations.
+struct ChaosOutcome {
+  size_t failures = 0, dropped = 0, duplicated = 0, reordered = 0,
+         corrupted = 0;
+  uint64_t accepted = 0;
+  uint64_t journal_errors = 0;
+  size_t disabled = 0, signatures = 0;
+  std::vector<std::string> violations;
+};
+
+// Drives the full failure pipeline at one seed: the simulator injects job
+// faults, the delivery loop below injects telemetry faults (drop / duplicate
+// / reorder / corrupt), and the service sanitizes, imputes, falls back, and
+// journals. With a journal attached the run shuts down through the
+// Status-checked Sync/Close path and then verifies the crash-safety ledger:
+// journal appends + append errors == accepted observations, a clean tail on
+// recovery, and a recovered service whose guardrail verdicts match the live
+// one.
+ChaosOutcome RunChaosSeed(const Args& args, uint64_t seed,
+                          const std::string& journal_path, bool verbose) {
+  ChaosOutcome out;
   const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
   sparksim::SparkSimulator::Options sim_options;
   sim_options.noise = sparksim::NoiseParams{args.GetDouble("fl", 0.3),
                                             args.GetDouble("sl", 0.3)};
   sim_options.faults = sparksim::FaultParams::Production();
-  sim_options.seed = static_cast<uint64_t>(args.GetInt("seed", 29));
+  sim_options.seed = seed;
   sparksim::SparkSimulator sim(sim_options);
 
   TuningServiceOptions service_options;
-  TuningService service(space, nullptr, service_options, sim_options.seed);
+  TuningService service(space, nullptr, service_options, seed);
 
   ObservationJournal journal;
-  const std::string journal_path = args.Get("journal", "");
-  if (!journal_path.empty()) {
+  const bool journaled = !journal_path.empty();
+  // The journal opens in append mode, so a pre-existing file contributes
+  // records this run never ingested. Baseline them: the accounting check
+  // below compares the *delta*, and the twin-recovery parity check only
+  // holds when the twin replays exactly this run's history.
+  uint64_t baseline_records = 0;
+  if (journaled) {
+    if (auto prior = ObservationJournal::Recover(journal_path); prior.ok()) {
+      baseline_records = prior->records_recovered;
+    }
     auto opened = ObservationJournal::Open(journal_path);
     if (!opened.ok()) {
-      std::fprintf(stderr, "cannot open journal: %s\n",
-                   opened.status().ToString().c_str());
-      return 1;
+      out.violations.push_back("cannot open journal: " +
+                               opened.status().ToString());
+      return out;
     }
     journal = std::move(*opened);
     service.AttachJournal(&journal);
@@ -316,15 +378,17 @@ int RunChaos(const Args& args) {
   const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpch"));
   const int iters = args.GetInt("iters", 60);
   const int count = SuiteSize(suite);
-  std::printf("chaos-tuning %d queries x %d iterations under injected "
-              "faults\n\n",
-              count, iters);
+  if (verbose) {
+    std::printf("chaos-tuning %d queries x %d iterations under injected "
+                "faults\n\n",
+                count, iters);
+  }
 
+  std::vector<sparksim::QueryPlan> plans;
   uint64_t next_event_id = 1;
-  size_t failures = 0, dropped = 0, duplicated = 0, reordered = 0,
-         corrupted = 0;
   for (int q = 1; q <= count; ++q) {
     const sparksim::QueryPlan plan = FlightingPipeline::PlanFor(suite, q);
+    plans.push_back(plan);
     // Reordered events park here and deliver after the next execution.
     std::deque<QueryEndEvent> delayed;
     for (int run = 0; run < iters; ++run) {
@@ -332,7 +396,7 @@ int RunChaos(const Args& args) {
           service.OnQueryStart(plan, plan.LeafInputBytes(1.0));
       const sparksim::ExecutionResult result =
           sim.ExecuteQuery(plan, config, 1.0);
-      if (result.failed) ++failures;
+      if (result.failed) ++out.failures;
 
       QueryEndEvent event;
       event.event_id = next_event_id++;
@@ -347,17 +411,17 @@ int RunChaos(const Args& args) {
       if (fault.corruption != sparksim::TelemetryFault::Corruption::kNone) {
         event.runtime = sparksim::FaultModel::CorruptRuntime(event.runtime,
                                                              fault.corruption);
-        ++corrupted;
+        ++out.corrupted;
       }
       if (fault.drop) {
-        ++dropped;
+        ++out.dropped;
       } else if (fault.reorder) {
-        ++reordered;
+        ++out.reordered;
         delayed.push_back(event);
       } else {
         service.OnQueryEnd(plan, event);
         if (fault.duplicate) {
-          ++duplicated;
+          ++out.duplicated;
           service.OnQueryEnd(plan, event);
         }
         while (!delayed.empty()) {
@@ -370,30 +434,127 @@ int RunChaos(const Args& args) {
       service.OnQueryEnd(plan, delayed.front());
       delayed.pop_front();
     }
-    if (auto explanation = service.ExplainQuery(plan.Signature());
-        explanation.ok() && q <= 3) {
-      std::printf("q%d: %s\n", q, explanation->c_str());
+    if (verbose) {
+      if (auto explanation = service.ExplainQuery(plan.Signature());
+          explanation.ok() && q <= 3) {
+        std::printf("q%d: %s\n", q, explanation->c_str());
+      }
     }
   }
 
   const TelemetryStats& stats = service.telemetry_stats();
-  std::printf("\ninjected: %zu job failures, %zu dropped, %zu duplicated, "
-              "%zu reordered, %zu corrupted events\n",
-              failures, dropped, duplicated, reordered, corrupted);
-  std::printf("sanitizer: %llu accepted, %llu rejected (%llu non-finite, "
-              "%llu non-positive, %llu duplicate), %llu failures imputed\n",
-              static_cast<unsigned long long>(stats.accepted),
-              static_cast<unsigned long long>(stats.total_rejected()),
-              static_cast<unsigned long long>(stats.rejected_nonfinite),
-              static_cast<unsigned long long>(stats.rejected_nonpositive),
-              static_cast<unsigned long long>(stats.rejected_duplicate),
-              static_cast<unsigned long long>(stats.failures_ingested));
-  std::printf("guardrail disabled %zu/%zu signatures\n",
-              service.NumDisabled(), service.NumSignatures());
-  if (!journal_path.empty()) {
+  out.accepted = stats.accepted;
+  out.journal_errors = service.journal_errors();
+  out.disabled = service.NumDisabled();
+  out.signatures = service.NumSignatures();
+  if (verbose) {
+    std::printf("\ninjected: %zu job failures, %zu dropped, %zu duplicated, "
+                "%zu reordered, %zu corrupted events\n",
+                out.failures, out.dropped, out.duplicated, out.reordered,
+                out.corrupted);
+    std::printf("sanitizer: %llu accepted, %llu rejected (%llu non-finite, "
+                "%llu non-positive, %llu duplicate), %llu failures imputed\n",
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.total_rejected()),
+                static_cast<unsigned long long>(stats.rejected_nonfinite),
+                static_cast<unsigned long long>(stats.rejected_nonpositive),
+                static_cast<unsigned long long>(stats.rejected_duplicate),
+                static_cast<unsigned long long>(stats.failures_ingested));
+    std::printf("guardrail disabled %zu/%zu signatures\n", service.NumDisabled(),
+                service.NumSignatures());
+  }
+
+  if (!journaled) return out;
+  if (Status st = service.Shutdown(); !st.ok()) {
+    out.violations.push_back("journal shutdown failed: " + st.ToString());
+  }
+  if (verbose) {
     std::printf("journal written to %s (%llu append errors)\n",
                 journal_path.c_str(),
-                static_cast<unsigned long long>(service.journal_errors()));
+                static_cast<unsigned long long>(out.journal_errors));
+  }
+  auto recovered = ObservationJournal::Recover(journal_path);
+  if (!recovered.ok()) {
+    out.violations.push_back("journal recovery failed: " +
+                             recovered.status().ToString());
+    return out;
+  }
+  if (!recovered->tail_status.ok()) {
+    out.violations.push_back("journal tail unclean after clean shutdown: " +
+                             recovered->tail_status.ToString());
+  }
+  if (recovered->records_recovered - baseline_records + out.journal_errors !=
+      out.accepted) {
+    out.violations.push_back(
+        "journal accounting broken: recovered " +
+        std::to_string(recovered->records_recovered - baseline_records) +
+        " + errors " + std::to_string(out.journal_errors) +
+        " != accepted " + std::to_string(out.accepted));
+  }
+  if (baseline_records > 0) return out;
+  TuningService twin(space, nullptr, service_options, seed);
+  if (auto report = twin.RecoverFromJournal(journal_path, plans);
+      !report.ok()) {
+    out.violations.push_back("service recovery failed: " +
+                             report.status().ToString());
+  } else if (twin.NumDisabled() != out.disabled) {
+    out.violations.push_back(
+        "recovered guardrail verdicts diverge: live disabled " +
+        std::to_string(out.disabled) + ", recovered " +
+        std::to_string(twin.NumDisabled()));
+  }
+  return out;
+}
+
+int RunChaos(const Args& args) {
+  const std::string seeds_flag = args.Get("seeds", "");
+  if (seeds_flag.empty()) {
+    const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 29));
+    const ChaosOutcome out =
+        RunChaosSeed(args, seed, args.Get("journal", ""), /*verbose=*/true);
+    for (const std::string& violation : out.violations) {
+      std::fprintf(stderr, "violation: %s\n", violation.c_str());
+    }
+    return out.violations.empty() ? 0 : 1;
+  }
+
+  uint64_t lo = 0, hi = 0;
+  if (!ParseSeedRange(seeds_flag, &lo, &hi)) {
+    std::fprintf(stderr, "chaos: bad --seeds (want A..B): %s\n",
+                 seeds_flag.c_str());
+    return 2;
+  }
+  const std::string journal_base =
+      args.Get("journal", (std::filesystem::temp_directory_path() /
+                           "rockhopper-chaos.journal")
+                              .string());
+  std::printf("chaos sweep: seeds %llu..%llu\n",
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+  for (uint64_t seed = lo; seed <= hi; ++seed) {
+    const std::string journal_path =
+        journal_base + "." + std::to_string(seed);
+    std::error_code ec;
+    std::filesystem::remove(journal_path, ec);  // stale run
+    const ChaosOutcome out =
+        RunChaosSeed(args, seed, journal_path, /*verbose=*/false);
+    std::printf("seed %llu: %s accepted=%llu errors=%llu disabled=%zu/%zu\n",
+                static_cast<unsigned long long>(seed),
+                out.violations.empty() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(out.accepted),
+                static_cast<unsigned long long>(out.journal_errors),
+                out.disabled, out.signatures);
+    std::filesystem::remove(journal_path, ec);
+    if (!out.violations.empty()) {
+      for (const std::string& violation : out.violations) {
+        std::fprintf(stderr, "  violation: %s\n", violation.c_str());
+      }
+      std::fprintf(stderr,
+                   "reproduce with: rockhopper chaos --seed=%llu "
+                   "--journal=FILE\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
   }
   return 0;
 }
@@ -496,7 +657,17 @@ int RunServe(const Args& args) {
               driver_options.chaos ? " under injected faults" : "");
   tools::ConcurrentDriver driver(&service, driver_options);
   const tools::ConcurrentDriverReport report = driver.Run(plans);
-  if (!journal_path.empty()) journal.StopGroupCommit();
+  int exit_code = 0;
+  const uint64_t journal_errors = service.journal_errors();
+  if (!journal_path.empty()) {
+    // Status-checked shutdown: a journal that swallowed a write error must
+    // fail the run loudly, not exit 0 with silently missing records.
+    if (Status st = service.Shutdown(); !st.ok()) {
+      std::fprintf(stderr, "journal shutdown failed: %s\n",
+                   st.ToString().c_str());
+      exit_code = 1;
+    }
+  }
 
   std::printf("served %zu queries in %.2f s: %.0f queries/s\n", report.queries,
               report.wall_seconds, report.queries_per_second);
@@ -518,7 +689,7 @@ int RunServe(const Args& args) {
     std::printf("journal written to %s via %s (%llu append errors)\n",
                 journal_path.c_str(),
                 group_commit ? "group commit" : "synchronous appends",
-                static_cast<unsigned long long>(service.journal_errors()));
+                static_cast<unsigned long long>(journal_errors));
   }
 
   const std::string metrics_format = args.Get("metrics-format", "prom");
@@ -531,7 +702,7 @@ int RunServe(const Args& args) {
       std::printf("%s", scrape.ToPrometheusText().c_str());
     }
   }
-  return 0;
+  return exit_code;
 }
 
 // Exercises every instrumented subsystem, then prints one scrape of the
@@ -580,7 +751,11 @@ int RunMetrics(const Args& args) {
   });
   pool.Shutdown();
   journal.StopGroupCommit();
-  journal.Close();
+  int exit_code = 0;
+  if (Status st = journal.Close(); !st.ok()) {
+    std::fprintf(stderr, "journal close failed: %s\n", st.ToString().c_str());
+    exit_code = 1;
+  }
   if (temp_journal) {
     std::error_code ec;
     std::filesystem::remove(journal_path, ec);
@@ -592,6 +767,135 @@ int RunMetrics(const Args& args) {
   } else {
     std::printf("%s", scrape.ToPrometheusText().c_str());
   }
+  return exit_code;
+}
+
+// Deterministic whole-service simulation (src/sim): each seed drives the
+// multi-tenant service through a crash, recovery, and a second serving
+// phase, checking the cross-layer invariants; --seeds sweeps a range and
+// stops at the first violating seed.
+int RunSimulate(const Args& args) {
+  sim::SimulationOptions options;
+  options.tenants = args.GetInt("tenants", 4);
+  options.events_per_tenant = args.GetInt("events", 32);
+  options.crash_fraction = args.GetDouble("crash-frac", 0.6);
+  options.buggify = args.Get("no-buggify", "") != "true";
+  options.chaos = args.Get("no-chaos", "") != "true";
+  options.scratch_dir = args.Get("scratch", "");
+  const std::string trace_path = args.Get("trace", "");
+
+  uint64_t lo = 0, hi = 0;
+  const std::string seeds_flag = args.Get("seeds", "");
+  if (seeds_flag.empty()) {
+    lo = hi = static_cast<uint64_t>(args.GetInt("seed", 1));
+  } else if (!ParseSeedRange(seeds_flag, &lo, &hi)) {
+    std::fprintf(stderr, "simulate: bad --seeds (want A..B): %s\n",
+                 seeds_flag.c_str());
+    return 2;
+  }
+
+  bool warned_not_compiled = false;
+  for (uint64_t seed = lo; seed <= hi; ++seed) {
+    options.seed = seed;
+    if (!trace_path.empty()) {
+      options.trace_path = lo == hi
+                               ? trace_path
+                               : trace_path + "." + std::to_string(seed);
+    }
+    const sim::SimulationReport report = sim::RunSimulation(options);
+    std::printf("%s\n", report.Summary().c_str());
+    if (options.buggify && !report.buggify_compiled && !warned_not_compiled) {
+      std::fprintf(stderr,
+                   "note: built without -DROCKHOPPER_SIM=ON; Buggify fault "
+                   "sections are compiled out\n");
+      warned_not_compiled = true;
+    }
+    if (!report.passed()) {
+      std::fprintf(stderr,
+                   "invariant violation at seed %llu\n"
+                   "reproduce with: rockhopper simulate --seed=%llu\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Replays a recorded trace twice into identically-seeded fresh services and
+// verifies both replays land on the same state digest and the same metric
+// deltas — the determinism contract that makes a recorded failure a
+// debuggable artifact instead of a one-off.
+int RunReplay(const Args& args) {
+  const std::string trace_path = args.Get("trace", "");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "replay requires --trace=FILE\n");
+    return 2;
+  }
+  auto trace = sim::TraceReplayer::Read(trace_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "cannot load trace: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpch"));
+  std::vector<sparksim::QueryPlan> plans;
+  std::vector<uint64_t> signatures;
+  for (int q = 1; q <= SuiteSize(suite); ++q) {
+    plans.push_back(FlightingPipeline::PlanFor(suite, q));
+    signatures.push_back(plans.back().Signature());
+  }
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  // The counters whose per-replay deltas must match exactly.
+  const std::pair<const char*, const char*> kCounters[] = {
+      {"rockhopper_queries_started_total", ""},
+      {"rockhopper_queries_ended_total", ""},
+      {"rockhopper_telemetry_events_total", "verdict=\"accepted\""},
+      {"rockhopper_telemetry_events_total", "verdict=\"rejected_nonfinite\""},
+      {"rockhopper_telemetry_events_total", "verdict=\"rejected_nonpositive\""},
+      {"rockhopper_telemetry_events_total", "verdict=\"rejected_duplicate\""},
+      {"rockhopper_telemetry_events_total", "verdict=\"rejected_config\""},
+  };
+  std::string digests[2];
+  std::vector<double> deltas[2];
+  sim::TraceReplayReport reports[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    const common::MetricsSnapshot before =
+        common::MetricsRegistry::Default().Snapshot();
+    TuningService service(space, nullptr, {}, seed);
+    auto report = sim::TraceReplayer::Replay(*trace, &service, plans);
+    if (!report.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    reports[pass] = *report;
+    digests[pass] = sim::DigestServiceState(service, signatures);
+    const common::MetricsSnapshot after =
+        common::MetricsRegistry::Default().Snapshot();
+    for (const auto& [name, labels] : kCounters) {
+      deltas[pass].push_back(after.Value(name, labels) -
+                             before.Value(name, labels));
+    }
+  }
+  std::printf("replayed %zu records (%zu proposals, %zu deliveries, %zu "
+              "unknown signatures) twice\n",
+              trace->records.size(), reports[0].proposals, reports[0].events,
+              reports[0].unknown_signatures);
+  if (digests[0] != digests[1]) {
+    std::fprintf(stderr, "FAIL: replay diverged: digest %s vs %s\n",
+                 digests[0].c_str(), digests[1].c_str());
+    return 1;
+  }
+  if (deltas[0] != deltas[1]) {
+    std::fprintf(stderr, "FAIL: replay metric deltas diverged\n");
+    return 1;
+  }
+  std::printf("PASS: both replays converged to digest %s with identical "
+              "metric deltas\n",
+              digests[0].c_str());
   return 0;
 }
 
@@ -612,7 +916,15 @@ void PrintUsage() {
       "  chaos   tune under injected production faults (failures + corrupt "
       "telemetry)\n"
       "          flags: --suite=tpch|tpcds --iters=N --fl=F --sl=F\n"
-      "                 --journal=FILE --seed=N\n"
+      "                 --journal=FILE --seed=N --seeds=A..B (sweep a range;\n"
+      "                 exits non-zero with the first violating seed)\n"
+      "  simulate run the deterministic whole-service simulation harness\n"
+      "          flags: --seed=N --seeds=A..B --tenants=N --events=N\n"
+      "                 --crash-frac=F --no-buggify --no-chaos\n"
+      "                 --scratch=DIR --trace=FILE\n"
+      "  replay  replay a recorded simulation trace twice, verify identical "
+      "state\n"
+      "          flags: --trace=FILE --suite=tpch|tpcds --seed=N\n"
       "  recover restore tuning state from a crash-safe journal\n"
       "          flags: --journal=FILE --suite=tpch|tpcds --seed=N\n"
       "  serve   drive one shared service from concurrent tenant threads\n"
@@ -634,6 +946,8 @@ int main(int argc, char** argv) {
   if (args.command == "tune") return RunTune(args);
   if (args.command == "report") return RunReport(args);
   if (args.command == "chaos") return RunChaos(args);
+  if (args.command == "simulate") return RunSimulate(args);
+  if (args.command == "replay") return RunReplay(args);
   if (args.command == "recover") return RunRecover(args);
   if (args.command == "serve") return RunServe(args);
   if (args.command == "metrics") return RunMetrics(args);

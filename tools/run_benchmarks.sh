@@ -19,6 +19,13 @@
 #                     --metrics=on|off, best of N reps each) — write
 #                     BENCH_metrics.json, and FAIL (exit 1) if metrics-on
 #                     costs more than 3% over metrics-off
+#   --suite sim:      run the deterministic-simulation seed sweep
+#                     (tools/run_simulation_sweep.sh: Buggify-armed
+#                     crash/recovery runs plus the byte-reproducibility
+#                     check), write seeds swept / violations / wall time to
+#                     BENCH_sim.json, and FAIL (exit 1) on any invariant
+#                     violation or reproducibility mismatch
+#                     (ROCKHOPPER_SIM_SEEDS overrides the 1000-seed default)
 #
 # The regular build directory stays untouched; benchmarks use their own
 # Release build under build-bench/ so debug configurations never pollute
@@ -265,12 +272,73 @@ if overhead_ratio > LIMIT:
 PYGATE
 }
 
+run_sim_suite() {
+  local seeds="${ROCKHOPPER_SIM_SEEDS:-1000}"
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  trap "rm -rf '${tmp_dir}'" EXIT
+
+  local t0 t1 sweep_status=0
+  t0=$(date +%s%N)
+  # tee keeps the per-seed lines visible while the gate below re-parses them.
+  if ! ROCKHOPPER_SIM_SEEDS="${seeds}" \
+      "${repo_root}/tools/run_simulation_sweep.sh" \
+      | tee "${tmp_dir}/sweep.log"; then
+    sweep_status=1
+  fi
+  t1=$(date +%s%N)
+  local wall_ms=$(( (t1 - t0) / 1000000 ))
+
+  python3 - "${tmp_dir}/sweep.log" "${seeds}" "${wall_ms}" "${sweep_status}" \
+    "${repo_root}/BENCH_sim.json" <<'PYSIM'
+import json
+import re
+import sys
+
+log_path, seeds, wall_ms, sweep_status, out_path = sys.argv[1:6]
+with open(log_path) as f:
+    log = f.read()
+
+seed_lines = re.findall(r"^seed \d+: (PASS|FAIL)\b", log, re.M)
+violations = seed_lines.count("FAIL")
+repro = bool(re.search(r"^reproducibility: seed \d+ byte-identical", log, re.M))
+
+result = {
+    "summary": {
+        "seeds_requested": int(seeds),
+        "seeds_swept": len(seed_lines),
+        "invariant_violations": violations,
+        "repro_identical": repro,
+        "wall_s": int(wall_ms) / 1000.0,
+        "passed": violations == 0
+        and repro
+        and int(sweep_status) == 0
+        and len(seed_lines) >= int(seeds),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+s = result["summary"]
+print(f"wrote {out_path}")
+print(f"  seeds_swept         : {s['seeds_swept']}")
+print(f"  invariant_violations: {s['invariant_violations']}")
+print(f"  repro_identical     : {s['repro_identical']}")
+print(f"  wall_s              : {s['wall_s']:.1f}")
+if not s["passed"]:
+    print("FAIL: simulation sweep gate (see log above)", file=sys.stderr)
+    sys.exit(1)
+PYSIM
+}
+
 if [[ "${filter}" == "--suite" ]]; then
   case "${2:-}" in
     fig) run_fig_suite ;;
     metrics) run_metrics_suite ;;
+    sim) run_sim_suite ;;
     *)
-      echo "unknown suite '${2:-}' (expected: fig, metrics)" >&2
+      echo "unknown suite '${2:-}' (expected: fig, metrics, sim)" >&2
       exit 2
       ;;
   esac

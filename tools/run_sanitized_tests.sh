@@ -10,6 +10,11 @@
 #                   ThreadPool / experiment-runner tests (shutdown under
 #                   load, concurrent ParallelFor, parallel arms), and the
 #                   QueryPlan stats cache's CAS publication
+#
+# Sanitized builds compile with -DROCKHOPPER_SIM=ON so the Buggify fault
+# sections (src/sim/buggify.h) are live: the suite's sim tests and the
+# closing `rockhopper simulate` smoke sweep drive the injected journal /
+# model-store / pipeline failure paths under the sanitizer.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,8 +42,16 @@ esac
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DROCKHOPPER_SANITIZE="${sanitize_value}" \
+  -DROCKHOPPER_SIM=ON \
   -DROCKHOPPER_BUILD_BENCHMARKS=OFF \
   -DROCKHOPPER_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)"
 
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+
+# Simulation smoke sweep under the sanitizer: a handful of Buggify-armed
+# whole-service runs (crash, torn tail, recovery) with every injected fault
+# section live.
+echo "== ${mode}: rockhopper simulate smoke sweep =="
+"${build_dir}/tools/rockhopper" simulate --seeds=1..5 \
+  --scratch="${build_dir}/sim-scratch"
