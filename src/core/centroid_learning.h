@@ -86,6 +86,18 @@ class CentroidLearner : public Tuner {
     return last_candidates_;
   }
 
+  /// Persists / restores the full tuner state under `prefix`: centroid,
+  /// windows, step sizes, the scorer's learned state (via its Save/Load) and
+  /// the exact generator position (mt19937_64 stream round-trip). A Load
+  /// into a learner constructed with the same space/options/seed reproduces
+  /// the Propose/Observe trajectory bit-identically — the contract the
+  /// tiered state layer's evict/fault-in path depends on.
+  Status Save(const std::string& prefix, common::ArchiveWriter* writer) const;
+  Status Load(const std::string& prefix, const common::ArchiveReader& reader);
+
+  /// Approximate resident footprint in bytes, including the scorer.
+  size_t ApproxBytes() const;
+
  private:
   void MaybeUpdateCentroid(double reference_data_size);
 

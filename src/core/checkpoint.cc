@@ -1,0 +1,344 @@
+#include "core/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/tracing.h"
+#include "sim/buggify.h"
+
+namespace rockhopper::core {
+
+namespace {
+
+constexpr char kCheckpointMagic[] = "rockhopper-checkpoint";
+constexpr char kCheckpointVersion[] = "v1";
+constexpr char kJournalHeader[] = "rockhopper-journal v1";
+
+std::string Describe(size_t n, const char* what) {
+  return std::to_string(n) + " " + what;
+}
+
+/// One parsed record-bearing file: the raw validated lines (absorb path
+/// keeps bytes untouched) plus damage accounting for the dropped suffix.
+struct RecordFile {
+  std::vector<std::string> lines;
+  size_t records_dropped = 0;
+  size_t bytes_dropped = 0;
+  bool clean = true;
+  // Checkpoint metadata (checkpoint files only).
+  uint64_t last_segment = 0;
+  size_t declared_records = 0;
+};
+
+/// Reads a record file, validating every line's CRC and payload; the first
+/// bad line ends the valid prefix (the strictly-sequential-writer argument
+/// of ObservationJournal::Recover). `checkpoint_header` selects which of the
+/// two header formats the first line must match.
+Result<RecordFile> ReadRecordFile(const std::string& path,
+                                  bool checkpoint_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  RecordFile file;
+  const size_t header_end = text.find('\n');
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("missing header line: " + path);
+  }
+  const std::string header = text.substr(0, header_end);
+  if (checkpoint_header) {
+    char magic[32], version[16];
+    uint64_t last_segment = 0;
+    size_t declared = 0;
+    if (std::sscanf(header.c_str(), "%31s %15s %" SCNu64 " %zu", magic,
+                    version, &last_segment, &declared) != 4 ||
+        std::string(magic) != kCheckpointMagic ||
+        std::string(version) != kCheckpointVersion) {
+      return Status::InvalidArgument("not a rockhopper checkpoint: " + path);
+    }
+    file.last_segment = last_segment;
+    file.declared_records = declared;
+  } else if (header != kJournalHeader) {
+    return Status::InvalidArgument("not a rockhopper journal: " + path);
+  }
+
+  size_t pos = header_end + 1;
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) {
+      // Truncated tail: the writer died mid-record.
+      file.clean = false;
+      file.bytes_dropped = text.size() - pos;
+      ++file.records_dropped;
+      return file;
+    }
+    std::string line = text.substr(pos, newline - pos);
+    uint64_t signature = 0;
+    Observation obs;
+    if (!ParseJournalLine(line, &signature, &obs)) {
+      // Bad record: drop this line and everything after it.
+      file.clean = false;
+      file.bytes_dropped = text.size() - pos;
+      for (size_t p = pos; p < text.size();) {
+        ++file.records_dropped;
+        const size_t nl = text.find('\n', p);
+        if (nl == std::string::npos) break;
+        p = nl + 1;
+      }
+      return file;
+    }
+    file.lines.push_back(std::move(line));
+    pos = newline + 1;
+  }
+  // A checkpoint shorter than its declared count lost whole trailing lines
+  // (truncation on a line boundary looks clean line-by-line).
+  if (checkpoint_header && file.lines.size() < file.declared_records) {
+    file.clean = false;
+    file.records_dropped += file.declared_records - file.lines.size();
+  }
+  return file;
+}
+
+Status ReplayLines(const std::vector<std::string>& lines,
+                   ObservationStore* store) {
+  for (const std::string& line : lines) {
+    uint64_t signature = 0;
+    Observation obs;
+    if (!ParseJournalLine(line, &signature, &obs)) {
+      return Status::Internal("validated journal line failed to reparse");
+    }
+    store->Append(signature, std::move(obs));
+  }
+  return Status::OK();
+}
+
+/// Header-only read of a checkpoint's sequence number; 0 when the file is
+/// absent or unparseable (a damaged header fails loudly later, in the full
+/// ReadRecordFile pass).
+uint64_t CheckpointSeqOrZero(const std::string& checkpoint_path) {
+  std::ifstream in(checkpoint_path, std::ios::binary);
+  if (!in) return 0;
+  std::string header;
+  if (!std::getline(in, header)) return 0;
+  char magic[32], version[16];
+  uint64_t last_segment = 0;
+  size_t declared = 0;
+  if (std::sscanf(header.c_str(), "%31s %15s %" SCNu64 " %zu", magic, version,
+                  &last_segment, &declared) != 4 ||
+      std::string(magic) != kCheckpointMagic ||
+      std::string(version) != kCheckpointVersion) {
+    return 0;
+  }
+  return last_segment;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& journal_path) {
+  return journal_path + ".checkpoint";
+}
+
+Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path) {
+  ScopedSpan span(ServiceMetrics::Get().checkpoint_seconds);
+  const std::string checkpoint_path = CheckpointPath(journal_path);
+
+  CheckpointReport report;
+  report.checkpoint_path = checkpoint_path;
+
+  // Base: the previous checkpoint's records (absent on the first compaction).
+  RecordFile base;
+  bool have_checkpoint = false;
+  {
+    Result<RecordFile> read = ReadRecordFile(checkpoint_path, true);
+    if (read.ok()) {
+      base = std::move(*read);
+      have_checkpoint = true;
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+  }
+  report.last_segment = base.last_segment;
+  report.records_dropped += base.records_dropped;
+
+  ROCKHOPPER_ASSIGN_OR_RETURN(segments,
+                              ObservationJournal::ListSegments(journal_path));
+  // Segments at or below the checkpoint sequence were absorbed by an earlier
+  // compaction that crashed before removing them; their records are already
+  // in the checkpoint, so they are deleted without re-absorbing.
+  std::vector<std::pair<uint64_t, std::string>> fresh;
+  std::vector<std::string> stale;
+  for (const auto& [index, path] : segments) {
+    if (index > base.last_segment) {
+      fresh.emplace_back(index, path);
+    } else {
+      stale.push_back(path);
+    }
+  }
+
+  if (fresh.empty() && have_checkpoint) {
+    // Nothing new to absorb; just finish the interrupted truncation.
+    report.records = base.lines.size();
+    if (!ROCKHOPPER_BUGGIFY("checkpoint.truncate.crash")) {
+      for (const std::string& path : stale) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+      }
+    }
+    return report;
+  }
+
+  std::vector<std::string> absorbed = std::move(base.lines);
+  uint64_t last_segment = base.last_segment;
+  for (const auto& [index, path] : fresh) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(segment, ReadRecordFile(path, false));
+    absorbed.insert(absorbed.end(),
+                    std::make_move_iterator(segment.lines.begin()),
+                    std::make_move_iterator(segment.lines.end()));
+    // A torn segment tail is a record that was never acked (the sticky
+    // journal error rejected everything after it); dropping it loses
+    // nothing the service promised to keep.
+    report.records_dropped += segment.records_dropped;
+    last_segment = index;
+  }
+
+  // Publish atomically: a crash mid-write leaves only a .tmp file and the
+  // previous checkpoint + segments intact.
+  const std::string tmp_path = checkpoint_path + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IOError("cannot open checkpoint tmp: " + tmp_path);
+  }
+  std::fprintf(out, "%s %s %" PRIu64 " %zu\n", kCheckpointMagic,
+               kCheckpointVersion, last_segment, absorbed.size());
+  if (ROCKHOPPER_BUGGIFY("checkpoint.write.crash")) {
+    // Crash mid-write: a prefix of the records reaches the tmp file, which
+    // is never renamed — recovery must be oblivious to it.
+    for (size_t i = 0; i < absorbed.size() / 2; ++i) {
+      std::fprintf(out, "%s\n", absorbed[i].c_str());
+    }
+    std::fflush(out);
+    std::fclose(out);
+    return Status::IOError("injected checkpoint crash mid-write: " +
+                           tmp_path);
+  }
+  for (const std::string& line : absorbed) {
+    if (std::fprintf(out, "%s\n", line.c_str()) < 0) {
+      std::fclose(out);
+      return Status::IOError("checkpoint write failed: " + tmp_path);
+    }
+  }
+  if (std::fflush(out) != 0 || std::fclose(out) != 0) {
+    return Status::IOError("checkpoint flush failed: " + tmp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, checkpoint_path, ec);
+  if (ec) {
+    return Status::IOError("checkpoint publish failed: " + checkpoint_path +
+                           ": " + ec.message());
+  }
+
+  report.last_segment = last_segment;
+  report.records = absorbed.size();
+  report.segments_absorbed = fresh.size();
+
+  // Truncation: absorbed segments are now redundant (recovery skips indexes
+  // <= last_segment), so removing them is pure space reclamation — a crash
+  // anywhere in this loop is harmless.
+  if (!ROCKHOPPER_BUGGIFY("checkpoint.truncate.crash")) {
+    for (const auto& [index, path] : fresh) {
+      std::filesystem::remove(path, ec);
+    }
+    for (const std::string& path : stale) {
+      std::filesystem::remove(path, ec);
+    }
+  }
+  ServiceMetrics::Get().checkpoints_total->Increment();
+  return report;
+}
+
+Result<CheckpointReport> CheckpointLive(ObservationJournal* journal) {
+  if (journal == nullptr || !journal->is_open()) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  // The sequence barrier: drain group commit and seal the live file, so the
+  // compactor absorbs every record acked before this call without ever
+  // touching the file writers are appending to. The rotation index floor
+  // keeps numbering monotonic past segments earlier compactions absorbed
+  // and deleted (see Rotate's doc).
+  const uint64_t floor =
+      CheckpointSeqOrZero(CheckpointPath(journal->path())) + 1;
+  ROCKHOPPER_RETURN_IF_ERROR(journal->Rotate(floor).status());
+  return WriteCheckpoint(journal->path());
+}
+
+Result<JournalChain> RecoverJournalChain(const std::string& journal_path) {
+  JournalChain chain;
+  bool found_any = false;
+
+  auto absorb_damage = [&chain](const RecordFile& file,
+                                const std::string& path) {
+    if (file.clean) return;
+    chain.clean = false;
+    chain.records_dropped += file.records_dropped;
+    chain.bytes_dropped += file.bytes_dropped;
+    if (chain.tail_status.ok()) {
+      chain.tail_status = Status::DataLoss(
+          "dropped " + Describe(file.records_dropped, "records") + " (" +
+          Describe(file.bytes_dropped, "bytes") + ") from " + path);
+    }
+  };
+
+  const std::string checkpoint_path = CheckpointPath(journal_path);
+  {
+    Result<RecordFile> read = ReadRecordFile(checkpoint_path, true);
+    if (read.ok()) {
+      found_any = true;
+      chain.checkpoint_seq = read->last_segment;
+      chain.checkpoint_records = read->lines.size();
+      absorb_damage(*read, checkpoint_path);
+      ROCKHOPPER_RETURN_IF_ERROR(ReplayLines(read->lines, &chain.store));
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+  }
+
+  ROCKHOPPER_ASSIGN_OR_RETURN(segments,
+                              ObservationJournal::ListSegments(journal_path));
+  for (const auto& [index, path] : segments) {
+    if (index <= chain.checkpoint_seq) continue;  // already in the checkpoint
+    ROCKHOPPER_ASSIGN_OR_RETURN(segment, ReadRecordFile(path, false));
+    found_any = true;
+    ++chain.segments_replayed;
+    chain.tail_records += segment.lines.size();
+    absorb_damage(segment, path);
+    ROCKHOPPER_RETURN_IF_ERROR(ReplayLines(segment.lines, &chain.store));
+  }
+
+  {
+    Result<RecordFile> read = ReadRecordFile(journal_path, false);
+    if (read.ok()) {
+      found_any = true;
+      chain.tail_records += read->lines.size();
+      absorb_damage(*read, journal_path);
+      ROCKHOPPER_RETURN_IF_ERROR(ReplayLines(read->lines, &chain.store));
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+  }
+
+  if (!found_any) {
+    return Status::NotFound("no checkpoint, segments or journal at " +
+                            journal_path);
+  }
+  return chain;
+}
+
+}  // namespace rockhopper::core

@@ -1,0 +1,93 @@
+#ifndef ROCKHOPPER_CORE_CHECKPOINT_H_
+#define ROCKHOPPER_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/journal.h"
+#include "core/observation.h"
+
+namespace rockhopper::core {
+
+/// Journal checkpointing = record compaction. A checkpoint file holds the
+/// observation *records* (journal line format, one CRC per record) absorbed
+/// from the previous checkpoint plus every completed journal segment — never
+/// live model state and never the live journal file. The header line carries
+/// the compaction metadata, so one atomic rename publishes records and
+/// metadata together:
+///
+///   rockhopper-checkpoint v1 <last-segment> <record-count>
+///   <crc32-hex8> <payload>          (journal record format)
+///   ...
+///
+/// Recovery replays checkpoint records, then segments with index >
+/// last-segment, then the live journal tail — each record exactly once:
+///  - crash mid-compaction leaves a .tmp file; the old checkpoint and all
+///    segments are intact, so nothing is lost or doubled;
+///  - crash after the rename but before segment removal ("mid-truncate")
+///    leaves absorbed segments on disk; recovery skips them because their
+///    index is <= the new checkpoint's last-segment.
+/// The compactor never touches the live file: the sequence barrier between
+/// group commit and checkpointing is ObservationJournal::Rotate(), which
+/// drains in-flight records and seals the live file as a new segment.
+
+/// Checkpoint file location for a journal at `journal_path`.
+std::string CheckpointPath(const std::string& journal_path);
+
+struct CheckpointReport {
+  std::string checkpoint_path;
+  /// Highest segment index absorbed — the checkpoint sequence number.
+  uint64_t last_segment = 0;
+  /// Records in the checkpoint after this compaction.
+  size_t records = 0;
+  /// Segments absorbed (and removed) by this compaction.
+  size_t segments_absorbed = 0;
+  /// Torn/corrupt records dropped from absorbed segment tails (never-acked
+  /// suffixes of crashed segments).
+  size_t records_dropped = 0;
+};
+
+/// Offline compaction: absorbs the existing checkpoint (if any) plus every
+/// completed segment of `journal_path` into a fresh checkpoint published by
+/// atomic rename, then removes the absorbed segments. Safe to run against a
+/// closed journal or concurrently with a live one (it never opens the live
+/// file). A no-op report (segments_absorbed == 0) is returned when there is
+/// nothing new to absorb and a checkpoint already exists.
+Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path);
+
+/// Live checkpoint: rotates `journal` (the group-commit sequence barrier —
+/// every acked record lands in a sealed segment) and then compacts. The
+/// service keeps appending throughout; only the rotation itself briefly
+/// blocks writers.
+Result<CheckpointReport> CheckpointLive(ObservationJournal* journal);
+
+/// The result of replaying checkpoint + segments + live tail.
+struct JournalChain {
+  ObservationStore store;
+  /// Checkpoint sequence number (0 = no checkpoint found).
+  uint64_t checkpoint_seq = 0;
+  size_t checkpoint_records = 0;
+  /// Segments with index > checkpoint_seq that were replayed.
+  size_t segments_replayed = 0;
+  /// Records replayed from segments and the live file (the "tail" beyond
+  /// the checkpoint).
+  size_t tail_records = 0;
+  size_t records_dropped = 0;
+  size_t bytes_dropped = 0;
+  /// False when any file in the chain had a torn or corrupt tail.
+  bool clean = true;
+  /// OK, or kDataLoss describing the first damage encountered.
+  Status tail_status = Status::OK();
+};
+
+/// Recovers the full observation history of `journal_path`: checkpoint
+/// records first, then segments above the checkpoint sequence in ascending
+/// order, then the live journal. Returns kNotFound only when none of the
+/// three sources exist; damaged tails inside any source are dropped and
+/// reported via `tail_status`, matching ObservationJournal::Recover.
+Result<JournalChain> RecoverJournalChain(const std::string& journal_path);
+
+}  // namespace rockhopper::core
+
+#endif  // ROCKHOPPER_CORE_CHECKPOINT_H_

@@ -95,4 +95,68 @@ bool Guardrail::Record(const Observation& obs) {
   return !disabled_;
 }
 
+Status Guardrail::Save(const std::string& prefix,
+                       common::ArchiveWriter* writer) const {
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutBool(prefix + ".disabled", disabled_));
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutInt(prefix + ".strikes", strikes_));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutInt(prefix + ".failure_strikes", failure_strikes_));
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutInt(prefix + ".consecutive_failures",
+                                            consecutive_failures_));
+  // One row per observation: [data_size, runtime, iteration, failed,
+  // config...]. Iterations and the failed flag fit exactly in doubles.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(history_.size());
+  for (const Observation& obs : history_) {
+    std::vector<double> row;
+    row.reserve(4 + obs.config.size());
+    row.push_back(obs.data_size);
+    row.push_back(obs.runtime);
+    row.push_back(static_cast<double>(obs.iteration));
+    row.push_back(obs.failed ? 1.0 : 0.0);
+    row.insert(row.end(), obs.config.begin(), obs.config.end());
+    rows.push_back(std::move(row));
+  }
+  return writer->PutDoubleRows(prefix + ".history", rows);
+}
+
+Status Guardrail::Load(const std::string& prefix,
+                       const common::ArchiveReader& reader) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(disabled, reader.GetBool(prefix + ".disabled"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(strikes, reader.GetInt(prefix + ".strikes"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(failure_strikes,
+                              reader.GetInt(prefix + ".failure_strikes"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(
+      consecutive, reader.GetInt(prefix + ".consecutive_failures"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(rows, reader.GetDoubleRows(prefix + ".history"));
+  std::vector<Observation> history;
+  history.reserve(rows.size());
+  for (const std::vector<double>& row : rows) {
+    if (row.size() < 4) {
+      return Status::InvalidArgument("guardrail history row too short");
+    }
+    Observation obs;
+    obs.data_size = row[0];
+    obs.runtime = row[1];
+    obs.iteration = static_cast<int>(row[2]);
+    obs.failed = row[3] != 0.0;
+    obs.config.assign(row.begin() + 4, row.end());
+    history.push_back(std::move(obs));
+  }
+  disabled_ = disabled;
+  strikes_ = static_cast<int>(strikes);
+  failure_strikes_ = static_cast<int>(failure_strikes);
+  consecutive_failures_ = static_cast<int>(consecutive);
+  history_ = std::move(history);
+  return Status::OK();
+}
+
+size_t Guardrail::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Observation& obs : history_) {
+    bytes += sizeof(Observation) + obs.config.size() * sizeof(double);
+  }
+  return bytes;
+}
+
 }  // namespace rockhopper::core

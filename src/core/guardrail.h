@@ -1,8 +1,10 @@
 #ifndef ROCKHOPPER_CORE_GUARDRAIL_H_
 #define ROCKHOPPER_CORE_GUARDRAIL_H_
 
+#include <string>
 #include <vector>
 
+#include "common/archive.h"
 #include "core/observation.h"
 
 namespace rockhopper::core {
@@ -61,6 +63,15 @@ class Guardrail {
   /// negative value when the model cannot be fitted yet. Exposed for the
   /// monitoring dashboard and tests.
   double PredictNextRuntime() const;
+
+  /// Persists / restores the watchdog state (history, strikes, disabled
+  /// flag) under `prefix`; options are reconstructed by the caller. A
+  /// round-trip reproduces Record decisions bit-identically.
+  Status Save(const std::string& prefix, common::ArchiveWriter* writer) const;
+  Status Load(const std::string& prefix, const common::ArchiveReader& reader);
+
+  /// Approximate resident footprint in bytes (dominated by the history).
+  size_t ApproxBytes() const;
 
  private:
   Options options_;

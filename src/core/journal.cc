@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <iterator>
 #include <fstream>
 #include <sstream>
@@ -76,12 +77,32 @@ bool ParsePayload(const std::string& payload, uint64_t* signature,
 
 }  // namespace
 
+std::string FormatJournalLine(uint64_t signature, const Observation& obs) {
+  const std::string payload = FormatPayload(signature, obs);
+  char crc_buf[16];
+  std::snprintf(crc_buf, sizeof(crc_buf), "%08x ", common::Crc32(payload));
+  return crc_buf + payload;
+}
+
+bool ParseJournalLine(const std::string& line, uint64_t* signature,
+                      Observation* obs) {
+  if (line.size() <= 9 || line[8] != ' ') return false;
+  const std::string crc_text = line.substr(0, 8);
+  char* end = nullptr;
+  const unsigned long crc = std::strtoul(crc_text.c_str(), &end, 16);
+  const std::string payload = line.substr(9);
+  return end == crc_text.c_str() + crc_text.size() &&
+         static_cast<uint32_t>(crc) == common::Crc32(payload) &&
+         ParsePayload(payload, signature, obs);
+}
+
 ObservationJournal::~ObservationJournal() { Close(); }
 
 ObservationJournal::ObservationJournal(ObservationJournal&& other) noexcept {
   other.StopGroupCommit();  // drain; the writer thread references `other`
-  file_ = other.file_;
+  file_ = other.file_.load(std::memory_order_relaxed);
   path_ = std::move(other.path_);
+  next_segment_hint_ = other.next_segment_hint_;
   async_write_errors_ =
       other.async_write_errors_.load(std::memory_order_relaxed);
   failed_ = other.failed_.load(std::memory_order_relaxed);
@@ -94,8 +115,9 @@ ObservationJournal& ObservationJournal::operator=(
   if (this != &other) {
     other.StopGroupCommit();
     Close();
-    file_ = other.file_;
+    file_ = other.file_.load(std::memory_order_relaxed);
     path_ = std::move(other.path_);
+    next_segment_hint_ = other.next_segment_hint_;
     async_write_errors_ =
         other.async_write_errors_.load(std::memory_order_relaxed);
     failed_ = other.failed_.load(std::memory_order_relaxed);
@@ -124,8 +146,8 @@ Status ObservationJournal::error() const {
 
 Status ObservationJournal::Close() {
   StopGroupCommit();
-  if (file_ != nullptr) {
-    if (std::fclose(file_) != 0 && !failed_.load(std::memory_order_relaxed)) {
+  if (std::FILE* file = file_.load(std::memory_order_relaxed)) {
+    if (std::fclose(file) != 0 && !failed_.load(std::memory_order_relaxed)) {
       Fail(Status::IOError("journal close failed: " + path_));
     }
     file_ = nullptr;
@@ -154,6 +176,10 @@ Status ObservationJournal::WriteRecord(uint64_t signature,
                                        const Observation& obs, bool flush) {
   const std::string payload = FormatPayload(signature, obs);
   const uint32_t crc = common::Crc32(payload);
+  // Hold the I/O lock across the whole record so a concurrent Rotate() swaps
+  // files only on record boundaries.
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  std::FILE* file = file_.load(std::memory_order_relaxed);
   if (ROCKHOPPER_BUGGIFY("journal.append.io_error")) {
     // The write syscall failed outright: nothing reached the file.
     return Fail(Status::IOError("injected journal write error: " + path_));
@@ -163,19 +189,19 @@ Status ObservationJournal::WriteRecord(uint64_t signature,
     // file before the "disk" dies — the tail shape Recover() must drop.
     char buffer[16];
     std::snprintf(buffer, sizeof(buffer), "%08x ", crc);
-    std::fwrite(buffer, 1, sizeof(buffer) - 7, file_);
-    std::fwrite(payload.data(), 1, payload.size() / 2, file_);
-    std::fflush(file_);
+    std::fwrite(buffer, 1, sizeof(buffer) - 7, file);
+    std::fwrite(payload.data(), 1, payload.size() / 2, file);
+    std::fflush(file);
     return Fail(Status::IOError("injected journal short write: " + path_));
   }
-  if (std::fprintf(file_, "%08x %s\n", crc, payload.c_str()) < 0) {
+  if (std::fprintf(file, "%08x %s\n", crc, payload.c_str()) < 0) {
     return Fail(Status::IOError("journal append failed: " + path_));
   }
   // An injected flush failure short-circuits the real fflush: the record
   // stays in the stdio buffer, invisible to a crash snapshot — the
   // lost-on-power-cut shape of a lying fsync.
   if (flush && (ROCKHOPPER_BUGGIFY("journal.sync.flush_fail") ||
-                std::fflush(file_) != 0)) {
+                std::fflush(file) != 0)) {
     return Fail(Status::IOError("journal flush failed: " + path_));
   }
   ServiceMetrics::Get().journal_appends->Increment();
@@ -183,7 +209,7 @@ Status ObservationJournal::WriteRecord(uint64_t signature,
 }
 
 Status ObservationJournal::Append(uint64_t signature, const Observation& obs) {
-  if (file_ == nullptr) {
+  if (!is_open()) {
     return Status::FailedPrecondition("journal is not open");
   }
   if (failed_.load(std::memory_order_acquire)) {
@@ -209,7 +235,7 @@ Status ObservationJournal::Append(uint64_t signature, const Observation& obs) {
 }
 
 Status ObservationJournal::StartGroupCommit(const GroupCommitOptions& options) {
-  if (file_ == nullptr) {
+  if (!is_open()) {
     return Status::FailedPrecondition("journal is not open");
   }
   if (gc_ != nullptr) {
@@ -268,8 +294,10 @@ void ObservationJournal::WriterLoop() {
       // Flush unconditionally: records written (and counted as appends)
       // before a mid-batch error are the journal's valid prefix and must
       // reach the file — skipping the flush would strand them in the stdio
-      // buffer, acked but invisible to recovery.
-      if (std::fflush(file_) != 0) {
+      // buffer, acked but invisible to recovery. Under the I/O lock so a
+      // concurrent rotation cannot swap the file out from under the flush.
+      std::lock_guard<std::mutex> io_lock(io_mu_);
+      if (std::fflush(file_.load(std::memory_order_relaxed)) != 0) {
         if (!failed_.load(std::memory_order_relaxed)) {
           Fail(Status::IOError("journal flush failed: " + path_));
         }
@@ -319,6 +347,98 @@ Status ObservationJournal::Sync() {
     gc_->drained.wait(lock, [this] { return gc_->in_flight == 0; });
   }
   return error();
+}
+
+Result<ObservationJournal::RotateResult> ObservationJournal::Rotate(
+    uint64_t min_index) {
+  if (!is_open()) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  // Drain queued group-commit records so every record acked before this call
+  // is inside the file about to be sealed. Concurrent appends may land on
+  // either side of the cut — exactly once either way.
+  if (gc_ != nullptr) {
+    std::unique_lock<std::mutex> lock(gc_->mu);
+    gc_->drained.wait(lock, [this] { return gc_->in_flight == 0; });
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(segments, ListSegments(path_));
+  const uint64_t next =
+      std::max({min_index, next_segment_hint_,
+                segments.empty() ? 1 : segments.back().first + 1});
+  const std::string segment_path = path_ + ".seg-" + std::to_string(next);
+
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  std::FILE* live = file_.load(std::memory_order_relaxed);
+  std::fflush(live);
+  // Rename with the stream still open: the handle stays bound to the (now
+  // sealed) inode, so file_ never passes through nullptr and concurrent
+  // Append callers racing the lock-free is_open() fast path never see a
+  // momentarily-closed journal and drop acked records.
+  std::error_code ec;
+  std::filesystem::rename(path_, segment_path, ec);
+  if (ec) {
+    // Nothing changed: the live file was never closed or moved.
+    return Fail(Status::IOError("journal rotate rename failed: " + path_ +
+                                ": " + ec.message()));
+  }
+  std::FILE* fresh = std::fopen(path_.c_str(), "ab");
+  if (fresh == nullptr) {
+    // The live handle still targets the sealed inode, so later appends land
+    // in the segment — which stays ahead of any checkpoint in the recovery
+    // chain (this rotation failed, so nothing absorbs it). Degraded but
+    // durable.
+    return Fail(
+        Status::IOError("cannot reopen journal after rotate: " + path_));
+  }
+  std::fprintf(fresh, "%s\n", kHeader);
+  std::fflush(fresh);
+  file_.store(fresh, std::memory_order_release);
+  std::fclose(live);
+  // The fresh live file starts a new valid prefix; the record that tripped
+  // the sticky error (if any) is confined to the sealed segment, where
+  // recovery drops it like any torn tail.
+  {
+    std::lock_guard<std::mutex> error_lock(error_mu_);
+    first_error_ = Status::OK();
+    failed_.store(false, std::memory_order_release);
+  }
+  next_segment_hint_ = next + 1;
+  return RotateResult{segment_path, next};
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>>
+ObservationJournal::ListSegments(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  const fs::path journal(path);
+  const fs::path dir =
+      journal.has_parent_path() ? journal.parent_path() : fs::path(".");
+  const std::string prefix = journal.filename().string() + ".seg-";
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list journal segments in " + dir.string() +
+                           ": " + ec.message());
+  }
+  for (const fs::directory_iterator end_it; it != end_it; it.increment(ec)) {
+    if (ec) {
+      return Status::IOError("error scanning journal segments in " +
+                             dir.string() + ": " + ec.message());
+    }
+    const std::string name = it->path().filename().string();
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string index_text = name.substr(prefix.size());
+    char* end = nullptr;
+    const unsigned long long index =
+        std::strtoull(index_text.c_str(), &end, 10);
+    if (end == index_text.c_str() || *end != '\0') continue;
+    segments.emplace_back(static_cast<uint64_t>(index), it->path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
 }
 
 Result<ObservationJournal::Recovered> ObservationJournal::Recover(

@@ -11,11 +11,21 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "core/observation.h"
 
 namespace rockhopper::core {
+
+/// Formats one checksummed journal record line ("<crc-hex8> <payload>",
+/// no trailing newline). Shared with the checkpoint compactor, which stores
+/// absorbed records in the same self-checking format.
+std::string FormatJournalLine(uint64_t signature, const Observation& obs);
+
+/// Parses and CRC-validates one record line; false on any damage.
+bool ParseJournalLine(const std::string& line, uint64_t* signature,
+                      Observation* obs);
 
 /// Knobs of the journal's group-commit mode (see StartGroupCommit).
 struct GroupCommitOptions {
@@ -92,6 +102,37 @@ class ObservationJournal {
   /// means everything appended so far is durably in the OS page cache.
   Status Sync();
 
+  struct RotateResult {
+    std::string segment_path;
+    uint64_t segment_index = 0;
+  };
+
+  /// Seals the live file as an immutable segment and reopens a fresh live
+  /// journal — the checkpoint compactor's sequence barrier. Drains in-flight
+  /// group-commit records first, then (under the I/O lock, so concurrent
+  /// appends block rather than tear) renames the live file to
+  /// `<path>.seg-<k>` (k = max(highest existing segment + 1, `min_index`))
+  /// and reopens `path` with a fresh header. Every record acked before the
+  /// call lands in the sealed segment or an earlier one; records appended
+  /// concurrently land in either the segment or the new live file, exactly
+  /// once.
+  ///
+  /// `min_index` keeps segment numbering monotonic across checkpoint
+  /// truncation: absorbed segments are deleted from disk, so "highest on
+  /// disk + 1" alone would reuse an absorbed index and the next compaction
+  /// would silently discard the reused segment as a stale pre-checkpoint
+  /// leftover. The compactor passes its checkpoint sequence + 1.
+  ///
+  /// A successful rotation clears the sticky error: the torn or unflushed
+  /// record that ended the old valid prefix is confined to the sealed
+  /// segment, where recovery drops it like any torn tail, and the fresh live
+  /// file starts a new valid prefix.
+  Result<RotateResult> Rotate(uint64_t min_index = 0);
+
+  /// Completed segment files of `path` ("<path>.seg-<k>"), sorted by index.
+  static Result<std::vector<std::pair<uint64_t, std::string>>> ListSegments(
+      const std::string& path);
+
   /// Records the writer thread failed to persist (group-commit mode). The
   /// counter survives StopGroupCommit so shutdown accounting stays intact.
   uint64_t async_write_errors() const {
@@ -104,7 +145,9 @@ class ObservationJournal {
   Status error() const;
   bool has_error() const { return failed_.load(std::memory_order_relaxed); }
 
-  bool is_open() const { return file_ != nullptr; }
+  bool is_open() const {
+    return file_.load(std::memory_order_acquire) != nullptr;
+  }
   const std::string& path() const { return path_; }
   /// Stops group commit (draining), closes the underlying file (also done by
   /// the destructor), and returns the sticky first error — a failed fclose
@@ -156,8 +199,22 @@ class ObservationJournal {
   /// and returns it.
   Status Fail(Status status);
 
-  std::FILE* file_ = nullptr;
+  /// Atomic so Append's lock-free "is open" fast path can race with
+  /// Rotate()'s handle swap: the pointer goes old-live → fresh-live in one
+  /// store (never through nullptr — the old stream stays open across the
+  /// rename), so concurrent appenders always observe an open journal.
+  std::atomic<std::FILE*> file_{nullptr};
   std::string path_;
+  /// One past the highest segment index this journal has sealed: keeps
+  /// repeated in-process rotations monotonic even after a checkpoint deletes
+  /// absorbed segments from disk (on-disk "highest + 1" alone would reuse an
+  /// absorbed index). Cross-restart monotonicity comes from the compactor's
+  /// `min_index` floor.
+  uint64_t next_segment_hint_ = 0;
+  /// Serializes raw file I/O — record writes, the group-commit batch flush,
+  /// and Rotate()'s rename/reopen handle swap — so a rotation never tears a
+  /// record across two files. Never held while waiting on gc_ conditions.
+  mutable std::mutex io_mu_;
   std::unique_ptr<GroupCommitState> gc_;
   std::atomic<uint64_t> async_write_errors_{0};
   /// Sticky-error state: failed_ is the lock-free fast-path flag, the Status

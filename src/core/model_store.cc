@@ -123,13 +123,19 @@ std::vector<uint64_t> ModelStore::Signatures() const {
 Status ModelStore::CleanupGenerations(int keep) {
   if (keep < 1) return Status::InvalidArgument("keep must be >= 1");
   for (uint64_t signature : Signatures()) {
-    const std::vector<int> generations = Generations(signature);
-    const int drop = static_cast<int>(generations.size()) - keep;
-    for (int i = 0; i < drop; ++i) {
-      std::error_code ec;
-      fs::remove(PathFor(signature, generations[static_cast<size_t>(i)]), ec);
-      if (ec) return Status::IOError("cleanup failed");
-    }
+    ROCKHOPPER_RETURN_IF_ERROR(CleanupGenerations(signature, keep));
+  }
+  return Status::OK();
+}
+
+Status ModelStore::CleanupGenerations(uint64_t signature, int keep) {
+  if (keep < 1) return Status::InvalidArgument("keep must be >= 1");
+  const std::vector<int> generations = Generations(signature);
+  const int drop = static_cast<int>(generations.size()) - keep;
+  for (int i = 0; i < drop; ++i) {
+    std::error_code ec;
+    fs::remove(PathFor(signature, generations[static_cast<size_t>(i)]), ec);
+    if (ec) return Status::IOError("cleanup failed");
   }
   return Status::OK();
 }

@@ -45,6 +45,10 @@ class ModelStore {
 
   /// Keeps only the newest `keep` generations per signature.
   Status CleanupGenerations(int keep);
+  /// Same retention for one signature only — the eviction path's
+  /// bounded-churn cleanup (a store-wide scan per eviction would be
+  /// quadratic in signature count).
+  Status CleanupGenerations(uint64_t signature, int keep);
 
   /// Removes every artifact for `signature` (the user-data deletion path).
   Status DeleteSignature(uint64_t signature);

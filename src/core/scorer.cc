@@ -127,6 +127,31 @@ size_t SurrogateScorer::SelectBest(
   return best;
 }
 
+Status SurrogateScorer::Save(const std::string& prefix,
+                             common::ArchiveWriter* writer) const {
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutInt(
+      prefix + ".history_size", static_cast<int64_t>(history_size_)));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutInt(prefix + ".last_tail_iteration", last_tail_iteration_));
+  return gp_.Save(prefix + ".gp", writer);
+}
+
+Status SurrogateScorer::Load(const std::string& prefix,
+                             const common::ArchiveReader& reader) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(history_size,
+                              reader.GetInt(prefix + ".history_size"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(last_tail,
+                              reader.GetInt(prefix + ".last_tail_iteration"));
+  ROCKHOPPER_RETURN_IF_ERROR(gp_.Load(prefix + ".gp", reader));
+  history_size_ = static_cast<size_t>(history_size);
+  last_tail_iteration_ = static_cast<int>(last_tail);
+  return Status::OK();
+}
+
+size_t SurrogateScorer::ApproxBytes() const {
+  return sizeof(*this) + embedding_.size() * sizeof(double) + gp_.ApproxBytes();
+}
+
 void PseudoSurrogateScorer::Update(const ObservationWindow& history) {
   (void)history;  // An oracle has nothing to learn.
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/rng.h"
 #include "core/baseline_model.h"
 #include "core/observation.h"
@@ -36,6 +37,27 @@ class CandidateScorer {
                             double data_size, double best_observed) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Persists / restores the scorer's learned state under `prefix` so the
+  /// tiered state layer can evict and fault it back in bit-identically.
+  /// Scorers without learned state (oracles, random) use these defaults:
+  /// Save writes nothing and Load is a no-op, which round-trips trivially.
+  virtual Status Save(const std::string& prefix,
+                      common::ArchiveWriter* writer) const {
+    (void)prefix;
+    (void)writer;
+    return Status::OK();
+  }
+  virtual Status Load(const std::string& prefix,
+                      const common::ArchiveReader& reader) {
+    (void)prefix;
+    (void)reader;
+    return Status::OK();
+  }
+
+  /// Approximate resident footprint of learned state, the eviction tier's
+  /// accounting unit. Stateless scorers weigh nothing.
+  virtual size_t ApproxBytes() const { return 0; }
 };
 
 /// The production scorer: a Gaussian-process surrogate over
@@ -68,6 +90,15 @@ class SurrogateScorer : public CandidateScorer {
   size_t SelectBest(const std::vector<sparksim::ConfigVector>& candidates,
                     double data_size, double best_observed) override;
   std::string name() const override { return "surrogate-gp"; }
+
+  /// Round-trips the GP surrogate plus the append-detection cursor; the
+  /// space/baseline/embedding references are reconstructed by the caller
+  /// (they are shared, not per-signature, state).
+  Status Save(const std::string& prefix,
+              common::ArchiveWriter* writer) const override;
+  Status Load(const std::string& prefix,
+              const common::ArchiveReader& reader) override;
+  size_t ApproxBytes() const override;
 
  private:
   std::vector<double> GpFeatures(const sparksim::ConfigVector& config,

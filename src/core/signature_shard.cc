@@ -2,40 +2,162 @@
 
 #include <utility>
 
+#include "common/logging.h"
+#include "core/tracing.h"
 #include "sim/buggify.h"
 
 namespace rockhopper::core {
+
+void SignatureShardMap::LockedState::Release() {
+  if (owner_ != nullptr && state != nullptr) {
+    // Still under the shard lock: mutations through this guard are the only
+    // way a resident state's footprint changes, so re-account it here.
+    owner_->Reaccount(signature_);
+  }
+  SignatureShardMap* owner = owner_;
+  owner_ = nullptr;
+  state = nullptr;
+  if (lock.owns_lock()) lock.unlock();
+  // Outside every shard lock: the eviction clock takes shard locks itself.
+  if (owner != nullptr) owner->MaybeEvict();
+}
+
+void SignatureShardMap::LockedConstState::Release() {
+  SignatureShardMap* owner = owner_;
+  owner_ = nullptr;
+  state = nullptr;
+  if (lock.owns_lock()) lock.unlock();
+  // A const guard mutates nothing, but the fault-in that produced it may
+  // have pushed the resident total over budget.
+  if (owner != nullptr) owner->MaybeEvict();
+}
+
+void SignatureShardMap::EnableTiering(TieringConfig config) {
+  tiering_ = std::make_unique<TieringConfig>(std::move(config));
+  if (tiering_->low_watermark <= 0.0 || tiering_->low_watermark > 1.0) {
+    tiering_->low_watermark = 0.9;
+  }
+}
+
+void SignatureShardMap::InsertCold(uint64_t signature, ColdEntry entry) {
+  Shard& shard = shards_[ShardIndex(signature)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.states.find(signature) != shard.states.end()) return;
+  shard.cold.emplace(signature, entry);
+}
+
+SignatureShardMap::Entry* SignatureShardMap::FaultIn(Shard& shard,
+                                                     uint64_t signature) {
+  auto cold_it = shard.cold.find(signature);
+  if (cold_it == shard.cold.end() || tiering_ == nullptr ||
+      !tiering_->loader) {
+    return nullptr;
+  }
+  ScopedSpan span(ServiceMetrics::Get().state_faultin_seconds);
+  Result<QueryState> loaded = tiering_->loader(signature, cold_it->second);
+  if (!loaded.ok()) {
+    // Keep the tombstone: the next Find retries, and callers see the
+    // signature as absent rather than silently fresh.
+    ROCKHOPPER_LOG(kWarning) << "fault-in failed for signature " << signature
+                             << ": " << loaded.status().ToString();
+    return nullptr;
+  }
+  Entry entry;
+  entry.state = std::move(*loaded);
+  entry.bytes = tiering_->sizer ? tiering_->sizer(entry.state) : 0;
+  entry.ref = true;
+  auto [it, inserted] = shard.states.emplace(signature, std::move(entry));
+  shard.cold.erase(cold_it);
+  resident_bytes_.fetch_add(it->second.bytes, std::memory_order_relaxed);
+  resident_count_.fetch_add(1, std::memory_order_relaxed);
+  faultins_.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::Get().state_faultins->Increment();
+  SetGauges();
+  return &it->second;
+}
 
 SignatureShardMap::LockedState SignatureShardMap::Find(uint64_t signature) {
   Shard& shard = shards_[ShardIndex(signature)];
   LockedState locked{std::unique_lock<std::mutex>(shard.mu), nullptr};
   auto it = shard.states.find(signature);
-  if (it != shard.states.end()) locked.state = &it->second;
+  Entry* entry = it != shard.states.end() ? &it->second : nullptr;
+  if (entry == nullptr) entry = FaultIn(shard, signature);
+  if (entry != nullptr) {
+    entry->ref = true;
+    locked.state = &entry->state;
+    if (tiering_ != nullptr) {
+      locked.owner_ = this;
+      locked.signature_ = signature;
+    }
+  }
   return locked;
 }
 
 SignatureShardMap::LockedConstState SignatureShardMap::Find(
     uint64_t signature) const {
-  const Shard& shard = shards_[ShardIndex(signature)];
-  LockedConstState locked{std::unique_lock<std::mutex>(shard.mu), nullptr};
-  auto it = shard.states.find(signature);
-  if (it != shard.states.end()) locked.state = &it->second;
-  return locked;
+  // Logically const: fault-in changes which tier holds the state, never the
+  // state a caller observes.
+  LockedState locked = const_cast<SignatureShardMap*>(this)->Find(signature);
+  LockedConstState const_locked{std::move(locked.lock), locked.state};
+  if (locked.owner_ != nullptr) {
+    const_locked.owner_ = locked.owner_;
+    locked.owner_ = nullptr;  // accounting is the const guard's job now
+  }
+  locked.state = nullptr;
+  return const_locked;
 }
 
 SignatureShardMap::LockedState SignatureShardMap::Emplace(uint64_t signature,
                                                           QueryState state) {
   Shard& shard = shards_[ShardIndex(signature)];
   LockedState locked{std::unique_lock<std::mutex>(shard.mu), nullptr};
-  auto [it, _] = shard.states.emplace(signature, std::move(state));
-  locked.state = &it->second;
+  Entry* entry = nullptr;
+  auto it = shard.states.find(signature);
+  if (it != shard.states.end()) {
+    entry = &it->second;
+  } else if (shard.cold.find(signature) != shard.cold.end()) {
+    // A cold signature is an existing state; first arrival wins, so the
+    // caller's state is discarded in favor of the materialized one. A
+    // failed fault-in falls through to the caller's state (the tombstone's
+    // learned state is unreachable; a fresh start beats an absent one).
+    entry = FaultIn(shard, signature);
+  }
+  if (entry == nullptr) {
+    Entry fresh;
+    fresh.state = std::move(state);
+    fresh.bytes =
+        tiering_ != nullptr && tiering_->sizer ? tiering_->sizer(fresh.state)
+                                               : 0;
+    auto [new_it, inserted] = shard.states.emplace(signature, std::move(fresh));
+    entry = &new_it->second;
+    if (inserted) {
+      shard.cold.erase(signature);
+      resident_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+      resident_count_.fetch_add(1, std::memory_order_relaxed);
+      SetGauges();
+    }
+  }
+  entry->ref = true;
+  locked.state = &entry->state;
+  if (tiering_ != nullptr) {
+    locked.owner_ = this;
+    locked.signature_ = signature;
+  }
   return locked;
 }
 
 bool SignatureShardMap::Erase(uint64_t signature) {
   Shard& shard = shards_[ShardIndex(signature)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.states.erase(signature) > 0;
+  auto it = shard.states.find(signature);
+  if (it != shard.states.end()) {
+    resident_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    resident_count_.fetch_sub(1, std::memory_order_relaxed);
+    shard.states.erase(it);
+    SetGauges();
+    return true;
+  }
+  return shard.cold.erase(signature) > 0;
 }
 
 void SignatureShardMap::ForEach(
@@ -49,16 +171,16 @@ void SignatureShardMap::ForEach(
     for (size_t i = kNumShards; i > 0; --i) {
       const Shard& shard = shards_[i - 1];
       std::lock_guard<std::mutex> lock(shard.mu);
-      for (const auto& [signature, state] : shard.states) {
-        fn(signature, state);
+      for (const auto& [signature, entry] : shard.states) {
+        fn(signature, entry.state);
       }
     }
     return;
   }
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [signature, state] : shard.states) {
-      fn(signature, state);
+    for (const auto& [signature, entry] : shard.states) {
+      fn(signature, entry.state);
     }
   }
 }
@@ -67,7 +189,7 @@ size_t SignatureShardMap::Size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.states.size();
+    total += shard.states.size() + shard.cold.size();
   }
   return total;
 }
@@ -76,11 +198,113 @@ size_t SignatureShardMap::CountDisabled() const {
   size_t count = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [_, state] : shard.states) {
-      if (state.disabled) ++count;
+    for (const auto& [_, entry] : shard.states) {
+      if (entry.state.disabled) ++count;
+    }
+    for (const auto& [_, cold] : shard.cold) {
+      if (cold.disabled) ++count;
     }
   }
   return count;
+}
+
+TierStats SignatureShardMap::Stats() const {
+  TierStats stats;
+  stats.resident_signatures = resident_count_.load(std::memory_order_relaxed);
+  stats.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.faultins = faultins_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.cold_signatures += shard.cold.size();
+  }
+  return stats;
+}
+
+void SignatureShardMap::Reaccount(uint64_t signature) {
+  if (tiering_ == nullptr || !tiering_->sizer) return;
+  // Caller holds the owning shard's lock.
+  Shard& shard = shards_[ShardIndex(signature)];
+  auto it = shard.states.find(signature);
+  if (it == shard.states.end()) return;
+  const size_t now = tiering_->sizer(it->second.state);
+  const size_t before = it->second.bytes;
+  it->second.bytes = now;
+  if (now >= before) {
+    resident_bytes_.fetch_add(now - before, std::memory_order_relaxed);
+  } else {
+    resident_bytes_.fetch_sub(before - now, std::memory_order_relaxed);
+  }
+  SetGauges();
+}
+
+void SignatureShardMap::SetGauges() const {
+  ServiceMetrics& metrics = ServiceMetrics::Get();
+  metrics.state_resident_signatures->Set(
+      static_cast<double>(resident_count_.load(std::memory_order_relaxed)));
+  metrics.state_resident_bytes->Set(
+      static_cast<double>(resident_bytes_.load(std::memory_order_relaxed)));
+}
+
+void SignatureShardMap::MaybeEvict() {
+  if (tiering_ == nullptr || tiering_->budget_bytes == 0 ||
+      !tiering_->saver) {
+    return;
+  }
+  if (resident_bytes_.load(std::memory_order_relaxed) <=
+      tiering_->budget_bytes) {
+    return;
+  }
+  // Single-flight: one releasing thread drains to the watermark, racers
+  // skip — they would only contend on the same shard locks.
+  std::unique_lock<std::mutex> evict_lock(evict_mu_, std::try_to_lock);
+  if (!evict_lock.owns_lock()) return;
+  const size_t target = static_cast<size_t>(
+      static_cast<double>(tiering_->budget_bytes) * tiering_->low_watermark);
+  // The adversarial clock: ignore second-chance bits, so hot states evict
+  // mid-conversation and the transparent fault-in path is exercised under
+  // load instead of only on genuinely cold signatures.
+  const bool ignore_ref = ROCKHOPPER_BUGGIFY("state.evict.aggressive");
+  // Two full passes bound the walk: the first may only clear ref bits, the
+  // second then evicts; a third pass could make no further progress (every
+  // survivor failed its save).
+  for (size_t pass = 0; pass < 2 * kNumShards; ++pass) {
+    if (resident_bytes_.load(std::memory_order_relaxed) <= target) break;
+    const size_t shard_index =
+        clock_shard_.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+    Shard& shard = shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.states.lower_bound(shard.clock_next);
+    while (it != shard.states.end()) {
+      if (resident_bytes_.load(std::memory_order_relaxed) <= target) break;
+      if (it->second.ref && !ignore_ref) {
+        it->second.ref = false;  // second chance
+        ++it;
+        continue;
+      }
+      const uint64_t signature = it->first;
+      const Status saved = tiering_->saver(signature, it->second.state);
+      if (!saved.ok()) {
+        ROCKHOPPER_LOG(kWarning)
+            << "eviction save failed for signature " << signature
+            << " (state stays resident): " << saved.ToString();
+        ++it;
+        continue;
+      }
+      ColdEntry cold;
+      cold.source = ColdSource::kEvicted;
+      cold.disabled = it->second.state.disabled;
+      shard.cold.emplace(signature, cold);
+      resident_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+      resident_count_.fetch_sub(1, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      ServiceMetrics::Get().state_evictions->Increment();
+      it = shard.states.erase(it);
+    }
+    shard.clock_next =
+        it != shard.states.end() ? it->first : 0;  // wrap within the shard
+    SetGauges();
+  }
 }
 
 }  // namespace rockhopper::core

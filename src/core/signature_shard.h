@@ -2,6 +2,7 @@
 #define ROCKHOPPER_CORE_SIGNATURE_SHARD_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -9,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/status.h"
 #include "core/centroid_learning.h"
 #include "core/guardrail.h"
 
@@ -29,17 +31,77 @@ struct QueryState {
   int backoff = 1;
 };
 
+/// Why a signature is cold (known to exist but not resident).
+enum class ColdSource {
+  /// Evicted under memory pressure; a serialized artifact exists in the
+  /// model store and fault-in decodes it (replaying history as fallback).
+  kEvicted,
+  /// Lazy-recovery tombstone: the journal named the signature but startup
+  /// deferred materialization; fault-in replays its observation history.
+  kReplay,
+};
+
+/// Cold-tier directory entry — deliberately tiny (the 1M-signature budget
+/// is spent on *resident* state, not on the directory).
+struct ColdEntry {
+  ColdSource source = ColdSource::kEvicted;
+  /// Guardrail-disabled flag cached at eviction time so CountDisabled stays
+  /// exact without faulting. Unknown (false) for kReplay tombstones until
+  /// first touch.
+  bool disabled = false;
+};
+
+/// Wiring of the two-tier resident/cold state layer (EnableTiering).
+struct TieringConfig {
+  /// Serializes and persists one state being evicted. A non-OK return keeps
+  /// the state resident (eviction skips it this round).
+  std::function<Status(uint64_t, const QueryState&)> saver;
+  /// Materializes one cold state on fault-in — decode the stored artifact
+  /// or replay the observation history, per the entry's source. Must be
+  /// deterministic: twin services faulting the same signature from the same
+  /// journal must converge on bit-identical state.
+  std::function<Result<QueryState>(uint64_t, const ColdEntry&)> loader;
+  /// Resident-footprint accounting (ApproxQueryStateBytes); the unit of
+  /// `budget_bytes`.
+  std::function<size_t(const QueryState&)> sizer;
+  /// Resident-bytes budget; 0 disables eviction (directory-only tiering,
+  /// used by lazy recovery without a memory cap).
+  size_t budget_bytes = 0;
+  /// Eviction drains to this fraction of the budget (hysteresis, so one
+  /// fault-in does not immediately re-trigger the clock hand).
+  double low_watermark = 0.9;
+};
+
+/// Resident/cold population counters (stats endpoints, benchmark gates).
+struct TierStats {
+  size_t resident_signatures = 0;
+  size_t resident_bytes = 0;
+  size_t cold_signatures = 0;
+  uint64_t evictions = 0;
+  uint64_t faultins = 0;
+};
+
 /// Lock-striped map of per-signature QueryState — the RocksDB sharded-cache
 /// pattern applied to the tuning service's hot state: a signature lives in
 /// shard `signature % kNumShards`, each shard a std::map under its own
 /// mutex, so concurrent tenants touching different signatures contend only
 /// when they hash to the same shard.
 ///
+/// With EnableTiering the map becomes a two-tier cache: each shard keeps a
+/// resident map (full QueryState + clock ref bit) and a cold directory
+/// (tiny ColdEntry). Find faults cold signatures back in transparently —
+/// callers cannot tell an evicted signature from a resident one — and guard
+/// release re-accounts the state's footprint and turns the clock hand when
+/// the resident total exceeds the budget (second-chance eviction, one shard
+/// lock at a time, never nested).
+///
 /// Accessors hand back a LockedState guard that owns the shard lock; the
 /// pointed-to QueryState is exclusively held for the guard's lifetime.
 /// Cross-shard operations (ForEach, Size, CountDisabled) take one shard
 /// lock at a time and never nest locks, so they can run concurrently with
-/// per-signature work without deadlock.
+/// per-signature work without deadlock. ForEach visits resident states
+/// only — it is a scan, and faulting the whole cold tier in would defeat
+/// the budget; callers needing a specific signature use Find.
 class SignatureShardMap {
  public:
   static constexpr size_t kNumShards = 16;
@@ -49,49 +111,163 @@ class SignatureShardMap {
   }
 
   /// A shard-lock-owning view of one signature's state. `state` stays valid
-  /// and exclusively held while `lock` is held.
+  /// and exclusively held while `lock` is held. When tiering is enabled the
+  /// guard's release re-computes the state's footprint (mutations through
+  /// the guard are the only way resident bytes change) and may trigger
+  /// eviction — after dropping the shard lock, so eviction never nests.
   struct LockedState {
     std::unique_lock<std::mutex> lock;
     QueryState* state = nullptr;
     explicit operator bool() const { return state != nullptr; }
+
+    LockedState() = default;
+    LockedState(std::unique_lock<std::mutex> l, QueryState* s)
+        : lock(std::move(l)), state(s) {}
+    LockedState(LockedState&& other) noexcept { *this = std::move(other); }
+    LockedState& operator=(LockedState&& other) noexcept {
+      if (this != &other) {
+        Release();
+        lock = std::move(other.lock);
+        state = other.state;
+        owner_ = other.owner_;
+        signature_ = other.signature_;
+        other.state = nullptr;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    ~LockedState() { Release(); }
+    LockedState(const LockedState&) = delete;
+    LockedState& operator=(const LockedState&) = delete;
+
+   private:
+    friend class SignatureShardMap;
+    void Release();
+    SignatureShardMap* owner_ = nullptr;  // set only when tiering is enabled
+    uint64_t signature_ = 0;
   };
   struct LockedConstState {
     std::unique_lock<std::mutex> lock;
     const QueryState* state = nullptr;
     explicit operator bool() const { return state != nullptr; }
+
+    LockedConstState() = default;
+    LockedConstState(std::unique_lock<std::mutex> l, const QueryState* s)
+        : lock(std::move(l)), state(s) {}
+    LockedConstState(LockedConstState&& other) noexcept {
+      *this = std::move(other);
+    }
+    LockedConstState& operator=(LockedConstState&& other) noexcept {
+      if (this != &other) {
+        Release();
+        lock = std::move(other.lock);
+        state = other.state;
+        owner_ = other.owner_;
+        other.state = nullptr;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    ~LockedConstState() { Release(); }
+    LockedConstState(const LockedConstState&) = delete;
+    LockedConstState& operator=(const LockedConstState&) = delete;
+
+   private:
+    friend class SignatureShardMap;
+    void Release();
+    SignatureShardMap* owner_ = nullptr;
   };
 
-  /// Locks the owning shard and returns the signature's state, or a guard
-  /// with `state == nullptr` (shard still locked) when absent.
+  /// Switches the map into two-tier mode. Must be called before concurrent
+  /// use (startup wiring, not a runtime toggle). States already resident
+  /// are adopted into the accounting on their next guard release.
+  void EnableTiering(TieringConfig config);
+  bool tiering_enabled() const { return tiering_ != nullptr; }
+
+  /// Registers `signature` as cold without materializing it — the lazy
+  /// recovery path's directory fill. No-op if the signature is already
+  /// resident or cold. Requires tiering.
+  void InsertCold(uint64_t signature, ColdEntry entry);
+
+  /// Locks the owning shard and returns the signature's state, faulting it
+  /// in from the cold tier if needed, or a guard with `state == nullptr`
+  /// (shard still locked) when the signature is unknown — or when a cold
+  /// state's materialization failed (the tombstone is kept for retry).
   LockedState Find(uint64_t signature);
+  /// Const lookups fault in too: reads (digests, explain endpoints) must
+  /// see evicted signatures or twin-recovery digests would diverge on
+  /// eviction patterns. Logically const — materialization is invisible to
+  /// callers.
   LockedConstState Find(uint64_t signature) const;
 
   /// Inserts `state` for `signature` unless one exists; either way returns
   /// the surviving state with its shard locked. A racing insert keeps the
   /// first arrival — the loser's state is discarded, matching how a sharded
-  /// cache resolves concurrent fills of one key.
+  /// cache resolves concurrent fills of one key. A cold entry counts as an
+  /// existing state: it is faulted in and `state` is discarded.
   LockedState Emplace(uint64_t signature, QueryState state);
 
-  /// Removes the signature's state; returns whether one existed.
+  /// Removes the signature's state (resident or cold); returns whether one
+  /// existed.
   bool Erase(uint64_t signature);
 
-  /// Visits every (signature, state) pair shard by shard, holding only the
-  /// visited shard's lock. Mutations from other threads may interleave
-  /// between shards; within one shard the view is consistent.
+  /// Visits every resident (signature, state) pair shard by shard, holding
+  /// only the visited shard's lock. Mutations from other threads may
+  /// interleave between shards; within one shard the view is consistent.
+  /// Cold signatures are not visited (see class comment).
   void ForEach(
       const std::function<void(uint64_t, const QueryState&)>& fn) const;
 
-  /// Signatures ever seen / currently disabled (deployment stats, §6.3).
+  /// Signatures ever seen (resident + cold) / currently disabled
+  /// (deployment stats, §6.3). CountDisabled is exact across tiers for
+  /// evicted states (the flag is cached in the cold directory) and counts a
+  /// kReplay tombstone as enabled until first touch.
   size_t Size() const;
   size_t CountDisabled() const;
 
+  /// Tier population and traffic counters (stats, benchmark gates).
+  TierStats Stats() const;
+
+  /// Runs the clock hand until resident bytes drop to the low watermark
+  /// (no-op when under budget or tiering is off). Usually triggered by
+  /// guard release; exposed for deterministic tests.
+  void MaybeEvict();
+
  private:
-  struct Shard {
-    mutable std::mutex mu;
-    std::map<uint64_t, QueryState> states;
+  struct Entry {
+    QueryState state;
+    size_t bytes = 0;
+    /// Second-chance bit: set on every touch, cleared by a clock pass;
+    /// only clear entries are evicted.
+    bool ref = true;
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<uint64_t, Entry> states;
+    std::map<uint64_t, ColdEntry> cold;
+    /// The clock hand's resume position within this shard.
+    uint64_t clock_next = 0;
+  };
+
+  /// Materializes a cold signature into `shard` (whose lock is held).
+  /// Returns the resident entry or nullptr when the loader failed.
+  Entry* FaultIn(Shard& shard, uint64_t signature);
+  /// Re-computes one resident state's footprint after a guard released it.
+  void Reaccount(uint64_t signature);
+  void SetGauges() const;
+
   std::array<Shard, kNumShards> shards_;
+  std::unique_ptr<TieringConfig> tiering_;
+  std::atomic<size_t> resident_bytes_{0};
+  std::atomic<size_t> resident_count_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> faultins_{0};
+  /// Single-flight eviction: concurrent releases over budget elect one
+  /// evictor, the rest skip (the winner drains to the watermark).
+  std::mutex evict_mu_;
+  /// The clock hand's current shard.
+  std::atomic<size_t> clock_shard_{0};
 };
 
 }  // namespace rockhopper::core

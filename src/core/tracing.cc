@@ -81,6 +81,30 @@ ServiceMetrics::ServiceMetrics() {
       "rockhopper_journal_batch_size",
       "Records per group-commit writer batch",
       common::ExponentialBuckets(1.0, 2.0, 9));
+
+  state_resident_signatures = reg.GetGauge(
+      "rockhopper_state_resident_signatures",
+      "Signatures whose QueryState is resident in the hot tier");
+  state_resident_bytes = reg.GetGauge(
+      "rockhopper_state_resident_bytes",
+      "Approximate bytes of resident QueryState (the --memory-budget "
+      "accounting unit)");
+  state_evictions =
+      reg.GetCounter("rockhopper_state_evictions_total",
+                     "QueryStates serialized and spilled to the cold tier");
+  state_faultins =
+      reg.GetCounter("rockhopper_state_faultins_total",
+                     "Cold QueryStates decoded back into the hot tier");
+  state_faultin_seconds = reg.GetHistogram(
+      "rockhopper_state_faultin_seconds",
+      "Latency of restoring one cold QueryState (fetch + decode)", latency);
+  checkpoints_total =
+      reg.GetCounter("rockhopper_checkpoints_total",
+                     "Journal checkpoint compactions completed");
+  checkpoint_seconds = reg.GetHistogram(
+      "rockhopper_checkpoint_seconds",
+      "Whole checkpoint-compaction latency (rotate + absorb + truncate)",
+      latency);
 }
 
 ServiceMetrics& ServiceMetrics::Get() {

@@ -74,6 +74,15 @@ struct ServiceMetrics {
   common::Histogram* journal_flush_seconds;  ///< write+flush latency
   common::Histogram* journal_batch_size;     ///< group-commit batch sizes
 
+  // --- tiered state layer -------------------------------------------------
+  common::Gauge* state_resident_signatures;  ///< signatures in the hot tier
+  common::Gauge* state_resident_bytes;       ///< hot-tier footprint (approx)
+  common::Counter* state_evictions;          ///< states spilled to cold tier
+  common::Counter* state_faultins;           ///< cold states restored
+  common::Histogram* state_faultin_seconds;  ///< fault-in (decode) latency
+  common::Counter* checkpoints_total;        ///< journal compactions finished
+  common::Histogram* checkpoint_seconds;     ///< whole-compaction latency
+
  private:
   ServiceMetrics();
 };

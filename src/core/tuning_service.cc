@@ -5,8 +5,11 @@
 #include <sstream>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/matrix.h"
 #include "common/statistics.h"
+#include "core/state_codec.h"
+#include "sim/buggify.h"
 
 namespace rockhopper::core {
 
@@ -17,6 +20,7 @@ TuningService::TuningService(const sparksim::ConfigSpace& space,
       baseline_(baseline),
       options_(std::move(options)),
       rng_(seed),
+      seed_base_(seed),
       defaults_(space.Defaults()),
       pipeline_(space,
                 IngestPipeline::Options{
@@ -25,25 +29,18 @@ TuningService::TuningService(const sparksim::ConfigSpace& space,
       metrics_(&ServiceMetrics::Get()),
       app_space_(sparksim::AppLevelSpace()) {}
 
-SignatureShardMap::LockedState TuningService::StateFor(
-    const sparksim::QueryPlan& plan, uint64_t signature) {
-  {
-    SignatureShardMap::LockedState locked = shards_.Find(signature);
-    if (locked) return locked;
-  }
-
-  // Build the new state with no shard lock held: embedding and tuner
-  // construction are the expensive part of first contact, and the transfer
-  // scan below takes other shards' locks one at a time.
+QueryState TuningService::BuildState(const sparksim::QueryPlan& plan,
+                                     uint64_t signature, bool allow_transfer) {
   QueryState state;
   state.embedding = ComputeEmbedding(plan, options_.embedding);
   state.backoff = std::max(1, options_.failure_policy.initial_backoff);
   // Optional cross-signature warm start: begin from the centroid of the
   // nearest already-tuned signature (by embedding distance) rather than the
   // defaults. This is how a recurring query whose plan re-hashed after a
-  // data change keeps its accumulated tuning.
+  // data change keeps its accumulated tuning. The scan takes other shards'
+  // locks, so it is disabled on the fault-in path (which already holds one).
   sparksim::ConfigVector start = defaults_;
-  if (options_.enable_signature_transfer) {
+  if (allow_transfer && options_.enable_signature_transfer) {
     double best_distance = options_.transfer_max_distance;
     const double norm = std::sqrt(static_cast<double>(state.embedding.size()));
     shards_.ForEach([&](uint64_t, const QueryState& other_state) {
@@ -64,14 +61,28 @@ SignatureShardMap::LockedState TuningService::StateFor(
   auto scorer = std::make_unique<SurrogateScorer>(space_, baseline_,
                                                   state.embedding,
                                                   options_.scorer);
-  uint64_t tuner_seed;
-  {
-    std::lock_guard<std::mutex> lock(rng_mu_);
-    tuner_seed = rng_.Fork().engine()();
-  }
-  state.tuner = std::make_unique<CentroidLearner>(
-      space_, start, std::move(scorer), options_.centroid, tuner_seed);
+  // The seed is a pure function of (service seed, signature): rebuilding a
+  // state lazily, out of arrival order, or after eviction reproduces the
+  // exact tuner trajectory a live service would have run.
+  state.tuner = std::make_unique<CentroidLearner>(space_, start,
+                                                  std::move(scorer),
+                                                  options_.centroid,
+                                                  TunerSeed(signature));
   state.guardrail = Guardrail(options_.guardrail);
+  return state;
+}
+
+SignatureShardMap::LockedState TuningService::StateFor(
+    const sparksim::QueryPlan& plan, uint64_t signature) {
+  {
+    SignatureShardMap::LockedState locked = shards_.Find(signature);
+    if (locked) return locked;
+  }
+
+  // Build the new state with no shard lock held: embedding and tuner
+  // construction are the expensive part of first contact, and the transfer
+  // scan takes other shards' locks one at a time.
+  QueryState state = BuildState(plan, signature, /*allow_transfer=*/true);
   // A racing creator may have emplaced first; Emplace keeps the winner.
   return shards_.Emplace(signature, std::move(state));
 }
@@ -153,6 +164,114 @@ Status TuningService::Shutdown() {
   return sync.ok() ? close : sync;
 }
 
+void TuningService::EnableStateTiering(ModelStore* store, size_t budget_bytes,
+                                       PlanResolver resolver) {
+  model_store_ = store;
+  plan_resolver_ = std::move(resolver);
+  TieringConfig config;
+  config.budget_bytes = budget_bytes;
+  config.sizer = [](const QueryState& state) {
+    return ApproxQueryStateBytes(state);
+  };
+  if (store != nullptr) {
+    config.saver = [this](uint64_t signature,
+                          const QueryState& state) -> Status {
+      ROCKHOPPER_ASSIGN_OR_RETURN(artifact, EncodeQueryState(state));
+      ROCKHOPPER_ASSIGN_OR_RETURN(generation,
+                                  model_store_->Put(signature, artifact));
+      (void)generation;
+      // Only the latest generation is ever faulted back in; keeping one
+      // bounds store growth to O(signatures) under eviction churn.
+      return model_store_->CleanupGenerations(signature, 1);
+    };
+  }
+  config.loader = [this](uint64_t signature, const ColdEntry& entry) {
+    return LoadColdState(signature, entry);
+  };
+  shards_.EnableTiering(std::move(config));
+}
+
+const sparksim::QueryPlan* TuningService::ResolvePlan(
+    uint64_t signature) const {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    // Directory entries are never erased and std::map nodes are stable, so
+    // the pointer outlives the lock.
+    auto it = plan_directory_.find(signature);
+    if (it != plan_directory_.end()) return &it->second;
+  }
+  return plan_resolver_ ? plan_resolver_(signature) : nullptr;
+}
+
+Result<QueryState> TuningService::ReplayColdState(
+    uint64_t signature, const sparksim::QueryPlan& plan) {
+  QueryState state = BuildState(plan, signature, /*allow_transfer=*/false);
+  // Safe to iterate by reference: appends to this signature's history only
+  // happen under its shard-map lock, which our caller (the fault-in path)
+  // already holds. Replays the journaled runtimes exactly as ingestion fed
+  // them to the tuner, so the rebuilt trajectory is bit-identical.
+  const std::vector<Observation>& history = observations_.History(signature);
+  for (const Observation& obs : history) {
+    if (!SanitizeReplayRow(obs)) continue;
+    if (state.disabled) continue;
+    state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
+    if (options_.enable_guardrail && !state.guardrail.Record(obs)) {
+      state.disabled = true;
+    }
+  }
+  return state;
+}
+
+bool TuningService::SanitizeReplayRow(const Observation& obs) const {
+  // The same invariants the ingestion boundary enforces: persisted rows
+  // are not above suspicion (corrupt event files, hand-edited CSVs).
+  return std::isfinite(obs.runtime) && std::isfinite(obs.data_size) &&
+         obs.runtime > 0.0 && obs.data_size > 0.0 &&
+         obs.config.size() == space_.size();
+}
+
+Result<QueryState> TuningService::LoadColdState(uint64_t signature,
+                                                const ColdEntry& entry) {
+  const sparksim::QueryPlan* plan = ResolvePlan(signature);
+  if (plan == nullptr) {
+    return Status::NotFound("no plan known for cold signature " +
+                            std::to_string(signature));
+  }
+  if (entry.source == ColdSource::kEvicted && model_store_ != nullptr) {
+    Result<std::string> artifact = model_store_->GetLatest(signature);
+    if (artifact.ok()) {
+      if (ROCKHOPPER_BUGGIFY("state.faultin.torn")) {
+        // Torn cold read: the first fetch returns a truncated artifact (a
+        // reader racing a dying writer); the CRC envelope must reject it
+        // and the refetch/replay fallback must still converge.
+        artifact->resize(artifact->size() / 2);
+      }
+      QueryState state = BuildState(*plan, signature, /*allow_transfer=*/false);
+      const Status decoded = DecodeQueryState(*artifact, &state);
+      if (decoded.ok()) return state;
+      // One refetch: a torn read is transient, a torn file is not.
+      Result<std::string> refetched = model_store_->GetLatest(signature);
+      if (refetched.ok()) {
+        QueryState retry =
+            BuildState(*plan, signature, /*allow_transfer=*/false);
+        if (DecodeQueryState(*refetched, &retry).ok()) return retry;
+      }
+      ROCKHOPPER_LOG(kWarning)
+          << "cold artifact for signature " << signature
+          << " failed to decode (" << decoded.ToString()
+          << "); rebuilding from observation history";
+    }
+  }
+  return ReplayColdState(signature, *plan);
+}
+
+Result<CheckpointReport> TuningService::Checkpoint() {
+  if (journal_ == nullptr) {
+    return Status::FailedPrecondition("no journal attached");
+  }
+  return CheckpointLive(journal_);
+}
+
 size_t TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
                                     const ObservationWindow& history) {
   const uint64_t signature = plan.Signature();
@@ -161,19 +280,17 @@ size_t TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
   QueryState& state = *locked.state;
   size_t replayed = 0;
   for (const Observation& obs : history) {
-    // The same invariants the ingestion boundary enforces: persisted rows
-    // are not above suspicion (corrupt event files, hand-edited CSVs).
-    if (!std::isfinite(obs.runtime) || !std::isfinite(obs.data_size) ||
-        obs.runtime <= 0.0 || obs.data_size <= 0.0 ||
-        obs.config.size() != space_.size()) {
-      continue;
-    }
+    if (!SanitizeReplayRow(obs)) continue;
     observations_.Append(signature, obs);
     ++replayed;
+    // Mirror the live pipeline exactly: accepted observations keep landing
+    // in the store and journal after a guardrail disable (the journal stage
+    // runs before the tune stage), but the tuner and guardrail stop
+    // evolving — so a restart reproduces the full history, not a prefix.
+    if (state.disabled) continue;
     state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
     if (options_.enable_guardrail && !state.guardrail.Record(obs)) {
       state.disabled = true;
-      break;
     }
   }
   return replayed;
@@ -204,6 +321,63 @@ Result<TuningService::RecoveryReport> TuningService::RecoverFromJournal(
     const size_t replayed = ReplayHistory(*it->second, history);
     report.observations_replayed += replayed;
     report.observations_dropped += history.size() - replayed;
+    ++report.signatures_restored;
+  }
+  return report;
+}
+
+Result<TuningService::RecoveryReport> TuningService::RecoverFromCheckpoint(
+    const std::string& path, const std::vector<sparksim::QueryPlan>& plans,
+    RecoveryOptions recovery) {
+  if (recovery.lazy && !shards_.tiering_enabled()) {
+    return Status::FailedPrecondition(
+        "lazy recovery requires EnableStateTiering first");
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(chain, RecoverJournalChain(path));
+
+  RecoveryReport report;
+  report.journal_clean = chain.clean;
+  report.journal_status = chain.tail_status;
+  report.observations_dropped = chain.records_dropped;
+  report.checkpoint_seq = chain.checkpoint_seq;
+  report.tail_records = chain.tail_records;
+  report.segments_replayed = chain.segments_replayed;
+
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    for (const sparksim::QueryPlan& plan : plans) {
+      plan_directory_.emplace(plan.Signature(), plan);
+    }
+  }
+
+  for (uint64_t signature : chain.store.Signatures()) {
+    const sparksim::QueryPlan* plan = ResolvePlan(signature);
+    if (plan == nullptr) {
+      ++report.unknown_signatures;
+      continue;
+    }
+    const std::vector<Observation>& history = chain.store.History(signature);
+    if (recovery.lazy) {
+      // Bounded-memory startup: load the history and leave a replay
+      // tombstone; the tuner materializes on the signature's first touch.
+      // Same sanitize filter as the eager path so a lazy twin ends up with
+      // a byte-identical observation store.
+      size_t kept = 0;
+      for (const Observation& obs : history) {
+        if (!SanitizeReplayRow(obs)) continue;
+        observations_.Append(signature, obs);
+        ++kept;
+      }
+      ColdEntry cold;
+      cold.source = ColdSource::kReplay;
+      shards_.InsertCold(signature, cold);
+      report.observations_replayed += kept;
+      report.observations_dropped += history.size() - kept;
+    } else {
+      const size_t replayed = ReplayHistory(*plan, history);
+      report.observations_replayed += replayed;
+      report.observations_dropped += history.size() - replayed;
+    }
     ++report.signatures_restored;
   }
   return report;

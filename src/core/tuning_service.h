@@ -1,6 +1,7 @@
 #ifndef ROCKHOPPER_CORE_TUNING_SERVICE_H_
 #define ROCKHOPPER_CORE_TUNING_SERVICE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,12 +9,15 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "core/app_optimizer.h"
 #include "core/baseline_model.h"
 #include "core/centroid_learning.h"
+#include "core/checkpoint.h"
 #include "core/guardrail.h"
 #include "core/ingest_pipeline.h"
 #include "core/journal.h"
+#include "core/model_store.h"
 #include "core/observation.h"
 #include "core/signature_shard.h"
 #include "core/telemetry.h"
@@ -177,6 +181,38 @@ class TuningService {
   /// letting the journal close silently in a destructor.
   Status Shutdown();
 
+  /// Resolves a signature to its query plan — the context the tiered state
+  /// layer needs to rebuild an evicted or lazily-recovered signature's
+  /// tuner (embedding, scorer features). The returned plan must stay valid
+  /// for the service's lifetime; nullptr for unknown signatures.
+  using PlanResolver =
+      std::function<const sparksim::QueryPlan*(uint64_t signature)>;
+
+  /// Switches the per-signature state into the two-tier resident/cold
+  /// layout. `store` (not owned; may be null when `budget_bytes` is 0)
+  /// receives serialized QueryState artifacts on eviction; fault-in decodes
+  /// the latest artifact, falling back to a deterministic replay of the
+  /// signature's journaled observations when the artifact is torn or
+  /// missing. `budget_bytes` caps the approximate resident footprint (0 =
+  /// no eviction; the cold directory still serves lazy recovery).
+  /// `resolver` may be null when every recovered signature's plan is handed
+  /// to RecoverFromCheckpoint; plans recovered there are resolved first.
+  /// Call once at startup, before traffic. Requires
+  /// enable_signature_transfer to stay off: the transfer scan reads other
+  /// shards, which a fault-in (already under its shard lock) must not.
+  void EnableStateTiering(ModelStore* store, size_t budget_bytes,
+                          PlanResolver resolver = nullptr);
+
+  /// Resident/cold population and eviction/fault-in traffic (stats
+  /// endpoints, the state benchmark's budget gate).
+  TierStats StateTierStats() const { return shards_.Stats(); }
+
+  /// Rotates the attached journal and compacts checkpoint + sealed segments
+  /// into a fresh checkpoint, truncating the absorbed prefix — the online
+  /// checkpoint path behind `rockhopper checkpoint` and serve's
+  /// --checkpoint-interval. FailedPrecondition without an attached journal.
+  Result<CheckpointReport> Checkpoint();
+
   /// Warm-restarts the tuning state of `plan`'s signature by replaying the
   /// stored observations through a fresh tuner and guardrail — how the
   /// service resumes after a restart from the persisted event files.
@@ -198,6 +234,14 @@ class TuningService {
     /// OK for a clean journal, kDataLoss for a recovered-around corrupt or
     /// truncated tail (see ObservationJournal::Recovered::tail_status).
     Status journal_status = Status::OK();
+    /// Chain recovery only: the checkpoint's sequence number (highest
+    /// absorbed segment index; 0 when no checkpoint existed), the number of
+    /// records replayed from the tail (sealed segments past the checkpoint
+    /// plus the live journal), and how many sealed segments that tail
+    /// spanned.
+    uint64_t checkpoint_seq = 0;
+    size_t tail_records = 0;
+    size_t segments_replayed = 0;
   };
 
   /// Restores the service from a crash-safe journal: recovers the longest
@@ -207,6 +251,29 @@ class TuningService {
   /// just been ingested.
   Result<RecoveryReport> RecoverFromJournal(
       const std::string& path, const std::vector<sparksim::QueryPlan>& plans);
+
+  struct RecoveryOptions {
+    /// Eager (false): every recovered signature's tuner is rebuilt at
+    /// startup — recovery cost scales with total history. Lazy (true):
+    /// recovery fills the observation store and the cold directory only;
+    /// each signature's tuner materializes on first touch, so startup is
+    /// bounded by journal size, not model count, and resident memory stays
+    /// under the tiering budget. Lazy requires EnableStateTiering first.
+    bool lazy;
+    // Explicit constructor (not a default member initializer): the default
+    // argument of RecoverFromCheckpoint below needs this type complete.
+    RecoveryOptions() : lazy(false) {}
+  };
+
+  /// Restores the service from the checkpoint + journal-tail chain
+  /// (checkpoint records, then sealed segments past the checkpoint
+  /// sequence, then the live journal) — the bounded-memory startup path.
+  /// `plans` seeds the plan directory used to rebuild tuners; signatures
+  /// without a plan (and without a resolver from EnableStateTiering) are
+  /// counted as unknown and skipped.
+  Result<RecoveryReport> RecoverFromCheckpoint(
+      const std::string& path, const std::vector<sparksim::QueryPlan>& plans,
+      RecoveryOptions recovery = RecoveryOptions());
 
   /// A human-readable rationale for this signature's latest proposal —
   /// centroid, candidate count, last gradient direction, step sizes, plus
@@ -234,6 +301,34 @@ class TuningService {
   SignatureShardMap::LockedState StateFor(const sparksim::QueryPlan& plan,
                                           uint64_t signature);
 
+  /// Constructs a fresh (untrained) QueryState for `signature`. The
+  /// transfer scan iterates other shards, so it must be skipped
+  /// (`allow_transfer = false`) when the caller already holds a shard lock
+  /// — the tiering loader's fault-in path.
+  QueryState BuildState(const sparksim::QueryPlan& plan, uint64_t signature,
+                        bool allow_transfer);
+
+  /// Deterministic per-signature tuner seed: materialization order must not
+  /// matter (lazy recovery and fault-in build tuners out of arrival order).
+  uint64_t TunerSeed(uint64_t signature) const {
+    return common::SplitMix64(seed_base_ ^ signature);
+  }
+
+  /// The tiering loader: decode the stored artifact (kEvicted) or replay
+  /// the journaled history (kReplay / decode fallback).
+  Result<QueryState> LoadColdState(uint64_t signature, const ColdEntry& entry);
+  /// Replays `signature`'s observation history through a fresh state.
+  /// Caller must hold the signature's shard lock or be single-threaded:
+  /// per-signature history only mutates under that same shard lock.
+  Result<QueryState> ReplayColdState(uint64_t signature,
+                                     const sparksim::QueryPlan& plan);
+  /// Plan lookup across the recovery directory and the user resolver.
+  const sparksim::QueryPlan* ResolvePlan(uint64_t signature) const;
+  /// Shared row filter for every replay path (eager, lazy, cold rebuild):
+  /// mirrors the ingestion boundary's finite/positive/arity checks so all
+  /// three produce identical observation stores.
+  bool SanitizeReplayRow(const Observation& obs) const;
+
   const sparksim::ConfigSpace& space_;
   const BaselineModel* baseline_;
   TuningServiceOptions options_;
@@ -241,6 +336,7 @@ class TuningService {
   /// rng_mu_ so concurrent state creation stays data-race-free.
   common::Rng rng_;
   std::mutex rng_mu_;
+  uint64_t seed_base_;
   sparksim::ConfigVector defaults_;
   SignatureShardMap shards_;
   ObservationStore observations_;
@@ -250,6 +346,13 @@ class TuningService {
   sparksim::ConfigSpace app_space_;
   AppCache app_cache_;
   mutable std::mutex app_mu_;
+  /// Tiered-state wiring (EnableStateTiering). The plan directory keeps a
+  /// copy of every plan handed to RecoverFromCheckpoint so cold signatures
+  /// can rebuild their tuner long after the caller's plan vector is gone.
+  ModelStore* model_store_ = nullptr;
+  PlanResolver plan_resolver_;
+  std::map<uint64_t, sparksim::QueryPlan> plan_directory_;
+  mutable std::mutex plan_mu_;
 };
 
 }  // namespace rockhopper::core

@@ -286,4 +286,117 @@ std::vector<Prediction> GaussianProcessRegressor::PredictBatch(
   return PredictBatch(common::Matrix::FromRows(queries));
 }
 
+namespace {
+
+// Matrices are archived as shape plus one flat hexfloat row — exact and
+// column-count-preserving even for zero-row windows (a slid window keeps its
+// width).
+Status SaveMatrix(const std::string& key, const common::Matrix& m,
+                  common::ArchiveWriter* writer) {
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutInt(key + ".rows", static_cast<int64_t>(m.rows())));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutInt(key + ".cols", static_cast<int64_t>(m.cols())));
+  std::vector<double> flat;
+  flat.reserve(m.rows() * m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const std::span<const double> row = m.RowSpan(r);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return writer->PutDoubles(key + ".data", flat);
+}
+
+Status LoadMatrix(const std::string& key, const common::ArchiveReader& reader,
+                  common::Matrix* m) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(rows, reader.GetInt(key + ".rows"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(cols, reader.GetInt(key + ".cols"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(flat, reader.GetDoubles(key + ".data"));
+  if (rows < 0 || cols < 0 ||
+      flat.size() != static_cast<size_t>(rows) * static_cast<size_t>(cols)) {
+    return Status::InvalidArgument("matrix shape mismatch in archive: " + key);
+  }
+  common::Matrix out(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = flat[r * out.cols() + c];
+    }
+  }
+  *m = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GaussianProcessRegressor::Save(const std::string& prefix,
+                                      common::ArchiveWriter* writer) const {
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutBool(prefix + ".fitted", fitted_));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutDouble(prefix + ".lengthscale", lengthscale_));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutDouble(prefix + ".lml", log_marginal_likelihood_));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutInt(prefix + ".updates_since_refit", updates_since_refit_));
+  if (x_scaler_.is_fitted()) {
+    ROCKHOPPER_RETURN_IF_ERROR(x_scaler_.Save(prefix + ".xs", writer));
+  }
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutBool(prefix + ".has_xs", x_scaler_.is_fitted()));
+  if (y_scaler_.is_fitted()) {
+    ROCKHOPPER_RETURN_IF_ERROR(y_scaler_.Save(prefix + ".ys", writer));
+  }
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutBool(prefix + ".has_ys", y_scaler_.is_fitted()));
+  ROCKHOPPER_RETURN_IF_ERROR(SaveMatrix(prefix + ".raw_x", raw_x_, writer));
+  ROCKHOPPER_RETURN_IF_ERROR(writer->PutDoubles(prefix + ".raw_y", raw_y_));
+  ROCKHOPPER_RETURN_IF_ERROR(SaveMatrix(prefix + ".train_x", train_x_, writer));
+  ROCKHOPPER_RETURN_IF_ERROR(
+      writer->PutDoubles(prefix + ".train_y", train_y_std_));
+  ROCKHOPPER_RETURN_IF_ERROR(SaveMatrix(prefix + ".chol", chol_, writer));
+  return writer->PutDoubles(prefix + ".alpha", alpha_);
+}
+
+Status GaussianProcessRegressor::Load(const std::string& prefix,
+                                      const common::ArchiveReader& reader) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(fitted, reader.GetBool(prefix + ".fitted"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(lengthscale,
+                              reader.GetDouble(prefix + ".lengthscale"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(lml, reader.GetDouble(prefix + ".lml"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(updates,
+                              reader.GetInt(prefix + ".updates_since_refit"));
+  ROCKHOPPER_ASSIGN_OR_RETURN(has_xs, reader.GetBool(prefix + ".has_xs"));
+  StandardScaler xs;
+  if (has_xs) ROCKHOPPER_RETURN_IF_ERROR(xs.Load(prefix + ".xs", reader));
+  ROCKHOPPER_ASSIGN_OR_RETURN(has_ys, reader.GetBool(prefix + ".has_ys"));
+  TargetScaler ys;
+  if (has_ys) ROCKHOPPER_RETURN_IF_ERROR(ys.Load(prefix + ".ys", reader));
+  common::Matrix raw_x, train_x, chol;
+  ROCKHOPPER_RETURN_IF_ERROR(LoadMatrix(prefix + ".raw_x", reader, &raw_x));
+  ROCKHOPPER_ASSIGN_OR_RETURN(raw_y, reader.GetDoubles(prefix + ".raw_y"));
+  ROCKHOPPER_RETURN_IF_ERROR(LoadMatrix(prefix + ".train_x", reader, &train_x));
+  ROCKHOPPER_ASSIGN_OR_RETURN(train_y, reader.GetDoubles(prefix + ".train_y"));
+  ROCKHOPPER_RETURN_IF_ERROR(LoadMatrix(prefix + ".chol", reader, &chol));
+  ROCKHOPPER_ASSIGN_OR_RETURN(alpha, reader.GetDoubles(prefix + ".alpha"));
+  fitted_ = fitted;
+  lengthscale_ = lengthscale;
+  log_marginal_likelihood_ = lml;
+  updates_since_refit_ = static_cast<int>(updates);
+  x_scaler_ = std::move(xs);
+  y_scaler_ = std::move(ys);
+  raw_x_ = std::move(raw_x);
+  raw_y_ = std::move(raw_y);
+  train_x_ = std::move(train_x);
+  train_y_std_ = std::move(train_y);
+  chol_ = std::move(chol);
+  alpha_ = std::move(alpha);
+  return Status::OK();
+}
+
+size_t GaussianProcessRegressor::ApproxBytes() const {
+  const size_t doubles = raw_x_.rows() * raw_x_.cols() + raw_y_.size() +
+                         train_x_.rows() * train_x_.cols() +
+                         train_y_std_.size() + chol_.rows() * chol_.cols() +
+                         alpha_.size() + 2 * x_scaler_.num_features() + 8;
+  return doubles * sizeof(double) + sizeof(*this);
+}
+
 }  // namespace rockhopper::ml

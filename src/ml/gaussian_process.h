@@ -110,6 +110,20 @@ class GaussianProcessRegressor : public ProbabilisticRegressor {
   /// audits can pin the incremental state against the full factorization.
   Status ForceFullFactorization();
 
+  /// Persists the complete regressor state — scalers, raw and standardized
+  /// training windows, the Cholesky factor, the weight vector, the selected
+  /// lengthscale and the refit-policy position — under `prefix`. A Load into
+  /// a regressor constructed with the same options reproduces Predict /
+  /// PredictBatch / Update bit-identically (hexfloat round-trip), which is
+  /// what lets the tiered state layer evict and fault tuners back in without
+  /// perturbing proposals.
+  Status Save(const std::string& prefix, common::ArchiveWriter* writer) const;
+  Status Load(const std::string& prefix, const common::ArchiveReader& reader);
+
+  /// Approximate resident footprint in bytes (training windows, factor,
+  /// weights); the eviction tier's accounting unit.
+  size_t ApproxBytes() const;
+
   /// Log marginal likelihood of the selected hyperparameters on the
   /// (standardized) training data.
   double log_marginal_likelihood() const { return log_marginal_likelihood_; }

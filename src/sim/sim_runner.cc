@@ -13,6 +13,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "core/checkpoint.h"
 #include "core/flighting.h"
 #include "core/journal.h"
 #include "core/model_store.h"
@@ -77,6 +78,20 @@ bool WriteFile(const std::string& path, const std::string& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   return out.good();
+}
+
+/// Removes a journal together with its checkpoint and sealed segments —
+/// the whole on-disk family a checkpointing run leaves behind.
+void RemoveJournalFamily(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  fs::remove(core::CheckpointPath(path), ec);
+  fs::remove(core::CheckpointPath(path) + ".tmp", ec);
+  if (auto segments = ObservationJournal::ListSegments(path); segments.ok()) {
+    for (const auto& [index, segment_path] : *segments) {
+      fs::remove(segment_path, ec);
+    }
+  }
 }
 
 /// Deterministic counter deltas between two registry scrapes — the registry
@@ -300,7 +315,14 @@ std::string SimulationReport::Summary() const {
       << " sim_dropped=" << sim_dropped << " appends=" << journal_appends
       << " errors=" << journal_errors << " recovered=" << records_recovered
       << " torn=" << (tail_torn ? 1 : 0) << " signatures=" << signatures
-      << " disabled=" << disabled_signatures << " buggify="
+      << " disabled=" << disabled_signatures
+      << " tiering=" << (tiering_armed ? 1 : 0)
+      << " budget=" << state_budget
+      << " ckpts=" << journal_checkpoints
+      << " ckpt_seq=" << checkpoint_seq
+      << " lazy=" << (lazy_recovery ? 1 : 0)
+      << " evictions=" << state_evictions
+      << " faultins=" << state_faultins << " buggify="
       << (buggify_enabled ? (buggify_compiled ? "on" : "inert") : "off")
       << " sections_hit=" << buggify_sections_hit
       << " fires=" << buggify_fires
@@ -341,10 +363,14 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   const std::string crash_path = (scratch / (tag + ".crash.journal")).string();
   const std::string phase2_path = (scratch / (tag + ".phase2.journal")).string();
   const std::string model_dir = (scratch / (tag + "-models")).string();
-  fs::remove(journal_path, ec);
-  fs::remove(crash_path, ec);
-  fs::remove(phase2_path, ec);
+  const std::string state_dir = (scratch / (tag + "-state")).string();
+  const std::string state_dir_twin = (scratch / (tag + "-state-twin")).string();
+  RemoveJournalFamily(journal_path);
+  RemoveJournalFamily(crash_path);
+  RemoveJournalFamily(phase2_path);
   fs::remove_all(model_dir, ec);
+  fs::remove_all(state_dir, ec);
+  fs::remove_all(state_dir_twin, ec);
 
   if (options.buggify) {
     BuggifyRegistry::Global().Enable(seed, options.buggify_options);
@@ -370,7 +396,33 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
     tenants.push_back(std::move(t));
   }
 
+  // --- tiered state layer: seed-chosen arming. Declared before the services
+  // so the resolver, plan index, and cold-artifact stores outlive every
+  // service that holds pointers into them.
+  report.tiering_armed =
+      (common::SplitMix64(seed ^ 0x74696572696e67ULL) & 1) != 0;
+  report.state_budget = static_cast<uint64_t>(32 * 1024)
+                        << (common::SplitMix64(seed ^ 0x627564676574ULL) % 4);
+  report.checkpoint_armed =
+      (common::SplitMix64(seed ^ 0x636b7074ULL) & 1) != 0;
+  report.lazy_recovery =
+      (common::SplitMix64(seed ^ 0x6c617a79ULL) & 1) != 0;
+  std::map<uint64_t, const sparksim::QueryPlan*> plan_index;
+  for (const sparksim::QueryPlan& plan : plans) {
+    plan_index[plan.Signature()] = &plan;
+  }
+  const TuningService::PlanResolver resolver =
+      [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
+    auto it = plan_index.find(signature);
+    return it == plan_index.end() ? nullptr : it->second;
+  };
+  core::ModelStore state_store(state_dir);
+  core::ModelStore state_store_twin(state_dir_twin);
+
   TuningService service(space, nullptr, core::TuningServiceOptions{}, seed);
+  if (report.tiering_armed) {
+    service.EnableStateTiering(&state_store, report.state_budget, resolver);
+  }
 
   auto opened = ObservationJournal::Open(journal_path);
   if (!opened.ok()) {
@@ -413,6 +465,9 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   bool any_model_committed = false;
   int model_checkpoints = 0;
   const int checkpoint_stride = std::max(1, crash_at / 3);
+  // Journal checkpoints land on a different stride so they interleave with
+  // (rather than shadow) the model-store publications.
+  const int journal_ckpt_stride = std::max(1, (2 * crash_at) / 5);
   for (int i = 0; i < crash_at; ++i) {
     if (!driver.Step(per_tenant)) break;
     ++report.executions;
@@ -424,6 +479,16 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
       if (models.Put(kModelKey, artifact).ok()) {
         last_committed_artifact = std::move(artifact);
         any_model_committed = true;
+      }
+    }
+    if (report.checkpoint_armed && (i + 1) % journal_ckpt_stride == 0) {
+      auto ckpt = service.Checkpoint();
+      if (ckpt.ok()) {
+        ++report.journal_checkpoints;
+      } else if (!options.buggify) {
+        AddViolation(&report.violations,
+                     "checkpoint failed without fault injection: " +
+                         ckpt.status().ToString());
       }
     }
   }
@@ -465,6 +530,26 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   if (!WriteFile(crash_path, crash_bytes)) {
     AddViolation(&report.violations, "cannot write crash snapshot");
   }
+  // The crash image is the whole journal chain, not just the live tail: a
+  // restarted process also sees the checkpoint file and the sealed segments
+  // the compactor had not yet absorbed. Checkpoints publish by atomic
+  // rename and segments are immutable once sealed, so both survive a crash
+  // byte-exact — only the live tail can tear.
+  const std::string checkpoint_bytes =
+      ReadFileOrEmpty(core::CheckpointPath(journal_path));
+  if (!checkpoint_bytes.empty() &&
+      !WriteFile(core::CheckpointPath(crash_path), checkpoint_bytes)) {
+    AddViolation(&report.violations, "cannot write crash checkpoint snapshot");
+  }
+  if (auto segments = ObservationJournal::ListSegments(journal_path);
+      segments.ok()) {
+    for (const auto& [index, segment_path] : *segments) {
+      if (!WriteFile(crash_path + ".seg-" + std::to_string(index),
+                     ReadFileOrEmpty(segment_path))) {
+        AddViolation(&report.violations, "cannot write crash segment snapshot");
+      }
+    }
+  }
 
   // --- invariant: conservation of deliveries (phase 1).
   if (phase1.delivered !=
@@ -490,68 +575,123 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
                      std::to_string(phase1.accepted));
   }
 
-  // --- invariant: the recovered journal equals the exact durable prefix of
-  // the ack ledger — no acked-and-persisted observation lost, nothing
-  // unpersisted resurrected.
+  // --- invariant: chain recovery (checkpoint + sealed segments + live
+  // tail) preserves every journaled-and-acked observation. Without fault
+  // injection the chain equals the exact durable prefix of the ack ledger.
+  // With Buggify armed the accounting legitimately loosens: an injected
+  // append failure opens a gap (the record was an error, never acked
+  // durable), and an injected flush failure can leave a record in the stdio
+  // buffer that a later rotation seals into a segment anyway — so the
+  // checks weaken to "nothing journaled is lost, nothing unacked
+  // resurrects, per-signature acceptance order is preserved".
   const uint64_t expected_records = phase1.appends - (torn ? 1 : 0);
-  auto recovered = ObservationJournal::Recover(crash_path);
-  if (!recovered.ok()) {
+  auto chain = core::RecoverJournalChain(crash_path);
+  if (!chain.ok()) {
     AddViolation(&report.violations,
-                 "journal recovery failed outright: " +
-                     recovered.status().ToString());
+                 "journal chain recovery failed outright: " +
+                     chain.status().ToString());
   } else {
-    report.records_recovered = recovered->records_recovered;
-    report.records_dropped = recovered->records_dropped;
-    if (recovered->records_recovered != expected_records) {
+    report.records_recovered =
+        chain->checkpoint_records + chain->tail_records;
+    report.records_dropped = chain->records_dropped;
+    report.checkpoint_seq = chain->checkpoint_seq;
+    if (!options.buggify && report.records_recovered != expected_records) {
       AddViolation(&report.violations,
                    "recovered record count mismatch: recovered " +
-                       std::to_string(recovered->records_recovered) +
+                       std::to_string(report.records_recovered) +
                        ", durable prefix " +
                        std::to_string(expected_records));
     }
+    if (report.records_recovered < expected_records) {
+      // Holds even under injected faults: every append that returned OK and
+      // survived the final sync is in the chain, minus the torn record.
+      AddViolation(&report.violations,
+                   "chain recovery lost acked records: recovered " +
+                       std::to_string(report.records_recovered) +
+                       " < durable " + std::to_string(expected_records));
+    }
+    if (report.records_recovered > ledger.size()) {
+      AddViolation(&report.violations,
+                   "chain recovered more records than the service accepted");
+    }
     const bool expect_data_loss = torn || !ends_clean;
     if (expect_data_loss &&
-        recovered->tail_status.code() != StatusCode::kDataLoss) {
+        chain->tail_status.code() != StatusCode::kDataLoss) {
       AddViolation(&report.violations,
                    "torn tail not reported as data loss: " +
-                       recovered->tail_status.ToString());
+                       chain->tail_status.ToString());
     }
-    if (!expect_data_loss && !recovered->tail_status.ok()) {
+    // Injected mid-segment write failures surface as DataLoss in the chain
+    // even when the live tail is clean, so this direction is only checkable
+    // without fault injection.
+    if (!options.buggify && !expect_data_loss && !chain->tail_status.ok()) {
       AddViolation(&report.violations,
-                   "clean journal reported unclean: " +
-                       recovered->tail_status.ToString());
+                   "clean journal chain reported unclean: " +
+                       chain->tail_status.ToString());
     }
     if (expected_records <= ledger.size()) {
-      std::map<uint64_t, std::vector<const Observation*>> durable;
-      for (size_t i = 0; i < expected_records; ++i) {
-        durable[ledger[i].first].push_back(&ledger[i].second);
+      std::map<uint64_t, std::vector<const Observation*>> acked;
+      for (const auto& entry : ledger) {
+        acked[entry.first].push_back(&entry.second);
       }
-      for (const auto& [signature, expected_history] : durable) {
-        const std::vector<Observation>& got =
-            recovered->store.History(signature);
-        if (got.size() != expected_history.size()) {
-          AddViolation(&report.violations,
-                       "signature " + std::to_string(signature) +
-                           " recovered " + std::to_string(got.size()) +
-                           " observations, expected " +
-                           std::to_string(expected_history.size()));
-          continue;
+      if (!options.buggify) {
+        std::map<uint64_t, std::vector<const Observation*>> durable;
+        for (size_t i = 0; i < expected_records; ++i) {
+          durable[ledger[i].first].push_back(&ledger[i].second);
         }
-        for (size_t i = 0; i < got.size(); ++i) {
-          if (!SameObservation(got[i], *expected_history[i])) {
+        for (const auto& [signature, expected_history] : durable) {
+          const std::vector<Observation>& got =
+              chain->store.History(signature);
+          if (got.size() != expected_history.size()) {
             AddViolation(&report.violations,
                          "signature " + std::to_string(signature) +
-                             " observation " + std::to_string(i) +
-                             " differs from the acked original");
-            break;
+                             " recovered " + std::to_string(got.size()) +
+                             " observations, expected " +
+                             std::to_string(expected_history.size()));
+            continue;
+          }
+          for (size_t i = 0; i < got.size(); ++i) {
+            if (!SameObservation(got[i], *expected_history[i])) {
+              AddViolation(&report.violations,
+                           "signature " + std::to_string(signature) +
+                               " observation " + std::to_string(i) +
+                               " differs from the acked original");
+              break;
+            }
           }
         }
       }
-      for (uint64_t signature : recovered->store.Signatures()) {
-        if (durable.find(signature) == durable.end()) {
+      for (uint64_t signature : chain->store.Signatures()) {
+        auto it = acked.find(signature);
+        if (it == acked.end()) {
           AddViolation(&report.violations,
                        "recovery resurrected unacked signature " +
                            std::to_string(signature));
+          continue;
+        }
+        // Order-preserving subsequence match against the acked sequence:
+        // catches corruption, reordering, and fabricated records even when
+        // injected append failures opened gaps in the journaled stream.
+        const std::vector<Observation>& got =
+            chain->store.History(signature);
+        size_t next = 0;
+        bool in_order = true;
+        for (const Observation& obs : got) {
+          while (next < it->second.size() &&
+                 !SameObservation(obs, *it->second[next])) {
+            ++next;
+          }
+          if (next == it->second.size()) {
+            in_order = false;
+            break;
+          }
+          ++next;
+        }
+        if (!in_order) {
+          AddViolation(&report.violations,
+                       "signature " + std::to_string(signature) +
+                           " recovered history is not an ordered"
+                           " subsequence of its acked observations");
         }
       }
     } else {
@@ -580,14 +720,27 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
     }
   }
 
-  // --- invariant: recovery is deterministic — two fresh services replaying
-  // the surviving journal reach bit-identical state.
+  // --- invariant: recovery is deterministic — two fresh services restoring
+  // the surviving journal chain reach bit-identical state even though one
+  // restores lazily (seed-chosen) and they evict under different budgets,
+  // so different signatures are resident when the digests are taken. The
+  // digest faults every cold signature back in, which is exactly the
+  // serialize → evict → fault-in round-trip the tiered layer must make
+  // invisible.
   TuningService recovered_service(space, nullptr, core::TuningServiceOptions{},
                                   seed);
+  recovered_service.EnableStateTiering(&state_store, report.state_budget,
+                                       resolver);
   {
     TuningService twin(space, nullptr, core::TuningServiceOptions{}, seed);
-    auto r1 = recovered_service.RecoverFromJournal(crash_path, plans);
-    auto r2 = twin.RecoverFromJournal(crash_path, plans);
+    twin.EnableStateTiering(&state_store_twin, report.state_budget * 2,
+                            resolver);
+    TuningService::RecoveryOptions lazy_options;
+    lazy_options.lazy = report.lazy_recovery;
+    auto r1 =
+        recovered_service.RecoverFromCheckpoint(crash_path, plans,
+                                                lazy_options);
+    auto r2 = twin.RecoverFromCheckpoint(crash_path, plans);
     if (!r1.ok() || !r2.ok()) {
       AddViolation(&report.violations,
                    "service recovery failed: " +
@@ -597,6 +750,15 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
         AddViolation(&report.violations,
                      "recovery met unknown signatures: " +
                          std::to_string(r1->unknown_signatures));
+      }
+      if (r1->signatures_restored != r2->signatures_restored ||
+          r1->observations_replayed != r2->observations_replayed) {
+        AddViolation(&report.violations,
+                     "lazy and eager recovery disagree: " +
+                         std::to_string(r1->signatures_restored) + "/" +
+                         std::to_string(r1->observations_replayed) +
+                         " vs " + std::to_string(r2->signatures_restored) +
+                         "/" + std::to_string(r2->observations_replayed));
       }
       std::vector<uint64_t> signatures;
       for (const sparksim::QueryPlan& plan : plans) {
@@ -684,6 +846,10 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   }
   report.signatures = recovered_service.NumSignatures();
   report.disabled_signatures = recovered_service.NumDisabled();
+  const core::TierStats tier_phase1 = service.StateTierStats();
+  const core::TierStats tier_recovered = recovered_service.StateTierStats();
+  report.state_evictions = tier_phase1.evictions + tier_recovered.evictions;
+  report.state_faultins = tier_phase1.faultins + tier_recovered.faultins;
 
   report.delivered = phase1.delivered + phase2.delivered;
   report.accepted = phase1.accepted + phase2.accepted;
@@ -708,10 +874,12 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   }
 
   (void)journal.Close();
-  fs::remove(journal_path, ec);
-  fs::remove(crash_path, ec);
-  fs::remove(phase2_path, ec);
+  RemoveJournalFamily(journal_path);
+  RemoveJournalFamily(crash_path);
+  RemoveJournalFamily(phase2_path);
   fs::remove_all(model_dir, ec);
+  fs::remove_all(state_dir, ec);
+  fs::remove_all(state_dir_twin, ec);
   return report;
 }
 

@@ -61,10 +61,20 @@ struct SimulationReport {
 
   // Crash / recovery.
   uint64_t records_recovered = 0;
-  uint64_t records_dropped = 0;  ///< dropped by Recover around the bad tail
+  uint64_t records_dropped = 0;  ///< dropped by chain recovery around damage
   bool tail_torn = false;        ///< the crash tore the final record
   std::string recovered_digest;  ///< service state digest after recovery
   std::string final_digest;      ///< digest after phase 2 + shutdown
+
+  // Tiered state layer (seed-chosen arming; see docs/ARCHITECTURE.md).
+  bool tiering_armed = false;      ///< phase 1 ran with an eviction budget
+  bool checkpoint_armed = false;   ///< phase 1 took journal checkpoints
+  bool lazy_recovery = false;      ///< recovered service used lazy restore
+  uint64_t state_budget = 0;       ///< resident-bytes budget when armed
+  uint64_t journal_checkpoints = 0;  ///< successful Checkpoint() calls
+  uint64_t checkpoint_seq = 0;       ///< chain recovery's checkpoint seq
+  uint64_t state_evictions = 0;      ///< evictions across both services
+  uint64_t state_faultins = 0;       ///< fault-ins across both services
 
   size_t signatures = 0;
   size_t disabled_signatures = 0;
@@ -88,18 +98,25 @@ struct SimulationReport {
 ///   phase 1  N tenants interleaved on a virtual clock drive one shared
 ///            TuningService through simulated executions and a faulty
 ///            telemetry bus, journaling through sync or group-commit
-///            appends (seed-chosen), with Buggify sections armed;
-///   crash    the "process" dies: the journal file is snapshotted at its
-///            synced watermark and the final record is sometimes torn
-///            mid-line (seed-chosen);
-///   recover  two fresh services replay the surviving journal — their state
-///            digests must match (recovery is deterministic), and the
-///            recovered observations must equal the exact durable prefix of
-///            every acknowledged observation (nothing acked is lost, nothing
-///            unacked resurrects);
+///            appends (seed-chosen), with Buggify sections armed; on a
+///            seed-chosen subset of runs the tiered state layer is armed
+///            (cold-signature eviction under a resident-bytes budget) and
+///            journal checkpoints compact the log mid-phase;
+///   crash    the "process" dies: the live journal is snapshotted at its
+///            synced watermark (final record sometimes torn mid-line,
+///            seed-chosen) together with the checkpoint file and sealed
+///            segments — the full chain a restarted process would see;
+///   recover  two fresh services restore the chain via
+///            RecoverFromCheckpoint — one lazy (seed-chosen) with the run's
+///            eviction budget, one eager with a different budget — and
+///            their state digests must match (recovery is deterministic
+///            regardless of restore mode or which signatures are resident);
+///            the chain-recovered observations must be consistent with the
+///            acked ledger (nothing journaled-and-acked is lost, nothing
+///            unacked resurrects, per-signature order preserved);
 ///   phase 2  the recovered service serves the remaining executions through
-///            a fresh journal, then shuts down through Status-checked
-///            Sync/Close.
+///            a fresh journal — faulting cold signatures back in under live
+///            traffic — then shuts down through Status-checked Sync/Close.
 ///
 /// Cross-layer invariants checked throughout (see docs/FAULT_MODEL.md):
 /// guardrail strike transitions (consecutive regression strikes move +1 or

@@ -1,0 +1,356 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/journal.h"
+#include "core/observation.h"
+
+namespace rockhopper::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rockhopper_checkpoint_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log"))
+                .string();
+    Cleanup();
+  }
+  ~CheckpointTest() override { Cleanup(); }
+
+  void Cleanup() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(CheckpointPath(path_), ec);
+    std::filesystem::remove(CheckpointPath(path_) + ".tmp", ec);
+    auto segments = ObservationJournal::ListSegments(path_);
+    if (segments.ok()) {
+      for (const auto& [index, seg_path] : *segments) {
+        std::filesystem::remove(seg_path, ec);
+      }
+    }
+  }
+
+  Observation Obs(int iteration, double runtime) {
+    Observation o;
+    o.config = {128.0 * 1024 * 1024, 10.0 * 1024 * 1024, 200.0};
+    o.data_size = 1.5;
+    o.runtime = runtime;
+    o.iteration = iteration;
+    return o;
+  }
+
+  /// Appends `n` observations for `signature` to the live journal.
+  void Append(ObservationJournal* journal, uint64_t signature, int n,
+              int first_iteration = 0) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          journal->Append(signature, Obs(first_iteration + i, 1.0 + i)).ok());
+    }
+  }
+
+  std::string ReadFile(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void WriteFile(const std::string& p, const std::string& content) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  size_t SegmentCount() {
+    auto segments = ObservationJournal::ListSegments(path_);
+    return segments.ok() ? segments->size() : 0;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, AbsorbsSegmentsAndTruncates) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 5);
+
+  Result<CheckpointReport> report = CheckpointLive(&*journal);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records, 5u);
+  EXPECT_EQ(report->segments_absorbed, 1u);
+  EXPECT_GE(report->last_segment, 1u);
+  // Truncation: the absorbed segment is gone from disk.
+  EXPECT_EQ(SegmentCount(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(CheckpointPath(path_)));
+
+  // More traffic after the checkpoint lands in the fresh live file.
+  Append(&*journal, 9, 3, /*first_iteration=*/0);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->checkpoint_records, 5u);
+  EXPECT_EQ(chain->tail_records, 3u);
+  EXPECT_EQ(chain->store.Count(7), 5u);
+  EXPECT_EQ(chain->store.Count(9), 3u);
+}
+
+TEST_F(CheckpointTest, RepeatedCheckpointsAccumulateAndAdvanceSeq) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+
+  Append(&*journal, 7, 4);
+  Result<CheckpointReport> first = CheckpointLive(&*journal);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->records, 4u);
+
+  Append(&*journal, 7, 4, /*first_iteration=*/4);
+  Result<CheckpointReport> second = CheckpointLive(&*journal);
+  ASSERT_TRUE(second.ok());
+  // The second checkpoint holds the full absorbed history and a strictly
+  // higher sequence number.
+  EXPECT_EQ(second->records, 8u);
+  EXPECT_GT(second->last_segment, first->last_segment);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->checkpoint_seq, second->last_segment);
+  EXPECT_EQ(chain->store.Count(7), 8u);
+  // Replay preserves order exactly.
+  const std::vector<Observation>& history = chain->store.History(7);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(history[i].iteration, i);
+}
+
+/// Regression: after a checkpoint absorbs and deletes seg-1, a naive
+/// "highest on-disk segment + 1" rotation would reuse index 1, and the next
+/// compaction would discard the reused segment as a stale pre-checkpoint
+/// leftover — silently losing acked records.
+TEST_F(CheckpointTest, RotationIndexNeverReusedAfterTruncation) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+
+  size_t expected = 0;
+  for (int round = 0; round < 3; ++round) {
+    Append(&*journal, 7, 3, /*first_iteration=*/round * 3);
+    expected += 3;
+    Result<CheckpointReport> report = CheckpointLive(&*journal);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->records, expected) << "round " << round;
+  }
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->checkpoint_records + chain->tail_records, expected);
+  EXPECT_EQ(chain->store.Count(7), expected);
+}
+
+/// Same reuse hazard across a restart: the in-memory hint dies with the
+/// process, so the compactor's min_index floor must carry monotonicity.
+TEST_F(CheckpointTest, RotationIndexMonotonicAcrossReopen) {
+  {
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Append(&*journal, 7, 3);
+    Result<CheckpointReport> report = CheckpointLive(&*journal);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(journal->Close().ok());
+  }
+  {
+    // Fresh process image: next_segment_hint_ starts at zero again.
+    Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Append(&*journal, 7, 3, /*first_iteration=*/3);
+    Result<CheckpointReport> report = CheckpointLive(&*journal);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->records, 6u);
+    ASSERT_TRUE(journal->Close().ok());
+  }
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->store.Count(7), 6u);
+}
+
+TEST_F(CheckpointTest, TornCheckpointTailRecoversPrefix) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 5);
+  ASSERT_TRUE(CheckpointLive(&*journal).ok());
+  ASSERT_TRUE(journal->Close().ok());
+
+  // Tear the checkpoint mid-record: the last line loses its tail bytes.
+  std::string content = ReadFile(CheckpointPath(path_));
+  ASSERT_FALSE(content.empty());
+  WriteFile(CheckpointPath(path_), content.substr(0, content.size() - 10));
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(chain->clean);
+  EXPECT_EQ(chain->tail_status.code(), StatusCode::kDataLoss);
+  // The longest valid prefix survives; only the torn record is dropped.
+  EXPECT_EQ(chain->checkpoint_records, 4u);
+  EXPECT_EQ(chain->records_dropped, 1u);
+  EXPECT_EQ(chain->store.Count(7), 4u);
+}
+
+TEST_F(CheckpointTest, CheckpointMissingDeclaredRecordsIsDataLoss) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 5);
+  ASSERT_TRUE(CheckpointLive(&*journal).ok());
+  ASSERT_TRUE(journal->Close().ok());
+
+  // Drop a whole trailing line (clean line boundary): every remaining line
+  // has a valid CRC, so only the header's declared record count can catch it.
+  std::string content = ReadFile(CheckpointPath(path_));
+  size_t cut = content.find_last_of('\n', content.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  WriteFile(CheckpointPath(path_), content.substr(0, cut + 1));
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(chain->clean);
+  EXPECT_EQ(chain->tail_status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(chain->checkpoint_records, 4u);
+}
+
+TEST_F(CheckpointTest, CrashMidTruncateNeverDoubleCounts) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 5);
+
+  // Seal the records into a segment, then checkpoint, then simulate a crash
+  // between the checkpoint rename and the segment unlink by restoring the
+  // absorbed segment's bytes.
+  Result<ObservationJournal::RotateResult> rotated = journal->Rotate();
+  ASSERT_TRUE(rotated.ok());
+  std::string segment_bytes = ReadFile(rotated->segment_path);
+  Result<CheckpointReport> report = WriteCheckpoint(path_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records, 5u);
+  ASSERT_FALSE(std::filesystem::exists(rotated->segment_path));
+  WriteFile(rotated->segment_path, segment_bytes);
+  ASSERT_TRUE(journal->Close().ok());
+
+  // Recovery must skip the leftover: its index <= checkpoint_seq.
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->checkpoint_records, 5u);
+  EXPECT_EQ(chain->store.Count(7), 5u) << "absorbed segment replayed twice";
+
+  // A later compaction finishes the truncation without re-absorbing.
+  Result<CheckpointReport> again = WriteCheckpoint(path_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->records, 5u);
+  EXPECT_FALSE(std::filesystem::exists(rotated->segment_path));
+}
+
+TEST_F(CheckpointTest, StaleTmpCheckpointIgnored) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 3);
+
+  // A crash mid-compaction leaves a garbage .tmp; it must never be read.
+  WriteFile(CheckpointPath(path_) + ".tmp", "garbage from a dead compactor\n");
+
+  Result<CheckpointReport> report = CheckpointLive(&*journal);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records, 3u);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->store.Count(7), 3u);
+}
+
+TEST_F(CheckpointTest, RecoverNothingIsNotFound) {
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  EXPECT_FALSE(chain.ok());
+  EXPECT_EQ(chain.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, CheckpointWithGroupCommitActive) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->StartGroupCommit().ok());
+  Append(&*journal, 7, 20);
+  ASSERT_TRUE(journal->Sync().ok());
+
+  // Rotation is the sequence barrier: every acked record must land in the
+  // checkpoint even though the writer thread is still running.
+  Result<CheckpointReport> report = CheckpointLive(&*journal);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records, 20u);
+
+  Append(&*journal, 9, 5);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->store.Count(7), 20u);
+  EXPECT_EQ(chain->store.Count(9), 5u);
+}
+
+TEST_F(CheckpointTest, RepeatedRotationNeverDropsConcurrentAppends) {
+  // Regression: Rotate() used to close the live file before renaming it, so
+  // an Append racing the swap could observe a momentarily-closed journal and
+  // fail ("journal is not open") even though the journal was healthy —
+  // acked-and-dropped records under an online checkpoint cadence. The rename
+  // now happens with the stream still open, so every Append during any
+  // number of rotations must succeed and every record must survive in the
+  // chain exactly once.
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->StartGroupCommit().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::atomic<uint64_t> append_failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t signature = 100 + static_cast<uint64_t>(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!journal->Append(signature, Obs(i, 1.0 + i)).ok()) {
+          append_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Checkpoint continuously while the appenders run: each call rotates the
+  // live file, maximizing swaps racing the lock-free is-open fast path.
+  for (int round = 0; round < 12; ++round) {
+    Result<CheckpointReport> report = CheckpointLive(&*journal);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(append_failures.load(), 0u);
+  EXPECT_EQ(journal->async_write_errors(), 0u);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(chain->store.Count(100 + static_cast<uint64_t>(t)),
+              static_cast<size_t>(kPerThread));
+  }
+}
+
+}  // namespace
+}  // namespace rockhopper::core

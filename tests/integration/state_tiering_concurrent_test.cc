@@ -1,0 +1,161 @@
+// Eviction under fire: 8 tenant threads drive the tuning service through a
+// group-commit journal while the tiered state layer runs with a budget small
+// enough that the clock hand evicts continuously. Exercises the
+// evict / fault-in / re-evict cycle concurrently with ingestion — the data
+// race surface the shard-lock + single-flight-evictor design must keep clean
+// (run under TSan by tools/run_sanitized_tests.sh).
+//
+// Determinism strategy mirrors concurrent_service_test.cc: each signature is
+// owned by exactly one thread and its event stream is a pure function of its
+// query id, so per-signature observation counts are exact regardless of
+// eviction timing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/journal.h"
+#include "core/model_store.h"
+#include "core/tuning_service.h"
+#include "sparksim/workloads.h"
+
+namespace rockhopper::core {
+namespace {
+
+constexpr int kNumPlans = 48;  // spans all 16 shards several times over
+constexpr int kEventsPerPlan = 10;
+constexpr int kThreads = 8;
+constexpr uint64_t kSeed = 77;
+
+class StateTieringConcurrentTest : public ::testing::Test {
+ protected:
+  StateTieringConcurrentTest() {
+    const std::string stem =
+        "rockhopper_tiering_conc_" +
+        std::to_string(reinterpret_cast<uintptr_t>(this));
+    journal_path_ =
+        (std::filesystem::temp_directory_path() / (stem + ".journal"))
+            .string();
+    store_dir_ =
+        (std::filesystem::temp_directory_path() / (stem + ".store")).string();
+    Cleanup();
+  }
+  ~StateTieringConcurrentTest() override { Cleanup(); }
+
+  void Cleanup() {
+    std::error_code ec;
+    std::filesystem::remove(journal_path_, ec);
+    std::filesystem::remove(CheckpointPath(journal_path_), ec);
+    std::filesystem::remove(CheckpointPath(journal_path_) + ".tmp", ec);
+    auto segments = ObservationJournal::ListSegments(journal_path_);
+    if (segments.ok()) {
+      for (const auto& [index, path] : *segments) {
+        std::filesystem::remove(path, ec);
+      }
+    }
+    std::filesystem::remove_all(store_dir_, ec);
+  }
+
+  std::string journal_path_;
+  std::string store_dir_;
+};
+
+TEST_F(StateTieringConcurrentTest, EvictionUnderEightThreadIngest) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  std::vector<sparksim::QueryPlan> plans;
+  std::map<uint64_t, const sparksim::QueryPlan*> by_signature;
+  for (int q = 1; q <= kNumPlans; ++q) {
+    plans.push_back(sparksim::TpcdsPlan(q));
+  }
+  for (const sparksim::QueryPlan& plan : plans) {
+    by_signature.emplace(plan.Signature(), &plan);
+  }
+
+  TuningServiceOptions options;
+  options.guardrail.min_iterations = 10;
+  options.centroid.num_candidates = 8;
+  TuningService service(space, nullptr, options, kSeed);
+
+  ModelStore store(store_dir_);
+  // A budget of a few KB holds only a handful of the ~48 states resident,
+  // so eviction and fault-in run continuously throughout ingestion.
+  service.EnableStateTiering(&store, 8 * 1024,
+                             [&by_signature](uint64_t signature) {
+                               auto it = by_signature.find(signature);
+                               return it == by_signature.end()
+                                          ? nullptr
+                                          : it->second;
+                             });
+
+  auto journal = ObservationJournal::Open(journal_path_);
+  ASSERT_TRUE(journal.ok());
+  GroupCommitOptions gc;
+  gc.max_batch = 16;
+  gc.queue_capacity = 64;
+  ASSERT_TRUE(journal->StartGroupCommit(gc).ok());
+  service.AttachJournal(&*journal);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < plans.size();
+           i += kThreads) {
+        const TuningService::SignatureHandle handle = service.Handle(plans[i]);
+        for (int j = 0; j < kEventsPerPlan; ++j) {
+          const sparksim::ConfigVector config =
+              service.OnQueryStart(handle, 1e9);
+          QueryEndEvent event;
+          event.event_id = static_cast<uint64_t>(j + 1);
+          event.config = config;
+          event.data_size = 1e9 + 1e7 * static_cast<double>(i);
+          event.runtime = 20.0 + 0.1 * static_cast<double>(i) + j;
+          service.OnQueryEnd(handle, event);
+        }
+        // Read-side probes race with other threads' evictions.
+        (void)service.IsTuningEnabled(handle.signature());
+        (void)service.StateTierStats();
+      }
+    });
+  }
+  // A checkpoint races with ingestion: rotation is the sequence barrier.
+  auto mid_checkpoint = service.Checkpoint();
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_TRUE(mid_checkpoint.ok()) << mid_checkpoint.status().ToString();
+  ASSERT_TRUE(service.Shutdown().ok());
+  EXPECT_EQ(service.journal_errors(), 0u);
+
+  // Conservation: every signature ingested exactly its own stream.
+  EXPECT_EQ(service.NumSignatures(), static_cast<size_t>(kNumPlans));
+  for (const sparksim::QueryPlan& plan : plans) {
+    EXPECT_EQ(service.observations().Count(plan.Signature()),
+              static_cast<size_t>(kEventsPerPlan));
+  }
+
+  // The budget actually bit: states were evicted and faulted back in, and
+  // the resident tier ended under (or at the watermark of) the budget.
+  const TierStats stats = service.StateTierStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.faultins, 0u);
+  EXPECT_EQ(stats.resident_signatures + stats.cold_signatures,
+            static_cast<size_t>(kNumPlans));
+
+  // Every acked record is recoverable through the checkpoint + tail chain.
+  Result<JournalChain> chain = RecoverJournalChain(journal_path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  size_t recovered = 0;
+  for (const sparksim::QueryPlan& plan : plans) {
+    recovered += chain->store.Count(plan.Signature());
+  }
+  EXPECT_EQ(recovered, static_cast<size_t>(kNumPlans) * kEventsPerPlan);
+}
+
+}  // namespace
+}  // namespace rockhopper::core

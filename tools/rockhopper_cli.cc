@@ -35,13 +35,22 @@
 //       replays converge to the same state digest and metric deltas;
 //
 //   rockhopper recover --journal=FILE --suite=tpch
-//       restore a tuning service from a crash-safe observation journal
-//       (tolerating a truncated or corrupt tail) and print what survived;
+//       restore a tuning service from the crash-safe journal chain
+//       (checkpoint + sealed segments + live tail, tolerating a truncated
+//       or corrupt tail) and print what survived, including the checkpoint
+//       sequence and the replayed tail length;
+//
+//   rockhopper checkpoint --journal=FILE
+//       compact the journal offline: seal the live file, absorb the sealed
+//       segments into the checkpoint, and truncate the absorbed prefix;
 //
 //   rockhopper serve --suite=tpcds --threads=8 --iters=20 [--chaos]
 //       drive one shared tuning service from concurrent tenant threads
 //       (the multi-tenant deployment shape of §6.3) and print aggregate
 //       throughput; --journal=FILE appends through the group-commit path;
+//       --memory-budget=BYTES arms the tiered state layer (cold-signature
+//       eviction with transparent fault-in); --checkpoint-interval=N
+//       compacts the journal every N accepted observations while serving;
 //       exits with a metrics scrape (--metrics-format=prom|json|off);
 //
 //   rockhopper metrics --suite=tpch --iters=30 --threads=4 [--format=json]
@@ -53,18 +62,23 @@
 // Every run is deterministic given --seed (serve: per-signature streams are
 // seed-deterministic; thread interleaving varies).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 
+#include "core/checkpoint.h"
 #include "core/flighting.h"
 #include "core/journal.h"
 #include "core/model_store.h"
@@ -573,7 +587,7 @@ int RunRecover(const Args& args) {
   }
   TuningService service(space, nullptr, {},
                         static_cast<uint64_t>(args.GetInt("seed", 31)));
-  auto report = service.RecoverFromJournal(journal_path, plans);
+  auto report = service.RecoverFromCheckpoint(journal_path, plans);
   if (!report.ok()) {
     if (report.status().code() == StatusCode::kNotFound) {
       std::fprintf(stderr, "no journal at %s\n", journal_path.c_str());
@@ -596,6 +610,10 @@ int RunRecover(const Args& args) {
     std::printf("journal %s: %s\n", journal_path.c_str(),
                 report->journal_status.ToString().c_str());
   }
+  std::printf("checkpoint seq %llu; replayed tail of %zu records across "
+              "%zu sealed segments + live journal\n",
+              static_cast<unsigned long long>(report->checkpoint_seq),
+              report->tail_records, report->segments_replayed);
   std::printf("recovered %zu signatures, %zu observations (%zu dropped, "
               "%zu unknown signatures)\n",
               report->signatures_restored, report->observations_replayed,
@@ -611,9 +629,53 @@ int RunRecover(const Args& args) {
   return 0;
 }
 
+// Offline journal compaction: seal the live file behind a rotation barrier,
+// absorb the sealed segments into the checkpoint, truncate the absorbed
+// prefix. Safe to re-run; a crashed previous compaction is finished.
+int RunCheckpoint(const Args& args) {
+  const std::string journal_path = args.Get("journal", "");
+  if (journal_path.empty()) {
+    std::fprintf(stderr, "checkpoint requires --journal=FILE\n");
+    return 1;
+  }
+  // Open would create an empty journal; an explicit miss is more useful.
+  if (!std::filesystem::exists(journal_path)) {
+    std::fprintf(stderr, "no journal at %s\n", journal_path.c_str());
+    return 1;
+  }
+  auto opened = ObservationJournal::Open(journal_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open journal: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  ObservationJournal journal = std::move(*opened);
+  auto report = CheckpointLive(&journal);
+  const Status closed = journal.Close();
+  if (!report.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  if (!closed.ok()) {
+    std::fprintf(stderr, "journal close failed: %s\n",
+                 closed.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint %s: seq %llu, %zu records (%zu segments absorbed,"
+              " %zu torn records dropped)\n",
+              report->checkpoint_path.c_str(),
+              static_cast<unsigned long long>(report->last_segment),
+              report->records, report->segments_absorbed,
+              report->records_dropped);
+  return 0;
+}
+
 // Multi-tenant load harness: K threads drive the suite's plans through one
 // shared service. With --journal, appends go through the journal's
 // group-commit path (batched background writer) unless --sync-journal.
+// --memory-budget arms the tiered state layer; --checkpoint-interval runs a
+// background compactor every N accepted observations.
 int RunServe(const Args& args) {
   const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
   const FlightingConfig::Suite suite =
@@ -626,6 +688,25 @@ int RunServe(const Args& args) {
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 37));
   TuningServiceOptions service_options;
   TuningService service(space, nullptr, service_options, seed);
+
+  // Tiered state layer: a resident-bytes budget plus a cold-artifact store
+  // arm clock eviction; evicted signatures fault back in on first touch.
+  const uint64_t memory_budget =
+      std::strtoull(args.Get("memory-budget", "0").c_str(), nullptr, 10);
+  std::map<uint64_t, const sparksim::QueryPlan*> plan_index;
+  for (const sparksim::QueryPlan& plan : plans) {
+    plan_index[plan.Signature()] = &plan;
+  }
+  std::optional<ModelStore> state_store;
+  if (memory_budget > 0) {
+    state_store.emplace(args.Get("state-dir", "rockhopper-state"));
+    service.EnableStateTiering(
+        &*state_store, memory_budget,
+        [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
+          auto it = plan_index.find(signature);
+          return it == plan_index.end() ? nullptr : it->second;
+        });
+  }
 
   ObservationJournal journal;
   const std::string journal_path = args.Get("journal", "");
@@ -640,6 +721,31 @@ int RunServe(const Args& args) {
     journal = std::move(*opened);
     if (group_commit) journal.StartGroupCommit({});
     service.AttachJournal(&journal);
+  }
+
+  // Background compactor: checkpoint the journal every N accepted
+  // observations, concurrently with the tenant threads — the online
+  // checkpoint shape (rotation barrier vs live group-commit appends).
+  const int checkpoint_interval = args.GetInt("checkpoint-interval", 0);
+  std::atomic<bool> serving{true};
+  std::atomic<uint64_t> checkpoints_taken{0};
+  std::thread compactor;
+  if (checkpoint_interval > 0 && !journal_path.empty()) {
+    compactor = std::thread([&] {
+      uint64_t last = 0;
+      while (serving.load(std::memory_order_relaxed)) {
+        const uint64_t accepted =
+            service.telemetry_stats().accepted.load(std::memory_order_relaxed);
+        if (accepted - last >=
+            static_cast<uint64_t>(checkpoint_interval)) {
+          if (service.Checkpoint().ok()) {
+            checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+          }
+          last = accepted;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
   }
 
   tools::ConcurrentDriverOptions driver_options;
@@ -658,6 +764,15 @@ int RunServe(const Args& args) {
   tools::ConcurrentDriver driver(&service, driver_options);
   const tools::ConcurrentDriverReport report = driver.Run(plans);
   int exit_code = 0;
+  serving.store(false, std::memory_order_relaxed);
+  if (compactor.joinable()) {
+    compactor.join();
+    // One final compaction so the chain a restart replays is as short as
+    // the interval promises.
+    if (service.Checkpoint().ok()) {
+      checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   const uint64_t journal_errors = service.journal_errors();
   if (!journal_path.empty()) {
     // Status-checked shutdown: a journal that swallowed a write error must
@@ -690,6 +805,22 @@ int RunServe(const Args& args) {
                 journal_path.c_str(),
                 group_commit ? "group commit" : "synchronous appends",
                 static_cast<unsigned long long>(journal_errors));
+  }
+  if (checkpoint_interval > 0 && !journal_path.empty()) {
+    std::printf("journal checkpoints: %llu (every %d accepted observations)\n",
+                static_cast<unsigned long long>(
+                    checkpoints_taken.load(std::memory_order_relaxed)),
+                checkpoint_interval);
+  }
+  if (memory_budget > 0) {
+    const TierStats tier = service.StateTierStats();
+    std::printf("state tier: %zu resident (%zu bytes of %llu budget), "
+                "%zu cold; %llu evictions, %llu fault-ins\n",
+                tier.resident_signatures, tier.resident_bytes,
+                static_cast<unsigned long long>(memory_budget),
+                tier.cold_signatures,
+                static_cast<unsigned long long>(tier.evictions),
+                static_cast<unsigned long long>(tier.faultins));
   }
 
   const std::string metrics_format = args.Get("metrics-format", "prom");
@@ -925,11 +1056,17 @@ void PrintUsage() {
       "  replay  replay a recorded simulation trace twice, verify identical "
       "state\n"
       "          flags: --trace=FILE --suite=tpch|tpcds --seed=N\n"
-      "  recover restore tuning state from a crash-safe journal\n"
+      "  recover restore tuning state from the journal chain (checkpoint +\n"
+      "          sealed segments + live tail)\n"
       "          flags: --journal=FILE --suite=tpch|tpcds --seed=N\n"
+      "  checkpoint  compact a journal offline: absorb sealed segments into\n"
+      "          the checkpoint, truncate the absorbed prefix\n"
+      "          flags: --journal=FILE\n"
       "  serve   drive one shared service from concurrent tenant threads\n"
       "          flags: --suite=tpcds|tpch --threads=N --iters=N --chaos\n"
       "                 --latency-us=N --journal=FILE --sync-journal\n"
+      "                 --memory-budget=BYTES --state-dir=DIR\n"
+      "                 --checkpoint-interval=N\n"
       "                 --fl=F --sl=F --seed=N --metrics-format=prom|json|off\n"
       "  metrics exercise the instrumented pipeline, print one registry "
       "scrape\n"
@@ -949,6 +1086,7 @@ int main(int argc, char** argv) {
   if (args.command == "simulate") return RunSimulate(args);
   if (args.command == "replay") return RunReplay(args);
   if (args.command == "recover") return RunRecover(args);
+  if (args.command == "checkpoint") return RunCheckpoint(args);
   if (args.command == "serve") return RunServe(args);
   if (args.command == "metrics") return RunMetrics(args);
   PrintUsage();

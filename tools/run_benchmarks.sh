@@ -19,6 +19,15 @@
 #                     --metrics=on|off, best of N reps each) — write
 #                     BENCH_metrics.json, and FAIL (exit 1) if metrics-on
 #                     costs more than 3% over metrics-off
+#   --suite state:    run the tiered-state cold-start benchmark
+#                     (bench_state_scale: ~1M synthetic signatures recovered
+#                     lazily from a checkpoint + journal tail), write
+#                     BENCH_state.json, and FAIL (exit 1) if the resident
+#                     tier exceeded the eviction budget, any post-recovery
+#                     proposal diverged from the unevicted twin, or the lazy
+#                     cold start blew the wall-time cap
+#                     (ROCKHOPPER_STATE_SIGNATURES / _BUDGET / _TOUCH /
+#                     ROCKHOPPER_STATE_TIME_CAP_S override the defaults)
 #   --suite sim:      run the deterministic-simulation seed sweep
 #                     (tools/run_simulation_sweep.sh: Buggify-armed
 #                     crash/recovery runs plus the byte-reproducibility
@@ -272,6 +281,96 @@ if overhead_ratio > LIMIT:
 PYGATE
 }
 
+run_state_suite() {
+  local time_cap="${ROCKHOPPER_STATE_TIME_CAP_S:-120}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DROCKHOPPER_BUILD_BENCHMARKS=ON
+  cmake --build "${build_dir}" -j "$(nproc)" --target bench_state_scale
+
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  trap "rm -rf '${tmp_dir}'" EXIT
+
+  echo "== tiered-state cold start (bench_state_scale) =="
+  local bench_status=0
+  local t0 t1
+  t0=$(date +%s%N)
+  if ! "${build_dir}/bench/bench_state_scale" \
+      | tee "${tmp_dir}/state.log"; then
+    bench_status=1
+  fi
+  t1=$(date +%s%N)
+  local wall_ms=$(( (t1 - t0) / 1000000 ))
+
+  python3 - "${tmp_dir}/state.log" "${bench_status}" "${time_cap}" \
+    "${wall_ms}" "${repo_root}/BENCH_state.json" <<'PYSTATE'
+import json
+import re
+import sys
+
+log_path, bench_status, time_cap, wall_ms, out_path = sys.argv[1:6]
+with open(log_path) as f:
+    log = f.read()
+
+# The bench emits flat key=value pairs; collect them all.
+fields = {}
+for key, value in re.findall(r"(\w+)=(-?[\d.]+)", log):
+    fields[key] = float(value) if "." in value else int(value)
+
+required = (
+    "signatures",
+    "lazy_recover_s",
+    "max_resident_bytes",
+    "budget_bytes",
+    "within_budget",
+    "proposal_identical",
+)
+missing = [k for k in required if k not in fields]
+if missing:
+    sys.exit(f"bench output missing fields: {missing}")
+
+time_cap = float(time_cap)
+passed = (
+    int(bench_status) == 0
+    and fields["within_budget"] == 1
+    and fields["proposal_identical"] == 1
+    and fields["lazy_recover_s"] <= time_cap
+)
+result = {
+    "summary": {
+        "signatures": fields["signatures"],
+        "lazy_recover_s": fields["lazy_recover_s"],
+        "lazy_recover_cap_s": time_cap,
+        "max_resident_bytes": fields["max_resident_bytes"],
+        "budget_bytes": fields["budget_bytes"],
+        "within_budget": bool(fields["within_budget"]),
+        "proposal_identical": bool(fields["proposal_identical"]),
+        "wall_s": int(wall_ms) / 1000.0,
+        "passed": passed,
+    },
+    "fields": fields,
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+s = result["summary"]
+print(f"wrote {out_path}")
+print(f"  signatures        : {s['signatures']}")
+print(f"  lazy_recover_s    : {s['lazy_recover_s']} (cap {time_cap})")
+print(
+    f"  resident_bytes    : {s['max_resident_bytes']}"
+    f" / budget {s['budget_bytes']}"
+)
+print(f"  proposal_identical: {s['proposal_identical']}")
+if not passed:
+    print("FAIL: tiered-state benchmark gate (see log above)",
+          file=sys.stderr)
+    sys.exit(1)
+PYSTATE
+}
+
 run_sim_suite() {
   local seeds="${ROCKHOPPER_SIM_SEEDS:-1000}"
   local tmp_dir
@@ -337,8 +436,9 @@ if [[ "${filter}" == "--suite" ]]; then
     fig) run_fig_suite ;;
     metrics) run_metrics_suite ;;
     sim) run_sim_suite ;;
+    state) run_state_suite ;;
     *)
-      echo "unknown suite '${2:-}' (expected: fig, metrics, sim)" >&2
+      echo "unknown suite '${2:-}' (expected: fig, metrics, sim, state)" >&2
       exit 2
       ;;
   esac

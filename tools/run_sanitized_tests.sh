@@ -55,3 +55,21 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
 echo "== ${mode}: rockhopper simulate smoke sweep =="
 "${build_dir}/tools/rockhopper" simulate --seeds=1..5 \
   --scratch="${build_dir}/sim-scratch"
+
+# Tiered-state smoke under the sanitizer: a multi-threaded serve with an
+# eviction budget tight enough to churn the clock hand, periodic journal
+# checkpoints, then an explicit offline checkpoint and a chain recovery of
+# the resulting image (evict / fault-in / rotate / truncate / recover all
+# race under the sanitizer's eyes).
+echo "== ${mode}: tiered-state serve + checkpoint + recover smoke =="
+state_scratch="${build_dir}/state-scratch"
+rm -rf "${state_scratch}"
+mkdir -p "${state_scratch}"
+"${build_dir}/tools/rockhopper" serve --threads=8 --iters=12 \
+  --journal="${state_scratch}/smoke.journal" \
+  --state-dir="${state_scratch}/store" \
+  --memory-budget=65536 --checkpoint-interval=50
+"${build_dir}/tools/rockhopper" checkpoint \
+  --journal="${state_scratch}/smoke.journal"
+"${build_dir}/tools/rockhopper" recover --suite=tpcds \
+  --journal="${state_scratch}/smoke.journal"
