@@ -1,0 +1,243 @@
+// Headline benchmark of the transfer tier's ANN index (ROADMAP item 3):
+//
+//  part 1  HNSW vs brute-force k-NN over synthetic workload embeddings at
+//          10k / 100k / 1M signatures — per-query search latency, speedup,
+//          and recall@10 against the ExactKnn reference. The population is
+//          grown tier by tier through the same staged-insert + Flush path
+//          the service uses, at the real embedding dimensionality
+//          (EmbeddingLength of the default options).
+//  part 2  iterations-to-target on fresh signatures with the transfer tier
+//          on vs off: a service population is tuned to incumbents, then
+//          re-hashed twins of each plan arrive cold and we count tuning
+//          iterations until each reaches the target speedup over defaults.
+//
+// tools/run_benchmarks.sh --suite ann parses the key=value lines into
+// BENCH_ann.json and gates on: top-tier speedup >= 50x, recall@10 >= 0.95,
+// and transfer-on needing fewer iterations than transfer-off.
+//
+// Knobs (environment):
+//   ROCKHOPPER_ANN_SIGNATURES  top-tier population       (default 1000000)
+//   ROCKHOPPER_ANN_QUERIES     HNSW-timed queries/tier   (default 2000)
+//   ROCKHOPPER_ANN_EXACT       exact-timed queries/tier  (default 32)
+//   ROCKHOPPER_ANN_TARGET      part-2 target speedup     (default 1.25)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/embedding.h"
+#include "core/tuning_service.h"
+#include "ml/hnsw_index.h"
+#include "sparksim/simulator.h"
+#include "sparksim/workloads.h"
+
+namespace {
+
+using namespace rockhopper;        // NOLINT(build/namespaces)
+namespace sparksim = rockhopper::sparksim;
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Synthetic embeddings shaped like ComputeEmbedding output: two log1p
+/// cardinality components followed by sparse small-integer operator counts.
+/// Vectors cluster around shared "plan templates" (recurring workloads with
+/// jittered cardinalities), which is the regime the tier serves.
+class EmbeddingSampler {
+ public:
+  EmbeddingSampler(size_t dim, size_t num_templates, uint64_t seed)
+      : dim_(dim), rng_(seed) {
+    templates_.reserve(num_templates);
+    for (size_t t = 0; t < num_templates; ++t) {
+      std::vector<double> center(dim_, 0.0);
+      center[0] = rng_.Uniform() * 35.0;
+      center[1] = center[0] + rng_.Uniform() * 6.0;
+      const size_t operators = 3 + rng_.Index(10);
+      for (size_t i = 0; i < operators; ++i) {
+        center[2 + rng_.Index(dim_ - 2)] += 1.0 + rng_.Index(5);
+      }
+      templates_.push_back(std::move(center));
+    }
+  }
+
+  std::vector<double> Next() {
+    std::vector<double> v = templates_[rng_.Index(templates_.size())];
+    v[0] += rng_.Normal() * 0.4;
+    v[1] += rng_.Normal() * 0.4;
+    if (rng_.Index(4) == 0) {
+      v[2 + rng_.Index(v.size() - 2)] += 1.0;  // an extra operator
+    }
+    return v;
+  }
+
+ private:
+  size_t dim_;
+  common::Rng rng_;
+  std::vector<std::vector<double>> templates_;
+};
+
+}  // namespace
+
+int main() {
+  const size_t top_tier = static_cast<size_t>(
+      bench::EnvInt("ROCKHOPPER_ANN_SIGNATURES", 1000000));
+  const size_t hnsw_queries =
+      static_cast<size_t>(bench::EnvInt("ROCKHOPPER_ANN_QUERIES", 2000));
+  const size_t exact_queries =
+      static_cast<size_t>(bench::EnvInt("ROCKHOPPER_ANN_EXACT", 32));
+  const double target_speedup =
+      bench::EnvInt("ROCKHOPPER_ANN_TARGET", 125) / 100.0;
+  constexpr size_t kK = 10;
+
+  bench::Banner("Transfer-tier ANN: HNSW vs brute force + warm-start value",
+                "Expected shape: HNSW latency stays ~flat as the population "
+                "grows 100x while the exact scan grows linearly; recall@10 "
+                "stays >= 0.95; transfer-on reaches the target speedup on "
+                "fresh signatures in fewer iterations than transfer-off.");
+
+  // --- part 1: search scaling, grown tier by tier.
+  const core::EmbeddingOptions embedding_options;
+  const size_t dim = core::EmbeddingLength(embedding_options);
+  ml::HnswOptions options;
+  options.dim = dim;
+  ml::HnswIndex index(options);
+  // Population / templates ratio fixed at 100 recurrences per template.
+  EmbeddingSampler sampler(dim, std::max<size_t>(64, top_tier / 100), 4242);
+  common::Rng query_rng(777);
+
+  std::vector<size_t> tiers;
+  for (size_t n : {size_t{10000}, size_t{100000}, size_t{1000000}}) {
+    if (n < top_tier) tiers.push_back(n);
+  }
+  tiers.push_back(top_tier);
+  double top_speedup = 0.0;
+  double top_recall = 0.0;
+  size_t built = 0;
+  for (const size_t tier : tiers) {
+    const auto b0 = std::chrono::steady_clock::now();
+    for (; built < tier; ++built) {
+      const uint64_t id = common::SplitMix64(built + 1);
+      if (!index.Insert(id, sampler.Next()).ok()) {
+        std::fprintf(stderr, "insert failed at %zu\n", built);
+        return 1;
+      }
+    }
+    index.Flush();
+    const auto b1 = std::chrono::steady_clock::now();
+
+    // Queries are fresh template draws: the cold-arrival case.
+    std::vector<std::vector<double>> queries;
+    queries.reserve(hnsw_queries);
+    for (size_t q = 0; q < hnsw_queries; ++q) queries.push_back(sampler.Next());
+
+    const auto h0 = std::chrono::steady_clock::now();
+    size_t hnsw_found = 0;
+    for (const std::vector<double>& q : queries) {
+      hnsw_found += index.Search(q, kK).size();
+    }
+    const auto h1 = std::chrono::steady_clock::now();
+    const double hnsw_us = Seconds(h0, h1) * 1e6 / hnsw_queries;
+
+    const auto e0 = std::chrono::steady_clock::now();
+    size_t exact_found = 0;
+    for (size_t q = 0; q < exact_queries; ++q) {
+      exact_found += index.ExactKnn(queries[q], kK).size();
+    }
+    const auto e1 = std::chrono::steady_clock::now();
+    const double exact_us = Seconds(e0, e1) * 1e6 / exact_queries;
+
+    double recall_hits = 0.0, recall_total = 0.0;
+    for (size_t q = 0; q < exact_queries; ++q) {
+      const std::vector<ml::HnswNeighbor> approx =
+          index.Search(queries[q], kK);
+      const std::vector<ml::HnswNeighbor> exact =
+          index.ExactKnn(queries[q], kK);
+      for (const ml::HnswNeighbor& e : exact) {
+        recall_total += 1.0;
+        for (const ml::HnswNeighbor& a : approx) {
+          if (a.id == e.id) {
+            recall_hits += 1.0;
+            break;
+          }
+        }
+      }
+    }
+    const double recall = recall_total > 0 ? recall_hits / recall_total : 0.0;
+    const double speedup = hnsw_us > 0 ? exact_us / hnsw_us : 0.0;
+    top_speedup = speedup;
+    top_recall = recall;
+    std::printf(
+        "tier=%zu dim=%zu build_s=%.2f hnsw_us=%.1f exact_us=%.1f "
+        "speedup=%.1f recall10=%.4f approx_bytes=%zu found=%zu/%zu\n",
+        tier, dim, Seconds(b0, b1), hnsw_us, exact_us, speedup, recall,
+        index.ApproxBytes(), hnsw_found, exact_found);
+    (void)query_rng;
+  }
+  std::printf("ann_top_tier=%zu ann_speedup=%.1f ann_recall10=%.4f\n",
+              tiers.back(), top_speedup, top_recall);
+
+  // --- part 2: iterations-to-target on fresh signatures, tier on vs off.
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  sparksim::SparkSimulator::Options sim_options;
+  sim_options.noise = sparksim::NoiseParams::Low();
+  sparksim::SparkSimulator sim(sim_options);
+  constexpr int kBasePlans = 12;
+  constexpr int kWarmIters = 30;
+  constexpr int kMaxIters = 60;
+
+  int64_t iters_on = 0, iters_off = 0;
+  for (const bool transfer_on : {false, true}) {
+    core::TuningServiceOptions service_options;
+    service_options.enable_guardrail = false;
+    service_options.transfer.enabled = transfer_on;
+    core::TuningService service(space, nullptr, service_options, 31337);
+    // Tune the base population to incumbents.
+    for (int q = 1; q <= kBasePlans; ++q) {
+      const sparksim::QueryPlan plan = sparksim::TpchPlan(q);
+      for (int t = 0; t < kWarmIters; ++t) {
+        const sparksim::ConfigVector c = service.OnQueryStart(plan, 1.0);
+        const sparksim::ExecutionResult r = sim.ExecuteQuery(plan, c, 1.0);
+        service.OnQueryEnd(plan, core::QueryEndEvent::FromRun(
+                                     c, r.input_bytes, r.runtime_seconds));
+      }
+    }
+    // Fresh signatures: the same workloads with re-hashed cardinalities.
+    int64_t total_iters = 0;
+    for (int q = 1; q <= kBasePlans; ++q) {
+      sparksim::QueryPlan fresh = sparksim::TpchPlan(q);
+      fresh.mutable_node(0).est_output_rows *= 64.0;
+      const double default_runtime =
+          sim.ExecuteQuery(fresh, space.Defaults(), 1.0).noise_free_seconds;
+      const double target = default_runtime / target_speedup;
+      int reached_at = kMaxIters;
+      for (int t = 0; t < kMaxIters; ++t) {
+        const sparksim::ConfigVector c = service.OnQueryStart(fresh, 1.0);
+        const sparksim::ExecutionResult r = sim.ExecuteQuery(fresh, c, 1.0);
+        service.OnQueryEnd(fresh, core::QueryEndEvent::FromRun(
+                                      c, r.input_bytes, r.runtime_seconds));
+        if (r.noise_free_seconds <= target) {
+          reached_at = t;
+          break;
+        }
+      }
+      total_iters += reached_at;
+    }
+    if (transfer_on) {
+      iters_on = total_iters;
+    } else {
+      iters_off = total_iters;
+    }
+  }
+  std::printf(
+      "transfer_target_speedup=%.2f iters_to_target_on=%lld "
+      "iters_to_target_off=%lld transfer_fewer_iters=%d\n",
+      target_speedup, static_cast<long long>(iters_on),
+      static_cast<long long>(iters_off), iters_on < iters_off ? 1 : 0);
+  return 0;
+}

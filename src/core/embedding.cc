@@ -2,17 +2,95 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 namespace rockhopper::core {
 
 namespace {
 
 size_t SizeBucket(const EmbeddingOptions& options, double rows) {
-  if (rows < 1.0) rows = 1.0;
+  // Non-finite row estimates (corrupted optimizer stats) clamp into the
+  // edge buckets instead of hitting the undefined float→int cast below.
+  if (std::isnan(rows) || rows < 1.0) rows = 1.0;
+  if (std::isinf(rows)) return static_cast<size_t>(options.num_buckets - 1);
   const int bucket =
       static_cast<int>(std::log10(rows) / options.bucket_log10_width);
   return static_cast<size_t>(std::clamp(bucket, 0, options.num_buckets - 1));
 }
+
+std::vector<double> ComputeEmbeddingUncached(const sparksim::QueryPlan& plan,
+                                             const EmbeddingOptions& options,
+                                             double scale_factor) {
+  std::vector<double> out(EmbeddingLength(options), 0.0);
+  if (plan.empty()) return out;
+  out[0] = std::log1p(plan.RootCardinality(scale_factor));
+  out[1] = std::log1p(plan.LeafInputCardinality(scale_factor));
+  const size_t per_type =
+      options.virtual_operators
+          ? static_cast<size_t>(options.num_buckets) *
+                static_cast<size_t>(options.num_buckets)
+          : 1;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const sparksim::PlanNode& n = plan.node(i);
+    const size_t type_base =
+        2 + static_cast<size_t>(n.type) * per_type;
+    size_t slot = type_base;
+    if (options.virtual_operators) {
+      slot += VirtualOperatorBucket(options,
+                                    plan.InputRows(i) * scale_factor,
+                                    n.est_output_rows * scale_factor);
+    }
+    out[slot] += 1.0;
+  }
+  return out;
+}
+
+/// Memo key: plan identity (the stats cache's process-unique build id — a
+/// rebuilt or copied plan gets a fresh id, so stale hits are impossible)
+/// plus every input the embedding is a function of.
+struct EmbeddingMemoKey {
+  uint64_t plan_id;
+  bool virtual_operators;
+  int num_buckets;
+  uint64_t width_bits;  ///< bucket_log10_width, bit-exact
+  uint64_t scale_bits;  ///< scale_factor, bit-exact
+
+  bool operator==(const EmbeddingMemoKey& o) const {
+    return plan_id == o.plan_id && virtual_operators == o.virtual_operators &&
+           num_buckets == o.num_buckets && width_bits == o.width_bits &&
+           scale_bits == o.scale_bits;
+  }
+};
+
+struct EmbeddingMemoKeyHash {
+  size_t operator()(const EmbeddingMemoKey& k) const {
+    uint64_t h = k.plan_id * 0x9e3779b97f4a7c15ULL;
+    h ^= k.width_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= k.scale_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= (static_cast<uint64_t>(k.num_buckets) << 1) +
+         static_cast<uint64_t>(k.virtual_operators);
+    return static_cast<size_t>(h);
+  }
+};
+
+uint64_t BitsOf(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Embeddings are recomputed on every state build — live first contact,
+/// eviction fault-in, lazy-recovery materialization, replay — and the hot
+/// signatures repeat. The memo makes every build after the first an O(1)
+/// lookup. Bounded: wholesale reset past the cap (recurring signatures
+/// repopulate in one round; an LRU chain would cost more than the
+/// recompute it saves).
+constexpr size_t kEmbeddingMemoCap = 4096;
+std::mutex g_embedding_memo_mu;
+std::unordered_map<EmbeddingMemoKey, std::vector<double>, EmbeddingMemoKeyHash>
+    g_embedding_memo;
 
 }  // namespace
 
@@ -35,26 +113,24 @@ size_t EmbeddingLength(const EmbeddingOptions& options) {
 std::vector<double> ComputeEmbedding(const sparksim::QueryPlan& plan,
                                      const EmbeddingOptions& options,
                                      double scale_factor) {
-  std::vector<double> out(EmbeddingLength(options), 0.0);
-  if (plan.empty()) return out;
-  out[0] = std::log1p(plan.RootCardinality(scale_factor));
-  out[1] = std::log1p(plan.LeafInputCardinality(scale_factor));
-  const size_t per_type =
-      options.virtual_operators
-          ? static_cast<size_t>(options.num_buckets) *
-                static_cast<size_t>(options.num_buckets)
-          : 1;
-  for (size_t i = 0; i < plan.size(); ++i) {
-    const sparksim::PlanNode& n = plan.node(i);
-    const size_t type_base =
-        2 + static_cast<size_t>(n.type) * per_type;
-    size_t slot = type_base;
-    if (options.virtual_operators) {
-      slot += VirtualOperatorBucket(options,
-                                    plan.InputRows(i) * scale_factor,
-                                    n.est_output_rows * scale_factor);
+  if (plan.empty()) return std::vector<double>(EmbeddingLength(options), 0.0);
+  const EmbeddingMemoKey key{plan.stats().unique_id,
+                             options.virtual_operators, options.num_buckets,
+                             BitsOf(options.bucket_log10_width),
+                             BitsOf(scale_factor)};
+  {
+    std::lock_guard<std::mutex> lock(g_embedding_memo_mu);
+    auto it = g_embedding_memo.find(key);
+    if (it != g_embedding_memo.end()) return it->second;
+  }
+  std::vector<double> out =
+      ComputeEmbeddingUncached(plan, options, scale_factor);
+  {
+    std::lock_guard<std::mutex> lock(g_embedding_memo_mu);
+    if (g_embedding_memo.size() >= kEmbeddingMemoCap) {
+      g_embedding_memo.clear();
     }
-    out[slot] += 1.0;
+    g_embedding_memo.emplace(key, out);
   }
   return out;
 }

@@ -105,6 +105,35 @@ ServiceMetrics::ServiceMetrics() {
       "rockhopper_checkpoint_seconds",
       "Whole checkpoint-compaction latency (rotate + absorb + truncate)",
       latency);
+
+  transfer_index_size = reg.GetGauge(
+      "rockhopper_transfer_index_size",
+      "Signatures registered in the embedding ANN index (staged included)");
+  transfer_inserts =
+      reg.GetCounter("rockhopper_transfer_inserts_total",
+                     "Embeddings registered with the transfer tier");
+  transfer_rejected_embeddings = reg.GetCounter(
+      "rockhopper_transfer_rejected_embeddings_total",
+      "Embeddings refused by the index (non-finite components)");
+  transfer_insert_seconds = reg.GetHistogram(
+      "rockhopper_transfer_insert_seconds",
+      "Latency of one staged-batch flush into the HNSW graph", latency);
+  transfer_search_seconds = reg.GetHistogram(
+      "rockhopper_transfer_search_seconds",
+      "k-NN retrieval latency for one cold-signature consult", latency);
+  transfer_hits = reg.GetCounter(
+      "rockhopper_transfer_total", "Cold-start transfer consults by outcome",
+      "outcome=\"hit\"");
+  transfer_misses = reg.GetCounter(
+      "rockhopper_transfer_total", "Cold-start transfer consults by outcome",
+      "outcome=\"miss\"");
+  transfer_seeded_observations = reg.GetCounter(
+      "rockhopper_transfer_seeded_observations_total",
+      "Safe-weighted neighbor observations seeded into fresh tuners");
+  transfer_recall_probe = reg.GetHistogram(
+      "rockhopper_transfer_recall_probe",
+      "Sampled recall@k of HNSW search against the ExactKnn reference",
+      {0.5, 0.8, 0.9, 0.95, 0.99, 1.0});
 }
 
 ServiceMetrics& ServiceMetrics::Get() {

@@ -83,6 +83,18 @@ struct ServiceMetrics {
   common::Counter* checkpoints_total;        ///< journal compactions finished
   common::Histogram* checkpoint_seconds;     ///< whole-compaction latency
 
+  // Transfer tier (embedding ANN index + zero-execution warm starts).
+  common::Gauge* transfer_index_size;        ///< signatures in the ANN index
+  common::Counter* transfer_inserts;         ///< embeddings registered
+  common::Counter* transfer_rejected_embeddings;  ///< non-finite, refused
+  common::Histogram* transfer_insert_seconds;     ///< staged-batch flush time
+  common::Histogram* transfer_search_seconds;     ///< k-NN query latency
+  common::Counter* transfer_hits;            ///< cold starts warm-started
+  common::Counter* transfer_misses;          ///< cold starts with no usable
+                                             ///< neighbor (defaults used)
+  common::Counter* transfer_seeded_observations;  ///< borrowed observations
+  common::Histogram* transfer_recall_probe;  ///< sampled recall@k vs ExactKnn
+
  private:
   ServiceMetrics();
 };

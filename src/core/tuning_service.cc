@@ -27,36 +27,43 @@ TuningService::TuningService(const sparksim::ConfigSpace& space,
                     options_.failure_policy, options_.telemetry_dedup_window,
                     options_.enable_guardrail, options_.centroid.window_size}),
       metrics_(&ServiceMetrics::Get()),
-      app_space_(sparksim::AppLevelSpace()) {}
+      app_space_(sparksim::AppLevelSpace()) {
+  // Legacy shim: enable_signature_transfer used to toggle an O(N) scan over
+  // resident shards; it now maps onto the transfer tier's index, which
+  // serves the same warm starts sublinearly and eviction-proof.
+  if (options_.enable_signature_transfer && !options_.transfer.enabled) {
+    options_.transfer.enabled = true;
+    options_.transfer.max_distance = options_.transfer_max_distance;
+  }
+  if (options_.transfer.enabled) {
+    transfer_ = std::make_unique<TransferIndex>(
+        EmbeddingLength(options_.embedding), options_.transfer);
+  }
+}
 
 QueryState TuningService::BuildState(const sparksim::QueryPlan& plan,
                                      uint64_t signature, bool allow_transfer) {
   QueryState state;
   state.embedding = ComputeEmbedding(plan, options_.embedding);
   state.backoff = std::max(1, options_.failure_policy.initial_backoff);
-  // Optional cross-signature warm start: begin from the centroid of the
-  // nearest already-tuned signature (by embedding distance) rather than the
-  // defaults. This is how a recurring query whose plan re-hashed after a
-  // data change keeps its accumulated tuning. The scan takes other shards'
-  // locks, so it is disabled on the fault-in path (which already holds one).
+  // Every build path registers the embedding (idempotent, staged off the
+  // critical path): replay and fault-in rebuilds must converge on the same
+  // index content as the live run. Non-finite embeddings (corrupted plan
+  // stats) are refused at the index boundary and counted.
+  if (transfer_ != nullptr) {
+    (void)transfer_->Register(signature, state.embedding);
+  }
+  // Cross-signature warm start on true first contact only: a brand-new
+  // signature begins from the distance-weighted blend of its nearest tuned
+  // neighbors' centroids (the zero-execution retrieval recommendation)
+  // instead of the defaults, and its tuner is seeded with safe-weighted
+  // neighbor observations. Recovery, replay, and fault-in paths pass
+  /// `allow_transfer = false`: they must rebuild the journal-determined
+  // trajectory exactly, whatever recovery mode or residency produced them.
   sparksim::ConfigVector start = defaults_;
-  if (allow_transfer && options_.enable_signature_transfer) {
-    double best_distance = options_.transfer_max_distance;
-    const double norm = std::sqrt(static_cast<double>(state.embedding.size()));
-    shards_.ForEach([&](uint64_t, const QueryState& other_state) {
-      if (other_state.disabled ||
-          other_state.embedding.size() != state.embedding.size()) {
-        return;
-      }
-      const double distance =
-          std::sqrt(common::SquaredDistance(state.embedding,
-                                            other_state.embedding)) /
-          std::max(1.0, norm);
-      if (distance < best_distance) {
-        best_distance = distance;
-        start = other_state.tuner->centroid();
-      }
-    });
+  std::vector<Observation> seeds;
+  if (allow_transfer && transfer_ != nullptr) {
+    ConsultTransfer(signature, state.embedding, &start, &seeds);
   }
   auto scorer = std::make_unique<SurrogateScorer>(space_, baseline_,
                                                   state.embedding,
@@ -68,8 +75,110 @@ QueryState TuningService::BuildState(const sparksim::QueryPlan& plan,
                                                   std::move(scorer),
                                                   options_.centroid,
                                                   TunerSeed(signature));
+  // Rover-style generalized transfer: the fresh tuner observes its
+  // neighbors' (distance/strike down-weighted) evidence before its first
+  // real run, so CL/BO start from a non-empty surrogate. Seeds live only in
+  // the tuner — never in the observation store or journal — so recovery
+  // replays real observations alone.
+  for (const Observation& obs : seeds) {
+    state.tuner->Observe(obs.config, obs.data_size, obs.runtime);
+  }
   state.guardrail = Guardrail(options_.guardrail);
   return state;
+}
+
+bool TuningService::ConsultTransfer(uint64_t signature,
+                                    const std::vector<double>& embedding,
+                                    sparksim::ConfigVector* start,
+                                    std::vector<Observation>* seeds) {
+  const TransferOptions& opts = options_.transfer;
+  // The index search holds only the tier's own mutex; neighbor shard locks
+  // below are taken one at a time with no other lock held.
+  const std::vector<TransferNeighbor> neighbors =
+      transfer_->Neighbors(embedding, opts.k, signature);
+  double total_weight = 0.0;
+  std::vector<double> blend(start->size(), 0.0);
+  for (const TransferNeighbor& n : neighbors) {
+    // Find() faults an evicted neighbor back in transparently, so transfer
+    // keeps working under the tiering budget.
+    SignatureShardMap::LockedState locked = shards_.Find(n.signature);
+    if (!locked || locked.state->tuner == nullptr) continue;
+    // Guardrail screen: disabled sources contribute nothing; sources with a
+    // strike history are exponentially discounted (safe source weighting).
+    if (locked.state->disabled) continue;
+    const Guardrail& guardrail = locked.state->guardrail;
+    const double strikes = static_cast<double>(guardrail.strikes()) +
+                           static_cast<double>(guardrail.failure_strikes());
+    const double weight =
+        std::exp(-opts.distance_decay * n.normalized_distance) *
+        std::pow(opts.strike_penalty, strikes);
+    if (!std::isfinite(weight) || weight <= 0.0) continue;
+    const sparksim::ConfigVector& centroid = locked.state->tuner->centroid();
+    if (centroid.size() != blend.size()) continue;
+    for (size_t i = 0; i < blend.size(); ++i) {
+      blend[i] += weight * centroid[i];
+    }
+    total_weight += weight;
+    if (opts.seed_observations_per_neighbor == 0) continue;
+    // Borrow the neighbor's best real observations. Safe under the
+    // neighbor's shard lock: per-signature history only grows under that
+    // same lock. Runtimes are inflated by (2 - weight) so low-confidence
+    // sources look pessimistic to the fresh surrogate rather than
+    // authoritative.
+    const std::vector<Observation>& history =
+        observations_.History(n.signature);
+    std::vector<size_t> usable;
+    usable.reserve(history.size());
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (!history[i].failed && SanitizeReplayRow(history[i])) {
+        usable.push_back(i);
+      }
+    }
+    std::sort(usable.begin(), usable.end(), [&](size_t a, size_t b) {
+      return history[a].runtime != history[b].runtime
+                 ? history[a].runtime < history[b].runtime
+                 : a < b;
+    });
+    if (usable.size() > opts.seed_observations_per_neighbor) {
+      usable.resize(opts.seed_observations_per_neighbor);
+    }
+    for (const size_t i : usable) {
+      Observation seed = history[i];
+      seed.runtime *= 2.0 - std::min(1.0, weight);
+      seed.failed = false;
+      seeds->push_back(std::move(seed));
+    }
+  }
+  if (total_weight < opts.min_total_weight) {
+    seeds->clear();
+    metrics_->transfer_misses->Increment();
+    return false;
+  }
+  for (size_t i = 0; i < start->size(); ++i) {
+    (*start)[i] = blend[i] / total_weight;
+  }
+  // The blend of in-space centroids is in the convex hull, but Clamp also
+  // snaps integer parameters back onto their grid.
+  *start = space_.Clamp(std::move(*start));
+  if (seeds->size() > opts.max_seed_observations) {
+    seeds->resize(opts.max_seed_observations);
+  }
+  metrics_->transfer_hits->Increment();
+  metrics_->transfer_seeded_observations->Increment(seeds->size());
+  return true;
+}
+
+Result<sparksim::ConfigVector> TuningService::IncumbentConfig(
+    uint64_t signature) const {
+  SignatureShardMap::LockedConstState locked = shards_.Find(signature);
+  if (!locked) {
+    return Status::NotFound("no tuning state for signature " +
+                            std::to_string(signature));
+  }
+  if (locked.state->disabled || locked.state->tuner == nullptr) {
+    return defaults_;
+  }
+  return locked.state->tuner->centroid();
 }
 
 SignatureShardMap::LockedState TuningService::StateFor(
@@ -269,14 +378,40 @@ Result<CheckpointReport> TuningService::Checkpoint() {
   if (journal_ == nullptr) {
     return Status::FailedPrecondition("no journal attached");
   }
-  return CheckpointLive(journal_);
+  ROCKHOPPER_ASSIGN_OR_RETURN(report, CheckpointLive(journal_));
+  // Piggyback the transfer-index artifact on the checkpoint: recovery can
+  // then load the graph instead of re-registering every signature one by
+  // one. Best-effort — a failed Put only costs the next recovery a rebuild
+  // from registrations, never correctness.
+  if (transfer_ != nullptr && model_store_ != nullptr) {
+    Result<std::string> artifact = transfer_->Serialize();
+    if (artifact.ok()) {
+      Result<int> put = model_store_->Put(kTransferIndexArtifactKey, *artifact);
+      Status stored = put.ok() ? model_store_->CleanupGenerations(
+                                     kTransferIndexArtifactKey, 1)
+                               : put.status();
+      if (!stored.ok()) {
+        ROCKHOPPER_LOG(kWarning)
+            << "transfer index artifact not persisted: " << stored.ToString();
+      }
+    } else {
+      ROCKHOPPER_LOG(kWarning) << "transfer index serialization failed: "
+                               << artifact.status().ToString();
+    }
+  }
+  return report;
 }
 
 size_t TuningService::ReplayHistory(const sparksim::QueryPlan& plan,
                                     const ObservationWindow& history) {
   const uint64_t signature = plan.Signature();
   shards_.Erase(signature);
-  SignatureShardMap::LockedState locked = StateFor(plan, signature);
+  // Replay must rebuild the journal-determined trajectory, so the fresh
+  // state never consults neighbors — a recovered twin whose signatures
+  // arrive in digest order would otherwise see different neighbor sets than
+  // the live service did and diverge.
+  SignatureShardMap::LockedState locked = shards_.Emplace(
+      signature, BuildState(plan, signature, /*allow_transfer=*/false));
   QueryState& state = *locked.state;
   size_t replayed = 0;
   for (const Observation& obs : history) {
@@ -350,12 +485,14 @@ Result<TuningService::RecoveryReport> TuningService::RecoverFromCheckpoint(
     }
   }
 
+  std::vector<uint64_t> restored;
   for (uint64_t signature : chain.store.Signatures()) {
     const sparksim::QueryPlan* plan = ResolvePlan(signature);
     if (plan == nullptr) {
       ++report.unknown_signatures;
       continue;
     }
+    restored.push_back(signature);
     const std::vector<Observation>& history = chain.store.History(signature);
     if (recovery.lazy) {
       // Bounded-memory startup: load the history and leave a replay
@@ -379,6 +516,29 @@ Result<TuningService::RecoveryReport> TuningService::RecoverFromCheckpoint(
       report.observations_dropped += history.size() - replayed;
     }
     ++report.signatures_restored;
+  }
+  // Pre-warm the transfer index from the checkpointed artifact, filtered to
+  // the signatures this recovery actually restored. Eagerly-replayed
+  // signatures are already registered (Load skips them); under lazy
+  // recovery the artifact is what makes tombstoned signatures retrievable
+  // as transfer sources before their first touch. A damaged artifact is a
+  // non-event: registration on materialization rebuilds the same content.
+  if (transfer_ != nullptr && model_store_ != nullptr && !restored.empty()) {
+    Result<std::string> artifact =
+        model_store_->GetLatest(kTransferIndexArtifactKey);
+    if (artifact.ok()) {
+      // Simulation fault: the artifact write was torn mid-checkpoint. The
+      // CRC must reject it and recovery must proceed on registrations alone.
+      if (ROCKHOPPER_BUGGIFY("transfer.index.torn")) {
+        artifact->resize(artifact->size() / 2);
+      }
+      const Status loaded = transfer_->Load(*artifact, &restored);
+      if (!loaded.ok()) {
+        ROCKHOPPER_LOG(kWarning)
+            << "transfer index artifact rejected (" << loaded.ToString()
+            << "); index rebuilds from registrations";
+      }
+    }
   }
   return report;
 }

@@ -21,6 +21,7 @@
 #include "core/observation.h"
 #include "core/signature_shard.h"
 #include "core/telemetry.h"
+#include "core/transfer.h"
 #include "sparksim/plan.h"
 
 namespace rockhopper::core {
@@ -36,13 +37,20 @@ struct TuningServiceOptions {
   size_t telemetry_dedup_window = 256;
   /// Disabling the guardrail tunes forever (used by ablations).
   bool enable_guardrail = true;
-  /// When a brand-new query signature arrives (e.g. a recurring query whose
-  /// plan changed enough to re-hash), seed its centroid from the most
-  /// similar already-tuned signature by embedding distance instead of the
-  /// defaults — an adaptive-warm-start extension in the spirit of the
-  /// paper's future-work discussion on dynamic workloads.
+  /// Cross-signature transfer tier (core/transfer.h): an HNSW index over
+  /// workload embeddings warm-starts every brand-new signature from its k
+  /// nearest already-tuned neighbors — a distance-weighted blend of their
+  /// centroids as the zero-execution first recommendation, plus
+  /// safe-weighted neighbor observations seeding the fresh tuner.
+  TransferOptions transfer;
+  /// Legacy switch, kept for older call sites: when set (and
+  /// `transfer.enabled` is not), the constructor enables the transfer tier
+  /// with `transfer_max_distance` as the acceptance radius. The old O(N)
+  /// resident-shard scan it used to toggle is gone; the tier's index serves
+  /// the same warm starts sublinearly, eviction-proof and at any population.
   bool enable_signature_transfer = false;
-  /// Maximum normalized embedding distance for a transfer to apply.
+  /// Maximum normalized embedding distance for a transfer to apply
+  /// (legacy alias of `transfer.max_distance`).
   double transfer_max_distance = 2.0;
 };
 
@@ -197,9 +205,9 @@ class TuningService {
   /// no eviction; the cold directory still serves lazy recovery).
   /// `resolver` may be null when every recovered signature's plan is handed
   /// to RecoverFromCheckpoint; plans recovered there are resolved first.
-  /// Call once at startup, before traffic. Requires
-  /// enable_signature_transfer to stay off: the transfer scan reads other
-  /// shards, which a fault-in (already under its shard lock) must not.
+  /// Call once at startup, before traffic. Composes with the transfer tier:
+  /// fault-in paths only register embeddings (never consult neighbors), so
+  /// no shard lock is ever taken while another is held.
   void EnableStateTiering(ModelStore* store, size_t budget_bytes,
                           PlanResolver resolver = nullptr);
 
@@ -294,6 +302,24 @@ class TuningService {
 
   const AppCache& app_cache() const { return app_cache_; }
 
+  /// The transfer tier, or null when options.transfer.enabled is false.
+  /// Exposed for the simulation harness (index digests), the `neighbors`
+  /// CLI verb, and benches.
+  TransferIndex* transfer_index() { return transfer_.get(); }
+  const TransferIndex* transfer_index() const { return transfer_.get(); }
+
+  /// Routes the transfer tier's background batch flushes onto `pool`
+  /// (nullptr detaches; then staged inserts fold into the next search).
+  void SetTransferThreadPool(common::ThreadPool* pool) {
+    if (transfer_ != nullptr) transfer_->SetThreadPool(pool);
+  }
+
+  /// The configuration this signature's tuner currently believes in: its
+  /// centroid, or the defaults when the signature is disabled/unknown-cold.
+  /// NotFound before the signature's first contact. Used by the transfer
+  /// tier (neighbor incumbents) and the `neighbors` CLI verb.
+  Result<sparksim::ConfigVector> IncumbentConfig(uint64_t signature) const;
+
  private:
   /// Locked lookup-or-create of the signature's state (shard lock held on
   /// return). Creation runs outside any shard lock: embedding, optional
@@ -302,11 +328,23 @@ class TuningService {
                                           uint64_t signature);
 
   /// Constructs a fresh (untrained) QueryState for `signature`. The
-  /// transfer scan iterates other shards, so it must be skipped
-  /// (`allow_transfer = false`) when the caller already holds a shard lock
-  /// — the tiering loader's fault-in path.
+  /// transfer consult takes neighbor shard locks one at a time, so it must
+  /// be skipped (`allow_transfer = false`) when the caller already holds a
+  /// shard lock — the tiering loader's fault-in path — and on every
+  /// recovery/replay path, so that eager, lazy, and cold-rebuild twins
+  /// reconstruct identical (transfer-free) trajectories from the journal.
   QueryState BuildState(const sparksim::QueryPlan& plan, uint64_t signature,
                         bool allow_transfer);
+
+  /// First-contact transfer consult: retrieves `embedding`'s nearest tuned
+  /// neighbors, blends their incumbent centroids into `*start`
+  /// (guardrail-screened, distance/strike weighted) and collects
+  /// safe-weighted observations to seed the fresh tuner. No shard lock may
+  /// be held on entry. Returns true on a hit.
+  bool ConsultTransfer(uint64_t signature,
+                       const std::vector<double>& embedding,
+                       sparksim::ConfigVector* start,
+                       std::vector<Observation>* seeds);
 
   /// Deterministic per-signature tuner seed: materialization order must not
   /// matter (lazy recovery and fault-in build tuners out of arrival order).
@@ -353,6 +391,8 @@ class TuningService {
   PlanResolver plan_resolver_;
   std::map<uint64_t, sparksim::QueryPlan> plan_directory_;
   mutable std::mutex plan_mu_;
+  /// Transfer tier (null unless options.transfer.enabled).
+  std::unique_ptr<TransferIndex> transfer_;
 };
 
 }  // namespace rockhopper::core

@@ -322,7 +322,10 @@ std::string SimulationReport::Summary() const {
       << " ckpt_seq=" << checkpoint_seq
       << " lazy=" << (lazy_recovery ? 1 : 0)
       << " evictions=" << state_evictions
-      << " faultins=" << state_faultins << " buggify="
+      << " faultins=" << state_faultins
+      << " transfer=" << (transfer_armed ? 1 : 0)
+      << " transfer_size=" << transfer_index_size
+      << " transfer_digest=" << transfer_digest << " buggify="
       << (buggify_enabled ? (buggify_compiled ? "on" : "inert") : "off")
       << " sections_hit=" << buggify_sections_hit
       << " fires=" << buggify_fires
@@ -419,7 +422,15 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   core::ModelStore state_store(state_dir);
   core::ModelStore state_store_twin(state_dir_twin);
 
-  TuningService service(space, nullptr, core::TuningServiceOptions{}, seed);
+  // --- transfer tier: seed-chosen arming. Every service in the run (live,
+  // recovered, twin) shares the same options so recovery rebuilds an index
+  // with the same shape.
+  report.transfer_armed =
+      (common::SplitMix64(seed ^ 0x7472616e73666572ULL) & 1) != 0;
+  core::TuningServiceOptions service_options;
+  service_options.transfer.enabled = report.transfer_armed;
+
+  TuningService service(space, nullptr, service_options, seed);
   if (report.tiering_armed) {
     service.EnableStateTiering(&state_store, report.state_budget, resolver);
   }
@@ -727,12 +738,11 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   // digest faults every cold signature back in, which is exactly the
   // serialize → evict → fault-in round-trip the tiered layer must make
   // invisible.
-  TuningService recovered_service(space, nullptr, core::TuningServiceOptions{},
-                                  seed);
+  TuningService recovered_service(space, nullptr, service_options, seed);
   recovered_service.EnableStateTiering(&state_store, report.state_budget,
                                        resolver);
   {
-    TuningService twin(space, nullptr, core::TuningServiceOptions{}, seed);
+    TuningService twin(space, nullptr, service_options, seed);
     twin.EnableStateTiering(&state_store_twin, report.state_budget * 2,
                             resolver);
     TuningService::RecoveryOptions lazy_options;
@@ -771,6 +781,31 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
         AddViolation(&report.violations,
                      "recovery is nondeterministic: digest " +
                          report.recovered_digest + " vs " + twin_digest);
+      }
+      // --- invariant: the transfer index is as deterministic as the tuner
+      // state. Digesting faulted every cold signature in (registering its
+      // embedding), so by now both replicas must hold the identical content
+      // — whether it arrived via eager replay, lazy materialization, or the
+      // checkpointed artifact (possibly torn by Buggify) — and their
+      // canonical graph rebuilds must match bit-for-bit.
+      if (report.transfer_armed &&
+          recovered_service.transfer_index() != nullptr &&
+          twin.transfer_index() != nullptr) {
+        report.transfer_index_size = recovered_service.transfer_index()->Size();
+        report.transfer_digest =
+            recovered_service.transfer_index()->ContentDigest();
+        const std::string twin_content =
+            twin.transfer_index()->ContentDigest();
+        if (report.transfer_digest != twin_content) {
+          AddViolation(&report.violations,
+                       "transfer index content diverged: " +
+                           report.transfer_digest + " vs " + twin_content);
+        } else if (recovered_service.transfer_index()
+                       ->CanonicalGraphDigest() !=
+                   twin.transfer_index()->CanonicalGraphDigest()) {
+          AddViolation(&report.violations,
+                       "transfer index graphs diverged on identical content");
+        }
       }
     }
   }

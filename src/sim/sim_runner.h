@@ -76,6 +76,11 @@ struct SimulationReport {
   uint64_t state_evictions = 0;      ///< evictions across both services
   uint64_t state_faultins = 0;       ///< fault-ins across both services
 
+  // Transfer tier (seed-chosen arming; see core/transfer.h).
+  bool transfer_armed = false;  ///< services ran with the HNSW transfer tier
+  uint64_t transfer_index_size = 0;  ///< signatures indexed after recovery
+  std::string transfer_digest;       ///< recovered index content digest
+
   size_t signatures = 0;
   size_t disabled_signatures = 0;
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "sparksim/workloads.h"
 
@@ -104,6 +105,80 @@ TEST(EmbeddingTest, EmptyPlanGivesZeroVector) {
   EmbeddingOptions options;
   const std::vector<double> e = ComputeEmbedding(QueryPlan(), options);
   for (double v : e) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EmbeddingTest, SingleNodePlanCountsItsOwnOperator) {
+  QueryPlan plan;
+  PlanNode scan;
+  scan.type = OperatorType::kScan;
+  scan.est_output_rows = 1e4;
+  plan.AddNode(scan);
+  EmbeddingOptions options;
+  const std::vector<double> e = ComputeEmbedding(plan, options);
+  EXPECT_NEAR(e[0], std::log1p(1e4), 1e-9);
+  EXPECT_NEAR(e[1], std::log1p(1e4), 1e-9);  // a lone node is its own leaf
+  double count = 0.0;
+  for (size_t i = 2; i < e.size(); ++i) count += e[i];
+  EXPECT_DOUBLE_EQ(count, 1.0);  // exactly one operator slot incremented
+}
+
+TEST(EmbeddingTest, LastBucketAbsorbsNonFiniteRows) {
+  EmbeddingOptions options;
+  options.num_buckets = 5;
+  options.bucket_log10_width = 2.0;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::nan("");
+  // Infinite estimates clamp into the last bucket, NaN into the first —
+  // never an out-of-range slot (the raw log10/int cast is UB on both).
+  EXPECT_EQ(VirtualOperatorBucket(options, inf, inf), 24u);
+  EXPECT_EQ(VirtualOperatorBucket(options, nan, nan), 0u);
+  EXPECT_EQ(VirtualOperatorBucket(options, inf, 10.0), 20u);
+  // An embedding built from a poisoned plan stays in-bounds and finite in
+  // the count slots; the non-finite log-cardinality components are exactly
+  // what TransferIndex::Register refuses before insertion.
+  const QueryPlan plan = FilterScanPlan(inf, nan);
+  const std::vector<double> e = ComputeEmbedding(plan, options);
+  ASSERT_EQ(e.size(), EmbeddingLength(options));
+  for (size_t i = 2; i < e.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(e[i]));
+  }
+}
+
+TEST(EmbeddingTest, WidthSweepPreservesLength) {
+  // The ablation bench sweeps bucket_log10_width; the vector length must be
+  // a function of num_buckets alone so sweep points stay comparable.
+  const QueryPlan plan = sparksim::TpchPlan(5);
+  for (double width : {0.5, 1.0, 2.0, 3.0, 6.0}) {
+    EmbeddingOptions options;
+    options.bucket_log10_width = width;
+    const std::vector<double> e = ComputeEmbedding(plan, options);
+    EXPECT_EQ(e.size(), EmbeddingLength(options)) << "width " << width;
+    double count = 0.0;
+    for (size_t i = 2; i < e.size(); ++i) count += e[i];
+    EXPECT_DOUBLE_EQ(count, static_cast<double>(plan.size()))
+        << "width " << width;
+  }
+}
+
+TEST(EmbeddingTest, MemoizedRecomputeIsIdentical) {
+  // ComputeEmbedding memoizes on (plan identity, options, scale): repeated
+  // builds of the same signature — the fault-in / replay hot path — must
+  // return bit-identical vectors, and different scales or options must not
+  // collide in the cache.
+  const QueryPlan plan = sparksim::TpchPlan(9);
+  EmbeddingOptions options;
+  const std::vector<double> first = ComputeEmbedding(plan, options, 1.0);
+  const std::vector<double> again = ComputeEmbedding(plan, options, 1.0);
+  EXPECT_EQ(first, again);
+  EXPECT_NE(ComputeEmbedding(plan, options, 100.0), first);
+  EmbeddingOptions narrow = options;
+  narrow.bucket_log10_width = 0.5;
+  EXPECT_NE(ComputeEmbedding(plan, narrow, 1.0), first);
+  // A structural edit rebuilds the stats cache (fresh identity): the memo
+  // must not serve the pre-edit vector.
+  QueryPlan edited = plan;
+  edited.mutable_node(0).est_output_rows *= 1e6;
+  EXPECT_NE(ComputeEmbedding(edited, options, 1.0), first);
 }
 
 TEST(EmbeddingTest, SimilarPlansGetCloseEmbeddings) {

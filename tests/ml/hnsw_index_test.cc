@@ -1,0 +1,299 @@
+#include "ml/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace rockhopper::ml {
+namespace {
+
+constexpr size_t kDim = 16;
+
+HnswOptions SmallOptions() {
+  HnswOptions options;
+  options.dim = kDim;
+  options.max_neighbors = 12;
+  options.ef_construction = 96;
+  options.ef_search = 64;
+  return options;
+}
+
+std::vector<double> RandomVector(common::Rng& rng, size_t dim = kDim) {
+  std::vector<double> v(dim);
+  for (double& x : v) x = rng.Normal(0.0, 1.0);
+  return v;
+}
+
+// Clustered data: HNSW's realistic regime (embeddings of recurring
+// workloads cluster), and harder for recall than uniform noise.
+std::vector<std::vector<double>> ClusteredData(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<double>> centers;
+  for (int c = 0; c < 16; ++c) centers.push_back(RandomVector(rng));
+  std::vector<std::vector<double>> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> v = centers[rng.Index(centers.size())];
+    for (double& x : v) x += rng.Normal(0.0, 0.15);
+    data.push_back(std::move(v));
+  }
+  return data;
+}
+
+TEST(HnswIndexTest, EmptyIndexSearchesEmpty) {
+  HnswIndex index(SmallOptions());
+  EXPECT_TRUE(index.Search(std::vector<double>(kDim, 0.0), 5).empty());
+  EXPECT_TRUE(index.ExactKnn(std::vector<double>(kDim, 0.0), 5).empty());
+  EXPECT_EQ(index.Size(), 0u);
+  EXPECT_EQ(index.MaxLevel(), -1);
+}
+
+TEST(HnswIndexTest, InsertValidation) {
+  HnswIndex index(SmallOptions());
+  EXPECT_EQ(index.Insert(1, std::vector<double>(kDim - 1, 0.0)).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> bad(kDim, 0.0);
+  bad[3] = std::nan("");
+  EXPECT_EQ(index.Insert(1, bad).code(), StatusCode::kInvalidArgument);
+  bad[3] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(index.Insert(1, bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.Size(), 0u);
+
+  common::Rng rng(7);
+  ASSERT_TRUE(index.Insert(1, RandomVector(rng)).ok());
+  // Duplicate registration is an idempotent no-op (replay paths depend on
+  // this), both before and after the flush.
+  ASSERT_TRUE(index.Insert(1, RandomVector(rng)).ok());
+  EXPECT_EQ(index.Size(), 1u);
+  index.Flush();
+  ASSERT_TRUE(index.Insert(1, RandomVector(rng)).ok());
+  EXPECT_EQ(index.Size(), 1u);
+  EXPECT_TRUE(index.Contains(1));
+}
+
+TEST(HnswIndexTest, PendingVectorsAreSearchableBeforeFlush) {
+  HnswIndex index(SmallOptions());
+  common::Rng rng(11);
+  const std::vector<double> target = RandomVector(rng);
+  ASSERT_TRUE(index.Insert(42, target).ok());
+  ASSERT_EQ(index.PendingSize(), 1u);
+  const auto hits = index.Search(target, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42u);
+  EXPECT_NEAR(hits[0].distance, 0.0, 1e-6);
+}
+
+TEST(HnswIndexTest, SearchMatchesExactOnSmallSets) {
+  HnswIndex index(SmallOptions());
+  const auto data = ClusteredData(60, 21);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(i + 1, data[i]).ok());
+  }
+  index.Flush();
+  common::Rng rng(22);
+  for (int q = 0; q < 20; ++q) {
+    const auto query = RandomVector(rng);
+    const auto approx = index.Search(query, 10);
+    const auto exact = index.ExactKnn(query, 10);
+    ASSERT_EQ(approx.size(), exact.size());
+    // ef_search (64) exceeds the set size, so the beam must be exhaustive.
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(approx[i].id, exact[i].id);
+      EXPECT_DOUBLE_EQ(approx[i].distance, exact[i].distance);
+    }
+  }
+}
+
+TEST(HnswIndexTest, RecallAtTenOnClusteredData) {
+  HnswIndex index(SmallOptions());
+  const auto data = ClusteredData(4000, 31);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(i + 1, data[i]).ok());
+  }
+  index.Flush();
+  common::Rng rng(32);
+  size_t hit = 0, total = 0;
+  for (int q = 0; q < 50; ++q) {
+    std::vector<double> query = data[rng.Index(data.size())];
+    for (double& x : query) x += rng.Normal(0.0, 0.05);
+    const auto approx = index.Search(query, 10);
+    const auto exact = index.ExactKnn(query, 10);
+    for (const auto& e : exact) {
+      ++total;
+      for (const auto& a : approx) {
+        if (a.id == e.id) {
+          ++hit;
+          break;
+        }
+      }
+    }
+  }
+  const double recall = static_cast<double>(hit) / static_cast<double>(total);
+  EXPECT_GE(recall, 0.95) << "recall@10 " << recall;
+}
+
+TEST(HnswIndexTest, BuildIsByteIdenticalAcrossThreadCounts) {
+  const auto data = ClusteredData(1500, 41);
+  std::vector<std::string> graph_digests;
+  std::vector<std::string> content_digests;
+  for (const int threads : {0, 1, 2, 4}) {
+    HnswIndex index(SmallOptions());
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(index.Insert(i + 1, data[i]).ok());
+    }
+    if (threads == 0) {
+      index.Flush();
+    } else {
+      common::ThreadPool pool(threads);
+      index.Flush(&pool);
+    }
+    graph_digests.push_back(index.GraphDigest());
+    content_digests.push_back(index.ContentDigest());
+  }
+  for (size_t i = 1; i < graph_digests.size(); ++i) {
+    EXPECT_EQ(graph_digests[i], graph_digests[0]);
+    EXPECT_EQ(content_digests[i], content_digests[0]);
+  }
+}
+
+TEST(HnswIndexTest, ContentDigestIsInsertionOrderIndependent) {
+  const auto data = ClusteredData(300, 51);
+  HnswIndex forward(SmallOptions());
+  HnswIndex backward(SmallOptions());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(forward.Insert(i + 1, data[i]).ok());
+  }
+  for (size_t i = data.size(); i > 0; --i) {
+    ASSERT_TRUE(backward.Insert(i, data[i - 1]).ok());
+  }
+  forward.Flush();
+  backward.Flush();
+  EXPECT_EQ(forward.ContentDigest(), backward.ContentDigest());
+  // The live graphs were built from identical flush sequences here (one
+  // Flush of the same ascending-id staged set), so they agree too.
+  EXPECT_EQ(forward.GraphDigest(), backward.GraphDigest());
+}
+
+TEST(HnswIndexTest, CanonicalRebuildNormalizesIncrementalBatching) {
+  const auto data = ClusteredData(900, 61);
+  // Incremental: many small flushes in arrival order.
+  HnswIndex incremental(SmallOptions());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(incremental.Insert(i + 1, data[i]).ok());
+    if (i % 37 == 0) incremental.Flush();
+  }
+  incremental.Flush();
+  // Canonical: the whole set staged at once, one flush.
+  HnswIndex canonical(SmallOptions());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(canonical.Insert(i + 1, data[i]).ok());
+  }
+  canonical.Flush();
+  EXPECT_EQ(incremental.ContentDigest(), canonical.ContentDigest());
+  EXPECT_EQ(incremental.CanonicalGraphDigest(), canonical.GraphDigest());
+  EXPECT_EQ(canonical.CanonicalGraphDigest(), canonical.GraphDigest());
+}
+
+TEST(HnswIndexTest, SerializeRoundTripsAndRebuildsCanonically) {
+  const auto data = ClusteredData(500, 71);
+  HnswIndex index(SmallOptions());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(i + 1, data[i]).ok());
+    if (i % 101 == 0) index.Flush();
+  }
+  index.Flush();
+  Result<std::string> artifact = index.Serialize();
+  ASSERT_TRUE(artifact.ok());
+
+  HnswIndex restored(SmallOptions());
+  ASSERT_TRUE(restored.Load(*artifact).ok());
+  restored.Flush();
+  EXPECT_EQ(restored.Size(), index.Size());
+  EXPECT_EQ(restored.ContentDigest(), index.ContentDigest());
+  // A loaded index is built in one canonical pass; it must equal the
+  // canonical rebuild of the original, whatever batching the original saw.
+  EXPECT_EQ(restored.GraphDigest(), index.CanonicalGraphDigest());
+}
+
+TEST(HnswIndexTest, LoadFilterKeepsOnlyRequestedIds) {
+  const auto data = ClusteredData(100, 81);
+  HnswIndex index(SmallOptions());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(i + 1, data[i]).ok());
+  }
+  Result<std::string> artifact = index.Serialize();
+  ASSERT_TRUE(artifact.ok());
+  const std::vector<uint64_t> keep = {3, 50, 97};
+  HnswIndex filtered(SmallOptions());
+  ASSERT_TRUE(filtered.Load(*artifact, &keep).ok());
+  filtered.Flush();
+  EXPECT_EQ(filtered.Size(), keep.size());
+  for (const uint64_t id : keep) EXPECT_TRUE(filtered.Contains(id));
+  EXPECT_FALSE(filtered.Contains(4));
+}
+
+TEST(HnswIndexTest, DamagedArtifactsAreDataLoss) {
+  const auto data = ClusteredData(50, 91);
+  HnswIndex index(SmallOptions());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(i + 1, data[i]).ok());
+  }
+  Result<std::string> artifact = index.Serialize();
+  ASSERT_TRUE(artifact.ok());
+
+  // Truncation at any point past the header is a CRC/size failure.
+  {
+    HnswIndex fresh(SmallOptions());
+    const std::string torn = artifact->substr(0, artifact->size() / 2);
+    EXPECT_EQ(fresh.Load(torn).code(), StatusCode::kDataLoss);
+    EXPECT_EQ(fresh.Size(), 0u);
+  }
+  // A single flipped payload byte fails the CRC.
+  {
+    HnswIndex fresh(SmallOptions());
+    std::string flipped = *artifact;
+    flipped[flipped.size() - 3] ^= 0x40;
+    EXPECT_EQ(fresh.Load(flipped).code(), StatusCode::kDataLoss);
+  }
+  // Unknown version is invalid-argument, not data loss.
+  {
+    HnswIndex fresh(SmallOptions());
+    std::string other = *artifact;
+    const size_t pos = other.find(" v1 ");
+    ASSERT_NE(pos, std::string::npos);
+    other.replace(pos, 4, " v9 ");
+    EXPECT_EQ(fresh.Load(other).code(), StatusCode::kInvalidArgument);
+  }
+  // Dimension mismatch against the receiving index.
+  {
+    HnswOptions wide = SmallOptions();
+    wide.dim = kDim + 1;
+    HnswIndex fresh(wide);
+    EXPECT_EQ(fresh.Load(*artifact).code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(HnswIndexTest, VectorLookupQuantizesToFloat) {
+  HnswIndex index(SmallOptions());
+  common::Rng rng(101);
+  const std::vector<double> v = RandomVector(rng);
+  ASSERT_TRUE(index.Insert(9, v).ok());
+  Result<std::vector<float>> stored = index.Vector(9);
+  ASSERT_TRUE(stored.ok());
+  ASSERT_EQ(stored->size(), kDim);
+  for (size_t i = 0; i < kDim; ++i) {
+    EXPECT_EQ((*stored)[i], static_cast<float>(v[i]));
+  }
+  index.Flush();
+  Result<std::vector<float>> flushed = index.Vector(9);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(*flushed, *stored);
+  EXPECT_EQ(index.Vector(10).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rockhopper::ml

@@ -79,10 +79,12 @@
 #include "common/thread_pool.h"
 
 #include "core/checkpoint.h"
+#include "core/embedding.h"
 #include "core/flighting.h"
 #include "core/journal.h"
 #include "core/model_store.h"
 #include "core/monitor.h"
+#include "core/transfer.h"
 #include "core/tuning_service.h"
 #include "sim/service_digest.h"
 #include "sim/sim_runner.h"
@@ -105,6 +107,7 @@ constexpr uint64_t kRegionKey = 1;
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
 
   std::string Get(const std::string& name, const std::string& fallback) const {
     auto it = flags.find(name);
@@ -125,7 +128,10 @@ Args ParseArgs(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      args.positional.push_back(arg);
+      continue;
+    }
     arg = arg.substr(2);
     const size_t eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -629,6 +635,105 @@ int RunRecover(const Args& args) {
   return 0;
 }
 
+// Operator debugging of bad warm starts: recover a service from the journal
+// chain with the transfer tier armed, then print the signature's k nearest
+// registered neighbors — raw and normalized embedding distance plus the
+// incumbent config the zero-execution recommendation would blend from.
+// Uses the exact scan (not HNSW) so the output is the ground truth the
+// approximate search is measured against.
+int RunNeighbors(const Args& args) {
+  const std::string journal_path = args.Get("journal", "");
+  if (journal_path.empty()) {
+    std::fprintf(stderr, "neighbors requires --journal=FILE\n");
+    return 1;
+  }
+  std::string signature_text = args.Get("signature", "");
+  if (signature_text.empty() && !args.positional.empty()) {
+    signature_text = args.positional.front();
+  }
+  if (signature_text.empty()) {
+    std::fprintf(stderr,
+                 "usage: rockhopper neighbors <signature> --journal=FILE "
+                 "[--suite=tpch|tpcds] [--k=N]\n");
+    return 1;
+  }
+  char* end = nullptr;
+  const uint64_t signature =
+      std::strtoull(signature_text.c_str(), &end, 10);
+  if (end == signature_text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "neighbors: '%s' is not a signature\n",
+                 signature_text.c_str());
+    return 1;
+  }
+
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpch"));
+  std::vector<sparksim::QueryPlan> plans;
+  for (int q = 1; q <= SuiteSize(suite); ++q) {
+    plans.push_back(FlightingPipeline::PlanFor(suite, q));
+  }
+  TuningServiceOptions options;
+  options.transfer.enabled = true;
+  TuningService service(space, nullptr, options,
+                        static_cast<uint64_t>(args.GetInt("seed", 31)));
+  auto report = service.RecoverFromCheckpoint(journal_path, plans);
+  if (!report.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  const sparksim::QueryPlan* query_plan = nullptr;
+  for (const sparksim::QueryPlan& plan : plans) {
+    if (plan.Signature() == signature) {
+      query_plan = &plan;
+      break;
+    }
+  }
+  if (query_plan == nullptr) {
+    std::fprintf(stderr,
+                 "signature %llu is not in suite %s; recovered signatures:\n",
+                 static_cast<unsigned long long>(signature),
+                 args.Get("suite", "tpch").c_str());
+    for (const sparksim::QueryPlan& plan : plans) {
+      if (service.IterationCount(plan.Signature()) == 0) continue;
+      std::fprintf(stderr, "  %llu\n",
+                   static_cast<unsigned long long>(plan.Signature()));
+    }
+    return 1;
+  }
+
+  const std::vector<double> embedding =
+      ComputeEmbedding(*query_plan, options.embedding);
+  const size_t k = static_cast<size_t>(args.GetInt("k", 8));
+  const std::vector<TransferNeighbor> neighbors =
+      service.transfer_index()->ExactNeighbors(embedding, k, signature);
+  std::printf("signature %llu: %zu nearest of %zu registered "
+              "(radius %.2f normalized)\n",
+              static_cast<unsigned long long>(signature), neighbors.size(),
+              service.transfer_index()->Size(),
+              options.transfer.max_distance);
+  for (const TransferNeighbor& n : neighbors) {
+    std::printf("  signature %llu  distance=%.4f  normalized=%.4f  "
+                "iterations=%zu  tuning %s\n",
+                static_cast<unsigned long long>(n.signature), n.distance,
+                n.normalized_distance, service.IterationCount(n.signature),
+                service.IsTuningEnabled(n.signature) ? "enabled" : "disabled");
+    auto incumbent = service.IncumbentConfig(n.signature);
+    if (!incumbent.ok()) {
+      std::printf("    incumbent unavailable: %s\n",
+                  incumbent.status().ToString().c_str());
+      continue;
+    }
+    std::printf("    incumbent:");
+    for (size_t i = 0; i < space.size() && i < incumbent->size(); ++i) {
+      std::printf(" %s=%g", space.param(i).name.c_str(), (*incumbent)[i]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 // Offline journal compaction: seal the live file behind a rotation barrier,
 // absorb the sealed segments into the checkpoint, truncate the absorbed
 // prefix. Safe to re-run; a crashed previous compaction is finished.
@@ -1059,6 +1164,11 @@ void PrintUsage() {
       "  recover restore tuning state from the journal chain (checkpoint +\n"
       "          sealed segments + live tail)\n"
       "          flags: --journal=FILE --suite=tpch|tpcds --seed=N\n"
+      "  neighbors  print a signature's k nearest registered signatures in\n"
+      "          the transfer tier's embedding space, with distances and\n"
+      "          incumbent configs (debugging bad warm starts)\n"
+      "          usage: rockhopper neighbors <signature> --journal=FILE\n"
+      "          flags: --suite=tpch|tpcds --k=N --seed=N\n"
       "  checkpoint  compact a journal offline: absorb sealed segments into\n"
       "          the checkpoint, truncate the absorbed prefix\n"
       "          flags: --journal=FILE\n"
@@ -1086,6 +1196,7 @@ int main(int argc, char** argv) {
   if (args.command == "simulate") return RunSimulate(args);
   if (args.command == "replay") return RunReplay(args);
   if (args.command == "recover") return RunRecover(args);
+  if (args.command == "neighbors") return RunNeighbors(args);
   if (args.command == "checkpoint") return RunCheckpoint(args);
   if (args.command == "serve") return RunServe(args);
   if (args.command == "metrics") return RunMetrics(args);

@@ -35,6 +35,16 @@
 #                     BENCH_sim.json, and FAIL (exit 1) on any invariant
 #                     violation or reproducibility mismatch
 #                     (ROCKHOPPER_SIM_SEEDS overrides the 1000-seed default)
+#   --suite ann:      run the transfer-tier ANN benchmark
+#                     (bench_transfer_ann: HNSW vs brute-force k-NN at
+#                     10k/100k/1M signatures plus warm-start iterations-to-
+#                     target with the tier on vs off), write BENCH_ann.json,
+#                     and FAIL (exit 1) unless the top tier reaches the
+#                     speedup gate (default 50x) with recall@10 >= 0.95 and
+#                     transfer-on converges in fewer iterations
+#                     (ROCKHOPPER_ANN_SIGNATURES / _QUERIES / _EXACT /
+#                     _TARGET and ROCKHOPPER_ANN_GATE_SPEEDUP / _GATE_RECALL
+#                     override the defaults)
 #
 # The regular build directory stays untouched; benchmarks use their own
 # Release build under build-bench/ so debug configurations never pollute
@@ -371,6 +381,102 @@ if not passed:
 PYSTATE
 }
 
+run_ann_suite() {
+  local gate_speedup="${ROCKHOPPER_ANN_GATE_SPEEDUP:-50}"
+  local gate_recall="${ROCKHOPPER_ANN_GATE_RECALL:-0.95}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DROCKHOPPER_BUILD_BENCHMARKS=ON
+  cmake --build "${build_dir}" -j "$(nproc)" --target bench_transfer_ann
+
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  trap "rm -rf '${tmp_dir}'" EXIT
+
+  echo "== transfer-tier ANN (bench_transfer_ann) =="
+  local bench_status=0
+  local t0 t1
+  t0=$(date +%s%N)
+  if ! "${build_dir}/bench/bench_transfer_ann" \
+      | tee "${tmp_dir}/ann.log"; then
+    bench_status=1
+  fi
+  t1=$(date +%s%N)
+  local wall_ms=$(( (t1 - t0) / 1000000 ))
+
+  python3 - "${tmp_dir}/ann.log" "${bench_status}" "${gate_speedup}" \
+    "${gate_recall}" "${wall_ms}" "${repo_root}/BENCH_ann.json" <<'PYANN'
+import json
+import re
+import sys
+
+log_path, bench_status, gate_speedup, gate_recall, wall_ms, out_path = (
+    sys.argv[1:7])
+with open(log_path) as f:
+    log = f.read()
+
+def parse_pairs(line):
+    return {k: float(v) if "." in v else int(v)
+            for k, v in re.findall(r"(\w+)=(-?[\d.]+)", line)}
+
+tiers = [parse_pairs(line) for line in log.splitlines()
+         if line.startswith("tier=")]
+summary_fields = {}
+for line in log.splitlines():
+    if line.startswith(("ann_top_tier=", "transfer_target_speedup=")):
+        summary_fields.update(parse_pairs(line))
+
+required = ("ann_top_tier", "ann_speedup", "ann_recall10",
+            "iters_to_target_on", "iters_to_target_off",
+            "transfer_fewer_iters")
+missing = [k for k in required if k not in summary_fields]
+if missing or not tiers:
+    sys.exit(f"bench output missing fields: {missing or 'tier rows'}")
+
+gate_speedup = float(gate_speedup)
+gate_recall = float(gate_recall)
+passed = (
+    int(bench_status) == 0
+    and summary_fields["ann_speedup"] >= gate_speedup
+    and summary_fields["ann_recall10"] >= gate_recall
+    and summary_fields["transfer_fewer_iters"] == 1
+)
+result = {
+    "summary": {
+        "top_tier_signatures": summary_fields["ann_top_tier"],
+        "top_tier_speedup": summary_fields["ann_speedup"],
+        "top_tier_recall10": summary_fields["ann_recall10"],
+        "gate_speedup": gate_speedup,
+        "gate_recall10": gate_recall,
+        "iters_to_target_on": summary_fields["iters_to_target_on"],
+        "iters_to_target_off": summary_fields["iters_to_target_off"],
+        "transfer_fewer_iters": bool(summary_fields["transfer_fewer_iters"]),
+        "wall_s": int(wall_ms) / 1000.0,
+        "passed": passed,
+    },
+    "tiers": tiers,
+    "fields": summary_fields,
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+s = result["summary"]
+print(f"wrote {out_path}")
+print(f"  top tier           : {int(s['top_tier_signatures'])} signatures")
+print(f"  hnsw vs exact      : {s['top_tier_speedup']}x"
+      f" (gate {gate_speedup}x)")
+print(f"  recall@10          : {s['top_tier_recall10']}"
+      f" (gate {gate_recall})")
+print(f"  iters to target    : on={int(s['iters_to_target_on'])}"
+      f" off={int(s['iters_to_target_off'])}")
+if not passed:
+    print("FAIL: transfer ANN benchmark gate (see log above)",
+          file=sys.stderr)
+    sys.exit(1)
+PYANN
+}
+
 run_sim_suite() {
   local seeds="${ROCKHOPPER_SIM_SEEDS:-1000}"
   local tmp_dir
@@ -437,8 +543,9 @@ if [[ "${filter}" == "--suite" ]]; then
     metrics) run_metrics_suite ;;
     sim) run_sim_suite ;;
     state) run_state_suite ;;
+    ann) run_ann_suite ;;
     *)
-      echo "unknown suite '${2:-}' (expected: fig, metrics, sim, state)" >&2
+      echo "unknown suite '${2:-}' (expected: fig, metrics, sim, state, ann)" >&2
       exit 2
       ;;
   esac

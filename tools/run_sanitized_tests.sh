@@ -49,6 +49,15 @@ cmake --build "${build_dir}" -j "$(nproc)"
 
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
 
+# Transfer-tier smoke under the sanitizer: the HNSW build/search suite and
+# the tier facade, rerun explicitly so the 8-thread concurrent
+# insert+search test (TransferIndexTest.ConcurrentRegisterAndSearchIsSafe)
+# is visibly part of the gate — it must be clean under TSan in particular.
+echo "== ${mode}: transfer-tier HNSW build/search + concurrency =="
+"${build_dir}/tests/rockhopper_ml_test" --gtest_filter='HnswIndexTest.*'
+"${build_dir}/tests/rockhopper_core_test" \
+  --gtest_filter='TransferIndexTest.*:TransferServiceTest.*'
+
 # Simulation smoke sweep under the sanitizer: a handful of Buggify-armed
 # whole-service runs (crash, torn tail, recovery) with every injected fault
 # section live.
