@@ -59,6 +59,39 @@ uint64_t Histogram::Count() const {
   return total;
 }
 
+double Histogram::Percentile(double q) const {
+  return HistogramPercentile(bounds_, BucketCounts(), q);
+}
+
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts, double q) {
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation within the sorted population; rank 0
+  // degenerates to the first populated bucket's lower edge.
+  const double rank = q * static_cast<double>(total);
+  uint64_t below = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t through = below + counts[i];
+    if (static_cast<double>(through) >= rank) {
+      if (i >= bounds.size()) {
+        // +Inf bucket: nothing to interpolate toward. Saturate to the last
+        // finite bound — the ladder's honest resolution limit.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double within =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+      return lo + (bounds[i] - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    below = through;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count) {
   std::vector<double> bounds;
@@ -150,6 +183,10 @@ std::string SeriesName(const std::string& name, const std::string& labels,
 }
 
 }  // namespace
+
+double MetricsSnapshot::Sample::Percentile(double q) const {
+  return HistogramPercentile(bounds, counts, q);
+}
 
 const MetricsSnapshot::Sample* MetricsSnapshot::Find(
     const std::string& name, const std::string& labels) const {

@@ -119,6 +119,13 @@ class Histogram {
   uint64_t Count() const;
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// The q-quantile (q in [0, 1]) estimated from the bucket counts with
+  /// linear interpolation inside the selected bucket — the standard
+  /// histogram_quantile estimate, so resolution is bounded by the bucket
+  /// ladder. 0.0 on an empty histogram; observations in the +Inf bucket
+  /// saturate to the last finite bound. See HistogramPercentile.
+  double Percentile(double q) const;
+
  private:
   friend class MetricsRegistry;
   explicit Histogram(std::vector<double> bounds);
@@ -143,6 +150,17 @@ std::vector<double> ExponentialBuckets(double start, double factor,
 /// The registry-wide default latency ladder: 1 us .. ~4.3 s in x4 steps.
 std::vector<double> DefaultLatencyBuckets();
 
+/// Quantile estimate over Prometheus-style histogram buckets: `counts` has
+/// one entry per bound plus the trailing +Inf bucket (non-cumulative, as
+/// produced by Histogram::BucketCounts / Sample::counts). Interpolates
+/// linearly within the selected bucket (lower edge 0 for the first); a
+/// quantile landing in the +Inf bucket saturates to the last finite bound.
+/// Shared by live histograms, snapshot samples, and delta windows (pass the
+/// element-wise difference of two scrapes to get the quantile of just the
+/// observations between them).
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts, double q);
+
 /// The kind of a snapshot sample (mirrors the Prometheus exposition types).
 enum class MetricType { kCounter, kGauge, kHistogram };
 
@@ -163,6 +181,10 @@ struct MetricsSnapshot {
     std::vector<uint64_t> counts;
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// Histogram samples only: the q-quantile of this sample's buckets
+    /// (see HistogramPercentile); 0.0 for non-histogram samples.
+    double Percentile(double q) const;
   };
 
   std::vector<Sample> samples;

@@ -119,6 +119,18 @@ TelemetryVerdict IngestPipeline::Ingest(uint64_t signature,
   return verdict;
 }
 
+void IngestPipeline::IngestBatch(uint64_t signature,
+                                 const QueryEndEvent* const* events,
+                                 size_t count, QueryState* state,
+                                 ObservationStore* store,
+                                 ObservationJournal* journal,
+                                 std::vector<TelemetryVerdict>* verdicts) {
+  verdicts->reserve(verdicts->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    verdicts->push_back(Ingest(signature, *events[i], state, store, journal));
+  }
+}
+
 TelemetryVerdict IngestPipeline::IngestOnce(uint64_t signature,
                                             const QueryEndEvent& event,
                                             QueryState* state,

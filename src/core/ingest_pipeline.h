@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "core/journal.h"
 #include "core/observation.h"
@@ -139,6 +140,15 @@ class IngestPipeline {
   TelemetryVerdict Ingest(uint64_t signature, const QueryEndEvent& event,
                           QueryState* state, ObservationStore* store,
                           ObservationJournal* journal);
+
+  /// Batch form for the network front end: every event of one signature
+  /// runs under the caller's single held shard lock, verdicts appended in
+  /// event order. The journal appends land in the same group-commit window,
+  /// so one network batch amortizes both the shard lock and the flush.
+  void IngestBatch(uint64_t signature, const QueryEndEvent* const* events,
+                   size_t count, QueryState* state, ObservationStore* store,
+                   ObservationJournal* journal,
+                   std::vector<TelemetryVerdict>* verdicts);
 
   const TelemetryStats& stats() const { return sanitize_.stats(); }
   uint64_t journal_errors() const { return journal_.errors(); }

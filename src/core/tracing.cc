@@ -134,6 +134,55 @@ ServiceMetrics::ServiceMetrics() {
       "rockhopper_transfer_recall_probe",
       "Sampled recall@k of HNSW search against the ExactKnn reference",
       {0.5, 0.8, 0.9, 0.95, 0.99, 1.0});
+
+  net_connections = reg.GetGauge("rockhopper_net_connections",
+                                 "Currently open client connections");
+  net_connections_accepted =
+      reg.GetCounter("rockhopper_net_connections_accepted_total",
+                     "Client connections accepted since start");
+  net_rx_bytes = reg.GetCounter("rockhopper_net_rx_bytes_total",
+                                "Bytes read off client sockets");
+  net_tx_bytes = reg.GetCounter("rockhopper_net_tx_bytes_total",
+                                "Response bytes written to client sockets");
+  auto request_verb = [&](const char* verb) {
+    return reg.GetCounter("rockhopper_net_requests_total",
+                          "Decoded request frames by verb",
+                          std::string("verb=\"") + verb + "\"");
+  };
+  net_requests_observe = request_verb("observe_query_end");
+  net_requests_propose = request_verb("propose");
+  net_requests_metrics = request_verb("metrics");
+  net_requests_health = request_verb("health");
+  auto frame_error = [&](const char* kind) {
+    return reg.GetCounter("rockhopper_net_frame_errors_total",
+                          "Framing failures by kind (crc is recoverable; "
+                          "frame closes the connection)",
+                          std::string("kind=\"") + kind + "\"");
+  };
+  net_bad_crc = frame_error("crc");
+  net_bad_frame = frame_error("frame");
+  net_bad_payload = frame_error("payload");
+  auto shed_layer = [&](const char* layer) {
+    return reg.GetCounter("rockhopper_net_shed_total",
+                          "Requests answered kBusy by shedding layer",
+                          std::string("layer=\"") + layer + "\"");
+  };
+  net_shed_tenant = shed_layer("tenant");
+  net_shed_global = shed_layer("global");
+  net_request_seconds = reg.GetHistogram(
+      "rockhopper_net_request_seconds",
+      "Server-side request latency, frame decoded to response queued",
+      latency);
+  net_batch_size = reg.GetHistogram(
+      "rockhopper_net_batch_size",
+      "ObserveQueryEnd events per batched OnQueryEndBatch call",
+      common::ExponentialBuckets(1.0, 2.0, 9));
+  net_queue_depth = reg.GetGauge(
+      "rockhopper_net_queue_depth",
+      "Requests decoded but not yet answered (admission backlog signal)");
+  admission_rate = reg.GetGauge(
+      "rockhopper_admission_rate",
+      "Globally admitted request fraction (1 = no shedding)");
 }
 
 ServiceMetrics& ServiceMetrics::Get() {

@@ -95,6 +95,28 @@ struct ServiceMetrics {
   common::Counter* transfer_seeded_observations;  ///< borrowed observations
   common::Histogram* transfer_recall_probe;  ///< sampled recall@k vs ExactKnn
 
+  // --- network front end & admission control (src/net) ---------------------
+  common::Gauge* net_connections;            ///< currently open connections
+  common::Counter* net_connections_accepted; ///< lifetime accepts
+  common::Counter* net_rx_bytes;             ///< payload+header bytes read
+  common::Counter* net_tx_bytes;             ///< response bytes written
+  /// rockhopper_net_requests_total{verb=...}: decoded request frames.
+  common::Counter* net_requests_observe;
+  common::Counter* net_requests_propose;
+  common::Counter* net_requests_metrics;
+  common::Counter* net_requests_health;
+  /// rockhopper_net_frame_errors_total{kind=...}: typed framing failures.
+  common::Counter* net_bad_crc;       ///< payload CRC mismatch (recoverable)
+  common::Counter* net_bad_frame;     ///< magic/version/length (fatal)
+  common::Counter* net_bad_payload;   ///< verb payload undecodable
+  /// rockhopper_net_shed_total{layer=...}: kBusy responses by shedding layer.
+  common::Counter* net_shed_tenant;   ///< per-tenant token bucket
+  common::Counter* net_shed_global;   ///< Ratekeeper-style global controller
+  common::Histogram* net_request_seconds;  ///< decode→response, server side
+  common::Histogram* net_batch_size;       ///< observes per service batch
+  common::Gauge* net_queue_depth;          ///< in-flight decoded requests
+  common::Gauge* admission_rate;           ///< admitted fraction in [0, 1]
+
  private:
   ServiceMetrics();
 };

@@ -236,6 +236,50 @@ void TuningService::OnQueryEnd(const SignatureHandle& handle,
                    journal_);
 }
 
+std::vector<TelemetryVerdict> TuningService::OnQueryEndBatch(
+    const std::vector<QueryEndBatchEntry>& entries) {
+  std::vector<TelemetryVerdict> verdicts(entries.size(),
+                                         TelemetryVerdict::kAccept);
+  if (entries.empty()) return verdicts;
+  // Group by signature with a stable index sort: per-signature event order
+  // is preserved exactly, so a batch ingests indistinguishably from the
+  // same events delivered one at a time.
+  std::vector<uint64_t> signatures(entries.size());
+  std::vector<size_t> order(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    signatures[i] = entries[i].plan->Signature();
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&signatures](size_t a, size_t b) {
+                     return signatures[a] < signatures[b];
+                   });
+  std::vector<const QueryEndEvent*> run_events;
+  std::vector<TelemetryVerdict> run_verdicts;
+  size_t i = 0;
+  while (i < order.size()) {
+    const uint64_t signature = signatures[order[i]];
+    size_t j = i;
+    run_events.clear();
+    while (j < order.size() && signatures[order[j]] == signature) {
+      run_events.push_back(entries[order[j]].event);
+      ++j;
+    }
+    metrics_->queries_ended->Increment(run_events.size());
+    run_verdicts.clear();
+    {
+      SignatureShardMap::LockedState locked =
+          StateFor(*entries[order[i]].plan, signature);
+      pipeline_.IngestBatch(signature, run_events.data(), run_events.size(),
+                            locked.state, &observations_, journal_,
+                            &run_verdicts);
+    }
+    for (size_t k = i; k < j; ++k) verdicts[order[k]] = run_verdicts[k - i];
+    i = j;
+  }
+  return verdicts;
+}
+
 common::MetricsSnapshot TuningService::Metrics() const {
   return common::MetricsRegistry::Default().Snapshot();
 }

@@ -132,6 +132,20 @@ class TuningService {
   void OnQueryEnd(const sparksim::QueryPlan& plan, const QueryEndEvent& event);
   void OnQueryEnd(const SignatureHandle& handle, const QueryEndEvent& event);
 
+  /// One network batch of telemetry deliveries. Entries are grouped by
+  /// signature (stable, so per-signature arrival order — and with it dedup
+  /// and failure-streak semantics — is exactly sequential delivery) and each
+  /// signature's shard lock is taken once per run instead of once per
+  /// event; the journal appends of the whole batch share one group-commit
+  /// window. Returns the sanitize verdicts in entry order. Pointers must
+  /// stay valid for the duration of the call.
+  struct QueryEndBatchEntry {
+    const sparksim::QueryPlan* plan;
+    const QueryEndEvent* event;
+  };
+  std::vector<TelemetryVerdict> OnQueryEndBatch(
+      const std::vector<QueryEndBatchEntry>& entries);
+
   /// Whether autotuning is (still) active for this plan's signature.
   bool IsTuningEnabled(uint64_t signature) const;
 

@@ -1,0 +1,62 @@
+#include "net/admission.h"
+
+#include <algorithm>
+
+namespace rockhopper::net {
+
+void AdmissionController::Update(const AdmissionSignals& signals) {
+  // Worst pressure ratio over target decides the window: any signal past
+  // its target is overload (ratio > 1), everything under target is slack.
+  struct Pressure {
+    const char* name;
+    double ratio;
+  };
+  const Pressure pressures[] = {
+      {"journal_flush_p99",
+       options_.flush_p99_target > 0.0
+           ? signals.journal_flush_p99 / options_.flush_p99_target
+           : 0.0},
+      {"queue_depth", options_.queue_depth_target > 0.0
+                          ? signals.queue_depth / options_.queue_depth_target
+                          : 0.0},
+      {"resident_bytes",
+       options_.resident_fraction_target > 0.0
+           ? signals.resident_fraction / options_.resident_fraction_target
+           : 0.0},
+  };
+  const Pressure* worst = &pressures[0];
+  for (const Pressure& p : pressures) {
+    if (p.ratio > worst->ratio) worst = &p;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worst->ratio > 1.0) {
+    // Multiplicative decrease, harder the further past target the binding
+    // signal is (a 2x overshoot decays twice as fast as a 1.1x one, capped
+    // so one pathological sample cannot slam the rate to the floor).
+    const double overshoot = std::min(worst->ratio, 2.0);
+    rate_ = std::max(options_.min_rate, rate_ * options_.decay / overshoot);
+    pressure_ = worst->name;
+  } else {
+    rate_ = std::min(1.0, rate_ * options_.grow);
+    pressure_ = "healthy";
+  }
+}
+
+double WindowedP99(const common::Histogram* histogram,
+                   std::vector<uint64_t>* baseline) {
+  if (histogram == nullptr) return 0.0;
+  std::vector<uint64_t> counts = histogram->BucketCounts();
+  if (baseline->size() != counts.size()) {
+    *baseline = counts;
+    return 0.0;
+  }
+  std::vector<uint64_t> window(counts.size(), 0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    window[i] = counts[i] - (*baseline)[i];
+  }
+  *baseline = std::move(counts);
+  return common::HistogramPercentile(histogram->bounds(), window, 0.99);
+}
+
+}  // namespace rockhopper::net

@@ -1,0 +1,123 @@
+#ifndef ROCKHOPPER_NET_ADMISSION_H_
+#define ROCKHOPPER_NET_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace rockhopper::net {
+
+/// The live backpressure signals the controller steers on, sampled by the
+/// server from the metrics registry (journal flush latency deltas, resident
+/// bytes) and its own queues. All are "current pressure" readings, not
+/// cumulative counters.
+struct AdmissionSignals {
+  /// p99 of journal write+flush latency over the last sample window
+  /// (seconds); 0 when no journal is attached or nothing flushed.
+  double journal_flush_p99 = 0.0;
+  /// Requests decoded but not yet answered (the server's in-flight backlog).
+  double queue_depth = 0.0;
+  /// Resident state bytes / tiering budget; 0 when tiering is off.
+  double resident_fraction = 0.0;
+};
+
+/// FoundationDB-Ratekeeper-style global admission control, reduced to one
+/// dial: an admitted fraction in [min_rate, 1]. Every update window the
+/// controller compares each signal to its target; the worst ratio over
+/// target drives a multiplicative decrease (overload collapses the rate in a
+/// few windows), while healthy windows recover geometrically toward 1. The
+/// per-request Admit() spends a deterministic credit accumulator, so a rate
+/// of 0.25 admits exactly every 4th request — no RNG on the hot path and
+/// reproducible shed patterns under the simulation.
+///
+/// Shedding is typed: callers answer kBusy, clients back off and retry.
+/// That is the whole point — under open-loop overload the server's p99 stays
+/// bounded because excess load is refused at the door instead of queueing.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Journal flush p99 above this (seconds) is overload.
+    double flush_p99_target = 0.050;
+    /// In-flight request backlog above this is overload. The server's
+    /// backlog proxy includes unread kernel socket bytes (÷64), which
+    /// saturates near rcvbuf/64 ≈ 3300 frames on a default-size Linux
+    /// socket — the target must sit well below that ceiling or a
+    /// flow-controlled sender can pin the proxy just under an unreachable
+    /// threshold and admission never engages.
+    double queue_depth_target = 1024.0;
+    /// Resident-bytes fraction of the tiering budget above this is overload.
+    double resident_fraction_target = 0.95;
+    /// Multiplicative decrease under overload / recovery growth when
+    /// healthy: rate *= decay or grow per update window.
+    double decay = 0.8;
+    double grow = 1.05;
+    /// Floor: never shed everything (health checks and a trickle of real
+    /// work must still land so the signals can recover).
+    double min_rate = 0.05;
+    /// Minimum spacing between Update()s (signals are windowed deltas).
+    uint64_t update_interval_ns = 50ull * 1000 * 1000;
+  };
+
+  AdmissionController() : AdmissionController(Options()) {}
+  explicit AdmissionController(const Options& options) : options_(options) {}
+
+  /// True when enough time has passed that the caller should sample signals
+  /// and call Update. Cheap; called once per event-loop pass.
+  bool ShouldUpdate(uint64_t now_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (now_ns - last_update_ns_ < options_.update_interval_ns) return false;
+    last_update_ns_ = now_ns;
+    return true;
+  }
+
+  /// Feeds one window's signals and adjusts the admitted fraction.
+  void Update(const AdmissionSignals& signals);
+
+  /// Per-request decision; false = shed with kBusy.
+  bool Admit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    credits_ += rate_;
+    if (credits_ < 1.0) {
+      ++shed_;
+      return false;
+    }
+    credits_ -= 1.0;
+    return true;
+  }
+
+  double rate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rate_;
+  }
+  uint64_t shed_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_;
+  }
+  /// The signal that drove the last decrease ("healthy" when none).
+  const char* pressure_source() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pressure_;
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  double rate_ = 1.0;
+  double credits_ = 0.0;
+  uint64_t shed_ = 0;
+  uint64_t last_update_ns_ = 0;
+  const char* pressure_ = "healthy";
+};
+
+/// Computes the p99 of the observations a histogram gained since `*baseline`
+/// (its previous BucketCounts) and advances the baseline — the windowed
+/// flush-latency signal. Returns 0 when the window is empty or the
+/// histogram is null.
+double WindowedP99(const common::Histogram* histogram,
+                   std::vector<uint64_t>* baseline);
+
+}  // namespace rockhopper::net
+
+#endif  // ROCKHOPPER_NET_ADMISSION_H_

@@ -1,0 +1,126 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rockhopper::net {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    Close();
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + reason);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0) return;
+  struct timeval tv = {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+Status Client::Send(Verb verb, uint32_t tenant, uint32_t seq,
+                    std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string frame;
+  AppendFrame(&frame, verb, tenant, seq, payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("send: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status Client::Recv(Response* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Frame frame;
+  char chunk[16 * 1024];
+  for (;;) {
+    switch (decoder_.Next(&frame)) {
+      case DecodeResult::kFrame:
+        if (!frame.header.is_response()) {
+          return Status::DataLoss("request frame in response stream");
+        }
+        out->status = static_cast<WireStatus>(frame.header.verb);
+        out->tenant = frame.header.tenant;
+        out->seq = frame.header.seq;
+        out->payload.assign(
+            reinterpret_cast<const char*>(frame.payload), frame.payload_len);
+        return Status::OK();
+      case DecodeResult::kNeedMore:
+        break;
+      default:
+        return Status::DataLoss("framing error in response stream");
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      decoder_.Feed(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Aborted("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Aborted("recv timeout");
+    }
+    return Status::IOError("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+Status Client::Call(Verb verb, uint32_t tenant, std::string_view payload,
+                    Response* out) {
+  const uint32_t seq = NextSeq();
+  Status status = Send(verb, tenant, seq, payload);
+  if (!status.ok()) return status;
+  // Responses to earlier pipelined requests (none in single-threaded use)
+  // would arrive first; match on seq defensively anyway.
+  for (;;) {
+    status = Recv(out);
+    if (!status.ok()) return status;
+    if (out->seq == seq) return Status::OK();
+  }
+}
+
+}  // namespace rockhopper::net

@@ -1,0 +1,68 @@
+#ifndef ROCKHOPPER_NET_CLIENT_H_
+#define ROCKHOPPER_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace rockhopper::net {
+
+/// A blocking wire-protocol client over one TCP connection. Send and Recv
+/// are independently safe from one writer thread and one reader thread (the
+/// socket is full duplex; the seq counter is atomic) — the shape the open
+/// loop load generator needs. Call() composes both for simple closed-loop
+/// request/response use from a single thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  /// Bounds how long Recv blocks (SO_RCVTIMEO); a timed-out Recv returns
+  /// Aborted. 0 restores indefinite blocking.
+  void SetRecvTimeout(int timeout_ms);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Monotonic per-connection sequence numbers for request/response pairing.
+  uint32_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// One decoded response frame (the verb byte carries WireStatus on
+  /// responses).
+  struct Response {
+    WireStatus status = WireStatus::kOk;
+    uint32_t tenant = 0;
+    uint32_t seq = 0;
+    std::string payload;
+  };
+
+  /// Writes one complete request frame (blocking until accepted by the
+  /// kernel).
+  Status Send(Verb verb, uint32_t tenant, uint32_t seq,
+              std::string_view payload);
+
+  /// Blocks until one complete response frame arrives. Returns Aborted when
+  /// the server closed the connection, DataLoss on a framing error in the
+  /// response stream.
+  Status Recv(Response* out);
+
+  /// Send + Recv round trip; single-threaded use only.
+  Status Call(Verb verb, uint32_t tenant, std::string_view payload,
+              Response* out);
+
+ private:
+  int fd_ = -1;
+  std::atomic<uint32_t> seq_{0};
+  FrameDecoder decoder_;
+};
+
+}  // namespace rockhopper::net
+
+#endif  // ROCKHOPPER_NET_CLIENT_H_

@@ -1,0 +1,361 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/wire.h"
+
+namespace rockhopper::net {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Finer than the service latency ladder: the loadgen's p99 is a gate, so
+/// bucket resolution is ~1.5x, 100 us .. ~290 s.
+std::vector<double> LoadgenBuckets() {
+  return common::ExponentialBuckets(1e-4, 1.5, 37);
+}
+
+common::Histogram* TenantHistogram(uint32_t tenant) {
+  return common::MetricsRegistry::Default().GetHistogram(
+      "rockhopper_loadgen_latency_seconds",
+      "Client-observed request latency by tenant", LoadgenBuckets(),
+      "tenant=\"" + std::to_string(tenant) + "\"");
+}
+
+/// Everything one tenant's worker threads share.
+struct TenantRun {
+  TenantSpec spec;
+  Client client;
+  /// Per plan: (signature, primed valid config) from an initial Propose.
+  std::vector<std::pair<uint64_t, sparksim::ConfigVector>> primed;
+  common::Histogram* hist = nullptr;
+  std::vector<uint64_t> hist_baseline;
+
+  std::mutex mu;
+  std::unordered_map<uint32_t, uint64_t> inflight_send_ns;
+
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> busy{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<bool> sender_done{false};
+  std::atomic<bool> fell_behind{false};
+  uint64_t next_event_id = 0;
+};
+
+void Classify(WireStatus status, TenantRun* run) {
+  if (status == WireStatus::kOk) {
+    run->ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (status == WireStatus::kBusy) {
+    run->busy.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    run->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Builds the next request for this tenant. Single caller (the sender or
+/// closed-loop thread), so the rng and event-id counter need no lock.
+std::string BuildPayload(TenantRun* run, common::Rng* rng,
+                         double propose_fraction, size_t* plan_cursor,
+                         Verb* verb) {
+  const auto& [signature, config] =
+      run->primed[(*plan_cursor)++ % run->primed.size()];
+  if (propose_fraction > 0.0 && rng->Bernoulli(propose_fraction)) {
+    *verb = Verb::kPropose;
+    return EncodeProposePayload(signature, rng->Uniform(64.0, 4096.0));
+  }
+  *verb = Verb::kObserveQueryEnd;
+  core::QueryEndEvent event;
+  event.event_id = (static_cast<uint64_t>(run->spec.tenant) << 40) |
+                   ++run->next_event_id;
+  event.config = config;
+  event.data_size = rng->Uniform(64.0, 4096.0);
+  event.runtime = rng->Uniform(0.2, 2.0);
+  return EncodeObservePayload(signature, event);
+}
+
+Status SendOne(TenantRun* run, common::Rng* rng, double propose_fraction,
+               size_t* plan_cursor) {
+  Verb verb = Verb::kObserveQueryEnd;
+  const std::string payload =
+      BuildPayload(run, rng, propose_fraction, plan_cursor, &verb);
+  const uint32_t seq = run->client.NextSeq();
+  {
+    std::lock_guard<std::mutex> lock(run->mu);
+    run->inflight_send_ns.emplace(seq, NowNs());
+  }
+  const Status status =
+      run->client.Send(verb, run->spec.tenant, seq, payload);
+  if (status.ok()) {
+    run->sent.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::lock_guard<std::mutex> lock(run->mu);
+    run->inflight_send_ns.erase(seq);
+  }
+  return status;
+}
+
+enum class RecvOutcome { kGot, kTimeout, kError };
+
+/// Receives one response, matches it to its send time, records latency.
+/// A recv timeout is not an error — the caller re-checks its termination
+/// condition and tries again (bounded by its own timeout budget).
+RecvOutcome RecvOne(TenantRun* run) {
+  Client::Response response;
+  const Status status = run->client.Recv(&response);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kAborted &&
+        status.message() == "recv timeout") {
+      return RecvOutcome::kTimeout;
+    }
+    run->errors.fetch_add(1, std::memory_order_relaxed);
+    return RecvOutcome::kError;
+  }
+  uint64_t send_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(run->mu);
+    auto it = run->inflight_send_ns.find(response.seq);
+    if (it != run->inflight_send_ns.end()) {
+      send_ns = it->second;
+      run->inflight_send_ns.erase(it);
+    }
+  }
+  if (send_ns != 0) {
+    run->hist->Observe(static_cast<double>(NowNs() - send_ns) * 1e-9);
+  }
+  Classify(response.status, run);
+  return RecvOutcome::kGot;
+}
+
+/// How many consecutive recv timeouts before a reader gives up on the
+/// server (each is kRecvTimeoutMs long).
+constexpr int kMaxIdleTimeouts = 100;
+constexpr int kRecvTimeoutMs = 100;
+
+/// Open loop: Poisson arrivals on their own clock — the schedule does not
+/// slow down when the server does, so tail latency under overload is real.
+void OpenLoopSender(TenantRun* run, common::Rng* rng, double propose_fraction,
+                    uint64_t start_ns, uint64_t deadline_ns) {
+  size_t plan_cursor = 0;
+  double next_ns = static_cast<double>(start_ns);
+  const double gap_scale = 1e9 / run->spec.rate;
+  for (;;) {
+    next_ns += -std::log(1.0 - rng->Uniform()) * gap_scale;
+    if (next_ns >= static_cast<double>(deadline_ns)) break;
+    const uint64_t now = NowNs();
+    if (static_cast<double>(now) < next_ns) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          static_cast<uint64_t>(next_ns - static_cast<double>(now))));
+    } else if (static_cast<double>(now) - next_ns > 100e6) {
+      run->fell_behind.store(true, std::memory_order_relaxed);
+    }
+    if (!SendOne(run, rng, propose_fraction, &plan_cursor).ok()) break;
+  }
+  run->sender_done.store(true, std::memory_order_release);
+}
+
+void OpenLoopReader(TenantRun* run) {
+  int idle = 0;
+  for (;;) {
+    if (run->sender_done.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(run->mu);
+      if (run->inflight_send_ns.empty()) return;
+    }
+    switch (RecvOne(run)) {
+      case RecvOutcome::kGot:
+        idle = 0;
+        break;
+      case RecvOutcome::kTimeout:
+        if (++idle >= kMaxIdleTimeouts) {
+          // The server stopped answering with requests still in flight.
+          run->errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        break;
+      case RecvOutcome::kError:
+        return;
+    }
+  }
+}
+
+/// Closed loop: `concurrency` requests pipelined; the next send rides on
+/// each response.
+void ClosedLoopWorker(TenantRun* run, common::Rng* rng,
+                      double propose_fraction, uint64_t deadline_ns) {
+  size_t plan_cursor = 0;
+  const int depth = std::max(1, run->spec.concurrency);
+  int outstanding = 0;
+  for (int i = 0; i < depth; ++i) {
+    if (!SendOne(run, rng, propose_fraction, &plan_cursor).ok()) break;
+    ++outstanding;
+  }
+  int idle = 0;
+  while (outstanding > 0) {
+    switch (RecvOne(run)) {
+      case RecvOutcome::kGot:
+        idle = 0;
+        --outstanding;
+        if (NowNs() < deadline_ns &&
+            SendOne(run, rng, propose_fraction, &plan_cursor).ok()) {
+          ++outstanding;
+        }
+        break;
+      case RecvOutcome::kTimeout:
+        if (++idle >= kMaxIdleTimeouts) {
+          run->errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        break;
+      case RecvOutcome::kError:
+        return;
+    }
+  }
+}
+
+/// One Propose per plan to learn a valid config vector (and config width)
+/// for this tenant's observe stream; retries through kBusy.
+Status PrimePlans(TenantRun* run,
+                  const std::vector<const sparksim::QueryPlan*>& plans) {
+  for (const sparksim::QueryPlan* plan : plans) {
+    const std::string payload = EncodeProposePayload(plan->Signature(), 1024.0);
+    Client::Response response;
+    Status status = Status::OK();
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      status = run->client.Call(Verb::kPropose, run->spec.tenant, payload,
+                                &response);
+      if (!status.ok()) return status;
+      if (response.status != WireStatus::kBusy) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (response.status != WireStatus::kOk) {
+      return Status::Internal(std::string("prime propose failed: ") +
+                              WireStatusName(response.status));
+    }
+    sparksim::ConfigVector config;
+    if (!DecodeConfigPayload(
+            reinterpret_cast<const uint8_t*>(response.payload.data()),
+            response.payload.size(), &config)) {
+      return Status::DataLoss("prime propose: bad config payload");
+    }
+    run->primed.emplace_back(plan->Signature(), std::move(config));
+  }
+  return Status::OK();
+}
+
+double WindowPercentile(const std::vector<double>& bounds,
+                        const std::vector<uint64_t>& now,
+                        const std::vector<uint64_t>& baseline, double q) {
+  std::vector<uint64_t> window(now.size(), 0);
+  for (size_t i = 0; i < now.size(); ++i) {
+    window[i] = now[i] - (i < baseline.size() ? baseline[i] : 0);
+  }
+  return common::HistogramPercentile(bounds, window, q);
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunLoadGen(
+    const LoadGenOptions& options,
+    const std::vector<const sparksim::QueryPlan*>& plans) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("loadgen: no plans to drive");
+  }
+  if (options.tenants.empty()) {
+    return Status::InvalidArgument("loadgen: no tenants configured");
+  }
+  std::vector<std::unique_ptr<TenantRun>> runs;
+  for (const TenantSpec& spec : options.tenants) {
+    auto run = std::make_unique<TenantRun>();
+    run->spec = spec;
+    run->hist = TenantHistogram(spec.tenant);
+    run->hist_baseline = run->hist->BucketCounts();
+    Status status = run->client.Connect(options.host, options.port);
+    if (!status.ok()) return status;
+    run->client.SetRecvTimeout(kRecvTimeoutMs);
+    status = PrimePlans(run.get(), plans);
+    if (!status.ok()) return status;
+    runs.push_back(std::move(run));
+  }
+
+  const uint64_t start_ns = NowNs();
+  const uint64_t deadline_ns =
+      start_ns + static_cast<uint64_t>(options.duration_s * 1e9);
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<common::Rng>> rngs;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    rngs.push_back(std::make_unique<common::Rng>(
+        options.seed * 0x9E3779B97F4A7C15ull + i + 1));
+  }
+  for (size_t i = 0; i < runs.size(); ++i) {
+    TenantRun* run = runs[i].get();
+    common::Rng* rng = rngs[i].get();
+    if (run->spec.rate > 0.0) {
+      threads.emplace_back([=, &options] {
+        OpenLoopSender(run, rng, options.propose_fraction, start_ns,
+                       deadline_ns);
+      });
+      threads.emplace_back([run] { OpenLoopReader(run); });
+    } else {
+      threads.emplace_back([=, &options] {
+        ClosedLoopWorker(run, rng, options.propose_fraction, deadline_ns);
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s = static_cast<double>(NowNs() - start_ns) * 1e-9;
+
+  LoadGenReport report;
+  report.elapsed_s = elapsed_s;
+  const std::vector<double> bounds = LoadgenBuckets();
+  std::vector<uint64_t> all_window(bounds.size() + 1, 0);
+  for (const auto& run : runs) {
+    TenantReport tenant;
+    tenant.tenant = run->spec.tenant;
+    tenant.sent = run->sent.load();
+    tenant.ok = run->ok.load();
+    tenant.busy = run->busy.load();
+    tenant.errors = run->errors.load();
+    tenant.ok_qps = elapsed_s > 0 ? static_cast<double>(tenant.ok) / elapsed_s
+                                  : 0.0;
+    const std::vector<uint64_t> counts = run->hist->BucketCounts();
+    tenant.p50 = WindowPercentile(bounds, counts, run->hist_baseline, 0.50);
+    tenant.p99 = WindowPercentile(bounds, counts, run->hist_baseline, 0.99);
+    for (size_t i = 0; i < counts.size() && i < all_window.size(); ++i) {
+      all_window[i] +=
+          counts[i] -
+          (i < run->hist_baseline.size() ? run->hist_baseline[i] : 0);
+    }
+    report.sent += tenant.sent;
+    report.ok += tenant.ok;
+    report.busy += tenant.busy;
+    report.errors += tenant.errors;
+    if (run->fell_behind.load()) report.fell_behind = true;
+    report.tenants.push_back(tenant);
+  }
+  report.offered_qps =
+      elapsed_s > 0 ? static_cast<double>(report.sent) / elapsed_s : 0.0;
+  report.achieved_qps =
+      elapsed_s > 0 ? static_cast<double>(report.ok) / elapsed_s : 0.0;
+  report.p50 = common::HistogramPercentile(bounds, all_window, 0.50);
+  report.p99 = common::HistogramPercentile(bounds, all_window, 0.99);
+  return report;
+}
+
+}  // namespace rockhopper::net

@@ -1,0 +1,76 @@
+#ifndef ROCKHOPPER_NET_LOADGEN_H_
+#define ROCKHOPPER_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparksim/plan.h"
+
+namespace rockhopper::net {
+
+/// One synthetic tenant's traffic shape.
+struct TenantSpec {
+  uint32_t tenant = 1;
+  /// Open-loop Poisson arrival rate in requests/s. 0 switches the tenant to
+  /// closed loop: `concurrency` outstanding requests, next sent as each
+  /// response lands.
+  double rate = 0.0;
+  /// Closed-loop pipeline depth (ignored in open loop).
+  int concurrency = 1;
+};
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double duration_s = 5.0;
+  /// Fraction of requests sent as Propose instead of ObserveQueryEnd.
+  double propose_fraction = 0.0;
+  uint64_t seed = 1;
+  std::vector<TenantSpec> tenants;
+};
+
+struct TenantReport {
+  uint32_t tenant = 0;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t busy = 0;   ///< kBusy sheds (tenant or global layer)
+  uint64_t errors = 0;  ///< transport failures + non-ok non-busy statuses
+  double ok_qps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+struct LoadGenReport {
+  double elapsed_s = 0.0;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+  /// What the schedule asked for vs what completed OK.
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  /// True when an open-loop sender could not hold its schedule (client-side
+  /// stall > 100 ms) — the p99 then understates true latency (coordinated
+  /// omission) and the run should be treated as client-bound.
+  bool fell_behind = false;
+  std::vector<TenantReport> tenants;
+};
+
+/// Drives the wire protocol against a running server: one connection per
+/// tenant, open-loop (Poisson arrivals — the p99 under overload is real) or
+/// closed-loop per tenant. Each tenant primes a valid config per plan with
+/// one Propose, then streams ObserveQueryEnd events (unique event ids) with
+/// an optional Propose mix. Latencies are recorded into registry histograms
+/// (rockhopper_loadgen_latency_seconds) and percentiles computed from the
+/// run's bucket-count window, so repeated runs in one process stay isolated.
+Result<LoadGenReport> RunLoadGen(
+    const LoadGenOptions& options,
+    const std::vector<const sparksim::QueryPlan*>& plans);
+
+}  // namespace rockhopper::net
+
+#endif  // ROCKHOPPER_NET_LOADGEN_H_

@@ -1,0 +1,124 @@
+#ifndef ROCKHOPPER_NET_RATE_LIMITER_H_
+#define ROCKHOPPER_NET_RATE_LIMITER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace rockhopper::net {
+
+/// Classic token bucket with an injected clock: `rate` tokens accrue per
+/// second up to `burst`; TryAcquire spends one. Time is an explicit
+/// monotonic-nanosecond argument so tests (and the deterministic simulation)
+/// never sleep to earn tokens. Not thread-safe on its own — the per-tenant
+/// map below owns the locking.
+class TokenBucket {
+ public:
+  /// rate <= 0 disables limiting (TryAcquire always succeeds).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  bool TryAcquire(uint64_t now_ns) {
+    if (rate_ <= 0.0) return true;
+    Refill(now_ns);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  void SetRate(double rate_per_sec, double burst) {
+    rate_ = rate_per_sec;
+    burst_ = burst;
+    if (tokens_ > burst_) tokens_ = burst_;
+  }
+
+  double rate() const { return rate_; }
+  double tokens() const { return tokens_; }
+
+ private:
+  void Refill(uint64_t now_ns) {
+    if (last_ns_ != 0 && now_ns > last_ns_) {
+      tokens_ += rate_ * static_cast<double>(now_ns - last_ns_) * 1e-9;
+      if (tokens_ > burst_) tokens_ = burst_;
+    }
+    last_ns_ = now_ns;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  uint64_t last_ns_ = 0;
+};
+
+/// Per-tenant admission: every tenant id gets its own token bucket (created
+/// on first contact at the default rate), so one noisy tenant exhausts its
+/// own budget and is shed with kBusy while polite tenants keep their full
+/// rate — the fairness isolation the serve benchmark gates on. Modeled on
+/// RocksDB's request rate limiter, reduced to the shed-only (no queueing)
+/// form a non-blocking event loop needs.
+class TenantRateLimiter {
+ public:
+  struct Options {
+    /// Per-tenant sustained requests/second; 0 disables per-tenant limiting.
+    double default_rate = 0.0;
+    /// Bucket depth in seconds of sustained rate (burst absorption).
+    double burst_seconds = 0.25;
+  };
+
+  explicit TenantRateLimiter(const Options& options) : options_(options) {}
+
+  /// One request from `tenant` at monotonic time `now_ns`; false = shed.
+  bool Admit(uint32_t tenant, uint64_t now_ns) {
+    if (options_.default_rate <= 0.0 &&
+        !has_overrides_.load(std::memory_order_acquire)) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      const double rate = RateFor(tenant);
+      it = buckets_.emplace(tenant, TokenBucket(rate, BurstFor(rate))).first;
+    }
+    if (it->second.TryAcquire(now_ns)) return true;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Pins `tenant` to its own rate (overrides the default; 0 = unlimited).
+  /// Call before serving traffic — the map is read on the hot path.
+  void SetTenantRate(uint32_t tenant, double rate_per_sec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    overrides_[tenant] = rate_per_sec;
+    has_overrides_.store(true, std::memory_order_release);
+    auto it = buckets_.find(tenant);
+    if (it != buckets_.end()) {
+      it->second.SetRate(rate_per_sec, BurstFor(rate_per_sec));
+    }
+  }
+
+  uint64_t shed_total() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double RateFor(uint32_t tenant) const {
+    auto it = overrides_.find(tenant);
+    return it == overrides_.end() ? options_.default_rate : it->second;
+  }
+  double BurstFor(double rate) const {
+    const double burst = rate * options_.burst_seconds;
+    return burst < 1.0 ? 1.0 : burst;
+  }
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, TokenBucket> buckets_;
+  std::unordered_map<uint32_t, double> overrides_;
+  std::atomic<bool> has_overrides_{false};
+  std::atomic<uint64_t> shed_{0};
+};
+
+}  // namespace rockhopper::net
+
+#endif  // ROCKHOPPER_NET_RATE_LIMITER_H_

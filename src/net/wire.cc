@@ -1,0 +1,298 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace rockhopper::net {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+double GetF64(const uint8_t* p) {
+  const uint64_t bits = GetU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Bounds-checked sequential payload reader.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* out) {
+    if (pos_ + 1 > size_) return false;
+    *out = data_[pos_];
+    pos_ += 1;
+    return true;
+  }
+  bool U16(uint16_t* out) {
+    if (pos_ + 2 > size_) return false;
+    *out = GetU16(data_ + pos_);
+    pos_ += 2;
+    return true;
+  }
+  bool U64(uint64_t* out) {
+    if (pos_ + 8 > size_) return false;
+    *out = GetU64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool F64(double* out) {
+    if (pos_ + 8 > size_) return false;
+    *out = GetF64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void AppendHeader(std::string* out, uint8_t verb, uint16_t flags,
+                  uint32_t tenant, uint32_t seq, std::string_view payload) {
+  out->reserve(out->size() + kHeaderSize + payload.size());
+  PutU32(out, kMagic);
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(verb));
+  PutU16(out, flags);
+  PutU32(out, tenant);
+  PutU32(out, seq);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, common::Crc32(payload.data(), payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kBusy: return "busy";
+    case WireStatus::kBadFrame: return "bad_frame";
+    case WireStatus::kBadCrc: return "bad_crc";
+    case WireStatus::kBadPayload: return "bad_payload";
+    case WireStatus::kUnknownVerb: return "unknown_verb";
+    case WireStatus::kUnknownSignature: return "unknown_signature";
+    case WireStatus::kShuttingDown: return "shutting_down";
+  }
+  return "invalid";
+}
+
+void AppendFrame(std::string* out, Verb verb, uint32_t tenant, uint32_t seq,
+                 std::string_view payload) {
+  AppendHeader(out, static_cast<uint8_t>(verb), 0, tenant, seq, payload);
+}
+
+void AppendResponse(std::string* out, WireStatus status, uint32_t tenant,
+                    uint32_t seq, std::string_view payload) {
+  AppendHeader(out, static_cast<uint8_t>(status), kFlagResponse, tenant, seq,
+               payload);
+}
+
+std::string EncodeRequest(Verb verb, uint32_t tenant, uint32_t seq,
+                          std::string_view payload) {
+  std::string out;
+  AppendFrame(&out, verb, tenant, seq, payload);
+  return out;
+}
+
+std::string EncodeResponse(WireStatus status, uint32_t tenant, uint32_t seq,
+                           std::string_view payload) {
+  std::string out;
+  AppendResponse(&out, status, tenant, seq, payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const void* data, size_t size) {
+  // Compact lazily: once the consumed prefix dominates, slide the live
+  // suffix down so the buffer does not grow without bound on a long-lived
+  // connection.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+DecodeResult FrameDecoder::Next(Frame* frame) {
+  const uint8_t* head = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) return DecodeResult::kNeedMore;
+  if (GetU32(head) != kMagic) return DecodeResult::kBadMagic;
+  if (head[4] != kWireVersion) return DecodeResult::kBadVersion;
+  const uint32_t payload_len = GetU32(head + 16);
+  if (payload_len > kMaxPayload) return DecodeResult::kOversized;
+  if (available < kHeaderSize + payload_len) return DecodeResult::kNeedMore;
+
+  frame->header.version = head[4];
+  frame->header.verb = head[5];
+  frame->header.flags = GetU16(head + 6);
+  frame->header.tenant = GetU32(head + 8);
+  frame->header.seq = GetU32(head + 12);
+  frame->header.payload_len = payload_len;
+  frame->header.payload_crc = GetU32(head + 20);
+  frame->payload = head + kHeaderSize;
+  frame->payload_len = payload_len;
+  // The frame is consumed either way: on a CRC mismatch the length prefix
+  // was sane (it delimited this very frame), so the stream stays aligned
+  // and the connection can answer kBadCrc and keep going.
+  consumed_ += kHeaderSize + payload_len;
+  if (common::Crc32(frame->payload, payload_len) !=
+      frame->header.payload_crc) {
+    return DecodeResult::kBadCrc;
+  }
+  return DecodeResult::kFrame;
+}
+
+std::string EncodeObservePayload(uint64_t signature,
+                                 const core::QueryEndEvent& event) {
+  std::string out;
+  out.reserve(34 + 8 * event.config.size());
+  PutU64(&out, signature);
+  PutU64(&out, event.event_id);
+  PutF64(&out, event.data_size);
+  PutF64(&out, event.runtime);
+  out.push_back(static_cast<char>(event.failed ? 1 : 0));
+  out.push_back(static_cast<char>(event.failure));
+  PutU16(&out, static_cast<uint16_t>(event.config.size()));
+  for (const double v : event.config) PutF64(&out, v);
+  return out;
+}
+
+bool DecodeObservePayload(const uint8_t* data, size_t size,
+                          ObserveRequest* out) {
+  Reader r(data, size);
+  uint8_t failed = 0, failure = 0;
+  uint16_t config_len = 0;
+  if (!r.U64(&out->signature) || !r.U64(&out->event.event_id) ||
+      !r.F64(&out->event.data_size) || !r.F64(&out->event.runtime) ||
+      !r.U8(&failed) || !r.U8(&failure) || !r.U16(&config_len)) {
+    return false;
+  }
+  if (failure > static_cast<uint8_t>(sparksim::FailureKind::kTimeout)) {
+    return false;
+  }
+  out->event.failed = failed != 0;
+  out->event.failure = static_cast<sparksim::FailureKind>(failure);
+  out->event.config.assign(config_len, 0.0);
+  for (uint16_t i = 0; i < config_len; ++i) {
+    if (!r.F64(&out->event.config[i])) return false;
+  }
+  return r.Done();
+}
+
+std::string EncodeVerdictPayload(core::TelemetryVerdict verdict) {
+  return std::string(1, static_cast<char>(verdict));
+}
+
+bool DecodeVerdictPayload(const uint8_t* data, size_t size,
+                          core::TelemetryVerdict* out) {
+  if (size != 1 ||
+      data[0] > static_cast<uint8_t>(core::TelemetryVerdict::kSimDropped)) {
+    return false;
+  }
+  *out = static_cast<core::TelemetryVerdict>(data[0]);
+  return true;
+}
+
+std::string EncodeProposePayload(uint64_t signature,
+                                 double expected_data_size) {
+  std::string out;
+  out.reserve(16);
+  PutU64(&out, signature);
+  PutF64(&out, expected_data_size);
+  return out;
+}
+
+bool DecodeProposePayload(const uint8_t* data, size_t size,
+                          ProposeRequest* out) {
+  Reader r(data, size);
+  return r.U64(&out->signature) && r.F64(&out->expected_data_size) &&
+         r.Done();
+}
+
+std::string EncodeConfigPayload(const sparksim::ConfigVector& config) {
+  std::string out;
+  out.reserve(2 + 8 * config.size());
+  PutU16(&out, static_cast<uint16_t>(config.size()));
+  for (const double v : config) PutF64(&out, v);
+  return out;
+}
+
+bool DecodeConfigPayload(const uint8_t* data, size_t size,
+                         sparksim::ConfigVector* out) {
+  Reader r(data, size);
+  uint16_t len = 0;
+  if (!r.U16(&len)) return false;
+  out->assign(len, 0.0);
+  for (uint16_t i = 0; i < len; ++i) {
+    if (!r.F64(&(*out)[i])) return false;
+  }
+  return r.Done();
+}
+
+std::string EncodeHealthPayload(const HealthReport& report) {
+  std::string out;
+  out.reserve(9);
+  out.push_back(static_cast<char>(report.serving ? 1 : 0));
+  PutF64(&out, report.admission_rate);
+  return out;
+}
+
+bool DecodeHealthPayload(const uint8_t* data, size_t size,
+                         HealthReport* out) {
+  Reader r(data, size);
+  uint8_t serving = 0;
+  if (!r.U8(&serving) || !r.F64(&out->admission_rate) || !r.Done()) {
+    return false;
+  }
+  out->serving = serving != 0;
+  return true;
+}
+
+}  // namespace rockhopper::net

@@ -1,0 +1,188 @@
+#ifndef ROCKHOPPER_NET_WIRE_H_
+#define ROCKHOPPER_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/telemetry.h"
+#include "sparksim/config_space.h"
+
+namespace rockhopper::net {
+
+/// The Rockhopper wire protocol: a length-prefixed binary framing for the
+/// tuning service's network front end. Every frame is a fixed 24-byte
+/// header followed by `payload_len` payload bytes:
+///
+///   offset  size  field
+///        0     4  magic        0x524B4850 ("RKHP" big-endian mnemonic)
+///        4     1  version      kWireVersion
+///        5     1  verb         Verb (requests) / WireStatus (responses)
+///        6     2  flags        bit 0: response
+///        8     4  tenant       caller-chosen tenant id (admission unit)
+///       12     4  seq          client sequence, echoed on the response
+///       16     4  payload_len  <= kMaxPayload
+///       20     4  payload_crc  CRC-32 (IEEE) of the payload bytes
+///
+/// All integers little-endian; doubles are IEEE-754 bit patterns carried as
+/// little-endian u64, so configs round-trip bit-exactly (the determinism
+/// contract the simulation's wire loop checks). Framing errors are typed:
+/// a payload CRC mismatch leaves the stream aligned (the length was sane),
+/// so the server answers kBadCrc and keeps the connection; a bad magic,
+/// unknown version, or oversized length means the stream itself cannot be
+/// trusted and the connection must close after a kBadFrame response.
+inline constexpr uint32_t kMagic = 0x524B4850;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 24;
+/// Upper bound on payload_len: configs are tens of doubles and a metrics
+/// scrape is tens of KiB, so 1 MiB is generous while keeping a corrupted
+/// length prefix from looking like a multi-gigabyte "frame".
+inline constexpr uint32_t kMaxPayload = 1u << 20;
+
+/// Request verbs of the tuning front end.
+enum class Verb : uint8_t {
+  kObserveQueryEnd = 1,  ///< deliver one QueryEndEvent
+  kPropose = 2,          ///< ask for the next config for a signature
+  kMetrics = 3,          ///< one Prometheus-text scrape
+  kHealth = 4,           ///< liveness + current admission rate
+};
+
+/// Response statuses. kBusy is the admission controller's typed shed — the
+/// client should back off and retry, nothing about the request was wrong.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kBusy = 1,              ///< shed by rate limit / admission control
+  kBadFrame = 2,          ///< unparseable framing; connection closes
+  kBadCrc = 3,            ///< payload CRC mismatch; connection survives
+  kBadPayload = 4,        ///< frame fine, payload undecodable for the verb
+  kUnknownVerb = 5,
+  kUnknownSignature = 6,  ///< Propose/Observe for an unregistered plan
+  kShuttingDown = 7,      ///< server draining; no new work accepted
+};
+
+/// Short names for logs and loadgen reports ("ok", "busy", ...).
+const char* WireStatusName(WireStatus status);
+
+inline constexpr uint16_t kFlagResponse = 1;
+
+/// Decoded header fields (host order).
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  uint8_t verb = 0;  ///< Verb on requests, WireStatus on responses
+  uint16_t flags = 0;
+  uint32_t tenant = 0;
+  uint32_t seq = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+
+  bool is_response() const { return (flags & kFlagResponse) != 0; }
+};
+
+/// Appends one complete frame (header + payload, CRC filled in) to `out`.
+void AppendFrame(std::string* out, Verb verb, uint32_t tenant, uint32_t seq,
+                 std::string_view payload);
+void AppendResponse(std::string* out, WireStatus status, uint32_t tenant,
+                    uint32_t seq, std::string_view payload);
+
+std::string EncodeRequest(Verb verb, uint32_t tenant, uint32_t seq,
+                          std::string_view payload);
+std::string EncodeResponse(WireStatus status, uint32_t tenant, uint32_t seq,
+                           std::string_view payload);
+
+/// One decoded frame: the header plus a zero-copy payload view into the
+/// decoder's buffer — valid until the next Feed()/Next() call.
+struct Frame {
+  FrameHeader header;
+  const uint8_t* payload = nullptr;
+  size_t payload_len = 0;
+
+  std::string_view payload_view() const {
+    return {reinterpret_cast<const char*>(payload), payload_len};
+  }
+};
+
+/// Outcome of one FrameDecoder::Next() attempt. The recoverable/fatal split
+/// is the connection-handling contract: kBadCrc consumed the frame and the
+/// stream is still aligned; kBadMagic / kBadVersion / kOversized mean
+/// framing itself is lost and the connection must close.
+enum class DecodeResult : uint8_t {
+  kFrame,      ///< *frame filled in
+  kNeedMore,   ///< no complete frame buffered yet
+  kBadCrc,     ///< frame consumed, payload CRC mismatched (recoverable)
+  kBadMagic,   ///< fatal
+  kBadVersion, ///< fatal
+  kOversized,  ///< payload_len > kMaxPayload; fatal
+};
+
+/// Incremental frame parser over a byte stream: feed whatever the socket
+/// returned (any split — the fuzz tests cover every byte boundary), then
+/// drain complete frames with Next(). Payload views point into the internal
+/// buffer, so frames are parsed without copying the payload out.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the transport.
+  void Feed(const void* data, size_t size);
+
+  /// Extracts the next complete frame. On kFrame the consumed bytes stay
+  /// buffered (the payload view borrows them) until the following call.
+  DecodeResult Next(Frame* frame);
+
+  /// Bytes buffered but not yet consumed by a returned frame.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  ///< prefix already handed out / discarded
+};
+
+// --- payload codecs --------------------------------------------------------
+//
+// Each verb's payload is a fixed little-endian layout; decoders are
+// bounds-checked and return false on any size/arity mismatch (the server
+// answers kBadPayload). Doubles round-trip bit-exactly.
+
+/// ObserveQueryEnd request: u64 signature, u64 event_id, f64 data_size,
+/// f64 runtime, u8 failed, u8 failure_kind, u16 config_len, f64 x len.
+struct ObserveRequest {
+  uint64_t signature = 0;
+  core::QueryEndEvent event;
+};
+std::string EncodeObservePayload(uint64_t signature,
+                                 const core::QueryEndEvent& event);
+bool DecodeObservePayload(const uint8_t* data, size_t size,
+                          ObserveRequest* out);
+
+/// ObserveQueryEnd response (status kOk): u8 sanitizer verdict.
+std::string EncodeVerdictPayload(core::TelemetryVerdict verdict);
+bool DecodeVerdictPayload(const uint8_t* data, size_t size,
+                          core::TelemetryVerdict* out);
+
+/// Propose request: u64 signature, f64 expected_data_size.
+struct ProposeRequest {
+  uint64_t signature = 0;
+  double expected_data_size = 0.0;
+};
+std::string EncodeProposePayload(uint64_t signature,
+                                 double expected_data_size);
+bool DecodeProposePayload(const uint8_t* data, size_t size,
+                          ProposeRequest* out);
+
+/// Propose response (status kOk): u16 config_len, f64 x len.
+std::string EncodeConfigPayload(const sparksim::ConfigVector& config);
+bool DecodeConfigPayload(const uint8_t* data, size_t size,
+                         sparksim::ConfigVector* out);
+
+/// Health response (status kOk): u8 serving, f64 global admission rate in
+/// [0, 1] (1 = nothing shed).
+struct HealthReport {
+  bool serving = true;
+  double admission_rate = 1.0;
+};
+std::string EncodeHealthPayload(const HealthReport& report);
+bool DecodeHealthPayload(const uint8_t* data, size_t size, HealthReport* out);
+
+}  // namespace rockhopper::net
+
+#endif  // ROCKHOPPER_NET_WIRE_H_

@@ -18,6 +18,9 @@
 #include "core/journal.h"
 #include "core/model_store.h"
 #include "core/tuning_service.h"
+#include "net/server_core.h"
+#include "net/wire.h"
+#include "sim/buggify.h"
 #include "sim/service_digest.h"
 #include "sim/trace.h"
 #include "sparksim/simulator.h"
@@ -151,6 +154,146 @@ struct Tenant {
   bool was_disabled = false;
 };
 
+/// Routes every telemetry delivery through the real wire protocol: the event
+/// is encoded into a binary frame and fed — possibly torn, corrupted, byte
+/// at a time, or on a dropped-and-reconnected session under the net.*
+/// Buggify sections — through the same Session state machine the socket
+/// server runs. Only the sockets themselves are skipped, so framing, CRC
+/// recovery, admission, request batching, and the response path all run
+/// under the simulation's determinism and invariant checks.
+class WireLoop {
+ public:
+  WireLoop(TuningService* service, std::vector<Tenant>* tenants,
+           std::vector<std::string>* violations)
+      : tenants_(tenants), violations_(violations) {
+    for (const Tenant& t : *tenants_) registry_.Register(&t.plan);
+    Reset(service);
+  }
+
+  /// Rebuilds the server core and sessions against a (recovered) service —
+  /// the wire equivalent of every client reconnecting after a restart.
+  void Reset(TuningService* service) {
+    core_ = std::make_unique<net::ServerCore>(service, &registry_,
+                                              net::ServerCoreOptions{});
+    sessions_.clear();
+    for (size_t i = 0; i < tenants_->size(); ++i) {
+      sessions_.push_back(std::make_unique<net::Session>(core_.get()));
+    }
+  }
+
+  void Deliver(const Tenant& t, const QueryEndEvent& event) {
+    const size_t index = static_cast<size_t>(&t - tenants_->data());
+    const uint32_t tenant_id = static_cast<uint32_t>(index + 1);
+    const uint64_t now_ns = static_cast<uint64_t>(t.clock * 1e9);
+    const std::string payload = net::EncodeObservePayload(t.signature, event);
+
+    std::string frame;
+    net::AppendFrame(&frame, net::Verb::kObserveQueryEnd, tenant_id,
+                     ++next_seq_, payload);
+    // net.frame.corrupt: flip one payload byte in flight. The CRC must catch
+    // it, the typed kBadCrc response must come back, and the session must
+    // stay usable for the clean retransmit that follows.
+    int expect_bad_crc = 0;
+    if (ROCKHOPPER_BUGGIFY("net.frame.corrupt")) {
+      frame[net::kHeaderSize + event.event_id % payload.size()] ^=
+          static_cast<char>(0x5A);
+      ++expect_bad_crc;
+    }
+    std::string out;
+    FeedFrame(index, frame, event.event_id, now_ns, &out);
+    if (expect_bad_crc != 0) {
+      std::string clean;
+      net::AppendFrame(&clean, net::Verb::kObserveQueryEnd, tenant_id,
+                       ++next_seq_, payload);
+      FeedFrame(index, clean, event.event_id, now_ns, &out);
+    }
+    // net.conn.drop_midack: the client vanishes before reading its acks. The
+    // admitted work is already done server-side; the connection state and
+    // its buffered responses are discarded, and the client's retransmit on a
+    // fresh session must be deduplicated by the telemetry gate, not
+    // double-ingested.
+    if (ROCKHOPPER_BUGGIFY("net.conn.drop_midack")) {
+      sessions_[index] = std::make_unique<net::Session>(core_.get());
+      out.clear();
+      expect_bad_crc = 0;  // any kBadCrc ack died with the connection
+      std::string retry;
+      net::AppendFrame(&retry, net::Verb::kObserveQueryEnd, tenant_id,
+                       ++next_seq_, payload);
+      FeedFrame(index, retry, event.event_id, now_ns, &out);
+    }
+    CheckResponses(out, expect_bad_crc);
+  }
+
+ private:
+  void FeedFrame(size_t index, const std::string& frame, uint64_t event_id,
+                 uint64_t now_ns, std::string* out) {
+    net::Session* session = sessions_[index].get();
+    bool alive = true;
+    if (ROCKHOPPER_BUGGIFY("net.read.slow_loris")) {
+      // One byte per read: the decoder must reassemble across 50+ calls.
+      for (size_t i = 0; alive && i < frame.size(); ++i) {
+        alive = session->OnBytes(frame.data() + i, 1, now_ns, out);
+      }
+    } else if (frame.size() > 2 && ROCKHOPPER_BUGGIFY("net.frame.torn")) {
+      // Split at an event-derived point (no RNG draw — the think-time
+      // sequence must not shift) so every boundary gets exercised over a
+      // seed sweep, including mid-header cuts.
+      const size_t cut = 1 + event_id % (frame.size() - 1);
+      alive = session->OnBytes(frame.data(), cut, now_ns, out) &&
+              session->OnBytes(frame.data() + cut, frame.size() - cut,
+                               now_ns, out);
+    } else {
+      alive = session->OnBytes(frame.data(), frame.size(), now_ns, out);
+    }
+    if (!alive) {
+      AddViolation(violations_,
+                   "wire session fatally closed on a well-formed frame");
+      sessions_[index] = std::make_unique<net::Session>(core_.get());
+    }
+  }
+
+  /// Every delivery must yield exactly its kBadCrc responses (one per
+  /// corrupted send) followed by kOk acks — a kBusy or framing error here
+  /// means admission fired with no overload signal or session state was
+  /// corrupted by the byte-level chaos.
+  void CheckResponses(const std::string& out, int expect_bad_crc) {
+    net::FrameDecoder decoder;
+    decoder.Feed(out.data(), out.size());
+    net::Frame response;
+    for (;;) {
+      const net::DecodeResult result = decoder.Next(&response);
+      if (result == net::DecodeResult::kNeedMore) break;
+      if (result != net::DecodeResult::kFrame ||
+          !response.header.is_response()) {
+        AddViolation(violations_, "wire response stream is not well-framed");
+        return;
+      }
+      const auto status = static_cast<net::WireStatus>(response.header.verb);
+      if (status == net::WireStatus::kBadCrc && expect_bad_crc > 0) {
+        --expect_bad_crc;
+        continue;
+      }
+      if (status != net::WireStatus::kOk) {
+        AddViolation(violations_,
+                     std::string("unexpected wire response status: ") +
+                         net::WireStatusName(status));
+        return;
+      }
+    }
+    if (expect_bad_crc != 0) {
+      AddViolation(violations_,
+                   "corrupted frame was not answered with kBadCrc");
+    }
+  }
+
+  net::PlanRegistry registry_;
+  std::unique_ptr<net::ServerCore> core_;
+  std::vector<std::unique_ptr<net::Session>> sessions_;
+  std::vector<Tenant>* tenants_;
+  std::vector<std::string>* violations_;
+  uint32_t next_seq_ = 0;
+};
+
 /// Drives tenants against one service with a deterministic virtual-time
 /// scheduler: each step executes the earliest-clock tenant (ties break to
 /// the lowest index), routes the telemetry through the seeded bus-fault
@@ -171,6 +314,7 @@ class ServiceDriver {
         next_event_id_(next_event_id) {}
 
   void set_service(TuningService* service) { service_ = service; }
+  void set_wire(WireLoop* wire) { wire_ = wire; }
 
   /// Executes one query on the next-due tenant; false when every tenant has
   /// reached `target_per_tenant` executions.
@@ -252,7 +396,13 @@ class ServiceDriver {
       (void)trace_->RecordEndEvent(t.clock, t.signature, event);
     }
     const size_t before = service_->observations().Count(t.signature);
-    service_->OnQueryEnd(t.plan, event);
+    if (wire_ != nullptr) {
+      // Through the framed protocol and Session batching — the same
+      // ingestion the socket server performs, minus the socket.
+      wire_->Deliver(t, event);
+    } else {
+      service_->OnQueryEnd(t.plan, event);
+    }
     const size_t after = service_->observations().Count(t.signature);
     // Every observation the service accepted lands in the ack ledger, in
     // acceptance order — the ground truth the recovery invariant compares
@@ -297,6 +447,7 @@ class ServiceDriver {
 
   TuningService* service_;
   std::vector<Tenant>* tenants_;
+  WireLoop* wire_ = nullptr;
   bool chaos_;
   TraceRecorder* trace_;
   std::vector<std::pair<uint64_t, Observation>>* ledger_;
@@ -465,6 +616,12 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   std::vector<std::pair<uint64_t, Observation>> ledger;
   ServiceDriver driver(&service, &tenants, options.chaos, trace_ptr, &ledger,
                        &report.violations, &next_event_id);
+  // Every delivery in the run crosses the framed wire protocol, so the
+  // socket front end's parsing and batching layers face the same seed sweep
+  // as the service. (Traces record the raw event before encoding; replay
+  // feeds the service directly and must land in an identical state.)
+  WireLoop wire(&service, &tenants, &report.violations);
+  driver.set_wire(&wire);
 
   // --- phase 1: serve until the crash point, publishing a model checkpoint
   // a few times along the way (exercises the store's atomic-rename path and
@@ -836,6 +993,7 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
     t.delayed.clear();
   }
   driver.set_service(&recovered_service);
+  wire.Reset(&recovered_service);
   driver.RebaselineGuardrails();
   const size_t ledger_before_phase2 = ledger.size();
   const common::MetricsSnapshot m2 =

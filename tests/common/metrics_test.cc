@@ -167,5 +167,50 @@ TEST(MetricsTest, DisabledMetricsDropUpdates) {
   EXPECT_EQ(c->Value(), 1u);
 }
 
+TEST(MetricsTest, PercentileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("pct_seconds", "help", {1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 0.0);  // empty
+  // 100 observations spread evenly through (1, 2]: every quantile lands in
+  // the second bucket and interpolates linearly across it.
+  for (int i = 0; i < 100; ++i) h->Observe(1.5);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 1.0);
+  EXPECT_NEAR(h->Percentile(0.5), 1.5, 1e-12);
+  EXPECT_NEAR(h->Percentile(1.0), 2.0, 1e-12);
+}
+
+TEST(MetricsTest, PercentileSpansBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("pct_mix_seconds", "help",
+                                       {1.0, 2.0, 4.0});
+  for (int i = 0; i < 90; ++i) h->Observe(0.5);  // first bucket
+  for (int i = 0; i < 10; ++i) h->Observe(3.0);  // third bucket
+  // p50 sits mid-first-bucket; p99 interpolates inside (2, 4].
+  EXPECT_NEAR(h->Percentile(0.5), 0.5 / 0.9, 1e-9);
+  EXPECT_NEAR(h->Percentile(0.95), 2.0 + 2.0 * 0.5, 1e-9);
+  // Everything past the ladder saturates to the last finite bound.
+  for (int i = 0; i < 1000; ++i) h->Observe(100.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 4.0);
+}
+
+TEST(MetricsTest, SnapshotSamplePercentileAndDeltaWindows) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("pct_snap_seconds", "help", {1.0, 2.0});
+  for (int i = 0; i < 8; ++i) h->Observe(0.5);
+  const MetricsSnapshot before = registry.Snapshot();
+  EXPECT_NEAR(before.Find("pct_snap_seconds")->Percentile(1.0), 1.0, 1e-12);
+  // Only the window between two scrapes: subtract bucket counts and feed
+  // the delta to the shared helper.
+  for (int i = 0; i < 8; ++i) h->Observe(1.5);
+  const MetricsSnapshot after = registry.Snapshot();
+  const MetricsSnapshot::Sample* a = after.Find("pct_snap_seconds");
+  const MetricsSnapshot::Sample* b = before.Find("pct_snap_seconds");
+  std::vector<uint64_t> delta(a->counts);
+  for (size_t i = 0; i < delta.size(); ++i) delta[i] -= b->counts[i];
+  EXPECT_NEAR(HistogramPercentile(a->bounds, delta, 0.5), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(a->bounds, {}, 0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace rockhopper::common

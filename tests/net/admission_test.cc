@@ -1,0 +1,126 @@
+#include "net/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace rockhopper::net {
+namespace {
+
+AdmissionSignals Healthy() { return AdmissionSignals{}; }
+
+AdmissionSignals Overloaded() {
+  AdmissionSignals signals;
+  signals.queue_depth = 100000.0;
+  return signals;
+}
+
+TEST(AdmissionControllerTest, HealthyAdmitsEverything) {
+  AdmissionController controller;
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(controller.Admit());
+  EXPECT_EQ(controller.rate(), 1.0);
+  EXPECT_EQ(controller.shed_total(), 0u);
+  EXPECT_STREQ(controller.pressure_source(), "healthy");
+}
+
+TEST(AdmissionControllerTest, OverloadDecaysRateMultiplicatively) {
+  AdmissionController controller;
+  controller.Update(Overloaded());
+  const double after_one = controller.rate();
+  EXPECT_LT(after_one, 1.0);
+  controller.Update(Overloaded());
+  EXPECT_LT(controller.rate(), after_one);
+  EXPECT_STREQ(controller.pressure_source(), "queue_depth");
+}
+
+TEST(AdmissionControllerTest, RateNeverFallsBelowFloor) {
+  AdmissionController::Options options;
+  options.min_rate = 0.05;
+  AdmissionController controller(options);
+  for (int i = 0; i < 100; ++i) controller.Update(Overloaded());
+  EXPECT_GE(controller.rate(), options.min_rate);
+  // Even at the floor a trickle still lands (health checks, recovery data).
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (controller.Admit()) ++admitted;
+  }
+  EXPECT_GE(admitted, 4);
+}
+
+TEST(AdmissionControllerTest, RecoversGeometricallyWhenHealthy) {
+  AdmissionController controller;
+  for (int i = 0; i < 10; ++i) controller.Update(Overloaded());
+  const double depressed = controller.rate();
+  int windows = 0;
+  while (controller.rate() < 1.0 && windows < 200) {
+    controller.Update(Healthy());
+    ++windows;
+  }
+  EXPECT_EQ(controller.rate(), 1.0);
+  EXPECT_GT(windows, 0);
+  EXPECT_LT(depressed, 1.0);
+  EXPECT_STREQ(controller.pressure_source(), "healthy");
+}
+
+// The credit accumulator is deterministic: at rate r the controller admits
+// exactly floor-fair every-1/r requests, with no RNG on the hot path.
+TEST(AdmissionControllerTest, CreditAccumulatorIsExactAtQuarterRate) {
+  AdmissionController::Options options;
+  // One overload window lands exactly on rate 0.25: the 24x queue overshoot
+  // is capped at 2, so rate = decay / 2.
+  options.decay = 0.5;
+  AdmissionController controller(options);
+  controller.Update(Overloaded());
+  ASSERT_DOUBLE_EQ(controller.rate(), 0.25);
+  int admitted = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (controller.Admit()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 100);  // exactly every 4th
+  EXPECT_EQ(controller.shed_total(), 300u);
+}
+
+TEST(AdmissionControllerTest, WorstSignalDrivesTheDecision) {
+  AdmissionController controller;
+  AdmissionSignals signals;
+  signals.journal_flush_p99 = 10.0;  // 200x target
+  signals.queue_depth = 5000.0;      // 1.2x target
+  controller.Update(signals);
+  EXPECT_STREQ(controller.pressure_source(), "journal_flush_p99");
+}
+
+TEST(AdmissionControllerTest, ShouldUpdateHonorsInterval) {
+  AdmissionController::Options options;
+  options.update_interval_ns = 1000;
+  AdmissionController controller(options);
+  EXPECT_TRUE(controller.ShouldUpdate(10'000));
+  EXPECT_FALSE(controller.ShouldUpdate(10'500));
+  EXPECT_TRUE(controller.ShouldUpdate(11'000));
+}
+
+TEST(WindowedP99Test, NullHistogramIsZero) {
+  std::vector<uint64_t> baseline;
+  EXPECT_EQ(WindowedP99(nullptr, &baseline), 0.0);
+}
+
+TEST(WindowedP99Test, SeesOnlyTheDeltaWindow) {
+  common::MetricsRegistry registry;
+  common::Histogram* h = registry.GetHistogram(
+      "flush_seconds", "test", {0.001, 0.01, 0.1, 1.0});
+  std::vector<uint64_t> baseline;
+  // First call only establishes the baseline (no window yet).
+  EXPECT_EQ(WindowedP99(h, &baseline), 0.0);
+  for (int i = 0; i < 100; ++i) h->Observe(0.0005);  // all fast
+  const double p99_fast = WindowedP99(h, &baseline);
+  EXPECT_GT(p99_fast, 0.0);
+  EXPECT_LE(p99_fast, 0.001);
+  // Next window: only slow flushes. The fast history must not dilute it.
+  for (int i = 0; i < 100; ++i) h->Observe(0.5);
+  const double p99_slow = WindowedP99(h, &baseline);
+  EXPECT_GT(p99_slow, 0.1);
+  // Empty window reads 0, not stale data.
+  EXPECT_EQ(WindowedP99(h, &baseline), 0.0);
+}
+
+}  // namespace
+}  // namespace rockhopper::net

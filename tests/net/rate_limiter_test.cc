@@ -1,0 +1,118 @@
+#include "net/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace rockhopper::net {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000'000ull;
+
+TEST(TokenBucketTest, SpendsBurstThenRefillsAtRate) {
+  TokenBucket bucket(10.0, 2.0);  // 10/s, 2-token burst
+  uint64_t now = kSecond;
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_FALSE(bucket.TryAcquire(now));  // burst exhausted
+  now += kSecond / 10;                   // exactly one token accrues
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_FALSE(bucket.TryAcquire(now));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucket bucket(100.0, 3.0);
+  uint64_t now = kSecond;
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(bucket.TryAcquire(now));
+  now += 60 * kSecond;  // a minute of accrual still caps at 3 tokens
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(now)) << "token " << i;
+  }
+  EXPECT_FALSE(bucket.TryAcquire(now));
+}
+
+TEST(TokenBucketTest, ZeroRateDisablesLimiting) {
+  TokenBucket bucket(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(bucket.TryAcquire(kSecond));
+}
+
+TEST(TokenBucketTest, SustainedRateIsExact) {
+  // Rate and step chosen so each step accrues exactly 0.5 tokens (a binary
+  // fraction — no floating-point drift): the bucket admits exactly every
+  // second offer under 2x overload.
+  TokenBucket bucket(64.0, 1.0);
+  uint64_t now = kSecond;
+  int admitted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (bucket.TryAcquire(now)) ++admitted;
+    now += kSecond / 128;
+  }
+  EXPECT_EQ(admitted, 500);
+}
+
+TEST(TenantRateLimiterTest, DisabledByDefaultAdmitsEverything) {
+  TenantRateLimiter limiter(TenantRateLimiter::Options{});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(limiter.Admit(1, kSecond));
+  }
+  EXPECT_EQ(limiter.shed_total(), 0u);
+}
+
+TEST(TenantRateLimiterTest, NoisyTenantShedPoliteTenantUntouched) {
+  TenantRateLimiter::Options options;
+  options.default_rate = 100.0;
+  options.burst_seconds = 0.25;
+  TenantRateLimiter limiter(options);
+  uint64_t now = kSecond;
+  int noisy_ok = 0, polite_ok = 0;
+  // One simulated second: noisy offers 1000, polite offers 50.
+  for (int i = 0; i < 1000; ++i) {
+    if (limiter.Admit(1, now)) ++noisy_ok;
+    if (i % 20 == 0 && limiter.Admit(2, now)) ++polite_ok;
+    now += kSecond / 1000;
+  }
+  // Noisy is clamped near its bucket rate (plus the 25-token burst).
+  EXPECT_LE(noisy_ok, 130);
+  EXPECT_GE(noisy_ok, 95);
+  // Polite stays under its rate and is never shed.
+  EXPECT_EQ(polite_ok, 50);
+  EXPECT_GT(limiter.shed_total(), 800u);
+}
+
+TEST(TenantRateLimiterTest, PerTenantOverrideWins) {
+  TenantRateLimiter::Options options;
+  options.default_rate = 1000.0;
+  TenantRateLimiter limiter(options);
+  limiter.SetTenantRate(7, 2.0);  // pinned way below the default
+  uint64_t now = kSecond;
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (limiter.Admit(7, now)) ++admitted;
+  }
+  // Burst floor is max(1, rate * burst_seconds) = 1 token at t0.
+  EXPECT_EQ(admitted, 1);
+  now += kSecond;  // two tokens accrue over a second
+  admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (limiter.Admit(7, now)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 1);  // capped back to the 1-token burst depth
+}
+
+TEST(TenantRateLimiterTest, OverrideAloneEnablesLimiting) {
+  // default_rate 0 (off) but one tenant is pinned: the pinned tenant is
+  // limited, everyone else still rides the disabled fast path.
+  TenantRateLimiter limiter(TenantRateLimiter::Options{});
+  limiter.SetTenantRate(3, 1.0);
+  int admitted = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (limiter.Admit(3, kSecond)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(limiter.Admit(4, kSecond));
+  }
+}
+
+}  // namespace
+}  // namespace rockhopper::net

@@ -1,0 +1,271 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/telemetry.h"
+
+namespace rockhopper::net {
+namespace {
+
+core::QueryEndEvent SampleEvent() {
+  core::QueryEndEvent event;
+  event.event_id = 0x1122334455667788ull;
+  event.config = {0.1, -2.5, 1e300, 0.0, 4096.0};
+  event.data_size = 1.5e9;
+  event.runtime = 12.75;
+  event.failed = true;
+  event.failure = sparksim::FailureKind::kExecutorOom;
+  return event;
+}
+
+std::string ValidObserveFrame(uint32_t tenant = 7, uint32_t seq = 42) {
+  return EncodeRequest(Verb::kObserveQueryEnd, tenant, seq,
+                       EncodeObservePayload(99, SampleEvent()));
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  const std::string bytes = ValidObserveFrame(7, 42);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), DecodeResult::kFrame);
+  EXPECT_EQ(frame.header.version, kWireVersion);
+  EXPECT_EQ(frame.header.verb, static_cast<uint8_t>(Verb::kObserveQueryEnd));
+  EXPECT_FALSE(frame.header.is_response());
+  EXPECT_EQ(frame.header.tenant, 7u);
+  EXPECT_EQ(frame.header.seq, 42u);
+  ObserveRequest request;
+  ASSERT_TRUE(
+      DecodeObservePayload(frame.payload, frame.payload_len, &request));
+  EXPECT_EQ(request.signature, 99u);
+  const core::QueryEndEvent expected = SampleEvent();
+  EXPECT_EQ(request.event.event_id, expected.event_id);
+  EXPECT_EQ(request.event.config, expected.config);
+  EXPECT_EQ(request.event.data_size, expected.data_size);
+  EXPECT_EQ(request.event.runtime, expected.runtime);
+  EXPECT_EQ(request.event.failed, expected.failed);
+  EXPECT_EQ(request.event.failure, expected.failure);
+  EXPECT_EQ(decoder.Next(&frame), DecodeResult::kNeedMore);
+}
+
+TEST(WireTest, ResponseFlagAndStatusRoundTrip) {
+  const std::string bytes = EncodeResponse(WireStatus::kBusy, 3, 9, "");
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), DecodeResult::kFrame);
+  EXPECT_TRUE(frame.header.is_response());
+  EXPECT_EQ(static_cast<WireStatus>(frame.header.verb), WireStatus::kBusy);
+  EXPECT_EQ(frame.header.tenant, 3u);
+  EXPECT_EQ(frame.header.seq, 9u);
+  EXPECT_EQ(frame.payload_len, 0u);
+}
+
+// The core fuzz shape: a valid frame fed in two pieces cut at EVERY byte
+// boundary (including mid-magic, mid-length, and mid-payload) must decode
+// identically — kNeedMore before the frame completes, exactly one kFrame
+// after, and nothing left over.
+TEST(WireTest, EverySplitPointOfAValidFrameDecodes) {
+  const std::string bytes = ValidObserveFrame();
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    FrameDecoder decoder;
+    Frame frame;
+    decoder.Feed(bytes.data(), cut);
+    if (cut < bytes.size()) {
+      EXPECT_EQ(decoder.Next(&frame), DecodeResult::kNeedMore);
+      decoder.Feed(bytes.data() + cut, bytes.size() - cut);
+    }
+    ASSERT_EQ(decoder.Next(&frame), DecodeResult::kFrame);
+    EXPECT_EQ(frame.header.seq, 42u);
+    EXPECT_EQ(decoder.Next(&frame), DecodeResult::kNeedMore);
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(WireTest, ByteAtATimeDecodes) {
+  const std::string bytes = ValidObserveFrame();
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(bytes.data() + i, 1);
+    ASSERT_EQ(decoder.Next(&frame), DecodeResult::kNeedMore) << "byte " << i;
+  }
+  decoder.Feed(bytes.data() + bytes.size() - 1, 1);
+  ASSERT_EQ(decoder.Next(&frame), DecodeResult::kFrame);
+}
+
+TEST(WireTest, TruncatedFrameNeverProducesAFrame) {
+  const std::string bytes = ValidObserveFrame();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), len);
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), DecodeResult::kNeedMore)
+        << "truncated at " << len;
+  }
+}
+
+TEST(WireTest, OversizedLengthPrefixIsFatal) {
+  std::string bytes = ValidObserveFrame();
+  const uint32_t huge = kMaxPayload + 1;
+  std::memcpy(&bytes[16], &huge, sizeof(huge));
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeResult::kOversized);
+}
+
+TEST(WireTest, BadMagicIsFatal) {
+  std::string bytes = ValidObserveFrame();
+  bytes[0] ^= 0x01;
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeResult::kBadMagic);
+}
+
+TEST(WireTest, BadVersionIsFatal) {
+  std::string bytes = ValidObserveFrame();
+  bytes[4] = static_cast<char>(kWireVersion + 1);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeResult::kBadVersion);
+}
+
+// A CRC mismatch consumes the frame but keeps the stream aligned: the next
+// (clean) frame on the same decoder must parse normally. Every payload byte
+// position is corrupted in turn.
+TEST(WireTest, CrcCorruptionIsRecoverablePerByte) {
+  const std::string clean = ValidObserveFrame();
+  for (size_t i = kHeaderSize; i < clean.size(); ++i) {
+    SCOPED_TRACE("corrupt byte " + std::to_string(i));
+    std::string corrupted = clean;
+    corrupted[i] ^= 0x40;
+    FrameDecoder decoder;
+    decoder.Feed(corrupted.data(), corrupted.size());
+    decoder.Feed(clean.data(), clean.size());
+    Frame frame;
+    ASSERT_EQ(decoder.Next(&frame), DecodeResult::kBadCrc);
+    // Tenant/seq survive from the corrupted header so the server can still
+    // address its typed error response.
+    EXPECT_EQ(frame.header.seq, 42u);
+    ASSERT_EQ(decoder.Next(&frame), DecodeResult::kFrame);
+    EXPECT_EQ(decoder.Next(&frame), DecodeResult::kNeedMore);
+  }
+}
+
+TEST(WireTest, BackToBackFramesDrain) {
+  std::string bytes;
+  for (uint32_t seq = 0; seq < 5; ++seq) {
+    AppendFrame(&bytes, Verb::kHealth, 1, seq, "");
+  }
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  for (uint32_t seq = 0; seq < 5; ++seq) {
+    ASSERT_EQ(decoder.Next(&frame), DecodeResult::kFrame);
+    EXPECT_EQ(frame.header.seq, seq);
+  }
+  EXPECT_EQ(decoder.Next(&frame), DecodeResult::kNeedMore);
+}
+
+TEST(WireTest, ProposePayloadRoundTrip) {
+  const std::string payload = EncodeProposePayload(0xABCDEF, 3.25e8);
+  ProposeRequest request;
+  ASSERT_TRUE(DecodeProposePayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &request));
+  EXPECT_EQ(request.signature, 0xABCDEFu);
+  EXPECT_EQ(request.expected_data_size, 3.25e8);
+}
+
+TEST(WireTest, ConfigPayloadRoundTripsBitExactly) {
+  const sparksim::ConfigVector config = {0.30000000000000004, -0.0, 1e-308};
+  const std::string payload = EncodeConfigPayload(config);
+  sparksim::ConfigVector decoded;
+  ASSERT_TRUE(DecodeConfigPayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &decoded));
+  ASSERT_EQ(decoded.size(), config.size());
+  for (size_t i = 0; i < config.size(); ++i) {
+    uint64_t a = 0, b = 0;
+    std::memcpy(&a, &config[i], sizeof(a));
+    std::memcpy(&b, &decoded[i], sizeof(b));
+    EXPECT_EQ(a, b) << "dim " << i;
+  }
+}
+
+TEST(WireTest, HealthPayloadRoundTrip) {
+  HealthReport report;
+  report.serving = false;
+  report.admission_rate = 0.4375;
+  const std::string payload = EncodeHealthPayload(report);
+  HealthReport decoded;
+  ASSERT_TRUE(DecodeHealthPayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &decoded));
+  EXPECT_FALSE(decoded.serving);
+  EXPECT_EQ(decoded.admission_rate, 0.4375);
+}
+
+TEST(WireTest, VerdictPayloadRoundTrip) {
+  const std::string payload =
+      EncodeVerdictPayload(core::TelemetryVerdict::kRejectDuplicate);
+  core::TelemetryVerdict verdict;
+  ASSERT_TRUE(DecodeVerdictPayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &verdict));
+  EXPECT_EQ(verdict, core::TelemetryVerdict::kRejectDuplicate);
+}
+
+// Every strict prefix of every payload must be rejected by its decoder, not
+// read out of bounds or half-filled.
+TEST(WireTest, PayloadDecodersRejectAllTruncations) {
+  const std::string observe = EncodeObservePayload(5, SampleEvent());
+  for (size_t len = 0; len < observe.size(); ++len) {
+    ObserveRequest request;
+    EXPECT_FALSE(DecodeObservePayload(
+        reinterpret_cast<const uint8_t*>(observe.data()), len, &request))
+        << "observe prefix " << len;
+  }
+  const std::string propose = EncodeProposePayload(5, 1.0);
+  for (size_t len = 0; len < propose.size(); ++len) {
+    ProposeRequest request;
+    EXPECT_FALSE(DecodeProposePayload(
+        reinterpret_cast<const uint8_t*>(propose.data()), len, &request))
+        << "propose prefix " << len;
+  }
+  const std::string config = EncodeConfigPayload({1.0, 2.0});
+  for (size_t len = 0; len < config.size(); ++len) {
+    sparksim::ConfigVector decoded;
+    EXPECT_FALSE(DecodeConfigPayload(
+        reinterpret_cast<const uint8_t*>(config.data()), len, &decoded))
+        << "config prefix " << len;
+  }
+}
+
+TEST(WireTest, ObserveDecoderRejectsArityLies) {
+  // config_len claims more doubles than the payload carries.
+  std::string payload = EncodeObservePayload(5, SampleEvent());
+  const uint16_t lie = 1000;
+  // config_len lives after signature(8) + event_id(8) + data_size(8) +
+  // runtime(8) + failed(1) + failure(1).
+  std::memcpy(&payload[34], &lie, sizeof(lie));
+  ObserveRequest request;
+  EXPECT_FALSE(DecodeObservePayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &request));
+}
+
+TEST(WireTest, StatusNamesAreStable) {
+  EXPECT_STREQ(WireStatusName(WireStatus::kOk), "ok");
+  EXPECT_STREQ(WireStatusName(WireStatus::kBusy), "busy");
+}
+
+}  // namespace
+}  // namespace rockhopper::net

@@ -64,6 +64,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,8 +85,12 @@
 #include "core/journal.h"
 #include "core/model_store.h"
 #include "core/monitor.h"
+#include "core/tracing.h"
 #include "core/transfer.h"
 #include "core/tuning_service.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "net/server_core.h"
 #include "sim/service_digest.h"
 #include "sim/sim_runner.h"
 #include "sim/trace.h"
@@ -781,7 +786,335 @@ int RunCheckpoint(const Args& args) {
 // group-commit path (batched background writer) unless --sync-journal.
 // --memory-budget arms the tiered state layer; --checkpoint-interval runs a
 // background compactor every N accepted observations.
+// SIGINT/SIGTERM → drain-and-exit for `serve --listen`. RequestStop is one
+// atomic store, so the handler is async-signal-safe.
+std::atomic<net::Server*> g_listen_server{nullptr};
+
+void HandleStopSignal(int) {
+  if (net::Server* server = g_listen_server.load(std::memory_order_acquire)) {
+    server->RequestStop();
+  }
+}
+
+// Parses --listen: "" / "true" → ephemeral port on 127.0.0.1; "PORT";
+// "HOST:PORT". Returns false on malformed input.
+bool ParseListen(const std::string& value, std::string* host,
+                 uint16_t* port) {
+  *host = "127.0.0.1";
+  *port = 0;
+  if (value.empty() || value == "true") return true;
+  const size_t colon = value.rfind(':');
+  std::string port_text = value;
+  if (colon != std::string::npos) {
+    if (colon > 0) *host = value.substr(0, colon);
+    port_text = value.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || parsed > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
+// The network deployment shape: the tuning service behind the wire-protocol
+// front end, per-tenant token buckets + the global admission controller in
+// front of ingestion, and a drain-first shutdown so the exit-report counters
+// cover every request the server acked.
+int RunServeListen(const Args& args) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  const FlightingConfig::Suite suite =
+      SuiteFromName(args.Get("suite", "tpcds"));
+  std::vector<sparksim::QueryPlan> plans;
+  for (int q = 1; q <= SuiteSize(suite); ++q) {
+    plans.push_back(FlightingPipeline::PlanFor(suite, q));
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 37));
+  TuningService service(space, nullptr, TuningServiceOptions{}, seed);
+
+  const uint64_t memory_budget =
+      std::strtoull(args.Get("memory-budget", "0").c_str(), nullptr, 10);
+  std::map<uint64_t, const sparksim::QueryPlan*> plan_index;
+  for (const sparksim::QueryPlan& plan : plans) {
+    plan_index[plan.Signature()] = &plan;
+  }
+  std::optional<ModelStore> state_store;
+  if (memory_budget > 0) {
+    state_store.emplace(args.Get("state-dir", "rockhopper-state"));
+    service.EnableStateTiering(
+        &*state_store, memory_budget,
+        [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
+          auto it = plan_index.find(signature);
+          return it == plan_index.end() ? nullptr : it->second;
+        });
+  }
+
+  ObservationJournal journal;
+  const std::string journal_path = args.Get("journal", "");
+  const bool group_commit = args.Get("sync-journal", "") != "true";
+  if (!journal_path.empty()) {
+    auto opened = ObservationJournal::Open(journal_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open journal: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    journal = std::move(*opened);
+    if (group_commit) journal.StartGroupCommit({});
+    service.AttachJournal(&journal);
+  }
+
+  net::PlanRegistry registry;
+  for (const sparksim::QueryPlan& plan : plans) registry.Register(&plan);
+
+  net::ServerCoreOptions core_options;
+  core_options.tenant_limits.default_rate = args.GetDouble("tenant-rate", 0.0);
+  core_options.tenant_limits.burst_seconds =
+      args.GetDouble("tenant-burst-s", 0.25);
+  core_options.admission.flush_p99_target =
+      args.GetDouble("flush-p99-target", 0.050);
+  core_options.admission.queue_depth_target = args.GetDouble(
+      "queue-target", net::AdmissionController::Options().queue_depth_target);
+  core_options.tiering_budget_bytes = memory_budget;
+  core_options.max_batch =
+      static_cast<size_t>(std::max(1, args.GetInt("net-batch", 64)));
+  net::ServerCore core(&service, &registry, core_options);
+
+  net::ServerOptions server_options;
+  if (!ParseListen(args.Get("listen", ""), &server_options.host,
+                   &server_options.port)) {
+    std::fprintf(stderr, "malformed --listen (want PORT or HOST:PORT)\n");
+    return 2;
+  }
+  server_options.io_threads = args.GetInt("io-threads", 1);
+  server_options.use_epoll = args.Get("poll", "") != "true";
+  net::Server server(&core, server_options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Scripts wait for this line to learn the ephemeral port.
+  std::printf("listening on %s:%u (%zu signatures, suite %s)\n",
+              server_options.host.c_str(), server.port(), registry.size(),
+              args.Get("suite", "tpcds").c_str());
+  std::fflush(stdout);
+
+  g_listen_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  const double duration_s = args.GetDouble("duration-s", 0.0);
+  const auto started = std::chrono::steady_clock::now();
+  while (!server.stop_requested()) {
+    if (duration_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= duration_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Drain before the final scrape: staged observe batches flush through the
+  // service and buffered responses are written, so every request the server
+  // acked is inside the counters printed below.
+  server.Stop(args.GetInt("drain-ms", 2000));
+  g_listen_server.store(nullptr, std::memory_order_release);
+
+  int exit_code = 0;
+  if (!journal_path.empty()) {
+    if (Status st = service.Shutdown(); !st.ok()) {
+      std::fprintf(stderr, "journal shutdown failed: %s\n",
+                   st.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  const uint64_t journal_errors = service.journal_errors();
+
+  const ServiceMetrics& m = ServiceMetrics::Get();
+  const TelemetryStats& stats = service.telemetry_stats();
+  std::printf("\nconnections: %llu accepted; rx %llu bytes, tx %llu bytes\n",
+              static_cast<unsigned long long>(
+                  m.net_connections_accepted->Value()),
+              static_cast<unsigned long long>(m.net_rx_bytes->Value()),
+              static_cast<unsigned long long>(m.net_tx_bytes->Value()));
+  std::printf("requests: %llu observe, %llu propose, %llu metrics, %llu "
+              "health\n",
+              static_cast<unsigned long long>(
+                  m.net_requests_observe->Value()),
+              static_cast<unsigned long long>(
+                  m.net_requests_propose->Value()),
+              static_cast<unsigned long long>(
+                  m.net_requests_metrics->Value()),
+              static_cast<unsigned long long>(m.net_requests_health->Value()));
+  std::printf("shed: %llu tenant-limit, %llu global-admission (final rate "
+              "%.3f, pressure %s); frame errors: %llu crc, %llu frame, %llu "
+              "payload\n",
+              static_cast<unsigned long long>(m.net_shed_tenant->Value()),
+              static_cast<unsigned long long>(m.net_shed_global->Value()),
+              core.admission().rate(), core.admission().pressure_source(),
+              static_cast<unsigned long long>(m.net_bad_crc->Value()),
+              static_cast<unsigned long long>(m.net_bad_frame->Value()),
+              static_cast<unsigned long long>(m.net_bad_payload->Value()));
+  // Histogram-derived latency quantiles (the Percentile helper): the
+  // server-side decode-to-response distribution.
+  std::printf("request latency: p50 %.6f s, p99 %.6f s over %llu requests; "
+              "mean batch %.1f\n",
+              m.net_request_seconds->Percentile(0.50),
+              m.net_request_seconds->Percentile(0.99),
+              static_cast<unsigned long long>(m.net_request_seconds->Count()),
+              m.net_batch_size->Count() > 0
+                  ? m.net_batch_size->Sum() /
+                        static_cast<double>(m.net_batch_size->Count())
+                  : 0.0);
+  // The drain contract, stated in counters: deliveries == verdicts.
+  const unsigned long long delivered =
+      static_cast<unsigned long long>(m.queries_ended->Value());
+  const unsigned long long verdicts = static_cast<unsigned long long>(
+      stats.accepted.load(std::memory_order_relaxed) + stats.total_rejected());
+  std::printf("service: %llu deliveries -> %llu verdicts (%llu accepted, "
+              "%llu rejected)%s\n",
+              delivered, verdicts,
+              static_cast<unsigned long long>(
+                  stats.accepted.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(stats.total_rejected()),
+              delivered == verdicts ? "" : "  [MISMATCH]");
+  if (!journal_path.empty()) {
+    std::printf("journal written to %s via %s (%llu append errors)\n",
+                journal_path.c_str(),
+                group_commit ? "group commit" : "synchronous appends",
+                static_cast<unsigned long long>(journal_errors));
+  }
+  if (delivered != verdicts) exit_code = 1;
+
+  const std::string metrics_format = args.Get("metrics-format", "prom");
+  if (metrics_format != "off") {
+    const common::MetricsSnapshot scrape = service.Metrics();
+    std::printf("\n# --- metrics scrape at exit ---\n");
+    if (metrics_format == "json") {
+      std::printf("%s\n", scrape.ToJson().c_str());
+    } else {
+      std::printf("%s", scrape.ToPrometheusText().c_str());
+    }
+  }
+  return exit_code;
+}
+
+// Wire-protocol load generator: open-loop (Poisson) or closed-loop traffic
+// against a `serve --listen` process, per-tenant mixes, client-observed
+// latency percentiles. --json emits one machine-readable line for the bench
+// harness.
+int RunLoadgen(const Args& args) {
+  const FlightingConfig::Suite suite = SuiteFromName(args.Get("suite", "tpcds"));
+  std::vector<sparksim::QueryPlan> plans;
+  for (int q = 1; q <= SuiteSize(suite); ++q) {
+    plans.push_back(FlightingPipeline::PlanFor(suite, q));
+  }
+  std::vector<const sparksim::QueryPlan*> plan_ptrs;
+  const int plan_limit = args.GetInt("plans", 0);
+  for (const sparksim::QueryPlan& plan : plans) {
+    if (plan_limit > 0 &&
+        plan_ptrs.size() >= static_cast<size_t>(plan_limit)) {
+      break;
+    }
+    plan_ptrs.push_back(&plan);
+  }
+
+  net::LoadGenOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  if (options.port == 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 2;
+  }
+  options.duration_s = args.GetDouble("duration-s", 5.0);
+  options.propose_fraction = args.GetDouble("propose-fraction", 0.0);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  const int tenants = std::max(1, args.GetInt("tenants", 1));
+  const double rate = args.GetDouble("rate", 0.0);
+  const int concurrency = std::max(1, args.GetInt("concurrency", 1));
+  for (int t = 1; t <= tenants; ++t) {
+    net::TenantSpec spec;
+    spec.tenant = static_cast<uint32_t>(t);
+    spec.rate = rate;
+    spec.concurrency = concurrency;
+    options.tenants.push_back(spec);
+  }
+  // One extra open-loop aggressor on top of the polite tenants — the
+  // noisy-neighbor fairness experiment.
+  const double noisy_rate = args.GetDouble("noisy-rate", 0.0);
+  if (noisy_rate > 0.0) {
+    net::TenantSpec spec;
+    spec.tenant = static_cast<uint32_t>(tenants + 1);
+    spec.rate = noisy_rate;
+    options.tenants.push_back(spec);
+  }
+
+  auto result = net::RunLoadGen(options, plan_ptrs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const net::LoadGenReport& report = result.value();
+
+  if (args.Get("json", "") == "true") {
+    std::printf("{\"elapsed_s\":%.3f,\"sent\":%llu,\"ok\":%llu,"
+                "\"busy\":%llu,\"errors\":%llu,\"offered_qps\":%.1f,"
+                "\"achieved_qps\":%.1f,\"p50\":%.6f,\"p99\":%.6f,"
+                "\"fell_behind\":%s,\"tenants\":[",
+                report.elapsed_s,
+                static_cast<unsigned long long>(report.sent),
+                static_cast<unsigned long long>(report.ok),
+                static_cast<unsigned long long>(report.busy),
+                static_cast<unsigned long long>(report.errors),
+                report.offered_qps, report.achieved_qps, report.p50,
+                report.p99, report.fell_behind ? "true" : "false");
+    for (size_t i = 0; i < report.tenants.size(); ++i) {
+      const net::TenantReport& tenant = report.tenants[i];
+      std::printf("%s{\"tenant\":%u,\"sent\":%llu,\"ok\":%llu,"
+                  "\"busy\":%llu,\"errors\":%llu,\"ok_qps\":%.1f,"
+                  "\"p50\":%.6f,\"p99\":%.6f}",
+                  i == 0 ? "" : ",", tenant.tenant,
+                  static_cast<unsigned long long>(tenant.sent),
+                  static_cast<unsigned long long>(tenant.ok),
+                  static_cast<unsigned long long>(tenant.busy),
+                  static_cast<unsigned long long>(tenant.errors),
+                  tenant.ok_qps, tenant.p50, tenant.p99);
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("loadgen: %.2f s, %llu sent, %llu ok, %llu busy, %llu "
+                "errors\n",
+                report.elapsed_s,
+                static_cast<unsigned long long>(report.sent),
+                static_cast<unsigned long long>(report.ok),
+                static_cast<unsigned long long>(report.busy),
+                static_cast<unsigned long long>(report.errors));
+    std::printf("throughput: offered %.1f q/s, achieved %.1f q/s; latency "
+                "p50 %.6f s, p99 %.6f s%s\n",
+                report.offered_qps, report.achieved_qps, report.p50,
+                report.p99,
+                report.fell_behind ? "  [sender fell behind schedule]" : "");
+    for (const net::TenantReport& tenant : report.tenants) {
+      std::printf("tenant %u: %llu sent, %llu ok (%.1f q/s), %llu busy, "
+                  "%llu errors, p99 %.6f s\n",
+                  tenant.tenant,
+                  static_cast<unsigned long long>(tenant.sent),
+                  static_cast<unsigned long long>(tenant.ok), tenant.ok_qps,
+                  static_cast<unsigned long long>(tenant.busy),
+                  static_cast<unsigned long long>(tenant.errors),
+                  tenant.p99);
+    }
+  }
+  return report.ok == 0 ? 1 : 0;
+}
+
 int RunServe(const Args& args) {
+  if (args.flags.count("listen") != 0) return RunServeListen(args);
   const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
   const FlightingConfig::Suite suite =
       SuiteFromName(args.Get("suite", "tpcds"));
@@ -878,7 +1211,6 @@ int RunServe(const Args& args) {
       checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  const uint64_t journal_errors = service.journal_errors();
   if (!journal_path.empty()) {
     // Status-checked shutdown: a journal that swallowed a write error must
     // fail the run loudly, not exit 0 with silently missing records.
@@ -888,6 +1220,10 @@ int RunServe(const Args& args) {
       exit_code = 1;
     }
   }
+  // Read after Shutdown: the group-commit writer may only surface errors
+  // for in-flight batches when its final flush drains, and the exit report
+  // must account for every append the run handed it.
+  const uint64_t journal_errors = service.journal_errors();
 
   std::printf("served %zu queries in %.2f s: %.0f queries/s\n", report.queries,
               report.wall_seconds, report.queries_per_second);
@@ -1178,6 +1514,20 @@ void PrintUsage() {
       "                 --memory-budget=BYTES --state-dir=DIR\n"
       "                 --checkpoint-interval=N\n"
       "                 --fl=F --sl=F --seed=N --metrics-format=prom|json|off\n"
+      "          with --listen[=PORT|HOST:PORT] serve the binary wire\n"
+      "          protocol over TCP instead (epoll event loop; Ctrl-C or\n"
+      "          --duration-s=N drains and prints the exit report):\n"
+      "                 --listen[=PORT|HOST:PORT] --duration-s=N\n"
+      "                 --drain-ms=N --io-threads=N --poll (force poll(2))\n"
+      "                 --tenant-rate=R --tenant-burst-s=S (token buckets)\n"
+      "                 --flush-p99-target=S --queue-target=N (admission)\n"
+      "                 --net-batch=N --journal=FILE --memory-budget=BYTES\n"
+      "  loadgen drive the wire protocol against a serve --listen process\n"
+      "          flags: --host=H --port=N (required) --duration-s=N\n"
+      "                 --tenants=N --rate=R (per-tenant open-loop Poisson\n"
+      "                 q/s; 0 = closed loop) --concurrency=N\n"
+      "                 --noisy-rate=R (extra aggressor tenant)\n"
+      "                 --propose-fraction=F --plans=N --seed=N --json\n"
       "  metrics exercise the instrumented pipeline, print one registry "
       "scrape\n"
       "          flags: --suite=tpch|tpcds --iters=N --threads=N\n"
@@ -1199,6 +1549,7 @@ int main(int argc, char** argv) {
   if (args.command == "neighbors") return RunNeighbors(args);
   if (args.command == "checkpoint") return RunCheckpoint(args);
   if (args.command == "serve") return RunServe(args);
+  if (args.command == "loadgen") return RunLoadgen(args);
   if (args.command == "metrics") return RunMetrics(args);
   PrintUsage();
   return args.command.empty() ? 1 : 2;

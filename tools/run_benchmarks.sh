@@ -35,6 +35,19 @@
 #                     BENCH_sim.json, and FAIL (exit 1) on any invariant
 #                     violation or reproducibility mismatch
 #                     (ROCKHOPPER_SIM_SEEDS overrides the 1000-seed default)
+#   --suite serve:    stand up the socket front end (rockhopper serve
+#                     --listen) on a loopback port and drive it with
+#                     `rockhopper loadgen`, write BENCH_serve.json, and FAIL
+#                     (exit 1) unless (a) closed-loop sustained throughput
+#                     reaches 0.9x the in-process 8-thread
+#                     bench_concurrent_throughput rate, (b) p99 stays under
+#                     the cap during open-loop overload with kBusy shedding
+#                     engaged (bounded latency, not unbounded queueing), and
+#                     (c) a polite tenant keeps >= 0.8x its isolated
+#                     throughput while a noisy tenant floods the server
+#                     (ROCKHOPPER_SERVE_DURATION_S / _OVERLOAD_RATE /
+#                     _P99_CAP_S / _POLITE_RATE / _NOISY_RATE /
+#                     _TENANT_RATE override the defaults)
 #   --suite ann:      run the transfer-tier ANN benchmark
 #                     (bench_transfer_ann: HNSW vs brute-force k-NN at
 #                     10k/100k/1M signatures plus warm-start iterations-to-
@@ -477,6 +490,192 @@ if not passed:
 PYANN
 }
 
+run_serve_suite() {
+  local duration="${ROCKHOPPER_SERVE_DURATION_S:-5}"
+  local overload_rate="${ROCKHOPPER_SERVE_OVERLOAD_RATE:-120000}"
+  local p99_cap="${ROCKHOPPER_SERVE_P99_CAP_S:-0.5}"
+  local polite_rate="${ROCKHOPPER_SERVE_POLITE_RATE:-2000}"
+  local noisy_rate="${ROCKHOPPER_SERVE_NOISY_RATE:-60000}"
+  local tenant_rate="${ROCKHOPPER_SERVE_TENANT_RATE:-3000}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DROCKHOPPER_BUILD_BENCHMARKS=ON
+  cmake --build "${build_dir}" -j "$(nproc)" \
+    --target rockhopper bench_concurrent_throughput
+
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  trap "rm -rf '${tmp_dir}'" EXIT
+  local rockhopper="${build_dir}/tools/rockhopper"
+
+  # Per-scenario server lifecycle: fresh process each time so admission
+  # state from one experiment never bleeds into the next.
+  local server_pid="" server_port=""
+  start_server() {  # $1 = log name; rest = extra serve flags
+    local log="${tmp_dir}/$1.server.log"
+    shift
+    "${rockhopper}" serve --listen=127.0.0.1:0 --io-threads=2 \
+      --journal="${tmp_dir}/serve.journal" --metrics-format=off "$@" \
+      > "${log}" 2>&1 &
+    server_pid=$!
+    server_port=""
+    local i
+    for i in $(seq 100); do
+      server_port="$(sed -n \
+        's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${log}" \
+        | head -1)"
+      [[ -n "${server_port}" ]] && return 0
+      if ! kill -0 "${server_pid}" 2> /dev/null; then
+        echo "ERROR: serve process died during startup:" >&2
+        cat "${log}" >&2
+        return 1
+      fi
+      sleep 0.1
+    done
+    echo "ERROR: serve never reported its port" >&2
+    return 1
+  }
+  stop_server() {
+    kill -TERM "${server_pid}" 2> /dev/null || true
+    wait "${server_pid}" 2> /dev/null || true
+    rm -f "${tmp_dir}/serve.journal"
+  }
+
+  echo "== serve baseline: in-process 8-thread ingestion =="
+  "${build_dir}/bench/bench_concurrent_throughput" \
+    > "${tmp_dir}/baseline.txt"
+
+  echo "== serve sustained: closed loop, 2 tenants x concurrency 4 =="
+  start_server sustained
+  "${rockhopper}" loadgen --host=127.0.0.1 "--port=${server_port}" \
+    --tenants=2 --concurrency=4 "--duration-s=${duration}" \
+    --propose-fraction=0.02 --json=true > "${tmp_dir}/sustained.json"
+  stop_server
+
+  echo "== serve overload: open loop at ${overload_rate} q/s offered =="
+  start_server overload
+  "${rockhopper}" loadgen --host=127.0.0.1 "--port=${server_port}" \
+    --tenants=1 "--rate=${overload_rate}" "--duration-s=${duration}" \
+    --json=true > "${tmp_dir}/overload.json"
+  stop_server
+
+  echo "== serve fairness: polite tenant alone, then vs noisy neighbor =="
+  start_server fair_isolated "--tenant-rate=${tenant_rate}"
+  "${rockhopper}" loadgen --host=127.0.0.1 "--port=${server_port}" \
+    --tenants=1 "--rate=${polite_rate}" "--duration-s=${duration}" \
+    --json=true > "${tmp_dir}/fair_isolated.json"
+  stop_server
+  start_server fair_contended "--tenant-rate=${tenant_rate}"
+  "${rockhopper}" loadgen --host=127.0.0.1 "--port=${server_port}" \
+    --tenants=1 "--rate=${polite_rate}" "--noisy-rate=${noisy_rate}" \
+    "--duration-s=${duration}" --json=true > "${tmp_dir}/fair_contended.json"
+  stop_server
+
+  python3 - "${tmp_dir}" "${p99_cap}" "${repo_root}/BENCH_serve.json" <<'PYSERVE'
+import json
+import re
+import sys
+
+tmp_dir, p99_cap, out_path = sys.argv[1:4]
+p99_cap = float(p99_cap)
+
+
+def load(name):
+    with open(f"{tmp_dir}/{name}.json") as f:
+        return json.load(f)
+
+
+def tenant(report, tenant_id):
+    for t in report["tenants"]:
+        if t["tenant"] == tenant_id:
+            return t
+    sys.exit(f"tenant {tenant_id} missing from {report}")
+
+
+with open(f"{tmp_dir}/baseline.txt") as f:
+    baseline_text = f.read()
+rows = {
+    int(m.group(1)): int(m.group(2))
+    for m in re.finditer(
+        r"^\s*(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)x\s*$", baseline_text, re.M
+    )
+}
+if 8 not in rows:
+    sys.exit("baseline bench output has no 8-thread row")
+inprocess_8t = rows[8]
+
+sustained = load("sustained")
+overload = load("overload")
+isolated = tenant(load("fair_isolated"), 1)
+contended = tenant(load("fair_contended"), 1)
+
+SUSTAINED_FLOOR = 0.9
+FAIRNESS_FLOOR = 0.8
+sustained_ratio = sustained["achieved_qps"] / inprocess_8t
+fairness_ratio = (
+    contended["ok_qps"] / isolated["ok_qps"] if isolated["ok_qps"] else 0.0
+)
+# Overload is healthy when excess load was refused at the door (kBusy) and
+# the answered requests stayed fast; errors mean the server stopped
+# answering, which is exactly the unbounded-queueing failure shape.
+overload_ok = (
+    overload["busy"] > 0
+    and overload["p99"] <= p99_cap
+    and overload["errors"] == 0
+)
+
+summary = {
+    "inprocess_8thread_qps": inprocess_8t,
+    "sustained_qps": sustained["achieved_qps"],
+    "sustained_ratio": sustained_ratio,
+    "sustained_floor": SUSTAINED_FLOOR,
+    "sustained_p99_s": sustained["p99"],
+    "overload_offered_qps": overload["offered_qps"],
+    "overload_achieved_qps": overload["achieved_qps"],
+    "overload_busy": overload["busy"],
+    "overload_errors": overload["errors"],
+    "overload_p99_s": overload["p99"],
+    "overload_p99_cap_s": p99_cap,
+    "polite_isolated_qps": isolated["ok_qps"],
+    "polite_contended_qps": contended["ok_qps"],
+    "fairness_ratio": fairness_ratio,
+    "fairness_floor": FAIRNESS_FLOOR,
+    "passed": (
+        sustained_ratio >= SUSTAINED_FLOOR
+        and overload_ok
+        and fairness_ratio >= FAIRNESS_FLOOR
+    ),
+}
+result = {
+    "summary": summary,
+    "scenarios": {
+        "sustained": sustained,
+        "overload": overload,
+        "fair_isolated": load("fair_isolated"),
+        "fair_contended": load("fair_contended"),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+print(f"  sustained : {summary['sustained_qps']:.0f} q/s over sockets vs"
+      f" {inprocess_8t} in-process ({sustained_ratio:.2f}x, floor"
+      f" {SUSTAINED_FLOOR}x)")
+print(f"  overload  : p99 {summary['overload_p99_s'] * 1000:.1f} ms"
+      f" (cap {p99_cap * 1000:.0f} ms), {summary['overload_busy']} shed,"
+      f" {summary['overload_errors']} errors")
+print(f"  fairness  : {contended['ok_qps']:.0f} of"
+      f" {isolated['ok_qps']:.0f} q/s kept next to a noisy tenant"
+      f" ({fairness_ratio:.2f}x, floor {FAIRNESS_FLOOR}x)")
+if not summary["passed"]:
+    print("FAIL: serve benchmark gate (see BENCH_serve.json)",
+          file=sys.stderr)
+    sys.exit(1)
+PYSERVE
+}
+
 run_sim_suite() {
   local seeds="${ROCKHOPPER_SIM_SEEDS:-1000}"
   local tmp_dir
@@ -544,8 +743,9 @@ if [[ "${filter}" == "--suite" ]]; then
     sim) run_sim_suite ;;
     state) run_state_suite ;;
     ann) run_ann_suite ;;
+    serve) run_serve_suite ;;
     *)
-      echo "unknown suite '${2:-}' (expected: fig, metrics, sim, state, ann)" >&2
+      echo "unknown suite '${2:-}' (expected: fig, metrics, sim, state, ann, serve)" >&2
       exit 2
       ;;
   esac

@@ -8,8 +8,11 @@
 #   tsan:           ThreadSanitizer — exercises the sharded service, the
 #                   striped stores, the group-commit journal writer, the
 #                   ThreadPool / experiment-runner tests (shutdown under
-#                   load, concurrent ParallelFor, parallel arms), and the
-#                   QueryPlan stats cache's CAS publication
+#                   load, concurrent ParallelFor, parallel arms), the
+#                   QueryPlan stats cache's CAS publication, and the
+#                   epoll front end (multi-thread event loop, session
+#                   batching, admission sampling) via the closing
+#                   serve → loadgen loopback smoke
 #
 # Sanitized builds compile with -DROCKHOPPER_SIM=ON so the Buggify fault
 # sections (src/sim/buggify.h) are live: the suite's sim tests and the
@@ -82,3 +85,41 @@ mkdir -p "${state_scratch}"
   --journal="${state_scratch}/smoke.journal"
 "${build_dir}/tools/rockhopper" recover --suite=tpcds \
   --journal="${state_scratch}/smoke.journal"
+
+# Network smoke under the sanitizer: a real epoll server with two I/O
+# threads takes loopback traffic from a multi-threaded loadgen (closed-loop
+# workers plus an open-loop noisy tenant hammering the token buckets), then
+# drains on SIGTERM. Races between the event loop, the session batcher, the
+# admission sampler, and the group-commit journal writer all run under the
+# sanitizer here.
+echo "== ${mode}: loopback serve → loadgen smoke =="
+net_scratch="${build_dir}/net-scratch"
+rm -rf "${net_scratch}"
+mkdir -p "${net_scratch}"
+"${build_dir}/tools/rockhopper" serve --listen=127.0.0.1:0 --io-threads=2 \
+  --journal="${net_scratch}/serve.journal" --tenant-rate=500 \
+  --metrics-format=off > "${net_scratch}/serve.log" 2>&1 &
+serve_pid=$!
+serve_port=""
+for _ in $(seq 100); do
+  serve_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${net_scratch}/serve.log" | head -1)"
+  [[ -n "${serve_port}" ]] && break
+  if ! kill -0 "${serve_pid}" 2> /dev/null; then
+    echo "ERROR: sanitized serve died during startup:" >&2
+    cat "${net_scratch}/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -n "${serve_port}" ]] || { echo "ERROR: serve never bound" >&2; exit 1; }
+"${build_dir}/tools/rockhopper" loadgen --host=127.0.0.1 \
+  "--port=${serve_port}" --tenants=2 --concurrency=2 --noisy-rate=2000 \
+  --duration-s=3 --propose-fraction=0.05 --json=true
+kill -TERM "${serve_pid}"
+if ! wait "${serve_pid}"; then
+  echo "ERROR: sanitized serve exited nonzero:" >&2
+  cat "${net_scratch}/serve.log" >&2
+  exit 1
+fi
+cat "${net_scratch}/serve.log"
