@@ -1,0 +1,157 @@
+#include "common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace rockhopper::common {
+namespace {
+
+constexpr char kMagic[4] = {'r', 'h', 'c', '1'};
+constexpr size_t kHeaderBytes = 12;
+constexpr size_t kMaxLiteralRun = 128;
+constexpr size_t kMaxMatch = kCompressMinMatch + 127;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Hash4(const uint8_t* p) {
+  // Multiplicative hash of the next four bytes (Fibonacci constant).
+  return (Load32(p) * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+inline void PutLE32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+inline uint32_t GetLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void EmitLiterals(std::string* out, const uint8_t* data, size_t begin,
+                  size_t end) {
+  while (begin < end) {
+    size_t run = end - begin;
+    if (run > kMaxLiteralRun) run = kMaxLiteralRun;
+    out->push_back(static_cast<char>(run - 1));
+    out->append(reinterpret_cast<const char*>(data) + begin, run);
+    begin += run;
+  }
+}
+
+}  // namespace
+
+bool LooksCompressed(std::string_view bytes) {
+  return bytes.size() >= sizeof(kMagic) &&
+         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+std::string EncodeCompressed(std::string_view raw) {
+  std::string out;
+  out.reserve(kHeaderBytes + raw.size() / 2 + 16);
+  out.append(kMagic, sizeof(kMagic));
+  PutLE32(&out, static_cast<uint32_t>(raw.size()));
+  PutLE32(&out, Crc32(raw));
+
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(raw.data());
+  const size_t n = raw.size();
+  size_t literal_start = 0;
+  if (n >= kCompressMinMatch) {
+    // Single-slot hash table of most-recent position per 4-byte hash.
+    std::vector<uint32_t> table(kHashSize, 0xFFFFFFFFu);
+    size_t i = 0;
+    const size_t last_hashable = n - kCompressMinMatch;
+    while (i <= last_hashable) {
+      const uint32_t h = Hash4(data + i);
+      const uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(i);
+      if (cand != 0xFFFFFFFFu && i - cand <= kCompressWindow &&
+          Load32(data + cand) == Load32(data + i)) {
+        size_t len = kCompressMinMatch;
+        const size_t max_len = n - i < kMaxMatch ? n - i : kMaxMatch;
+        while (len < max_len && data[cand + len] == data[i + len]) ++len;
+        EmitLiterals(&out, data, literal_start, i);
+        const size_t offset = i - cand;
+        out.push_back(
+            static_cast<char>(0x80 | (len - kCompressMinMatch)));
+        out.push_back(static_cast<char>(offset & 0xFF));
+        out.push_back(static_cast<char>((offset >> 8) & 0xFF));
+        // Seed the table inside the match so adjacent repeats chain.
+        const size_t seed_end =
+            i + len <= last_hashable ? i + len : last_hashable + 1;
+        for (size_t j = i + 1; j < seed_end; ++j) {
+          table[Hash4(data + j)] = static_cast<uint32_t>(j);
+        }
+        i += len;
+        literal_start = i;
+      } else {
+        ++i;
+      }
+    }
+  }
+  EmitLiterals(&out, data, literal_start, n);
+  return out;
+}
+
+Result<std::string> DecodeCompressed(std::string_view envelope) {
+  if (envelope.size() < kHeaderBytes || !LooksCompressed(envelope)) {
+    return Status::DataLoss("compressed envelope: bad magic or truncated header");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(envelope.data());
+  const uint32_t raw_size = GetLE32(p + 4);
+  const uint32_t want_crc = GetLE32(p + 8);
+
+  std::string raw;
+  raw.reserve(raw_size);
+  size_t i = kHeaderBytes;
+  const size_t n = envelope.size();
+  while (i < n) {
+    const uint8_t op = p[i++];
+    if (op < 0x80) {
+      const size_t run = static_cast<size_t>(op) + 1;
+      if (i + run > n || raw.size() + run > raw_size) {
+        return Status::DataLoss("compressed envelope: literal run overruns");
+      }
+      raw.append(envelope.data() + i, run);
+      i += run;
+    } else {
+      if (i + 2 > n) {
+        return Status::DataLoss("compressed envelope: truncated match op");
+      }
+      const size_t len = static_cast<size_t>(op & 0x7F) + kCompressMinMatch;
+      const size_t offset = static_cast<size_t>(p[i]) |
+                            (static_cast<size_t>(p[i + 1]) << 8);
+      i += 2;
+      if (offset == 0 || offset > raw.size() ||
+          raw.size() + len > raw_size) {
+        return Status::DataLoss("compressed envelope: match out of range");
+      }
+      // Byte-at-a-time copy: overlapping matches (offset < len) replicate
+      // the just-written prefix, matching the encoder's semantics.
+      size_t src = raw.size() - offset;
+      for (size_t k = 0; k < len; ++k) {
+        raw.push_back(raw[src + k]);
+      }
+    }
+  }
+  if (raw.size() != raw_size) {
+    return Status::DataLoss("compressed envelope: raw size mismatch");
+  }
+  if (Crc32(raw) != want_crc) {
+    return Status::DataLoss("compressed envelope: CRC mismatch");
+  }
+  return raw;
+}
+
+}  // namespace rockhopper::common

@@ -1,0 +1,56 @@
+#ifndef ROCKHOPPER_COMMON_COMPRESS_H_
+#define ROCKHOPPER_COMMON_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rockhopper::common {
+
+/// Dependency-free byte-oriented LZ77 codec with a CRC-checked envelope,
+/// used for evicted QueryState artifacts and incremental checkpoint
+/// segments. The design goal is not ratio parity with zlib but (a) zero
+/// external dependencies, (b) fast greedy compression on the eviction
+/// path, and (c) a hard guarantee that a damaged artifact decodes to
+/// `kDataLoss` — never to garbage bytes.
+///
+/// Envelope layout (all integers little-endian):
+///   bytes 0..3   magic "rhc1"
+///   bytes 4..7   raw (uncompressed) payload size
+///   bytes 8..11  CRC-32 of the raw payload
+///   bytes 12..   LZ op stream
+///
+/// Op stream: a control byte `b` is either
+///   0x00..0x7F   literal run — the next (b + 1) bytes are copied verbatim
+///   0x80..0xFF   match — length (b & 0x7F) + kMinMatch, followed by a
+///                2-byte LE backward offset in [1, 65535]
+///
+/// Decoding validates every structural property (ops in range, offsets
+/// inside the produced prefix, exact raw-size landing) and finally the
+/// CRC, so truncations and bit flips are detected deterministically.
+
+/// Minimum match length the compressor emits; shorter repeats are cheaper
+/// as literals once the 3-byte match encoding is paid for.
+inline constexpr size_t kCompressMinMatch = 4;
+
+/// Maximum backward distance a match may reference (16-bit offset).
+inline constexpr size_t kCompressWindow = 65535;
+
+/// Compresses `raw` into a self-describing CRC-checked envelope. Never
+/// fails; incompressible input degrades to ~raw_size * 129/128 + 12 bytes.
+std::string EncodeCompressed(std::string_view raw);
+
+/// Inverse of EncodeCompressed. Returns `kDataLoss` for any truncated,
+/// bit-flipped, or otherwise malformed envelope.
+Result<std::string> DecodeCompressed(std::string_view envelope);
+
+/// True when `bytes` starts with the compressed-envelope magic. Used by
+/// readers that must accept both raw (pre-v2) and compressed artifacts.
+bool LooksCompressed(std::string_view bytes);
+
+}  // namespace rockhopper::common
+
+#endif  // ROCKHOPPER_COMMON_COMPRESS_H_

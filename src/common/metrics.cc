@@ -110,6 +110,15 @@ std::vector<double> DefaultLatencyBuckets() {
   return ExponentialBuckets(1e-6, 4.0, 12);
 }
 
+std::vector<double> LinearBuckets(double start, double step, size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
 namespace {
 
 std::string FormatDouble(double value, const char* fmt) {

@@ -149,6 +149,9 @@ std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count);
 /// The registry-wide default latency ladder: 1 us .. ~4.3 s in x4 steps.
 std::vector<double> DefaultLatencyBuckets();
+/// `count` bucket bounds starting at `start` in `step` increments — for
+/// naturally bounded quantities (ratios, fractions).
+std::vector<double> LinearBuckets(double start, double step, size_t count);
 
 /// Quantile estimate over Prometheus-style histogram buckets: `counts` has
 /// one entry per bound plus the trailing +Inf bucket (non-cumulative, as

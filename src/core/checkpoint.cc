@@ -1,14 +1,18 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/compress.h"
 #include "core/tracing.h"
 #include "sim/buggify.h"
 
@@ -18,6 +22,8 @@ namespace {
 
 constexpr char kCheckpointMagic[] = "rockhopper-checkpoint";
 constexpr char kCheckpointVersion[] = "v1";
+constexpr char kDeltaMagic[] = "rockhopper-ckpt-delta";
+constexpr char kDeltaVersion[] = "v1";
 constexpr char kJournalHeader[] = "rockhopper-journal v1";
 
 std::string Describe(size_t n, const char* what) {
@@ -34,7 +40,43 @@ struct RecordFile {
   // Checkpoint metadata (checkpoint files only).
   uint64_t last_segment = 0;
   size_t declared_records = 0;
+  // Delta metadata (delta files only).
+  uint64_t chain_index = 0;
+  uint64_t base_seq = 0;
 };
+
+/// Scans journal-format record lines in `text` starting at `pos`; the first
+/// invalid line ends the valid prefix (the strictly-sequential-writer
+/// argument of ObservationJournal::Recover).
+void ScanRecordLines(const std::string& text, size_t pos, RecordFile* file) {
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) {
+      // Truncated tail: the writer died mid-record.
+      file->clean = false;
+      file->bytes_dropped += text.size() - pos;
+      ++file->records_dropped;
+      return;
+    }
+    std::string line = text.substr(pos, newline - pos);
+    uint64_t signature = 0;
+    Observation obs;
+    if (!ParseJournalLine(line, &signature, &obs)) {
+      // Bad record: drop this line and everything after it.
+      file->clean = false;
+      file->bytes_dropped += text.size() - pos;
+      for (size_t p = pos; p < text.size();) {
+        ++file->records_dropped;
+        const size_t nl = text.find('\n', p);
+        if (nl == std::string::npos) break;
+        p = nl + 1;
+      }
+      return;
+    }
+    file->lines.push_back(std::move(line));
+    pos = newline + 1;
+  }
+}
 
 /// Reads a record file, validating every line's CRC and payload; the first
 /// bad line ends the valid prefix (the strictly-sequential-writer argument
@@ -70,41 +112,92 @@ Result<RecordFile> ReadRecordFile(const std::string& path,
     return Status::InvalidArgument("not a rockhopper journal: " + path);
   }
 
-  size_t pos = header_end + 1;
-  while (pos < text.size()) {
-    const size_t newline = text.find('\n', pos);
-    if (newline == std::string::npos) {
-      // Truncated tail: the writer died mid-record.
-      file.clean = false;
-      file.bytes_dropped = text.size() - pos;
-      ++file.records_dropped;
-      return file;
-    }
-    std::string line = text.substr(pos, newline - pos);
-    uint64_t signature = 0;
-    Observation obs;
-    if (!ParseJournalLine(line, &signature, &obs)) {
-      // Bad record: drop this line and everything after it.
-      file.clean = false;
-      file.bytes_dropped = text.size() - pos;
-      for (size_t p = pos; p < text.size();) {
-        ++file.records_dropped;
-        const size_t nl = text.find('\n', p);
-        if (nl == std::string::npos) break;
-        p = nl + 1;
-      }
-      return file;
-    }
-    file.lines.push_back(std::move(line));
-    pos = newline + 1;
-  }
+  ScanRecordLines(text, header_end + 1, &file);
   // A checkpoint shorter than its declared count lost whole trailing lines
   // (truncation on a line boundary looks clean line-by-line).
-  if (checkpoint_header && file.lines.size() < file.declared_records) {
+  if (checkpoint_header && file.clean &&
+      file.lines.size() < file.declared_records) {
     file.clean = false;
     file.records_dropped += file.declared_records - file.lines.size();
   }
   return file;
+}
+
+/// Reads and validates one delta file. Damage never fails the call: a torn
+/// raw body keeps its valid line prefix, an undecodable compressed body
+/// keeps nothing — both are reported through the dropped counters so the
+/// chain replay can stop at the first unhealthy link.
+Result<RecordFile> ReadDeltaFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  RecordFile file;
+  const size_t header_end = text.find('\n');
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("missing header line: " + path);
+  }
+  char magic[32], version[16], encoding[16];
+  uint64_t chain_index = 0, base_seq = 0, last_segment = 0;
+  size_t declared = 0;
+  if (std::sscanf(text.substr(0, header_end).c_str(),
+                  "%31s %15s %" SCNu64 " %" SCNu64 " %" SCNu64 " %zu %15s",
+                  magic, version, &chain_index, &base_seq, &last_segment,
+                  &declared, encoding) != 7 ||
+      std::string(magic) != kDeltaMagic ||
+      std::string(version) != kDeltaVersion) {
+    return Status::InvalidArgument("not a rockhopper checkpoint delta: " +
+                                   path);
+  }
+  file.chain_index = chain_index;
+  file.base_seq = base_seq;
+  file.last_segment = last_segment;
+  file.declared_records = declared;
+
+  const std::string_view body(text.data() + header_end + 1,
+                              text.size() - header_end - 1);
+  std::string decoded;
+  if (std::string(encoding) == "lz") {
+    Result<std::string> raw = common::DecodeCompressed(body);
+    if (!raw.ok()) {
+      // The whole body is one envelope: damage loses every record in it.
+      file.clean = false;
+      file.records_dropped = declared;
+      file.bytes_dropped = body.size();
+      return file;
+    }
+    decoded = std::move(*raw);
+    ScanRecordLines(decoded, 0, &file);
+  } else {
+    ScanRecordLines(text, header_end + 1, &file);
+  }
+  if (file.clean && file.lines.size() < file.declared_records) {
+    file.clean = false;
+    file.records_dropped += file.declared_records - file.lines.size();
+  }
+  return file;
+}
+
+/// Header-only read of a delta's metadata; false when absent/unparseable.
+bool DeltaHeaderOrFalse(const std::string& path, uint64_t* chain_index,
+                        uint64_t* base_seq, uint64_t* last_segment) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  char magic[32], version[16], encoding[16];
+  size_t declared = 0;
+  if (std::sscanf(header.c_str(),
+                  "%31s %15s %" SCNu64 " %" SCNu64 " %" SCNu64 " %zu %15s",
+                  magic, version, chain_index, base_seq, last_segment,
+                  &declared, encoding) != 7 ||
+      std::string(magic) != kDeltaMagic ||
+      std::string(version) != kDeltaVersion) {
+    return false;
+  }
+  return true;
 }
 
 Status ReplayLines(const std::vector<std::string>& lines,
@@ -146,6 +239,141 @@ std::string CheckpointPath(const std::string& journal_path) {
   return journal_path + ".checkpoint";
 }
 
+std::string CheckpointDeltaPath(const std::string& journal_path, uint64_t k) {
+  return CheckpointPath(journal_path) + ".delta-" + std::to_string(k);
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ListCheckpointDeltas(
+    const std::string& journal_path) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<uint64_t, std::string>> deltas;
+  const fs::path checkpoint(CheckpointPath(journal_path));
+  const fs::path dir =
+      checkpoint.has_parent_path() ? checkpoint.parent_path() : fs::path(".");
+  const std::string prefix = checkpoint.filename().string() + ".delta-";
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list checkpoint deltas in " + dir.string() +
+                           ": " + ec.message());
+  }
+  for (const fs::directory_iterator end_it; it != end_it; it.increment(ec)) {
+    if (ec) {
+      return Status::IOError("error scanning checkpoint deltas in " +
+                             dir.string() + ": " + ec.message());
+    }
+    const std::string name = it->path().filename().string();
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string index_text = name.substr(prefix.size());
+    char* end = nullptr;
+    const unsigned long long index =
+        std::strtoull(index_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || index_text.empty()) continue;
+    deltas.emplace_back(static_cast<uint64_t>(index), it->path().string());
+  }
+  std::sort(deltas.begin(), deltas.end());
+  return deltas;
+}
+
+namespace {
+
+/// The on-disk chain as header-only metadata: the full image's sequence,
+/// the valid delta prefix (contiguous indexes from 1, matching base-seq,
+/// strictly increasing coverage), and everything else as stale files.
+struct ChainInfo {
+  bool have_base = false;
+  uint64_t base_seq = 0;
+  /// base_seq, or the last valid delta's last-segment.
+  uint64_t chain_seq = 0;
+  std::vector<std::pair<uint64_t, std::string>> valid;
+  std::vector<std::string> stale;
+  /// Cumulative file size of the valid deltas (the compaction trigger).
+  size_t valid_bytes = 0;
+};
+
+Result<ChainInfo> DiscoverChain(const std::string& journal_path) {
+  ChainInfo info;
+  const std::string checkpoint_path = CheckpointPath(journal_path);
+  std::error_code ec;
+  info.have_base = std::filesystem::exists(checkpoint_path, ec);
+  info.base_seq = CheckpointSeqOrZero(checkpoint_path);
+  ROCKHOPPER_ASSIGN_OR_RETURN(deltas, ListCheckpointDeltas(journal_path));
+  uint64_t prev_seq = info.base_seq;
+  uint64_t expect = 1;
+  bool chain_open = info.have_base;
+  for (const auto& [index, path] : deltas) {
+    uint64_t chain_index = 0, base_seq = 0, last_segment = 0;
+    const bool parsed =
+        DeltaHeaderOrFalse(path, &chain_index, &base_seq, &last_segment);
+    if (chain_open && parsed && index == expect && chain_index == index &&
+        base_seq == info.base_seq && last_segment > prev_seq) {
+      info.valid.emplace_back(index, path);
+      const auto size = std::filesystem::file_size(path, ec);
+      if (!ec) info.valid_bytes += static_cast<size_t>(size);
+      prev_seq = last_segment;
+      ++expect;
+    } else {
+      // Left over from an older chain generation, or past a break in this
+      // one — never replayed, deleted by the next writer.
+      chain_open = false;
+      info.stale.push_back(path);
+    }
+  }
+  info.chain_seq = prev_seq;
+  return info;
+}
+
+/// Full-read absorption of the valid delta chain, applying the shared
+/// damage rules: the healthy prefix is absorbed whole; the first unhealthy
+/// delta contributes its valid line prefix (advancing coverage only when it
+/// contributed lines, so surviving segments are never double-absorbed);
+/// everything after the break is dropped.
+struct ChainAbsorption {
+  std::vector<std::string> lines;
+  uint64_t chain_seq = 0;
+  size_t deltas_used = 0;
+  size_t records_dropped = 0;
+  size_t bytes_dropped = 0;
+  bool clean = true;
+  std::string first_damage;
+};
+
+Result<ChainAbsorption> AbsorbDeltaChain(const ChainInfo& chain) {
+  ChainAbsorption out;
+  out.chain_seq = chain.base_seq;
+  bool broken = false;
+  for (const auto& [index, path] : chain.valid) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(delta, ReadDeltaFile(path));
+    if (broken) {
+      out.records_dropped += delta.declared_records;
+      continue;
+    }
+    if (!delta.lines.empty() || delta.clean) {
+      out.lines.insert(out.lines.end(),
+                       std::make_move_iterator(delta.lines.begin()),
+                       std::make_move_iterator(delta.lines.end()));
+      out.chain_seq = delta.last_segment;
+      ++out.deltas_used;
+    }
+    if (!delta.clean) {
+      broken = true;
+      out.clean = false;
+      out.records_dropped += delta.records_dropped;
+      out.bytes_dropped += delta.bytes_dropped;
+      if (out.first_damage.empty()) out.first_damage = path;
+    }
+  }
+  if (!out.clean && out.first_damage.empty() && !chain.valid.empty()) {
+    out.first_damage = chain.valid.front().second;
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path) {
   ScopedSpan span(ServiceMetrics::Get().checkpoint_seconds);
   const std::string checkpoint_path = CheckpointPath(journal_path);
@@ -168,27 +396,38 @@ Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path) {
   report.last_segment = base.last_segment;
   report.records_dropped += base.records_dropped;
 
+  // Collapse the delta chain: its records are part of the image being
+  // rewritten, and its coverage decides which segments are fresh.
+  ROCKHOPPER_ASSIGN_OR_RETURN(chain, DiscoverChain(journal_path));
+  ROCKHOPPER_ASSIGN_OR_RETURN(chained, AbsorbDeltaChain(chain));
+  report.records_dropped += chained.records_dropped;
+  report.deltas_absorbed = chained.deltas_used;
+
   ROCKHOPPER_ASSIGN_OR_RETURN(segments,
                               ObservationJournal::ListSegments(journal_path));
-  // Segments at or below the checkpoint sequence were absorbed by an earlier
-  // compaction that crashed before removing them; their records are already
-  // in the checkpoint, so they are deleted without re-absorbing.
+  // Segments at or below the chain sequence were absorbed by an earlier
+  // compaction (full or delta) that crashed before removing them; their
+  // records are already in the chain, so they are deleted without
+  // re-absorbing.
   std::vector<std::pair<uint64_t, std::string>> fresh;
   std::vector<std::string> stale;
   for (const auto& [index, path] : segments) {
-    if (index > base.last_segment) {
+    if (index > chained.chain_seq) {
       fresh.emplace_back(index, path);
     } else {
       stale.push_back(path);
     }
   }
 
-  if (fresh.empty() && have_checkpoint) {
+  if (fresh.empty() && have_checkpoint && chain.valid.empty()) {
     // Nothing new to absorb; just finish the interrupted truncation.
     report.records = base.lines.size();
     if (!ROCKHOPPER_BUGGIFY("checkpoint.truncate.crash")) {
+      std::error_code ec;
       for (const std::string& path : stale) {
-        std::error_code ec;
+        std::filesystem::remove(path, ec);
+      }
+      for (const std::string& path : chain.stale) {
         std::filesystem::remove(path, ec);
       }
     }
@@ -196,7 +435,10 @@ Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path) {
   }
 
   std::vector<std::string> absorbed = std::move(base.lines);
-  uint64_t last_segment = base.last_segment;
+  absorbed.insert(absorbed.end(),
+                  std::make_move_iterator(chained.lines.begin()),
+                  std::make_move_iterator(chained.lines.end()));
+  uint64_t last_segment = chained.chain_seq;
   for (const auto& [index, path] : fresh) {
     ROCKHOPPER_ASSIGN_OR_RETURN(segment, ReadRecordFile(path, false));
     absorbed.insert(absorbed.end(),
@@ -229,11 +471,14 @@ Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path) {
     return Status::IOError("injected checkpoint crash mid-write: " +
                            tmp_path);
   }
+  size_t bytes_written = 0;
   for (const std::string& line : absorbed) {
-    if (std::fprintf(out, "%s\n", line.c_str()) < 0) {
+    const int wrote = std::fprintf(out, "%s\n", line.c_str());
+    if (wrote < 0) {
       std::fclose(out);
       return Status::IOError("checkpoint write failed: " + tmp_path);
     }
+    bytes_written += static_cast<size_t>(wrote);
   }
   if (std::fflush(out) != 0 || std::fclose(out) != 0) {
     return Status::IOError("checkpoint flush failed: " + tmp_path);
@@ -248,10 +493,12 @@ Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path) {
   report.last_segment = last_segment;
   report.records = absorbed.size();
   report.segments_absorbed = fresh.size();
+  report.bytes_written = bytes_written;
 
-  // Truncation: absorbed segments are now redundant (recovery skips indexes
-  // <= last_segment), so removing them is pure space reclamation — a crash
-  // anywhere in this loop is harmless.
+  // Truncation: absorbed segments and the collapsed delta chain are now
+  // redundant (recovery skips segment indexes <= last_segment, and the
+  // deltas' base-seq no longer matches the new image), so removing them is
+  // pure space reclamation — a crash anywhere in this loop is harmless.
   if (!ROCKHOPPER_BUGGIFY("checkpoint.truncate.crash")) {
     for (const auto& [index, path] : fresh) {
       std::filesystem::remove(path, ec);
@@ -259,8 +506,142 @@ Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path) {
     for (const std::string& path : stale) {
       std::filesystem::remove(path, ec);
     }
+    for (const auto& [index, path] : chain.valid) {
+      std::filesystem::remove(path, ec);
+    }
+    for (const std::string& path : chain.stale) {
+      std::filesystem::remove(path, ec);
+    }
   }
   ServiceMetrics::Get().checkpoints_total->Increment();
+  ServiceMetrics::Get().checkpoint_bytes->Observe(
+      static_cast<double>(bytes_written));
+  return report;
+}
+
+Result<CheckpointReport> WriteCheckpointDelta(const std::string& journal_path,
+                                              bool compress) {
+  const std::string checkpoint_path = CheckpointPath(journal_path);
+  std::error_code ec;
+  if (!std::filesystem::exists(checkpoint_path, ec)) {
+    // No full image yet: the first checkpoint is necessarily full.
+    return WriteCheckpoint(journal_path);
+  }
+  ScopedSpan span(ServiceMetrics::Get().checkpoint_seconds);
+  ROCKHOPPER_ASSIGN_OR_RETURN(chain, DiscoverChain(journal_path));
+
+  CheckpointReport report;
+  report.checkpoint_path = checkpoint_path;
+  report.last_segment = chain.chain_seq;
+
+  ROCKHOPPER_ASSIGN_OR_RETURN(segments,
+                              ObservationJournal::ListSegments(journal_path));
+  std::vector<std::pair<uint64_t, std::string>> fresh;
+  std::vector<std::string> stale;
+  for (const auto& [index, path] : segments) {
+    if (index > chain.chain_seq) {
+      fresh.emplace_back(index, path);
+    } else {
+      stale.push_back(path);
+    }
+  }
+
+  if (fresh.empty()) {
+    // Nothing new to absorb; just finish any interrupted truncation.
+    if (!ROCKHOPPER_BUGGIFY("checkpoint.truncate.crash")) {
+      for (const std::string& path : stale) {
+        std::filesystem::remove(path, ec);
+      }
+      for (const std::string& path : chain.stale) {
+        std::filesystem::remove(path, ec);
+      }
+    }
+    return report;
+  }
+
+  std::vector<std::string> lines;
+  uint64_t last_segment = chain.chain_seq;
+  for (const auto& [index, path] : fresh) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(segment, ReadRecordFile(path, false));
+    lines.insert(lines.end(), std::make_move_iterator(segment.lines.begin()),
+                 std::make_move_iterator(segment.lines.end()));
+    report.records_dropped += segment.records_dropped;
+    last_segment = index;
+  }
+
+  std::string body;
+  for (const std::string& line : lines) {
+    body += line;
+    body += '\n';
+  }
+  const char* encoding = "raw";
+  if (compress) {
+    ServiceMetrics& metrics = ServiceMetrics::Get();
+    ScopedSpan compress_span(metrics.compress_seconds);
+    std::string envelope = common::EncodeCompressed(body);
+    metrics.compress_encodes->Increment();
+    metrics.compress_ratio->Observe(
+        body.empty() ? 1.0
+                     : static_cast<double>(envelope.size()) /
+                           static_cast<double>(body.size()));
+    body = std::move(envelope);
+    encoding = "lz";
+  }
+
+  const uint64_t delta_index = chain.valid.size() + 1;
+  const std::string delta_path = CheckpointDeltaPath(journal_path, delta_index);
+  const std::string tmp_path = delta_path + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IOError("cannot open delta tmp: " + tmp_path);
+  }
+  const int header_bytes = std::fprintf(
+      out, "%s %s %" PRIu64 " %" PRIu64 " %" PRIu64 " %zu %s\n", kDeltaMagic,
+      kDeltaVersion, delta_index, chain.base_seq, last_segment, lines.size(),
+      encoding);
+  if (ROCKHOPPER_BUGGIFY("checkpoint.delta.crash")) {
+    // Crash mid-write: a prefix of the body reaches the tmp file, which is
+    // never renamed — the chain, segments and recovery are oblivious to it.
+    std::fwrite(body.data(), 1, body.size() / 2, out);
+    std::fflush(out);
+    std::fclose(out);
+    return Status::IOError("injected delta-checkpoint crash mid-write: " +
+                           tmp_path);
+  }
+  if (header_bytes < 0 ||
+      std::fwrite(body.data(), 1, body.size(), out) != body.size()) {
+    std::fclose(out);
+    return Status::IOError("delta write failed: " + tmp_path);
+  }
+  if (std::fflush(out) != 0 || std::fclose(out) != 0) {
+    return Status::IOError("delta flush failed: " + tmp_path);
+  }
+  std::filesystem::rename(tmp_path, delta_path, ec);
+  if (ec) {
+    return Status::IOError("delta publish failed: " + delta_path + ": " +
+                           ec.message());
+  }
+
+  report.delta_index = delta_index;
+  report.last_segment = last_segment;
+  report.records = lines.size();
+  report.segments_absorbed = fresh.size();
+  report.bytes_written = static_cast<size_t>(header_bytes) + body.size();
+
+  if (!ROCKHOPPER_BUGGIFY("checkpoint.truncate.crash")) {
+    for (const auto& [index, path] : fresh) {
+      std::filesystem::remove(path, ec);
+    }
+    for (const std::string& path : stale) {
+      std::filesystem::remove(path, ec);
+    }
+    for (const std::string& path : chain.stale) {
+      std::filesystem::remove(path, ec);
+    }
+  }
+  ServiceMetrics::Get().checkpoint_deltas_total->Increment();
+  ServiceMetrics::Get().checkpoint_bytes->Observe(
+      static_cast<double>(report.bytes_written));
   return report;
 }
 
@@ -271,12 +652,35 @@ Result<CheckpointReport> CheckpointLive(ObservationJournal* journal) {
   // The sequence barrier: drain group commit and seal the live file, so the
   // compactor absorbs every record acked before this call without ever
   // touching the file writers are appending to. The rotation index floor
-  // keeps numbering monotonic past segments earlier compactions absorbed
-  // and deleted (see Rotate's doc).
-  const uint64_t floor =
-      CheckpointSeqOrZero(CheckpointPath(journal->path())) + 1;
-  ROCKHOPPER_RETURN_IF_ERROR(journal->Rotate(floor).status());
+  // keeps numbering monotonic past segments earlier compactions (full or
+  // delta) absorbed and deleted (see Rotate's doc).
+  ROCKHOPPER_ASSIGN_OR_RETURN(chain, DiscoverChain(journal->path()));
+  ROCKHOPPER_RETURN_IF_ERROR(journal->Rotate(chain.chain_seq + 1).status());
   return WriteCheckpoint(journal->path());
+}
+
+Result<CheckpointReport> CheckpointLive(ObservationJournal* journal,
+                                        const DeltaCheckpointPolicy& policy) {
+  if (journal == nullptr || !journal->is_open()) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  ROCKHOPPER_ASSIGN_OR_RETURN(chain, DiscoverChain(journal->path()));
+  ROCKHOPPER_RETURN_IF_ERROR(journal->Rotate(chain.chain_seq + 1).status());
+  bool full = !chain.have_base;
+  if (!full && policy.max_chain > 0 && chain.valid.size() >= policy.max_chain) {
+    full = true;
+  }
+  if (!full && policy.max_bytes_fraction > 0.0) {
+    std::error_code ec;
+    const auto base_bytes =
+        std::filesystem::file_size(CheckpointPath(journal->path()), ec);
+    if (!ec && static_cast<double>(chain.valid_bytes) >=
+                   policy.max_bytes_fraction * static_cast<double>(base_bytes)) {
+      full = true;
+    }
+  }
+  return full ? WriteCheckpoint(journal->path())
+              : WriteCheckpointDelta(journal->path(), policy.compress);
 }
 
 Result<JournalChain> RecoverJournalChain(const std::string& journal_path) {
@@ -308,6 +712,30 @@ Result<JournalChain> RecoverJournalChain(const std::string& journal_path) {
     } else if (read.status().code() != StatusCode::kNotFound) {
       return read.status();
     }
+  }
+
+  // The delta chain stacked on the full image: replay its valid prefix,
+  // applying the same damage rules the full compactor uses (so a compaction
+  // and a recovery over the same files agree byte-for-byte).
+  {
+    ROCKHOPPER_ASSIGN_OR_RETURN(disk_chain, DiscoverChain(journal_path));
+    ROCKHOPPER_ASSIGN_OR_RETURN(chained, AbsorbDeltaChain(disk_chain));
+    if (!disk_chain.valid.empty()) found_any = true;
+    chain.checkpoint_seq = chained.chain_seq;
+    chain.checkpoint_records += chained.lines.size();
+    chain.deltas_replayed = chained.deltas_used;
+    if (!chained.clean) {
+      chain.clean = false;
+      chain.records_dropped += chained.records_dropped;
+      chain.bytes_dropped += chained.bytes_dropped;
+      if (chain.tail_status.ok()) {
+        chain.tail_status = Status::DataLoss(
+            "dropped " + Describe(chained.records_dropped, "records") + " (" +
+            Describe(chained.bytes_dropped, "bytes") +
+            ") from delta chain at " + chained.first_damage);
+      }
+    }
+    ROCKHOPPER_RETURN_IF_ERROR(ReplayLines(chained.lines, &chain.store));
   }
 
   ROCKHOPPER_ASSIGN_OR_RETURN(segments,

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "core/journal.h"
@@ -31,9 +33,41 @@ namespace rockhopper::core {
 /// The compactor never touches the live file: the sequence barrier between
 /// group commit and checkpointing is ObservationJournal::Rotate(), which
 /// drains in-flight records and seals the live file as a new segment.
+///
+/// Incremental checkpoints stack *delta* files on the full image so
+/// steady-state checkpoint I/O is proportional to churn, not population:
+///
+///   <journal>.checkpoint.delta-<k>:
+///   rockhopper-ckpt-delta v1 <k> <base-seq> <last-segment> <records> <enc>
+///   <records, either journal lines (enc=raw) or one LZ envelope (enc=lz)>
+///
+/// A delta absorbs only segments above the chain's previous last-segment.
+/// The chain is valid when delta indexes run contiguously from 1, every
+/// delta's base-seq equals the full image's last-segment, and last-segments
+/// strictly increase; recovery replays the valid prefix and treats the
+/// remainder as damage. Deltas publish by the same tmp+rename protocol:
+///  - crash mid-delta-write leaves a .tmp; the chain and segments are
+///    intact;
+///  - crash between delta publish and segment removal leaves absorbed
+///    segments whose index is <= the chain seq — skipped, then deleted by
+///    the next writer;
+///  - crash between full-compaction publish and delta removal leaves
+///    deltas whose base-seq no longer matches the new image — stale,
+///    skipped, then deleted by the next writer.
+/// A full compaction (WriteCheckpoint) always absorbs image + chain +
+/// segments, collapsing the chain back to a lone full image.
 
 /// Checkpoint file location for a journal at `journal_path`.
 std::string CheckpointPath(const std::string& journal_path);
+
+/// Delta file location for chain index `k` (k >= 1).
+std::string CheckpointDeltaPath(const std::string& journal_path, uint64_t k);
+
+/// Every delta file of `journal_path` (any chain generation, stale
+/// included), ascending by chain index. Used by tooling that must copy or
+/// remove a journal family wholesale.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListCheckpointDeltas(
+    const std::string& journal_path);
 
 struct CheckpointReport {
   std::string checkpoint_path;
@@ -46,6 +80,26 @@ struct CheckpointReport {
   /// Torn/corrupt records dropped from absorbed segment tails (never-acked
   /// suffixes of crashed segments).
   size_t records_dropped = 0;
+  /// Chain index of the delta this compaction published; 0 for a full
+  /// image.
+  uint64_t delta_index = 0;
+  /// Deltas collapsed into the full image (full compactions only).
+  size_t deltas_absorbed = 0;
+  /// Bytes this compaction wrote (the steady-state I/O the incremental
+  /// path keeps proportional to churn).
+  size_t bytes_written = 0;
+};
+
+/// When to collapse the delta chain back into one full image, and how
+/// delta bodies are encoded.
+struct DeltaCheckpointPolicy {
+  /// Full compaction once the chain would exceed this many deltas.
+  size_t max_chain = 8;
+  /// Full compaction once cumulative delta bytes exceed this fraction of
+  /// the full image's size.
+  double max_bytes_fraction = 0.5;
+  /// LZ-envelope the delta record body (common/compress).
+  bool compress = true;
 };
 
 /// Offline compaction: absorbs the existing checkpoint (if any) plus every
@@ -56,18 +110,34 @@ struct CheckpointReport {
 /// nothing new to absorb and a checkpoint already exists.
 Result<CheckpointReport> WriteCheckpoint(const std::string& journal_path);
 
+/// Incremental compaction: absorbs segments above the current chain seq
+/// into a new delta stacked on the existing full image. Falls back to
+/// WriteCheckpoint when no full image exists yet. A no-op report
+/// (segments_absorbed == 0) is returned when there is nothing to absorb.
+Result<CheckpointReport> WriteCheckpointDelta(const std::string& journal_path,
+                                              bool compress);
+
 /// Live checkpoint: rotates `journal` (the group-commit sequence barrier —
 /// every acked record lands in a sealed segment) and then compacts. The
 /// service keeps appending throughout; only the rotation itself briefly
-/// blocks writers.
+/// blocks writers. This overload always produces a full image.
 Result<CheckpointReport> CheckpointLive(ObservationJournal* journal);
 
-/// The result of replaying checkpoint + segments + live tail.
+/// Incremental live checkpoint: rotates, then publishes a delta — or a
+/// full compaction when `policy` says the chain is due for collapse.
+Result<CheckpointReport> CheckpointLive(ObservationJournal* journal,
+                                        const DeltaCheckpointPolicy& policy);
+
+/// The result of replaying checkpoint + delta chain + segments + live tail.
 struct JournalChain {
   ObservationStore store;
-  /// Checkpoint sequence number (0 = no checkpoint found).
+  /// Chain sequence number — the highest segment index absorbed by the
+  /// full image plus its valid delta chain (0 = no checkpoint found).
   uint64_t checkpoint_seq = 0;
+  /// Records replayed from the full image and its valid delta chain.
   size_t checkpoint_records = 0;
+  /// Valid deltas replayed on top of the full image.
+  size_t deltas_replayed = 0;
   /// Segments with index > checkpoint_seq that were replayed.
   size_t segments_replayed = 0;
   /// Records replayed from segments and the live file (the "tail" beyond

@@ -2,6 +2,7 @@
 #define ROCKHOPPER_CORE_OBSERVATION_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -29,6 +30,13 @@ struct Observation {
 /// The latest-N window Omega(t, N) of Algorithm 1.
 using ObservationWindow = std::vector<Observation>;
 
+/// Approximate resident bytes of one observation (struct + config payload).
+/// Used by the shared-process budget accounting; intentionally ignores
+/// vector slack so the figure is deterministic across allocators.
+inline size_t ApproxObservationBytes(const Observation& obs) {
+  return sizeof(Observation) + obs.config.size() * sizeof(double);
+}
+
 /// Append-only per-query-signature observation log, the in-process stand-in
 /// for the paper's event-file storage (§5). Each query signature gets an
 /// isolated history; the store never mixes signatures (the paper's privacy
@@ -55,27 +63,65 @@ class ObservationStore {
   ObservationStore& operator=(const ObservationStore&) = delete;
 
   /// Appends an observation for `signature`; the iteration field is
-  /// auto-assigned sequentially when negative.
+  /// auto-assigned sequentially when negative. Iteration numbering counts
+  /// every observation ever appended, so it stays monotonic even after
+  /// retention truncation drops old rows.
   void Append(uint64_t signature, Observation obs);
 
-  /// Full history for `signature` (empty when unseen). See the class comment
-  /// for the reference-stability caveat under concurrency.
+  /// Full (retained) history for `signature` (empty when unseen). See the
+  /// class comment for the reference-stability caveat under concurrency.
   const std::vector<Observation>& History(uint64_t signature) const;
 
   /// The most recent `n` observations for `signature` (copied under lock).
   ObservationWindow LastN(uint64_t signature, size_t n) const;
 
-  /// Number of observations recorded for `signature`.
+  /// Number of observations currently retained for `signature`.
   size_t Count(uint64_t signature) const;
+
+  /// Number of observations ever appended for `signature`, including rows
+  /// since dropped by retention.
+  size_t TotalAppended(uint64_t signature) const;
 
   /// All signatures with at least one observation, in ascending order.
   std::vector<uint64_t> Signatures() const;
 
+  /// Bounds every per-signature history to its most recent `window` rows
+  /// (0 restores the unbounded default). Applies retroactively to existing
+  /// histories and to every subsequent Append. The window must cover what
+  /// the tuner / guardrail actually consult; older rows are dropped, not
+  /// spilled — they are already durable in the journal.
+  void SetRetention(size_t window);
+
+  /// Current retention window (0 = unbounded).
+  size_t retention() const {
+    return retention_window_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate resident bytes across all retained observations.
+  size_t ApproxBytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Total observations dropped by retention truncation since construction.
+  size_t TruncatedTotal() const {
+    return truncated_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct Log {
+    std::vector<Observation> history;
+    /// Appended-ever count; preserved across truncation so auto-assigned
+    /// iteration numbers never repeat.
+    size_t total = 0;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::map<uint64_t, std::vector<Observation>> log;
+    std::map<uint64_t, Log> log;
   };
+
+  /// Drops rows beyond `window` from the front of `entry` under the shard
+  /// lock, maintaining the byte / truncation counters.
+  void TruncateLocked(Log& entry, size_t window);
 
   Shard& ShardFor(uint64_t signature) {
     return shards_[signature % kNumShards];
@@ -85,6 +131,9 @@ class ObservationStore {
   }
 
   std::array<Shard, kNumShards> shards_;
+  std::atomic<size_t> retention_window_{0};
+  std::atomic<size_t> approx_bytes_{0};
+  std::atomic<size_t> truncated_{0};
 };
 
 /// The lowest runtime in `window`; error when empty.

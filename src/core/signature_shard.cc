@@ -37,6 +37,12 @@ void SignatureShardMap::EnableTiering(TieringConfig config) {
   if (tiering_->low_watermark <= 0.0 || tiering_->low_watermark > 1.0) {
     tiering_->low_watermark = 0.9;
   }
+  budget_bytes_.store(tiering_->budget_bytes, std::memory_order_relaxed);
+}
+
+void SignatureShardMap::SetBudgetBytes(size_t budget_bytes) {
+  budget_bytes_.store(budget_bytes, std::memory_order_relaxed);
+  MaybeEvict();
 }
 
 void SignatureShardMap::InsertCold(uint64_t signature, ColdEntry entry) {
@@ -66,6 +72,11 @@ SignatureShardMap::Entry* SignatureShardMap::FaultIn(Shard& shard,
   entry.state = std::move(*loaded);
   entry.bytes = tiering_->sizer ? tiering_->sizer(entry.state) : 0;
   entry.ref = true;
+  // An evicted signature was materialized from its persisted artifact, so
+  // the artifact is current until the next mutable-guard release; a replay
+  // tombstone has no artifact yet.
+  entry.dirty = cold_it->second.source != ColdSource::kEvicted;
+  entry.last_touch = tick_.load(std::memory_order_relaxed);
   auto [it, inserted] = shard.states.emplace(signature, std::move(entry));
   shard.cold.erase(cold_it);
   resident_bytes_.fetch_add(it->second.bytes, std::memory_order_relaxed);
@@ -84,6 +95,7 @@ SignatureShardMap::LockedState SignatureShardMap::Find(uint64_t signature) {
   if (entry == nullptr) entry = FaultIn(shard, signature);
   if (entry != nullptr) {
     entry->ref = true;
+    entry->last_touch = tick_.load(std::memory_order_relaxed);
     locked.state = &entry->state;
     if (tiering_ != nullptr) {
       locked.owner_ = this;
@@ -138,6 +150,7 @@ SignatureShardMap::LockedState SignatureShardMap::Emplace(uint64_t signature,
     }
   }
   entry->ref = true;
+  entry->last_touch = tick_.load(std::memory_order_relaxed);
   locked.state = &entry->state;
   if (tiering_ != nullptr) {
     locked.owner_ = this;
@@ -214,6 +227,8 @@ TierStats SignatureShardMap::Stats() const {
   stats.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.faultins = faultins_.load(std::memory_order_relaxed);
+  stats.sweep_evictions = sweep_evictions_.load(std::memory_order_relaxed);
+  stats.clean_evictions = clean_evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.cold_signatures += shard.cold.size();
@@ -230,6 +245,9 @@ void SignatureShardMap::Reaccount(uint64_t signature) {
   const size_t now = tiering_->sizer(it->second.state);
   const size_t before = it->second.bytes;
   it->second.bytes = now;
+  // A mutable guard is the only mutation path, so its release marks the
+  // state as diverged from the persisted artifact.
+  it->second.dirty = true;
   if (now >= before) {
     resident_bytes_.fetch_add(now - before, std::memory_order_relaxed);
   } else {
@@ -246,21 +264,54 @@ void SignatureShardMap::SetGauges() const {
       static_cast<double>(resident_bytes_.load(std::memory_order_relaxed)));
 }
 
+bool SignatureShardMap::EvictEntryLocked(
+    Shard& shard, std::map<uint64_t, Entry>::iterator& it, bool via_sweep) {
+  const uint64_t signature = it->first;
+  if (it->second.dirty) {
+    if (!tiering_->saver) {
+      ++it;
+      return false;
+    }
+    const Status saved = tiering_->saver(signature, it->second.state);
+    if (!saved.ok()) {
+      ROCKHOPPER_LOG(kWarning)
+          << "eviction save failed for signature " << signature
+          << " (state stays resident): " << saved.ToString();
+      ++it;
+      return false;
+    }
+  } else {
+    // Clean: the persisted artifact is already current, skip the write.
+    clean_evictions_.fetch_add(1, std::memory_order_relaxed);
+    ServiceMetrics::Get().state_clean_evictions->Increment();
+  }
+  ColdEntry cold;
+  cold.source = ColdSource::kEvicted;
+  cold.disabled = it->second.state.disabled;
+  shard.cold.emplace(signature, cold);
+  resident_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+  resident_count_.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::Get().state_evictions->Increment();
+  if (via_sweep) {
+    sweep_evictions_.fetch_add(1, std::memory_order_relaxed);
+    ServiceMetrics::Get().state_sweep_evictions->Increment();
+  }
+  it = shard.states.erase(it);
+  return true;
+}
+
 void SignatureShardMap::MaybeEvict() {
-  if (tiering_ == nullptr || tiering_->budget_bytes == 0 ||
-      !tiering_->saver) {
-    return;
-  }
-  if (resident_bytes_.load(std::memory_order_relaxed) <=
-      tiering_->budget_bytes) {
-    return;
-  }
+  if (tiering_ == nullptr || !tiering_->saver) return;
+  const size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  if (budget == 0) return;
+  if (resident_bytes_.load(std::memory_order_relaxed) <= budget) return;
   // Single-flight: one releasing thread drains to the watermark, racers
   // skip — they would only contend on the same shard locks.
   std::unique_lock<std::mutex> evict_lock(evict_mu_, std::try_to_lock);
   if (!evict_lock.owns_lock()) return;
-  const size_t target = static_cast<size_t>(
-      static_cast<double>(tiering_->budget_bytes) * tiering_->low_watermark);
+  const size_t target = static_cast<size_t>(static_cast<double>(budget) *
+                                            tiering_->low_watermark);
   // The adversarial clock: ignore second-chance bits, so hot states evict
   // mid-conversation and the transparent fault-in path is exercised under
   // load instead of only on genuinely cold signatures.
@@ -282,29 +333,40 @@ void SignatureShardMap::MaybeEvict() {
         ++it;
         continue;
       }
-      const uint64_t signature = it->first;
-      const Status saved = tiering_->saver(signature, it->second.state);
-      if (!saved.ok()) {
-        ROCKHOPPER_LOG(kWarning)
-            << "eviction save failed for signature " << signature
-            << " (state stays resident): " << saved.ToString();
-        ++it;
-        continue;
-      }
-      ColdEntry cold;
-      cold.source = ColdSource::kEvicted;
-      cold.disabled = it->second.state.disabled;
-      shard.cold.emplace(signature, cold);
-      resident_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
-      resident_count_.fetch_sub(1, std::memory_order_relaxed);
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-      ServiceMetrics::Get().state_evictions->Increment();
-      it = shard.states.erase(it);
+      EvictEntryLocked(shard, it, /*via_sweep=*/false);
     }
     shard.clock_next =
         it != shard.states.end() ? it->first : 0;  // wrap within the shard
     SetGauges();
   }
+}
+
+size_t SignatureShardMap::SweepIdle() {
+  if (tiering_ == nullptr) return 0;
+  const uint64_t ttl = tiering_->idle_ttl_ticks;
+  // The adversarial sweeper: ignore the TTL entirely and treat every
+  // resident state as idle, so the save/fault-in cycle is exercised on hot
+  // signatures mid-conversation (mirrors state.evict.aggressive).
+  const bool aggressive = ROCKHOPPER_BUGGIFY("state.sweep.aggressive");
+  if (ttl == 0 && !aggressive) return 0;
+  const uint64_t now = tick_.load(std::memory_order_relaxed);
+  // Blocking (not try_lock): the sweeper is a scheduled background pass, so
+  // it queues behind a concurrent clock drain instead of silently skipping.
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.states.begin(); it != shard.states.end();) {
+      const uint64_t idle = now - it->second.last_touch;
+      if (!aggressive && (ttl == 0 || idle < ttl)) {
+        ++it;
+        continue;
+      }
+      if (EvictEntryLocked(shard, it, /*via_sweep=*/true)) ++evicted;
+    }
+    SetGauges();
+  }
+  return evicted;
 }
 
 }  // namespace rockhopper::core

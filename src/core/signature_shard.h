@@ -65,11 +65,15 @@ struct TieringConfig {
   /// `budget_bytes`.
   std::function<size_t(const QueryState&)> sizer;
   /// Resident-bytes budget; 0 disables eviction (directory-only tiering,
-  /// used by lazy recovery without a memory cap).
+  /// used by lazy recovery without a memory cap). Adjustable at runtime via
+  /// SetBudgetBytes (the admin verb).
   size_t budget_bytes = 0;
   /// Eviction drains to this fraction of the budget (hysteresis, so one
   /// fault-in does not immediately re-trigger the clock hand).
   double low_watermark = 0.9;
+  /// SweepIdle evicts entries untouched for at least this many idle ticks
+  /// (AdvanceIdleTick); 0 disables time-based eviction.
+  uint64_t idle_ttl_ticks = 0;
 };
 
 /// Resident/cold population counters (stats endpoints, benchmark gates).
@@ -79,6 +83,11 @@ struct TierStats {
   size_t cold_signatures = 0;
   uint64_t evictions = 0;
   uint64_t faultins = 0;
+  /// Evictions performed by the idle sweeper (subset of `evictions`).
+  uint64_t sweep_evictions = 0;
+  /// Evictions that skipped the save because the state was clean — its
+  /// persisted artifact was already current (subset of `evictions`).
+  uint64_t clean_evictions = 0;
 };
 
 /// Lock-striped map of per-signature QueryState — the RocksDB sharded-cache
@@ -233,6 +242,28 @@ class SignatureShardMap {
   /// guard release; exposed for deterministic tests.
   void MaybeEvict();
 
+  /// Replaces the resident-bytes budget at runtime (the admin verb) and
+  /// immediately drains if the new budget is exceeded. Requires tiering.
+  void SetBudgetBytes(size_t budget_bytes);
+  /// Current resident-bytes budget (0 when unlimited or tiering is off).
+  size_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances the logical idle clock by one tick and returns the new value.
+  /// The caller (the service's background sweeper, or a test) defines the
+  /// tick cadence; the map only compares tick distances, which keeps idle
+  /// eviction deterministic under simulation.
+  uint64_t AdvanceIdleTick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// One low-priority sweep pass: evicts every resident state idle for at
+  /// least `idle_ttl_ticks` ticks, even when the budget has headroom. Clean
+  /// states skip the save (their artifact is current); dirty states go
+  /// through the saver. Returns the number of states evicted.
+  size_t SweepIdle();
+
  private:
   struct Entry {
     QueryState state;
@@ -240,6 +271,13 @@ class SignatureShardMap {
     /// Second-chance bit: set on every touch, cleared by a clock pass;
     /// only clear entries are evicted.
     bool ref = true;
+    /// Set when the resident state may have diverged from its persisted
+    /// artifact (fresh inserts, replay fault-ins, any mutable-guard
+    /// release). Clean states evict without re-saving, so steady-state
+    /// eviction I/O tracks churn rather than population.
+    bool dirty = true;
+    /// Idle-clock reading at the last touch (Find/Emplace/fault-in).
+    uint64_t last_touch = 0;
   };
 
   struct Shard {
@@ -253,16 +291,26 @@ class SignatureShardMap {
   /// Materializes a cold signature into `shard` (whose lock is held).
   /// Returns the resident entry or nullptr when the loader failed.
   Entry* FaultIn(Shard& shard, uint64_t signature);
-  /// Re-computes one resident state's footprint after a guard released it.
+  /// Re-computes one resident state's footprint after a guard released it
+  /// and marks it dirty (a mutable guard is the only mutation path).
   void Reaccount(uint64_t signature);
+  /// Moves `it`'s entry to the cold tier (shard lock held). Returns true
+  /// and advances `it` on success; returns false with `it` advanced past
+  /// the survivor when a dirty state's save failed.
+  bool EvictEntryLocked(Shard& shard, std::map<uint64_t, Entry>::iterator& it,
+                        bool via_sweep);
   void SetGauges() const;
 
   std::array<Shard, kNumShards> shards_;
   std::unique_ptr<TieringConfig> tiering_;
+  std::atomic<size_t> budget_bytes_{0};
+  std::atomic<uint64_t> tick_{0};
   std::atomic<size_t> resident_bytes_{0};
   std::atomic<size_t> resident_count_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> faultins_{0};
+  std::atomic<uint64_t> sweep_evictions_{0};
+  std::atomic<uint64_t> clean_evictions_{0};
   /// Single-flight eviction: concurrent releases over budget elect one
   /// evictor, the rest skip (the winner drains to the watermark).
   std::mutex evict_mu_;

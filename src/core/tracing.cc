@@ -98,6 +98,37 @@ ServiceMetrics::ServiceMetrics() {
   state_faultin_seconds = reg.GetHistogram(
       "rockhopper_state_faultin_seconds",
       "Latency of restoring one cold QueryState (fetch + decode)", latency);
+  state_sweep_evictions = reg.GetCounter(
+      "rockhopper_state_sweep_evictions_total",
+      "QueryStates evicted by the idle-TTL background sweeper");
+  state_clean_evictions = reg.GetCounter(
+      "rockhopper_state_clean_evictions_total",
+      "Evictions that skipped the save because the persisted artifact was "
+      "already current");
+  obs_resident_bytes = reg.GetGauge(
+      "rockhopper_obs_resident_bytes",
+      "Approximate bytes of retained observation history (the observation "
+      "half of the shared process budget)");
+  obs_truncated = reg.GetCounter(
+      "rockhopper_obs_truncated_total",
+      "Observations dropped by per-signature retention truncation");
+  compress_encodes =
+      reg.GetCounter("rockhopper_compress_encodes_total",
+                     "Cold artifacts / checkpoint segments compressed");
+  compress_ratio = reg.GetHistogram(
+      "rockhopper_compress_ratio",
+      "Compressed-to-raw size ratio per encoded artifact",
+      common::LinearBuckets(0.1, 0.1, 12));
+  compress_seconds = reg.GetHistogram(
+      "rockhopper_compress_seconds",
+      "Latency of one compression-envelope encode", latency);
+  checkpoint_deltas_total = reg.GetCounter(
+      "rockhopper_checkpoint_deltas_total",
+      "Incremental (delta) checkpoint segments published");
+  checkpoint_bytes = reg.GetHistogram(
+      "rockhopper_checkpoint_bytes",
+      "Bytes written per checkpoint publication (delta or full compaction)",
+      common::ExponentialBuckets(1024.0, 4.0, 10));
   checkpoints_total =
       reg.GetCounter("rockhopper_checkpoints_total",
                      "Journal checkpoint compactions completed");
@@ -153,6 +184,10 @@ ServiceMetrics::ServiceMetrics() {
   net_requests_propose = request_verb("propose");
   net_requests_metrics = request_verb("metrics");
   net_requests_health = request_verb("health");
+  net_requests_admin = request_verb("admin");
+  net_admin_unauthorized =
+      reg.GetCounter("rockhopper_net_admin_unauthorized_total",
+                     "Admin frames rejected by the token handshake");
   auto frame_error = [&](const char* kind) {
     return reg.GetCounter("rockhopper_net_frame_errors_total",
                           "Framing failures by kind (crc is recoverable; "

@@ -80,6 +80,15 @@ struct ServiceMetrics {
   common::Counter* state_evictions;          ///< states spilled to cold tier
   common::Counter* state_faultins;           ///< cold states restored
   common::Histogram* state_faultin_seconds;  ///< fault-in (decode) latency
+  common::Counter* state_sweep_evictions;    ///< idle-TTL sweeper evictions
+  common::Counter* state_clean_evictions;    ///< evictions that skipped save
+  common::Gauge* obs_resident_bytes;         ///< observation-store footprint
+  common::Counter* obs_truncated;            ///< rows dropped by retention
+  common::Counter* compress_encodes;         ///< cold artifacts compressed
+  common::Histogram* compress_ratio;         ///< compressed/raw size ratio
+  common::Histogram* compress_seconds;       ///< codec (encode) latency
+  common::Counter* checkpoint_deltas_total;  ///< incremental delta segments
+  common::Histogram* checkpoint_bytes;       ///< bytes written per checkpoint
   common::Counter* checkpoints_total;        ///< journal compactions finished
   common::Histogram* checkpoint_seconds;     ///< whole-compaction latency
 
@@ -105,6 +114,10 @@ struct ServiceMetrics {
   common::Counter* net_requests_propose;
   common::Counter* net_requests_metrics;
   common::Counter* net_requests_health;
+  common::Counter* net_requests_admin;
+  /// rockhopper_net_admin_unauthorized_total: Admin frames rejected by the
+  /// token handshake (missing server token or mismatched client token).
+  common::Counter* net_admin_unauthorized;
   /// rockhopper_net_frame_errors_total{kind=...}: typed framing failures.
   common::Counter* net_bad_crc;       ///< payload CRC mismatch (recoverable)
   common::Counter* net_bad_frame;     ///< magic/version/length (fatal)

@@ -1,10 +1,12 @@
 #include "core/tuning_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <utility>
 
+#include "common/compress.h"
 #include "common/logging.h"
 #include "common/matrix.h"
 #include "common/statistics.h"
@@ -28,18 +30,13 @@ TuningService::TuningService(const sparksim::ConfigSpace& space,
                     options_.enable_guardrail, options_.centroid.window_size}),
       metrics_(&ServiceMetrics::Get()),
       app_space_(sparksim::AppLevelSpace()) {
-  // Legacy shim: enable_signature_transfer used to toggle an O(N) scan over
-  // resident shards; it now maps onto the transfer tier's index, which
-  // serves the same warm starts sublinearly and eviction-proof.
-  if (options_.enable_signature_transfer && !options_.transfer.enabled) {
-    options_.transfer.enabled = true;
-    options_.transfer.max_distance = options_.transfer_max_distance;
-  }
   if (options_.transfer.enabled) {
     transfer_ = std::make_unique<TransferIndex>(
         EmbeddingLength(options_.embedding), options_.transfer);
   }
 }
+
+TuningService::~TuningService() { StopStateSweeper(); }
 
 QueryState TuningService::BuildState(const sparksim::QueryPlan& plan,
                                      uint64_t signature, bool allow_transfer) {
@@ -309,6 +306,7 @@ Result<TuningService::GuardrailCounts> TuningService::GuardrailState(
 }
 
 Status TuningService::Shutdown() {
+  StopStateSweeper();
   if (journal_ == nullptr) return Status::OK();
   ObservationJournal* journal = journal_;
   journal_ = nullptr;
@@ -317,19 +315,31 @@ Status TuningService::Shutdown() {
   return sync.ok() ? close : sync;
 }
 
-void TuningService::EnableStateTiering(ModelStore* store, size_t budget_bytes,
-                                       PlanResolver resolver) {
+void TuningService::AttachStateTier(ModelStore* store) {
+  AttachStateTier(store, options_.state_tier);
+}
+
+void TuningService::AttachStateTier(ModelStore* store, StateTierOptions tier) {
   model_store_ = store;
-  plan_resolver_ = std::move(resolver);
+  tier_options_ = std::move(tier);
+  options_.state_tier = tier_options_;
+  tier_attached_ = true;
+  plan_resolver_ = tier_options_.plan_resolver;
+  shared_budget_bytes_.store(tier_options_.shared_budget_bytes,
+                             std::memory_order_relaxed);
+  if (tier_options_.observation_window > 0) {
+    observations_.SetRetention(tier_options_.observation_window);
+  }
   TieringConfig config;
-  config.budget_bytes = budget_bytes;
+  config.budget_bytes = tier_options_.StateBudgetBytes();
+  config.idle_ttl_ticks = tier_options_.idle_ttl_ticks;
   config.sizer = [](const QueryState& state) {
     return ApproxQueryStateBytes(state);
   };
   if (store != nullptr) {
     config.saver = [this](uint64_t signature,
                           const QueryState& state) -> Status {
-      ROCKHOPPER_ASSIGN_OR_RETURN(artifact, EncodeQueryState(state));
+      ROCKHOPPER_ASSIGN_OR_RETURN(artifact, EncodeColdArtifact(state));
       ROCKHOPPER_ASSIGN_OR_RETURN(generation,
                                   model_store_->Put(signature, artifact));
       (void)generation;
@@ -342,6 +352,116 @@ void TuningService::EnableStateTiering(ModelStore* store, size_t budget_bytes,
     return LoadColdState(signature, entry);
   };
   shards_.EnableTiering(std::move(config));
+}
+
+Result<std::string> TuningService::EncodeColdArtifact(const QueryState& state) {
+  ROCKHOPPER_ASSIGN_OR_RETURN(artifact, EncodeQueryState(state));
+  if (!tier_options_.compress_artifacts) return artifact;
+  std::string packed;
+  {
+    ScopedSpan span(metrics_->compress_seconds);
+    packed = common::EncodeCompressed(artifact);
+  }
+  metrics_->compress_encodes->Increment();
+  metrics_->compress_ratio->Observe(
+      artifact.empty() ? 1.0
+                       : static_cast<double>(packed.size()) /
+                             static_cast<double>(artifact.size()));
+  return packed;
+}
+
+Status TuningService::DecodeColdArtifact(const std::string& artifact,
+                                         QueryState* state) {
+  if (common::LooksCompressed(artifact)) {
+    ROCKHOPPER_ASSIGN_OR_RETURN(raw, common::DecodeCompressed(artifact));
+    return DecodeQueryState(raw, state);
+  }
+  // Pre-v2 artifacts were written uncompressed; the state codec's own CRC
+  // still guards them.
+  return DecodeQueryState(artifact, state);
+}
+
+size_t TuningService::SweepStateTier() {
+  if (!tier_attached_) return 0;
+  shards_.AdvanceIdleTick();
+  const size_t evicted = shards_.SweepIdle();
+  EnforceObservationBudget();
+  return evicted;
+}
+
+void TuningService::EnforceObservationBudget() {
+  metrics_->obs_resident_bytes->Set(
+      static_cast<double>(observations_.ApproxBytes()));
+  const uint64_t truncated = observations_.TruncatedTotal();
+  const uint64_t published =
+      obs_truncated_published_.exchange(truncated, std::memory_order_relaxed);
+  if (truncated > published) {
+    metrics_->obs_truncated->Increment(truncated - published);
+  }
+  const size_t shared = shared_budget_bytes_.load(std::memory_order_relaxed);
+  if (shared == 0) return;
+  StateTierOptions split = tier_options_;
+  split.shared_budget_bytes = shared;
+  const size_t obs_budget = split.ObservationBudgetBytes();
+  if (obs_budget == 0 || observations_.ApproxBytes() <= obs_budget) return;
+  // Over budget: halve the retention window (floor 8) until the store's
+  // resident bytes fit its slice. One halving per sweep converges in a few
+  // passes without a stop-the-world retroactive scan storm.
+  constexpr size_t kMinWindow = 8;
+  size_t window = observations_.retention();
+  if (window == 0) {
+    window = tier_options_.observation_window > 0
+                 ? tier_options_.observation_window
+                 : 256;
+  } else if (window > kMinWindow) {
+    window = std::max(kMinWindow, window / 2);
+  } else {
+    return;  // already at the floor; bytes are bounded by population now
+  }
+  observations_.SetRetention(window);
+  metrics_->obs_resident_bytes->Set(
+      static_cast<double>(observations_.ApproxBytes()));
+}
+
+void TuningService::SetSharedBudgetBytes(size_t bytes) {
+  shared_budget_bytes_.store(bytes, std::memory_order_relaxed);
+  // Without a cold store attached there is nowhere to spill evicted state;
+  // the new figure takes effect when (if) a tier is attached.
+  if (!tier_attached_) return;
+  StateTierOptions split = tier_options_;
+  split.shared_budget_bytes = bytes;
+  shards_.SetBudgetBytes(split.StateBudgetBytes());
+  EnforceObservationBudget();
+}
+
+void TuningService::StartStateSweeper() {
+  if (!tier_attached_ || tier_options_.sweep_interval_ms == 0) return;
+  std::lock_guard<std::mutex> lock(sweeper_mu_);
+  if (sweeper_.joinable()) return;
+  sweeper_stop_ = false;
+  sweeper_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(sweeper_mu_);
+    while (!sweeper_stop_) {
+      sweeper_cv_.wait_for(
+          lock, std::chrono::milliseconds(tier_options_.sweep_interval_ms));
+      if (sweeper_stop_) break;
+      lock.unlock();
+      SweepStateTier();
+      lock.lock();
+    }
+  });
+}
+
+void TuningService::StopStateSweeper() {
+  std::thread sweeper;
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    if (!sweeper_.joinable()) return;
+    sweeper_stop_ = true;
+    sweeper = std::move(sweeper_);
+  }
+  sweeper_cv_.notify_all();
+  sweeper.join();
 }
 
 const sparksim::QueryPlan* TuningService::ResolvePlan(
@@ -399,15 +519,22 @@ Result<QueryState> TuningService::LoadColdState(uint64_t signature,
         // and the refetch/replay fallback must still converge.
         artifact->resize(artifact->size() / 2);
       }
+      if (!artifact->empty() && ROCKHOPPER_BUGGIFY("state.compress.torn")) {
+        // Bit rot inside the compressed envelope: the codec must answer
+        // kDataLoss (never hand the state codec garbage bytes), and the
+        // refetch/replay fallback must still converge.
+        (*artifact)[artifact->size() / 2] =
+            static_cast<char>((*artifact)[artifact->size() / 2] ^ 0x20);
+      }
       QueryState state = BuildState(*plan, signature, /*allow_transfer=*/false);
-      const Status decoded = DecodeQueryState(*artifact, &state);
+      const Status decoded = DecodeColdArtifact(*artifact, &state);
       if (decoded.ok()) return state;
       // One refetch: a torn read is transient, a torn file is not.
       Result<std::string> refetched = model_store_->GetLatest(signature);
       if (refetched.ok()) {
         QueryState retry =
             BuildState(*plan, signature, /*allow_transfer=*/false);
-        if (DecodeQueryState(*refetched, &retry).ok()) return retry;
+        if (DecodeColdArtifact(*refetched, &retry).ok()) return retry;
       }
       ROCKHOPPER_LOG(kWarning)
           << "cold artifact for signature " << signature
@@ -422,7 +549,15 @@ Result<CheckpointReport> TuningService::Checkpoint() {
   if (journal_ == nullptr) {
     return Status::FailedPrecondition("no journal attached");
   }
-  ROCKHOPPER_ASSIGN_OR_RETURN(report, CheckpointLive(journal_));
+  DeltaCheckpointPolicy policy;
+  policy.max_chain = tier_options_.max_delta_chain;
+  policy.max_bytes_fraction = tier_options_.max_delta_bytes_fraction;
+  policy.compress = tier_options_.compress_checkpoints;
+  Result<CheckpointReport> compacted = tier_attached_
+                                           ? CheckpointLive(journal_, policy)
+                                           : CheckpointLive(journal_);
+  ROCKHOPPER_RETURN_IF_ERROR(compacted.status());
+  CheckpointReport report = *std::move(compacted);
   // Piggyback the transfer-index artifact on the checkpoint: recovery can
   // then load the graph instead of re-registering every signature one by
   // one. Best-effort — a failed Put only costs the next recovery a rebuild
@@ -510,7 +645,7 @@ Result<TuningService::RecoveryReport> TuningService::RecoverFromCheckpoint(
     RecoveryOptions recovery) {
   if (recovery.lazy && !shards_.tiering_enabled()) {
     return Status::FailedPrecondition(
-        "lazy recovery requires EnableStateTiering first");
+        "lazy recovery requires AttachStateTier first");
   }
   ROCKHOPPER_ASSIGN_OR_RETURN(chain, RecoverJournalChain(path));
 

@@ -1,11 +1,14 @@
 #ifndef ROCKHOPPER_CORE_TUNING_SERVICE_H_
 #define ROCKHOPPER_CORE_TUNING_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
@@ -26,6 +29,69 @@
 
 namespace rockhopper::core {
 
+/// Resolves a signature to its query plan — the context the tiered state
+/// layer needs to rebuild an evicted or lazily-recovered signature's tuner
+/// (embedding, scorer features). The returned plan must stay valid for the
+/// service's lifetime; nullptr for unknown signatures.
+using PlanResolver =
+    std::function<const sparksim::QueryPlan*(uint64_t signature)>;
+
+/// Everything the bounded-memory state plane is configured by, in one
+/// place — consumed by TuningService::AttachStateTier. Replaces the old
+/// positional EnableStateTiering(store, budget_bytes, resolver) signature,
+/// which had no room for the v2 knobs (budget split, idle TTL, compression,
+/// checkpoint cadence) without an ever-growing parameter list.
+struct StateTierOptions {
+  /// One shared resident-bytes budget for the whole state plane — split
+  /// between the hot QueryState tier and the ObservationStore. 0 =
+  /// unbounded (no budget-pressure eviction; idle sweeping still runs).
+  /// Adjustable at runtime through SetSharedBudgetBytes (the Admin verb).
+  size_t shared_budget_bytes = 0;
+  /// Fraction of the shared budget given to resident QueryStates; the
+  /// remainder bounds the observation store via retention tightening.
+  double state_budget_fraction = 0.6;
+  /// Per-signature observation-history retention window applied at attach
+  /// (0 = unbounded until budget pressure tightens it). Truncated rows are
+  /// only dropped from memory — the journal/checkpoint chain keeps them.
+  size_t observation_window = 0;
+  /// Evict signatures idle for this many sweep ticks even when the budget
+  /// has headroom (0 disables time-based eviction). One tick = one
+  /// SweepStateTier call — the background sweeper's cadence, or the
+  /// harness's deterministic clock.
+  uint64_t idle_ttl_ticks = 0;
+  /// Background sweeper period (StartStateSweeper). Deterministic callers
+  /// skip the thread and drive SweepStateTier directly.
+  uint64_t sweep_interval_ms = 1000;
+  /// LZ-compress evicted QueryState artifacts (common/compress). Readers
+  /// accept both encodings, so flipping this never strands old artifacts.
+  bool compress_artifacts = true;
+  /// LZ-compress incremental checkpoint delta bodies.
+  bool compress_checkpoints = true;
+  /// Collapse the delta chain into a full image beyond this many deltas.
+  size_t max_delta_chain = 8;
+  /// ... or beyond this fraction of the full image's size in delta bytes.
+  double max_delta_bytes_fraction = 0.5;
+  /// Default recovery mode for call sites that honor it (CLI recover/serve):
+  /// lazy fills the store + cold directory only and materializes tuners on
+  /// first touch. See TuningService::RecoveryOptions.
+  bool lazy_recovery = false;
+  /// Plan lookup for cold rebuilds; may be null when every recovered
+  /// signature's plan is handed to RecoverFromCheckpoint.
+  PlanResolver plan_resolver;
+
+  /// The QueryState tier's slice of the shared budget (0 when unbounded).
+  size_t StateBudgetBytes() const {
+    if (shared_budget_bytes == 0) return 0;
+    return static_cast<size_t>(static_cast<double>(shared_budget_bytes) *
+                               state_budget_fraction);
+  }
+  /// The ObservationStore's slice (0 when unbounded).
+  size_t ObservationBudgetBytes() const {
+    if (shared_budget_bytes == 0) return 0;
+    return shared_budget_bytes - StateBudgetBytes();
+  }
+};
+
 struct TuningServiceOptions {
   CentroidLearningOptions centroid;
   Guardrail::Options guardrail;
@@ -43,15 +109,10 @@ struct TuningServiceOptions {
   /// centroids as the zero-execution first recommendation, plus
   /// safe-weighted neighbor observations seeding the fresh tuner.
   TransferOptions transfer;
-  /// Legacy switch, kept for older call sites: when set (and
-  /// `transfer.enabled` is not), the constructor enables the transfer tier
-  /// with `transfer_max_distance` as the acceptance radius. The old O(N)
-  /// resident-shard scan it used to toggle is gone; the tier's index serves
-  /// the same warm starts sublinearly, eviction-proof and at any population.
-  bool enable_signature_transfer = false;
-  /// Maximum normalized embedding distance for a transfer to apply
-  /// (legacy alias of `transfer.max_distance`).
-  double transfer_max_distance = 2.0;
+  /// Bounded-memory state plane (budget split, idle TTL, compression,
+  /// checkpoint cadence). Holds configuration only — nothing activates
+  /// until AttachStateTier is called.
+  StateTierOptions state_tier;
 };
 
 /// The online phase of Rockhopper (Figs. 5 and 7), structured as a
@@ -95,6 +156,10 @@ class TuningService {
   TuningService(const sparksim::ConfigSpace& space,
                 const BaselineModel* baseline, TuningServiceOptions options,
                 uint64_t seed);
+
+  /// Stops the background sweeper (Shutdown does too; the destructor is the
+  /// backstop for callers that never attach a journal).
+  ~TuningService();
 
   /// A pre-hashed reference to one plan's tuning state: the plan signature
   /// is computed once at Handle() and reused for the whole start/end pair,
@@ -203,36 +268,63 @@ class TuningService {
   /// letting the journal close silently in a destructor.
   Status Shutdown();
 
-  /// Resolves a signature to its query plan — the context the tiered state
-  /// layer needs to rebuild an evicted or lazily-recovered signature's
-  /// tuner (embedding, scorer features). The returned plan must stay valid
-  /// for the service's lifetime; nullptr for unknown signatures.
-  using PlanResolver =
-      std::function<const sparksim::QueryPlan*(uint64_t signature)>;
+  /// See the namespace-level alias; re-exported so call sites can keep
+  /// spelling it TuningService::PlanResolver.
+  using PlanResolver = ::rockhopper::core::PlanResolver;
 
   /// Switches the per-signature state into the two-tier resident/cold
-  /// layout. `store` (not owned; may be null when `budget_bytes` is 0)
-  /// receives serialized QueryState artifacts on eviction; fault-in decodes
-  /// the latest artifact, falling back to a deterministic replay of the
-  /// signature's journaled observations when the artifact is torn or
-  /// missing. `budget_bytes` caps the approximate resident footprint (0 =
-  /// no eviction; the cold directory still serves lazy recovery).
-  /// `resolver` may be null when every recovered signature's plan is handed
-  /// to RecoverFromCheckpoint; plans recovered there are resolved first.
-  /// Call once at startup, before traffic. Composes with the transfer tier:
-  /// fault-in paths only register embeddings (never consult neighbors), so
-  /// no shard lock is ever taken while another is held.
-  void EnableStateTiering(ModelStore* store, size_t budget_bytes,
-                          PlanResolver resolver = nullptr);
+  /// layout, configured by `tier` (the unified service-state API; see
+  /// StateTierOptions). `store` (not owned; may be null when the shared
+  /// budget is 0) receives serialized — optionally LZ-compressed —
+  /// QueryState artifacts on eviction; fault-in decodes the latest
+  /// artifact, falling back to a deterministic replay of the signature's
+  /// journaled observations when the artifact is torn or missing. The
+  /// shared budget is split between resident QueryStates and the
+  /// observation store (per-signature retention truncation), so total
+  /// resident bytes stay bounded at any population.
+  /// Call once at startup, before traffic. Composes with the transfer
+  /// tier: fault-in paths only register embeddings (never consult
+  /// neighbors), so no shard lock is ever taken while another is held.
+  void AttachStateTier(ModelStore* store, StateTierOptions tier);
+  /// Attaches with the options the service was constructed with
+  /// (options.state_tier).
+  void AttachStateTier(ModelStore* store);
+
+  /// The attached tier's configuration (options_.state_tier until
+  /// AttachStateTier overrides it).
+  const StateTierOptions& state_tier_options() const { return options_.state_tier; }
+
+  /// One maintenance pass of the state plane: advances the idle clock,
+  /// sweeps signatures idle longer than idle_ttl_ticks out to the cold
+  /// tier, and tightens observation retention when the store's slice of
+  /// the shared budget is exceeded. Returns the number of sweep evictions.
+  /// Deterministic harnesses call this directly; production uses
+  /// StartStateSweeper. Safe to call concurrently with traffic.
+  size_t SweepStateTier();
+
+  /// Starts the low-priority background sweeper thread: one SweepStateTier
+  /// every sweep_interval_ms. Idempotent; stopped by Shutdown (and the
+  /// destructor). No-op when no tier is attached.
+  void StartStateSweeper();
+
+  /// Runtime budget adjustment (the wire Admin verb): re-splits the new
+  /// shared budget across both tiers and drains any excess immediately.
+  void SetSharedBudgetBytes(size_t bytes);
+  size_t shared_budget_bytes() const {
+    return shared_budget_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Resident/cold population and eviction/fault-in traffic (stats
   /// endpoints, the state benchmark's budget gate).
   TierStats StateTierStats() const { return shards_.Stats(); }
 
-  /// Rotates the attached journal and compacts checkpoint + sealed segments
-  /// into a fresh checkpoint, truncating the absorbed prefix — the online
-  /// checkpoint path behind `rockhopper checkpoint` and serve's
-  /// --checkpoint-interval. FailedPrecondition without an attached journal.
+  /// Rotates the attached journal and compacts — the online checkpoint path
+  /// behind `rockhopper checkpoint` and serve's --checkpoint-interval. With
+  /// a state tier attached this is incremental: a delta proportional to the
+  /// churn since the last checkpoint, collapsed into a full image when the
+  /// chain exceeds the tier's policy (max_delta_chain /
+  /// max_delta_bytes_fraction). Without a tier it is always a full
+  /// compaction. FailedPrecondition without an attached journal.
   Result<CheckpointReport> Checkpoint();
 
   /// Warm-restarts the tuning state of `plan`'s signature by replaying the
@@ -280,7 +372,7 @@ class TuningService {
     /// recovery fills the observation store and the cold directory only;
     /// each signature's tuner materializes on first touch, so startup is
     /// bounded by journal size, not model count, and resident memory stays
-    /// under the tiering budget. Lazy requires EnableStateTiering first.
+    /// under the tiering budget. Lazy requires AttachStateTier first.
     bool lazy;
     // Explicit constructor (not a default member initializer): the default
     // argument of RecoverFromCheckpoint below needs this type complete.
@@ -291,7 +383,7 @@ class TuningService {
   /// (checkpoint records, then sealed segments past the checkpoint
   /// sequence, then the live journal) — the bounded-memory startup path.
   /// `plans` seeds the plan directory used to rebuild tuners; signatures
-  /// without a plan (and without a resolver from EnableStateTiering) are
+  /// without a plan (and without a resolver from AttachStateTier) are
   /// counted as unknown and skipped.
   Result<RecoveryReport> RecoverFromCheckpoint(
       const std::string& path, const std::vector<sparksim::QueryPlan>& plans,
@@ -369,6 +461,17 @@ class TuningService {
   /// The tiering loader: decode the stored artifact (kEvicted) or replay
   /// the journaled history (kReplay / decode fallback).
   Result<QueryState> LoadColdState(uint64_t signature, const ColdEntry& entry);
+  /// Unwraps an (optionally compressed) cold artifact into `state`.
+  /// kDataLoss for a torn envelope — never garbage.
+  Status DecodeColdArtifact(const std::string& artifact, QueryState* state);
+  /// Serializes (and optionally compresses) one QueryState for the cold
+  /// store, recording codec metrics.
+  Result<std::string> EncodeColdArtifact(const QueryState& state);
+  /// Publishes observation-store gauges and halves the retention window
+  /// while the store's resident bytes exceed its slice of the shared
+  /// budget.
+  void EnforceObservationBudget();
+  void StopStateSweeper();
   /// Replays `signature`'s observation history through a fresh state.
   /// Caller must hold the signature's shard lock or be single-threaded:
   /// per-signature history only mutates under that same shard lock.
@@ -398,13 +501,26 @@ class TuningService {
   sparksim::ConfigSpace app_space_;
   AppCache app_cache_;
   mutable std::mutex app_mu_;
-  /// Tiered-state wiring (EnableStateTiering). The plan directory keeps a
+  /// Tiered-state wiring (AttachStateTier). The plan directory keeps a
   /// copy of every plan handed to RecoverFromCheckpoint so cold signatures
   /// can rebuild their tuner long after the caller's plan vector is gone.
   ModelStore* model_store_ = nullptr;
   PlanResolver plan_resolver_;
   std::map<uint64_t, sparksim::QueryPlan> plan_directory_;
   mutable std::mutex plan_mu_;
+  /// Bounded-memory state plane (AttachStateTier). The shared budget lives
+  /// in an atomic (not in tier_options_) so the Admin verb can re-split it
+  /// at runtime while the sweeper reads it.
+  bool tier_attached_ = false;
+  StateTierOptions tier_options_;
+  std::atomic<size_t> shared_budget_bytes_{0};
+  /// Monotone publication cursor for the obs_truncated counter metric.
+  std::atomic<uint64_t> obs_truncated_published_{0};
+  /// Background sweeper (StartStateSweeper / StopStateSweeper).
+  std::thread sweeper_;
+  std::mutex sweeper_mu_;
+  std::condition_variable sweeper_cv_;
+  bool sweeper_stop_ = false;
   /// Transfer tier (null unless options.transfer.enabled).
   std::unique_ptr<TransferIndex> transfer_;
 };

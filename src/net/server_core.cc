@@ -21,8 +21,14 @@ ServerCore::ServerCore(core::TuningService* service, const PlanRegistry* plans,
       options_(options),
       metrics_(&core::ServiceMetrics::Get()),
       tenant_limiter_(options.tenant_limits),
-      admission_(options.admission) {
+      admission_(options.admission),
+      shared_budget_bytes_(options.tiering_budget_bytes) {
   metrics_->admission_rate->Set(1.0);
+}
+
+void ServerCore::SetSharedBudget(uint64_t bytes) {
+  shared_budget_bytes_.store(bytes, std::memory_order_relaxed);
+  service_->SetSharedBudgetBytes(static_cast<size_t>(bytes));
 }
 
 void ServerCore::MaybeUpdateAdmission(uint64_t now_ns, size_t queue_depth) {
@@ -35,10 +41,11 @@ void ServerCore::MaybeUpdateAdmission(uint64_t now_ns, size_t queue_depth) {
         WindowedP99(metrics_->journal_flush_seconds, &flush_baseline_);
   }
   signals.queue_depth = static_cast<double>(queue_depth);
-  if (options_.tiering_budget_bytes > 0) {
+  const uint64_t budget =
+      shared_budget_bytes_.load(std::memory_order_relaxed);
+  if (budget > 0) {
     signals.resident_fraction =
-        metrics_->state_resident_bytes->Value() /
-        static_cast<double>(options_.tiering_budget_bytes);
+        metrics_->state_resident_bytes->Value() / static_cast<double>(budget);
   }
   admission_.Update(signals);
   metrics_->admission_rate->Set(admission_.rate());
@@ -118,6 +125,9 @@ bool Session::HandleFrame(const Frame& frame, uint64_t now_ns,
                      frame.header.seq, EncodeHealthPayload(report));
       return true;
     }
+    case Verb::kAdmin:
+      HandleAdmin(frame, out);
+      return true;
   }
   Flush(out);
   AppendResponse(out, WireStatus::kUnknownVerb, frame.header.tenant,
@@ -215,6 +225,40 @@ void Session::HandlePropose(const Frame& frame, uint64_t now_ns,
   core_->metrics().net_request_seconds->Observe(NowSeconds() - start);
   AppendResponse(out, WireStatus::kOk, frame.header.tenant, frame.header.seq,
                  EncodeConfigPayload(config));
+}
+
+void Session::HandleAdmin(const Frame& frame, std::string* out) {
+  // Operator verb: staged observes flush first so responses stay in request
+  // order, and admission is bypassed — the control plane must keep working
+  // precisely when the data plane is shedding.
+  Flush(out);
+  core_->metrics().net_requests_admin->Increment();
+  AdminRequest request;
+  if (!DecodeAdminPayload(frame.payload, frame.payload_len, &request)) {
+    core_->metrics().net_bad_payload->Increment();
+    AppendResponse(out, WireStatus::kBadPayload, frame.header.tenant,
+                   frame.header.seq, "");
+    return;
+  }
+  // Token handshake: a server started without --admin-token refuses every
+  // Admin frame (no default credential), and a wrong token changes nothing.
+  const std::string& token = core_->options().admin_token;
+  if (token.empty() || request.token != token) {
+    core_->metrics().net_admin_unauthorized->Increment();
+    AppendResponse(out, WireStatus::kUnauthorized, frame.header.tenant,
+                   frame.header.seq, "");
+    return;
+  }
+  switch (request.op) {
+    case AdminOp::kSetTenantRate:
+      core_->tenant_limiter().SetTenantRate(request.tenant, request.value);
+      break;
+    case AdminOp::kSetSharedBudget:
+      core_->SetSharedBudget(static_cast<uint64_t>(request.value));
+      break;
+  }
+  AppendResponse(out, WireStatus::kOk, frame.header.tenant, frame.header.seq,
+                 "");
 }
 
 void Session::Flush(std::string* out) {

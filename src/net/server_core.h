@@ -38,8 +38,12 @@ struct ServerCoreOptions {
   TenantRateLimiter::Options tenant_limits;
   AdmissionController::Options admission;
   /// Tiering budget in bytes (0 = tiering off) — the denominator of the
-  /// admission controller's resident-bytes signal.
+  /// admission controller's resident-bytes signal. Adjustable at runtime
+  /// via the Admin verb (ServerCore::SetSharedBudget).
   uint64_t tiering_budget_bytes = 0;
+  /// Shared secret for Verb::kAdmin. Empty disables the verb entirely:
+  /// every Admin frame is answered kUnauthorized.
+  std::string admin_token;
   /// ObserveQueryEnd frames coalesced into one OnQueryEndBatch call. Matches
   /// the journal's default group-commit batch so one network batch fills one
   /// flush window.
@@ -68,6 +72,14 @@ class ServerCore {
   /// internally, call once per event-loop pass.
   void MaybeUpdateAdmission(uint64_t now_ns, size_t queue_depth);
 
+  /// Admin-verb runtime budget change: repoints the admission controller's
+  /// resident-bytes denominator and pushes the new shared budget into the
+  /// tuning service (state/observation resplit on its next sweep).
+  void SetSharedBudget(uint64_t bytes);
+  uint64_t shared_budget_bytes() const {
+    return shared_budget_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// After this, sessions answer kShuttingDown to new requests; already
   /// admitted work still completes (the drain the exit report relies on).
   void BeginShutdown() {
@@ -85,6 +97,8 @@ class ServerCore {
   TenantRateLimiter tenant_limiter_;
   AdmissionController admission_;
   std::atomic<bool> shutting_down_{false};
+  /// Live copy of options_.tiering_budget_bytes (Admin verb mutates it).
+  std::atomic<uint64_t> shared_budget_bytes_;
   /// Bucket-count baseline of journal_flush_seconds for the windowed p99;
   /// only touched under the controller's update cadence (single sampler).
   std::vector<uint64_t> flush_baseline_;
@@ -131,6 +145,7 @@ class Session {
   bool HandleFrame(const Frame& frame, uint64_t now_ns, std::string* out);
   void HandleObserve(const Frame& frame, uint64_t now_ns, std::string* out);
   void HandlePropose(const Frame& frame, uint64_t now_ns, std::string* out);
+  void HandleAdmin(const Frame& frame, std::string* out);
 
   ServerCore* core_;
   FrameDecoder decoder_;

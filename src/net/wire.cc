@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -71,6 +72,18 @@ class Reader {
     pos_ += 2;
     return true;
   }
+  bool U32(uint32_t* out) {
+    if (pos_ + 4 > size_) return false;
+    *out = GetU32(data_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool Bytes(size_t n, std::string* out) {
+    if (pos_ + n > size_) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
   bool U64(uint64_t* out) {
     if (pos_ + 8 > size_) return false;
     *out = GetU64(data_ + pos_);
@@ -117,6 +130,7 @@ const char* WireStatusName(WireStatus status) {
     case WireStatus::kUnknownVerb: return "unknown_verb";
     case WireStatus::kUnknownSignature: return "unknown_signature";
     case WireStatus::kShuttingDown: return "shutting_down";
+    case WireStatus::kUnauthorized: return "unauthorized";
   }
   return "invalid";
 }
@@ -293,6 +307,39 @@ bool DecodeHealthPayload(const uint8_t* data, size_t size,
   }
   out->serving = serving != 0;
   return true;
+}
+
+std::string EncodeAdminPayload(const AdminRequest& request) {
+  std::string out;
+  out.reserve(15 + request.token.size());
+  out.push_back(static_cast<char>(request.op));
+  PutU32(&out, request.tenant);
+  PutF64(&out, request.value);
+  PutU16(&out, static_cast<uint16_t>(request.token.size()));
+  out.append(request.token);
+  return out;
+}
+
+bool DecodeAdminPayload(const uint8_t* data, size_t size, AdminRequest* out) {
+  Reader r(data, size);
+  uint8_t op = 0;
+  uint32_t tenant = 0;
+  uint16_t token_len = 0;
+  if (!r.U8(&op) || !r.U32(&tenant) || !r.F64(&out->value) ||
+      !r.U16(&token_len)) {
+    return false;
+  }
+  if (op < static_cast<uint8_t>(AdminOp::kSetTenantRate) ||
+      op > static_cast<uint8_t>(AdminOp::kSetSharedBudget)) {
+    return false;
+  }
+  // Reject non-finite and negative control values here so handlers only
+  // ever see applicable numbers.
+  if (!(out->value >= 0.0) || std::isinf(out->value)) return false;
+  out->op = static_cast<AdminOp>(op);
+  out->tenant = tenant;
+  if (!r.Bytes(token_len, &out->token)) return false;
+  return r.Done();
 }
 
 }  // namespace rockhopper::net

@@ -47,6 +47,7 @@ enum class Verb : uint8_t {
   kPropose = 2,          ///< ask for the next config for a signature
   kMetrics = 3,          ///< one Prometheus-text scrape
   kHealth = 4,           ///< liveness + current admission rate
+  kAdmin = 5,            ///< runtime control: rate overrides, memory budget
 };
 
 /// Response statuses. kBusy is the admission controller's typed shed — the
@@ -60,6 +61,7 @@ enum class WireStatus : uint8_t {
   kUnknownVerb = 5,
   kUnknownSignature = 6,  ///< Propose/Observe for an unregistered plan
   kShuttingDown = 7,      ///< server draining; no new work accepted
+  kUnauthorized = 8,      ///< Admin token missing, wrong, or not configured
 };
 
 /// Short names for logs and loadgen reports ("ok", "busy", ...).
@@ -182,6 +184,29 @@ struct HealthReport {
 };
 std::string EncodeHealthPayload(const HealthReport& report);
 bool DecodeHealthPayload(const uint8_t* data, size_t size, HealthReport* out);
+
+/// Runtime control operations carried by Verb::kAdmin.
+enum class AdminOp : uint8_t {
+  /// Pin `tenant`'s token-bucket rate to `value` requests/second
+  /// (0 = unlimited for that tenant).
+  kSetTenantRate = 1,
+  /// Set the shared state+observation memory budget to `value` bytes
+  /// (0 = unbounded); resplit and enforced on the next sweep.
+  kSetSharedBudget = 2,
+};
+
+/// Admin request: u8 op, u32 tenant (kSetTenantRate only; 0 otherwise),
+/// f64 value, u16 token_len, token bytes. The token is a shared secret the
+/// server is started with (--admin-token); frames that do not present it
+/// are answered kUnauthorized and change nothing.
+struct AdminRequest {
+  AdminOp op = AdminOp::kSetTenantRate;
+  uint32_t tenant = 0;
+  double value = 0.0;
+  std::string token;
+};
+std::string EncodeAdminPayload(const AdminRequest& request);
+bool DecodeAdminPayload(const uint8_t* data, size_t size, AdminRequest* out);
 
 }  // namespace rockhopper::net
 

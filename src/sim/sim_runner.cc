@@ -83,13 +83,19 @@ bool WriteFile(const std::string& path, const std::string& bytes) {
   return out.good();
 }
 
-/// Removes a journal together with its checkpoint and sealed segments —
-/// the whole on-disk family a checkpointing run leaves behind.
+/// Removes a journal together with its checkpoint, delta chain, and sealed
+/// segments — the whole on-disk family a checkpointing run leaves behind.
 void RemoveJournalFamily(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);
   fs::remove(core::CheckpointPath(path), ec);
   fs::remove(core::CheckpointPath(path) + ".tmp", ec);
+  if (auto deltas = core::ListCheckpointDeltas(path); deltas.ok()) {
+    for (const auto& [index, delta_path] : *deltas) {
+      fs::remove(delta_path, ec);
+      fs::remove(delta_path + ".tmp", ec);
+    }
+  }
   if (auto segments = ObservationJournal::ListSegments(path); segments.ok()) {
     for (const auto& [index, segment_path] : *segments) {
       fs::remove(segment_path, ec);
@@ -472,7 +478,10 @@ std::string SimulationReport::Summary() const {
       << " ckpts=" << journal_checkpoints
       << " ckpt_seq=" << checkpoint_seq
       << " lazy=" << (lazy_recovery ? 1 : 0)
+      << " sweep=" << (sweep_armed ? 1 : 0)
+      << " compress=" << (compress_armed ? 1 : 0)
       << " evictions=" << state_evictions
+      << " sweep_evictions=" << sweep_evictions
       << " faultins=" << state_faultins
       << " transfer=" << (transfer_armed ? 1 : 0)
       << " transfer_size=" << transfer_index_size
@@ -561,6 +570,13 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
       (common::SplitMix64(seed ^ 0x636b7074ULL) & 1) != 0;
   report.lazy_recovery =
       (common::SplitMix64(seed ^ 0x6c617a79ULL) & 1) != 0;
+  // v2 arming: time-based idle sweeping and LZ compression of cold
+  // artifacts + delta bodies are each seed-chosen, so the sweep exercises
+  // every combination of {budget eviction, idle eviction} × {raw, lz}.
+  report.sweep_armed =
+      (common::SplitMix64(seed ^ 0x7377656570ULL) & 1) != 0;
+  report.compress_armed =
+      (common::SplitMix64(seed ^ 0x636f6d7072657373ULL) & 1) != 0;
   std::map<uint64_t, const sparksim::QueryPlan*> plan_index;
   for (const sparksim::QueryPlan& plan : plans) {
     plan_index[plan.Signature()] = &plan;
@@ -572,6 +588,28 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   };
   core::ModelStore state_store(state_dir);
   core::ModelStore state_store_twin(state_dir_twin);
+  // One tier configuration shared by every service in the run (live,
+  // recovered, twin) so recovery faces the same encodings and policies the
+  // live phase wrote. The full budget goes to the QueryState tier
+  // (fraction 1.0) and observation truncation stays off: the ack-ledger
+  // invariants index complete per-signature histories. The background
+  // sweeper thread stays off too — the driver loop calls SweepStateTier
+  // deterministically.
+  const auto tier_for = [&](uint64_t budget) {
+    core::StateTierOptions tier;
+    tier.shared_budget_bytes = budget;
+    tier.state_budget_fraction = 1.0;
+    tier.observation_window = 0;
+    tier.idle_ttl_ticks = report.sweep_armed ? 2 : 0;
+    tier.sweep_interval_ms = 0;
+    tier.compress_artifacts = report.compress_armed;
+    tier.compress_checkpoints = report.compress_armed;
+    // Short chain: mid-phase checkpoints grow and collapse the delta chain
+    // within a single run.
+    tier.max_delta_chain = 3;
+    tier.plan_resolver = resolver;
+    return tier;
+  };
 
   // --- transfer tier: seed-chosen arming. Every service in the run (live,
   // recovered, twin) shares the same options so recovery rebuilds an index
@@ -583,7 +621,7 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
 
   TuningService service(space, nullptr, service_options, seed);
   if (report.tiering_armed) {
-    service.EnableStateTiering(&state_store, report.state_budget, resolver);
+    service.AttachStateTier(&state_store, tier_for(report.state_budget));
   }
 
   auto opened = ObservationJournal::Open(journal_path);
@@ -659,6 +697,12 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
                          ckpt.status().ToString());
       }
     }
+    // Deterministic stand-in for the background sweeper: advance the idle
+    // clock and sweep under live ingest, so idle eviction races real
+    // traffic in every armed run.
+    if (report.tiering_armed && report.sweep_armed && (i + 1) % 3 == 0) {
+      report.sweep_evictions += service.SweepStateTier();
+    }
   }
 
   // --- crash: sync to establish the deterministic durable watermark, then
@@ -708,6 +752,16 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   if (!checkpoint_bytes.empty() &&
       !WriteFile(core::CheckpointPath(crash_path), checkpoint_bytes)) {
     AddViolation(&report.violations, "cannot write crash checkpoint snapshot");
+  }
+  // Published deltas are as crash-stable as the full image (tmp+rename);
+  // the restarted process sees the whole chain.
+  if (auto deltas = core::ListCheckpointDeltas(journal_path); deltas.ok()) {
+    for (const auto& [index, delta_path] : *deltas) {
+      if (!WriteFile(core::CheckpointDeltaPath(crash_path, index),
+                     ReadFileOrEmpty(delta_path))) {
+        AddViolation(&report.violations, "cannot write crash delta snapshot");
+      }
+    }
   }
   if (auto segments = ObservationJournal::ListSegments(journal_path);
       segments.ok()) {
@@ -896,12 +950,12 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   // serialize → evict → fault-in round-trip the tiered layer must make
   // invisible.
   TuningService recovered_service(space, nullptr, service_options, seed);
-  recovered_service.EnableStateTiering(&state_store, report.state_budget,
-                                       resolver);
+  recovered_service.AttachStateTier(&state_store,
+                                    tier_for(report.state_budget));
   {
     TuningService twin(space, nullptr, service_options, seed);
-    twin.EnableStateTiering(&state_store_twin, report.state_budget * 2,
-                            resolver);
+    twin.AttachStateTier(&state_store_twin,
+                         tier_for(report.state_budget * 2));
     TuningService::RecoveryOptions lazy_options;
     lazy_options.lazy = report.lazy_recovery;
     auto r1 =
@@ -998,7 +1052,14 @@ SimulationReport RunSimulation(const SimulationOptions& options) {
   const size_t ledger_before_phase2 = ledger.size();
   const common::MetricsSnapshot m2 =
       common::MetricsRegistry::Default().Snapshot();
-  while (driver.Step(per_tenant)) ++report.executions;
+  uint64_t phase2_steps = 0;
+  while (driver.Step(per_tenant)) {
+    ++report.executions;
+    if (report.tiering_armed && report.sweep_armed &&
+        (++phase2_steps % 3) == 0) {
+      report.sweep_evictions += recovered_service.SweepStateTier();
+    }
+  }
   const Status shutdown_status = recovered_service.Shutdown();
   if (!options.buggify && !shutdown_status.ok()) {
     AddViolation(&report.violations,

@@ -70,8 +70,11 @@ struct SimulationReport {
   bool tiering_armed = false;      ///< phase 1 ran with an eviction budget
   bool checkpoint_armed = false;   ///< phase 1 took journal checkpoints
   bool lazy_recovery = false;      ///< recovered service used lazy restore
+  bool sweep_armed = false;        ///< time-based idle eviction ran
+  bool compress_armed = false;     ///< cold artifacts / deltas LZ-encoded
   uint64_t state_budget = 0;       ///< resident-bytes budget when armed
   uint64_t journal_checkpoints = 0;  ///< successful Checkpoint() calls
+  uint64_t sweep_evictions = 0;      ///< idle-TTL evictions across phases
   uint64_t checkpoint_seq = 0;       ///< chain recovery's checkpoint seq
   uint64_t state_evictions = 0;      ///< evictions across both services
   uint64_t state_faultins = 0;       ///< fault-ins across both services

@@ -39,6 +39,13 @@ class CheckpointTest : public ::testing::Test {
         std::filesystem::remove(seg_path, ec);
       }
     }
+    auto deltas = ListCheckpointDeltas(path_);
+    if (deltas.ok()) {
+      for (const auto& [index, delta_path] : *deltas) {
+        std::filesystem::remove(delta_path, ec);
+        std::filesystem::remove(delta_path + ".tmp", ec);
+      }
+    }
   }
 
   Observation Obs(int iteration, double runtime) {
@@ -350,6 +357,280 @@ TEST_F(CheckpointTest, RepeatedRotationNeverDropsConcurrentAppends) {
     EXPECT_EQ(chain->store.Count(100 + static_cast<uint64_t>(t)),
               static_cast<size_t>(kPerThread));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (delta) checkpoints.
+
+class DeltaCheckpointTest : public CheckpointTest {
+ protected:
+  DeltaCheckpointPolicy Policy(size_t max_chain = 8, bool compress = true) {
+    DeltaCheckpointPolicy policy;
+    policy.max_chain = max_chain;
+    policy.compress = compress;
+    // Size-triggered compaction off: these tests drive the chain length
+    // explicitly.
+    policy.max_bytes_fraction = 0.0;
+    return policy;
+  }
+
+  size_t DeltaCount() {
+    auto deltas = ListCheckpointDeltas(path_);
+    return deltas.ok() ? deltas->size() : 0;
+  }
+};
+
+TEST_F(DeltaCheckpointTest, FirstCheckpointIsFullThenDeltasStack) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 5);
+
+  // No full image yet: the incremental path must produce one.
+  Result<CheckpointReport> first = CheckpointLive(&*journal, Policy());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->delta_index, 0u);
+  EXPECT_EQ(first->records, 5u);
+
+  Append(&*journal, 9, 3);
+  Result<CheckpointReport> second = CheckpointLive(&*journal, Policy());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->delta_index, 1u);
+  EXPECT_EQ(second->records, 3u) << "delta absorbs only the churn";
+  EXPECT_GT(second->bytes_written, 0u);
+
+  Append(&*journal, 7, 2, /*first_iteration=*/5);
+  Result<CheckpointReport> third = CheckpointLive(&*journal, Policy());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->delta_index, 2u);
+  EXPECT_EQ(third->records, 2u);
+  EXPECT_EQ(DeltaCount(), 2u);
+  ASSERT_TRUE(journal->Close().ok());
+
+  // Recovery replays image + chain, byte-identical history per signature.
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->deltas_replayed, 2u);
+  EXPECT_EQ(chain->checkpoint_records, 10u);
+  EXPECT_EQ(chain->store.Count(7), 7u);
+  EXPECT_EQ(chain->store.Count(9), 3u);
+  const std::vector<Observation>& history = chain->store.History(7);
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].iteration, static_cast<int>(i));
+  }
+}
+
+TEST_F(DeltaCheckpointTest, SteadyStateDeltaBytesTrackChurnNotPopulation) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  // Large population in the full image.
+  for (uint64_t sig = 0; sig < 200; ++sig) Append(&*journal, sig, 2);
+  Result<CheckpointReport> full = CheckpointLive(&*journal, Policy());
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->delta_index, 0u);
+  const size_t full_bytes = full->bytes_written;
+
+  // 1% churn: two signatures touched.
+  Append(&*journal, 3, 2, /*first_iteration=*/2);
+  Append(&*journal, 4, 2, /*first_iteration=*/2);
+  Result<CheckpointReport> delta = CheckpointLive(&*journal, Policy());
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->delta_index, 1u);
+  EXPECT_EQ(delta->records, 4u);
+  EXPECT_LT(delta->bytes_written, full_bytes / 3)
+      << "delta I/O must be proportional to churn, not population";
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->store.Count(3), 4u);
+  EXPECT_EQ(chain->store.Count(0), 2u);
+}
+
+TEST_F(DeltaCheckpointTest, ChainCompactsAtMaxChainAndRemovesDeltas) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 2);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy(2)).ok());  // full
+  for (int round = 0; round < 2; ++round) {
+    Append(&*journal, 8 + static_cast<uint64_t>(round), 1);
+    Result<CheckpointReport> report = CheckpointLive(&*journal, Policy(2));
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->delta_index, static_cast<uint64_t>(round + 1));
+  }
+  EXPECT_EQ(DeltaCount(), 2u);
+
+  // Chain is at max length: the next checkpoint collapses it.
+  Append(&*journal, 20, 1);
+  Result<CheckpointReport> compacted = CheckpointLive(&*journal, Policy(2));
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted->delta_index, 0u);
+  EXPECT_EQ(compacted->deltas_absorbed, 2u);
+  EXPECT_EQ(compacted->records, 5u);
+  EXPECT_EQ(DeltaCount(), 0u) << "collapsed deltas must be removed";
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->checkpoint_records, 5u);
+}
+
+TEST_F(DeltaCheckpointTest, RawEncodingRoundTrips) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 2);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy(8, /*compress=*/false)).ok());
+  Append(&*journal, 9, 3);
+  Result<CheckpointReport> delta =
+      CheckpointLive(&*journal, Policy(8, /*compress=*/false));
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->delta_index, 1u);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->store.Count(9), 3u);
+}
+
+TEST_F(DeltaCheckpointTest, StaleDeltaTmpIgnoredByRecovery) {
+  // Crash mid-delta-write leaves a .tmp that is never renamed: recovery and
+  // later compactions must be oblivious to it.
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 4);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());
+  WriteFile(CheckpointDeltaPath(path_, 1) + ".tmp",
+            "rockhopper-ckpt-delta v1 1 1 2 9 lz\ngarbage");
+  Append(&*journal, 9, 2);
+  Result<CheckpointReport> delta = CheckpointLive(&*journal, Policy());
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->delta_index, 1u);
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->store.Count(7), 4u);
+  EXPECT_EQ(chain->store.Count(9), 2u);
+}
+
+TEST_F(DeltaCheckpointTest, CrashBetweenDeltaPublishAndTruncateNeverDoubles) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 3);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());
+
+  // Seal churn into a segment, delta it, then simulate a crash between the
+  // delta rename and the segment unlink by restoring the segment's bytes.
+  Append(&*journal, 9, 4);
+  Result<ObservationJournal::RotateResult> rotated = journal->Rotate();
+  ASSERT_TRUE(rotated.ok());
+  const std::string segment_bytes = ReadFile(rotated->segment_path);
+  Result<CheckpointReport> delta = WriteCheckpointDelta(path_, true);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->delta_index, 1u);
+  ASSERT_FALSE(std::filesystem::exists(rotated->segment_path));
+  WriteFile(rotated->segment_path, segment_bytes);
+  ASSERT_TRUE(journal->Close().ok());
+
+  // Recovery skips the leftover: its index <= the chain seq.
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->store.Count(9), 4u) << "absorbed segment replayed twice";
+
+  // The next delta writer finishes the truncation without re-absorbing.
+  Result<CheckpointReport> again = WriteCheckpointDelta(path_, true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->segments_absorbed, 0u);
+  EXPECT_FALSE(std::filesystem::exists(rotated->segment_path));
+}
+
+TEST_F(DeltaCheckpointTest, CrashBetweenCompactionAndDeltaRemovalSkipsStale) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 3);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());
+  Append(&*journal, 9, 2);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());  // delta 1
+  const std::string delta_bytes = ReadFile(CheckpointDeltaPath(path_, 1));
+
+  // Full compaction collapses the chain; simulate a crash before the delta
+  // unlink by restoring the collapsed delta's bytes.
+  Append(&*journal, 11, 1);
+  Result<CheckpointReport> full = CheckpointLive(&*journal);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->deltas_absorbed, 1u);
+  WriteFile(CheckpointDeltaPath(path_, 1), delta_bytes);
+  ASSERT_TRUE(journal->Close().ok());
+
+  // The restored delta's base-seq references the pre-compaction image, so
+  // recovery must treat it as stale — replaying it would double-count 9.
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  EXPECT_EQ(chain->deltas_replayed, 0u);
+  EXPECT_EQ(chain->store.Count(9), 2u) << "stale delta replayed";
+  EXPECT_EQ(chain->store.Count(7), 3u);
+  EXPECT_EQ(chain->store.Count(11), 1u);
+
+  // The next writer deletes the stale file.
+  Result<CheckpointReport> next = WriteCheckpointDelta(path_, true);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(DeltaCount(), 0u);
+}
+
+TEST_F(DeltaCheckpointTest, TornCompressedDeltaIsDataLossNotGarbage) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 3);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());
+  Append(&*journal, 9, 5);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());  // delta 1
+
+  // External corruption: truncate the published delta's compressed body.
+  const std::string delta_path = CheckpointDeltaPath(path_, 1);
+  const std::string bytes = ReadFile(delta_path);
+  WriteFile(delta_path, bytes.substr(0, bytes.size() - 3));
+  ASSERT_TRUE(journal->Close().ok());
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(chain->clean);
+  EXPECT_EQ(chain->tail_status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(chain->records_dropped, 5u) << "whole envelope lost, counted";
+  // The full image before the damaged delta replays intact; the damaged
+  // delta contributes nothing (never garbage).
+  EXPECT_EQ(chain->store.Count(7), 3u);
+  EXPECT_EQ(chain->store.Count(9), 0u);
+}
+
+TEST_F(DeltaCheckpointTest, DamagedMiddleDeltaStopsChainReplay) {
+  Result<ObservationJournal> journal = ObservationJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Append(&*journal, 7, 2);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());
+  Append(&*journal, 8, 2);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());  // delta 1
+  Append(&*journal, 9, 2);
+  ASSERT_TRUE(CheckpointLive(&*journal, Policy()).ok());  // delta 2
+  ASSERT_TRUE(journal->Close().ok());
+
+  // Corrupt delta 1: delta 2 must not replay past the break (its records
+  // would be out of order relative to the lost ones).
+  const std::string delta1 = CheckpointDeltaPath(path_, 1);
+  std::string bytes = ReadFile(delta1);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  WriteFile(delta1, bytes);
+
+  Result<JournalChain> chain = RecoverJournalChain(path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(chain->clean);
+  EXPECT_EQ(chain->store.Count(7), 2u);
+  EXPECT_EQ(chain->store.Count(8), 0u);
+  EXPECT_EQ(chain->store.Count(9), 0u) << "chain replayed past the break";
+  EXPECT_EQ(chain->records_dropped, 4u);
 }
 
 }  // namespace

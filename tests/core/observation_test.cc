@@ -185,6 +185,46 @@ TEST(ObservationPersistenceTest, ExportRejectsMismatchedConfigWidth) {
       ExportObservations(space, store, "/tmp/rockhopper_never.csv").ok());
 }
 
+TEST(ObservationRetentionTest, WindowBoundsHistoryAndKeepsIterationNumbers) {
+  ObservationStore store;
+  store.SetRetention(4);
+  for (int i = 0; i < 10; ++i) store.Append(7, Obs(1.0 + i));
+  EXPECT_EQ(store.Count(7), 4u);
+  EXPECT_EQ(store.TotalAppended(7), 10u);
+  EXPECT_EQ(store.TruncatedTotal(), 6u);
+  const std::vector<Observation>& history = store.History(7);
+  ASSERT_EQ(history.size(), 4u);
+  // Auto-assigned iteration numbering never repeats across truncation.
+  EXPECT_EQ(history.front().iteration, 6);
+  EXPECT_EQ(history.back().iteration, 9);
+  EXPECT_DOUBLE_EQ(history.back().runtime, 10.0);
+}
+
+TEST(ObservationRetentionTest, RetroactiveTruncationAndByteAccounting) {
+  ObservationStore store;
+  for (int i = 0; i < 100; ++i) store.Append(3, Obs(1.0));
+  const size_t full_bytes = store.ApproxBytes();
+  EXPECT_GT(full_bytes, 0u);
+  store.SetRetention(10);
+  EXPECT_EQ(store.Count(3), 10u);
+  EXPECT_EQ(store.TotalAppended(3), 100u);
+  // Byte accounting shrinks proportionally with the dropped rows.
+  EXPECT_EQ(store.ApproxBytes(), full_bytes / 10);
+  store.SetRetention(0);
+  for (int i = 0; i < 5; ++i) store.Append(3, Obs(1.0));
+  EXPECT_EQ(store.Count(3), 15u);
+}
+
+TEST(ObservationRetentionTest, LastNSeesOnlyRetainedWindow) {
+  ObservationStore store;
+  store.SetRetention(3);
+  for (int i = 0; i < 6; ++i) store.Append(1, Obs(10.0 + i));
+  ObservationWindow w = store.LastN(1, 5);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.front().runtime, 13.0);
+  EXPECT_DOUBLE_EQ(w.back().runtime, 15.0);
+}
+
 TEST(MinRuntimeTest, FindsMinimumAndRejectsEmpty) {
   ObservationWindow w = {Obs(5.0), Obs(2.0), Obs(9.0)};
   Result<double> r = MinRuntime(w);

@@ -161,5 +161,101 @@ TEST(SignatureShardMapTest, ConcurrentEmplaceAndMutateIsConsistent) {
   EXPECT_EQ(total, kSignatures * kRoundsPerSignature);
 }
 
+// In-memory tiering wiring: saver records backoff per signature, loader
+// rebuilds the state from it. Deterministic and dependency-free.
+struct MemoryTier {
+  std::map<uint64_t, int> saved;
+  size_t saves = 0;
+
+  TieringConfig Config(size_t budget_bytes, uint64_t idle_ttl_ticks = 0) {
+    TieringConfig config;
+    config.budget_bytes = budget_bytes;
+    config.idle_ttl_ticks = idle_ttl_ticks;
+    config.sizer = [](const QueryState&) { return size_t{100}; };
+    config.saver = [this](uint64_t sig, const QueryState& state) {
+      saved[sig] = state.backoff;
+      ++saves;
+      return Status::OK();
+    };
+    config.loader = [this](uint64_t sig, const ColdEntry&) -> Result<QueryState> {
+      auto it = saved.find(sig);
+      if (it == saved.end()) return Status::NotFound("no artifact");
+      return StateWithBackoff(it->second);
+    };
+    return config;
+  }
+};
+
+TEST(SignatureShardSweepTest, SweepIdleEvictsOnlyIdleStates) {
+  SignatureShardMap map;
+  MemoryTier tier;
+  map.EnableTiering(tier.Config(/*budget_bytes=*/0, /*idle_ttl_ticks=*/2));
+  for (uint64_t sig = 1; sig <= 8; ++sig) {
+    map.Emplace(sig, StateWithBackoff(static_cast<int>(sig)));
+  }
+  // Nothing is idle yet: same tick as the touches.
+  EXPECT_EQ(map.SweepIdle(), 0u);
+  map.AdvanceIdleTick();
+  map.AdvanceIdleTick();
+  // Re-touch half the population at the new tick.
+  for (uint64_t sig = 1; sig <= 4; ++sig) EXPECT_TRUE(map.Find(sig));
+  EXPECT_EQ(map.SweepIdle(), 4u);
+  TierStats stats = map.Stats();
+  EXPECT_EQ(stats.resident_signatures, 4u);
+  EXPECT_EQ(stats.cold_signatures, 4u);
+  EXPECT_EQ(stats.sweep_evictions, 4u);
+  // Evicted states fault back in transparently with identical content.
+  SignatureShardMap::LockedState locked = map.Find(7);
+  ASSERT_TRUE(locked);
+  EXPECT_EQ(locked.state->backoff, 7);
+}
+
+TEST(SignatureShardSweepTest, CleanStatesEvictWithoutResaving) {
+  SignatureShardMap map;
+  MemoryTier tier;
+  map.EnableTiering(tier.Config(/*budget_bytes=*/0, /*idle_ttl_ticks=*/1));
+  { map.Emplace(5, StateWithBackoff(9)); }
+  map.AdvanceIdleTick();
+  EXPECT_EQ(map.SweepIdle(), 1u);  // dirty: fresh insert, saver runs
+  EXPECT_EQ(tier.saves, 1u);
+  // Fault back in via a const guard (no mutation): the state stays clean.
+  const SignatureShardMap& cmap = map;
+  { EXPECT_TRUE(cmap.Find(5)); }
+  map.AdvanceIdleTick();
+  EXPECT_EQ(map.SweepIdle(), 1u);
+  // Second eviction skipped the save — the artifact was already current.
+  EXPECT_EQ(tier.saves, 1u);
+  EXPECT_EQ(map.Stats().clean_evictions, 1u);
+  // A mutable-guard release redirties, so the next eviction saves again.
+  {
+    SignatureShardMap::LockedState locked = map.Find(5);
+    ASSERT_TRUE(locked);
+    locked.state->backoff = 11;
+  }
+  map.AdvanceIdleTick();
+  EXPECT_EQ(map.SweepIdle(), 1u);
+  EXPECT_EQ(tier.saves, 2u);
+  EXPECT_EQ(tier.saved[5], 11);
+}
+
+TEST(SignatureShardSweepTest, SetBudgetBytesDrainsImmediately) {
+  SignatureShardMap map;
+  MemoryTier tier;
+  map.EnableTiering(tier.Config(/*budget_bytes=*/0));
+  for (uint64_t sig = 0; sig < 10; ++sig) {
+    map.Emplace(sig, StateWithBackoff(1));
+  }
+  EXPECT_EQ(map.Stats().resident_bytes, 1000u);
+  // Shrinking the budget at runtime (the admin verb) drains to watermark.
+  map.SetBudgetBytes(500);
+  EXPECT_EQ(map.budget_bytes(), 500u);
+  EXPECT_LE(map.Stats().resident_bytes, 500u);
+  EXPECT_GT(map.Stats().cold_signatures, 0u);
+  // Raising it back stops further eviction; faulted-in states stay.
+  map.SetBudgetBytes(4000);
+  for (uint64_t sig = 0; sig < 10; ++sig) EXPECT_TRUE(map.Find(sig));
+  EXPECT_EQ(map.Stats().resident_signatures, 10u);
+}
+
 }  // namespace
 }  // namespace rockhopper::core

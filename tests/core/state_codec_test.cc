@@ -172,10 +172,14 @@ TEST_F(StateCodecTest, EvictFaultInKeepsProposalsBitIdentical) {
   TuningService tiered(space_, nullptr, FastOptions(), 11);
   // Budget of one byte: every guard release pushes the resident tier over
   // budget, so every touch is a fresh decode fault-in.
-  tiered.EnableStateTiering(&store, 1, [&plans](uint64_t signature) {
+  StateTierOptions tier;
+  tier.shared_budget_bytes = 1;
+  tier.state_budget_fraction = 1.0;
+  tier.plan_resolver = [&plans](uint64_t signature) {
     auto it = plans.find(signature);
     return it == plans.end() ? nullptr : &it->second;
-  });
+  };
+  tiered.AttachStateTier(&store, tier);
   TuningService plain(space_, nullptr, FastOptions(), 11);
 
   for (int round = 0; round < 15; ++round) {
@@ -213,10 +217,14 @@ TEST_F(StateCodecTest, TornArtifactFallsBackToDeterministicReplay) {
 
   ModelStore store(store_dir_);
   TuningService tiered(space_, nullptr, FastOptions(), 13);
-  tiered.EnableStateTiering(&store, 1, [&plans](uint64_t signature) {
+  StateTierOptions tier;
+  tier.shared_budget_bytes = 1;
+  tier.state_budget_fraction = 1.0;
+  tier.plan_resolver = [&plans](uint64_t signature) {
     auto it = plans.find(signature);
     return it == plans.end() ? nullptr : &it->second;
-  });
+  };
+  tiered.AttachStateTier(&store, tier);
 
   for (int round = 0; round < 12; ++round) {
     for (const auto& [signature, plan] : plans) {

@@ -177,10 +177,14 @@ TEST_F(TransferServiceTest, EvictedNeighborIsFaultedInForConsult) {
   TuningService service(space_, nullptr, TransferOn(), 23);
   // Budget of one byte: A is evicted after every release, so the consult
   // must fault it back in through the cold tier.
-  service.EnableStateTiering(&store, 1, [&plans](uint64_t signature) {
+  StateTierOptions tier;
+  tier.shared_budget_bytes = 1;
+  tier.state_budget_fraction = 1.0;
+  tier.plan_resolver = [&plans](uint64_t signature) {
     auto it = plans.find(signature);
     return it == plans.end() ? nullptr : &it->second;
-  });
+  };
+  service.AttachStateTier(&store, tier);
   TuneDown(&service, plan_a, 25);
   ASSERT_EQ(service.StateTierStats().resident_signatures, 0u);
 
@@ -236,10 +240,17 @@ TEST_F(TransferServiceTest, CheckpointPersistsIndexAndRecoveryReloadsIt) {
     auto it = plans.find(signature);
     return it == plans.end() ? nullptr : &it->second;
   };
+  const auto tier_for = [&resolver](size_t budget) {
+    StateTierOptions tier;
+    tier.shared_budget_bytes = budget;
+    tier.state_budget_fraction = 1.0;
+    tier.plan_resolver = resolver;
+    return tier;
+  };
 
   ModelStore store(store_dir);
   TuningService live(space_, nullptr, TransferOn(), 25);
-  live.EnableStateTiering(&store, 0, resolver);
+  live.AttachStateTier(&store, tier_for(0));
   auto journal = ObservationJournal::Open(journal_path);
   ASSERT_TRUE(journal.ok());
   live.AttachJournal(&*journal);
@@ -256,7 +267,7 @@ TEST_F(TransferServiceTest, CheckpointPersistsIndexAndRecoveryReloadsIt) {
   // Eager twin: replays everything at startup.
   ModelStore eager_store(store_dir);
   TuningService eager(space_, nullptr, TransferOn(), 25);
-  eager.EnableStateTiering(&eager_store, 0, resolver);
+  eager.AttachStateTier(&eager_store, tier_for(0));
   auto eager_report = eager.RecoverFromCheckpoint(journal_path, {});
   ASSERT_TRUE(eager_report.ok());
   EXPECT_EQ(eager_report->signatures_restored, plans.size());
@@ -264,7 +275,7 @@ TEST_F(TransferServiceTest, CheckpointPersistsIndexAndRecoveryReloadsIt) {
   // Lazy twin: tombstones only; the artifact is what arms its index.
   ModelStore lazy_store(store_dir);
   TuningService lazy(space_, nullptr, TransferOn(), 25);
-  lazy.EnableStateTiering(&lazy_store, 1 << 20, resolver);
+  lazy.AttachStateTier(&lazy_store, tier_for(1 << 20));
   TuningService::RecoveryOptions lazy_opts;
   lazy_opts.lazy = true;
   auto lazy_report =

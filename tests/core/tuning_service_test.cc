@@ -208,7 +208,7 @@ TEST_F(TuningServiceTest, ExplainQueryReportsDisabledState) {
 
 TEST_F(TuningServiceTest, SignatureTransferSeedsFromSimilarQuery) {
   TuningServiceOptions options = FastOptions();
-  options.enable_signature_transfer = true;
+  options.transfer.enabled = true;
   options.enable_guardrail = false;
   TuningService service(space_, nullptr, options, 15);
 
@@ -236,7 +236,7 @@ TEST_F(TuningServiceTest, SignatureTransferSeedsFromSimilarQuery) {
 
   // Without transfer, a fresh service starts B at the defaults.
   TuningServiceOptions cold_options = FastOptions();
-  cold_options.enable_signature_transfer = false;
+  cold_options.transfer.enabled = false;
   TuningService cold(space_, nullptr, cold_options, 16);
   const sparksim::ConfigVector cold_first = cold.OnQueryStart(plan_b, 1.0);
   EXPECT_NEAR(space_.Normalize(cold_first)[2],
@@ -245,8 +245,8 @@ TEST_F(TuningServiceTest, SignatureTransferSeedsFromSimilarQuery) {
 
 TEST_F(TuningServiceTest, SignatureTransferIgnoresDistantQueries) {
   TuningServiceOptions options = FastOptions();
-  options.enable_signature_transfer = true;
-  options.transfer_max_distance = 1e-6;  // effectively disabled by radius
+  options.transfer.enabled = true;
+  options.transfer.max_distance = 1e-6;  // effectively disabled by radius
   TuningService service(space_, nullptr, options, 17);
   const sparksim::QueryPlan plan_a = sparksim::TpchPlan(14);
   for (int i = 0; i < 10; ++i) {

@@ -53,6 +53,13 @@ class StateTieringConcurrentTest : public ::testing::Test {
     std::filesystem::remove(journal_path_, ec);
     std::filesystem::remove(CheckpointPath(journal_path_), ec);
     std::filesystem::remove(CheckpointPath(journal_path_) + ".tmp", ec);
+    auto deltas = ListCheckpointDeltas(journal_path_);
+    if (deltas.ok()) {
+      for (const auto& [index, path] : *deltas) {
+        std::filesystem::remove(path, ec);
+        std::filesystem::remove(path + ".tmp", ec);
+      }
+    }
     auto segments = ObservationJournal::ListSegments(journal_path_);
     if (segments.ok()) {
       for (const auto& [index, path] : *segments) {
@@ -85,13 +92,14 @@ TEST_F(StateTieringConcurrentTest, EvictionUnderEightThreadIngest) {
   ModelStore store(store_dir_);
   // A budget of a few KB holds only a handful of the ~48 states resident,
   // so eviction and fault-in run continuously throughout ingestion.
-  service.EnableStateTiering(&store, 8 * 1024,
-                             [&by_signature](uint64_t signature) {
-                               auto it = by_signature.find(signature);
-                               return it == by_signature.end()
-                                          ? nullptr
-                                          : it->second;
-                             });
+  StateTierOptions tier;
+  tier.shared_budget_bytes = 8 * 1024;
+  tier.state_budget_fraction = 1.0;
+  tier.plan_resolver = [&by_signature](uint64_t signature) {
+    auto it = by_signature.find(signature);
+    return it == by_signature.end() ? nullptr : it->second;
+  };
+  service.AttachStateTier(&store, tier);
 
   auto journal = ObservationJournal::Open(journal_path_);
   ASSERT_TRUE(journal.ok());
@@ -147,6 +155,105 @@ TEST_F(StateTieringConcurrentTest, EvictionUnderEightThreadIngest) {
             static_cast<size_t>(kNumPlans));
 
   // Every acked record is recoverable through the checkpoint + tail chain.
+  Result<JournalChain> chain = RecoverJournalChain(journal_path_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->clean);
+  size_t recovered = 0;
+  for (const sparksim::QueryPlan& plan : plans) {
+    recovered += chain->store.Count(plan.Signature());
+  }
+  EXPECT_EQ(recovered, static_cast<size_t>(kNumPlans) * kEventsPerPlan);
+}
+
+// The background sweeper thread (StartStateSweeper) races 8 ingest threads:
+// idle-TTL eviction, compressed artifact saves, fault-ins, and a delta
+// checkpoint all interleave with live traffic. Budget is unbounded so every
+// eviction here is the sweeper's doing — the surface under test is the
+// sweeper thread itself, not budget pressure.
+TEST_F(StateTieringConcurrentTest, BackgroundSweeperRacesEightThreadIngest) {
+  const sparksim::ConfigSpace space = sparksim::QueryLevelSpace();
+  std::vector<sparksim::QueryPlan> plans;
+  std::map<uint64_t, const sparksim::QueryPlan*> by_signature;
+  for (int q = 1; q <= kNumPlans; ++q) {
+    plans.push_back(sparksim::TpcdsPlan(q));
+  }
+  for (const sparksim::QueryPlan& plan : plans) {
+    by_signature.emplace(plan.Signature(), &plan);
+  }
+
+  TuningServiceOptions options;
+  options.guardrail.min_iterations = 10;
+  options.centroid.num_candidates = 8;
+  TuningService service(space, nullptr, options, kSeed + 1);
+
+  ModelStore store(store_dir_);
+  StateTierOptions tier;
+  tier.shared_budget_bytes = 0;  // no budget pressure: sweeper-only eviction
+  tier.idle_ttl_ticks = 1;       // everything untouched for one tick is idle
+  tier.sweep_interval_ms = 1;    // as hot a race as the scheduler allows
+  tier.compress_artifacts = true;
+  tier.plan_resolver = [&by_signature](uint64_t signature) {
+    auto it = by_signature.find(signature);
+    return it == by_signature.end() ? nullptr : it->second;
+  };
+  service.AttachStateTier(&store, tier);
+  service.StartStateSweeper();
+
+  auto journal = ObservationJournal::Open(journal_path_);
+  ASSERT_TRUE(journal.ok());
+  GroupCommitOptions gc;
+  gc.max_batch = 16;
+  gc.queue_capacity = 64;
+  ASSERT_TRUE(journal->StartGroupCommit(gc).ok());
+  service.AttachJournal(&*journal);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < plans.size();
+           i += kThreads) {
+        const TuningService::SignatureHandle handle = service.Handle(plans[i]);
+        for (int j = 0; j < kEventsPerPlan; ++j) {
+          const sparksim::ConfigVector config =
+              service.OnQueryStart(handle, 1e9);
+          QueryEndEvent event;
+          event.event_id = static_cast<uint64_t>(j + 1);
+          event.config = config;
+          event.data_size = 1e9 + 1e7 * static_cast<double>(i);
+          event.runtime = 20.0 + 0.1 * static_cast<double>(i) + j;
+          service.OnQueryEnd(handle, event);
+        }
+        (void)service.IsTuningEnabled(handle.signature());
+        (void)service.StateTierStats();
+      }
+    });
+  }
+  // A delta-path checkpoint races both the sweeper and the ingest threads.
+  auto mid_checkpoint = service.Checkpoint();
+  for (std::thread& w : workers) w.join();
+  EXPECT_TRUE(mid_checkpoint.ok()) << mid_checkpoint.status().ToString();
+
+  // Quiesced drain: regardless of how the timing fell above, two more
+  // passes age every signature past the TTL and sweep it out (the
+  // background sweeper may already have drained some or all of them).
+  (void)service.SweepStateTier();
+  (void)service.SweepStateTier();
+  ASSERT_TRUE(service.Shutdown().ok());  // stops the background sweeper too
+  EXPECT_EQ(service.journal_errors(), 0u);
+
+  EXPECT_EQ(service.NumSignatures(), static_cast<size_t>(kNumPlans));
+  for (const sparksim::QueryPlan& plan : plans) {
+    EXPECT_EQ(service.observations().Count(plan.Signature()),
+              static_cast<size_t>(kEventsPerPlan));
+  }
+  const TierStats stats = service.StateTierStats();
+  EXPECT_GT(stats.sweep_evictions, 0u);
+  EXPECT_EQ(stats.resident_signatures, 0u)
+      << "final sweeps left idle states resident";
+  EXPECT_EQ(stats.resident_signatures + stats.cold_signatures,
+            static_cast<size_t>(kNumPlans));
+
+  // Sweeper eviction is as invisible to recovery as budget eviction.
   Result<JournalChain> chain = RecoverJournalChain(journal_path_);
   ASSERT_TRUE(chain.ok());
   EXPECT_TRUE(chain->clean);

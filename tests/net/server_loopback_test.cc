@@ -244,6 +244,99 @@ TEST_F(SessionTest, ShutdownAnswersShuttingDown) {
   EXPECT_EQ(responses[0].first, WireStatus::kShuttingDown);
 }
 
+std::string AdminFrame(uint32_t seq, AdminOp op, uint32_t tenant,
+                       double value, const std::string& token) {
+  AdminRequest request;
+  request.op = op;
+  request.tenant = tenant;
+  request.value = value;
+  request.token = token;
+  return EncodeRequest(Verb::kAdmin, 0, seq, EncodeAdminPayload(request));
+}
+
+// A server started without --admin-token has no control plane: every Admin
+// frame is refused, with no default credential to guess.
+TEST_F(SessionTest, AdminRefusedWhenNoTokenConfigured) {
+  ServerCore core(&service_, &registry_, ServerCoreOptions());
+  Session session(&core);
+  const std::string frame =
+      AdminFrame(1, AdminOp::kSetSharedBudget, 0, 4096.0, "anything");
+  std::string out;
+  ASSERT_TRUE(session.OnBytes(frame.data(), frame.size(), 1, &out));
+  const auto responses = Responses(out);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, WireStatus::kUnauthorized);
+  EXPECT_EQ(core.shared_budget_bytes(), 0u);
+}
+
+TEST_F(SessionTest, AdminTokenGatesRuntimeBudgetAndRateChanges) {
+  ServerCoreOptions options;
+  options.admin_token = "secret";
+  ServerCore core(&service_, &registry_, options);
+  Session session(&core);
+  std::string out;
+
+  // Wrong token: refused, nothing changes.
+  std::string frame =
+      AdminFrame(1, AdminOp::kSetSharedBudget, 0, 1048576.0, "wrong");
+  ASSERT_TRUE(session.OnBytes(frame.data(), frame.size(), 1, &out));
+  auto responses = Responses(out);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, WireStatus::kUnauthorized);
+  EXPECT_EQ(core.shared_budget_bytes(), 0u);
+
+  // Right token: the shared budget moves, visible to both the admission
+  // denominator (ServerCore) and the tuning service's budget split.
+  out.clear();
+  frame = AdminFrame(2, AdminOp::kSetSharedBudget, 0, 1048576.0, "secret");
+  ASSERT_TRUE(session.OnBytes(frame.data(), frame.size(), 1, &out));
+  responses = Responses(out);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, WireStatus::kOk);
+  EXPECT_EQ(core.shared_budget_bytes(), 1048576u);
+  EXPECT_EQ(service_.shared_budget_bytes(), 1048576u);
+
+  // Pin tenant 7 to a near-zero rate: its burst floor admits one request,
+  // the next sheds; tenant 8 is untouched by the override.
+  out.clear();
+  frame = AdminFrame(3, AdminOp::kSetTenantRate, 7, 1e-6, "secret");
+  ASSERT_TRUE(session.OnBytes(frame.data(), frame.size(), 1, &out));
+  responses = Responses(out);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, WireStatus::kOk);
+
+  const auto propose = [&](uint32_t tenant, uint32_t seq) {
+    return EncodeRequest(Verb::kPropose, tenant, seq,
+                         EncodeProposePayload(plan_.Signature(), 1e9));
+  };
+  out.clear();
+  std::string in = propose(7, 10) + propose(7, 11) + propose(8, 12);
+  ASSERT_TRUE(session.OnBytes(in.data(), in.size(), 1, &out));
+  responses = Responses(out);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].first, WireStatus::kOk);
+  EXPECT_EQ(responses[1].first, WireStatus::kBusy);
+  EXPECT_EQ(responses[2].first, WireStatus::kOk);
+}
+
+// The control plane works exactly when the data plane is shedding: Admin
+// bypasses shutdown refusal and admission.
+TEST_F(SessionTest, AdminBypassesShutdownRefusal) {
+  ServerCoreOptions options;
+  options.admin_token = "secret";
+  ServerCore core(&service_, &registry_, options);
+  Session session(&core);
+  core.BeginShutdown();
+  const std::string frame =
+      AdminFrame(1, AdminOp::kSetSharedBudget, 0, 2048.0, "secret");
+  std::string out;
+  ASSERT_TRUE(session.OnBytes(frame.data(), frame.size(), 1, &out));
+  const auto responses = Responses(out);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, WireStatus::kOk);
+  EXPECT_EQ(core.shared_budget_bytes(), 2048u);
+}
+
 // Real sockets: server on an ephemeral loopback port, blocking client.
 class LoopbackTest : public ::testing::Test {
  protected:
@@ -308,6 +401,41 @@ TEST_F(LoopbackTest, ProposeObserveHealthOverRealSockets) {
 
   server.Stop(1000);
   EXPECT_EQ(service_.observations().Count(plan_.Signature()), 1u);
+}
+
+// The `rockhopper admin` shape end-to-end: authenticated budget change over
+// a real socket, wrong token refused on the same connection.
+TEST_F(LoopbackTest, AdminVerbOverRealSockets) {
+  ServerCoreOptions core_options;
+  core_options.admin_token = "s3cret";
+  ServerCore core(&service_, &registry_, core_options);
+  Server server(&core, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  client.SetRecvTimeout(5000);
+
+  AdminRequest request;
+  request.op = AdminOp::kSetSharedBudget;
+  request.value = 65536.0;
+  request.token = "s3cret";
+  Client::Response response;
+  ASSERT_TRUE(
+      client.Call(Verb::kAdmin, 0, EncodeAdminPayload(request), &response)
+          .ok());
+  EXPECT_EQ(response.status, WireStatus::kOk);
+  EXPECT_EQ(core.shared_budget_bytes(), 65536u);
+
+  request.value = 1.0;
+  request.token = "guess";
+  ASSERT_TRUE(
+      client.Call(Verb::kAdmin, 0, EncodeAdminPayload(request), &response)
+          .ok());
+  EXPECT_EQ(response.status, WireStatus::kUnauthorized);
+  EXPECT_EQ(core.shared_budget_bytes(), 65536u);
+
+  server.Stop(1000);
 }
 
 TEST_F(LoopbackTest, PollFallbackServesTraffic) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "core/telemetry.h"
@@ -265,6 +266,73 @@ TEST(WireTest, ObserveDecoderRejectsArityLies) {
 TEST(WireTest, StatusNamesAreStable) {
   EXPECT_STREQ(WireStatusName(WireStatus::kOk), "ok");
   EXPECT_STREQ(WireStatusName(WireStatus::kBusy), "busy");
+  EXPECT_STREQ(WireStatusName(WireStatus::kUnauthorized), "unauthorized");
+}
+
+TEST(WireTest, AdminPayloadRoundTrip) {
+  AdminRequest request;
+  request.op = AdminOp::kSetTenantRate;
+  request.tenant = 42;
+  request.value = 12.5;
+  request.token = "hunter2";
+  const std::string payload = EncodeAdminPayload(request);
+  AdminRequest decoded;
+  ASSERT_TRUE(DecodeAdminPayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &decoded));
+  EXPECT_EQ(decoded.op, AdminOp::kSetTenantRate);
+  EXPECT_EQ(decoded.tenant, 42u);
+  EXPECT_EQ(decoded.value, 12.5);
+  EXPECT_EQ(decoded.token, "hunter2");
+
+  // An empty token round-trips too (the server still refuses it).
+  request.op = AdminOp::kSetSharedBudget;
+  request.tenant = 0;
+  request.value = 1048576.0;
+  request.token.clear();
+  const std::string budget = EncodeAdminPayload(request);
+  ASSERT_TRUE(DecodeAdminPayload(
+      reinterpret_cast<const uint8_t*>(budget.data()), budget.size(),
+      &decoded));
+  EXPECT_EQ(decoded.op, AdminOp::kSetSharedBudget);
+  EXPECT_EQ(decoded.value, 1048576.0);
+  EXPECT_TRUE(decoded.token.empty());
+}
+
+TEST(WireTest, AdminDecoderRejectsDamage) {
+  AdminRequest request;
+  request.op = AdminOp::kSetTenantRate;
+  request.tenant = 9;
+  request.value = 25.0;
+  request.token = "tok";
+  const std::string payload = EncodeAdminPayload(request);
+  AdminRequest decoded;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeAdminPayload(
+        reinterpret_cast<const uint8_t*>(payload.data()), len, &decoded))
+        << "admin prefix " << len;
+  }
+  // Unknown op byte.
+  std::string bad_op = payload;
+  bad_op[0] = 7;
+  EXPECT_FALSE(DecodeAdminPayload(
+      reinterpret_cast<const uint8_t*>(bad_op.data()), bad_op.size(),
+      &decoded));
+  // Trailing garbage after the declared token.
+  std::string trailing = payload + "x";
+  EXPECT_FALSE(DecodeAdminPayload(
+      reinterpret_cast<const uint8_t*>(trailing.data()), trailing.size(),
+      &decoded));
+  // Control values must be finite and non-negative.
+  request.value = -1.0;
+  const std::string negative = EncodeAdminPayload(request);
+  EXPECT_FALSE(DecodeAdminPayload(
+      reinterpret_cast<const uint8_t*>(negative.data()), negative.size(),
+      &decoded));
+  request.value = std::numeric_limits<double>::quiet_NaN();
+  const std::string nan = EncodeAdminPayload(request);
+  EXPECT_FALSE(DecodeAdminPayload(
+      reinterpret_cast<const uint8_t*>(nan.data()), nan.size(), &decoded));
 }
 
 }  // namespace

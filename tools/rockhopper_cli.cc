@@ -88,6 +88,7 @@
 #include "core/tracing.h"
 #include "core/transfer.h"
 #include "core/tuning_service.h"
+#include "net/client.h"
 #include "net/loadgen.h"
 #include "net/server.h"
 #include "net/server_core.h"
@@ -584,6 +585,29 @@ int RunChaos(const Args& args) {
   return 0;
 }
 
+// Builds the tiered-state configuration from the shared CLI flags:
+// --memory-budget is the one process-wide budget, split between resident
+// query state and observation history by --state-budget-fraction; --idle-ttl
+// plus --sweep-interval-ms arm the background sweeper; --compress=false
+// disables cold-artifact and checkpoint compression. The plan resolver is
+// supplied per-command (each owns its plan index).
+StateTierOptions StateTierFromArgs(const Args& args, uint64_t memory_budget,
+                                   PlanResolver resolver) {
+  StateTierOptions tier;
+  tier.shared_budget_bytes = memory_budget;
+  tier.state_budget_fraction = args.GetDouble(
+      "state-budget-fraction", StateTierOptions().state_budget_fraction);
+  tier.observation_window =
+      static_cast<size_t>(args.GetInt("obs-window", 0));
+  tier.idle_ttl_ticks = static_cast<uint64_t>(args.GetInt("idle-ttl", 0));
+  tier.sweep_interval_ms = args.GetInt("sweep-interval-ms", 1000);
+  tier.compress_artifacts = args.Get("compress", "true") != "false";
+  tier.compress_checkpoints = tier.compress_artifacts;
+  tier.lazy_recovery = args.Get("lazy-recovery", "") == "true";
+  tier.plan_resolver = std::move(resolver);
+  return tier;
+}
+
 int RunRecover(const Args& args) {
   const std::string journal_path = args.Get("journal", "");
   if (journal_path.empty()) {
@@ -598,7 +622,31 @@ int RunRecover(const Args& args) {
   }
   TuningService service(space, nullptr, {},
                         static_cast<uint64_t>(args.GetInt("seed", 31)));
-  auto report = service.RecoverFromCheckpoint(journal_path, plans);
+
+  // --lazy-recovery (requires a state tier) restores signatures as cold
+  // pointers that fault in on first touch instead of decoding everything up
+  // front — the bounded-memory restart path.
+  const uint64_t memory_budget =
+      std::strtoull(args.Get("memory-budget", "0").c_str(), nullptr, 10);
+  std::map<uint64_t, const sparksim::QueryPlan*> plan_index;
+  for (const sparksim::QueryPlan& plan : plans) {
+    plan_index[plan.Signature()] = &plan;
+  }
+  std::optional<ModelStore> state_store;
+  TuningService::RecoveryOptions recovery;
+  if (memory_budget > 0 || args.Get("lazy-recovery", "") == "true") {
+    state_store.emplace(args.Get("state-dir", "rockhopper-state"));
+    service.AttachStateTier(
+        &*state_store,
+        StateTierFromArgs(
+            args, memory_budget,
+            [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
+              auto it = plan_index.find(signature);
+              return it == plan_index.end() ? nullptr : it->second;
+            }));
+    recovery.lazy = service.state_tier_options().lazy_recovery;
+  }
+  auto report = service.RecoverFromCheckpoint(journal_path, plans, recovery);
   if (!report.ok()) {
     if (report.status().code() == StatusCode::kNotFound) {
       std::fprintf(stderr, "no journal at %s\n", journal_path.c_str());
@@ -841,14 +889,22 @@ int RunServeListen(const Args& args) {
     plan_index[plan.Signature()] = &plan;
   }
   std::optional<ModelStore> state_store;
-  if (memory_budget > 0) {
+  const int idle_ttl = args.GetInt("idle-ttl", 0);
+  if (memory_budget > 0 || idle_ttl > 0) {
     state_store.emplace(args.Get("state-dir", "rockhopper-state"));
-    service.EnableStateTiering(
-        &*state_store, memory_budget,
-        [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
-          auto it = plan_index.find(signature);
-          return it == plan_index.end() ? nullptr : it->second;
-        });
+    service.AttachStateTier(
+        &*state_store,
+        StateTierFromArgs(
+            args, memory_budget,
+            [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
+              auto it = plan_index.find(signature);
+              return it == plan_index.end() ? nullptr : it->second;
+            }));
+    // The long-running server owns a sweeper thread: idle-TTL eviction and
+    // observation-budget enforcement tick without a foreground driver.
+    if (service.state_tier_options().sweep_interval_ms > 0) {
+      service.StartStateSweeper();
+    }
   }
 
   ObservationJournal journal;
@@ -878,6 +934,7 @@ int RunServeListen(const Args& args) {
   core_options.admission.queue_depth_target = args.GetDouble(
       "queue-target", net::AdmissionController::Options().queue_depth_target);
   core_options.tiering_budget_bytes = memory_budget;
+  core_options.admin_token = args.Get("admin-token", "");
   core_options.max_batch =
       static_cast<size_t>(std::max(1, args.GetInt("net-batch", 64)));
   net::ServerCore core(&service, &registry, core_options);
@@ -1000,6 +1057,62 @@ int RunServeListen(const Args& args) {
     }
   }
   return exit_code;
+}
+
+// Runtime control plane: one authenticated Admin frame against a running
+// `serve --listen --admin-token=SECRET` process. Exactly one operation per
+// invocation:
+//   rockhopper admin --connect=HOST:PORT --token=SECRET \
+//       --set-tenant-rate=RATE --tenant=ID      # pin one tenant's rate
+//   rockhopper admin --connect=HOST:PORT --token=SECRET \
+//       --set-budget=BYTES                      # shared memory budget
+int RunAdmin(const Args& args) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseListen(args.Get("connect", ""), &host, &port) || port == 0) {
+    std::fprintf(stderr, "admin requires --connect=HOST:PORT\n");
+    return 2;
+  }
+  net::AdminRequest request;
+  request.token = args.Get("token", "");
+  const bool set_rate = args.flags.count("set-tenant-rate") != 0;
+  const bool set_budget = args.flags.count("set-budget") != 0;
+  if (set_rate == set_budget) {
+    std::fprintf(stderr,
+                 "admin requires exactly one of --set-tenant-rate=RATE "
+                 "(with --tenant=ID) or --set-budget=BYTES\n");
+    return 2;
+  }
+  if (set_rate) {
+    request.op = net::AdminOp::kSetTenantRate;
+    request.tenant = static_cast<uint32_t>(args.GetInt("tenant", 0));
+    request.value = args.GetDouble("set-tenant-rate", 0.0);
+  } else {
+    request.op = net::AdminOp::kSetSharedBudget;
+    request.value = static_cast<double>(
+        std::strtoull(args.Get("set-budget", "0").c_str(), nullptr, 10));
+  }
+
+  net::Client client;
+  if (Status st = client.Connect(host, port); !st.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
+                 st.ToString().c_str());
+    return 1;
+  }
+  client.SetRecvTimeout(args.GetInt("timeout-ms", 5000));
+  net::Client::Response response;
+  if (Status st = client.Call(net::Verb::kAdmin, 0,
+                              net::EncodeAdminPayload(request), &response);
+      !st.ok()) {
+    std::fprintf(stderr, "admin call failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("admin: %s\n", net::WireStatusName(response.status));
+  if (response.status == net::WireStatus::kUnauthorized) {
+    std::fprintf(stderr,
+                 "server rejected the token (started with --admin-token?)\n");
+  }
+  return response.status == net::WireStatus::kOk ? 0 : 1;
 }
 
 // Wire-protocol load generator: open-loop (Poisson) or closed-loop traffic
@@ -1138,12 +1251,14 @@ int RunServe(const Args& args) {
   std::optional<ModelStore> state_store;
   if (memory_budget > 0) {
     state_store.emplace(args.Get("state-dir", "rockhopper-state"));
-    service.EnableStateTiering(
-        &*state_store, memory_budget,
-        [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
-          auto it = plan_index.find(signature);
-          return it == plan_index.end() ? nullptr : it->second;
-        });
+    service.AttachStateTier(
+        &*state_store,
+        StateTierFromArgs(
+            args, memory_budget,
+            [&plan_index](uint64_t signature) -> const sparksim::QueryPlan* {
+              auto it = plan_index.find(signature);
+              return it == plan_index.end() ? nullptr : it->second;
+            }));
   }
 
   ObservationJournal journal;
@@ -1498,8 +1613,10 @@ void PrintUsage() {
       "state\n"
       "          flags: --trace=FILE --suite=tpch|tpcds --seed=N\n"
       "  recover restore tuning state from the journal chain (checkpoint +\n"
-      "          sealed segments + live tail)\n"
+      "          delta chain + sealed segments + live tail)\n"
       "          flags: --journal=FILE --suite=tpch|tpcds --seed=N\n"
+      "                 --memory-budget=BYTES --state-dir=DIR\n"
+      "                 --lazy-recovery (cold pointers, fault in on touch)\n"
       "  neighbors  print a signature's k nearest registered signatures in\n"
       "          the transfer tier's embedding space, with distances and\n"
       "          incumbent configs (debugging bad warm starts)\n"
@@ -1522,6 +1639,14 @@ void PrintUsage() {
       "                 --tenant-rate=R --tenant-burst-s=S (token buckets)\n"
       "                 --flush-p99-target=S --queue-target=N (admission)\n"
       "                 --net-batch=N --journal=FILE --memory-budget=BYTES\n"
+      "                 --admin-token=SECRET (enable the Admin verb)\n"
+      "          state-tier flags (both serve modes):\n"
+      "                 --state-budget-fraction=F --obs-window=N\n"
+      "                 --idle-ttl=N --sweep-interval-ms=N --compress=false\n"
+      "  admin   send one authenticated runtime-control frame to a server\n"
+      "          flags: --connect=HOST:PORT --token=SECRET and one of\n"
+      "                 --set-tenant-rate=RATE --tenant=ID (0 = unlimited)\n"
+      "                 --set-budget=BYTES (shared memory budget; 0 = off)\n"
       "  loadgen drive the wire protocol against a serve --listen process\n"
       "          flags: --host=H --port=N (required) --duration-s=N\n"
       "                 --tenants=N --rate=R (per-tenant open-loop Poisson\n"
@@ -1549,6 +1674,7 @@ int main(int argc, char** argv) {
   if (args.command == "neighbors") return RunNeighbors(args);
   if (args.command == "checkpoint") return RunCheckpoint(args);
   if (args.command == "serve") return RunServe(args);
+  if (args.command == "admin") return RunAdmin(args);
   if (args.command == "loadgen") return RunLoadgen(args);
   if (args.command == "metrics") return RunMetrics(args);
   PrintUsage();

@@ -23,11 +23,15 @@
 #                     (bench_state_scale: ~1M synthetic signatures recovered
 #                     lazily from a checkpoint + journal tail), write
 #                     BENCH_state.json, and FAIL (exit 1) if the resident
-#                     tier exceeded the eviction budget, any post-recovery
-#                     proposal diverged from the unevicted twin, or the lazy
-#                     cold start blew the wall-time cap
-#                     (ROCKHOPPER_STATE_SIGNATURES / _BUDGET / _TOUCH /
-#                     ROCKHOPPER_STATE_TIME_CAP_S override the defaults)
+#                     tier exceeded the eviction budget, resident state +
+#                     observation history exceeded the shared process budget,
+#                     the 1% churn delta checkpoint cost more than 0.3x the
+#                     full-image rewrite, the full+delta recovery digest
+#                     diverged, any post-recovery proposal diverged from the
+#                     unevicted twin, or the lazy cold start blew the
+#                     wall-time cap (ROCKHOPPER_STATE_SIGNATURES / _BUDGET /
+#                     _SHARED / _TOUCH / ROCKHOPPER_STATE_TIME_CAP_S
+#                     override the defaults)
 #   --suite sim:      run the deterministic-simulation seed sweep
 #                     (tools/run_simulation_sweep.sh: Buggify-armed
 #                     crash/recovery runs plus the byte-reproducibility
@@ -348,6 +352,10 @@ required = (
     "budget_bytes",
     "within_budget",
     "proposal_identical",
+    "delta_ratio",
+    "delta_ratio_ok",
+    "digest_ok",
+    "within_shared_budget",
 )
 missing = [k for k in required if k not in fields]
 if missing:
@@ -357,7 +365,10 @@ time_cap = float(time_cap)
 passed = (
     int(bench_status) == 0
     and fields["within_budget"] == 1
+    and fields["within_shared_budget"] == 1
     and fields["proposal_identical"] == 1
+    and fields["delta_ratio_ok"] == 1
+    and fields["digest_ok"] == 1
     and fields["lazy_recover_s"] <= time_cap
 )
 result = {
@@ -368,6 +379,12 @@ result = {
         "max_resident_bytes": fields["max_resident_bytes"],
         "budget_bytes": fields["budget_bytes"],
         "within_budget": bool(fields["within_budget"]),
+        "within_shared_budget": bool(fields["within_shared_budget"]),
+        "shared_budget_bytes": fields["shared_budget_bytes"],
+        "obs_bytes": fields["obs_bytes"],
+        "delta_ratio": fields["delta_ratio"],
+        "delta_ratio_ok": bool(fields["delta_ratio_ok"]),
+        "digest_ok": bool(fields["digest_ok"]),
         "proposal_identical": bool(fields["proposal_identical"]),
         "wall_s": int(wall_ms) / 1000.0,
         "passed": passed,
@@ -385,6 +402,14 @@ print(f"  lazy_recover_s    : {s['lazy_recover_s']} (cap {time_cap})")
 print(
     f"  resident_bytes    : {s['max_resident_bytes']}"
     f" / budget {s['budget_bytes']}"
+)
+print(
+    f"  shared budget     : {s['obs_bytes']} obs + resident"
+    f" <= {s['shared_budget_bytes']} -> {s['within_shared_budget']}"
+)
+print(
+    f"  delta_ratio       : {s['delta_ratio']} (<= 0.3 under 1% churn:"
+    f" {s['delta_ratio_ok']}), digest_ok {s['digest_ok']}"
 )
 print(f"  proposal_identical: {s['proposal_identical']}")
 if not passed:
